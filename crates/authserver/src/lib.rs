@@ -1,0 +1,20 @@
+//! An authoritative DNS nameserver over the simulated internet.
+//!
+//! Implements the server side of RFC 1034 §4.3.2: zone selection, exact and
+//! wildcard answers, CNAME chasing within local authority, referrals with
+//! glue at zone cuts, NXDOMAIN/NODATA with SOA, and REFUSED for names the
+//! server is not authoritative for (which is how lame delegations surface).
+//!
+//! Servers also answer (or refuse) the CHAOS-class `version.bind.` TXT
+//! query according to their [`BannerPolicy`] — the fingerprinting channel
+//! the paper's survey used to find 27k vulnerable servers.
+
+pub mod deploy;
+pub mod scenarios;
+pub mod server;
+pub mod software;
+
+pub use deploy::{deploy, DeployError, ServerSpec};
+pub use scenarios::Scenario;
+pub use server::AuthServer;
+pub use software::{BannerPolicy, ServerSoftware};

@@ -1,0 +1,78 @@
+//! Server software identity: the banner a server exposes to
+//! `version.bind` probes.
+
+use perils_vulndb::BindVersion;
+
+/// How a server responds to CHAOS `version.bind` queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BannerPolicy {
+    /// Answer with the real version string (the common BIND default of the
+    /// era — which is what made the paper's survey possible).
+    Expose,
+    /// Answer with a decoy string (`version "none of your business";`).
+    Decoy(String),
+    /// Refuse the query outright.
+    Refuse,
+}
+
+/// The software a simulated server runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerSoftware {
+    /// The actual BIND version (ground truth for the simulation; what an
+    /// assessment *should* find when the banner is exposed).
+    pub version: BindVersion,
+    /// Banner behaviour.
+    pub banner_policy: BannerPolicy,
+}
+
+impl ServerSoftware {
+    /// A server running `version` with the banner exposed.
+    pub fn exposed(version: BindVersion) -> ServerSoftware {
+        ServerSoftware { version, banner_policy: BannerPolicy::Expose }
+    }
+
+    /// Parses a version string; panics on invalid input (test/example
+    /// convenience).
+    pub fn bind(version: &str) -> ServerSoftware {
+        ServerSoftware::exposed(
+            BindVersion::parse(version)
+                .unwrap_or_else(|| panic!("invalid BIND version {version:?}")),
+        )
+    }
+
+    /// The banner string this server actually sends, or `None` when it
+    /// refuses.
+    pub fn banner(&self) -> Option<String> {
+        match &self.banner_policy {
+            BannerPolicy::Expose => Some(format!("{}", self.version)),
+            BannerPolicy::Decoy(text) => Some(text.clone()),
+            BannerPolicy::Refuse => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposed_banner_is_version() {
+        let s = ServerSoftware::bind("8.2.4");
+        assert_eq!(s.banner(), Some("8.2.4".to_string()));
+    }
+
+    #[test]
+    fn decoy_and_refuse() {
+        let mut s = ServerSoftware::bind("9.2.3");
+        s.banner_policy = BannerPolicy::Decoy("surely you must be joking".into());
+        assert_eq!(s.banner(), Some("surely you must be joking".to_string()));
+        s.banner_policy = BannerPolicy::Refuse;
+        assert_eq!(s.banner(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid BIND version")]
+    fn bad_version_panics() {
+        ServerSoftware::bind("not-a-version");
+    }
+}

@@ -1,0 +1,126 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * `ablation_mincut` — the paper's flattened-graph min-cut vs the exact
+//!   AND/OR hijack minimum: agreement rate and cost.
+//! * `ablation_resilience` — the §5 dilemma: sweeping off-site secondary
+//!   count, measuring availability gain vs TCB growth.
+//! * `ablation_scale` — figure stability across universe scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perils_core::closure::DependencyIndex;
+use perils_core::hijack::{min_cut_flattened, min_hijack_exact};
+use perils_core::tcb::TcbStats;
+use perils_core::usable::Reachability;
+use perils_survey::driver::{run_survey, SurveyConfig};
+use perils_survey::params::TopologyParams;
+use perils_survey::topology::SyntheticWorld;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn ablation_mincut(c: &mut Criterion) {
+    let world = SyntheticWorld::generate(&TopologyParams::tiny(2004));
+    let index = DependencyIndex::build(&world.universe);
+    // Agreement statistics over the survey names.
+    let mut agree = 0usize;
+    let mut exact_smaller = 0usize;
+    let mut total = 0usize;
+    for survey_name in world.names.iter().take(200) {
+        let closure = index.closure_for(&world.universe, &survey_name.name);
+        let flat = min_cut_flattened(&world.universe, &index, &closure);
+        let exact = min_hijack_exact(&world.universe, &closure);
+        if let (Some(flat), Some(exact)) = (flat, exact) {
+            total += 1;
+            if flat.size() == exact.size() {
+                agree += 1;
+            } else if exact.size() < flat.size() {
+                exact_smaller += 1;
+            }
+        }
+    }
+    println!(
+        "[ablation_mincut] {total} names: sizes agree {agree}, exact smaller {exact_smaller} \
+         (the flattened graph misses shared-provider collapse)"
+    );
+    let closure = index.closure_for(&world.universe, &world.names[0].name);
+    c.bench_function("ablation_mincut/flattened", |b| {
+        b.iter(|| black_box(min_cut_flattened(&world.universe, &index, black_box(&closure))))
+    });
+    c.bench_function("ablation_mincut/exact", |b| {
+        b.iter(|| black_box(min_hijack_exact(&world.universe, black_box(&closure))))
+    });
+}
+
+fn ablation_resilience(c: &mut Criterion) {
+    // The §5 dilemma: more off-site secondaries → higher availability
+    // under random outages, larger TCB. Sweep the popular-domain
+    // secondary count.
+    let mut group = c.benchmark_group("ablation_resilience");
+    group.sample_size(10);
+    for secondaries in [0usize, 2, 4] {
+        let mut params = TopologyParams::tiny(42);
+        params.popular_extra_secondaries = secondaries;
+        let world = SyntheticWorld::generate(&params);
+        let index = DependencyIndex::build(&world.universe);
+        let popular = &world.names[world.top500.first().copied().unwrap_or(0)];
+        let closure = index.closure_for(&world.universe, &popular.name);
+        let stats = TcbStats::compute(&world.universe, &closure);
+        // Availability: fraction of single-server outages survived.
+        let mut survived = 0usize;
+        let mut outages = 0usize;
+        for &sid in closure.servers.iter().take(40) {
+            let blocked: BTreeSet<_> = [sid].into_iter().collect();
+            let reach = Reachability::compute(&world.universe, &blocked);
+            outages += 1;
+            if reach.name_resolves(&world.universe, &popular.name) {
+                survived += 1;
+            }
+        }
+        println!(
+            "[ablation_resilience] extra secondaries {secondaries}: TCB {} | survives {}/{} single outages",
+            stats.tcb_size, survived, outages
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(secondaries),
+            &secondaries,
+            |b, _| {
+                b.iter(|| {
+                    black_box(index.closure_for(&world.universe, black_box(&popular.name)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scale");
+    group.sample_size(10);
+    for names in [1000usize, 4000] {
+        let mut params = TopologyParams::tiny(7);
+        params.names = names;
+        params.domains = names / 2;
+        params.providers = 40;
+        params.universities = 60;
+        let config = SurveyConfig { params, exact_hijack_sample: 0, threads: None };
+        let report = run_survey(&config);
+        let headline = perils_survey::figures::headline(&report);
+        println!(
+            "[ablation_scale] names {}: mean TCB {:.1}, median {:.0}, hijackable {:.1}%",
+            report.world.names.len(),
+            headline.mean_tcb,
+            headline.median_tcb,
+            100.0 * headline.frac_hijackable
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(names), &config, |b, config| {
+            b.iter(|| black_box(run_survey(black_box(config))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_mincut, ablation_resilience, ablation_scale
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the substrates: wire codec, zone lookup, iterative
+//! resolution over the simulated internet, closure computation and min-cut.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perils_authserver::deploy::deploy;
+use perils_authserver::scenarios::cornell_figure1;
+use perils_core::closure::DependencyIndex;
+use perils_core::hijack::{min_cut_flattened, min_hijack_exact};
+use perils_dns::message::{Message, Question};
+use perils_dns::name::name;
+use perils_dns::rr::{RData, Record, RrType};
+use perils_dns::wire::{decode, encode};
+use perils_netsim::{FaultPlan, Region, SimNet};
+use perils_resolver::{IterativeResolver, ResolverConfig};
+use perils_survey::scenario::universe_from_scenario;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn sample_message() -> Message {
+    let q = Message::query(0x1234, Question::new(name("www.cs.cornell.edu"), RrType::A));
+    let mut m = Message::response_to(&q);
+    m.flags.aa = true;
+    m.answers.push(Record::new(name("www.cs.cornell.edu"), 3600, RData::A("128.84.154.137".parse().unwrap())));
+    for ns in ["simon.cs.cornell.edu", "cayuga.cs.rochester.edu", "dns.cs.wisc.edu"] {
+        m.authority.push(Record::new(name("cs.cornell.edu"), 7200, RData::Ns(name(ns))));
+    }
+    m.additional.push(Record::new(name("simon.cs.cornell.edu"), 7200, RData::A("128.84.96.10".parse().unwrap())));
+    m
+}
+
+fn wire_codec(c: &mut Criterion) {
+    let message = sample_message();
+    let bytes = encode(&message);
+    println!("[micro] wire message size with compression: {} bytes", bytes.len());
+    c.bench_function("wire_encode", |b| b.iter(|| black_box(encode(black_box(&message)))));
+    c.bench_function("wire_decode", |b| b.iter(|| black_box(decode(black_box(&bytes)).unwrap())));
+}
+
+fn resolution(c: &mut Criterion) {
+    let scenario = cornell_figure1();
+    let net = Arc::new(SimNet::new(1, FaultPlan::none(), Region(0)));
+    deploy(&net, &scenario.registry, &scenario.specs).unwrap();
+    let resolver = IterativeResolver::new(
+        net,
+        scenario.roots.clone(),
+        ResolverConfig { use_cache: false, ..ResolverConfig::default() },
+    );
+    let target = name("www.cs.cornell.edu");
+    c.bench_function("iterative_resolution_uncached", |b| {
+        b.iter(|| black_box(resolver.resolve(black_box(&target), RrType::A).unwrap()))
+    });
+}
+
+fn closure_and_cuts(c: &mut Criterion) {
+    let scenario = cornell_figure1();
+    let universe = universe_from_scenario(&scenario);
+    let index = DependencyIndex::build(&universe);
+    let target = name("www.cs.cornell.edu");
+    c.bench_function("dependency_closure", |b| {
+        b.iter(|| black_box(index.closure_for(black_box(&universe), black_box(&target))))
+    });
+    let closure = index.closure_for(&universe, &target);
+    c.bench_function("min_cut_flattened", |b| {
+        b.iter(|| black_box(min_cut_flattened(&universe, &index, black_box(&closure))))
+    });
+    c.bench_function("min_hijack_exact", |b| {
+        b.iter(|| black_box(min_hijack_exact(&universe, black_box(&closure))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = wire_codec, resolution, closure_and_cuts
+);
+criterion_main!(benches);

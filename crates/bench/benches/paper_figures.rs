@@ -1,0 +1,123 @@
+//! One bench per paper artifact: regenerates every figure's analysis from
+//! the shared bench-scale survey (Figures 2–9 plus the headline table).
+//!
+//! Each bench measures the figure's computation over the per-name survey
+//! data — the part a user re-runs when exploring the results — and prints
+//! the figure's key statistic once so `cargo bench` output documents the
+//! reproduced shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perils_bench::shared_report;
+use perils_survey::figures;
+use std::hint::black_box;
+
+fn fig2_tcb_cdf(c: &mut Criterion) {
+    let report = shared_report();
+    let f = figures::fig2(report);
+    println!(
+        "[fig2] TCB: median {:.0} mean {:.1} | top500 mean {:.1} (paper: 26 / 46 / 69)",
+        f.all.median, f.all.mean, f.top500.mean
+    );
+    c.bench_function("fig2_tcb_cdf", |b| b.iter(|| black_box(figures::fig2(black_box(report)))));
+}
+
+fn fig3_gtld(c: &mut Criterion) {
+    let report = shared_report();
+    let f = figures::fig3(report);
+    let order: Vec<&str> = f.bars.iter().map(|b| b.tld.as_str()).collect();
+    println!("[fig3] gTLD order {:?} group mean {:.1} (paper order: aero,int,…,com,coop)", order, f.group_mean);
+    c.bench_function("fig3_gtld", |b| b.iter(|| black_box(figures::fig3(black_box(report)))));
+}
+
+fn fig4_cctld(c: &mut Criterion) {
+    let report = shared_report();
+    let f = figures::fig4(report);
+    println!(
+        "[fig4] worst ccTLD {:?} mean {:.1} (paper: ua ≈ 450)",
+        f.bars.first().map(|b| b.tld.clone()).unwrap_or_default(),
+        f.bars.first().map(|b| b.mean_tcb).unwrap_or(0.0)
+    );
+    c.bench_function("fig4_cctld", |b| b.iter(|| black_box(figures::fig4(black_box(report)))));
+}
+
+fn fig5_vulnerable_cdf(c: &mut Criterion) {
+    let report = shared_report();
+    let f = figures::fig5(report);
+    println!(
+        "[fig5] names with ≥1 vulnerable dep: {:.1}% mean {:.1} (paper: 45% / 4.1)",
+        100.0 * f.frac_with_vulnerable, f.mean_vulnerable
+    );
+    c.bench_function("fig5_vulnerable_cdf", |b| {
+        b.iter(|| black_box(figures::fig5(black_box(report))))
+    });
+}
+
+fn fig6_safety(c: &mut Criterion) {
+    let report = shared_report();
+    let f = figures::fig6(report);
+    println!("[fig6] fully-vulnerable TCBs: {} names (paper: a few, in .ws)", f.fully_vulnerable_names);
+    c.bench_function("fig6_safety", |b| b.iter(|| black_box(figures::fig6(black_box(report)))));
+}
+
+fn fig7_bottlenecks(c: &mut Criterion) {
+    let report = shared_report();
+    let f = figures::fig7(report);
+    println!(
+        "[fig7] fully-vulnerable min-cuts: {:.1}% | exactly one safe: {:.1}% | mean cut {:.1} (paper: 30% / 10% / 2.5)",
+        100.0 * f.frac_fully_vulnerable_cut,
+        100.0 * f.frac_one_safe,
+        f.mean_cut_size
+    );
+    c.bench_function("fig7_bottlenecks", |b| {
+        b.iter(|| black_box(figures::fig7(black_box(report))))
+    });
+}
+
+fn fig8_value(c: &mut Criterion) {
+    let report = shared_report();
+    let f = figures::fig8(report);
+    println!(
+        "[fig8] servers controlling >10%: {} | mean {:.0} median {:.0} (paper: ~125 / 166 / 4)",
+        f.controlling_10pct, f.mean, f.median
+    );
+    c.bench_function("fig8_value", |b| b.iter(|| black_box(figures::fig8(black_box(report)))));
+}
+
+fn fig9_edu_org(c: &mut Criterion) {
+    let report = shared_report();
+    let f = figures::fig9(report);
+    println!(
+        "[fig9] series lengths: {:?}",
+        f.series.iter().map(|(l, p)| (l.clone(), p.len())).collect::<Vec<_>>()
+    );
+    c.bench_function("fig9_edu_org", |b| b.iter(|| black_box(figures::fig9(black_box(report)))));
+}
+
+fn headline_stats(c: &mut Criterion) {
+    let report = shared_report();
+    let h = figures::headline(report);
+    println!(
+        "[headline] mean TCB {:.1} | dep {:.1}% | hijackable {:.1}% (paper: 46 / 45% / 30%)",
+        h.mean_tcb,
+        100.0 * h.frac_with_vulnerable_dep,
+        100.0 * h.frac_hijackable
+    );
+    c.bench_function("headline_stats", |b| {
+        b.iter(|| black_box(figures::headline(black_box(report))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = fig2_tcb_cdf,
+        fig3_gtld,
+        fig4_cctld,
+        fig5_vulnerable_cdf,
+        fig6_safety,
+        fig7_bottlenecks,
+        fig8_value,
+        fig9_edu_org,
+        headline_stats
+);
+criterion_main!(benches);

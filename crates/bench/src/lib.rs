@@ -1,0 +1,27 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Benches run against a mid-scale world (a few thousand names) so one
+//! `cargo bench` pass regenerates every figure's computation in minutes;
+//! the `figures` binary covers the full default/paper scales.
+
+use perils_survey::driver::{run_survey, SurveyConfig, SurveyReport};
+use perils_survey::params::TopologyParams;
+use std::sync::OnceLock;
+
+/// The bench-scale survey configuration: large enough for the figures'
+/// shapes to be visible, small enough to iterate.
+pub fn bench_config() -> SurveyConfig {
+    let mut params = TopologyParams::default_scaled(2004_07_22);
+    params.names = 6_000;
+    params.domains = 4_000;
+    params.providers = 120;
+    params.universities = 120;
+    SurveyConfig { params, exact_hijack_sample: 0, threads: None }
+}
+
+/// A lazily computed, shared survey report (the figure benches measure the
+/// per-figure analysis, not world generation).
+pub fn shared_report() -> &'static SurveyReport {
+    static REPORT: OnceLock<SurveyReport> = OnceLock::new();
+    REPORT.get_or_init(|| run_survey(&bench_config()))
+}

@@ -1,0 +1,270 @@
+//! Per-name dependency closures — the delegation graph's node set.
+//!
+//! "The delegation graph consists of the transitive closure of all
+//! nameservers involved in the resolution of a given name" (§2). For a
+//! target name: every zone on its delegation chain contributes its full NS
+//! set; every one of those nameserver *names* contributes the closure of
+//! its own chain; and so on to a fixed point.
+//!
+//! [`DependencyIndex`] precomputes the server→server dependency adjacency
+//! once per universe so that per-name closures are a cheap BFS (the mean
+//! closure is ~46 servers), which is what lets the survey process hundreds
+//! of thousands of names.
+
+use crate::universe::{ServerId, Universe, ZoneId};
+use perils_dns::name::DnsName;
+use std::collections::BTreeSet;
+
+/// Precomputed dependency structure over a universe.
+#[derive(Debug, Clone)]
+pub struct DependencyIndex {
+    /// For each server: the servers its *address resolution* could involve
+    /// — the NS sets of every zone on its name's chain (root excluded).
+    server_deps: Vec<Vec<ServerId>>,
+    /// For each server: the zones on its name's chain (root excluded).
+    server_chains: Vec<Vec<ZoneId>>,
+}
+
+impl DependencyIndex {
+    /// Builds the index (O(servers × chain length)).
+    pub fn build(universe: &Universe) -> DependencyIndex {
+        let mut server_deps = Vec::with_capacity(universe.server_count());
+        let mut server_chains = Vec::with_capacity(universe.server_count());
+        for sid in universe.server_ids() {
+            let server = universe.server(sid);
+            let chain = universe.chain_zones(&server.name);
+            let mut deps: Vec<ServerId> = Vec::new();
+            for &zid in &chain {
+                for &ns in &universe.zone(zid).ns {
+                    if !deps.contains(&ns) {
+                        deps.push(ns);
+                    }
+                }
+            }
+            server_deps.push(deps);
+            server_chains.push(chain);
+        }
+        DependencyIndex { server_deps, server_chains }
+    }
+
+    /// The servers that could be involved in resolving `server`'s address.
+    pub fn deps_of(&self, server: ServerId) -> &[ServerId] {
+        &self.server_deps[server.index()]
+    }
+
+    /// The zones on `server`'s name's chain (root excluded), root-first.
+    pub fn chain_of(&self, server: ServerId) -> &[ZoneId] {
+        &self.server_chains[server.index()]
+    }
+
+    /// Computes the dependency closure for `target`.
+    pub fn closure_for(&self, universe: &Universe, target: &DnsName) -> NameClosure {
+        let target_chain = universe.chain_zones(target);
+        let mut servers: BTreeSet<ServerId> = BTreeSet::new();
+        let mut zones: BTreeSet<ZoneId> = target_chain.iter().copied().collect();
+        let mut queue: Vec<ServerId> = Vec::new();
+        for &zid in &target_chain {
+            for &ns in &universe.zone(zid).ns {
+                if servers.insert(ns) {
+                    queue.push(ns);
+                }
+            }
+        }
+        while let Some(sid) = queue.pop() {
+            for &zid in self.chain_of(sid) {
+                zones.insert(zid);
+            }
+            for &dep in self.deps_of(sid) {
+                if servers.insert(dep) {
+                    queue.push(dep);
+                }
+            }
+        }
+        NameClosure { target: target.to_lowercase(), target_chain, zones, servers }
+    }
+}
+
+/// The dependency closure of one name.
+#[derive(Debug, Clone)]
+pub struct NameClosure {
+    /// The name this closure belongs to (lowercased).
+    pub target: DnsName,
+    /// Zones on the target's own chain (root excluded), root-first.
+    pub target_chain: Vec<ZoneId>,
+    /// Every zone on any chain in the closure.
+    pub zones: BTreeSet<ZoneId>,
+    /// Every nameserver in the closure (root servers excluded only insofar
+    /// as they never appear in non-root NS sets; use [`NameClosure::tcb`]
+    /// for the paper's TCB).
+    pub servers: BTreeSet<ServerId>,
+}
+
+impl NameClosure {
+    /// The trusted computing base: closure servers minus root servers.
+    pub fn tcb(&self, universe: &Universe) -> Vec<ServerId> {
+        self.servers.iter().copied().filter(|&s| !universe.server(s).is_root).collect()
+    }
+
+    /// TCB size (paper convention: root servers excluded).
+    pub fn tcb_size(&self, universe: &Universe) -> usize {
+        self.servers.iter().filter(|&&s| !universe.server(s).is_root).count()
+    }
+
+    /// Extracts a self-contained sub-universe containing exactly this
+    /// closure's zones and servers.
+    ///
+    /// By construction the closure is NS-complete (every NS of every
+    /// closure zone is a closure server), so analyses over the sub-universe
+    /// — reachability fixed points, hijack searches — agree with the full
+    /// universe while being orders of magnitude smaller. Zones whose parent
+    /// falls outside the closure are treated as delegated straight from the
+    /// trusted hints, which matches their role in this name's resolution.
+    pub fn extract_universe(&self, universe: &Universe) -> Universe {
+        let mut builder = Universe::builder();
+        for &sid in &self.servers {
+            let s = universe.server(sid);
+            let id = builder.raw_server(&s.name, s.vulnerable, s.is_root);
+            // raw_server sets scripted = vulnerable; keep in sync below.
+            let _ = id;
+        }
+        for &zid in &self.zones {
+            let zone = universe.zone(zid);
+            let ns_names: Vec<perils_dns::name::DnsName> =
+                zone.ns.iter().map(|&s| universe.server(s).name.clone()).collect();
+            builder.add_zone(&zone.origin, &ns_names);
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use perils_dns::name::name;
+    use perils_dns::name::DnsName;
+
+    /// The paper's Figure 1 structure in miniature:
+    /// cornell → rochester → wisc → umich transitive chain.
+    fn figure1_universe() -> Universe {
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("edu"), &[name("a.edu-servers.net")]);
+        b.add_zone(&name("net"), &[name("a.gtld-servers.net")]);
+        b.add_zone(&name("edu-servers.net"), &[name("a.edu-servers.net")]);
+        b.add_zone(&name("gtld-servers.net"), &[name("a.gtld-servers.net")]);
+        b.add_zone(
+            &name("cornell.edu"),
+            &[name("cudns.cit.cornell.edu")],
+        );
+        b.add_zone(
+            &name("cs.cornell.edu"),
+            &[name("simon.cs.cornell.edu"), name("cayuga.cs.rochester.edu")],
+        );
+        b.add_zone(
+            &name("rochester.edu"),
+            &[name("ns1.rochester.edu"), name("simon.cs.cornell.edu")],
+        );
+        b.add_zone(
+            &name("cs.rochester.edu"),
+            &[name("cayuga.cs.rochester.edu"), name("dns.cs.wisc.edu")],
+        );
+        b.add_zone(&name("wisc.edu"), &[name("dns.wisc.edu"), name("dns2.itd.umich.edu")]);
+        b.add_zone(&name("cs.wisc.edu"), &[name("dns.cs.wisc.edu")]);
+        b.add_zone(&name("umich.edu"), &[name("dns.itd.umich.edu")]);
+        b.finish()
+    }
+
+    #[test]
+    fn closure_reaches_transitively() {
+        let u = figure1_universe();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.cs.cornell.edu"));
+        let names: Vec<String> = closure
+            .servers
+            .iter()
+            .map(|&s| u.server(s).name.to_string())
+            .collect();
+        // Direct: cs.cornell.edu and its chain.
+        assert!(names.contains(&"simon.cs.cornell.edu".to_string()));
+        assert!(names.contains(&"cayuga.cs.rochester.edu".to_string()));
+        assert!(names.contains(&"cudns.cit.cornell.edu".to_string()));
+        // Transitive: cayuga pulls rochester, which pulls wisc, which pulls
+        // umich — the paper's exact example.
+        assert!(names.contains(&"ns1.rochester.edu".to_string()));
+        assert!(names.contains(&"dns.cs.wisc.edu".to_string()));
+        assert!(names.contains(&"dns.wisc.edu".to_string()));
+        assert!(names.contains(&"dns2.itd.umich.edu".to_string()));
+        assert!(names.contains(&"dns.itd.umich.edu".to_string()));
+    }
+
+    #[test]
+    fn tcb_excludes_root_servers() {
+        let u = figure1_universe();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.cs.cornell.edu"));
+        assert!(
+            !closure
+                .tcb(&u)
+                .iter()
+                .any(|&s| u.server(s).name == name("a.root-servers.net")),
+            "root servers are not counted"
+        );
+        assert_eq!(closure.tcb_size(&u), closure.servers.len() - if closure.servers.iter().any(|&s| u.server(s).is_root) { 1 } else { 0 });
+    }
+
+    #[test]
+    fn unrelated_name_has_small_closure() {
+        let u = figure1_universe();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.umich.edu"));
+        let names: Vec<String> =
+            closure.servers.iter().map(|&s| u.server(s).name.to_string()).collect();
+        assert!(names.contains(&"dns.itd.umich.edu".to_string()));
+        assert!(names.contains(&"a.edu-servers.net".to_string()));
+        assert!(
+            !names.contains(&"cayuga.cs.rochester.edu".to_string()),
+            "umich does not depend on rochester"
+        );
+    }
+
+    #[test]
+    fn closure_handles_cycles() {
+        // cornell ↔ rochester mutual dependency must terminate.
+        let u = figure1_universe();
+        let index = DependencyIndex::build(&u);
+        let a = index.closure_for(&u, &name("www.cs.cornell.edu"));
+        let b = index.closure_for(&u, &name("www.cs.rochester.edu"));
+        assert!(!a.servers.is_empty() && !b.servers.is_empty());
+        // Both closures contain the mutual pair.
+        for closure in [&a, &b] {
+            let names: Vec<String> =
+                closure.servers.iter().map(|&s| u.server(s).name.to_string()).collect();
+            assert!(names.contains(&"simon.cs.cornell.edu".to_string()));
+            assert!(names.contains(&"cayuga.cs.rochester.edu".to_string()));
+        }
+    }
+
+    #[test]
+    fn zones_collected_along_chains() {
+        let u = figure1_universe();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.cs.cornell.edu"));
+        let zone_names: Vec<String> =
+            closure.zones.iter().map(|&z| u.zone(z).origin.to_string()).collect();
+        for expected in ["edu", "cornell.edu", "cs.cornell.edu", "rochester.edu", "wisc.edu", "umich.edu", "net"] {
+            assert!(zone_names.contains(&expected.to_string()), "missing {expected}: {zone_names:?}");
+        }
+    }
+
+    #[test]
+    fn target_chain_root_first() {
+        let u = figure1_universe();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.cs.cornell.edu"));
+        let chain: Vec<String> =
+            closure.target_chain.iter().map(|&z| u.zone(z).origin.to_string()).collect();
+        assert_eq!(chain, vec!["edu", "cornell.edu", "cs.cornell.edu"]);
+    }
+}

@@ -1,0 +1,227 @@
+//! The flattened delegation graph — the structure the paper computes
+//! min-cuts of.
+//!
+//! Nodes are the closure's nameservers plus a trusted `source` (standing
+//! for the root servers / root hints) and a `sink` (the target name).
+//! For every name in the closure (the target and each nameserver name),
+//! its delegation chain contributes layered edges: each server of zone
+//! `z_i` points to each server of zone `z_{i+1}`, the source points to the
+//! first layer, and the final layer points at the name's node (the sink
+//! for the target, the server's own node for a nameserver name).
+//!
+//! A root→sink path therefore traverses one server per zone level of some
+//! chain, and a vertex cut must block *every* such path — the paper's
+//! "critical bottleneck nameservers".
+
+use crate::closure::NameClosure;
+use crate::universe::{ServerId, Universe};
+use perils_graph::digraph::{DiGraph, NodeId};
+use std::collections::HashMap;
+
+/// Node payload in the delegation graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelegationNode {
+    /// The trusted resolution start (root servers, collapsed).
+    Source,
+    /// A nameserver.
+    Server(ServerId),
+    /// The target name.
+    Target,
+}
+
+/// The flattened delegation graph of one name.
+#[derive(Debug, Clone)]
+pub struct DelegationGraph {
+    /// The graph; edges deduplicated.
+    pub graph: DiGraph<DelegationNode>,
+    /// The source node.
+    pub source: NodeId,
+    /// The sink (target) node.
+    pub sink: NodeId,
+    node_of_server: HashMap<ServerId, NodeId>,
+}
+
+impl DelegationGraph {
+    /// Builds the graph for `closure`, reusing the universe-wide
+    /// [`crate::closure::DependencyIndex`] for server chains.
+    pub fn build(
+        universe: &Universe,
+        index: &crate::closure::DependencyIndex,
+        closure: &NameClosure,
+    ) -> DelegationGraph {
+        let mut graph: DiGraph<DelegationNode> = DiGraph::new();
+        let source = graph.add_node(DelegationNode::Source);
+        let sink = graph.add_node(DelegationNode::Target);
+        let mut node_of_server: HashMap<ServerId, NodeId> = HashMap::new();
+        for &sid in &closure.servers {
+            node_of_server.insert(sid, graph.add_node(DelegationNode::Server(sid)));
+        }
+
+        let add_chain = |graph: &mut DiGraph<DelegationNode>,
+                             chain: &[crate::universe::ZoneId],
+                             endpoint: NodeId| {
+            let mut prev_layer: Vec<NodeId> = vec![source];
+            for &zid in chain {
+                let layer: Vec<NodeId> = universe
+                    .zone(zid)
+                    .ns
+                    .iter()
+                    .filter_map(|ns| node_of_server.get(ns).copied())
+                    .collect();
+                if layer.is_empty() {
+                    continue;
+                }
+                for &u in &prev_layer {
+                    for &v in &layer {
+                        if u != v {
+                            graph.add_edge_dedup(u, v);
+                        }
+                    }
+                }
+                prev_layer = layer;
+            }
+            for &u in &prev_layer {
+                if u != endpoint {
+                    graph.add_edge_dedup(u, endpoint);
+                }
+            }
+        };
+
+        // The target's own chain terminates at the sink.
+        add_chain(&mut graph, &closure.target_chain, sink);
+        // Every nameserver name's chain terminates at that server's node.
+        for &sid in &closure.servers {
+            let endpoint = node_of_server[&sid];
+            add_chain(&mut graph, index.chain_of(sid), endpoint);
+        }
+
+        DelegationGraph { graph, source, sink, node_of_server }
+    }
+
+    /// The node for `server`, if it is in the graph.
+    pub fn node_of(&self, server: ServerId) -> Option<NodeId> {
+        self.node_of_server.get(&server).copied()
+    }
+
+    /// The server behind `node`, if it is a server node.
+    pub fn server_of(&self, node: NodeId) -> Option<ServerId> {
+        match self.graph.weight(node) {
+            DelegationNode::Server(sid) => Some(*sid),
+            _ => None,
+        }
+    }
+
+    /// Number of server nodes.
+    pub fn server_count(&self) -> usize {
+        self.node_of_server.len()
+    }
+
+    /// Renders the graph in Graphviz DOT format — a machine-readable
+    /// Figure 1. Vulnerable servers are drawn in red; the source and
+    /// target as boxes.
+    pub fn to_dot(&self, universe: &Universe, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("digraph \"{title}\" {{\n  rankdir=LR;\n"));
+        out.push_str("  source [shape=box, label=\"root\"];\n");
+        out.push_str(&format!("  target [shape=box, label=\"{title}\"];\n"));
+        for (&sid, &node) in &self.node_of_server {
+            let server = universe.server(sid);
+            let color = if server.vulnerable { ", color=red, fontcolor=red" } else { "" };
+            out.push_str(&format!(
+                "  n{} [label=\"{}\"{color}];\n",
+                node.index(),
+                server.name
+            ));
+        }
+        let label_of = |node: NodeId| -> String {
+            if node == self.source {
+                "source".to_string()
+            } else if node == self.sink {
+                "target".to_string()
+            } else {
+                format!("n{}", node.index())
+            }
+        };
+        let mut edges: Vec<(NodeId, NodeId)> = self.graph.edges().collect();
+        edges.sort();
+        for (from, to) in edges {
+            out.push_str(&format!("  {} -> {};\n", label_of(from), label_of(to)));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::DependencyIndex;
+    use crate::universe::Universe;
+    use perils_dns::name::{name, DnsName};
+    use perils_graph::traversal::reachable_from;
+
+    fn chain_universe() -> Universe {
+        // root → com → example.com, each with one server; the com server's
+        // name lives under nstld.com (a zone under com), mirroring the real
+        // gtld-servers structure.
+        let mut b = Universe::builder();
+        b.add_zone(&DnsName::root(), &[]);
+        b.add_zone(&name("com"), &[name("a.gtld.nstld.com")]);
+        b.add_zone(&name("nstld.com"), &[name("ns.nstld.com")]);
+        b.add_zone(&name("example.com"), &[name("ns1.example.com"), name("ns2.example.com")]);
+        b.finish()
+    }
+
+    #[test]
+    fn layered_structure() {
+        let u = chain_universe();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.example.com"));
+        let dg = DelegationGraph::build(&u, &index, &closure);
+
+        // Source reaches the sink.
+        let reach = reachable_from(&dg.graph, dg.source);
+        assert!(reach.contains(dg.sink.index()));
+
+        // The com-layer server precedes the example-layer servers.
+        let com_server = u.server_id(&name("a.gtld.nstld.com")).unwrap();
+        let ns1 = u.server_id(&name("ns1.example.com")).unwrap();
+        let com_node = dg.node_of(com_server).unwrap();
+        let ns1_node = dg.node_of(ns1).unwrap();
+        assert!(dg.graph.out_neighbors(com_node).contains(&ns1_node));
+        // Source feeds the first layer.
+        assert!(dg.graph.out_neighbors(dg.source).contains(&com_node));
+        // Final layer feeds the sink.
+        assert!(dg.graph.out_neighbors(ns1_node).contains(&dg.sink));
+    }
+
+    #[test]
+    fn server_chains_terminate_at_server_nodes() {
+        let u = chain_universe();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.example.com"));
+        let dg = DelegationGraph::build(&u, &index, &closure);
+        // ns.nstld.com controls the address of a.gtld.nstld.com: the com
+        // server's node must be fed by the nstld.com layer.
+        let nstld_ns = u.server_id(&name("ns.nstld.com")).unwrap();
+        let com_server = u.server_id(&name("a.gtld.nstld.com")).unwrap();
+        let nstld_node = dg.node_of(nstld_ns).unwrap();
+        let com_node = dg.node_of(com_server).unwrap();
+        assert!(dg.graph.out_neighbors(nstld_node).contains(&com_node));
+    }
+
+    #[test]
+    fn node_server_round_trip() {
+        let u = chain_universe();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.example.com"));
+        let dg = DelegationGraph::build(&u, &index, &closure);
+        for &sid in &closure.servers {
+            let node = dg.node_of(sid).unwrap();
+            assert_eq!(dg.server_of(node), Some(sid));
+        }
+        assert_eq!(dg.server_of(dg.source), None);
+        assert_eq!(dg.server_of(dg.sink), None);
+        assert_eq!(dg.server_count(), closure.servers.len());
+    }
+}

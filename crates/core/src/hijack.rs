@@ -1,0 +1,383 @@
+//! Complete-hijack analysis (§3.2, Figure 7).
+//!
+//! "We examined the chances of a complete domain hijack by counting the
+//! minimum number of nameservers that need to be attacked in order to
+//! completely take over a domain. Such critical bottleneck nameservers can
+//! be determined by computing a min-cut of the delegation graph."
+//!
+//! Two computations are provided:
+//!
+//! * [`min_cut_flattened`] — the paper's method: a minimum vertex cut of
+//!   the flattened [`crate::delegation::DelegationGraph`], weighted
+//!   lexicographically by (cut size, number of *safe* members) so the
+//!   most attacker-friendly minimum cut is reported;
+//! * [`min_hijack_exact`] — an exact branch-and-bound over the glue-aware
+//!   AND/OR resolution semantics ([`crate::usable::Reachability`]),
+//!   branching on resolution witnesses. The `ablation_mincut` bench
+//!   compares the two.
+
+use crate::closure::NameClosure;
+use crate::delegation::DelegationGraph;
+use crate::universe::{ServerId, Universe};
+use crate::usable::Reachability;
+use perils_dns::name::DnsName;
+use std::collections::BTreeSet;
+
+/// Weight base for the lexicographic (size, safe-count) objective.
+const SIZE_WEIGHT: u64 = 1_000_000;
+
+/// A set of servers whose compromise completely hijacks a name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HijackSet {
+    /// The servers, ascending by id.
+    pub servers: Vec<ServerId>,
+    /// Number of members with no known vulnerability ("safe bottlenecks",
+    /// the quantity of Figure 7).
+    pub safe_members: usize,
+}
+
+impl HijackSet {
+    /// Cut size.
+    pub fn size(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether every member has a known vulnerability — the names the
+    /// paper counts as completely hijackable with scripted exploits (30%
+    /// of the namespace).
+    pub fn fully_vulnerable(&self) -> bool {
+        self.safe_members == 0
+    }
+
+    fn of(universe: &Universe, servers: Vec<ServerId>) -> HijackSet {
+        let safe_members =
+            servers.iter().filter(|&&s| !universe.server(s).vulnerable).count();
+        HijackSet { servers, safe_members }
+    }
+
+}
+
+/// Combined per-name hijack analysis.
+#[derive(Debug, Clone)]
+pub struct HijackAnalysis {
+    /// The paper's flattened-graph min-cut (None: the name cannot be
+    /// disconnected, e.g. it sits in a hint-delegated zone with root
+    /// servers on its NS set).
+    pub flattened: Option<HijackSet>,
+    /// The exact AND/OR minimum (None: no finite hijack exists).
+    pub exact: Option<HijackSet>,
+}
+
+impl HijackAnalysis {
+    /// Runs both analyses for `closure`.
+    pub fn run(
+        universe: &Universe,
+        index: &crate::closure::DependencyIndex,
+        closure: &NameClosure,
+    ) -> HijackAnalysis {
+        let flattened = min_cut_flattened(universe, index, closure);
+        let exact = min_hijack_exact(universe, closure);
+        HijackAnalysis { flattened, exact }
+    }
+}
+
+/// The paper's method: minimum vertex cut of the flattened delegation
+/// graph, lexicographically minimizing (size, #safe members).
+pub fn min_cut_flattened(
+    universe: &Universe,
+    index: &crate::closure::DependencyIndex,
+    closure: &NameClosure,
+) -> Option<HijackSet> {
+    let dg = DelegationGraph::build(universe, index, closure);
+    let cut = perils_graph::flow::min_vertex_cut(&dg.graph, dg.source, dg.sink, |node| {
+        match dg.server_of(node) {
+            Some(sid) => {
+                let server = universe.server(sid);
+                if server.is_root {
+                    // Root servers are out of the threat model.
+                    perils_graph::flow::INF / 2
+                } else if server.vulnerable {
+                    SIZE_WEIGHT
+                } else {
+                    SIZE_WEIGHT + 1
+                }
+            }
+            None => perils_graph::flow::INF / 2,
+        }
+    })?;
+    if cut.total_weight >= perils_graph::flow::INF / 2 {
+        return None; // only cuttable through out-of-model nodes
+    }
+    let servers: Vec<ServerId> =
+        cut.cut.iter().filter_map(|&node| dg.server_of(node)).collect();
+    Some(HijackSet::of(universe, servers))
+}
+
+/// Exact minimum complete-hijack set under the glue-aware resolution
+/// semantics, lexicographically minimizing (size, #safe members).
+///
+/// Branch-and-bound: at each node, compute clean reachability under the
+/// current blocked set; if the target still resolves, extract a resolution
+/// witness and branch on blocking each member (every complete hijack must
+/// block some witness member). Runs on the closure's extracted
+/// sub-universe, so each fixed point is small.
+pub fn min_hijack_exact(universe: &Universe, closure: &NameClosure) -> Option<HijackSet> {
+    let sub = closure.extract_universe(universe);
+    let target = closure.target.clone();
+    // The search works on sub-universe ids; translate back at the end.
+    let mut best: Option<(Vec<ServerId>, (usize, usize))> = None;
+
+    struct Ctx<'a> {
+        sub: &'a Universe,
+        target: &'a DnsName,
+    }
+
+    fn objective(sub: &Universe, blocked: &BTreeSet<ServerId>) -> (usize, usize) {
+        let safe = blocked.iter().filter(|&&s| !sub.server(s).vulnerable).count();
+        (blocked.len(), safe)
+    }
+
+    fn search(
+        ctx: &Ctx<'_>,
+        blocked: &mut BTreeSet<ServerId>,
+        best: &mut Option<(Vec<ServerId>, (usize, usize))>,
+    ) {
+        let obj = objective(ctx.sub, blocked);
+        if let Some((_, best_obj)) = best {
+            // Children only grow the objective, so an already-not-better
+            // node cannot lead to an improvement.
+            if obj >= *best_obj {
+                return;
+            }
+        }
+        let r = Reachability::compute(ctx.sub, blocked);
+        let Some(witness) = r.witness(ctx.sub, ctx.target) else {
+            // Hijacked: record.
+            let record = (blocked.iter().copied().collect::<Vec<_>>(), obj);
+            match best {
+                Some((_, best_obj)) if *best_obj <= obj => {}
+                _ => *best = Some(record),
+            }
+            return;
+        };
+        // Branch: some witness member must be blocked. Vulnerable members
+        // first — they are lexicographically cheaper.
+        let mut members = witness;
+        members.sort_by_key(|&s| (!ctx.sub.server(s).vulnerable, s));
+        for sid in members {
+            if ctx.sub.server(sid).is_root {
+                continue; // roots cannot be compromised in this model
+            }
+            blocked.insert(sid);
+            search(ctx, blocked, best);
+            blocked.remove(&sid);
+        }
+    }
+
+    let ctx = Ctx { sub: &sub, target: &target };
+    let mut blocked = BTreeSet::new();
+    search(&ctx, &mut blocked, &mut best);
+
+    let (sub_servers, _) = best?;
+    // Translate sub-universe ids back to full-universe ids by name.
+    let servers: Vec<ServerId> = sub_servers
+        .iter()
+        .map(|&s| {
+            universe
+                .server_id(&sub.server(s).name)
+                .expect("sub-universe servers exist in the full universe")
+        })
+        .collect();
+    Some(HijackSet::of(universe, servers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::DependencyIndex;
+    use crate::universe::Universe;
+    use perils_dns::name::{name, DnsName};
+
+    /// A universe where the exact minimum is obvious: the target zone has
+    /// two servers, one of which shares a provider with the other.
+    fn simple() -> Universe {
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("com"), &[name("tld1.nst.com"), name("tld2.nst.com")]);
+        b.add_zone(&name("nst.com"), &[name("tld1.nst.com"), name("tld2.nst.com")]);
+        b.add_zone(&name("example.com"), &[name("ns1.example.com"), name("ns2.example.com")]);
+        b.finish()
+    }
+
+    #[test]
+    fn own_ns_pair_is_the_min_cut() {
+        let u = simple();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.example.com"));
+        let analysis = HijackAnalysis::run(&u, &index, &closure);
+        let exact = analysis.exact.expect("hijackable");
+        let flat = analysis.flattened.expect("cuttable");
+        assert_eq!(exact.size(), 2, "exact: {:?}", exact);
+        assert_eq!(flat.size(), 2, "flattened: {:?}", flat);
+        // Two minimum cuts exist ({ns1,ns2} and {tld1,tld2}); whichever is
+        // returned must be one of them.
+        let names: Vec<String> =
+            exact.servers.iter().map(|&s| u.server(s).name.to_string()).collect();
+        let own = ["ns1.example.com".to_string(), "ns2.example.com".to_string()];
+        let tld = ["tld1.nst.com".to_string(), "tld2.nst.com".to_string()];
+        assert!(
+            own.iter().all(|n| names.contains(n)) || tld.iter().all(|n| names.contains(n)),
+            "{names:?}"
+        );
+    }
+
+    /// Single shared provider: min hijack is one machine even though the
+    /// zone lists two NS.
+    #[test]
+    fn shared_provider_collapses_cut_to_one() {
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("com"), &[name("a.root-servers.net")]);
+        b.add_zone(&name("net"), &[name("a.root-servers.net")]);
+        // victim.com has two NS, both inside provider.net, which is served
+        // by the single box ns.provider.net.
+        b.add_zone(&name("victim.com"), &[name("ns1.provider.net"), name("ns2.provider.net")]);
+        b.add_zone(&name("provider.net"), &[name("ns.provider.net")]);
+        let u = b.finish();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.victim.com"));
+        let exact = min_hijack_exact(&u, &closure).expect("hijackable");
+        assert_eq!(exact.size(), 1, "{exact:?}");
+        assert_eq!(u.server(exact.servers[0]).name, name("ns.provider.net"));
+        // The flattened referral-path graph cannot see the shared-provider
+        // collapse: it reports the name's own NS pair (size 2). This is
+        // exactly the approximation gap the `ablation_mincut` bench
+        // quantifies — the exact AND/OR minimum is never larger.
+        let flat = min_cut_flattened(&u, &index, &closure).expect("cuttable");
+        assert_eq!(flat.size(), 2);
+        assert!(exact.size() <= flat.size());
+    }
+
+    /// Glue protects self-hosted zones from upstream collapse: the exact
+    /// analysis must not require cutting the provider when the target's
+    /// own servers are in-bailiwick.
+    #[test]
+    fn glue_respected_by_exact_analysis() {
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("com"), &[name("a.root-servers.net")]);
+        b.add_zone(&name("selfhosted.com"), &[name("ns1.selfhosted.com"), name("ns2.selfhosted.com")]);
+        let u = b.finish();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.selfhosted.com"));
+        let exact = min_hijack_exact(&u, &closure).expect("hijackable");
+        assert_eq!(exact.size(), 2, "must compromise both glued servers");
+    }
+
+    #[test]
+    fn safe_member_counting_lexicographic() {
+        // Two parallel one-server paths feed the target zone... rather:
+        // target zone has 2 NS; one vulnerable, one safe.
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.raw_server(&name("vuln.example.com"), true, false);
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("com"), &[name("a.root-servers.net")]);
+        b.add_zone(&name("example.com"), &[name("vuln.example.com"), name("safe.example.com")]);
+        let u = b.finish();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.example.com"));
+        let exact = min_hijack_exact(&u, &closure).unwrap();
+        assert_eq!(exact.size(), 2);
+        assert_eq!(exact.safe_members, 1, "one member is safe");
+        assert!(!exact.fully_vulnerable());
+        let flat = min_cut_flattened(&u, &index, &closure).unwrap();
+        assert_eq!(flat.safe_members, 1);
+    }
+
+    #[test]
+    fn prefers_vulnerable_cut_of_equal_size() {
+        // The target zone is reachable via two disjoint single-server
+        // provider paths... simpler: two NS for the target; two more NS
+        // candidates would make cut 2 either way; craft: target zone
+        // 1 NS (glueless in provider A); provider A zone has 2 NS: one
+        // vulnerable box and one safe box. Min cut: either {target NS}? no
+        // — target NS itself is one server: cut size 1. Make target NS
+        // vulnerable...
+        //
+        // Direct check instead: equal-size cuts exist — {vuln1} and
+        // {safe1} both cut; the analysis must report the vulnerable one.
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.raw_server(&name("ns.vulnprovider.net"), true, false);
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("com"), &[name("a.root-servers.net")]);
+        b.add_zone(&name("net"), &[name("a.root-servers.net")]);
+        // victim's single NS lives under vulnprovider.net (vulnerable box),
+        // so cutting either the NS (safe) or the provider box (vulnerable)
+        // works. Sizes equal; safe-count differs.
+        b.add_zone(&name("victim.com"), &[name("ns1.vulnprovider.net")]);
+        b.add_zone(&name("vulnprovider.net"), &[name("ns.vulnprovider.net")]);
+        let u = b.finish();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.victim.com"));
+        let exact = min_hijack_exact(&u, &closure).unwrap();
+        assert_eq!(exact.size(), 1);
+        assert_eq!(exact.safe_members, 0, "the vulnerable provider box wins: {exact:?}");
+        // The flattened graph only sees the referral path through the
+        // (safe) NS host itself, so its cut is the safe box: one more case
+        // where the exact semantics find a strictly better attack.
+        let flat = min_cut_flattened(&u, &index, &closure).unwrap();
+        assert_eq!(flat.size(), 1);
+        assert_eq!(flat.safe_members, 1);
+    }
+
+    #[test]
+    fn root_served_zone_cannot_be_hijacked() {
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("arpa"), &[name("a.root-servers.net")]);
+        let u = b.finish();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("x.arpa"));
+        assert!(min_hijack_exact(&u, &closure).is_none());
+        assert!(min_cut_flattened(&u, &index, &closure).is_none());
+    }
+
+    #[test]
+    fn exact_never_exceeds_flattened() {
+        // The flattened graph admits paths that ignore glue constraints...
+        // and conversely blocks paths the AND/OR semantics would allow; on
+        // these small cases the exact minimum is never larger than a valid
+        // flattened cut that also satisfies the semantics. We check the
+        // weaker, always-true property: both methods' cuts actually hijack
+        // under the exact semantics.
+        for u in [simple()] {
+            let index = DependencyIndex::build(&u);
+            let closure = index.closure_for(&u, &name("www.example.com"));
+            for set in [
+                min_hijack_exact(&u, &closure),
+                min_cut_flattened(&u, &index, &closure),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                let sub = closure.extract_universe(&u);
+                let blocked: BTreeSet<ServerId> = set
+                    .servers
+                    .iter()
+                    .map(|&s| sub.server_id(&u.server(s).name).unwrap())
+                    .collect();
+                let r = Reachability::compute(&sub, &blocked);
+                assert!(
+                    !r.name_resolves(&sub, &name("www.example.com")),
+                    "cut {set:?} fails to hijack"
+                );
+            }
+        }
+    }
+}

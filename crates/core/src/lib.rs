@@ -1,0 +1,45 @@
+//! Transitive-trust analysis of DNS — the paper's contribution.
+//!
+//! Everything here operates on a [`Universe`]: the zone → NS-set mapping
+//! plus per-server software facts, however obtained (structurally from a
+//! [`perils_dns::ZoneRegistry`], or from wire-probed
+//! `perils_resolver::DependencyReport`s — integration tests verify the two
+//! agree).
+//!
+//! * [`universe`] — the analysis model: zones, servers, vulnerability
+//!   overlay;
+//! * [`closure`] — per-name dependency closures: the delegation graph's
+//!   node set, i.e. the **trusted computing base** (§2);
+//! * [`tcb`] — TCB statistics per name: size, nameowner-administered
+//!   servers, vulnerable servers, %-safe (Figures 2, 3, 4, 5, 6);
+//! * [`delegation`] — the flattened delegation graph (the structure the
+//!   paper computes min-cuts of);
+//! * [`usable`] — the glue-aware reachability fixed point: which zones
+//!   remain cleanly resolvable once a server set is compromised/DoS'd;
+//! * [`hijack`] — complete-hijack analysis: the paper's graph min-cut and
+//!   an exact AND/OR branch-and-bound, with the safe-bottleneck counts of
+//!   Figure 7;
+//! * [`value`] — names-controlled-per-server ranking (Figures 8, 9);
+//! * [`attack`] — multi-stage attack simulation (the fbi.gov escalation),
+//!   including DoS-assisted hijacks;
+//! * [`dnssec`] — the §5 argument made quantitative: signing stops
+//!   forgery but not denial;
+//! * [`misconfig`] — configuration-error audits (single-homed zones,
+//!   unresolvable NS, glueless cycles, deep dependency nesting).
+
+pub mod attack;
+pub mod closure;
+pub mod delegation;
+pub mod dnssec;
+pub mod hijack;
+pub mod misconfig;
+pub mod tcb;
+pub mod universe;
+pub mod usable;
+pub mod value;
+
+pub use closure::{DependencyIndex, NameClosure};
+pub use hijack::{HijackAnalysis, HijackSet};
+pub use tcb::TcbStats;
+pub use universe::{ServerEntry, ServerId, Universe, UniverseBuilder, ZoneEntry, ZoneId};
+pub use value::ValueIndex;

@@ -1,0 +1,308 @@
+//! Configuration-error auditing.
+//!
+//! The paper's related work (Pappas et al., SIGCOMM 2004, "Impact of
+//! Configuration Errors on DNS Robustness") catalogues the operational
+//! errors that amplify the transitive-trust risks this library measures.
+//! This module audits a [`Universe`] for them:
+//!
+//! * **single-homed zones** — one NS, or all NS on one operator's boxes
+//!   ("diminished server redundancy");
+//! * **unresolvable NS** — a delegation names a host no modeled zone can
+//!   supply an address for (lame-delegation precursor);
+//! * **glueless cycles** — zones whose NS sets mutually require each
+//!   other with no glue to bootstrap (unresolvable by construction);
+//! * **deep dependency chains** — names whose server-address resolution
+//!   nests more than a threshold of levels (each level is another place
+//!   to be hijacked, and another RTT).
+
+use crate::universe::{ServerId, Universe, ZoneId};
+use crate::usable::Reachability;
+use perils_dns::name::DnsName;
+use std::collections::BTreeSet;
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    /// The zone has a single nameserver.
+    SingleServer {
+        /// The zone.
+        zone: ZoneId,
+    },
+    /// All of the zone's nameservers share one operator domain (one
+    /// registered parent), so one administrative compromise takes all.
+    SingleOperator {
+        /// The zone.
+        zone: ZoneId,
+        /// The shared operator suffix.
+        operator: DnsName,
+    },
+    /// An NS host name has no address anywhere in the modeled universe.
+    UnresolvableNs {
+        /// The zone.
+        zone: ZoneId,
+        /// The dangling server.
+        server: ServerId,
+    },
+    /// The zone cannot be bootstrapped even with every server healthy —
+    /// a glueless dependency cycle or a missing chain.
+    Unbootstrappable {
+        /// The zone.
+        zone: ZoneId,
+    },
+    /// Resolving the name requires nested sub-resolutions deeper than the
+    /// threshold.
+    DeepDependency {
+        /// The audited name.
+        name: DnsName,
+        /// Nesting depth observed.
+        depth: usize,
+    },
+}
+
+/// The audit report.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// All findings, zone findings first.
+    pub findings: Vec<Finding>,
+}
+
+impl AuditReport {
+    /// Count of findings of a given kind (by discriminant name).
+    pub fn count_of(&self, predicate: impl Fn(&Finding) -> bool) -> usize {
+        self.findings.iter().filter(|f| predicate(f)).count()
+    }
+
+    /// True when nothing was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// The registered operator domain of a server name: its last two labels
+/// (`ns1.dns7.net` → `dns7.net`).
+fn operator_of(name: &DnsName) -> DnsName {
+    name.suffix(2)
+}
+
+/// Audits every zone in the universe (structure-level checks).
+pub fn audit_zones(universe: &Universe) -> AuditReport {
+    let mut report = AuditReport::default();
+    // Bootstrappability baseline: nothing blocked.
+    let reach = Reachability::compute(universe, &BTreeSet::new());
+    for zid in universe.zone_ids() {
+        let zone = universe.zone(zid);
+        if zone.origin.is_root() {
+            continue;
+        }
+        if zone.ns.len() == 1 {
+            report.findings.push(Finding::SingleServer { zone: zid });
+        }
+        if zone.ns.len() > 1 {
+            let operators: BTreeSet<DnsName> = zone
+                .ns
+                .iter()
+                .map(|&s| operator_of(&universe.server(s).name))
+                .collect();
+            if operators.len() == 1 {
+                report.findings.push(Finding::SingleOperator {
+                    zone: zid,
+                    operator: operators.into_iter().next().expect("len 1"),
+                });
+            }
+        }
+        for &sid in &zone.ns {
+            let server = universe.server(sid);
+            let in_bailiwick = server.name.is_subdomain_of(&zone.origin);
+            // A usable home zone must be more specific than the root:
+            // "the deepest zone enclosing this host is the root" means the
+            // branch is simply not delegated anywhere we know of.
+            let has_home = universe
+                .zone_of(&server.name)
+                .is_some_and(|z| !universe.zone(z).origin.is_root());
+            if !server.is_root && !in_bailiwick && !has_home {
+                report.findings.push(Finding::UnresolvableNs { zone: zid, server: sid });
+            }
+        }
+        if !reach.zone_reachable(zid) {
+            report.findings.push(Finding::Unbootstrappable { zone: zid });
+        }
+    }
+    report
+}
+
+/// Audits one name for deep dependency nesting: how many levels of
+/// "resolve a server name to resolve a server name…" its chain can force.
+pub fn dependency_depth(universe: &Universe, name: &DnsName) -> usize {
+    fn depth_of_server(
+        universe: &Universe,
+        server: ServerId,
+        seen: &mut BTreeSet<ServerId>,
+    ) -> usize {
+        if !seen.insert(server) {
+            return 0; // cycle: glue or failure, either way no deeper
+        }
+        let entry = universe.server(server);
+        if entry.is_root {
+            return 0;
+        }
+        let mut worst = 0usize;
+        for &zid in &universe.chain_zones(&entry.name) {
+            let zone = universe.zone(zid);
+            // Glued servers cost nothing extra.
+            let glueless: Vec<ServerId> = zone
+                .ns
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    !universe.server(s).is_root
+                        && !universe.server(s).name.is_subdomain_of(&zone.origin)
+                })
+                .collect();
+            for s in glueless {
+                worst = worst.max(1 + depth_of_server(universe, s, seen));
+            }
+        }
+        seen.remove(&server);
+        worst
+    }
+
+    let mut worst = 0usize;
+    for &zid in &universe.chain_zones(name) {
+        let zone = universe.zone(zid);
+        for &sid in &zone.ns {
+            let server = universe.server(sid);
+            if server.is_root || server.name.is_subdomain_of(&zone.origin) {
+                continue;
+            }
+            let mut seen = BTreeSet::new();
+            worst = worst.max(1 + depth_of_server(universe, sid, &mut seen));
+        }
+    }
+    worst
+}
+
+/// Audits a set of names for deep dependencies.
+pub fn audit_names(
+    universe: &Universe,
+    names: &[DnsName],
+    depth_threshold: usize,
+) -> AuditReport {
+    let mut report = AuditReport::default();
+    for name in names {
+        let depth = dependency_depth(universe, name);
+        if depth > depth_threshold {
+            report.findings.push(Finding::DeepDependency { name: name.clone(), depth });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use perils_dns::name::name;
+
+    fn base() -> crate::universe::UniverseBuilder {
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.add_zone(&perils_dns::name::DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("com"), &[name("a.root-servers.net")]);
+        b.add_zone(&name("net"), &[name("a.root-servers.net")]);
+        b
+    }
+
+    #[test]
+    fn flags_single_server_zones() {
+        let mut b = base();
+        b.add_zone(&name("solo.com"), &[name("ns1.solo.com")]);
+        let u = b.finish();
+        let report = audit_zones(&u);
+        let solo = u.zone_id(&name("solo.com")).unwrap();
+        assert!(report
+            .findings
+            .contains(&Finding::SingleServer { zone: solo }));
+    }
+
+    #[test]
+    fn flags_single_operator_redundancy() {
+        let mut b = base();
+        b.add_zone(&name("corr.com"), &[name("ns1.prov.net"), name("ns2.prov.net")]);
+        b.add_zone(&name("prov.net"), &[name("ns1.prov.net")]);
+        let u = b.finish();
+        let report = audit_zones(&u);
+        let corr = u.zone_id(&name("corr.com")).unwrap();
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            Finding::SingleOperator { zone, operator } if *zone == corr && *operator == name("prov.net")
+        )));
+    }
+
+    #[test]
+    fn flags_unresolvable_ns() {
+        let mut b = base();
+        // Delegation to a host under an unmodeled TLD (no zone_of).
+        b.add_zone(&name("dangling.com"), &[name("ns.ghost.zz"), name("ns1.dangling.com")]);
+        let u = b.finish();
+        let report = audit_zones(&u);
+        assert_eq!(report.count_of(|f| matches!(f, Finding::UnresolvableNs { .. })), 1);
+    }
+
+    #[test]
+    fn flags_glueless_cycles_as_unbootstrappable() {
+        let mut b = base();
+        b.add_zone(&name("x.com"), &[name("ns.y.com")]);
+        b.add_zone(&name("y.com"), &[name("ns.x.com")]);
+        let u = b.finish();
+        let report = audit_zones(&u);
+        assert_eq!(
+            report.count_of(|f| matches!(f, Finding::Unbootstrappable { .. })),
+            2,
+            "both halves of the cycle are dead: {report:?}"
+        );
+    }
+
+    #[test]
+    fn clean_zone_not_flagged() {
+        let mut b = base();
+        b.add_zone(&name("ok.com"), &[name("ns1.ok.com"), name("ns2.other.net")]);
+        b.add_zone(&name("other.net"), &[name("ns1.other.net")]);
+        let u = b.finish();
+        let report = audit_zones(&u);
+        let ok = u.zone_id(&name("ok.com")).unwrap();
+        assert!(!report.findings.iter().any(|f| matches!(
+            f,
+            Finding::SingleServer { zone } | Finding::SingleOperator { zone, .. } if *zone == ok
+        )));
+    }
+
+    #[test]
+    fn dependency_depth_counts_glueless_nesting() {
+        let mut b = base();
+        // victim.com → ns in a.net → a.net served from b.net → b.net glued.
+        b.add_zone(&name("victim.com"), &[name("ns.a.net")]);
+        b.add_zone(&name("a.net"), &[name("ns.b.net")]);
+        b.add_zone(&name("b.net"), &[name("ns.b.net")]);
+        let u = b.finish();
+        // Resolving victim requires ns.a.net (1), whose chain needs a.net's
+        // server ns.b.net (2); ns.b.net is glued in b.net (stop).
+        assert_eq!(dependency_depth(&u, &name("www.victim.com")), 2);
+        // A self-hosted name has depth 0.
+        let mut b = base();
+        b.add_zone(&name("self.com"), &[name("ns1.self.com")]);
+        let u = b.finish();
+        assert_eq!(dependency_depth(&u, &name("www.self.com")), 0);
+    }
+
+    #[test]
+    fn audit_names_thresholds() {
+        let mut b = base();
+        b.add_zone(&name("victim.com"), &[name("ns.a.net")]);
+        b.add_zone(&name("a.net"), &[name("ns.b.net")]);
+        b.add_zone(&name("b.net"), &[name("ns.b.net")]);
+        let u = b.finish();
+        let names = vec![name("www.victim.com")];
+        assert_eq!(audit_names(&u, &names, 1).findings.len(), 1);
+        assert!(audit_names(&u, &names, 4).is_clean());
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-name TCB statistics (§3.1, §3.2; Figures 2–6).
+
+use crate::closure::NameClosure;
+use crate::universe::{ServerId, Universe};
+use perils_dns::name::DnsName;
+
+/// The per-name numbers every figure consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcbStats {
+    /// The surveyed name.
+    pub name: DnsName,
+    /// TCB size (root servers excluded).
+    pub tcb_size: usize,
+    /// Servers administered by the nameowner: TCB members whose host name
+    /// lies inside the name's own zone (the paper reports 2.2 on average).
+    pub nameowner_administered: usize,
+    /// TCB members with known vulnerabilities (Figure 5).
+    pub vulnerable: usize,
+    /// TCB members with scripted full-compromise exploits.
+    pub scripted_vulnerable: usize,
+}
+
+impl TcbStats {
+    /// Computes the stats for `closure`.
+    pub fn compute(universe: &Universe, closure: &NameClosure) -> TcbStats {
+        let own_zone_origin = universe
+            .zone_of(&closure.target)
+            .map(|z| universe.zone(z).origin.clone())
+            .unwrap_or_else(DnsName::root);
+        let mut tcb_size = 0usize;
+        let mut nameowner_administered = 0usize;
+        let mut vulnerable = 0usize;
+        let mut scripted_vulnerable = 0usize;
+        for &sid in &closure.servers {
+            let server = universe.server(sid);
+            if server.is_root {
+                continue;
+            }
+            tcb_size += 1;
+            if !own_zone_origin.is_root() && server.name.is_subdomain_of(&own_zone_origin) {
+                nameowner_administered += 1;
+            }
+            if server.vulnerable {
+                vulnerable += 1;
+            }
+            if server.scripted_exploit {
+                scripted_vulnerable += 1;
+            }
+        }
+        TcbStats {
+            name: closure.target.clone(),
+            tcb_size,
+            nameowner_administered,
+            vulnerable,
+            scripted_vulnerable,
+        }
+    }
+
+    /// Fraction of the TCB with no known vulnerability, in percent
+    /// (Figure 6's "safety of TCB"). 100% for an empty TCB.
+    pub fn safety_percent(&self) -> f64 {
+        if self.tcb_size == 0 {
+            100.0
+        } else {
+            100.0 * (self.tcb_size - self.vulnerable) as f64 / self.tcb_size as f64
+        }
+    }
+
+    /// Whether at least one TCB member is vulnerable (the names counted in
+    /// the paper's 45%).
+    pub fn has_vulnerable_dependency(&self) -> bool {
+        self.vulnerable > 0
+    }
+
+    /// Servers administered outside the nameowner's control.
+    pub fn external_servers(&self) -> usize {
+        self.tcb_size - self.nameowner_administered
+    }
+}
+
+/// Convenience: the TCB member ids of a closure (root servers excluded).
+pub fn tcb_members(universe: &Universe, closure: &NameClosure) -> Vec<ServerId> {
+    closure.tcb(universe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::DependencyIndex;
+    use crate::universe::Universe;
+    use perils_dns::name::{name, DnsName};
+
+    fn universe() -> Universe {
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.raw_server(&name("offsite.provider.net"), true, false);
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("com"), &[name("a.root-servers.net")]);
+        b.add_zone(&name("net"), &[name("a.root-servers.net")]);
+        b.add_zone(
+            &name("example.com"),
+            &[name("ns1.example.com"), name("ns2.example.com"), name("offsite.provider.net")],
+        );
+        b.add_zone(&name("provider.net"), &[name("offsite.provider.net")]);
+        b.finish()
+    }
+
+    #[test]
+    fn stats_fields() {
+        let u = universe();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.example.com"));
+        let stats = TcbStats::compute(&u, &closure);
+        assert_eq!(stats.tcb_size, 3, "root excluded; ns1, ns2, offsite");
+        assert_eq!(stats.nameowner_administered, 2, "ns1 and ns2 are in-domain");
+        assert_eq!(stats.external_servers(), 1);
+        assert_eq!(stats.vulnerable, 1);
+        assert!(stats.has_vulnerable_dependency());
+        let expected = 100.0 * 2.0 / 3.0;
+        assert!((stats.safety_percent() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_name_has_full_safety() {
+        let mut b = Universe::builder();
+        b.add_zone(&name("com"), &[name("tld.nic.com")]);
+        b.add_zone(&name("clean.com"), &[name("ns.clean.com")]);
+        let u = b.finish();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("www.clean.com"));
+        let stats = TcbStats::compute(&u, &closure);
+        assert_eq!(stats.vulnerable, 0);
+        assert_eq!(stats.safety_percent(), 100.0);
+        assert!(!stats.has_vulnerable_dependency());
+    }
+
+    #[test]
+    fn empty_tcb_is_fully_safe() {
+        let u = Universe::builder().finish();
+        let index = DependencyIndex::build(&u);
+        let closure = index.closure_for(&u, &name("nowhere.test"));
+        let stats = TcbStats::compute(&u, &closure);
+        assert_eq!(stats.tcb_size, 0);
+        assert_eq!(stats.safety_percent(), 100.0);
+    }
+}

@@ -1,0 +1,404 @@
+//! The analysis model of a DNS universe.
+//!
+//! A [`Universe`] is the measured structure of a namespace at one point in
+//! time: every zone with its NS host names, and every nameserver with its
+//! fingerprint-derived vulnerability facts. It deliberately contains *only*
+//! what the paper's analyses consume, so it can be built equally from a
+//! ground-truth [`perils_dns::ZoneRegistry`] (the scalable structural path)
+//! or from wire-probed dependency reports.
+
+use perils_dns::name::DnsName;
+use perils_dns::zone::ZoneRegistry;
+use perils_vulndb::{BindVersion, VulnDb};
+use std::collections::HashMap;
+
+/// Dense zone identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZoneId(pub u32);
+
+impl ZoneId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense server identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One zone in the universe.
+#[derive(Debug, Clone)]
+pub struct ZoneEntry {
+    /// The zone origin (lowercased).
+    pub origin: DnsName,
+    /// NS servers (as learned from parent referrals / apex NS sets).
+    pub ns: Vec<ServerId>,
+}
+
+/// One nameserver in the universe.
+#[derive(Debug, Clone)]
+pub struct ServerEntry {
+    /// Host name (lowercased).
+    pub name: DnsName,
+    /// The `version.bind` banner, if any was obtained.
+    pub banner: Option<String>,
+    /// Whether the fingerprint matched a version with known advisories.
+    /// Unknown/hidden banners are `false` — the paper's optimistic rule.
+    pub vulnerable: bool,
+    /// Whether a scripted exploit exists (full-compromise capability).
+    pub scripted_exploit: bool,
+    /// True for root servers (excluded from TCB sizes, trusted as the
+    /// resolution starting point).
+    pub is_root: bool,
+}
+
+/// The measured universe.
+#[derive(Debug, Clone, Default)]
+pub struct Universe {
+    zones: Vec<ZoneEntry>,
+    zone_by_origin: HashMap<DnsName, ZoneId>,
+    servers: Vec<ServerEntry>,
+    server_by_name: HashMap<DnsName, ServerId>,
+}
+
+impl Universe {
+    /// Starts building a universe by hand.
+    pub fn builder() -> UniverseBuilder {
+        UniverseBuilder { universe: Universe::default() }
+    }
+
+    /// Builds the universe structurally from a ground-truth registry.
+    ///
+    /// `banner_of` supplies each server's `version.bind` banner (`None` =
+    /// hidden/unreachable); `db` maps banners to vulnerability facts.
+    pub fn from_registry(
+        registry: &ZoneRegistry,
+        db: &VulnDb,
+        mut banner_of: impl FnMut(&DnsName) -> Option<String>,
+    ) -> Universe {
+        let mut builder = Universe::builder();
+        // First pass: create all servers named by any NS record.
+        for zone in registry.iter() {
+            let is_root_zone = zone.origin().is_root();
+            for ns_name in zone.apex_ns_names() {
+                let banner = banner_of(&ns_name);
+                builder.ensure_server(&ns_name, banner, db, is_root_zone);
+            }
+            // Parent-side cuts may name servers the child apex does not.
+            let cuts: Vec<DnsName> = zone.cut_names().cloned().collect();
+            for cut in cuts {
+                for ns_name in zone.ns_names_at(&cut) {
+                    let banner = banner_of(&ns_name);
+                    builder.ensure_server(&ns_name, banner, db, false);
+                }
+            }
+        }
+        // Second pass: zones with their NS sets (apex ∪ parent view).
+        for zone in registry.iter() {
+            let mut ns_names = zone.apex_ns_names();
+            // Merge the parent's view of this zone, if the parent is in the
+            // registry (covers parent/child NS-set drift).
+            if let Some(parent_origin) = zone.origin().parent() {
+                for ancestor in std::iter::once(parent_origin.clone())
+                    .chain(parent_origin.ancestors().skip(1))
+                {
+                    if let Some(parent_zone) = registry.get(&ancestor) {
+                        for extra in parent_zone.ns_names_at(zone.origin()) {
+                            if !ns_names.contains(&extra) {
+                                ns_names.push(extra);
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            builder.add_zone(zone.origin(), &ns_names);
+        }
+        builder.finish()
+    }
+
+    /// Number of zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Zone lookup by id.
+    pub fn zone(&self, id: ZoneId) -> &ZoneEntry {
+        &self.zones[id.index()]
+    }
+
+    /// Server lookup by id.
+    pub fn server(&self, id: ServerId) -> &ServerEntry {
+        &self.servers[id.index()]
+    }
+
+    /// Zone id by origin.
+    pub fn zone_id(&self, origin: &DnsName) -> Option<ZoneId> {
+        self.zone_by_origin.get(&origin.to_lowercase()).copied()
+    }
+
+    /// Server id by host name.
+    pub fn server_id(&self, name: &DnsName) -> Option<ServerId> {
+        self.server_by_name.get(&name.to_lowercase()).copied()
+    }
+
+    /// Iterates all zone ids.
+    pub fn zone_ids(&self) -> impl Iterator<Item = ZoneId> {
+        (0..self.zones.len() as u32).map(ZoneId)
+    }
+
+    /// Iterates all server ids.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> {
+        (0..self.servers.len() as u32).map(ServerId)
+    }
+
+    /// The zones on `name`'s delegation chain, root-first, **excluding**
+    /// the root zone (per the paper, root servers are taken as trusted and
+    /// excluded from TCBs).
+    pub fn chain_zones(&self, name: &DnsName) -> Vec<ZoneId> {
+        let mut chain: Vec<ZoneId> = name
+            .ancestors()
+            .filter(|a| !a.is_root())
+            .filter_map(|a| self.zone_id(&a))
+            .collect();
+        chain.reverse();
+        chain
+    }
+
+    /// The deepest zone enclosing `name` (including the root zone if
+    /// registered and nothing deeper matches).
+    pub fn zone_of(&self, name: &DnsName) -> Option<ZoneId> {
+        name.ancestors().find_map(|a| self.zone_id(&a))
+    }
+
+    /// Whether the fraction of vulnerable (non-root) servers.
+    pub fn vulnerable_fraction(&self) -> f64 {
+        let eligible: Vec<&ServerEntry> = self.servers.iter().filter(|s| !s.is_root).collect();
+        if eligible.is_empty() {
+            return 0.0;
+        }
+        eligible.iter().filter(|s| s.vulnerable).count() as f64 / eligible.len() as f64
+    }
+}
+
+/// Incremental universe construction.
+#[derive(Debug)]
+pub struct UniverseBuilder {
+    universe: Universe,
+}
+
+impl UniverseBuilder {
+    /// Adds (or finds) a server, assessing its banner against `db`.
+    pub fn ensure_server(
+        &mut self,
+        name: &DnsName,
+        banner: Option<String>,
+        db: &VulnDb,
+        is_root: bool,
+    ) -> ServerId {
+        let key = name.to_lowercase();
+        if let Some(&id) = self.universe.server_by_name.get(&key) {
+            // Upgrade root status if this server also serves the root.
+            if is_root {
+                self.universe.servers[id.index()].is_root = true;
+            }
+            return id;
+        }
+        let (vulnerable, scripted_exploit) = match banner.as_deref().and_then(BindVersion::parse) {
+            Some(version) => (db.is_vulnerable(&version), db.has_scripted_exploit(&version)),
+            None => (false, false),
+        };
+        let id = ServerId(self.universe.servers.len() as u32);
+        self.universe.servers.push(ServerEntry {
+            name: key.clone(),
+            banner,
+            vulnerable,
+            scripted_exploit,
+            is_root,
+        });
+        self.universe.server_by_name.insert(key, id);
+        id
+    }
+
+    /// Adds a server with explicit vulnerability facts (bypassing banner
+    /// assessment) — used by tests and synthetic generators.
+    pub fn raw_server(&mut self, name: &DnsName, vulnerable: bool, is_root: bool) -> ServerId {
+        let key = name.to_lowercase();
+        if let Some(&id) = self.universe.server_by_name.get(&key) {
+            let entry = &mut self.universe.servers[id.index()];
+            entry.vulnerable |= vulnerable;
+            entry.scripted_exploit |= vulnerable;
+            entry.is_root |= is_root;
+            return id;
+        }
+        let id = ServerId(self.universe.servers.len() as u32);
+        self.universe.servers.push(ServerEntry {
+            name: key.clone(),
+            banner: None,
+            vulnerable,
+            scripted_exploit: vulnerable,
+            is_root,
+        });
+        self.universe.server_by_name.insert(key, id);
+        id
+    }
+
+    /// Adds a zone with NS host names (servers must exist or are created
+    /// as unknown-safe).
+    pub fn add_zone(&mut self, origin: &DnsName, ns_names: &[DnsName]) -> ZoneId {
+        let key = origin.to_lowercase();
+        let ns: Vec<ServerId> = ns_names
+            .iter()
+            .map(|n| {
+                let lower = n.to_lowercase();
+                match self.universe.server_by_name.get(&lower) {
+                    Some(&id) => id,
+                    None => {
+                        let id = ServerId(self.universe.servers.len() as u32);
+                        self.universe.servers.push(ServerEntry {
+                            name: lower.clone(),
+                            banner: None,
+                            vulnerable: false,
+                            scripted_exploit: false,
+                            is_root: false,
+                        });
+                        self.universe.server_by_name.insert(lower, id);
+                        id
+                    }
+                }
+            })
+            .collect();
+        if let Some(&existing) = self.universe.zone_by_origin.get(&key) {
+            // Merge NS sets on duplicate insertion.
+            let entry = &mut self.universe.zones[existing.index()];
+            for id in ns {
+                if !entry.ns.contains(&id) {
+                    entry.ns.push(id);
+                }
+            }
+            return existing;
+        }
+        let id = ZoneId(self.universe.zones.len() as u32);
+        self.universe.zones.push(ZoneEntry { origin: key.clone(), ns });
+        self.universe.zone_by_origin.insert(key, id);
+        id
+    }
+
+    /// Finalizes the universe.
+    pub fn finish(self) -> Universe {
+        self.universe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perils_dns::name::name;
+
+    fn tiny_universe() -> Universe {
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.raw_server(&name("ns.tld.test"), false, false);
+        b.raw_server(&name("ns1.example.com"), true, false);
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("com"), &[name("ns.tld.test")]);
+        b.add_zone(&name("example.com"), &[name("ns1.example.com"), name("ns2.example.com")]);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_dedup_and_lookup() {
+        let u = tiny_universe();
+        assert_eq!(u.zone_count(), 3);
+        assert_eq!(u.server_count(), 4, "ns2 auto-created");
+        assert!(u.server_id(&name("NS1.EXAMPLE.COM")).is_some(), "case-insensitive");
+        let ns1 = u.server_id(&name("ns1.example.com")).unwrap();
+        assert!(u.server(ns1).vulnerable);
+        let ns2 = u.server_id(&name("ns2.example.com")).unwrap();
+        assert!(!u.server(ns2).vulnerable, "unknown servers assumed safe");
+    }
+
+    #[test]
+    fn chain_zones_excludes_root() {
+        let u = tiny_universe();
+        let chain = u.chain_zones(&name("www.example.com"));
+        let origins: Vec<String> =
+            chain.iter().map(|&z| u.zone(z).origin.to_string()).collect();
+        assert_eq!(origins, vec!["com", "example.com"]);
+    }
+
+    #[test]
+    fn zone_of_finds_deepest() {
+        let u = tiny_universe();
+        assert_eq!(u.zone_of(&name("www.example.com")), u.zone_id(&name("example.com")));
+        assert_eq!(u.zone_of(&name("other.com")), u.zone_id(&name("com")));
+        assert_eq!(u.zone_of(&name("other.org")), u.zone_id(&DnsName::root()));
+    }
+
+    #[test]
+    fn vulnerable_fraction_skips_roots() {
+        let u = tiny_universe();
+        // 3 non-root servers, 1 vulnerable.
+        assert!((u.vulnerable_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_zone_merges_ns() {
+        let mut b = Universe::builder();
+        b.add_zone(&name("x.test"), &[name("ns1.x.test")]);
+        b.add_zone(&name("x.test"), &[name("ns1.x.test"), name("ns2.x.test")]);
+        let u = b.finish();
+        assert_eq!(u.zone_count(), 1);
+        let z = u.zone(u.zone_id(&name("x.test")).unwrap());
+        assert_eq!(z.ns.len(), 2);
+    }
+
+    #[test]
+    fn from_registry_builds_with_banners() {
+        use perils_dns::rr::RData;
+        use perils_dns::zone::Zone;
+        let mut reg = ZoneRegistry::new();
+        let mut root = Zone::synthetic(DnsName::root(), name("a.root-servers.net"));
+        root.add_rdata(DnsName::root(), RData::Ns(name("a.root-servers.net"))).unwrap();
+        root.add_rdata(name("com"), RData::Ns(name("ns.tld.test"))).unwrap();
+        reg.insert(root);
+        let mut com = Zone::synthetic(name("com"), name("ns.tld.test"));
+        com.add_rdata(name("com"), RData::Ns(name("ns.tld.test"))).unwrap();
+        com.add_rdata(name("example.com"), RData::Ns(name("ns1.example.com"))).unwrap();
+        reg.insert(com);
+        let mut example = Zone::synthetic(name("example.com"), name("ns1.example.com"));
+        example.add_rdata(name("example.com"), RData::Ns(name("ns1.example.com"))).unwrap();
+        reg.insert(example);
+
+        let db = VulnDb::isc_feb_2004();
+        let u = Universe::from_registry(&reg, &db, |server| {
+            if server == &name("ns1.example.com") {
+                Some("8.2.4".to_string())
+            } else {
+                Some("9.2.3".to_string())
+            }
+        });
+        assert_eq!(u.zone_count(), 3);
+        let ns1 = u.server_id(&name("ns1.example.com")).unwrap();
+        assert!(u.server(ns1).vulnerable);
+        assert!(u.server(ns1).scripted_exploit);
+        let root_server = u.server_id(&name("a.root-servers.net")).unwrap();
+        assert!(u.server(root_server).is_root);
+        assert!(!u.server(root_server).vulnerable);
+    }
+}

@@ -1,0 +1,353 @@
+//! Glue-aware clean-resolution reachability.
+//!
+//! Given a set of *blocked* servers (compromised or DoS'd), which zones can
+//! still be resolved using only clean servers? This is the semantic ground
+//! truth that the paper's min-cut approximates, and it is what the attack
+//! simulator and the exact hijack search build on.
+//!
+//! Rules (least fixed point, monotone in the set of reachable zones):
+//!
+//! * the root zone is always reachable (root hints; the paper treats root
+//!   servers as out of scope);
+//! * a zone `z` is reachable iff its nearest registered ancestor is
+//!   reachable **and** some unblocked server `s ∈ NS(z)` is *contactable*;
+//! * `s` is contactable iff its address is learnable: either `s`'s name
+//!   lies inside `z` itself (the parent's referral carries **glue**,
+//!   breaking the circularity of self-hosted zones), or the deepest zone
+//!   containing `s`'s name is reachable.
+//!
+//! A *name* resolves cleanly iff the deepest zone enclosing it is
+//! reachable.
+//!
+//! During the fixed point we record, per zone, the server that first
+//! certified it. Following those certificates yields a well-founded
+//! **witness**: a set of unblocked servers whose survival alone guarantees
+//! the name keeps resolving. Witnesses drive the exact hijack search: any
+//! complete hijack must block at least one witness member.
+
+use crate::universe::{ServerId, Universe, ZoneId};
+use std::collections::BTreeSet;
+
+/// Reachability analysis over a universe with a blocked-server set.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    /// Reachable zones.
+    reachable: Vec<bool>,
+    /// The server that first certified each reachable zone (derivation
+    /// order, hence acyclic). `None` for unreachable zones and the root.
+    cert: Vec<Option<ServerId>>,
+    /// For each zone, its nearest registered ancestor.
+    parent: Vec<Option<ZoneId>>,
+    /// For each server, the deepest zone containing its name.
+    home_zone: Vec<Option<ZoneId>>,
+    /// Whether each zone is delegated from the root/hints (full glue).
+    parent_is_hints: Vec<bool>,
+}
+
+impl Reachability {
+    /// Computes the fixed point for `universe` with `blocked` servers.
+    pub fn compute(universe: &Universe, blocked: &BTreeSet<ServerId>) -> Reachability {
+        let zone_count = universe.zone_count();
+        let mut parent: Vec<Option<ZoneId>> = Vec::with_capacity(zone_count);
+        for zid in universe.zone_ids() {
+            let origin = &universe.zone(zid).origin;
+            let p = origin
+                .parent()
+                .and_then(|p| {
+                    std::iter::once(p.clone())
+                        .chain(p.ancestors().skip(1))
+                        .find_map(|a| universe.zone_id(&a))
+                })
+                .filter(|&p| p != zid);
+            parent.push(p);
+        }
+        let home_zone: Vec<Option<ZoneId>> =
+            universe.server_ids().map(|sid| universe.zone_of(&universe.server(sid).name)).collect();
+        // TLD-style zones: delegated from the root (or straight from the
+        // hints). The real root zone file carries glue A records for every
+        // TLD nameserver *regardless of bailiwick*, so their addresses
+        // never require a recursive chain. (Below the root, glue only
+        // covers in-bailiwick names.)
+        let parent_is_hints: Vec<bool> = (0..zone_count)
+            .map(|i| match parent[i] {
+                Some(p) => universe.zone(p).origin.is_root(),
+                None => true,
+            })
+            .collect();
+
+        let mut reachable = vec![false; zone_count];
+        let mut cert: Vec<Option<ServerId>> = vec![None; zone_count];
+        let root_id = universe.zone_id(&perils_dns::name::DnsName::root());
+        if let Some(root) = root_id {
+            reachable[root.index()] = true;
+        }
+
+        // Monotone iteration to the least fixed point. Each pass only adds
+        // zones, and a zone's certificate is chosen when the zone first
+        // becomes reachable — i.e. using strictly earlier derivations, so
+        // certificate chains are well-founded.
+        loop {
+            let mut changed = false;
+            for zid in universe.zone_ids() {
+                if reachable[zid.index()] || Some(zid) == root_id {
+                    continue;
+                }
+                let parent_ok = match parent[zid.index()] {
+                    Some(p) => reachable[p.index()],
+                    // No registered ancestor: delegated straight from the
+                    // trusted hints.
+                    None => true,
+                };
+                if !parent_ok {
+                    continue;
+                }
+                let zone = universe.zone(zid);
+                // Prefer self-contained certificates (root or glued) so
+                // witnesses stay small; otherwise any server whose home
+                // zone is already derived.
+                let mut chosen: Option<ServerId> = None;
+                for &sid in &zone.ns {
+                    if blocked.contains(&sid) {
+                        continue;
+                    }
+                    let server = universe.server(sid);
+                    let glued = server.is_root
+                        || server.name.is_subdomain_of(&zone.origin)
+                        || parent_is_hints[zid.index()];
+                    if glued {
+                        chosen = Some(sid);
+                        break;
+                    }
+                    if chosen.is_none() {
+                        if let Some(home) = home_zone[sid.index()] {
+                            if reachable[home.index()] {
+                                chosen = Some(sid);
+                            }
+                        }
+                    }
+                }
+                if let Some(sid) = chosen {
+                    reachable[zid.index()] = true;
+                    cert[zid.index()] = Some(sid);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Reachability { reachable, cert, parent, home_zone, parent_is_hints }
+    }
+
+    /// Whether zone `z` is cleanly reachable.
+    pub fn zone_reachable(&self, z: ZoneId) -> bool {
+        self.reachable[z.index()]
+    }
+
+    /// Whether `name` resolves cleanly: the deepest zone enclosing it is
+    /// reachable (which transitively requires its whole chain).
+    pub fn name_resolves(&self, universe: &Universe, name: &perils_dns::name::DnsName) -> bool {
+        match universe.zone_of(name) {
+            Some(z) => self.reachable[z.index()],
+            None => false,
+        }
+    }
+
+    /// The nearest registered ancestor of `z`.
+    pub fn parent_of(&self, z: ZoneId) -> Option<ZoneId> {
+        self.parent[z.index()]
+    }
+
+    /// The deepest zone containing `server`'s name.
+    pub fn home_zone_of(&self, server: ServerId) -> Option<ZoneId> {
+        self.home_zone[server.index()]
+    }
+
+    /// A witness that `name` resolves: unblocked servers whose survival
+    /// guarantees continued resolution (derivation certificates of every
+    /// zone the target's chain depends on). `None` when the name does not
+    /// resolve.
+    pub fn witness(
+        &self,
+        universe: &Universe,
+        name: &perils_dns::name::DnsName,
+    ) -> Option<Vec<ServerId>> {
+        let target_zone = universe.zone_of(name)?;
+        if !self.reachable[target_zone.index()] {
+            return None;
+        }
+        let mut witness: BTreeSet<ServerId> = BTreeSet::new();
+        let mut pending: Vec<ZoneId> = vec![target_zone];
+        let mut done: BTreeSet<ZoneId> = BTreeSet::new();
+        while let Some(zid) = pending.pop() {
+            if !done.insert(zid) {
+                continue;
+            }
+            if let Some(p) = self.parent[zid.index()] {
+                pending.push(p);
+            }
+            let Some(sid) = self.cert[zid.index()] else {
+                continue; // the root zone
+            };
+            witness.insert(sid);
+            let server = universe.server(sid);
+            let zone = universe.zone(zid);
+            // Non-glued, non-root certificates drag in their address
+            // chain. Root-delegated zones have full glue (see compute).
+            let glued = server.is_root
+                || server.name.is_subdomain_of(&zone.origin)
+                || self.parent_is_hints[zid.index()];
+            if !glued {
+                if let Some(home) = self.home_zone[sid.index()] {
+                    pending.push(home);
+                }
+            }
+        }
+        Some(witness.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use perils_dns::name::{name, DnsName};
+
+    /// root → com → example.com (self-hosted with glue), plus offsite.org
+    /// hosted entirely by ns.provider.net, provider.net self-hosted.
+    fn universe() -> Universe {
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("com"), &[name("a.gtld-servers.net")]);
+        b.add_zone(&name("net"), &[name("a.gtld-servers.net")]);
+        b.add_zone(&name("org"), &[name("a.gtld-servers.net")]);
+        b.add_zone(&name("gtld-servers.net"), &[name("a.gtld-servers.net")]);
+        // Self-hosted: ns1.example.com serves example.com (glue breaks it).
+        b.add_zone(&name("example.com"), &[name("ns1.example.com")]);
+        // Externally hosted: offsite.org depends on provider.net.
+        b.add_zone(&name("provider.net"), &[name("ns.provider.net")]);
+        b.add_zone(&name("offsite.org"), &[name("ns.provider.net")]);
+        b.finish()
+    }
+
+    fn blocked(u: &Universe, names: &[&str]) -> BTreeSet<ServerId> {
+        names.iter().map(|n| u.server_id(&name(n)).unwrap()).collect()
+    }
+
+    #[test]
+    fn everything_reachable_when_nothing_blocked() {
+        let u = universe();
+        let r = Reachability::compute(&u, &BTreeSet::new());
+        for zid in u.zone_ids() {
+            assert!(r.zone_reachable(zid), "zone {} unreachable", u.zone(zid).origin);
+        }
+        assert!(r.name_resolves(&u, &name("www.example.com")));
+        assert!(r.name_resolves(&u, &name("www.offsite.org")));
+    }
+
+    #[test]
+    fn glue_breaks_self_hosting_cycle() {
+        let u = universe();
+        let r = Reachability::compute(&u, &BTreeSet::new());
+        // example.com is served only by a name inside itself; without the
+        // glue rule it could never bootstrap.
+        assert!(r.zone_reachable(u.zone_id(&name("example.com")).unwrap()));
+        // Same for gtld-servers.net ← a.gtld-servers.net.
+        assert!(r.zone_reachable(u.zone_id(&name("gtld-servers.net")).unwrap()));
+    }
+
+    #[test]
+    fn blocking_own_ns_kills_zone() {
+        let u = universe();
+        let r = Reachability::compute(&u, &blocked(&u, &["ns1.example.com"]));
+        assert!(!r.name_resolves(&u, &name("www.example.com")));
+        // Unrelated names unaffected.
+        assert!(r.name_resolves(&u, &name("www.offsite.org")));
+    }
+
+    #[test]
+    fn blocking_transitive_provider_kills_dependent_zone() {
+        let u = universe();
+        // offsite.org's server lives in provider.net; blocking the provider
+        // server kills both provider.net and offsite.org.
+        let r = Reachability::compute(&u, &blocked(&u, &["ns.provider.net"]));
+        assert!(!r.zone_reachable(u.zone_id(&name("provider.net")).unwrap()));
+        assert!(!r.name_resolves(&u, &name("www.offsite.org")));
+        assert!(r.name_resolves(&u, &name("www.example.com")));
+    }
+
+    #[test]
+    fn blocking_tld_server_kills_everything_below() {
+        let u = universe();
+        let r = Reachability::compute(&u, &blocked(&u, &["a.gtld-servers.net"]));
+        for zone in ["com", "net", "org", "example.com", "provider.net", "offsite.org"] {
+            assert!(!r.zone_reachable(u.zone_id(&name(zone)).unwrap()), "{zone} should fall");
+        }
+    }
+
+    #[test]
+    fn witness_certifies_resolution() {
+        let u = universe();
+        let r = Reachability::compute(&u, &BTreeSet::new());
+        let w = r.witness(&u, &name("www.offsite.org")).expect("resolves");
+        // In this universe the witness is also a cut: blocking all its
+        // members must kill the name.
+        let b: BTreeSet<ServerId> = w.iter().copied().collect();
+        let r2 = Reachability::compute(&u, &b);
+        assert!(!r2.name_resolves(&u, &name("www.offsite.org")));
+        // Witness members are the derivation certificates.
+        let names: Vec<String> = w.iter().map(|&s| u.server(s).name.to_string()).collect();
+        assert!(names.contains(&"ns.provider.net".to_string()));
+        assert!(names.contains(&"a.gtld-servers.net".to_string()));
+    }
+
+    #[test]
+    fn witness_survival_guarantees_resolution() {
+        // The soundness property the hijack search depends on: blocking
+        // anything *disjoint* from the witness never kills the name.
+        let u = universe();
+        let r = Reachability::compute(&u, &BTreeSet::new());
+        let w: BTreeSet<ServerId> =
+            r.witness(&u, &name("www.offsite.org")).unwrap().into_iter().collect();
+        // Block every non-witness server.
+        let others: BTreeSet<ServerId> =
+            u.server_ids().filter(|s| !w.contains(s)).collect();
+        let r2 = Reachability::compute(&u, &others);
+        assert!(r2.name_resolves(&u, &name("www.offsite.org")));
+    }
+
+    #[test]
+    fn mutual_certification_cycle_is_not_falsely_reachable() {
+        // Zone X served only by a name in Y; zone Y served only by a name
+        // in X. Neither has glue: neither can bootstrap.
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("com"), &[name("a.root-servers.net")]);
+        b.add_zone(&name("x.com"), &[name("ns.y.com")]);
+        b.add_zone(&name("y.com"), &[name("ns.x.com")]);
+        let u = b.finish();
+        let r = Reachability::compute(&u, &BTreeSet::new());
+        assert!(!r.zone_reachable(u.zone_id(&name("x.com")).unwrap()));
+        assert!(!r.zone_reachable(u.zone_id(&name("y.com")).unwrap()));
+        assert!(r.witness(&u, &name("www.x.com")).is_none());
+    }
+
+    #[test]
+    fn witness_none_when_unresolvable() {
+        let u = universe();
+        let b = blocked(&u, &["ns.provider.net"]);
+        let r = Reachability::compute(&u, &b);
+        assert!(r.witness(&u, &name("www.offsite.org")).is_none());
+    }
+
+    #[test]
+    fn names_with_no_zone_do_not_resolve() {
+        let mut builder = Universe::builder();
+        builder.add_zone(&name("com"), &[name("ns.example.org")]);
+        let u = builder.finish();
+        let r = Reachability::compute(&u, &BTreeSet::new());
+        assert!(!r.name_resolves(&u, &name("www.example.zz")));
+    }
+}

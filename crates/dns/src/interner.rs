@@ -1,0 +1,120 @@
+//! Compact integer ids for domain names.
+//!
+//! The survey resolves hundreds of thousands of names against tens of
+//! thousands of zones; the analysis crates work on dense `u32` ids instead
+//! of heap-allocated names. Interning is case-insensitive, consistent with
+//! [`DnsName`] identity.
+
+use crate::name::DnsName;
+use std::collections::HashMap;
+
+/// A dense id for an interned name. Ids start at 0 and are stable for the
+/// lifetime of the [`NameInterner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(pub u32);
+
+impl NameId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional map between [`DnsName`]s and dense [`NameId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct NameInterner {
+    by_name: HashMap<DnsName, NameId>,
+    by_id: Vec<DnsName>,
+}
+
+impl NameInterner {
+    /// Creates an empty interner.
+    pub fn new() -> NameInterner {
+        NameInterner::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    ///
+    /// Names are canonicalized to lowercase so `WWW.Example.COM` and
+    /// `www.example.com` share an id; the stored spelling is the
+    /// canonical lowercase form.
+    pub fn intern(&mut self, name: &DnsName) -> NameId {
+        let canonical = name.to_lowercase();
+        if let Some(&id) = self.by_name.get(&canonical) {
+            return id;
+        }
+        let id = NameId(self.by_id.len() as u32);
+        self.by_id.push(canonical.clone());
+        self.by_name.insert(canonical, id);
+        id
+    }
+
+    /// The id of `name`, if it has been interned.
+    pub fn get(&self, name: &DnsName) -> Option<NameId> {
+        self.by_name.get(&name.to_lowercase()).copied()
+    }
+
+    /// The name behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this interner.
+    pub fn resolve(&self, id: NameId) -> &DnsName {
+        &self.by_id[id.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NameId, &DnsName)> {
+        self.by_id.iter().enumerate().map(|(i, n)| (NameId(i as u32), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::name;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut interner = NameInterner::new();
+        let a = interner.intern(&name("a.example.com"));
+        let b = interner.intern(&name("b.example.com"));
+        let a2 = interner.intern(&name("a.example.com"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let mut interner = NameInterner::new();
+        let lower = interner.intern(&name("www.example.com"));
+        let upper = interner.intern(&name("WWW.EXAMPLE.COM"));
+        assert_eq!(lower, upper);
+        assert_eq!(interner.resolve(lower).to_string(), "www.example.com");
+    }
+
+    #[test]
+    fn get_and_iter() {
+        let mut interner = NameInterner::new();
+        assert!(interner.get(&name("missing.test")).is_none());
+        let id = interner.intern(&name("found.test"));
+        assert_eq!(interner.get(&name("FOUND.test")), Some(id));
+        let all: Vec<_> = interner.iter().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, id);
+    }
+}

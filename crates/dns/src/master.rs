@@ -1,0 +1,477 @@
+//! RFC 1035 §5 master-file (zone file) parsing and serialization.
+//!
+//! Supports the constructs real zone files of the BIND era used:
+//! `$ORIGIN`, `$TTL`, `@` for the origin, relative names, omitted
+//! owner/TTL/class fields (inherited from the previous record), comments
+//! (`;`), quoted TXT strings, and parenthesized multi-line SOA records.
+//!
+//! The examples and tests use this to express the hand-built scenarios from
+//! the paper (Figure 1's Cornell web, the fbi.gov case study) in a readable
+//! form.
+
+use crate::name::{DnsName, NameError};
+use crate::rr::{RData, Record, RrClass, RrType, Soa};
+use crate::zone::{Zone, ZoneError};
+use std::fmt;
+
+/// Errors produced by the master-file parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MasterError {
+    /// A line could not be tokenized (unbalanced quotes/parentheses).
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A name failed to parse.
+    Name {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying error.
+        source: NameError,
+    },
+    /// The zone rejected a record.
+    Zone {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying error.
+        source: ZoneError,
+    },
+    /// The file had no SOA record.
+    MissingSoa,
+}
+
+impl fmt::Display for MasterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MasterError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            MasterError::Name { line, source } => write!(f, "line {line}: bad name: {source}"),
+            MasterError::Zone { line, source } => write!(f, "line {line}: {source}"),
+            MasterError::MissingSoa => write!(f, "zone file contains no SOA record"),
+        }
+    }
+}
+
+impl std::error::Error for MasterError {}
+
+/// A token with quoting information (TXT strings keep spaces).
+#[derive(Debug, Clone, PartialEq)]
+struct Token {
+    text: String,
+    quoted: bool,
+}
+
+/// Splits file content into logical lines (joining parenthesized
+/// continuations), then into tokens. Comments run from `;` to end of line.
+fn tokenize(content: &str) -> Result<Vec<(usize, Vec<Token>, bool)>, MasterError> {
+    let mut logical: Vec<(usize, Vec<Token>, bool)> = Vec::new();
+    let mut current: Vec<Token> = Vec::new();
+    let mut paren_depth = 0usize;
+    let mut start_line = 1usize;
+    let mut leading_ws = false;
+
+    for (idx, raw_line) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        if paren_depth == 0 {
+            start_line = line_no;
+            leading_ws = raw_line.starts_with(' ') || raw_line.starts_with('\t');
+        }
+        let mut chars = raw_line.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                ';' => break, // comment
+                '(' => paren_depth += 1,
+                ')' => {
+                    paren_depth = paren_depth.checked_sub(1).ok_or_else(|| MasterError::Syntax {
+                        line: line_no,
+                        message: "unbalanced ')'".to_string(),
+                    })?;
+                }
+                '"' => {
+                    let mut s = String::new();
+                    let mut closed = false;
+                    while let Some(c) = chars.next() {
+                        match c {
+                            '\\' => {
+                                if let Some(escaped) = chars.next() {
+                                    s.push(escaped);
+                                }
+                            }
+                            '"' => {
+                                closed = true;
+                                break;
+                            }
+                            other => s.push(other),
+                        }
+                    }
+                    if !closed {
+                        return Err(MasterError::Syntax {
+                            line: line_no,
+                            message: "unterminated string".to_string(),
+                        });
+                    }
+                    current.push(Token { text: s, quoted: true });
+                }
+                c if c.is_whitespace() => {}
+                other => {
+                    let mut s = String::new();
+                    s.push(other);
+                    while let Some(&next) = chars.peek() {
+                        if next.is_whitespace() || next == ';' || next == '(' || next == ')' {
+                            break;
+                        }
+                        s.push(chars.next().expect("peeked"));
+                    }
+                    current.push(Token { text: s, quoted: false });
+                }
+            }
+        }
+        if paren_depth == 0 && !current.is_empty() {
+            logical.push((start_line, std::mem::take(&mut current), leading_ws));
+        }
+    }
+    if paren_depth != 0 {
+        return Err(MasterError::Syntax {
+            line: start_line,
+            message: "unbalanced '(' at end of file".to_string(),
+        });
+    }
+    if !current.is_empty() {
+        logical.push((start_line, current, leading_ws));
+    }
+    Ok(logical)
+}
+
+fn parse_name(text: &str, origin: &DnsName, line: usize) -> Result<DnsName, MasterError> {
+    let to_err = |source| MasterError::Name { line, source };
+    if text == "@" {
+        return Ok(origin.clone());
+    }
+    if let Some(absolute) = text.strip_suffix('.') {
+        return DnsName::from_ascii(absolute).map_err(to_err);
+    }
+    // Relative: append the origin.
+    let rel = DnsName::from_ascii(text).map_err(to_err)?;
+    let mut labels = rel.labels().to_vec();
+    labels.extend(origin.labels().iter().cloned());
+    DnsName::from_labels(labels).map_err(to_err)
+}
+
+fn parse_u32(text: &str, line: usize, what: &str) -> Result<u32, MasterError> {
+    text.parse::<u32>().map_err(|_| MasterError::Syntax {
+        line,
+        message: format!("expected {what}, found {text:?}"),
+    })
+}
+
+/// Parses a full zone file into a [`Zone`].
+///
+/// `default_origin` supplies the origin when the file has no `$ORIGIN`
+/// directive before its first record.
+pub fn parse_zone(content: &str, default_origin: &DnsName) -> Result<Zone, MasterError> {
+    let lines = tokenize(content)?;
+    let mut origin = default_origin.clone();
+    let mut default_ttl: u32 = 3600;
+    let mut previous_owner: Option<DnsName> = None;
+    let mut records: Vec<(usize, Record)> = Vec::new();
+
+    for (line, tokens, leading_ws) in lines {
+        let first = &tokens[0];
+        if !first.quoted && first.text.eq_ignore_ascii_case("$ORIGIN") {
+            let target = tokens.get(1).ok_or_else(|| MasterError::Syntax {
+                line,
+                message: "$ORIGIN needs an argument".into(),
+            })?;
+            origin = parse_name(&target.text, &origin, line)?;
+            continue;
+        }
+        if !first.quoted && first.text.eq_ignore_ascii_case("$TTL") {
+            let target = tokens.get(1).ok_or_else(|| MasterError::Syntax {
+                line,
+                message: "$TTL needs an argument".into(),
+            })?;
+            default_ttl = parse_u32(&target.text, line, "TTL")?;
+            continue;
+        }
+
+        let mut cursor = 0usize;
+        let owner = if leading_ws {
+            previous_owner.clone().ok_or_else(|| MasterError::Syntax {
+                line,
+                message: "record with blank owner but no previous owner".into(),
+            })?
+        } else {
+            let owner = parse_name(&tokens[0].text, &origin, line)?;
+            cursor = 1;
+            owner
+        };
+        previous_owner = Some(owner.clone());
+
+        // Optional TTL and class, in either order.
+        let mut ttl = default_ttl;
+        let mut class = RrClass::In;
+        loop {
+            let token = tokens.get(cursor).ok_or_else(|| MasterError::Syntax {
+                line,
+                message: "record missing type".into(),
+            })?;
+            if token.quoted {
+                return Err(MasterError::Syntax { line, message: "unexpected string".into() });
+            }
+            let upper = token.text.to_ascii_uppercase();
+            if let Ok(v) = token.text.parse::<u32>() {
+                ttl = v;
+                cursor += 1;
+                continue;
+            }
+            if upper == "IN" {
+                class = RrClass::In;
+                cursor += 1;
+                continue;
+            }
+            if upper == "CH" {
+                class = RrClass::Ch;
+                cursor += 1;
+                continue;
+            }
+            break;
+        }
+
+        let type_token = tokens.get(cursor).ok_or_else(|| MasterError::Syntax {
+            line,
+            message: "record missing type".into(),
+        })?;
+        cursor += 1;
+        let rest = &tokens[cursor..];
+        let upper = type_token.text.to_ascii_uppercase();
+        let need = |n: usize| -> Result<(), MasterError> {
+            if rest.len() < n {
+                Err(MasterError::Syntax {
+                    line,
+                    message: format!("{upper} needs {n} field(s), found {}", rest.len()),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let rdata = match upper.as_str() {
+            "A" => {
+                need(1)?;
+                let ip = rest[0].text.parse().map_err(|_| MasterError::Syntax {
+                    line,
+                    message: format!("bad IPv4 address {:?}", rest[0].text),
+                })?;
+                RData::A(ip)
+            }
+            "AAAA" => {
+                need(1)?;
+                let ip = rest[0].text.parse().map_err(|_| MasterError::Syntax {
+                    line,
+                    message: format!("bad IPv6 address {:?}", rest[0].text),
+                })?;
+                RData::Aaaa(ip)
+            }
+            "NS" => {
+                need(1)?;
+                RData::Ns(parse_name(&rest[0].text, &origin, line)?)
+            }
+            "CNAME" => {
+                need(1)?;
+                RData::Cname(parse_name(&rest[0].text, &origin, line)?)
+            }
+            "PTR" => {
+                need(1)?;
+                RData::Ptr(parse_name(&rest[0].text, &origin, line)?)
+            }
+            "MX" => {
+                need(2)?;
+                RData::Mx {
+                    preference: parse_u32(&rest[0].text, line, "MX preference")? as u16,
+                    exchange: parse_name(&rest[1].text, &origin, line)?,
+                }
+            }
+            "TXT" => {
+                need(1)?;
+                RData::Txt(rest.iter().map(|t| t.text.clone()).collect())
+            }
+            "SRV" => {
+                need(4)?;
+                RData::Srv {
+                    priority: parse_u32(&rest[0].text, line, "SRV priority")? as u16,
+                    weight: parse_u32(&rest[1].text, line, "SRV weight")? as u16,
+                    port: parse_u32(&rest[2].text, line, "SRV port")? as u16,
+                    target: parse_name(&rest[3].text, &origin, line)?,
+                }
+            }
+            "SOA" => {
+                need(7)?;
+                RData::Soa(Soa {
+                    mname: parse_name(&rest[0].text, &origin, line)?,
+                    rname: parse_name(&rest[1].text, &origin, line)?,
+                    serial: parse_u32(&rest[2].text, line, "serial")?,
+                    refresh: parse_u32(&rest[3].text, line, "refresh")?,
+                    retry: parse_u32(&rest[4].text, line, "retry")?,
+                    expire: parse_u32(&rest[5].text, line, "expire")?,
+                    minimum: parse_u32(&rest[6].text, line, "minimum")?,
+                })
+            }
+            other => {
+                return Err(MasterError::Syntax {
+                    line,
+                    message: format!("unsupported record type {other:?}"),
+                })
+            }
+        };
+        let rtype = rdata.rr_type().expect("typed rdata");
+        records.push((line, Record { name: owner, rtype, class, ttl, rdata }));
+    }
+
+    // The SOA defines the zone; it must be present.
+    let soa_idx = records
+        .iter()
+        .position(|(_, r)| r.rtype == RrType::Soa)
+        .ok_or(MasterError::MissingSoa)?;
+    let (_, soa_record) = records.remove(soa_idx);
+    let soa = match &soa_record.rdata {
+        RData::Soa(soa) => soa.clone(),
+        _ => unreachable!("filtered on type"),
+    };
+    let mut zone = Zone::new(soa_record.name.clone(), soa);
+    for (line, record) in records {
+        zone.add(record).map_err(|source| MasterError::Zone { line, source })?;
+    }
+    Ok(zone)
+}
+
+/// Serializes a zone to master-file text (absolute names, explicit fields).
+pub fn serialize_zone(zone: &Zone) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("$ORIGIN {}.\n", zone.origin()));
+    for record in zone.iter() {
+        out.push_str(&format!("{}.", record.name));
+        out.push_str(&format!(" {} {} {} ", record.ttl, record.class, record.rtype));
+        let display = record.to_string();
+        // Reuse Record's Display for the RDATA portion: it is everything
+        // after "<name> <ttl> <class> <type> ".
+        let prefix = format!("{} {} {} {} ", record.name, record.ttl, record.class, record.rtype);
+        out.push_str(&display[prefix.len()..]);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::name;
+    use crate::zone::ZoneLookup;
+
+    const CORNELL: &str = r#"
+$ORIGIN cornell.edu.
+$TTL 7200
+@   IN SOA cudns.cit.cornell.edu. hostmaster.cornell.edu. (
+        2004072200 ; serial
+        3600       ; refresh
+        900        ; retry
+        1209600    ; expire
+        3600 )     ; minimum
+@       IN NS bigred.cit.cornell.edu.
+@       IN NS cudns.cit.cornell.edu.
+cs      IN NS simon.cs.cornell.edu.
+cs      IN NS cayuga.cs.rochester.edu. ; off-site secondary
+simon.cs   IN A 128.84.154.10
+www     300 IN A 128.84.186.13
+ftp     IN CNAME www
+mail    IN MX 10 smtp
+"#;
+
+    #[test]
+    fn parses_realistic_zone() {
+        let zone = parse_zone(CORNELL, &DnsName::root()).unwrap();
+        assert_eq!(zone.origin(), &name("cornell.edu"));
+        assert_eq!(zone.soa().serial, 2004072200);
+        assert_eq!(
+            zone.apex_ns_names(),
+            vec![name("bigred.cit.cornell.edu"), name("cudns.cit.cornell.edu")]
+        );
+        // Delegation to cs.cornell.edu with an off-site secondary.
+        assert_eq!(
+            zone.ns_names_at(&name("cs.cornell.edu")),
+            vec![name("simon.cs.cornell.edu"), name("cayuga.cs.rochester.edu")]
+        );
+        // Relative + absolute owners, TTL override.
+        match zone.lookup(&name("www.cornell.edu"), RrType::A) {
+            ZoneLookup::Answer(records) => assert_eq!(records[0].ttl, 300),
+            other => panic!("expected answer, got {other:?}"),
+        }
+        match zone.lookup(&name("ftp.cornell.edu"), RrType::A) {
+            ZoneLookup::Cname { target, .. } => assert_eq!(target, name("www.cornell.edu")),
+            other => panic!("expected cname, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn owner_inheritance_requires_prior_record() {
+        let err = parse_zone("   IN A 1.2.3.4\n", &name("x.test")).unwrap_err();
+        assert!(matches!(err, MasterError::Syntax { .. }));
+    }
+
+    #[test]
+    fn missing_soa_rejected() {
+        let err = parse_zone("www IN A 1.2.3.4\n", &name("x.test")).unwrap_err();
+        assert_eq!(err, MasterError::MissingSoa);
+    }
+
+    #[test]
+    fn unbalanced_parens_rejected() {
+        let bad = "@ IN SOA a. b. (1 2 3 4 5\n";
+        assert!(matches!(parse_zone(bad, &name("x.test")), Err(MasterError::Syntax { .. })));
+    }
+
+    #[test]
+    fn quoted_txt_keeps_spaces() {
+        let content = r#"
+$ORIGIN t.test.
+@ IN SOA ns.t.test. h.t.test. 1 2 3 4 5
+@ IN NS ns.t.test.
+ns IN A 10.0.0.1
+info IN TXT "hello world" "second \"string\""
+"#;
+        let zone = parse_zone(content, &DnsName::root()).unwrap();
+        match zone.lookup(&name("info.t.test"), RrType::Txt) {
+            ZoneLookup::Answer(records) => {
+                assert_eq!(
+                    records[0].rdata,
+                    RData::Txt(vec!["hello world".into(), "second \"string\"".into()])
+                );
+            }
+            other => panic!("expected TXT answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let zone = parse_zone(CORNELL, &DnsName::root()).unwrap();
+        let text = serialize_zone(&zone);
+        let reparsed = parse_zone(&text, &DnsName::root()).unwrap();
+        assert_eq!(reparsed.record_count(), zone.record_count());
+        assert_eq!(reparsed.apex_ns_names(), zone.apex_ns_names());
+        assert_eq!(reparsed.soa().serial, zone.soa().serial);
+    }
+
+    #[test]
+    fn dollar_origin_switches_context() {
+        let content = r#"
+$ORIGIN example.com.
+@ IN SOA ns.example.com. h.example.com. 1 2 3 4 5
+@ IN NS ns
+ns IN A 10.0.0.1
+$ORIGIN sub.example.com.
+@ IN NS ns2
+ns2 IN A 10.0.0.2
+"#;
+        let zone = parse_zone(content, &DnsName::root()).unwrap();
+        assert_eq!(zone.ns_names_at(&name("sub.example.com")), vec![name("ns2.sub.example.com")]);
+    }
+}

@@ -1,0 +1,192 @@
+//! A fixed-capacity bitset over `u64` blocks.
+//!
+//! Reachability and closure computations over survey-scale graphs need cheap
+//! set union and membership; this is the usual packed representation.
+
+/// A fixed-capacity set of `usize` values in `[0, capacity)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with room for `capacity` elements.
+    pub fn new(capacity: usize) -> BitSet {
+        BitSet { blocks: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// The capacity this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `value`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bit {value} out of capacity {}", self.capacity);
+        let (block, bit) = (value / 64, value % 64);
+        let mask = 1u64 << bit;
+        let fresh = self.blocks[block] & mask == 0;
+        self.blocks[block] |= mask;
+        fresh
+    }
+
+    /// Removes `value`; returns whether it was present.
+    pub fn remove(&mut self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (block, bit) = (value / 64, value % 64);
+        let mask = 1u64 << bit;
+        let present = self.blocks[block] & mask != 0;
+        self.blocks[block] &= !mask;
+        present
+    }
+
+    /// Membership test (out-of-range values are absent).
+    pub fn contains(&self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        self.blocks[value / 64] & (1u64 << (value % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// In-place union; returns true if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, &b) in self.blocks.iter_mut().zip(&other.blocks) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, &b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let mut bits = block;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(i * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the maximum element.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let capacity = values.iter().max().map_or(0, |&m| m + 1);
+        let mut set = BitSet::new(capacity);
+        for v in values {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports false");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(10_000), "out of range is absent");
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(50);
+        b.insert(50);
+        b.insert(99);
+        assert!(a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 50, 99]);
+        assert!(!a.union_with(&b), "second union is a no-op");
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![50, 99]);
+    }
+
+    #[test]
+    fn iteration_order_and_clear() {
+        let mut s = BitSet::new(200);
+        for v in [199, 3, 77, 64, 63] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 63, 64, 77, 199]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: BitSet = [5usize, 2, 9].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 5, 9]);
+        let empty: BitSet = std::iter::empty::<usize>().collect();
+        assert_eq!(empty.capacity(), 0);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+//!
+//! In a delegation graph rooted at the trusted root, a node `d` dominates
+//! the surveyed name `t` when **every** resolution path passes through `d`
+//! — i.e. `d` alone is a complete-hijack bottleneck (a min-cut of size 1).
+//! The ablation benches compare dominator-based bottleneck detection with
+//! the max-flow min-cut used in the paper.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::traversal::dfs_postorder;
+
+/// Immediate dominators for all nodes reachable from `root`.
+///
+/// Returns `idom[v] = Some(d)` for reachable `v != root` (with
+/// `idom[root] = Some(root)`), `None` for unreachable nodes.
+pub fn immediate_dominators<N>(graph: &DiGraph<N>, root: NodeId) -> Vec<Option<NodeId>> {
+    let n = graph.node_count();
+    let postorder = dfs_postorder(graph, root);
+    // Map node → postorder number; higher number = closer to root.
+    let mut number = vec![usize::MAX; n];
+    for (i, &v) in postorder.iter().enumerate() {
+        number[v.index()] = i;
+    }
+    let mut idom: Vec<Option<NodeId>> = vec![None; n];
+    idom[root.index()] = Some(root);
+
+    let intersect = |idom: &[Option<NodeId>], number: &[usize], mut a: NodeId, mut b: NodeId| {
+        while a != b {
+            while number[a.index()] < number[b.index()] {
+                a = idom[a.index()].expect("processed nodes have dominators");
+            }
+            while number[b.index()] < number[a.index()] {
+                b = idom[b.index()].expect("processed nodes have dominators");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Reverse postorder, skipping the root.
+        for &v in postorder.iter().rev() {
+            if v == root {
+                continue;
+            }
+            // First processed predecessor.
+            let mut new_idom: Option<NodeId> = None;
+            for &p in graph.in_neighbors(v) {
+                if number[p.index()] == usize::MAX {
+                    continue; // unreachable predecessor
+                }
+                if idom[p.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(current) => intersect(&idom, &number, p, current),
+                });
+            }
+            if let Some(d) = new_idom {
+                if idom[v.index()] != Some(d) {
+                    idom[v.index()] = Some(d);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// The strict dominators of `node` (excluding itself and the root), closest
+/// first. Empty when `node` is unreachable.
+pub fn strict_dominators<N>(
+    graph: &DiGraph<N>,
+    root: NodeId,
+    node: NodeId,
+) -> Vec<NodeId> {
+    let idom = immediate_dominators(graph, root);
+    let mut out = Vec::new();
+    let mut v = node;
+    while let Some(d) = idom[v.index()] {
+        if d == v {
+            break; // reached the root
+        }
+        if d != root {
+            out.push(d);
+        }
+        v = d;
+    }
+    if idom[node.index()].is_none() {
+        Vec::new()
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_dominators() {
+        let mut g = DiGraph::<()>::new();
+        let ids: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1]);
+        g.add_edge(ids[1], ids[2]);
+        g.add_edge(ids[2], ids[3]);
+        let idom = immediate_dominators(&g, ids[0]);
+        assert_eq!(idom[ids[1].index()], Some(ids[0]));
+        assert_eq!(idom[ids[2].index()], Some(ids[1]));
+        assert_eq!(idom[ids[3].index()], Some(ids[2]));
+        assert_eq!(strict_dominators(&g, ids[0], ids[3]), vec![ids[2], ids[1]]);
+    }
+
+    #[test]
+    fn diamond_has_no_interior_dominator() {
+        let mut g = DiGraph::<()>::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a);
+        g.add_edge(s, b);
+        g.add_edge(a, t);
+        g.add_edge(b, t);
+        let idom = immediate_dominators(&g, s);
+        assert_eq!(idom[t.index()], Some(s), "t's only dominator is the root");
+        assert!(strict_dominators(&g, s, t).is_empty());
+    }
+
+    #[test]
+    fn bottleneck_matches_unit_mincut_of_one() {
+        // s → {a,b} → c → t: c dominates t and is the unique min cut.
+        let mut g = DiGraph::<()>::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a);
+        g.add_edge(s, b);
+        g.add_edge(a, c);
+        g.add_edge(b, c);
+        g.add_edge(c, t);
+        assert_eq!(strict_dominators(&g, s, t), vec![c]);
+        let cut = crate::flow::min_vertex_cut(&g, s, t, |_| 1).unwrap();
+        assert_eq!(cut.cut, vec![c]);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_dominator() {
+        let mut g = DiGraph::<()>::new();
+        let s = g.add_node(());
+        let island = g.add_node(());
+        let idom = immediate_dominators(&g, s);
+        assert_eq!(idom[island.index()], None);
+        assert!(strict_dominators(&g, s, island).is_empty());
+    }
+
+    #[test]
+    fn cycle_dominators() {
+        // s → a ↔ b, both reachable only through a.
+        let mut g = DiGraph::<()>::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(s, a);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        let idom = immediate_dominators(&g, s);
+        assert_eq!(idom[a.index()], Some(s));
+        assert_eq!(idom[b.index()], Some(a));
+    }
+}

@@ -1,0 +1,417 @@
+//! Dinic max-flow and minimum s–t **vertex** cuts.
+//!
+//! The paper determines "critical bottleneck nameservers" by computing a
+//! min-cut of the delegation graph (§3.2, Figure 7). Compromising a
+//! nameserver removes a *vertex*, so the cut of interest is a vertex cut:
+//! the standard reduction splits every node `v` into `v_in → v_out` with
+//! capacity equal to the cost of removing `v`, turns original edges into
+//! infinite-capacity arcs, and runs max-flow. The saturated split edges that
+//! separate source from sink are exactly the minimum vertex cut
+//! (Menger's theorem).
+
+use crate::bitset::BitSet;
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Effectively-infinite capacity (large enough to never saturate, small
+/// enough to never overflow when summed).
+pub const INF: u64 = u64::MAX / 4;
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: u32,
+    cap: u64,
+}
+
+/// A flow network with Dinic max-flow.
+///
+/// Edges are stored in pairs: edge `2k` is the forward edge, `2k+1` its
+/// residual reverse.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    adj: Vec<Vec<u32>>,
+    edges: Vec<Edge>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> FlowNetwork {
+        FlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new() }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge with capacity `cap`; returns its edge id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> usize {
+        assert!(from < self.adj.len() && to < self.adj.len(), "endpoint out of range");
+        let id = self.edges.len();
+        self.edges.push(Edge { to: to as u32, cap });
+        self.edges.push(Edge { to: from as u32, cap: 0 });
+        self.adj[from].push(id as u32);
+        self.adj[to].push(id as u32 + 1);
+        id
+    }
+
+    /// Flow currently pushed through forward edge `id` (its reverse
+    /// residual capacity).
+    pub fn edge_flow(&self, id: usize) -> u64 {
+        self.edges[id ^ 1].cap
+    }
+
+    /// Runs Dinic from `source` to `sink`, returning the max-flow value.
+    /// May be called once per network (capacities are consumed).
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> u64 {
+        assert!(source < self.adj.len() && sink < self.adj.len(), "endpoint out of range");
+        if source == sink {
+            return 0;
+        }
+        let n = self.adj.len();
+        let mut total = 0u64;
+        let mut level = vec![u32::MAX; n];
+        let mut it = vec![0usize; n];
+        loop {
+            // BFS: build the level graph.
+            level.iter_mut().for_each(|l| *l = u32::MAX);
+            level[source] = 0;
+            let mut queue = VecDeque::new();
+            queue.push_back(source);
+            while let Some(v) = queue.pop_front() {
+                for &eid in &self.adj[v] {
+                    let e = &self.edges[eid as usize];
+                    if e.cap > 0 && level[e.to as usize] == u32::MAX {
+                        level[e.to as usize] = level[v] + 1;
+                        queue.push_back(e.to as usize);
+                    }
+                }
+            }
+            if level[sink] == u32::MAX {
+                break;
+            }
+            // Blocking flow with current-arc optimization, iteratively.
+            it.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs_push(source, sink, INF, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total = total.saturating_add(pushed);
+            }
+        }
+        total
+    }
+
+    /// One augmenting path in the level graph (iterative DFS).
+    fn dfs_push(
+        &mut self,
+        source: usize,
+        sink: usize,
+        limit: u64,
+        level: &[u32],
+        it: &mut [usize],
+    ) -> u64 {
+        // Path of edge ids from source toward sink.
+        let mut path: Vec<u32> = Vec::new();
+        let mut v = source;
+        loop {
+            if v == sink {
+                // Found an augmenting path: bottleneck and apply.
+                let mut bottleneck = limit;
+                for &eid in &path {
+                    bottleneck = bottleneck.min(self.edges[eid as usize].cap);
+                }
+                for &eid in &path {
+                    self.edges[eid as usize].cap -= bottleneck;
+                    self.edges[(eid as usize) ^ 1].cap += bottleneck;
+                }
+                return bottleneck;
+            }
+            // Advance the current arc at v.
+            let mut advanced = false;
+            while it[v] < self.adj[v].len() {
+                let eid = self.adj[v][it[v]];
+                let e = &self.edges[eid as usize];
+                let to = e.to as usize;
+                if e.cap > 0 && level[to] == level[v] + 1 {
+                    path.push(eid);
+                    v = to;
+                    advanced = true;
+                    break;
+                }
+                it[v] += 1;
+            }
+            if advanced {
+                continue;
+            }
+            // Dead end: retreat.
+            if v == source {
+                return 0;
+            }
+            let eid = path.pop().expect("non-source dead end has a parent edge");
+            // Exhaust this arc at the parent.
+            let parent = self.edges[(eid as usize) ^ 1].to as usize;
+            it[parent] += 1;
+            v = parent;
+        }
+    }
+
+    /// After [`FlowNetwork::max_flow`], the set of nodes reachable from
+    /// `source` in the residual graph (the source side of a min cut).
+    pub fn residual_reachable(&self, source: usize) -> BitSet {
+        let mut seen = BitSet::new(self.adj.len());
+        seen.insert(source);
+        let mut stack = vec![source];
+        while let Some(v) = stack.pop() {
+            for &eid in &self.adj[v] {
+                let e = &self.edges[eid as usize];
+                if e.cap > 0 && seen.insert(e.to as usize) {
+                    stack.push(e.to as usize);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// The result of a minimum vertex cut computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexCut {
+    /// Sum of weights of the cut vertices (the max-flow value).
+    pub total_weight: u64,
+    /// The cut vertices, ascending by id. Removing exactly these nodes
+    /// disconnects every source→sink path.
+    pub cut: Vec<NodeId>,
+}
+
+/// Computes a minimum-weight vertex cut separating `source` from `sink`.
+///
+/// `weight(v)` is the cost of removing node `v`; `source` and `sink`
+/// themselves are never cut (they get infinite weight). Returns `None` when
+/// no finite cut exists — i.e. there is a direct `source → sink` edge, or
+/// `source == sink`.
+///
+/// In the delegation-graph application, `source` is the trusted root,
+/// `sink` is the surveyed name, and weights encode attack cost (unit for
+/// the plain min-cut of Figure 7; lexicographic weights for the
+/// safe-bottleneck refinement).
+pub fn min_vertex_cut<N>(
+    graph: &DiGraph<N>,
+    source: NodeId,
+    sink: NodeId,
+    mut weight: impl FnMut(NodeId) -> u64,
+) -> Option<VertexCut> {
+    if source == sink {
+        return None;
+    }
+    let n = graph.node_count();
+    // Node v splits into in-node 2v and out-node 2v+1.
+    let mut net = FlowNetwork::new(2 * n);
+    for v in graph.nodes() {
+        let w = if v == source || v == sink { INF } else { weight(v).min(INF - 1) };
+        net.add_edge(2 * v.index(), 2 * v.index() + 1, w);
+    }
+    for (u, v) in graph.edges() {
+        if u != v {
+            net.add_edge(2 * u.index() + 1, 2 * v.index(), INF);
+        }
+    }
+    let flow = net.max_flow(2 * source.index() + 1, 2 * sink.index());
+    if flow >= INF - 1 {
+        return None;
+    }
+    let reachable = net.residual_reachable(2 * source.index() + 1);
+    let mut cut = Vec::new();
+    for v in graph.nodes() {
+        if v == source || v == sink {
+            continue;
+        }
+        // The split edge crosses the cut: in-node on the source side,
+        // out-node on the sink side.
+        if reachable.contains(2 * v.index()) && !reachable.contains(2 * v.index() + 1) {
+            cut.push(v);
+        }
+    }
+    Some(VertexCut { total_weight: flow, cut })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_flow_classic() {
+        // Two disjoint unit paths s→a→t and s→b→t.
+        let mut net = FlowNetwork::new(4);
+        let (s, a, b, t) = (0, 1, 2, 3);
+        net.add_edge(s, a, 1);
+        net.add_edge(s, b, 1);
+        net.add_edge(a, t, 1);
+        net.add_edge(b, t, 1);
+        assert_eq!(net.max_flow(s, t), 2);
+    }
+
+    #[test]
+    fn max_flow_bottleneck() {
+        let mut net = FlowNetwork::new(4);
+        let (s, a, b, t) = (0, 1, 2, 3);
+        net.add_edge(s, a, 10);
+        net.add_edge(a, b, 3);
+        net.add_edge(b, t, 10);
+        assert_eq!(net.max_flow(s, t), 3);
+        // The saturated edge a→b carries all flow.
+        assert_eq!(net.edge_flow(2), 3);
+    }
+
+    #[test]
+    fn max_flow_with_residual_rerouting() {
+        // The classic example requiring flow cancellation.
+        let mut net = FlowNetwork::new(4);
+        let (s, a, b, t) = (0, 1, 2, 3);
+        net.add_edge(s, a, 1);
+        net.add_edge(s, b, 1);
+        net.add_edge(a, b, 1);
+        net.add_edge(a, t, 1);
+        net.add_edge(b, t, 1);
+        assert_eq!(net.max_flow(s, t), 2);
+    }
+
+    #[test]
+    fn disconnected_flow_is_zero() {
+        let mut net = FlowNetwork::new(2);
+        assert_eq!(net.max_flow(0, 1), 0);
+    }
+
+    fn chain_graph() -> (DiGraph<()>, Vec<NodeId>) {
+        // s → a → b → t: any interior node is a cut.
+        let mut g = DiGraph::new();
+        let ids: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1]);
+        g.add_edge(ids[1], ids[2]);
+        g.add_edge(ids[2], ids[3]);
+        (g, ids)
+    }
+
+    #[test]
+    fn vertex_cut_chain() {
+        let (g, ids) = chain_graph();
+        let cut = min_vertex_cut(&g, ids[0], ids[3], |_| 1).expect("cuttable");
+        assert_eq!(cut.total_weight, 1);
+        assert_eq!(cut.cut.len(), 1);
+        assert!(cut.cut[0] == ids[1] || cut.cut[0] == ids[2]);
+    }
+
+    #[test]
+    fn vertex_cut_weighted_prefers_cheap_node() {
+        let (g, ids) = chain_graph();
+        // Make node a expensive; the cut must pick b.
+        let cut = min_vertex_cut(&g, ids[0], ids[3], |v| if v == ids[1] { 100 } else { 1 })
+            .expect("cuttable");
+        assert_eq!(cut.total_weight, 1);
+        assert_eq!(cut.cut, vec![ids[2]]);
+    }
+
+    #[test]
+    fn vertex_cut_diamond_needs_both_arms() {
+        // s → {a, b} → t: must remove both arms.
+        let mut g = DiGraph::<()>::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a);
+        g.add_edge(s, b);
+        g.add_edge(a, t);
+        g.add_edge(b, t);
+        let cut = min_vertex_cut(&g, s, t, |_| 1).expect("cuttable");
+        assert_eq!(cut.total_weight, 2);
+        assert_eq!(cut.cut, vec![a, b]);
+    }
+
+    #[test]
+    fn vertex_cut_none_for_direct_edge() {
+        let mut g = DiGraph::<()>::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, t);
+        assert_eq!(min_vertex_cut(&g, s, t, |_| 1), None);
+        assert_eq!(min_vertex_cut(&g, s, s, |_| 1), None);
+    }
+
+    #[test]
+    fn vertex_cut_already_disconnected() {
+        let mut g = DiGraph::<()>::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        let cut = min_vertex_cut(&g, s, t, |_| 1).expect("empty cut");
+        assert_eq!(cut.total_weight, 0);
+        assert!(cut.cut.is_empty());
+    }
+
+    #[test]
+    fn vertex_cut_removal_disconnects() {
+        // Verify the cut property on a denser graph: removing the cut
+        // leaves no s→t path.
+        let mut g = DiGraph::<()>::new();
+        let ids: Vec<NodeId> = (0..8).map(|_| g.add_node(())).collect();
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+            (6, 7),
+            (2, 5),
+        ];
+        for (u, v) in edges {
+            g.add_edge(ids[u], ids[v]);
+        }
+        let cut = min_vertex_cut(&g, ids[0], ids[7], |_| 1).expect("cuttable");
+        assert_eq!(cut.total_weight, 1, "node 6 is the bottleneck");
+        assert_eq!(cut.cut, vec![ids[6]]);
+        // Remove the cut and check s cannot reach t.
+        let removed: std::collections::HashSet<NodeId> = cut.cut.iter().copied().collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![ids[0]];
+        seen.insert(ids[0]);
+        while let Some(v) = stack.pop() {
+            for &n in g.out_neighbors(v) {
+                if !removed.contains(&n) && seen.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        assert!(!seen.contains(&ids[7]));
+    }
+
+    #[test]
+    fn vertex_cut_cycles_do_not_confuse() {
+        // s → a ↔ b → t plus a self-loop on a.
+        let mut g = DiGraph::<()>::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        g.add_edge(a, a);
+        g.add_edge(b, t);
+        let cut = min_vertex_cut(&g, s, t, |_| 1).expect("cuttable");
+        assert_eq!(cut.total_weight, 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Directed-graph substrate for delegation-graph analysis.
+//!
+//! This crate is a small, self-contained graph library (in place of
+//! `petgraph`) providing exactly what the transitive-trust analysis needs:
+//!
+//! * [`digraph`] — an arena-based directed graph with dense [`NodeId`]s;
+//! * [`bitset`] — a fixed-capacity bitset used for reachability sets;
+//! * [`traversal`] — BFS/DFS, topological sort, reachability and transitive
+//!   closure;
+//! * [`scc`] — Tarjan strongly-connected components and condensation
+//!   (delegation graphs contain cycles: zones serving each other);
+//! * [`flow`] — Dinic max-flow and **minimum s–t vertex cuts** via node
+//!   splitting, the primitive behind the paper's "bottleneck nameserver"
+//!   analysis (Figure 7);
+//! * [`dom`] — dominator computation, an alternative single-point-of-failure
+//!   analysis used by the ablation benches.
+
+pub mod bitset;
+pub mod digraph;
+pub mod dom;
+pub mod flow;
+pub mod scc;
+pub mod traversal;
+
+pub use bitset::BitSet;
+pub use digraph::{DiGraph, NodeId};
+pub use flow::{FlowNetwork, VertexCut};

@@ -1,0 +1,201 @@
+//! Strongly connected components (iterative Tarjan) and condensation.
+//!
+//! Delegation graphs are cyclic in practice — zones serve each other's
+//! nameservers (the paper's Figure 1 shows cornell ↔ rochester ↔ wisc
+//! interdependencies). SCCs identify such mutual-trust clusters, and the
+//! condensation turns the graph into a DAG for closure computations.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// The SCC decomposition of a graph.
+#[derive(Debug, Clone)]
+pub struct SccResult {
+    /// For each node, the id of its component (0-based, reverse
+    /// topological: an edge in the condensation goes from a higher SCC id
+    /// to a lower one... see [`condensation`] which re-checks this).
+    pub component_of: Vec<usize>,
+    /// Members of each component.
+    pub components: Vec<Vec<NodeId>>,
+}
+
+impl SccResult {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.components.len()
+    }
+}
+
+/// Computes strongly connected components with an iterative Tarjan.
+pub fn tarjan_scc<N>(graph: &DiGraph<N>) -> SccResult {
+    let n = graph.node_count();
+    const UNSET: usize = usize::MAX;
+    let mut index_of = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut component_of = vec![UNSET; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Explicit DFS frames: (node, neighbor cursor).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+    for root in graph.nodes() {
+        if index_of[root.index()] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index_of[root.index()] = next_index;
+        low[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            let neighbors = graph.out_neighbors(v);
+            if *cursor < neighbors.len() {
+                let w = neighbors[*cursor];
+                *cursor += 1;
+                if index_of[w.index()] == UNSET {
+                    index_of[w.index()] = next_index;
+                    low[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w.index()] {
+                    low[v.index()] = low[v.index()].min(index_of[w.index()]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    low[parent.index()] = low[parent.index()].min(low[v.index()]);
+                }
+                if low[v.index()] == index_of[v.index()] {
+                    // v roots a component; pop it off the stack.
+                    let id = components.len();
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w.index()] = false;
+                        component_of[w.index()] = id;
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(members);
+                }
+            }
+        }
+    }
+    SccResult { component_of, components }
+}
+
+/// Builds the condensation DAG: one node per SCC (weighted by member count),
+/// with deduplicated edges between distinct components.
+pub fn condensation<N>(graph: &DiGraph<N>) -> (DiGraph<usize>, SccResult) {
+    let scc = tarjan_scc(graph);
+    let mut dag: DiGraph<usize> = DiGraph::new();
+    for members in &scc.components {
+        dag.add_node(members.len());
+    }
+    let mut seen = std::collections::HashSet::new();
+    for (from, to) in graph.edges() {
+        let cf = scc.component_of[from.index()];
+        let ct = scc.component_of[to.index()];
+        if cf != ct && seen.insert((cf, ct)) {
+            dag.add_edge(NodeId(cf as u32), NodeId(ct as u32));
+        }
+    }
+    (dag, scc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::topo_sort;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let mut g = DiGraph::<()>::new();
+        let nodes: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        for i in 0..5 {
+            g.add_edge(nodes[i], nodes[(i + 1) % 5]);
+        }
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 1);
+        assert_eq!(scc.components[0].len(), 5);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g = DiGraph::<()>::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 3);
+        assert!(scc.components.iter().all(|m| m.len() == 1));
+    }
+
+    #[test]
+    fn mixed_graph_mirrors_paper_interdependency() {
+        // cornell ↔ rochester form a mutual-trust pair; wisc depends on
+        // umich; rochester depends on wisc.
+        let mut g = DiGraph::<&str>::new();
+        let cornell = g.add_node("cornell");
+        let rochester = g.add_node("rochester");
+        let wisc = g.add_node("wisc");
+        let umich = g.add_node("umich");
+        g.add_edge(cornell, rochester);
+        g.add_edge(rochester, cornell);
+        g.add_edge(rochester, wisc);
+        g.add_edge(wisc, umich);
+        let (dag, scc) = condensation(&g);
+        assert_eq!(scc.count(), 3);
+        assert_eq!(
+            scc.component_of[cornell.index()],
+            scc.component_of[rochester.index()]
+        );
+        assert_ne!(scc.component_of[wisc.index()], scc.component_of[umich.index()]);
+        // Condensation is a DAG.
+        assert!(topo_sort(&dag).is_some());
+        assert_eq!(dag.node_count(), 3);
+        assert_eq!(dag.edge_count(), 2);
+        // The pair component has weight 2.
+        let pair = NodeId(scc.component_of[cornell.index()] as u32);
+        assert_eq!(*dag.weight(pair), 2);
+    }
+
+    #[test]
+    fn condensation_deduplicates_edges() {
+        let mut g = DiGraph::<()>::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b);
+        g.add_edge(a, b);
+        g.add_edge(a, b);
+        let (dag, _) = condensation(&g);
+        assert_eq!(dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let mut g = DiGraph::<()>::new();
+        let a = g.add_node(());
+        g.add_edge(a, a);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 1);
+        let (dag, _) = condensation(&g);
+        assert_eq!(dag.edge_count(), 0, "self-loop collapses away");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::<()>::new();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 0);
+    }
+}

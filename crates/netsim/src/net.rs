@@ -1,0 +1,337 @@
+//! The simulated network: endpoint registry and query delivery.
+//!
+//! [`SimNet`] owns the address→endpoint map, the [`FaultPlan`], a
+//! deterministic RNG for loss/jitter draws, delivery statistics, and the
+//! trace log. Delivery is synchronous: `query()` returns the response (or
+//! `None` for a timeout-equivalent loss) plus the simulated RTT.
+//!
+//! Interior mutability (`parking_lot` locks) keeps `query()` usable through
+//! a shared reference, so a parallel survey driver can fan out across
+//! threads while fault state remains centrally adjustable.
+
+use crate::addr::{IpAllocator, Region};
+use crate::fault::FaultPlan;
+use crate::trace::{TraceLog, TraceOutcome};
+use parking_lot::{Mutex, RwLock};
+use perils_dns::message::Message;
+use perils_util::Rng;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Something that answers DNS queries at an address.
+pub trait Endpoint: Send + Sync {
+    /// Handles one query. Returning `None` means the server received the
+    /// query but chose not to respond (e.g. it filters the class).
+    fn handle(&self, query: &Message) -> Option<Message>;
+}
+
+/// A closure endpoint, handy in tests.
+pub struct FnEndpoint<F>(pub F);
+
+impl<F> Endpoint for FnEndpoint<F>
+where
+    F: Fn(&Message) -> Option<Message> + Send + Sync,
+{
+    fn handle(&self, query: &Message) -> Option<Message> {
+        (self.0)(query)
+    }
+}
+
+/// The result of one delivery attempt.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The response, or `None` when the query timed out (loss, dead server,
+    /// unbound address, or a silent server).
+    pub response: Option<Message>,
+    /// Simulated round-trip time. When nothing came back this is the
+    /// retransmission-timeout cost the caller pays.
+    pub rtt_ms: u32,
+}
+
+/// Counters accumulated across all deliveries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Queries submitted.
+    pub queries: u64,
+    /// Answered queries.
+    pub answered: u64,
+    /// Queries lost to packet loss (either direction).
+    pub dropped: u64,
+    /// Queries to dead servers.
+    pub to_dead: u64,
+    /// Queries to unbound addresses.
+    pub to_unbound: u64,
+    /// Total simulated milliseconds spent.
+    pub total_ms: u64,
+}
+
+/// Timeout charged when no response arrives (classic resolver RTO).
+pub const TIMEOUT_MS: u32 = 3000;
+
+/// The simulated internet.
+pub struct SimNet {
+    endpoints: RwLock<HashMap<Ipv4Addr, Arc<dyn Endpoint>>>,
+    faults: RwLock<FaultPlan>,
+    rng: Mutex<Rng>,
+    stats: Mutex<NetStats>,
+    trace: Mutex<TraceLog>,
+    client_region: Region,
+}
+
+impl SimNet {
+    /// Creates a network with the given fault plan and RNG seed. The probe
+    /// client sits in `client_region`.
+    pub fn new(seed: u64, faults: FaultPlan, client_region: Region) -> SimNet {
+        SimNet {
+            endpoints: RwLock::new(HashMap::new()),
+            faults: RwLock::new(faults),
+            rng: Mutex::new(Rng::new(seed).fork(0x6e65_7473)),
+            stats: Mutex::new(NetStats::default()),
+            trace: Mutex::new(TraceLog::new(0)),
+            client_region,
+        }
+    }
+
+    /// Enables tracing with the given retention capacity.
+    pub fn enable_trace(&self, capacity: usize) {
+        *self.trace.lock() = TraceLog::new(capacity);
+    }
+
+    /// Binds `endpoint` at `addr` (replacing any previous binding).
+    pub fn bind(&self, addr: Ipv4Addr, endpoint: Arc<dyn Endpoint>) {
+        self.endpoints.write().insert(addr, endpoint);
+    }
+
+    /// Removes the binding at `addr`.
+    pub fn unbind(&self, addr: Ipv4Addr) {
+        self.endpoints.write().remove(&addr);
+    }
+
+    /// Number of bound endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.read().len()
+    }
+
+    /// Runs `f` against the fault plan (e.g. to kill a server mid-run).
+    pub fn with_faults<R>(&self, f: impl FnOnce(&mut FaultPlan) -> R) -> R {
+        f(&mut self.faults.write())
+    }
+
+    /// A copy of the accumulated statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+
+    /// Runs `f` over the trace log.
+    pub fn with_trace<R>(&self, f: impl FnOnce(&TraceLog) -> R) -> R {
+        f(&self.trace.lock())
+    }
+
+    /// Delivers `query` to the server at `to`, applying the fault plan.
+    pub fn query(&self, to: Ipv4Addr, query: &Message) -> QueryOutcome {
+        let (qname, qtype) = match query.question() {
+            Some(q) => (q.name.clone(), q.qtype),
+            None => (perils_dns::name::DnsName::root(), perils_dns::rr::RrType::Any),
+        };
+        let mut stats = self.stats.lock();
+        stats.queries += 1;
+
+        let server_region = IpAllocator::region_of(to);
+        let (drop_p, dead, rtt_base) = {
+            let faults = self.faults.read();
+            (
+                faults.drop_probability,
+                faults.is_dead(to),
+                faults.rtt_ms(self.client_region, server_region),
+            )
+        };
+        let (lost_out, lost_back, jitter) = {
+            let mut rng = self.rng.lock();
+            let jitter_bound = self.faults.read().jitter_ms;
+            (
+                rng.chance(drop_p),
+                rng.chance(drop_p),
+                if jitter_bound == 0 { 0 } else { rng.below(jitter_bound as u64 + 1) as u32 },
+            )
+        };
+
+        if dead {
+            stats.to_dead += 1;
+            stats.total_ms += TIMEOUT_MS as u64;
+            drop(stats);
+            self.trace.lock().record(to, qname, qtype, TraceOutcome::Dead, 0);
+            return QueryOutcome { response: None, rtt_ms: TIMEOUT_MS };
+        }
+        if lost_out {
+            stats.dropped += 1;
+            stats.total_ms += TIMEOUT_MS as u64;
+            drop(stats);
+            self.trace.lock().record(to, qname, qtype, TraceOutcome::Dropped, 0);
+            return QueryOutcome { response: None, rtt_ms: TIMEOUT_MS };
+        }
+        let endpoint = self.endpoints.read().get(&to).cloned();
+        let Some(endpoint) = endpoint else {
+            stats.to_unbound += 1;
+            stats.total_ms += TIMEOUT_MS as u64;
+            drop(stats);
+            self.trace.lock().record(to, qname, qtype, TraceOutcome::NoEndpoint, 0);
+            return QueryOutcome { response: None, rtt_ms: TIMEOUT_MS };
+        };
+        drop(stats);
+        let response = endpoint.handle(query);
+        let mut stats = self.stats.lock();
+        match response {
+            Some(response) if !lost_back => {
+                let rtt = rtt_base + jitter;
+                stats.answered += 1;
+                stats.total_ms += rtt as u64;
+                drop(stats);
+                self.trace.lock().record(to, qname, qtype, TraceOutcome::Answered, rtt);
+                QueryOutcome { response: Some(response), rtt_ms: rtt }
+            }
+            Some(_) => {
+                stats.dropped += 1;
+                stats.total_ms += TIMEOUT_MS as u64;
+                drop(stats);
+                self.trace.lock().record(to, qname, qtype, TraceOutcome::Dropped, 0);
+                QueryOutcome { response: None, rtt_ms: TIMEOUT_MS }
+            }
+            None => {
+                // Server silently ignored the query.
+                stats.total_ms += TIMEOUT_MS as u64;
+                drop(stats);
+                self.trace.lock().record(to, qname, qtype, TraceOutcome::Answered, 0);
+                QueryOutcome { response: None, rtt_ms: TIMEOUT_MS }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perils_dns::message::{Message, Question};
+    use perils_dns::name::name;
+    use perils_dns::rr::{RData, Record, RrType};
+    use std::net::Ipv4Addr;
+
+    fn echo_endpoint() -> Arc<dyn Endpoint> {
+        Arc::new(FnEndpoint(|query: &Message| {
+            let mut response = Message::response_to(query);
+            response.flags.aa = true;
+            response.answers.push(Record::new(
+                query.question().unwrap().name.clone(),
+                60,
+                RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+            ));
+            Some(response)
+        }))
+    }
+
+    fn a_query() -> Message {
+        Message::query(1, Question::new(name("www.test"), RrType::A))
+    }
+
+    #[test]
+    fn delivers_to_bound_endpoint() {
+        let net = SimNet::new(1, FaultPlan::none(), Region(0));
+        let addr: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        net.bind(addr, echo_endpoint());
+        let outcome = net.query(addr, &a_query());
+        assert!(outcome.response.is_some());
+        assert!(outcome.rtt_ms >= 10, "round trip has base latency");
+        let stats = net.stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.answered, 1);
+    }
+
+    #[test]
+    fn unbound_address_times_out() {
+        let net = SimNet::new(1, FaultPlan::none(), Region(0));
+        let outcome = net.query("10.9.9.9".parse().unwrap(), &a_query());
+        assert!(outcome.response.is_none());
+        assert_eq!(outcome.rtt_ms, TIMEOUT_MS);
+        assert_eq!(net.stats().to_unbound, 1);
+    }
+
+    #[test]
+    fn dead_server_times_out() {
+        let net = SimNet::new(1, FaultPlan::none(), Region(0));
+        let addr: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        net.bind(addr, echo_endpoint());
+        net.with_faults(|f| f.kill(addr));
+        assert!(net.query(addr, &a_query()).response.is_none());
+        assert_eq!(net.stats().to_dead, 1);
+        net.with_faults(|f| f.revive(addr));
+        assert!(net.query(addr, &a_query()).response.is_some());
+    }
+
+    #[test]
+    fn packet_loss_is_probabilistic_and_deterministic() {
+        let run = |seed: u64| -> u64 {
+            let net = SimNet::new(seed, FaultPlan::with_drop_probability(0.3), Region(0));
+            let addr: Ipv4Addr = "10.0.0.1".parse().unwrap();
+            net.bind(addr, echo_endpoint());
+            for _ in 0..500 {
+                net.query(addr, &a_query());
+            }
+            net.stats().dropped
+        };
+        let d1 = run(7);
+        let d2 = run(7);
+        assert_eq!(d1, d2, "same seed, same drops");
+        // ~0.51 of queries lose at least one direction at p=0.3.
+        assert!((150..=360).contains(&d1), "drops {d1} outside tolerance");
+    }
+
+    #[test]
+    fn latency_reflects_region_distance() {
+        let net = SimNet::new(1, FaultPlan::none(), Region(0));
+        let mut alloc = IpAllocator::new();
+        let near_addr = alloc.alloc(Region(0));
+        let far_addr = alloc.alloc(Region(50));
+        net.bind(near_addr, echo_endpoint());
+        net.bind(far_addr, echo_endpoint());
+        let near = net.query(near_addr, &a_query()).rtt_ms;
+        let far = net.query(far_addr, &a_query()).rtt_ms;
+        assert!(far > near * 2, "far {far} vs near {near}");
+    }
+
+    #[test]
+    fn trace_records_outcomes() {
+        let net = SimNet::new(1, FaultPlan::none(), Region(0));
+        net.enable_trace(16);
+        let addr: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        net.bind(addr, echo_endpoint());
+        net.query(addr, &a_query());
+        net.query("10.9.9.9".parse().unwrap(), &a_query());
+        net.with_trace(|t| {
+            assert_eq!(t.len(), 2);
+            let outcomes: Vec<TraceOutcome> = t.events().map(|e| e.outcome).collect();
+            assert_eq!(outcomes, vec![TraceOutcome::Answered, TraceOutcome::NoEndpoint]);
+        });
+    }
+
+    #[test]
+    fn silent_endpoint_counts_as_timeout() {
+        let net = SimNet::new(1, FaultPlan::none(), Region(0));
+        let addr: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        net.bind(addr, Arc::new(FnEndpoint(|_: &Message| None)));
+        let outcome = net.query(addr, &a_query());
+        assert!(outcome.response.is_none());
+        assert_eq!(outcome.rtt_ms, TIMEOUT_MS);
+    }
+
+    #[test]
+    fn rebinding_replaces_endpoint() {
+        let net = SimNet::new(1, FaultPlan::none(), Region(0));
+        let addr: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        net.bind(addr, echo_endpoint());
+        net.bind(addr, Arc::new(FnEndpoint(|_: &Message| None)));
+        assert_eq!(net.endpoint_count(), 1);
+        assert!(net.query(addr, &a_query()).response.is_none());
+        net.unbind(addr);
+        assert_eq!(net.endpoint_count(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Bounded in-memory query tracing (the simulation's pcap analogue).
+
+use perils_dns::name::DnsName;
+use perils_dns::rr::RrType;
+use std::net::Ipv4Addr;
+
+/// How a traced query ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Delivered and answered.
+    Answered,
+    /// Lost to injected packet loss.
+    Dropped,
+    /// The destination server was down.
+    Dead,
+    /// No endpoint is bound at the destination address.
+    NoEndpoint,
+}
+
+/// One traced query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Destination server.
+    pub to: Ipv4Addr,
+    /// Queried name.
+    pub qname: DnsName,
+    /// Queried type.
+    pub qtype: RrType,
+    /// Outcome.
+    pub outcome: TraceOutcome,
+    /// Simulated round-trip time (0 when nothing came back).
+    pub rtt_ms: u32,
+}
+
+/// A bounded ring buffer of trace events.
+#[derive(Debug)]
+pub struct TraceLog {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    next_seq: u64,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// Creates a log retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> TraceLog {
+        TraceLog {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            next_seq: 0,
+            enabled: capacity > 0,
+        }
+    }
+
+    /// Records an event (dropping the oldest when full). Returns the
+    /// sequence number assigned.
+    pub fn record(
+        &mut self,
+        to: Ipv4Addr,
+        qname: DnsName,
+        qtype: RrType,
+        outcome: TraceOutcome,
+        rtt_ms: u32,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.enabled {
+            if self.events.len() == self.capacity {
+                self.events.pop_front();
+            }
+            self.events.push_back(TraceEvent { seq, to, qname, qtype, outcome, rtt_ms });
+        }
+        seq
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Clears retained events (sequence numbers keep increasing).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perils_dns::name::name;
+
+    #[test]
+    fn records_and_evicts() {
+        let mut log = TraceLog::new(2);
+        let ip: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        for i in 0..3 {
+            let seq = log.record(ip, name("a.test"), RrType::A, TraceOutcome::Answered, i);
+            assert_eq!(seq, i as u64);
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total_recorded(), 3);
+        let seqs: Vec<u64> = log.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2], "oldest evicted first");
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let mut log = TraceLog::new(0);
+        let ip: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        log.record(ip, name("a.test"), RrType::A, TraceOutcome::Dropped, 0);
+        assert!(log.is_empty());
+        assert_eq!(log.total_recorded(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_sequence() {
+        let mut log = TraceLog::new(10);
+        let ip: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        log.record(ip, name("a.test"), RrType::A, TraceOutcome::Dead, 0);
+        log.clear();
+        assert!(log.is_empty());
+        let seq = log.record(ip, name("b.test"), RrType::Ns, TraceOutcome::NoEndpoint, 0);
+        assert_eq!(seq, 1);
+    }
+}

@@ -1,0 +1,743 @@
+//! Per-figure analysis pipelines and renderers.
+//!
+//! One function per paper artifact (Figures 2–9 plus the headline inline
+//! statistics), each returning a plain-data struct with a `render()`
+//! method producing the aligned-text table and a `to_csv()` for external
+//! plotting. EXPERIMENTS.md records paper-vs-measured for each of these.
+
+use crate::driver::SurveyReport;
+use crate::topology::GTLDS;
+use perils_dns::name::{name, DnsName};
+use perils_util::stats::{Cdf, RankCurve, Summary};
+use perils_util::table::{fmt_f64, fmt_percent, Align, Table};
+
+/// Figure 2: CDF of TCB sizes, all names vs. top-500.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// `(tcb size, percent of names ≤ size)` for all names.
+    pub all_points: Vec<(f64, f64)>,
+    /// Same for the top-500 subset.
+    pub top500_points: Vec<(f64, f64)>,
+    /// Summary over all names.
+    pub all: Summary,
+    /// Summary over the top-500.
+    pub top500: Summary,
+    /// Fraction of all names with TCB > 200.
+    pub frac_gt_200: f64,
+    /// Fraction of top-500 names with TCB > 200.
+    pub top500_frac_gt_200: f64,
+}
+
+/// Computes Figure 2.
+pub fn fig2(report: &SurveyReport) -> Fig2 {
+    let all_cdf = Cdf::of_counts(&report.tcb_sizes);
+    let top500_sizes = report.top500_of(&report.tcb_sizes);
+    let top_cdf = Cdf::of_counts(&top500_sizes);
+    Fig2 {
+        all_points: all_cdf.plot_points(64),
+        top500_points: top_cdf.plot_points(64),
+        all: Summary::of_counts(&report.tcb_sizes),
+        top500: Summary::of_counts(&top500_sizes),
+        frac_gt_200: all_cdf.fraction_above(200.0),
+        top500_frac_gt_200: top_cdf.fraction_above(200.0),
+    }
+}
+
+impl Fig2 {
+    /// Renders the figure as a table of CDF points plus the summary row.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["tcb size", "all names CDF", "top-500 CDF"])
+            .align(vec![Align::Right, Align::Right, Align::Right]);
+        let top_cdf = Cdf::of(&self.top500_points.iter().map(|&(x, _)| x).collect::<Vec<_>>());
+        let _ = top_cdf;
+        for &(x, pct) in &self.all_points {
+            let top_pct = self
+                .top500_points
+                .iter()
+                .take_while(|&&(tx, _)| tx <= x)
+                .last()
+                .map(|&(_, p)| p)
+                .unwrap_or(0.0);
+            t.row(vec![format!("{x:.0}"), format!("{pct:.1}%"), format!("{top_pct:.1}%")]);
+        }
+        format!(
+            "Figure 2 — Size of TCB (CDF)\n{}\nall: median {} mean {} | >200: {} ; top-500: mean {} | >200: {}\n",
+            t.render(),
+            fmt_f64(self.all.median, 0),
+            fmt_f64(self.all.mean, 1),
+            fmt_percent(self.frac_gt_200),
+            fmt_f64(self.top500.mean, 1),
+            fmt_percent(self.top500_frac_gt_200),
+        )
+    }
+
+    /// CSV with `series,x,y` rows.
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new(vec!["series", "tcb_size", "cdf_percent"]);
+        for &(x, y) in &self.all_points {
+            t.row(vec!["all".to_string(), format!("{x}"), format!("{y}")]);
+        }
+        for &(x, y) in &self.top500_points {
+            t.row(vec!["top500".to_string(), format!("{x}"), format!("{y}")]);
+        }
+        t.render_csv()
+    }
+}
+
+/// A per-TLD mean TCB bar (Figures 3 and 4).
+#[derive(Debug, Clone)]
+pub struct TldBar {
+    /// TLD label.
+    pub tld: String,
+    /// Names surveyed under it.
+    pub names: usize,
+    /// Mean TCB size.
+    pub mean_tcb: f64,
+}
+
+fn tld_means(report: &SurveyReport, keep: impl Fn(&str) -> bool) -> Vec<TldBar> {
+    use std::collections::BTreeMap;
+    let mut sums: BTreeMap<String, (usize, u64)> = BTreeMap::new();
+    for (i, survey_name) in report.world.names.iter().enumerate() {
+        let tld = survey_name.tld.to_string();
+        if keep(&tld) {
+            let entry = sums.entry(tld).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += report.tcb_sizes[i] as u64;
+        }
+    }
+    sums.into_iter()
+        .map(|(tld, (count, total))| TldBar {
+            tld,
+            names: count,
+            mean_tcb: total as f64 / count.max(1) as f64,
+        })
+        .collect()
+}
+
+/// Figure 3: mean TCB per gTLD, in the paper's plotted order.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// Bars in the paper's order (aero, int, name, mil, info, edu, biz,
+    /// gov, org, net, com, coop).
+    pub bars: Vec<TldBar>,
+    /// Mean of the per-gTLD means (the paper's "gTLD average 87").
+    pub group_mean: f64,
+}
+
+/// Computes Figure 3.
+pub fn fig3(report: &SurveyReport) -> Fig3 {
+    let mut bars = tld_means(report, |tld| GTLDS.contains(&tld));
+    bars.sort_by_key(|bar| GTLDS.iter().position(|g| *g == bar.tld).unwrap_or(usize::MAX));
+    let group_mean = if bars.is_empty() {
+        0.0
+    } else {
+        bars.iter().map(|b| b.mean_tcb).sum::<f64>() / bars.len() as f64
+    };
+    Fig3 { bars, group_mean }
+}
+
+impl Fig3 {
+    /// Renders the bar table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["gTLD", "names", "mean TCB"])
+            .align(vec![Align::Left, Align::Right, Align::Right]);
+        for bar in &self.bars {
+            t.row(vec![bar.tld.clone(), bar.names.to_string(), fmt_f64(bar.mean_tcb, 1)]);
+        }
+        format!(
+            "Figure 3 — Average TCB size for gTLD names\n{}\ngroup mean: {}\n",
+            t.render(),
+            fmt_f64(self.group_mean, 1)
+        )
+    }
+
+    /// CSV rows `tld,names,mean_tcb`.
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new(vec!["tld", "names", "mean_tcb"]);
+        for bar in &self.bars {
+            t.row(vec![bar.tld.clone(), bar.names.to_string(), format!("{}", bar.mean_tcb)]);
+        }
+        t.render_csv()
+    }
+}
+
+/// Figure 4: the fifteen ccTLDs with the largest mean TCBs.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// The worst fifteen, descending.
+    pub bars: Vec<TldBar>,
+    /// Mean of per-ccTLD means over all ccTLDs (the paper's 209).
+    pub group_mean: f64,
+}
+
+/// Computes Figure 4.
+pub fn fig4(report: &SurveyReport) -> Fig4 {
+    let mut bars = tld_means(report, |tld| !GTLDS.contains(&tld));
+    let group_mean = if bars.is_empty() {
+        0.0
+    } else {
+        bars.iter().map(|b| b.mean_tcb).sum::<f64>() / bars.len() as f64
+    };
+    bars.sort_by(|a, b| b.mean_tcb.partial_cmp(&a.mean_tcb).expect("finite"));
+    bars.truncate(15);
+    Fig4 { bars, group_mean }
+}
+
+impl Fig4 {
+    /// Renders the bar table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["ccTLD", "names", "mean TCB"])
+            .align(vec![Align::Left, Align::Right, Align::Right]);
+        for bar in &self.bars {
+            t.row(vec![bar.tld.clone(), bar.names.to_string(), fmt_f64(bar.mean_tcb, 1)]);
+        }
+        format!(
+            "Figure 4 — Average TCB size for the 15 most vulnerable ccTLDs\n{}\nccTLD group mean: {}\n",
+            t.render(),
+            fmt_f64(self.group_mean, 1)
+        )
+    }
+
+    /// CSV rows `tld,names,mean_tcb`.
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new(vec!["tld", "names", "mean_tcb"]);
+        for bar in &self.bars {
+            t.row(vec![bar.tld.clone(), bar.names.to_string(), format!("{}", bar.mean_tcb)]);
+        }
+        t.render_csv()
+    }
+}
+
+/// Figure 5: CDF of the number of vulnerable TCB members.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// `(count, percent ≤ count)` for all names.
+    pub all_points: Vec<(f64, f64)>,
+    /// Same for the top-500.
+    pub top500_points: Vec<(f64, f64)>,
+    /// Fraction of names with ≥1 vulnerable TCB member (the paper's 45%).
+    pub frac_with_vulnerable: f64,
+    /// Mean vulnerable members (the paper's 4.1).
+    pub mean_vulnerable: f64,
+    /// Mean for the top-500 (the paper's 7.6).
+    pub top500_mean_vulnerable: f64,
+}
+
+/// Computes Figure 5.
+pub fn fig5(report: &SurveyReport) -> Fig5 {
+    let cdf = Cdf::of_counts(&report.vulnerable_in_tcb);
+    let top = report.top500_of(&report.vulnerable_in_tcb);
+    let top_cdf = Cdf::of_counts(&top);
+    Fig5 {
+        all_points: cdf.plot_points(64),
+        top500_points: top_cdf.plot_points(64),
+        frac_with_vulnerable: cdf.fraction_above(0.0),
+        mean_vulnerable: Summary::of_counts(&report.vulnerable_in_tcb).mean,
+        top500_mean_vulnerable: Summary::of_counts(&top).mean,
+    }
+}
+
+impl Fig5 {
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["vulnerable in TCB", "all names CDF"])
+            .align(vec![Align::Right, Align::Right]);
+        for &(x, pct) in &self.all_points {
+            t.row(vec![format!("{x:.0}"), format!("{pct:.1}%")]);
+        }
+        format!(
+            "Figure 5 — Vulnerable nameservers in TCB (CDF)\n{}\nnames with ≥1 vulnerable: {} | mean {} (top-500 {})\n",
+            t.render(),
+            fmt_percent(self.frac_with_vulnerable),
+            fmt_f64(self.mean_vulnerable, 1),
+            fmt_f64(self.top500_mean_vulnerable, 1),
+        )
+    }
+
+    /// CSV with `series,x,y` rows.
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new(vec!["series", "vulnerable_count", "cdf_percent"]);
+        for &(x, y) in &self.all_points {
+            t.row(vec!["all".to_string(), format!("{x}"), format!("{y}")]);
+        }
+        for &(x, y) in &self.top500_points {
+            t.row(vec!["top500".to_string(), format!("{x}"), format!("{y}")]);
+        }
+        t.render_csv()
+    }
+}
+
+/// Figure 6: names ranked by TCB safety (ascending), log-rank curve.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// `(rank, safety percent)` sampled log-uniformly in rank; rank 1 is
+    /// the *least* safe name.
+    pub points: Vec<(usize, f64)>,
+    /// Number of names whose entire TCB is vulnerable (safety 0%).
+    pub fully_vulnerable_names: usize,
+}
+
+/// Computes Figure 6.
+pub fn fig6(report: &SurveyReport) -> Fig6 {
+    // RankCurve sorts descending; we want ascending safety, so rank by
+    // (100 - safety).
+    let danger: Vec<f64> = report.safety_percent.iter().map(|&s| 100.0 - s).collect();
+    let curve = RankCurve::of(&danger);
+    let points = curve
+        .log_points(8)
+        .into_iter()
+        .map(|(rank, danger)| (rank, 100.0 - danger))
+        .collect();
+    Fig6 {
+        points,
+        fully_vulnerable_names: report.safety_percent.iter().filter(|&&s| s <= 0.0).count(),
+    }
+}
+
+impl Fig6 {
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["rank (least safe first)", "safety of TCB"])
+            .align(vec![Align::Right, Align::Right]);
+        for &(rank, safety) in &self.points {
+            t.row(vec![rank.to_string(), format!("{safety:.1}%")]);
+        }
+        format!(
+            "Figure 6 — Percentage of non-vulnerable nodes in TCB\n{}\nnames with fully vulnerable TCB: {}\n",
+            t.render(),
+            self.fully_vulnerable_names
+        )
+    }
+
+    /// CSV rows `rank,safety_percent`.
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new(vec!["rank", "safety_percent"]);
+        for &(rank, safety) in &self.points {
+            t.row(vec![rank.to_string(), format!("{safety}")]);
+        }
+        t.render_csv()
+    }
+}
+
+/// Figure 7: CDF of safe bottleneck servers in the min-cut.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// `(safe count, percent ≤ count)` for all names.
+    pub all_points: Vec<(f64, f64)>,
+    /// Same for the top-500.
+    pub top500_points: Vec<(f64, f64)>,
+    /// Fraction of names whose min-cut is entirely vulnerable (the paper's
+    /// 30%).
+    pub frac_fully_vulnerable_cut: f64,
+    /// Fraction with exactly one safe bottleneck (the paper's extra 10%).
+    pub frac_one_safe: f64,
+    /// Mean min-cut size (the paper's 2.5).
+    pub mean_cut_size: f64,
+}
+
+/// Computes Figure 7.
+pub fn fig7(report: &SurveyReport) -> Fig7 {
+    let cuttable: Vec<usize> = report
+        .cut_size
+        .iter()
+        .zip(&report.safe_in_cut)
+        .filter(|&(&size, _)| size > 0)
+        .map(|(_, &safe)| safe)
+        .collect();
+    let cut_sizes: Vec<usize> =
+        report.cut_size.iter().copied().filter(|&s| s > 0).collect();
+    let cdf = Cdf::of_counts(&cuttable);
+    let top: Vec<usize> = report
+        .top500()
+        .iter()
+        .filter(|&&i| report.cut_size[i] > 0)
+        .map(|&i| report.safe_in_cut[i])
+        .collect();
+    let top_cdf = Cdf::of_counts(&top);
+    let n = cuttable.len().max(1) as f64;
+    let zero = cuttable.iter().filter(|&&s| s == 0).count() as f64;
+    let one = cuttable.iter().filter(|&&s| s == 1).count() as f64;
+    Fig7 {
+        all_points: cdf.plot_points(32),
+        top500_points: top_cdf.plot_points(32),
+        frac_fully_vulnerable_cut: zero / n,
+        frac_one_safe: one / n,
+        mean_cut_size: Summary::of_counts(&cut_sizes).mean,
+    }
+}
+
+impl Fig7 {
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["safe bottlenecks", "all names CDF"])
+            .align(vec![Align::Right, Align::Right]);
+        for &(x, pct) in &self.all_points {
+            t.row(vec![format!("{x:.0}"), format!("{pct:.1}%")]);
+        }
+        format!(
+            "Figure 7 — DNS nameserver bottlenecks (safe servers in min-cut)\n{}\nfully-vulnerable min-cut: {} | exactly one safe: {} | mean cut size {}\n",
+            t.render(),
+            fmt_percent(self.frac_fully_vulnerable_cut),
+            fmt_percent(self.frac_one_safe),
+            fmt_f64(self.mean_cut_size, 1),
+        )
+    }
+
+    /// CSV with `series,x,y` rows.
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new(vec!["series", "safe_bottlenecks", "cdf_percent"]);
+        for &(x, y) in &self.all_points {
+            t.row(vec!["all".to_string(), format!("{x}"), format!("{y}")]);
+        }
+        for &(x, y) in &self.top500_points {
+            t.row(vec!["top500".to_string(), format!("{x}"), format!("{y}")]);
+        }
+        t.render_csv()
+    }
+}
+
+/// Figures 8 and 9: rank vs. names-controlled curves.
+#[derive(Debug, Clone)]
+pub struct RankFigure {
+    /// Series name → `(rank, names controlled)` log-sampled points.
+    pub series: Vec<(String, Vec<(usize, f64)>)>,
+    /// Servers controlling more than 10% of surveyed names.
+    pub controlling_10pct: usize,
+    /// Mean and median names-controlled (non-zero servers).
+    pub mean: f64,
+    /// Median names-controlled.
+    pub median: f64,
+}
+
+/// Computes Figure 8 (all servers + vulnerable servers).
+pub fn fig8(report: &SurveyReport) -> RankFigure {
+    let universe = &report.world.universe;
+    let all: Vec<u64> = report.value.ranking().iter().map(|&(_, c)| c).collect();
+    let vulnerable: Vec<u64> = report
+        .value
+        .ranking_where(universe, |s| s.vulnerable)
+        .iter()
+        .map(|&(_, c)| c)
+        .collect();
+    let (mean, median) = report.value.mean_median();
+    RankFigure {
+        series: vec![
+            ("all".to_string(), curve_points(&all)),
+            ("vulnerable".to_string(), curve_points(&vulnerable)),
+        ],
+        controlling_10pct: report.value.servers_controlling_more_than(0.10),
+        mean,
+        median,
+    }
+}
+
+/// Computes Figure 9 (`.edu` and `.org` servers).
+pub fn fig9(report: &SurveyReport) -> RankFigure {
+    let universe = &report.world.universe;
+    let edu: Vec<u64> =
+        report.value.ranking_in_tld(universe, &name("edu")).iter().map(|&(_, c)| c).collect();
+    let org: Vec<u64> =
+        report.value.ranking_in_tld(universe, &name("org")).iter().map(|&(_, c)| c).collect();
+    let (mean, median) = report.value.mean_median();
+    RankFigure {
+        series: vec![
+            ("edu".to_string(), curve_points(&edu)),
+            ("org".to_string(), curve_points(&org)),
+        ],
+        controlling_10pct: report.value.servers_controlling_more_than(0.10),
+        mean,
+        median,
+    }
+}
+
+fn curve_points(descending_counts: &[u64]) -> Vec<(usize, f64)> {
+    let values: Vec<f64> = descending_counts.iter().map(|&c| c as f64).collect();
+    RankCurve { descending: values }.log_points(8)
+}
+
+impl RankFigure {
+    /// Renders all series.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = format!("{title}\n");
+        for (label, points) in &self.series {
+            let mut t = Table::new(vec!["rank", "names controlled"])
+                .align(vec![Align::Right, Align::Right]);
+            for &(rank, count) in points {
+                t.row(vec![rank.to_string(), format!("{count:.0}")]);
+            }
+            out.push_str(&format!("series: {label}\n{}\n", t.render()));
+        }
+        out.push_str(&format!(
+            "servers controlling >10% of names: {} | mean {} median {}\n",
+            self.controlling_10pct,
+            fmt_f64(self.mean, 1),
+            fmt_f64(self.median, 1),
+        ));
+        out
+    }
+
+    /// CSV with `series,rank,names_controlled` rows.
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new(vec!["series", "rank", "names_controlled"]);
+        for (label, points) in &self.series {
+            for &(rank, count) in points {
+                t.row(vec![label.clone(), rank.to_string(), format!("{count}")]);
+            }
+        }
+        t.render_csv()
+    }
+}
+
+/// The paper's headline inline statistics (abstract, §3, §5).
+#[derive(Debug, Clone)]
+pub struct Headline {
+    /// Surveyed names.
+    pub names: usize,
+    /// Distinct TLDs among surveyed names.
+    pub tlds: usize,
+    /// Discovered (non-root) nameservers.
+    pub servers: usize,
+    /// Vulnerable servers.
+    pub vulnerable_servers: usize,
+    /// Mean TCB size (paper: 46).
+    pub mean_tcb: f64,
+    /// Median TCB size (paper: 26).
+    pub median_tcb: f64,
+    /// Mean nameowner-administered servers (paper: 2.2).
+    pub mean_nameowner: f64,
+    /// Names with ≥1 vulnerable TCB member (paper: 264,599 ≈ 45%).
+    pub names_with_vulnerable_dep: usize,
+    /// Fraction of names with ≥1 vulnerable TCB member.
+    pub frac_with_vulnerable_dep: f64,
+    /// Fraction of names with an all-vulnerable min-cut (paper: 30%).
+    pub frac_hijackable: f64,
+    /// Mean min-cut size (paper: 2.5).
+    pub mean_cut: f64,
+    /// Servers controlling > 10% of names (paper: ~125).
+    pub critical_servers: usize,
+    /// How many critical servers are gTLD registry boxes (paper: ~30).
+    pub critical_gtld: usize,
+    /// How many critical servers are vulnerable (paper: ~12).
+    pub critical_vulnerable: usize,
+    /// How many critical servers live under .edu (paper: ~25).
+    pub critical_edu: usize,
+}
+
+/// Computes the headline statistics.
+pub fn headline(report: &SurveyReport) -> Headline {
+    let universe = &report.world.universe;
+    let tlds: std::collections::BTreeSet<String> =
+        report.world.names.iter().map(|n| n.tld.to_string()).collect();
+    let vulnerable_servers = universe
+        .server_ids()
+        .filter(|&s| universe.server(s).vulnerable && !universe.server(s).is_root)
+        .count();
+    let servers = universe.server_ids().filter(|&s| !universe.server(s).is_root).count();
+    let names_with_vulnerable_dep =
+        report.vulnerable_in_tcb.iter().filter(|&&v| v > 0).count();
+    let cuttable = report.cut_size.iter().filter(|&&c| c > 0).count().max(1);
+    let hijackable = report
+        .cut_size
+        .iter()
+        .zip(&report.safe_in_cut)
+        .filter(|&(&size, &safe)| size > 0 && safe == 0)
+        .count();
+    let threshold = (report.value.names_seen() as f64 * 0.10).floor() as u64;
+    let critical: Vec<_> = report
+        .value
+        .ranking()
+        .into_iter()
+        .filter(|&(_, c)| c > threshold)
+        .collect();
+    let is_gtld_box = |server_name: &DnsName| {
+        server_name.is_subdomain_of(&name("gtld-servers.net"))
+            || server_name.is_subdomain_of(&name("nstld.com"))
+            || GTLDS
+                .iter()
+                .any(|g| server_name.is_subdomain_of(&name(&format!("{g}-servers.net"))))
+    };
+    let critical_gtld =
+        critical.iter().filter(|&&(s, _)| is_gtld_box(&universe.server(s).name)).count();
+    let critical_vulnerable =
+        critical.iter().filter(|&&(s, _)| universe.server(s).vulnerable).count();
+    let critical_edu = critical
+        .iter()
+        .filter(|&&(s, _)| universe.server(s).name.is_subdomain_of(&name("edu")))
+        .count();
+    let cut_sizes: Vec<usize> = report.cut_size.iter().copied().filter(|&c| c > 0).collect();
+    Headline {
+        names: report.world.names.len(),
+        tlds: tlds.len(),
+        servers,
+        vulnerable_servers,
+        mean_tcb: Summary::of_counts(&report.tcb_sizes).mean,
+        median_tcb: Summary::of_counts(&report.tcb_sizes).median,
+        mean_nameowner: Summary::of_counts(&report.nameowner).mean,
+        names_with_vulnerable_dep,
+        frac_with_vulnerable_dep: names_with_vulnerable_dep as f64
+            / report.tcb_sizes.len().max(1) as f64,
+        frac_hijackable: hijackable as f64 / cuttable as f64,
+        mean_cut: Summary::of_counts(&cut_sizes).mean,
+        critical_servers: critical.len(),
+        critical_gtld,
+        critical_vulnerable,
+        critical_edu,
+    }
+}
+
+impl Headline {
+    /// Renders the headline table with the paper's values alongside.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["statistic", "measured", "paper"])
+            .align(vec![Align::Left, Align::Right, Align::Right]);
+        t.row(vec!["surveyed names".to_string(), self.names.to_string(), "593160".to_string()]);
+        t.row(vec!["TLDs".to_string(), self.tlds.to_string(), "196".to_string()]);
+        t.row(vec!["nameservers".to_string(), self.servers.to_string(), "166771".to_string()]);
+        t.row(vec![
+            "vulnerable servers".to_string(),
+            format!(
+                "{} ({})",
+                self.vulnerable_servers,
+                fmt_percent(self.vulnerable_servers as f64 / self.servers.max(1) as f64)
+            ),
+            "27141 (16.3%)".to_string(),
+        ]);
+        t.row(vec!["mean TCB".to_string(), fmt_f64(self.mean_tcb, 1), "46".to_string()]);
+        t.row(vec!["median TCB".to_string(), fmt_f64(self.median_tcb, 0), "26".to_string()]);
+        t.row(vec![
+            "nameowner-administered".to_string(),
+            fmt_f64(self.mean_nameowner, 1),
+            "2.2".to_string(),
+        ]);
+        t.row(vec![
+            "names w/ vulnerable dep".to_string(),
+            format!(
+                "{} ({})",
+                self.names_with_vulnerable_dep,
+                fmt_percent(self.frac_with_vulnerable_dep)
+            ),
+            "264599 (45%)".to_string(),
+        ]);
+        t.row(vec![
+            "completely hijackable".to_string(),
+            fmt_percent(self.frac_hijackable),
+            "30%".to_string(),
+        ]);
+        t.row(vec!["mean min-cut".to_string(), fmt_f64(self.mean_cut, 1), "2.5".to_string()]);
+        t.row(vec![
+            "servers controlling >10%".to_string(),
+            self.critical_servers.to_string(),
+            "~125".to_string(),
+        ]);
+        t.row(vec![
+            "  of which gTLD registry".to_string(),
+            self.critical_gtld.to_string(),
+            "~30".to_string(),
+        ]);
+        t.row(vec![
+            "  of which vulnerable".to_string(),
+            self.critical_vulnerable.to_string(),
+            "~12".to_string(),
+        ]);
+        t.row(vec![
+            "  of which .edu".to_string(),
+            self.critical_edu.to_string(),
+            "~25".to_string(),
+        ]);
+        format!("Headline statistics (paper abstract / §3)\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_survey, SurveyConfig};
+
+    fn tiny_report() -> SurveyReport {
+        run_survey(&SurveyConfig::tiny(29))
+    }
+
+    #[test]
+    fn all_figures_compute_and_render() {
+        let report = tiny_report();
+        let f2 = fig2(&report);
+        assert!(f2.all.mean > 0.0);
+        assert!(f2.render().contains("Figure 2"));
+        assert!(f2.to_csv().starts_with("series,"));
+
+        let f3 = fig3(&report);
+        assert!(!f3.bars.is_empty());
+        assert!(f3.render().contains("Figure 3"));
+
+        let f4 = fig4(&report);
+        assert!(f4.bars.len() <= 15);
+        assert!(f4.render().contains("Figure 4"));
+
+        let f5 = fig5(&report);
+        assert!(f5.render().contains("Figure 5"));
+        assert!((0.0..=1.0).contains(&f5.frac_with_vulnerable));
+
+        let f6 = fig6(&report);
+        assert!(f6.render().contains("Figure 6"));
+        assert!(!f6.points.is_empty());
+
+        let f7 = fig7(&report);
+        assert!(f7.render().contains("Figure 7"));
+        assert!((0.0..=1.0).contains(&f7.frac_fully_vulnerable_cut));
+
+        let f8 = fig8(&report);
+        assert_eq!(f8.series.len(), 2);
+        assert!(f8.render("Figure 8").contains("series: all"));
+
+        let f9 = fig9(&report);
+        assert!(f9.render("Figure 9").contains("series: edu"));
+
+        let h = headline(&report);
+        assert!(h.render().contains("mean TCB"));
+        assert_eq!(h.names, report.world.names.len());
+    }
+
+    #[test]
+    fn fig3_order_matches_paper_axis() {
+        let report = tiny_report();
+        let f3 = fig3(&report);
+        let order: Vec<&str> = f3.bars.iter().map(|b| b.tld.as_str()).collect();
+        // Bars must appear in the paper's x-axis order (subset thereof).
+        let mut expected = GTLDS.iter();
+        for tld in order {
+            assert!(
+                expected.any(|g| *g == tld),
+                "gTLD {tld} out of paper order"
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_descending() {
+        let report = tiny_report();
+        let f4 = fig4(&report);
+        for w in f4.bars.windows(2) {
+            assert!(w[0].mean_tcb >= w[1].mean_tcb);
+        }
+    }
+
+    #[test]
+    fn fig7_fractions_consistent() {
+        let report = tiny_report();
+        let f7 = fig7(&report);
+        assert!(f7.frac_fully_vulnerable_cut + f7.frac_one_safe <= 1.0 + 1e-9);
+        assert!(f7.mean_cut_size >= 1.0);
+    }
+
+    #[test]
+    fn headline_consistency() {
+        let report = tiny_report();
+        let h = headline(&report);
+        assert!(h.vulnerable_servers <= h.servers);
+        assert!(h.critical_gtld <= h.critical_servers);
+        assert!(h.critical_vulnerable <= h.critical_servers);
+        assert!((0.0..=1.0).contains(&h.frac_with_vulnerable_dep));
+        assert!((0.0..=1.0).contains(&h.frac_hijackable));
+    }
+}

@@ -1,0 +1,162 @@
+//! Generator parameters and presets.
+//!
+//! The paper's survey: 593,160 names, 196 TLDs, 166,771 discovered
+//! nameservers. [`TopologyParams::paper`] reproduces that scale;
+//! [`TopologyParams::default_scaled`] is a proportionally scaled universe
+//! that runs the full figure pipeline in seconds on a laptop;
+//! [`TopologyParams::tiny`] is for tests and doctests.
+
+/// All generator knobs.
+#[derive(Debug, Clone)]
+pub struct TopologyParams {
+    /// RNG seed: same seed ⇒ bit-identical universe and figures.
+    pub seed: u64,
+    /// Number of surveyed web-server names to produce.
+    pub names: usize,
+    /// Number of country-code TLDs (the paper saw 196 TLDs total; 12 are
+    /// modeled gTLDs, the rest ccTLDs).
+    pub cctlds: usize,
+    /// Number of hosting providers / registrar DNS operators.
+    pub providers: usize,
+    /// Zipf exponent for provider popularity (hosting concentration).
+    pub provider_zipf: f64,
+    /// Number of university / volunteer operators (the pool that hosts
+    /// ccTLD slaves and each other's zones).
+    pub universities: usize,
+    /// Number of second-level domains to generate (names are sampled from
+    /// these; several names can share a domain).
+    pub domains: usize,
+    /// Zipf exponent for name popularity (directory crawl bias; also
+    /// drives the alexa-style top-500 subset).
+    pub popularity_zipf: f64,
+    /// Probability that a domain is self-hosted (in-bailiwick, glued NS).
+    pub p_self_hosted: f64,
+    /// Probability that a domain is provider-hosted.
+    pub p_provider_hosted: f64,
+    /// Probability that a domain is university/volunteer-hosted (the
+    /// remainder after self/provider is mixed off-site hosting).
+    pub p_university_hosted: f64,
+    /// Fraction of *operators* running a vulnerable BIND (versions are
+    /// per-operator, so vulnerability correlates within NS sets; tuned so
+    /// ~17% of servers end up vulnerable as in the paper).
+    pub vulnerable_operator_fraction: f64,
+    /// Extra off-site secondary NS count for popular domains (the paper's
+    /// availability-vs-security dilemma: popular sites spread wider).
+    pub popular_extra_secondaries: usize,
+    /// How many of the worst ccTLDs form dense volunteer webs (ua, by, sm,
+    /// … in Figure 4).
+    pub messy_cctlds: usize,
+}
+
+impl TopologyParams {
+    /// The paper's scale (593k names). Minutes of CPU and gigabytes of
+    /// memory; use [`TopologyParams::default_scaled`] for interactive work.
+    pub fn paper(seed: u64) -> TopologyParams {
+        TopologyParams {
+            seed,
+            names: 593_160,
+            cctlds: 184,
+            providers: 1200,
+            provider_zipf: 1.3,
+            universities: 900,
+            domains: 250_000,
+            popularity_zipf: 0.95,
+            p_self_hosted: 0.25,
+            p_provider_hosted: 0.52,
+            p_university_hosted: 0.07,
+            vulnerable_operator_fraction: 0.22,
+            popular_extra_secondaries: 3,
+            messy_cctlds: 20,
+        }
+    }
+
+    /// The default preset: ~1/10 the paper's scale, preserving all
+    /// proportions. Runs the full pipeline in seconds.
+    pub fn default_scaled(seed: u64) -> TopologyParams {
+        TopologyParams {
+            seed,
+            names: 60_000,
+            cctlds: 184,
+            providers: 320,
+            provider_zipf: 1.3,
+            universities: 260,
+            domains: 26_000,
+            popularity_zipf: 0.95,
+            p_self_hosted: 0.25,
+            p_provider_hosted: 0.52,
+            p_university_hosted: 0.07,
+            vulnerable_operator_fraction: 0.22,
+            popular_extra_secondaries: 3,
+            messy_cctlds: 20,
+        }
+    }
+
+    /// A miniature universe for tests and doctests (hundreds of names).
+    pub fn tiny(seed: u64) -> TopologyParams {
+        TopologyParams {
+            seed,
+            names: 400,
+            cctlds: 12,
+            providers: 12,
+            provider_zipf: 1.3,
+            universities: 10,
+            domains: 220,
+            popularity_zipf: 0.95,
+            p_self_hosted: 0.25,
+            p_provider_hosted: 0.52,
+            p_university_hosted: 0.07,
+            vulnerable_operator_fraction: 0.22,
+            popular_extra_secondaries: 2,
+            messy_cctlds: 3,
+        }
+    }
+
+    /// Sanity-checks the parameter combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics on impossible combinations (probabilities exceeding 1,
+    /// zero-sized pools).
+    pub fn validate(&self) {
+        let p = self.p_self_hosted + self.p_provider_hosted + self.p_university_hosted;
+        assert!(p <= 1.0 + 1e-9, "hosting probabilities sum to {p} > 1");
+        assert!(self.names > 0 && self.domains > 0, "names and domains must be positive");
+        assert!(self.providers > 0 && self.universities > 0, "operator pools must be non-empty");
+        assert!(self.cctlds >= self.messy_cctlds, "messy ccTLDs exceed ccTLD count");
+        assert!(
+            (0.0..=1.0).contains(&self.vulnerable_operator_fraction),
+            "vulnerable fraction out of range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        TopologyParams::paper(1).validate();
+        TopologyParams::default_scaled(1).validate();
+        TopologyParams::tiny(1).validate();
+    }
+
+    #[test]
+    fn scaled_preserves_proportions() {
+        let paper = TopologyParams::paper(1);
+        let scaled = TopologyParams::default_scaled(1);
+        let ratio = paper.names as f64 / scaled.names as f64;
+        let domain_ratio = paper.domains as f64 / scaled.domains as f64;
+        assert!((ratio / domain_ratio - 1.0).abs() < 0.2, "domain scaling tracks name scaling");
+        assert_eq!(paper.vulnerable_operator_fraction, scaled.vulnerable_operator_fraction);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn invalid_probabilities_rejected() {
+        let mut p = TopologyParams::tiny(1);
+        p.p_self_hosted = 0.9;
+        p.p_provider_hosted = 0.9;
+        p.validate();
+    }
+}

@@ -1,0 +1,92 @@
+//! Bridging packet-level scenarios into the analysis model.
+//!
+//! Hand-built [`Scenario`]s (Figure 1, fbi.gov) and tiny generated worlds
+//! can be analyzed two ways: structurally (straight from the zone
+//! registry) or by actually probing the simulated network with the
+//! resolver. This module provides both paths plus the glue that turns a
+//! wire-probed [`DependencyReport`] into a [`Universe`], so integration
+//! tests can assert the two agree.
+
+use perils_authserver::scenarios::Scenario;
+use perils_core::universe::Universe;
+use perils_dns::name::DnsName;
+use perils_resolver::DependencyReport;
+use perils_vulndb::VulnDb;
+use std::collections::BTreeMap;
+
+/// Builds the analysis universe structurally from a scenario's registry,
+/// with banners taken from the server specs (ground truth).
+pub fn universe_from_scenario(scenario: &Scenario) -> Universe {
+    let banners: BTreeMap<DnsName, String> = scenario
+        .specs
+        .iter()
+        .filter_map(|spec| {
+            spec.software.banner().map(|b| (spec.host_name.to_lowercase(), b))
+        })
+        .collect();
+    let db = VulnDb::isc_feb_2004();
+    Universe::from_registry(&scenario.registry, &db, |server| {
+        banners.get(&server.to_lowercase()).cloned()
+    })
+}
+
+/// Builds a universe from wire-probed dependency reports (one per
+/// surveyed name), merging their zone→NS views and banners.
+///
+/// `root_names` marks which servers are root servers (the prober cannot
+/// see past the hints).
+pub fn universe_from_reports(
+    reports: &[DependencyReport],
+    root_names: &[DnsName],
+) -> Universe {
+    let db = VulnDb::isc_feb_2004();
+    let mut builder = Universe::builder();
+    for root in root_names {
+        builder.ensure_server(root, None, &db, true);
+    }
+    for report in reports {
+        for (server, banner) in &report.banners {
+            builder.ensure_server(server, banner.clone(), &db, false);
+        }
+        for (zone, ns) in &report.zone_ns {
+            let ns_names: Vec<DnsName> = ns.iter().cloned().collect();
+            builder.add_zone(zone, &ns_names);
+        }
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perils_authserver::scenarios::fbi_case;
+    use perils_dns::name::name;
+
+    #[test]
+    fn scenario_universe_carries_vulnerability_truth() {
+        let scenario = fbi_case();
+        let u = universe_from_scenario(&scenario);
+        let ns2 = u.server_id(&name("reston-ns2.telemail.net")).expect("exists");
+        assert!(u.server(ns2).vulnerable);
+        assert!(u.server(ns2).scripted_exploit);
+        let ns1 = u.server_id(&name("reston-ns1.telemail.net")).expect("exists");
+        assert!(!u.server(ns1).vulnerable);
+        // Root flag comes from serving the root zone.
+        let root = u.server_id(&name("a.root-servers.net")).expect("exists");
+        assert!(u.server(root).is_root);
+    }
+
+    #[test]
+    fn fbi_zone_structure_present() {
+        let u = universe_from_scenario(&fbi_case());
+        let fbi = u.zone_id(&name("fbi.gov")).expect("fbi.gov zone");
+        let ns: Vec<String> = u
+            .zone(fbi)
+            .ns
+            .iter()
+            .map(|&s| u.server(s).name.to_string())
+            .collect();
+        assert!(ns.contains(&"dns.sprintip.com".to_string()));
+        assert!(ns.contains(&"dns2.sprintip.com".to_string()));
+    }
+}

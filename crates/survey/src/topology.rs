@@ -1,0 +1,957 @@
+//! The synthetic internet generator.
+//!
+//! Produces a [`SyntheticWorld`]: a full universe of zones, nameservers,
+//! operators and surveyed names whose *generative mechanisms* mirror the
+//! ones the paper identifies (see the crate docs). Everything is
+//! deterministic in the seed.
+//!
+//! The same world plan can be materialized two ways:
+//! * [`SyntheticWorld::universe`] — the analysis model (any scale);
+//! * [`SyntheticWorld::build_scenario`] — a packet-level
+//!   [`perils_authserver::Scenario`] with real zones, glue and server
+//!   specs (small scales; used to cross-validate the structural analysis
+//!   against wire-probed discovery).
+
+use crate::params::TopologyParams;
+use perils_authserver::deploy::ServerSpec;
+use perils_authserver::scenarios::Scenario;
+use perils_authserver::software::ServerSoftware;
+use perils_core::universe::Universe;
+use perils_dns::name::{name, DnsName};
+use perils_dns::rr::RData;
+use perils_dns::zone::{Zone, ZoneRegistry};
+use perils_netsim::{IpAllocator, Region};
+use perils_util::dist::{AliasTable, ZipfTable};
+use perils_util::Rng;
+use perils_vulndb::VulnDb;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The twelve gTLDs of Figure 3, in the paper's plotted order.
+pub const GTLDS: [&str; 12] =
+    ["aero", "int", "name", "mil", "info", "edu", "biz", "gov", "org", "net", "com", "coop"];
+
+/// The fifteen worst ccTLDs of Figure 4, in the paper's plotted order,
+/// followed by other real codes; synthetic codes fill any remainder.
+pub const CCTLD_SEED: [&str; 30] = [
+    "ua", "by", "sm", "mt", "my", "pl", "it", "mo", "am", "ie", "tp", "mk", "hk", "tw", "cn",
+    "ws", "de", "uk", "fr", "jp", "nl", "ru", "br", "au", "ca", "se", "no", "fi", "es", "gr",
+];
+
+/// Number of communities in the volunteer backbone chain.
+const BACKBONE_COMMUNITIES: usize = 10;
+
+/// Vulnerable-operator version choices (all in the ISC Feb-2004 matrix).
+const VULNERABLE_VERSIONS: [&str; 6] = ["8.2.4", "8.2.2-P5", "8.2.1", "8.3.1", "8.2.3", "9.2.1"];
+/// Clean-operator version choices.
+const CLEAN_VERSIONS: [&str; 6] = ["9.2.3", "9.2.2", "8.4.4", "8.3.7", "9.3.0", "4.9.11"];
+
+/// One surveyed (crawled) name.
+#[derive(Debug, Clone)]
+pub struct SurveyName {
+    /// The web-server name (e.g. `www.site123.com`).
+    pub name: DnsName,
+    /// Its TLD label.
+    pub tld: DnsName,
+    /// Popularity rank of its domain (0 = most popular).
+    pub popularity_rank: usize,
+}
+
+/// A zone in the world plan.
+#[derive(Debug, Clone)]
+struct ZonePlan {
+    origin: DnsName,
+    ns: Vec<DnsName>,
+    /// Host names needing A records in this zone (in-bailiwick servers and
+    /// web hosts) when materializing a packet-level scenario.
+    hosts: Vec<DnsName>,
+}
+
+/// A server in the world plan.
+#[derive(Debug, Clone)]
+struct ServerPlan {
+    name: DnsName,
+    version: String,
+    region: u16,
+    is_root: bool,
+}
+
+/// The generated world.
+#[derive(Debug)]
+pub struct SyntheticWorld {
+    /// The analysis universe.
+    pub universe: Universe,
+    /// The surveyed names (deduplicated), in crawl order.
+    pub names: Vec<SurveyName>,
+    /// Indices into `names` of the 500 most popular (the alexa-style set).
+    pub top500: Vec<usize>,
+    /// ccTLD labels in "messiness" order, worst first (Figure 4's x-axis
+    /// comes from the head of this list).
+    pub cctld_order: Vec<String>,
+    /// Region of each server, aligned with universe server ids.
+    pub server_regions: Vec<Region>,
+    zones: Vec<ZonePlan>,
+    servers: Vec<ServerPlan>,
+    roots: Vec<(DnsName, String)>,
+}
+
+impl SyntheticWorld {
+    /// Generates a world from `params` (deterministic in `params.seed`).
+    pub fn generate(params: &TopologyParams) -> SyntheticWorld {
+        params.validate();
+        Generator::new(params).run()
+    }
+
+    /// Materializes a packet-level scenario: full zones with glue, server
+    /// specs, root hints. Intended for small worlds (tests, examples);
+    /// memory grows linearly with zones.
+    pub fn build_scenario(&self) -> Scenario {
+        let mut registry = ZoneRegistry::new();
+        let mut alloc = IpAllocator::new();
+        // Allocate addresses deterministically in server order.
+        let mut addr_of: BTreeMap<DnsName, std::net::Ipv4Addr> = BTreeMap::new();
+        for (i, server) in self.servers.iter().enumerate() {
+            let region = Region(self.server_regions.get(i).map(|r| r.0).unwrap_or(0));
+            addr_of.insert(server.name.clone(), alloc.alloc(region));
+        }
+        // Which zone is each host's home (deepest origin containing it)?
+        let origins: BTreeSet<DnsName> = self.zones.iter().map(|z| z.origin.clone()).collect();
+        let home_of = |host: &DnsName| -> Option<DnsName> {
+            host.ancestors().find(|a| origins.contains(a))
+        };
+        // Build zones.
+        for plan in &self.zones {
+            let primary = plan.ns.first().cloned().unwrap_or_else(|| name("a.root-servers.net"));
+            let mut zone = Zone::synthetic(plan.origin.clone(), primary);
+            for ns in &plan.ns {
+                zone.add_rdata(plan.origin.clone(), RData::Ns(ns.clone()))
+                    .expect("NS at apex is valid");
+            }
+            registry.insert(zone);
+        }
+        // Parent-side delegations + glue, plus host A records.
+        let mut delegations: Vec<(DnsName, DnsName, Vec<DnsName>)> = Vec::new();
+        for plan in &self.zones {
+            if plan.origin.is_root() {
+                continue;
+            }
+            let parent = plan
+                .origin
+                .parent()
+                .map(|p| {
+                    p.ancestors()
+                        .find(|a| origins.contains(a))
+                        .expect("root zone exists as ultimate ancestor")
+                })
+                .unwrap_or_else(DnsName::root);
+            delegations.push((parent, plan.origin.clone(), plan.ns.clone()));
+        }
+        for (parent, child, ns) in delegations {
+            let parent_zone = registry.get_mut(&parent).expect("parent zone exists");
+            for host in &ns {
+                parent_zone
+                    .add_rdata(child.clone(), RData::Ns(host.clone()))
+                    .expect("delegation NS is valid");
+            }
+            // Glue for in-bailiwick NS.
+            for host in &ns {
+                if host.is_proper_subdomain_of(&child) || host == &child {
+                    if let Some(&addr) = addr_of.get(host) {
+                        let _ = parent_zone.add_rdata(host.clone(), RData::A(addr));
+                    }
+                }
+            }
+        }
+        // Host A records in their home zones.
+        for plan in &self.zones {
+            let zone = registry.get_mut(&plan.origin).expect("zone exists");
+            for host in &plan.hosts {
+                if home_of(host).as_ref() == Some(&plan.origin) {
+                    let addr = addr_of
+                        .get(host)
+                        .copied()
+                        .unwrap_or_else(|| "203.0.113.7".parse().expect("static"));
+                    let _ = zone.add_rdata(host.clone(), RData::A(addr));
+                }
+            }
+        }
+        // Server specs: a server hosts every zone listing it at the apex.
+        let mut zones_of: BTreeMap<DnsName, Vec<DnsName>> = BTreeMap::new();
+        for plan in &self.zones {
+            for ns in &plan.ns {
+                zones_of.entry(ns.clone()).or_default().push(plan.origin.clone());
+            }
+        }
+        let specs: Vec<ServerSpec> = self
+            .servers
+            .iter()
+            .map(|server| ServerSpec {
+                host_name: server.name.clone(),
+                addr: addr_of[&server.name],
+                software: ServerSoftware::bind(&server.version),
+                zones: zones_of.remove(&server.name).unwrap_or_default(),
+            })
+            .collect();
+        let roots: Vec<(DnsName, std::net::Ipv4Addr)> =
+            self.roots.iter().map(|(n, _)| (n.clone(), addr_of[n])).collect();
+        Scenario { registry, specs, roots }
+    }
+}
+
+/// Operator kinds, used for software assignment and Figure 9 grouping.
+struct Generator<'p> {
+    params: &'p TopologyParams,
+    rng: Rng,
+    zones: Vec<ZonePlan>,
+    servers: Vec<ServerPlan>,
+    server_names: BTreeSet<DnsName>,
+    roots: Vec<(DnsName, String)>,
+    /// (server names, region) per provider.
+    provider_boxes: Vec<(Vec<DnsName>, u16)>,
+    /// (server names, region) per university operator.
+    university_boxes: Vec<(Vec<DnsName>, u16)>,
+    /// Indices into `university_boxes` of the volunteer pool (dense
+    /// community webs; hosts ccTLD and aero/int slaves).
+    pool: Vec<usize>,
+    cctld_order: Vec<String>,
+}
+
+impl<'p> Generator<'p> {
+    fn new(params: &'p TopologyParams) -> Generator<'p> {
+        Generator {
+            params,
+            rng: Rng::new(params.seed).fork(0x746f_706f),
+            zones: Vec::new(),
+            servers: Vec::new(),
+            server_names: BTreeSet::new(),
+            roots: Vec::new(),
+            provider_boxes: Vec::new(),
+            university_boxes: Vec::new(),
+            pool: Vec::new(),
+            cctld_order: Vec::new(),
+        }
+    }
+
+    fn add_server(&mut self, host: &DnsName, version: &str, region: u16, is_root: bool) {
+        if self.server_names.insert(host.clone()) {
+            self.servers.push(ServerPlan {
+                name: host.clone(),
+                version: version.to_string(),
+                region,
+                is_root,
+            });
+        }
+    }
+
+    fn add_zone(&mut self, origin: DnsName, ns: Vec<DnsName>, hosts: Vec<DnsName>) {
+        self.zones.push(ZonePlan { origin, ns, hosts });
+    }
+
+    fn pick_version(&mut self, forced_vulnerable: Option<bool>) -> &'static str {
+        let vulnerable = match forced_vulnerable {
+            Some(v) => v,
+            None => self.rng.chance(self.params.vulnerable_operator_fraction),
+        };
+        if vulnerable {
+            VULNERABLE_VERSIONS[self.rng.below_usize(VULNERABLE_VERSIONS.len())]
+        } else {
+            CLEAN_VERSIONS[self.rng.below_usize(CLEAN_VERSIONS.len())]
+        }
+    }
+
+    fn run(mut self) -> SyntheticWorld {
+        self.build_root_and_gtlds();
+        let cctld_labels = self.build_cctlds();
+        self.build_providers();
+        self.build_universities();
+        self.wire_cctld_slaves(&cctld_labels);
+        let (domain_zones, domain_tlds) = self.build_domains(&cctld_labels);
+        let names = self.crawl_names(&domain_zones, &domain_tlds);
+
+        // Materialize the analysis universe.
+        let db = VulnDb::isc_feb_2004();
+        let mut builder = Universe::builder();
+        for server in &self.servers {
+            builder.ensure_server(
+                &server.name,
+                Some(server.version.clone()),
+                &db,
+                server.is_root,
+            );
+        }
+        for plan in &self.zones {
+            builder.add_zone(&plan.origin, &plan.ns);
+        }
+        let universe = builder.finish();
+        let server_regions: Vec<Region> = {
+            // Align regions with universe ids via name lookup.
+            let mut by_name: BTreeMap<DnsName, u16> = BTreeMap::new();
+            for s in &self.servers {
+                by_name.insert(s.name.to_lowercase(), s.region);
+            }
+            universe
+                .server_ids()
+                .map(|sid| Region(by_name.get(&universe.server(sid).name).copied().unwrap_or(0)))
+                .collect()
+        };
+
+        // Top-500 by popularity rank.
+        let mut by_rank: Vec<usize> = (0..names.len()).collect();
+        by_rank.sort_by_key(|&i| names[i].popularity_rank);
+        let top500: Vec<usize> = by_rank.into_iter().take(500).collect();
+
+        SyntheticWorld {
+            universe,
+            names,
+            top500,
+            cctld_order: self.cctld_order.clone(),
+            server_regions,
+            zones: self.zones,
+            servers: self.servers,
+            roots: self.roots,
+        }
+    }
+
+    /// Root servers and the gTLD registry clusters.
+    fn build_root_and_gtlds(&mut self) {
+        // 13 root servers, trusted and excluded from TCBs.
+        let mut root_ns = Vec::new();
+        for letter in b'a'..=b'm' {
+            let host = name(&format!("{}.root-servers.net", letter as char));
+            self.add_server(&host, "9.2.3", 0, true);
+            root_ns.push(host.clone());
+            self.roots.push((host, "9.2.3".to_string()));
+        }
+        self.add_zone(DnsName::root(), root_ns.clone(), vec![]);
+        self.add_zone(name("root-servers.net"), root_ns.clone(), root_ns.clone());
+
+        // com/net/org cluster: 13 servers in gtld-servers.net (glued,
+        // self-contained) + a support zone nstld.com mirroring Figure 1.
+        let mut gtld_ns = Vec::new();
+        for letter in b'a'..=b'm' {
+            let host = name(&format!("{}.gtld-servers.net", letter as char));
+            self.add_server(&host, "9.2.3", 0, false);
+            gtld_ns.push(host);
+        }
+        let mut nstld_ns = Vec::new();
+        for letter in b'a'..=b'g' {
+            let host = name(&format!("{}2.nstld.com", letter as char));
+            self.add_server(&host, "9.2.3", 0, false);
+            nstld_ns.push(host);
+        }
+        self.add_zone(name("gtld-servers.net"), nstld_ns.clone(), vec![]);
+        self.add_zone(name("nstld.com"), nstld_ns.clone(), nstld_ns.clone());
+        for tld in ["com", "net", "org"] {
+            self.add_zone(name(tld), gtld_ns.clone(), vec![]);
+        }
+
+        // Dedicated small clusters for edu/gov/mil/biz/info/name/coop and
+        // the volunteer-run aero/int (their pool slaves are wired once the
+        // universities exist).
+        for (tld, count) in [
+            ("edu", 3),
+            ("gov", 3),
+            ("mil", 3),
+            ("biz", 4),
+            ("info", 4),
+            ("name", 4),
+            ("coop", 2),
+            ("aero", 2),
+            ("int", 2),
+        ] {
+            let mut ns = Vec::new();
+            for i in 1..=count {
+                let host = name(&format!("ns{i}.{tld}-servers.net"));
+                self.add_server(&host, "9.2.3", 0, false);
+                ns.push(host.clone());
+            }
+            self.add_zone(name(&format!("{tld}-servers.net")), ns.clone(), ns.clone());
+            self.add_zone(name(tld), ns, vec![]);
+        }
+    }
+
+    /// ccTLD labels and their in-country registry servers.
+    fn build_cctlds(&mut self) -> Vec<String> {
+        let mut labels: Vec<String> = Vec::new();
+        for code in CCTLD_SEED.iter().take(self.params.cctlds) {
+            labels.push((*code).to_string());
+        }
+        let mut n = 0usize;
+        while labels.len() < self.params.cctlds {
+            let a = (b'a' + (n / 26) as u8 % 26) as char;
+            let b = (b'a' + (n % 26) as u8) as char;
+            let code = format!("{a}{b}x");
+            if !labels.contains(&code) && !GTLDS.contains(&code.as_str()) {
+                labels.push(code);
+            }
+            n += 1;
+        }
+        self.cctld_order = labels.clone();
+        for (i, code) in labels.iter().enumerate() {
+            let region = (i % 200 + 10) as u16;
+            // One or two in-country registry boxes under nic.<cc>.
+            let mut ns = Vec::new();
+            // .ws runs old BIND everywhere (the paper: some names have
+            // their *entire* TCB vulnerable; they belong to .ws). Other
+            // country registries patch more slowly than gTLD registries.
+            let forced = if code == "ws" {
+                Some(true)
+            } else {
+                Some(self.rng.chance(0.4 * self.params.vulnerable_operator_fraction))
+            };
+            let version = self.pick_version(forced).to_string();
+            for k in 1..=2 {
+                let host = name(&format!("ns{k}.nic.{code}"));
+                self.add_server(&host, &version, region, false);
+                ns.push(host);
+            }
+            self.add_zone(name(&format!("nic.{code}")), ns.clone(), ns.clone());
+            self.add_zone(name(code), ns, vec![]);
+        }
+        labels
+    }
+
+    /// Hosting providers: Zipf-sized NS fleets, self-hosted with glue.
+    ///
+    /// Two of the giant registrar operators run vulnerable BIND: the
+    /// paper's "about 12 of the 125 high profile nameservers have
+    /// well-known loopholes", and the lever that makes 30% of names
+    /// completely hijackable from only ~17% vulnerable servers.
+    fn build_providers(&mut self) {
+        for i in 0..self.params.providers {
+            let region = (self.rng.below(200) + 10) as u16;
+            let domain = name(&format!("dns{i}.net"));
+            let boxes = match i {
+                0..=2 => 4,
+                3..=15 => 3,
+                _ => 2,
+            };
+            let forced = match i {
+                0 | 2 => Some(true),      // vulnerable giant registrars
+                1 | 3..=9 => Some(false), // professionally run
+                10..=15 => Some(self.rng.chance(0.3)),
+                _ => None,
+            };
+            let version = self.pick_version(forced).to_string();
+            let mut ns = Vec::new();
+            for k in 1..=boxes {
+                let host = domain.prepend(&format!("ns{k}")).expect("short label");
+                self.add_server(&host, &version, region, false);
+                ns.push(host);
+            }
+            self.add_zone(domain, ns.clone(), ns);
+            self.provider_boxes.push((self.zones.last().expect("just added").ns.clone(), region));
+        }
+    }
+
+    /// Universities, non-profits and volunteer ISPs.
+    ///
+    /// The first operators form the **volunteer backbone**: a chain of
+    /// communities where community `k` slaves its zones at community
+    /// `k-1`. Dependency therefore flows downward: pulling one box of
+    /// community `k` pulls an exponentially growing slice of communities
+    /// `k-1 … 0`. TLD registries slave at different depths (aero/int at
+    /// the deep end, gov/org at the shallow end), which is what produces
+    /// Figure 3's ordering and Figure 4's ccTLD slope. The remaining
+    /// operators are ordinary universities with sparse mutual-secondary
+    /// webs (the cornell/rochester pattern of Figure 1).
+    fn build_universities(&mut self) {
+        let uni_count = self.params.universities;
+        let backbone_ops = (uni_count / 3).min(80);
+        // Vulnerability is correlated per community/cluster: an
+        // institution's peers run the same distributions and upgrade
+        // cycles, so a web is either largely clean or riddled. This is
+        // what lets 45% of names see a vulnerable dependency while the
+        // per-name count stays clustered (Figure 5's mean of ~4).
+        let cluster = 12usize;
+        let cluster_count = uni_count.div_ceil(cluster);
+        let cluster_vulnerable: Vec<bool> =
+            (0..cluster_count).map(|_| self.rng.chance(0.18)).collect();
+        // First create every operator's own boxes.
+        for i in 0..uni_count {
+            let region = (self.rng.below(200) + 10) as u16;
+            // Backbone mixes .edu, .org and volunteer ISPs in .net (the
+            // paper's §3.3: universities, non-profits "and so forth");
+            // ordinary operators are .edu/.org two-to-one.
+            let domain = if i < backbone_ops {
+                match i % 3 {
+                    0 => name(&format!("uni{i}.edu")),
+                    1 => name(&format!("npo{i}.org")),
+                    _ => name(&format!("isp{i}.net")),
+                }
+            } else if i % 3 == 2 {
+                name(&format!("npo{i}.org"))
+            } else {
+                name(&format!("uni{i}.edu"))
+            };
+            let rate = if cluster_vulnerable[i / cluster] { 0.45 } else { 0.02 };
+            let forced = Some(self.rng.chance(rate));
+            let version = self.pick_version(forced).to_string();
+            let mut ns = Vec::new();
+            for k in 1..=2 {
+                let host = domain.prepend(&format!("ns{k}")).expect("short label");
+                self.add_server(&host, &version, region, false);
+                ns.push(host);
+            }
+            self.university_boxes.push((ns, region));
+            // Zone added after cross-wiring below.
+            self.add_zone(domain, Vec::new(), Vec::new());
+        }
+        self.pool = (0..backbone_ops).collect();
+        let communities = BACKBONE_COMMUNITIES;
+        let per_community = backbone_ops.div_ceil(communities).max(1);
+        let zone_base = self.zones.len() - uni_count;
+        for i in 0..uni_count {
+            let mut ns = self.university_boxes[i].0.clone();
+            if i < backbone_ops {
+                let community = i / per_community;
+                // Two secondaries from the community below (or peers, at
+                // the bottom), plus one at the community-0 hub: the
+                // handful of famous volunteer operators everyone slaves
+                // at. Those hub boxes end up in a tenth of all closures —
+                // the paper's "most valuable nameservers".
+                let lower = if community == 0 { 0 } else { community - 1 };
+                let lo = lower * per_community;
+                let hi = ((lower + 1) * per_community).min(backbone_ops);
+                for _ in 0..2 {
+                    let other = lo + self.rng.below_usize(hi - lo);
+                    if other != i {
+                        let boxes = &self.university_boxes[other].0;
+                        let pick = boxes[self.rng.below_usize(boxes.len())].clone();
+                        if !ns.contains(&pick) {
+                            ns.push(pick);
+                        }
+                    }
+                }
+                if community > 0 {
+                    let hub = self.rng.below_usize(per_community.min(backbone_ops));
+                    let boxes = &self.university_boxes[hub].0;
+                    let pick = boxes[self.rng.below_usize(boxes.len())].clone();
+                    if !ns.contains(&pick) {
+                        ns.push(pick);
+                    }
+                }
+            } else {
+                // Ordinary university: web among ordinary peers (the
+                // cornell/rochester/wisc/umich pattern of Figure 1). The
+                // expected out-degree sits just below the percolation
+                // threshold, giving heavy-tailed but finite webs.
+                for p_link in [0.7, 0.2] {
+                    if self.rng.chance(p_link) {
+                        let other = backbone_ops + self.rng.below_usize(uni_count - backbone_ops);
+                        if other != i {
+                            let boxes = &self.university_boxes[other].0;
+                            let pick = boxes[self.rng.below_usize(boxes.len())].clone();
+                            if !ns.contains(&pick) {
+                                ns.push(pick);
+                            }
+                        }
+                    }
+                }
+            }
+            let hosts = self.university_boxes[i].0.clone();
+            let plan = &mut self.zones[zone_base + i];
+            plan.ns = ns;
+            plan.hosts = hosts;
+        }
+    }
+
+    /// Picks an ordinary (non-backbone) university index.
+    fn nonpool_university(&mut self) -> usize {
+        let pool_size = self.pool.len();
+        let total = self.university_boxes.len();
+        if total > pool_size {
+            pool_size + self.rng.below_usize(total - pool_size)
+        } else {
+            self.rng.below_usize(total)
+        }
+    }
+
+    /// Picks one box of a backbone operator at community `depth`
+    /// (0 = shallow, `BACKBONE_COMMUNITIES - 1` = deep; clamped).
+    fn backbone_box(&mut self, depth: usize) -> DnsName {
+        let backbone_ops = self.pool.len();
+        let per_community = backbone_ops.div_ceil(BACKBONE_COMMUNITIES).max(1);
+        let depth = depth.min(BACKBONE_COMMUNITIES - 1);
+        let lo = (depth * per_community).min(backbone_ops.saturating_sub(1));
+        let hi = ((depth + 1) * per_community).min(backbone_ops);
+        let idx = lo + self.rng.below_usize((hi - lo).max(1));
+        let boxes = &self.university_boxes[idx].0;
+        boxes[self.rng.below_usize(boxes.len())].clone()
+    }
+
+    /// Wires messy ccTLDs and the volunteer-involved gTLDs onto the
+    /// backbone, at depths shaped to the Figure 3/4 orderings.
+    fn wire_cctld_slaves(&mut self, cctld_labels: &[String]) {
+        let deep = BACKBONE_COMMUNITIES - 1;
+        let mut slave_sets: Vec<(DnsName, Vec<DnsName>)> = Vec::new();
+        for (i, code) in cctld_labels.iter().enumerate() {
+            let (slaves, depth) = if i < self.params.messy_cctlds {
+                // ua slaves deepest; the 15th-worst noticeably shallower.
+                let t = i as f64 / self.params.messy_cctlds.max(1) as f64;
+                let slaves = (10.0 - 6.0 * t).round() as usize;
+                let depth = deep.saturating_sub((t * 6.0).round() as usize);
+                (slaves, depth)
+            } else if self.rng.chance(0.15) {
+                (1, 0)
+            } else {
+                (0, 0)
+            };
+            let mut extra = Vec::new();
+            for _ in 0..slaves {
+                let pick = self.backbone_box(depth);
+                if !extra.contains(&pick) {
+                    extra.push(pick);
+                }
+            }
+            slave_sets.push((name(code), extra));
+        }
+        // Volunteer involvement per gTLD, deep-to-shallow along the
+        // Figure 3 ordering: aero and int run almost entirely on donated
+        // infrastructure; gov/org barely touch it.
+        // edu and org are *not* wired here: like com/net they ran on
+        // professional registry infrastructure in 2004, and wiring them
+        // would transitively poison every closure containing any
+        // .edu-named server (the universities' own chains pass through
+        // the edu TLD).
+        for (tld, slaves, depth) in [
+            ("aero", 8, deep),
+            ("int", 6, deep - 1),
+            ("name", 4, deep - 2),
+            ("mil", 3, deep - 3),
+            ("info", 2, deep - 5),
+            ("biz", 1, 2),
+            ("gov", 1, 1),
+        ] {
+            let mut extra = Vec::new();
+            for _ in 0..slaves {
+                let pick = self.backbone_box(depth);
+                if !extra.contains(&pick) {
+                    extra.push(pick);
+                }
+            }
+            slave_sets.push((name(tld), extra));
+        }
+        for (origin, extra) in slave_sets {
+            if let Some(plan) = self.zones.iter_mut().find(|z| z.origin == origin) {
+                for host in extra {
+                    if !plan.ns.contains(&host) {
+                        plan.ns.push(host);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Second-level domains with their hosting styles. Returns the zone
+    /// origins and TLD of each domain.
+    fn build_domains(&mut self, cctld_labels: &[String]) -> (Vec<DnsName>, Vec<DnsName>) {
+        // TLD mix: com-heavy, as in the DMOZ/Yahoo crawl.
+        let gtld_weights: Vec<(DnsName, f64)> = vec![
+            (name("com"), 0.46),
+            (name("net"), 0.09),
+            (name("org"), 0.09),
+            (name("edu"), 0.035),
+            (name("gov"), 0.012),
+            (name("mil"), 0.004),
+            (name("biz"), 0.013),
+            (name("info"), 0.022),
+            (name("name"), 0.003),
+            (name("aero"), 0.001),
+            (name("int"), 0.001),
+            (name("coop"), 0.001),
+        ];
+        let gtld_total: f64 = gtld_weights.iter().map(|(_, w)| w).sum();
+        let cctld_total = 1.0 - gtld_total;
+        // ccTLD popularity: Zipf over a shuffled order (the messy ones are
+        // not necessarily the populous ones).
+        let mut cc_pop: Vec<f64> = Vec::with_capacity(cctld_labels.len());
+        let mut harmonic = 0.0;
+        for k in 1..=cctld_labels.len() {
+            harmonic += 1.0 / k as f64;
+        }
+        let mut cc_order: Vec<usize> = (0..cctld_labels.len()).collect();
+        self.rng.shuffle(&mut cc_order);
+        let mut cc_rank = vec![0usize; cctld_labels.len()];
+        for (rank, &idx) in cc_order.iter().enumerate() {
+            cc_rank[idx] = rank;
+        }
+        for idx in 0..cctld_labels.len() {
+            cc_pop.push(cctld_total / harmonic / (cc_rank[idx] + 1) as f64);
+        }
+        let mut weights: Vec<f64> = gtld_weights.iter().map(|(_, w)| *w).collect();
+        weights.extend(cc_pop);
+        let tld_table = AliasTable::new(&weights);
+        let tld_names: Vec<DnsName> = gtld_weights
+            .iter()
+            .map(|(n, _)| n.clone())
+            .chain(cctld_labels.iter().map(|c| name(c)))
+            .collect();
+
+        // Hosting style table.
+        let p_mixed = (1.0
+            - self.params.p_self_hosted
+            - self.params.p_provider_hosted
+            - self.params.p_university_hosted)
+            .max(0.0);
+        let style_table = AliasTable::new(&[
+            self.params.p_self_hosted,
+            self.params.p_provider_hosted,
+            self.params.p_university_hosted,
+            p_mixed,
+        ]);
+        let mut provider_pick = ZipfTable::new(self.params.providers, self.params.provider_zipf);
+
+        let mut domain_zones = Vec::with_capacity(self.params.domains);
+        let mut domain_tlds = Vec::with_capacity(self.params.domains);
+        for j in 0..self.params.domains {
+            let tld_idx = tld_table.sample(&mut self.rng);
+            let tld = tld_names[tld_idx].clone();
+            let origin = tld.prepend(&format!("site{j}")).expect("short label");
+            let style = match tld.to_string().as_str() {
+                // University domains are university-hosted by definition;
+                // military and government sites self-host.
+                "edu" => 2,
+                "mil" | "gov" => 0,
+                // A quarter of .org domains sit on non-profit volunteer
+                // infrastructure (lifts the org bar above net/com as in
+                // Figure 3).
+                "org" if self.rng.chance(0.25) => 2,
+                _ => style_table.sample(&mut self.rng),
+            };
+            let popular = j < 600; // low domain index = popular (crawl rank)
+            let mut ns: Vec<DnsName> = Vec::new();
+            let mut hosts: Vec<DnsName> = Vec::new();
+            match style {
+                0 => {
+                    // Self-hosted, glued.
+                    let version = self.pick_version(None).to_string();
+                    let count = if popular || self.rng.chance(0.5) { 3 } else { 2 };
+                    for k in 1..=count {
+                        let host = origin.prepend(&format!("ns{k}")).expect("short label");
+                        self.add_server(&host, &version, 0, false);
+                        ns.push(host.clone());
+                        hosts.push(host);
+                    }
+                }
+                1 => {
+                    // Provider-hosted; ~30% keep one in-domain box as a
+                    // hidden primary.
+                    let p = provider_pick.sample(&mut self.rng);
+                    let boxes = self.provider_boxes[p].0.clone();
+                    let take = boxes.len().min(if popular { 3 } else { 2 });
+                    ns.extend(boxes.into_iter().take(take));
+                    if self.rng.chance(0.15) {
+                        let version = self.pick_version(None).to_string();
+                        let host = origin.prepend("ns1").expect("short label");
+                        self.add_server(&host, &version, 0, false);
+                        ns.push(host.clone());
+                        hosts.push(host);
+                    }
+                }
+                2 => {
+                    // University/volunteer-hosted: one departmental box
+                    // plus an ordinary (non-pool) university's servers.
+                    let version = self.pick_version(None).to_string();
+                    let host = origin.prepend("ns1").expect("short label");
+                    self.add_server(&host, &version, 0, false);
+                    ns.push(host.clone());
+                    hosts.push(host);
+                    let uni = self.nonpool_university();
+                    ns.extend(self.university_boxes[uni].0.iter().cloned());
+                }
+                _ => {
+                    // Mixed: two own boxes plus an off-site secondary —
+                    // usually an ordinary university (the
+                    // cornell/rochester pattern), sometimes a shallow
+                    // backbone volunteer.
+                    let version = self.pick_version(None).to_string();
+                    for k in 1..=2 {
+                        let host = origin.prepend(&format!("ns{k}")).expect("short label");
+                        self.add_server(&host, &version, 0, false);
+                        ns.push(host.clone());
+                        hosts.push(host);
+                    }
+                    if self.rng.chance(0.25) {
+                        let depth = self.rng.below_usize(2);
+                        let pick = self.backbone_box(depth);
+                        if !ns.contains(&pick) {
+                            ns.push(pick);
+                        }
+                    } else {
+                        let uni = self.nonpool_university();
+                        let boxes = &self.university_boxes[uni].0;
+                        ns.push(boxes[self.rng.below_usize(boxes.len())].clone());
+                    }
+                }
+            }
+            // Popular domains add further off-site secondaries: the
+            // availability-vs-security trade the paper highlights (top-500
+            // names have *larger* TCBs). Half are additional in-domain
+            // boxes at other sites; half are ordinary-university webs.
+            if popular {
+                for extra in 0..self.params.popular_extra_secondaries {
+                    if extra <= 1 {
+                        let uni = self.nonpool_university();
+                        let boxes = self.university_boxes[uni].0.clone();
+                        for pick in boxes {
+                            if !ns.contains(&pick) {
+                                ns.push(pick);
+                            }
+                        }
+                    } else {
+                        let version = self.pick_version(None).to_string();
+                        let host = origin
+                            .prepend(&format!("ns{}", 4 + extra))
+                            .expect("short label");
+                        self.add_server(&host, &version, 0, false);
+                        if !ns.contains(&host) {
+                            ns.push(host.clone());
+                            hosts.push(host);
+                        }
+                    }
+                }
+            }
+            // The surveyed web host lives in this zone.
+            hosts.push(origin.prepend("www").expect("short label"));
+            self.add_zone(origin.clone(), ns, hosts);
+            domain_zones.push(origin);
+            domain_tlds.push(tld);
+        }
+        (domain_zones, domain_tlds)
+    }
+
+    /// Samples the crawled directory: Zipf-popular domains, one or more
+    /// host names each, deduplicated.
+    fn crawl_names(
+        &mut self,
+        domain_zones: &[DnsName],
+        domain_tlds: &[DnsName],
+    ) -> Vec<SurveyName> {
+        let mut zipf = ZipfTable::new(domain_zones.len(), self.params.popularity_zipf);
+        let mut seen: BTreeSet<DnsName> = BTreeSet::new();
+        let mut names: Vec<SurveyName> = Vec::new();
+        let hosts =
+            ["www", "web", "mail", "news", "shop", "ftp", "w3", "portal", "images", "search"];
+        let mut attempts = 0usize;
+        while names.len() < self.params.names && attempts < self.params.names * 20 {
+            attempts += 1;
+            let rank = zipf.sample(&mut self.rng);
+            let domain = &domain_zones[rank];
+            // Mostly www; a directory crawl also surfaces other hosts of
+            // popular domains.
+            let start = if names.len() % 4 == 0 { self.rng.below_usize(hosts.len()) } else { 0 };
+            for step in 0..hosts.len() {
+                let host_label = hosts[(start + step) % hosts.len()];
+                let full = domain.prepend(host_label).expect("short label");
+                if seen.insert(full.clone()) {
+                    names.push(SurveyName {
+                        name: full,
+                        tld: domain_tlds[rank].clone(),
+                        popularity_rank: rank,
+                    });
+                    break;
+                }
+            }
+        }
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TopologyParams;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticWorld::generate(&TopologyParams::tiny(7));
+        let b = SyntheticWorld::generate(&TopologyParams::tiny(7));
+        assert_eq!(a.universe.server_count(), b.universe.server_count());
+        assert_eq!(a.universe.zone_count(), b.universe.zone_count());
+        assert_eq!(a.names.len(), b.names.len());
+        for (x, y) in a.names.iter().zip(&b.names) {
+            assert_eq!(x.name, y.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticWorld::generate(&TopologyParams::tiny(1));
+        let b = SyntheticWorld::generate(&TopologyParams::tiny(2));
+        let same = a
+            .names
+            .iter()
+            .zip(&b.names)
+            .filter(|(x, y)| x.name == y.name)
+            .count();
+        assert!(same < a.names.len(), "seeds must matter");
+    }
+
+    #[test]
+    fn structure_is_complete() {
+        let world = SyntheticWorld::generate(&TopologyParams::tiny(3));
+        assert!(world.universe.zone_count() > 200);
+        assert!(world.universe.server_count() > 100);
+        assert!(!world.names.is_empty());
+        // Every surveyed name has a zone in the universe.
+        for survey_name in &world.names {
+            assert!(
+                world.universe.zone_of(&survey_name.name).is_some(),
+                "{} has no enclosing zone",
+                survey_name.name
+            );
+        }
+        // Root servers are flagged.
+        let root = world.universe.server_id(&name("a.root-servers.net")).unwrap();
+        assert!(world.universe.server(root).is_root);
+        // Regions aligned with servers.
+        assert_eq!(world.server_regions.len(), world.universe.server_count());
+    }
+
+    #[test]
+    fn vulnerable_fraction_in_band() {
+        let world = SyntheticWorld::generate(&TopologyParams::tiny(5));
+        let f = world.universe.vulnerable_fraction();
+        assert!((0.05..0.45).contains(&f), "vulnerable fraction {f}");
+    }
+
+    #[test]
+    fn ws_cctld_is_all_vulnerable() {
+        let mut params = TopologyParams::tiny(1);
+        params.cctlds = 16; // include "ws" (index 15 of the seed list)
+        let world = SyntheticWorld::generate(&params);
+        let ws = world.universe.zone_id(&name("ws")).expect("ws exists");
+        let zone = world.universe.zone(ws);
+        let nic_servers: Vec<_> = zone
+            .ns
+            .iter()
+            .filter(|&&s| world.universe.server(s).name.is_subdomain_of(&name("nic.ws")))
+            .collect();
+        assert!(!nic_servers.is_empty());
+        for &sid in nic_servers {
+            assert!(world.universe.server(sid).vulnerable, "nic.ws boxes run old BIND");
+        }
+    }
+
+    #[test]
+    fn top500_is_popularity_ordered() {
+        let world = SyntheticWorld::generate(&TopologyParams::tiny(4));
+        let ranks: Vec<usize> =
+            world.top500.iter().map(|&i| world.names[i].popularity_rank).collect();
+        for w in ranks.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn tiny_world_builds_packet_scenario() {
+        let world = SyntheticWorld::generate(&TopologyParams::tiny(6));
+        let scenario = world.build_scenario();
+        assert!(!scenario.roots.is_empty());
+        assert!(scenario.specs.len() > 50);
+        // Every root hint has an address and a spec.
+        for (host, addr) in &scenario.roots {
+            assert!(scenario.specs.iter().any(|s| &s.host_name == host && &s.addr == addr));
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Random distributions used by the topology generator.
+//!
+//! The paper's survey exhibits heavy-tailed structure everywhere: TCB sizes,
+//! names-controlled-per-server (Figures 8 and 9), and web-site popularity
+//! (the Yahoo!/DMOZ crawl plus the alexa.org top-500). We provide the
+//! samplers needed to regenerate those shapes: Zipf (popularity and hosting
+//! concentration), Pareto (zone fan-out tails), exponential, and log-normal,
+//! plus an alias table for arbitrary weighted choices.
+
+use crate::rng::Rng;
+
+/// Exact Zipf sampler over ranks `1..=n` with exponent `s`, backed by a
+/// precomputed cumulative table and binary search.
+///
+/// Memory is `O(n)`; sampling is `O(log n)`. For the survey sizes used here
+/// (`n` up to ~1M) the table costs a few megabytes, which is a good trade for
+/// exactness and determinism.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the sampler for `n` ranks with exponent `s > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfTable requires n > 0");
+        assert!(s.is_finite() && s > 0.0, "ZipfTable requires finite s > 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfTable { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the table has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // `new` rejects n == 0; a table always has at least one rank.
+    }
+
+    /// Samples a 0-based rank (`0` is the most popular).
+    pub fn sample(&mut self, rng: &mut Rng) -> usize {
+        let u = rng.unit_f64();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF values are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Probability mass of 0-based rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let prev = if k == 0 { 0.0 } else { self.cumulative[k - 1] };
+        self.cumulative[k] - prev
+    }
+}
+
+/// Pareto distribution with scale `x_m > 0` and shape `alpha > 0`,
+/// sampled by inverse transform.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    x_m: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are finite and positive.
+    pub fn new(x_m: f64, alpha: f64) -> Self {
+        assert!(x_m.is_finite() && x_m > 0.0, "Pareto scale must be > 0");
+        assert!(alpha.is_finite() && alpha > 0.0, "Pareto shape must be > 0");
+        Pareto { x_m, alpha }
+    }
+
+    /// Draws one sample (always `>= x_m`).
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inverse transform: x_m / U^(1/alpha); U in (0, 1].
+        let u = 1.0 - rng.unit_f64();
+        self.x_m / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Exponential distribution with rate `lambda > 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "rate must be > 0");
+        Exponential { lambda }
+    }
+
+    /// Draws one sample (always `>= 0`).
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = 1.0 - rng.unit_f64(); // in (0, 1]
+        -u.ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * N(0,1))`, with the normal
+/// variate produced by the Box–Muller transform.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma` is finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0");
+        LogNormal { mu, sigma }
+    }
+
+    /// Draws one standard-normal variate.
+    fn standard_normal(rng: &mut Rng) -> f64 {
+        let u1 = 1.0 - rng.unit_f64(); // (0, 1], avoids ln(0)
+        let u2 = rng.unit_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draws one sample (always `> 0`).
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * Self::standard_normal(rng)).exp()
+    }
+}
+
+/// Walker alias table for O(1) weighted discrete sampling.
+///
+/// Used wherever the generator picks among categories with configured
+/// probabilities (hosting styles, software mixes, region assignment).
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (at least one positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative/non-finite value, or
+    /// sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "AliasTable requires at least one weight");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = (0..n).filter(|&i| prob[i] < 1.0).collect();
+        let mut large: Vec<usize> = (0..n).filter(|&i| prob[i] >= 1.0).collect();
+
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers are certain columns.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when there are no categories (never: `new` rejects empty input).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples a category index.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.below_usize(self.prob.len());
+        if rng.unit_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_rank0_is_most_probable() {
+        let mut z = ZipfTable::new(1000, 1.0);
+        let mut rng = Rng::new(1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[100]);
+        // PMF ratios follow 1/k for s=1.
+        let ratio = z.pmf(0) / z.pmf(9);
+        assert!((ratio - 10.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let mut z = ZipfTable::new(1, 1.5);
+        let mut rng = Rng::new(2);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = ZipfTable::new(50, 0.8);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let p = Pareto::new(2.0, 1.5);
+        let mut rng = Rng::new(3);
+        let samples: Vec<f64> = (0..20_000).map(|_| p.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x >= 2.0));
+        // For alpha=1.5 the mean is x_m * alpha / (alpha - 1) = 6.
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((4.5..8.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let e = Exponential::new(0.5);
+        let mut rng = Rng::new(4);
+        let mean = (0..40_000).map(|_| e.sample(&mut rng)).sum::<f64>() / 40_000.0;
+        assert!((1.8..2.2).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_positive_and_median() {
+        let ln = LogNormal::new(1.0, 0.5);
+        let mut rng = Rng::new(5);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| ln.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        // Median of lognormal is e^mu ≈ 2.718.
+        assert!((2.4..3.1).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let t = AliasTable::new(&[1.0, 2.0, 7.0]);
+        let mut rng = Rng::new(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..100_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert!((8_000..12_000).contains(&counts[0]), "{counts:?}");
+        assert!((18_000..22_000).contains(&counts[1]), "{counts:?}");
+        assert!((66_000..74_000).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn alias_table_handles_zero_weight_categories() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn alias_table_rejects_empty() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn alias_table_rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Deterministic utility substrate for the `perils` workspace.
+//!
+//! Everything in this crate is self-contained and fully deterministic: the
+//! survey results in the paper reproduction must be bit-identical across runs
+//! and across library upgrades, so we ship our own PRNG and distribution
+//! samplers instead of depending on `rand` (whose stream guarantees change
+//! between major versions).
+//!
+//! Modules:
+//!
+//! * [`rng`] — SplitMix64 seeding and the xoshiro256** generator, with
+//!   unbiased range sampling and deterministic stream forking.
+//! * [`dist`] — Zipf, Pareto, exponential, normal/log-normal samplers and an
+//!   alias table for weighted discrete choice.
+//! * [`stats`] — descriptive statistics, empirical CDFs, histograms and
+//!   log-binned rank curves used to render the paper's figures.
+//! * [`table`] — ASCII table and CSV rendering (string-based, IO-free).
+
+pub mod dist;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use dist::{AliasTable, Exponential, LogNormal, Pareto, ZipfTable};
+pub use rng::Rng;
+pub use stats::{Cdf, Histogram, RankCurve, Summary};
+pub use table::{Align, Table};

@@ -1,0 +1,195 @@
+//! ASCII table and CSV rendering.
+//!
+//! The survey binaries print the paper's figures as aligned text tables and
+//! optionally emit CSV for external plotting. Rendering is string-based and
+//! IO-free so it can be unit-tested and reused by examples, tests and benches.
+
+/// Column alignment for [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// A simple aligned text table with a header row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers, all left-aligned.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Table { headers, aligns, rows: Vec::new() }
+    }
+
+    /// Sets per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligns.len()` differs from the number of columns.
+    pub fn align(mut self, aligns: Vec<Align>) -> Table {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment arity mismatch");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity differs from the header arity.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned ASCII text with a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit_row = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        if i + 1 < cols {
+                            out.extend(std::iter::repeat(' ').take(pad));
+                        }
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat(' ').take(pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit_row(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.extend(std::iter::repeat('-').take(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as RFC4180-style CSV (quoting only when needed).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimal places, trimming a trailing ".0" for
+/// whole numbers when `digits == 1`.
+pub fn fmt_f64(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a fraction as a percentage with one decimal place, e.g. `0.451` →
+/// `"45.1%"`.
+pub fn fmt_percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["name", "count"]).align(vec![Align::Left, Align::Right]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].ends_with("    1"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn row_arity_checked() {
+        Table::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = Table::new(vec!["k", "v"]);
+        t.row(vec!["plain", "has,comma"]);
+        t.row(vec!["quote\"inside", "multi\nline"]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"quote\"\"inside\""));
+        assert!(csv.contains("\"multi\nline\""));
+        assert!(csv.starts_with("k,v\n"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f64(46.0 / 3.0, 1), "15.3");
+        assert_eq!(fmt_percent(0.451), "45.1%");
+        assert_eq!(fmt_percent(1.0), "100.0%");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! The advisory database: which BIND versions carry which known exploits.
+//!
+//! [`VulnDb::isc_feb_2004`] encodes the ISC BIND vulnerability matrix as it
+//! stood when the paper's survey ran (July 2004, citing the February 2004
+//! page). The entries and ranges follow the public advisories of the era;
+//! crucially they reproduce the paper's concrete claim that **BIND 8.2.4 is
+//! affected by exactly four exploits — `libbind`, `negcache`, `sigrec` and
+//! `DoS multi`** (§3.2, the fbi.gov case study), and that late 8.3/8.4/9.2
+//! releases are clean.
+
+use crate::version::BindVersion;
+use std::fmt;
+
+/// Severity of an advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Denial of service only.
+    Dos,
+    /// Information disclosure.
+    Disclosure,
+    /// Remote code execution / full compromise.
+    Compromise,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Dos => write!(f, "DoS"),
+            Severity::Disclosure => write!(f, "disclosure"),
+            Severity::Compromise => write!(f, "compromise"),
+        }
+    }
+}
+
+/// An inclusive version range within one major branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionRange {
+    /// Lowest affected version (inclusive).
+    pub from: BindVersion,
+    /// Highest affected version (inclusive).
+    pub to: BindVersion,
+}
+
+impl VersionRange {
+    /// Builds a range; `from` and `to` are inclusive.
+    pub fn new(from: BindVersion, to: BindVersion) -> VersionRange {
+        assert!(from <= to, "inverted version range");
+        VersionRange { from, to }
+    }
+
+    /// Whether `version` falls inside the range.
+    pub fn contains(&self, version: &BindVersion) -> bool {
+        *version >= self.from && *version <= self.to
+    }
+}
+
+/// One known vulnerability.
+#[derive(Debug, Clone)]
+pub struct Advisory {
+    /// Short key as the paper uses them: `libbind`, `negcache`, `sigrec`,
+    /// `DoS multi`, `tsig`, `nxt`, …
+    pub key: &'static str,
+    /// Human description.
+    pub title: &'static str,
+    /// Worst outcome.
+    pub severity: Severity,
+    /// Whether a scripted, publicly circulated exploit existed (the paper's
+    /// "standard crack tool available on the web").
+    pub scripted_exploit: bool,
+    /// Affected version ranges.
+    pub affected: Vec<VersionRange>,
+}
+
+impl Advisory {
+    /// Whether `version` is affected.
+    pub fn affects(&self, version: &BindVersion) -> bool {
+        self.affected.iter().any(|r| r.contains(version))
+    }
+}
+
+/// The advisory database.
+#[derive(Debug, Clone)]
+pub struct VulnDb {
+    advisories: Vec<Advisory>,
+}
+
+fn v(text: &str) -> BindVersion {
+    BindVersion::parse(text).expect("static version strings parse")
+}
+
+impl VulnDb {
+    /// Builds a database from explicit advisories (for tests and what-if
+    /// analyses).
+    pub fn from_advisories(advisories: Vec<Advisory>) -> VulnDb {
+        VulnDb { advisories }
+    }
+
+    /// The ISC BIND vulnerability matrix as of February 2004 — the paper's
+    /// reference [4].
+    pub fn isc_feb_2004() -> VulnDb {
+        let advisories = vec![
+            Advisory {
+                key: "tsig",
+                title: "Transaction signature handling buffer overflow (BIND 8.2 pre-8.2.3)",
+                severity: Severity::Compromise,
+                scripted_exploit: true,
+                affected: vec![VersionRange::new(v("8.2.0"), v("8.2.2-P7"))],
+            },
+            Advisory {
+                key: "nxt",
+                title: "NXT record processing overflow",
+                severity: Severity::Compromise,
+                scripted_exploit: true,
+                affected: vec![VersionRange::new(v("8.2.0"), v("8.2.1"))],
+            },
+            Advisory {
+                key: "infoleak",
+                title: "Inverse-query information leak",
+                severity: Severity::Disclosure,
+                scripted_exploit: true,
+                affected: vec![VersionRange::new(v("4.9.0"), v("4.9.6")), VersionRange::new(v("8.2.0"), v("8.2.1"))],
+            },
+            Advisory {
+                key: "zxfr",
+                title: "Compressed zone transfer (ZXFR) crash",
+                severity: Severity::Dos,
+                scripted_exploit: true,
+                affected: vec![VersionRange::new(v("8.2.0"), v("8.2.2-P6"))],
+            },
+            Advisory {
+                key: "libbind",
+                title: "Buffer overflow in libbind resolver library (DNS stub resolver)",
+                severity: Severity::Compromise,
+                scripted_exploit: true,
+                affected: vec![
+                    VersionRange::new(v("4.9.2"), v("4.9.10")),
+                    VersionRange::new(v("8.1.0"), v("8.3.3")),
+                ],
+            },
+            Advisory {
+                key: "negcache",
+                title: "Negative cache poisoning / crash via cached SIG records",
+                severity: Severity::Dos,
+                scripted_exploit: true,
+                affected: vec![VersionRange::new(v("8.2.0"), v("8.3.3"))],
+            },
+            Advisory {
+                key: "sigrec",
+                title: "SIG cached RR buffer overflow (remote compromise)",
+                severity: Severity::Compromise,
+                scripted_exploit: true,
+                affected: vec![
+                    VersionRange::new(v("4.9.5"), v("4.9.10")),
+                    VersionRange::new(v("8.1.0"), v("8.3.3")),
+                ],
+            },
+            Advisory {
+                key: "DoS multi",
+                title: "Multiple denial-of-service flaws (findtype, OPT handling)",
+                severity: Severity::Dos,
+                scripted_exploit: true,
+                affected: vec![VersionRange::new(v("8.2.0"), v("8.3.3"))],
+            },
+            Advisory {
+                key: "sig-expiry",
+                title: "Cached RRset signature expiry DoS (8.3/8.4 pre-fix)",
+                severity: Severity::Dos,
+                scripted_exploit: false,
+                affected: vec![
+                    VersionRange::new(v("8.3.4"), v("8.3.6")),
+                    VersionRange::new(v("8.4.0"), v("8.4.2")),
+                ],
+            },
+            Advisory {
+                key: "openssl",
+                title: "DoS via linked OpenSSL (BIND 9.1 era)",
+                severity: Severity::Dos,
+                scripted_exploit: false,
+                affected: vec![VersionRange::new(v("9.1.0"), v("9.1.3"))],
+            },
+            Advisory {
+                key: "rdataset-dos",
+                title: "Assertion failure on malformed rdataset (BIND 9 pre-9.2.2)",
+                severity: Severity::Dos,
+                scripted_exploit: true,
+                affected: vec![VersionRange::new(v("9.0.0"), v("9.2.1"))],
+            },
+        ];
+        VulnDb { advisories }
+    }
+
+    /// All advisories.
+    pub fn advisories(&self) -> &[Advisory] {
+        &self.advisories
+    }
+
+    /// Advisories affecting `version`.
+    pub fn affecting(&self, version: &BindVersion) -> Vec<&Advisory> {
+        self.advisories.iter().filter(|a| a.affects(version)).collect()
+    }
+
+    /// Whether `version` has at least one known exploit.
+    pub fn is_vulnerable(&self, version: &BindVersion) -> bool {
+        self.advisories.iter().any(|a| a.affects(version))
+    }
+
+    /// Whether `version` has a *scripted* exploit enabling full compromise
+    /// (the attacker capability the paper's hijack analysis assumes).
+    pub fn has_scripted_exploit(&self, version: &BindVersion) -> bool {
+        self.advisories.iter().any(|a| a.scripted_exploit && a.affects(version))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_8_2_4_has_the_papers_four_exploits() {
+        let db = VulnDb::isc_feb_2004();
+        let hits = db.affecting(&v("8.2.4"));
+        let keys: Vec<&str> = hits.iter().map(|a| a.key).collect();
+        // §3.2: reston-ns2.telemail.net runs 8.2.4 with "four different
+        // known exploits against it (namely, libbind, negcache, sigrec,
+        // DoS multi)".
+        assert_eq!(keys, vec!["libbind", "negcache", "sigrec", "DoS multi"]);
+        assert!(db.has_scripted_exploit(&v("8.2.4")));
+    }
+
+    #[test]
+    fn current_versions_of_the_era_are_clean() {
+        let db = VulnDb::isc_feb_2004();
+        for clean in ["8.3.7", "8.4.4", "9.2.2", "9.2.3", "9.3.0", "4.9.11"] {
+            assert!(!db.is_vulnerable(&v(clean)), "{clean} should be clean");
+        }
+    }
+
+    #[test]
+    fn old_8_2_line_is_riddled() {
+        let db = VulnDb::isc_feb_2004();
+        assert!(db.affecting(&v("8.2.1")).len() >= 6);
+        assert!(db.is_vulnerable(&v("8.2.2-P5")));
+        // 8.2.2-P7 fixed tsig but not the later four.
+        let keys: Vec<&str> = db.affecting(&v("8.2.2-P7")).iter().map(|a| a.key).collect();
+        assert!(keys.contains(&"tsig"));
+        assert!(!db.affecting(&v("8.2.3")).iter().any(|a| a.key == "tsig"));
+    }
+
+    #[test]
+    fn bind9_dos_window() {
+        let db = VulnDb::isc_feb_2004();
+        assert!(db.is_vulnerable(&v("9.2.1")));
+        assert!(!db.is_vulnerable(&v("9.2.2")));
+        // The 9.x DoS has a scripted exploit but is not a compromise.
+        let hits = db.affecting(&v("9.2.1"));
+        assert!(hits.iter().all(|a| a.severity == Severity::Dos));
+    }
+
+    #[test]
+    fn range_contains_is_inclusive() {
+        let r = VersionRange::new(v("8.2.0"), v("8.3.3"));
+        assert!(r.contains(&v("8.2.0")));
+        assert!(r.contains(&v("8.3.3")));
+        assert!(!r.contains(&v("8.3.4")));
+        assert!(!r.contains(&v("8.1.2")));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_rejected() {
+        VersionRange::new(v("9.0.0"), v("8.0.0"));
+    }
+
+    #[test]
+    fn custom_db() {
+        let db = VulnDb::from_advisories(vec![Advisory {
+            key: "test",
+            title: "test bug",
+            severity: Severity::Compromise,
+            scripted_exploit: false,
+            affected: vec![VersionRange::new(v("1.0.0"), v("1.9.9"))],
+        }]);
+        assert!(db.is_vulnerable(&v("1.5.0")));
+        assert!(!db.has_scripted_exploit(&v("1.5.0")));
+        assert!(!db.is_vulnerable(&v("2.0.0")));
+    }
+}

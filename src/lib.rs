@@ -1,0 +1,36 @@
+//! # perils — Perils of Transitive Trust in the Domain Name System
+//!
+//! Facade crate for the reproduction of Ramasubramanian & Sirer's IMC 2005
+//! paper. It re-exports every workspace crate under one roof so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`dns`] — names, records, RFC1035 wire format, zones, zone registry.
+//! * [`graph`] — digraph algorithms: closure, SCC, Dinic min vertex cut.
+//! * [`vulndb`] — BIND versions and the ISC advisory matrix.
+//! * [`netsim`] — deterministic simulated internet with fault injection.
+//! * [`authserver`] — authoritative nameserver behaviour.
+//! * [`resolver`] — iterative resolution with delegation-chain traces.
+//! * [`core`] — the paper's contribution: TCBs, hijack min-cuts, value
+//!   ranking, attack simulation.
+//! * [`survey`] — topology generation and the figure-regeneration pipelines.
+//! * [`util`] — deterministic RNG, distributions, statistics, tables.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use perils::survey::{SurveyConfig, run_survey};
+//!
+//! // A miniature, fully deterministic survey.
+//! let report = run_survey(&SurveyConfig::tiny(1));
+//! assert!(report.tcb_sizes.len() > 0);
+//! ```
+
+pub use perils_authserver as authserver;
+pub use perils_core as core;
+pub use perils_dns as dns;
+pub use perils_graph as graph;
+pub use perils_netsim as netsim;
+pub use perils_resolver as resolver;
+pub use perils_survey as survey;
+pub use perils_util as util;
+pub use perils_vulndb as vulndb;

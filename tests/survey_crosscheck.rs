@@ -1,0 +1,103 @@
+//! Generated-world cross-validation and survey smoke tests.
+//!
+//! The heavyweight guarantee: for a generated world, the structural
+//! dependency closure (what the survey uses at scale) equals the closure
+//! discovered by actually probing the simulated network name by name.
+
+use perils::core::closure::DependencyIndex;
+use perils::dns::name::DnsName;
+use perils::netsim::{FaultPlan, Region, SimNet};
+use perils::resolver::{ChainProber, IterativeResolver, ResolverConfig};
+use perils::survey::driver::{run_survey, SurveyConfig};
+use perils::survey::figures;
+use perils::survey::params::TopologyParams;
+use perils::survey::topology::SyntheticWorld;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+#[test]
+fn structural_closure_matches_wire_probe_on_generated_world() {
+    let world = SyntheticWorld::generate(&TopologyParams::tiny(1234));
+    let scenario = world.build_scenario();
+    let net = Arc::new(SimNet::new(99, FaultPlan::none(), Region(0)));
+    perils::authserver::deploy::deploy(&net, &scenario.registry, &scenario.specs)
+        .expect("generated world deploys");
+    let resolver = IterativeResolver::new(
+        net,
+        scenario.roots.clone(),
+        ResolverConfig { query_budget: 20_000, ..ResolverConfig::default() },
+    );
+    let prober = ChainProber::new(&resolver);
+    let index = DependencyIndex::build(&world.universe);
+    let root_names: BTreeSet<DnsName> =
+        scenario.roots.iter().map(|(n, _)| n.clone()).collect();
+
+    // Sample a spread of names (popular and unpopular).
+    let step = (world.names.len() / 12).max(1);
+    let mut checked = 0usize;
+    for survey_name in world.names.iter().step_by(step) {
+        let structural: BTreeSet<String> = index
+            .closure_for(&world.universe, &survey_name.name)
+            .tcb(&world.universe)
+            .iter()
+            .map(|&s| world.universe.server(s).name.to_string())
+            .collect();
+        let report = prober.discover(&survey_name.name);
+        let probed: BTreeSet<String> =
+            report.tcb(&root_names).iter().map(|n| n.to_string()).collect();
+        assert_eq!(
+            structural, probed,
+            "closure mismatch for {} (structural {} vs probed {})",
+            survey_name.name,
+            structural.len(),
+            probed.len()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "checked {checked} names");
+}
+
+#[test]
+fn survey_summary_shapes_hold_at_tiny_scale() {
+    let report = run_survey(&SurveyConfig::tiny(77));
+    let headline = figures::headline(&report);
+    // Shape assertions (loose bands; the tiny world is noisy).
+    assert!(headline.mean_tcb >= headline.median_tcb, "heavy tail: mean ≥ median");
+    assert!(headline.mean_cut >= 1.0 && headline.mean_cut <= 12.0, "mean cut {}", headline.mean_cut);
+    assert!(headline.frac_with_vulnerable_dep >= headline.frac_hijackable);
+    // Figure 2: top-500 names have TCBs at least as large on average.
+    let f2 = figures::fig2(&report);
+    assert!(f2.top500.mean + 1e-9 >= f2.all.mean * 0.8, "popular names are not smaller");
+    // Figure 8: rank curve is heavy-tailed — the top server controls far
+    // more names than the median server.
+    let ranking = report.value.ranking();
+    let top = ranking.first().map(|&(_, c)| c).unwrap_or(0);
+    let (_, median) = report.value.mean_median();
+    assert!(top as f64 > median * 10.0, "top {top} vs median {median}");
+}
+
+#[test]
+fn survey_determinism_across_runs() {
+    let a = run_survey(&SurveyConfig::tiny(555));
+    let b = run_survey(&SurveyConfig::tiny(555));
+    assert_eq!(a.tcb_sizes, b.tcb_sizes);
+    assert_eq!(a.vulnerable_in_tcb, b.vulnerable_in_tcb);
+    assert_eq!(a.cut_size, b.cut_size);
+    let ha = figures::headline(&a);
+    let hb = figures::headline(&b);
+    assert_eq!(ha.critical_servers, hb.critical_servers);
+    assert!((ha.mean_tcb - hb.mean_tcb).abs() < 1e-12);
+}
+
+#[test]
+fn exact_hijack_validates_flattened_cut_direction() {
+    // On every sampled name, the exact AND/OR minimum never exceeds the
+    // flattened min-cut (the exact attacker is at least as strong).
+    let report = run_survey(&SurveyConfig::tiny(31));
+    assert!(!report.exact_sample.is_empty());
+    for &(i, exact_size, _) in &report.exact_sample {
+        if report.cut_size[i] > 0 {
+            assert!(exact_size <= report.cut_size[i]);
+        }
+    }
+}
