@@ -78,10 +78,12 @@ pub fn deploy(
             let zone = match shared.get(origin) {
                 Some(zone) => zone.clone(),
                 None => {
-                    let zone = registry.get(origin).ok_or_else(|| DeployError::UnknownZone {
-                        server: spec.host_name.clone(),
-                        zone: origin.clone(),
-                    })?;
+                    let zone = registry
+                        .get(origin)
+                        .ok_or_else(|| DeployError::UnknownZone {
+                            server: spec.host_name.clone(),
+                            zone: origin.clone(),
+                        })?;
                     let arc = Arc::new(zone.clone());
                     shared.insert(origin.clone(), arc.clone());
                     arc
@@ -97,17 +99,22 @@ pub fn deploy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use perils_dns::message::{Message, Question};
     use perils_dns::name::name;
     use perils_dns::rr::{RData, RrType};
     use perils_dns::zone::Zone;
-    use perils_dns::message::{Message, Question};
     use perils_netsim::{FaultPlan, Region};
 
     fn registry() -> ZoneRegistry {
         let mut reg = ZoneRegistry::new();
         let mut root = Zone::synthetic(DnsName::root(), name("a.root-servers.net"));
-        root.add_rdata(DnsName::root(), RData::Ns(name("a.root-servers.net"))).unwrap();
-        root.add_rdata(name("a.root-servers.net"), RData::A("1.0.0.1".parse().unwrap())).unwrap();
+        root.add_rdata(DnsName::root(), RData::Ns(name("a.root-servers.net")))
+            .unwrap();
+        root.add_rdata(
+            name("a.root-servers.net"),
+            RData::A("1.0.0.1".parse().unwrap()),
+        )
+        .unwrap();
         reg.insert(root);
         reg
     }
@@ -151,6 +158,9 @@ mod tests {
             zones: vec![],
         };
         let err = deploy(&net, &registry(), &[spec.clone(), spec]).unwrap_err();
-        assert_eq!(err, DeployError::AddressCollision("1.0.0.1".parse().unwrap()));
+        assert_eq!(
+            err,
+            DeployError::AddressCollision("1.0.0.1".parse().unwrap())
+        );
     }
 }

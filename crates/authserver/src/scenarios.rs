@@ -38,11 +38,18 @@ struct Builder {
 
 impl Builder {
     fn new() -> Builder {
-        Builder { registry: ZoneRegistry::new(), specs: Vec::new() }
+        Builder {
+            registry: ZoneRegistry::new(),
+            specs: Vec::new(),
+        }
     }
 
     fn zone(&mut self, origin: &str, primary: &str, build: impl FnOnce(&mut Zone)) {
-        let origin = if origin == "." { DnsName::root() } else { name(origin) };
+        let origin = if origin == "." {
+            DnsName::root()
+        } else {
+            name(origin)
+        };
         let mut zone = Zone::synthetic(origin, name(primary));
         build(&mut zone);
         self.registry.insert(zone);
@@ -62,8 +69,13 @@ impl Builder {
 }
 
 fn ns(zone: &mut Zone, owner: &str, host: &str) {
-    let owner = if owner == "." { DnsName::root() } else { name(owner) };
-    zone.add_rdata(owner, RData::Ns(name(host))).expect("scenario NS record");
+    let owner = if owner == "." {
+        DnsName::root()
+    } else {
+        name(owner)
+    };
+    zone.add_rdata(owner, RData::Ns(name(host)))
+        .expect("scenario NS record");
 }
 
 fn a(zone: &mut Zone, owner: &str, addr: &str) {
@@ -152,8 +164,11 @@ pub fn cornell_figure1() -> Scenario {
         ns(z, "cs.cornell.edu", "cayuga.cs.rochester.edu");
         a(z, "simon.cs.cornell.edu", "3.0.0.2");
         a(z, "www.cs.cornell.edu", "3.0.0.88");
-        z.add_rdata(name("web.cs.cornell.edu"), RData::Cname(name("www.cs.cornell.edu")))
-            .expect("scenario CNAME");
+        z.add_rdata(
+            name("web.cs.cornell.edu"),
+            RData::Cname(name("www.cs.cornell.edu")),
+        )
+        .expect("scenario CNAME");
     });
 
     // --- rochester (cycle with cornell; leans on wisc) ---
@@ -198,18 +213,63 @@ pub fn cornell_figure1() -> Scenario {
     });
 
     // --- servers ---
-    b.server("a.root-servers.net", "1.0.0.1", "9.2.3", &[".", "root-servers.net"]);
-    b.server("a.gtld-servers.net", "2.0.0.2", "9.2.3", &["net", "gtld-servers.net"]);
-    b.server("a.edu-servers.net", "2.0.0.1", "9.2.3", &["edu", "edu-servers.net"]);
-    b.server("cudns.cit.cornell.edu", "3.0.0.1", "9.2.2", &["cornell.edu"]);
-    b.server("simon.cs.cornell.edu", "3.0.0.2", "9.2.3", &["cs.cornell.edu", "rochester.edu"]);
+    b.server(
+        "a.root-servers.net",
+        "1.0.0.1",
+        "9.2.3",
+        &[".", "root-servers.net"],
+    );
+    b.server(
+        "a.gtld-servers.net",
+        "2.0.0.2",
+        "9.2.3",
+        &["net", "gtld-servers.net"],
+    );
+    b.server(
+        "a.edu-servers.net",
+        "2.0.0.1",
+        "9.2.3",
+        &["edu", "edu-servers.net"],
+    );
+    b.server(
+        "cudns.cit.cornell.edu",
+        "3.0.0.1",
+        "9.2.2",
+        &["cornell.edu"],
+    );
+    b.server(
+        "simon.cs.cornell.edu",
+        "3.0.0.2",
+        "9.2.3",
+        &["cs.cornell.edu", "rochester.edu"],
+    );
     b.server("ns1.rochester.edu", "4.0.0.1", "8.4.4", &["rochester.edu"]);
-    b.server("cayuga.cs.rochester.edu", "4.0.0.2", "8.2.4", &["cs.rochester.edu", "cs.cornell.edu"]);
-    b.server("slate.cs.rochester.edu", "4.0.0.3", "9.2.1", &["cs.rochester.edu"]);
+    b.server(
+        "cayuga.cs.rochester.edu",
+        "4.0.0.2",
+        "8.2.4",
+        &["cs.rochester.edu", "cs.cornell.edu"],
+    );
+    b.server(
+        "slate.cs.rochester.edu",
+        "4.0.0.3",
+        "9.2.1",
+        &["cs.rochester.edu"],
+    );
     b.server("dns.wisc.edu", "5.0.0.1", "9.2.3", &["wisc.edu"]);
-    b.server("dns.cs.wisc.edu", "5.0.0.2", "8.2.2-P5", &["cs.wisc.edu", "cs.rochester.edu"]);
+    b.server(
+        "dns.cs.wisc.edu",
+        "5.0.0.2",
+        "8.2.2-P5",
+        &["cs.wisc.edu", "cs.rochester.edu"],
+    );
     b.server("dns.itd.umich.edu", "6.0.0.1", "9.2.3", &["umich.edu"]);
-    b.server("dns2.itd.umich.edu", "6.0.0.2", "9.2.3", &["umich.edu", "wisc.edu"]);
+    b.server(
+        "dns2.itd.umich.edu",
+        "6.0.0.2",
+        "9.2.3",
+        &["umich.edu", "wisc.edu"],
+    );
 
     Scenario {
         registry: b.registry,
@@ -291,16 +351,46 @@ pub fn fbi_case() -> Scenario {
         a(z, "reston-ns3.telemail.net", "7.0.0.3");
     });
 
-    b.server("a.root-servers.net", "1.0.0.1", "9.2.3", &[".", "root-servers.net"]);
+    b.server(
+        "a.root-servers.net",
+        "1.0.0.1",
+        "9.2.3",
+        &[".", "root-servers.net"],
+    );
     b.server("a.gtld-servers.net", "2.0.0.2", "9.2.3", &["com", "net"]);
-    b.server("a.gov-servers.net", "2.0.1.1", "9.2.3", &["gov", "gov-servers.net"]);
-    b.server("dns.sprintip.com", "9.0.0.1", "9.2.2", &["fbi.gov", "sprintip.com"]);
+    b.server(
+        "a.gov-servers.net",
+        "2.0.1.1",
+        "9.2.3",
+        &["gov", "gov-servers.net"],
+    );
+    b.server(
+        "dns.sprintip.com",
+        "9.0.0.1",
+        "9.2.2",
+        &["fbi.gov", "sprintip.com"],
+    );
     b.server("dns2.sprintip.com", "9.0.0.2", "9.2.2", &["fbi.gov"]);
-    b.server("reston-ns1.telemail.net", "7.0.0.1", "9.2.2", &["telemail.net", "sprintip.com"]);
+    b.server(
+        "reston-ns1.telemail.net",
+        "7.0.0.1",
+        "9.2.2",
+        &["telemail.net", "sprintip.com"],
+    );
     // The paper's vulnerable box: BIND 8.2.4 with libbind, negcache,
     // sigrec and DoS multi.
-    b.server("reston-ns2.telemail.net", "7.0.0.2", "8.2.4", &["telemail.net", "sprintip.com"]);
-    b.server("reston-ns3.telemail.net", "7.0.0.3", "9.2.2", &["sprintip.com"]);
+    b.server(
+        "reston-ns2.telemail.net",
+        "7.0.0.2",
+        "8.2.4",
+        &["telemail.net", "sprintip.com"],
+    );
+    b.server(
+        "reston-ns3.telemail.net",
+        "7.0.0.3",
+        "9.2.2",
+        &["sprintip.com"],
+    );
 
     Scenario {
         registry: b.registry,
@@ -347,7 +437,11 @@ mod tests {
                 scenario.specs.iter().map(|s| &s.host_name).collect();
             for zone in scenario.registry.iter() {
                 for ns in zone.apex_ns_names() {
-                    assert!(hosts.contains(&ns), "no server spec for {ns} (zone {})", zone.origin());
+                    assert!(
+                        hosts.contains(&ns),
+                        "no server spec for {ns} (zone {})",
+                        zone.origin()
+                    );
                 }
             }
         }

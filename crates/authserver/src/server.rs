@@ -27,7 +27,12 @@ pub struct AuthServer {
 impl AuthServer {
     /// Creates a server with no zones.
     pub fn new(host_name: DnsName, addr: Ipv4Addr, software: ServerSoftware) -> AuthServer {
-        AuthServer { host_name, addr, software, zones: Vec::new() }
+        AuthServer {
+            host_name,
+            addr,
+            software,
+            zones: Vec::new(),
+        }
     }
 
     /// Adds a hosted zone (builder style).
@@ -134,7 +139,9 @@ impl AuthServer {
                         None => return response,
                     }
                 }
-                ZoneLookup::Referral { ns_records, glue, .. } => {
+                ZoneLookup::Referral {
+                    ns_records, glue, ..
+                } => {
                     response.flags.aa = false;
                     response.authority.extend(ns_records);
                     response.additional.extend(glue);
@@ -191,13 +198,37 @@ mod tests {
     use perils_dns::rr::Soa;
 
     fn example_server() -> AuthServer {
-        let mut zone = Zone::new(name("example.com"), Soa::synthetic(name("ns1.example.com"), 1));
-        zone.add_rdata(name("example.com"), RData::Ns(name("ns1.example.com"))).unwrap();
-        zone.add_rdata(name("ns1.example.com"), RData::A("10.0.0.1".parse().unwrap())).unwrap();
-        zone.add_rdata(name("www.example.com"), RData::A("10.0.0.80".parse().unwrap())).unwrap();
-        zone.add_rdata(name("web.example.com"), RData::Cname(name("www.example.com"))).unwrap();
-        zone.add_rdata(name("sub.example.com"), RData::Ns(name("ns.sub.example.com"))).unwrap();
-        zone.add_rdata(name("ns.sub.example.com"), RData::A("10.0.1.1".parse().unwrap())).unwrap();
+        let mut zone = Zone::new(
+            name("example.com"),
+            Soa::synthetic(name("ns1.example.com"), 1),
+        );
+        zone.add_rdata(name("example.com"), RData::Ns(name("ns1.example.com")))
+            .unwrap();
+        zone.add_rdata(
+            name("ns1.example.com"),
+            RData::A("10.0.0.1".parse().unwrap()),
+        )
+        .unwrap();
+        zone.add_rdata(
+            name("www.example.com"),
+            RData::A("10.0.0.80".parse().unwrap()),
+        )
+        .unwrap();
+        zone.add_rdata(
+            name("web.example.com"),
+            RData::Cname(name("www.example.com")),
+        )
+        .unwrap();
+        zone.add_rdata(
+            name("sub.example.com"),
+            RData::Ns(name("ns.sub.example.com")),
+        )
+        .unwrap();
+        zone.add_rdata(
+            name("ns.sub.example.com"),
+            RData::A("10.0.1.1".parse().unwrap()),
+        )
+        .unwrap();
         AuthServer::new(
             name("ns1.example.com"),
             "10.0.0.1".parse().unwrap(),
@@ -263,7 +294,10 @@ mod tests {
             "10.0.0.9".parse().unwrap(),
             ServerSoftware::bind("9.2.3"),
         );
-        let response = lame.respond(&Message::query(1, Question::new(name("x.example.net"), RrType::A)));
+        let response = lame.respond(&Message::query(
+            1,
+            Question::new(name("x.example.net"), RrType::A),
+        ));
         assert_eq!(response.rcode, Rcode::Refused);
     }
 
@@ -279,7 +313,11 @@ mod tests {
         // Other CHAOS queries are refused.
         let other = server.respond(&Message::query(
             8,
-            Question { name: name("hostname.bind"), qtype: RrType::Txt, qclass: RrClass::Ch },
+            Question {
+                name: name("hostname.bind"),
+                qtype: RrType::Txt,
+                qclass: RrClass::Ch,
+            },
         ));
         assert_eq!(other.rcode, Rcode::Refused);
     }
@@ -297,12 +335,29 @@ mod tests {
     fn deepest_zone_wins() {
         // Server hosts both example.com and sub.example.com: queries under
         // sub go to the child zone (no referral).
-        let mut parent = Zone::new(name("example.com"), Soa::synthetic(name("ns1.example.com"), 1));
-        parent.add_rdata(name("example.com"), RData::Ns(name("ns1.example.com"))).unwrap();
-        parent.add_rdata(name("sub.example.com"), RData::Ns(name("ns1.example.com"))).unwrap();
-        let mut child = Zone::new(name("sub.example.com"), Soa::synthetic(name("ns1.example.com"), 1));
-        child.add_rdata(name("sub.example.com"), RData::Ns(name("ns1.example.com"))).unwrap();
-        child.add_rdata(name("www.sub.example.com"), RData::A("10.0.2.2".parse().unwrap())).unwrap();
+        let mut parent = Zone::new(
+            name("example.com"),
+            Soa::synthetic(name("ns1.example.com"), 1),
+        );
+        parent
+            .add_rdata(name("example.com"), RData::Ns(name("ns1.example.com")))
+            .unwrap();
+        parent
+            .add_rdata(name("sub.example.com"), RData::Ns(name("ns1.example.com")))
+            .unwrap();
+        let mut child = Zone::new(
+            name("sub.example.com"),
+            Soa::synthetic(name("ns1.example.com"), 1),
+        );
+        child
+            .add_rdata(name("sub.example.com"), RData::Ns(name("ns1.example.com")))
+            .unwrap();
+        child
+            .add_rdata(
+                name("www.sub.example.com"),
+                RData::A("10.0.2.2".parse().unwrap()),
+            )
+            .unwrap();
         let server = AuthServer::new(
             name("ns1.example.com"),
             "10.0.0.1".parse().unwrap(),
@@ -311,7 +366,10 @@ mod tests {
         .with_zone(Arc::new(parent))
         .with_zone(Arc::new(child));
         let response = ask(&server, "www.sub.example.com", RrType::A);
-        assert!(response.is_authoritative_answer(), "child zone answers authoritatively");
+        assert!(
+            response.is_authoritative_answer(),
+            "child zone answers authoritatively"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct ServerSoftware {
 impl ServerSoftware {
     /// A server running `version` with the banner exposed.
     pub fn exposed(version: BindVersion) -> ServerSoftware {
-        ServerSoftware { version, banner_policy: BannerPolicy::Expose }
+        ServerSoftware {
+            version,
+            banner_policy: BannerPolicy::Expose,
+        }
     }
 
     /// Parses a version string; panics on invalid input (test/example

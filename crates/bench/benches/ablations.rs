@@ -43,7 +43,13 @@ fn ablation_mincut(c: &mut Criterion) {
     );
     let closure = index.closure_for(&world.universe, &world.names[0].name);
     c.bench_function("ablation_mincut/flattened", |b| {
-        b.iter(|| black_box(min_cut_flattened(&world.universe, &index, black_box(&closure))))
+        b.iter(|| {
+            black_box(min_cut_flattened(
+                &world.universe,
+                &index,
+                black_box(&closure),
+            ))
+        })
     });
     c.bench_function("ablation_mincut/exact", |b| {
         b.iter(|| black_box(min_hijack_exact(&world.universe, black_box(&closure))))
@@ -83,9 +89,7 @@ fn ablation_resilience(c: &mut Criterion) {
             BenchmarkId::from_parameter(secondaries),
             &secondaries,
             |b, _| {
-                b.iter(|| {
-                    black_box(index.closure_for(&world.universe, black_box(&popular.name)))
-                })
+                b.iter(|| black_box(index.closure_for(&world.universe, black_box(&popular.name))))
             },
         );
     }
@@ -101,7 +105,11 @@ fn ablation_scale(c: &mut Criterion) {
         params.domains = names / 2;
         params.providers = 40;
         params.universities = 60;
-        let config = SurveyConfig { params, exact_hijack_sample: 0, threads: None };
+        let config = SurveyConfig {
+            params,
+            exact_hijack_sample: 0,
+            threads: None,
+        };
         let report = run_survey(&config);
         let headline = perils_survey::figures::headline(&report);
         println!(

@@ -20,20 +20,43 @@ fn sample_message() -> Message {
     let q = Message::query(0x1234, Question::new(name("www.cs.cornell.edu"), RrType::A));
     let mut m = Message::response_to(&q);
     m.flags.aa = true;
-    m.answers.push(Record::new(name("www.cs.cornell.edu"), 3600, RData::A("128.84.154.137".parse().unwrap())));
-    for ns in ["simon.cs.cornell.edu", "cayuga.cs.rochester.edu", "dns.cs.wisc.edu"] {
-        m.authority.push(Record::new(name("cs.cornell.edu"), 7200, RData::Ns(name(ns))));
+    m.answers.push(Record::new(
+        name("www.cs.cornell.edu"),
+        3600,
+        RData::A("128.84.154.137".parse().unwrap()),
+    ));
+    for ns in [
+        "simon.cs.cornell.edu",
+        "cayuga.cs.rochester.edu",
+        "dns.cs.wisc.edu",
+    ] {
+        m.authority.push(Record::new(
+            name("cs.cornell.edu"),
+            7200,
+            RData::Ns(name(ns)),
+        ));
     }
-    m.additional.push(Record::new(name("simon.cs.cornell.edu"), 7200, RData::A("128.84.96.10".parse().unwrap())));
+    m.additional.push(Record::new(
+        name("simon.cs.cornell.edu"),
+        7200,
+        RData::A("128.84.96.10".parse().unwrap()),
+    ));
     m
 }
 
 fn wire_codec(c: &mut Criterion) {
     let message = sample_message();
     let bytes = encode(&message);
-    println!("[micro] wire message size with compression: {} bytes", bytes.len());
-    c.bench_function("wire_encode", |b| b.iter(|| black_box(encode(black_box(&message)))));
-    c.bench_function("wire_decode", |b| b.iter(|| black_box(decode(black_box(&bytes)).unwrap())));
+    println!(
+        "[micro] wire message size with compression: {} bytes",
+        bytes.len()
+    );
+    c.bench_function("wire_encode", |b| {
+        b.iter(|| black_box(encode(black_box(&message))))
+    });
+    c.bench_function("wire_decode", |b| {
+        b.iter(|| black_box(decode(black_box(&bytes)).unwrap()))
+    });
 }
 
 fn resolution(c: &mut Criterion) {
@@ -43,7 +66,10 @@ fn resolution(c: &mut Criterion) {
     let resolver = IterativeResolver::new(
         net,
         scenario.roots.clone(),
-        ResolverConfig { use_cache: false, ..ResolverConfig::default() },
+        ResolverConfig {
+            use_cache: false,
+            ..ResolverConfig::default()
+        },
     );
     let target = name("www.cs.cornell.edu");
     c.bench_function("iterative_resolution_uncached", |b| {

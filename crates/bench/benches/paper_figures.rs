@@ -18,15 +18,22 @@ fn fig2_tcb_cdf(c: &mut Criterion) {
         "[fig2] TCB: median {:.0} mean {:.1} | top500 mean {:.1} (paper: 26 / 46 / 69)",
         f.all.median, f.all.mean, f.top500.mean
     );
-    c.bench_function("fig2_tcb_cdf", |b| b.iter(|| black_box(figures::fig2(black_box(report)))));
+    c.bench_function("fig2_tcb_cdf", |b| {
+        b.iter(|| black_box(figures::fig2(black_box(report))))
+    });
 }
 
 fn fig3_gtld(c: &mut Criterion) {
     let report = shared_report();
     let f = figures::fig3(report);
     let order: Vec<&str> = f.bars.iter().map(|b| b.tld.as_str()).collect();
-    println!("[fig3] gTLD order {:?} group mean {:.1} (paper order: aero,int,…,com,coop)", order, f.group_mean);
-    c.bench_function("fig3_gtld", |b| b.iter(|| black_box(figures::fig3(black_box(report)))));
+    println!(
+        "[fig3] gTLD order {:?} group mean {:.1} (paper order: aero,int,…,com,coop)",
+        order, f.group_mean
+    );
+    c.bench_function("fig3_gtld", |b| {
+        b.iter(|| black_box(figures::fig3(black_box(report))))
+    });
 }
 
 fn fig4_cctld(c: &mut Criterion) {
@@ -37,7 +44,9 @@ fn fig4_cctld(c: &mut Criterion) {
         f.bars.first().map(|b| b.tld.clone()).unwrap_or_default(),
         f.bars.first().map(|b| b.mean_tcb).unwrap_or(0.0)
     );
-    c.bench_function("fig4_cctld", |b| b.iter(|| black_box(figures::fig4(black_box(report)))));
+    c.bench_function("fig4_cctld", |b| {
+        b.iter(|| black_box(figures::fig4(black_box(report))))
+    });
 }
 
 fn fig5_vulnerable_cdf(c: &mut Criterion) {
@@ -45,7 +54,8 @@ fn fig5_vulnerable_cdf(c: &mut Criterion) {
     let f = figures::fig5(report);
     println!(
         "[fig5] names with ≥1 vulnerable dep: {:.1}% mean {:.1} (paper: 45% / 4.1)",
-        100.0 * f.frac_with_vulnerable, f.mean_vulnerable
+        100.0 * f.frac_with_vulnerable,
+        f.mean_vulnerable
     );
     c.bench_function("fig5_vulnerable_cdf", |b| {
         b.iter(|| black_box(figures::fig5(black_box(report))))
@@ -55,8 +65,13 @@ fn fig5_vulnerable_cdf(c: &mut Criterion) {
 fn fig6_safety(c: &mut Criterion) {
     let report = shared_report();
     let f = figures::fig6(report);
-    println!("[fig6] fully-vulnerable TCBs: {} names (paper: a few, in .ws)", f.fully_vulnerable_names);
-    c.bench_function("fig6_safety", |b| b.iter(|| black_box(figures::fig6(black_box(report)))));
+    println!(
+        "[fig6] fully-vulnerable TCBs: {} names (paper: a few, in .ws)",
+        f.fully_vulnerable_names
+    );
+    c.bench_function("fig6_safety", |b| {
+        b.iter(|| black_box(figures::fig6(black_box(report))))
+    });
 }
 
 fn fig7_bottlenecks(c: &mut Criterion) {
@@ -80,7 +95,9 @@ fn fig8_value(c: &mut Criterion) {
         "[fig8] servers controlling >10%: {} | mean {:.0} median {:.0} (paper: ~125 / 166 / 4)",
         f.controlling_10pct, f.mean, f.median
     );
-    c.bench_function("fig8_value", |b| b.iter(|| black_box(figures::fig8(black_box(report)))));
+    c.bench_function("fig8_value", |b| {
+        b.iter(|| black_box(figures::fig8(black_box(report))))
+    });
 }
 
 fn fig9_edu_org(c: &mut Criterion) {
@@ -88,9 +105,14 @@ fn fig9_edu_org(c: &mut Criterion) {
     let f = figures::fig9(report);
     println!(
         "[fig9] series lengths: {:?}",
-        f.series.iter().map(|(l, p)| (l.clone(), p.len())).collect::<Vec<_>>()
+        f.series
+            .iter()
+            .map(|(l, p)| (l.clone(), p.len()))
+            .collect::<Vec<_>>()
     );
-    c.bench_function("fig9_edu_org", |b| b.iter(|| black_box(figures::fig9(black_box(report)))));
+    c.bench_function("fig9_edu_org", |b| {
+        b.iter(|| black_box(figures::fig9(black_box(report))))
+    });
 }
 
 fn headline_stats(c: &mut Criterion) {

@@ -11,12 +11,16 @@ use std::sync::OnceLock;
 /// The bench-scale survey configuration: large enough for the figures'
 /// shapes to be visible, small enough to iterate.
 pub fn bench_config() -> SurveyConfig {
-    let mut params = TopologyParams::default_scaled(2004_07_22);
+    let mut params = TopologyParams::default_scaled(20040722);
     params.names = 6_000;
     params.domains = 4_000;
     params.providers = 120;
     params.universities = 120;
-    SurveyConfig { params, exact_hijack_sample: 0, threads: None }
+    SurveyConfig {
+        params,
+        exact_hijack_sample: 0,
+        threads: None,
+    }
 }
 
 /// A lazily computed, shared survey report (the figure benches measure the

@@ -159,7 +159,10 @@ mod tests {
         b.add_zone(&name("gov"), &[name("a.root-servers.net")]);
         b.add_zone(&name("com"), &[name("a.root-servers.net")]);
         b.add_zone(&name("net"), &[name("a.root-servers.net")]);
-        b.add_zone(&name("fbi.gov"), &[name("dns.sprintip.com"), name("dns2.sprintip.com")]);
+        b.add_zone(
+            &name("fbi.gov"),
+            &[name("dns.sprintip.com"), name("dns2.sprintip.com")],
+        );
         b.add_zone(
             &name("sprintip.com"),
             &[
@@ -170,7 +173,10 @@ mod tests {
         );
         b.add_zone(
             &name("telemail.net"),
-            &[name("reston-ns1.telemail.net"), name("reston-ns2.telemail.net")],
+            &[
+                name("reston-ns1.telemail.net"),
+                name("reston-ns2.telemail.net"),
+            ],
         );
         b.finish()
     }
@@ -184,7 +190,10 @@ mod tests {
         assert_eq!(owned.len(), 1, "only reston-ns2 is scripted-vulnerable");
         let outcome = sim.assess(&name("www.fbi.gov"), &owned, &BTreeSet::new());
         assert!(outcome.partial, "fbi.gov resolution can be diverted");
-        assert!(!outcome.complete, "other telemail/sprintip boxes still serve cleanly");
+        assert!(
+            !outcome.complete,
+            "other telemail/sprintip boxes still serve cleanly"
+        );
     }
 
     #[test]
@@ -236,7 +245,10 @@ mod tests {
         let targets = vec![name("www.fbi.gov"), name("www.unrelated.gov")];
         let summary = sim.impact(&targets, &owned, &BTreeSet::new());
         assert_eq!(summary.names, 2);
-        assert_eq!(summary.partial, 1, "unrelated.gov has no telemail dependency");
+        assert_eq!(
+            summary.partial, 1,
+            "unrelated.gov has no telemail dependency"
+        );
         assert_eq!(summary.complete, 0);
     }
 

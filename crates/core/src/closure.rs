@@ -44,7 +44,10 @@ impl DependencyIndex {
             server_deps.push(deps);
             server_chains.push(chain);
         }
-        DependencyIndex { server_deps, server_chains }
+        DependencyIndex {
+            server_deps,
+            server_chains,
+        }
     }
 
     /// The servers that could be involved in resolving `server`'s address.
@@ -80,7 +83,12 @@ impl DependencyIndex {
                 }
             }
         }
-        NameClosure { target: target.to_lowercase(), target_chain, zones, servers }
+        NameClosure {
+            target: target.to_lowercase(),
+            target_chain,
+            zones,
+            servers,
+        }
     }
 }
 
@@ -102,12 +110,19 @@ pub struct NameClosure {
 impl NameClosure {
     /// The trusted computing base: closure servers minus root servers.
     pub fn tcb(&self, universe: &Universe) -> Vec<ServerId> {
-        self.servers.iter().copied().filter(|&s| !universe.server(s).is_root).collect()
+        self.servers
+            .iter()
+            .copied()
+            .filter(|&s| !universe.server(s).is_root)
+            .collect()
     }
 
     /// TCB size (paper convention: root servers excluded).
     pub fn tcb_size(&self, universe: &Universe) -> usize {
-        self.servers.iter().filter(|&&s| !universe.server(s).is_root).count()
+        self.servers
+            .iter()
+            .filter(|&&s| !universe.server(s).is_root)
+            .count()
     }
 
     /// Extracts a self-contained sub-universe containing exactly this
@@ -129,8 +144,11 @@ impl NameClosure {
         }
         for &zid in &self.zones {
             let zone = universe.zone(zid);
-            let ns_names: Vec<perils_dns::name::DnsName> =
-                zone.ns.iter().map(|&s| universe.server(s).name.clone()).collect();
+            let ns_names: Vec<perils_dns::name::DnsName> = zone
+                .ns
+                .iter()
+                .map(|&s| universe.server(s).name.clone())
+                .collect();
             builder.add_zone(&zone.origin, &ns_names);
         }
         builder.finish()
@@ -154,13 +172,13 @@ mod tests {
         b.add_zone(&name("net"), &[name("a.gtld-servers.net")]);
         b.add_zone(&name("edu-servers.net"), &[name("a.edu-servers.net")]);
         b.add_zone(&name("gtld-servers.net"), &[name("a.gtld-servers.net")]);
-        b.add_zone(
-            &name("cornell.edu"),
-            &[name("cudns.cit.cornell.edu")],
-        );
+        b.add_zone(&name("cornell.edu"), &[name("cudns.cit.cornell.edu")]);
         b.add_zone(
             &name("cs.cornell.edu"),
-            &[name("simon.cs.cornell.edu"), name("cayuga.cs.rochester.edu")],
+            &[
+                name("simon.cs.cornell.edu"),
+                name("cayuga.cs.rochester.edu"),
+            ],
         );
         b.add_zone(
             &name("rochester.edu"),
@@ -170,7 +188,10 @@ mod tests {
             &name("cs.rochester.edu"),
             &[name("cayuga.cs.rochester.edu"), name("dns.cs.wisc.edu")],
         );
-        b.add_zone(&name("wisc.edu"), &[name("dns.wisc.edu"), name("dns2.itd.umich.edu")]);
+        b.add_zone(
+            &name("wisc.edu"),
+            &[name("dns.wisc.edu"), name("dns2.itd.umich.edu")],
+        );
         b.add_zone(&name("cs.wisc.edu"), &[name("dns.cs.wisc.edu")]);
         b.add_zone(&name("umich.edu"), &[name("dns.itd.umich.edu")]);
         b.finish()
@@ -211,7 +232,15 @@ mod tests {
                 .any(|&s| u.server(s).name == name("a.root-servers.net")),
             "root servers are not counted"
         );
-        assert_eq!(closure.tcb_size(&u), closure.servers.len() - if closure.servers.iter().any(|&s| u.server(s).is_root) { 1 } else { 0 });
+        assert_eq!(
+            closure.tcb_size(&u),
+            closure.servers.len()
+                - if closure.servers.iter().any(|&s| u.server(s).is_root) {
+                    1
+                } else {
+                    0
+                }
+        );
     }
 
     #[test]
@@ -219,8 +248,11 @@ mod tests {
         let u = figure1_universe();
         let index = DependencyIndex::build(&u);
         let closure = index.closure_for(&u, &name("www.umich.edu"));
-        let names: Vec<String> =
-            closure.servers.iter().map(|&s| u.server(s).name.to_string()).collect();
+        let names: Vec<String> = closure
+            .servers
+            .iter()
+            .map(|&s| u.server(s).name.to_string())
+            .collect();
         assert!(names.contains(&"dns.itd.umich.edu".to_string()));
         assert!(names.contains(&"a.edu-servers.net".to_string()));
         assert!(
@@ -239,8 +271,11 @@ mod tests {
         assert!(!a.servers.is_empty() && !b.servers.is_empty());
         // Both closures contain the mutual pair.
         for closure in [&a, &b] {
-            let names: Vec<String> =
-                closure.servers.iter().map(|&s| u.server(s).name.to_string()).collect();
+            let names: Vec<String> = closure
+                .servers
+                .iter()
+                .map(|&s| u.server(s).name.to_string())
+                .collect();
             assert!(names.contains(&"simon.cs.cornell.edu".to_string()));
             assert!(names.contains(&"cayuga.cs.rochester.edu".to_string()));
         }
@@ -251,10 +286,24 @@ mod tests {
         let u = figure1_universe();
         let index = DependencyIndex::build(&u);
         let closure = index.closure_for(&u, &name("www.cs.cornell.edu"));
-        let zone_names: Vec<String> =
-            closure.zones.iter().map(|&z| u.zone(z).origin.to_string()).collect();
-        for expected in ["edu", "cornell.edu", "cs.cornell.edu", "rochester.edu", "wisc.edu", "umich.edu", "net"] {
-            assert!(zone_names.contains(&expected.to_string()), "missing {expected}: {zone_names:?}");
+        let zone_names: Vec<String> = closure
+            .zones
+            .iter()
+            .map(|&z| u.zone(z).origin.to_string())
+            .collect();
+        for expected in [
+            "edu",
+            "cornell.edu",
+            "cs.cornell.edu",
+            "rochester.edu",
+            "wisc.edu",
+            "umich.edu",
+            "net",
+        ] {
+            assert!(
+                zone_names.contains(&expected.to_string()),
+                "missing {expected}: {zone_names:?}"
+            );
         }
     }
 
@@ -263,8 +312,11 @@ mod tests {
         let u = figure1_universe();
         let index = DependencyIndex::build(&u);
         let closure = index.closure_for(&u, &name("www.cs.cornell.edu"));
-        let chain: Vec<String> =
-            closure.target_chain.iter().map(|&z| u.zone(z).origin.to_string()).collect();
+        let chain: Vec<String> = closure
+            .target_chain
+            .iter()
+            .map(|&z| u.zone(z).origin.to_string())
+            .collect();
         assert_eq!(chain, vec!["edu", "cornell.edu", "cs.cornell.edu"]);
     }
 }

@@ -58,8 +58,8 @@ impl DelegationGraph {
         }
 
         let add_chain = |graph: &mut DiGraph<DelegationNode>,
-                             chain: &[crate::universe::ZoneId],
-                             endpoint: NodeId| {
+                         chain: &[crate::universe::ZoneId],
+                         endpoint: NodeId| {
             let mut prev_layer: Vec<NodeId> = vec![source];
             for &zid in chain {
                 let layer: Vec<NodeId> = universe
@@ -95,7 +95,12 @@ impl DelegationGraph {
             add_chain(&mut graph, index.chain_of(sid), endpoint);
         }
 
-        DelegationGraph { graph, source, sink, node_of_server }
+        DelegationGraph {
+            graph,
+            source,
+            sink,
+            node_of_server,
+        }
     }
 
     /// The node for `server`, if it is in the graph.
@@ -126,7 +131,11 @@ impl DelegationGraph {
         out.push_str(&format!("  target [shape=box, label=\"{title}\"];\n"));
         for (&sid, &node) in &self.node_of_server {
             let server = universe.server(sid);
-            let color = if server.vulnerable { ", color=red, fontcolor=red" } else { "" };
+            let color = if server.vulnerable {
+                ", color=red, fontcolor=red"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "  n{} [label=\"{}\"{color}];\n",
                 node.index(),
@@ -168,7 +177,10 @@ mod tests {
         b.add_zone(&DnsName::root(), &[]);
         b.add_zone(&name("com"), &[name("a.gtld.nstld.com")]);
         b.add_zone(&name("nstld.com"), &[name("ns.nstld.com")]);
-        b.add_zone(&name("example.com"), &[name("ns1.example.com"), name("ns2.example.com")]);
+        b.add_zone(
+            &name("example.com"),
+            &[name("ns1.example.com"), name("ns2.example.com")],
+        );
         b.finish()
     }
 

@@ -17,9 +17,11 @@
 //!   denial, but the name still goes dark.
 
 use crate::closure::DependencyIndex;
+use crate::metric::{columns, MeasureCtx, MetricColumn, MetricShard, NameMetric, PreparedState};
 use crate::universe::{ServerId, Universe, ZoneId};
 use crate::usable::Reachability;
 use perils_dns::name::DnsName;
+use std::any::Any;
 use std::collections::BTreeSet;
 
 /// A DNSSEC deployment state: which zones are signed.
@@ -153,6 +155,148 @@ pub fn dnssec_impact(
     impact
 }
 
+/// Which zones a modeled DNSSEC rollout signs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentPolicy {
+    /// Nothing signed (the 2004 state of the world).
+    None,
+    /// Root anchor plus every TLD zone signed — the "islands of security"
+    /// transition state where chains of trust stop at the second level.
+    TopLevel,
+    /// Every zone signed, root included.
+    Universal,
+}
+
+impl DeploymentPolicy {
+    /// Materializes the deployment for `universe`.
+    pub fn build(self, universe: &Universe) -> DnssecDeployment {
+        match self {
+            DeploymentPolicy::None => DnssecDeployment::none(),
+            DeploymentPolicy::Universal => DnssecDeployment::universal(universe),
+            DeploymentPolicy::TopLevel => {
+                let mut deployment = DnssecDeployment::none();
+                deployment.sign_root();
+                for zid in universe.zone_ids() {
+                    if universe.zone(zid).origin.label_count() <= 1 {
+                        deployment.sign(zid);
+                    }
+                }
+                deployment
+            }
+        }
+    }
+}
+
+/// DNSSEC coverage of each name's TCB as a pluggable survey metric: the
+/// fraction of the name's closure zones that are signed
+/// (`dnssec_signed_fraction`) and whether its own chain of trust is
+/// unbroken (`dnssec_chain_protected`, 0/1). Under any partial deployment
+/// the fraction quantifies §5's point: signing shrinks the forgeable
+/// surface, yet the closure — the deniable surface — is unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct DnssecCoverageMetric {
+    /// The modeled rollout.
+    pub policy: DeploymentPolicy,
+}
+
+impl DnssecCoverageMetric {
+    /// Coverage under the root+TLD "islands of security" rollout.
+    pub fn top_level() -> DnssecCoverageMetric {
+        DnssecCoverageMetric {
+            policy: DeploymentPolicy::TopLevel,
+        }
+    }
+}
+
+struct DnssecShard {
+    deployment: std::sync::Arc<DnssecDeployment>,
+    fraction: Vec<f64>,
+    protected: Vec<usize>,
+}
+
+impl MetricShard for DnssecShard {
+    fn measure(&mut self, ctx: &MeasureCtx<'_>, slot: usize) {
+        let total = ctx.closure.zones.len();
+        let signed = ctx
+            .closure
+            .zones
+            .iter()
+            .filter(|&&z| self.deployment.is_signed(z))
+            .count();
+        self.fraction[slot] = if total == 0 {
+            0.0
+        } else {
+            signed as f64 / total as f64
+        };
+        self.protected[slot] = usize::from(self.deployment.chain_protected(ctx.universe, ctx.name));
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+impl NameMetric for DnssecCoverageMetric {
+    fn id(&self) -> &str {
+        "dnssec_coverage"
+    }
+
+    fn columns(&self) -> Vec<String> {
+        vec![
+            columns::DNSSEC_SIGNED_FRACTION.into(),
+            columns::DNSSEC_CHAIN_PROTECTED.into(),
+        ]
+    }
+
+    fn prepare(&self, universe: &Universe) -> PreparedState {
+        Some(std::sync::Arc::new(self.policy.build(universe)))
+    }
+
+    fn shard(
+        &self,
+        universe: &Universe,
+        shard_len: usize,
+        prepared: &PreparedState,
+    ) -> Box<dyn MetricShard> {
+        let deployment = prepared
+            .as_ref()
+            .and_then(|p| std::sync::Arc::clone(p).downcast::<DnssecDeployment>().ok())
+            .unwrap_or_else(|| std::sync::Arc::new(self.policy.build(universe)));
+        Box::new(DnssecShard {
+            deployment,
+            fraction: vec![0.0; shard_len],
+            protected: vec![0; shard_len],
+        })
+    }
+
+    fn merge(
+        &self,
+        _universe: &Universe,
+        shards: Vec<Box<dyn MetricShard>>,
+    ) -> Vec<(String, MetricColumn)> {
+        let mut fraction = Vec::new();
+        let mut protected = Vec::new();
+        for shard in shards {
+            let shard = shard
+                .into_any()
+                .downcast::<DnssecShard>()
+                .unwrap_or_else(|_| panic!("metric dnssec_coverage: foreign shard type"));
+            fraction.extend(shard.fraction);
+            protected.extend(shard.protected);
+        }
+        vec![
+            (
+                columns::DNSSEC_SIGNED_FRACTION.into(),
+                MetricColumn::Floats(fraction),
+            ),
+            (
+                columns::DNSSEC_CHAIN_PROTECTED.into(),
+                MetricColumn::Counts(protected),
+            ),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,16 +308,24 @@ mod tests {
         let mut b = Universe::builder();
         b.raw_server(&name("a.root-servers.net"), false, true);
         b.raw_server(&name("ns.provider.net"), true, false);
-        b.add_zone(&perils_dns::name::DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(
+            &perils_dns::name::DnsName::root(),
+            &[name("a.root-servers.net")],
+        );
         b.add_zone(&name("com"), &[name("a.root-servers.net")]);
         b.add_zone(&name("net"), &[name("a.root-servers.net")]);
-        b.add_zone(&name("victim.com"), &[name("ns1.provider.net"), name("ns2.provider.net")]);
+        b.add_zone(
+            &name("victim.com"),
+            &[name("ns1.provider.net"), name("ns2.provider.net")],
+        );
         b.add_zone(&name("provider.net"), &[name("ns.provider.net")]);
         b.finish()
     }
 
     fn owned(u: &Universe) -> BTreeSet<ServerId> {
-        [u.server_id(&name("ns.provider.net")).unwrap()].into_iter().collect()
+        [u.server_id(&name("ns.provider.net")).unwrap()]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -194,8 +346,14 @@ mod tests {
         let deployment = DnssecDeployment::universal(&u);
         let outcome =
             assess_with_dnssec(&u, &index, &deployment, &name("www.victim.com"), &owned(&u));
-        assert!(!outcome.forgeable, "signed chain: forgeries fail validation");
-        assert!(outcome.deniable, "§5: malicious agents can still disrupt name service");
+        assert!(
+            !outcome.forgeable,
+            "signed chain: forgeries fail validation"
+        );
+        assert!(
+            outcome.deniable,
+            "§5: malicious agents can still disrupt name service"
+        );
     }
 
     #[test]
@@ -215,7 +373,10 @@ mod tests {
         assert!(!deployment.chain_protected(&u, &name("www.victim.com")));
         let outcome =
             assess_with_dnssec(&u, &index, &deployment, &name("www.victim.com"), &owned(&u));
-        assert!(outcome.forgeable, "an unsigned link breaks the chain of trust");
+        assert!(
+            outcome.forgeable,
+            "an unsigned link breaks the chain of trust"
+        );
     }
 
     #[test]
@@ -253,9 +414,66 @@ mod tests {
         assert_eq!(unsigned.names, 2);
         assert_eq!(unsigned.forgeable, 1, "only victim.com is reached");
         assert_eq!(unsigned.deniable, 1);
-        let signed =
-            dnssec_impact(&u, &index, &DnssecDeployment::universal(&u), &targets, &owned(&u));
+        let signed = dnssec_impact(
+            &u,
+            &index,
+            &DnssecDeployment::universal(&u),
+            &targets,
+            &owned(&u),
+        );
         assert_eq!(signed.forgeable, 0, "DNSSEC removes forgery");
-        assert_eq!(signed.deniable, 1, "denial is untouched — the paper's point");
+        assert_eq!(
+            signed.deniable, 1,
+            "denial is untouched — the paper's point"
+        );
+    }
+
+    #[test]
+    fn top_level_policy_signs_root_and_tlds_only() {
+        let u = universe();
+        let deployment = DeploymentPolicy::TopLevel.build(&u);
+        assert!(deployment.root_signed());
+        assert!(deployment.is_signed(u.zone_id(&name("com")).unwrap()));
+        assert!(!deployment.is_signed(u.zone_id(&name("victim.com")).unwrap()));
+        // Chain to www.victim.com breaks at the unsigned second level.
+        assert!(!deployment.chain_protected(&u, &name("www.victim.com")));
+    }
+
+    #[test]
+    fn coverage_metric_fraction_and_protection() {
+        let u = universe();
+        let index = DependencyIndex::build(&u);
+        let target = name("www.victim.com");
+        let closure = index.closure_for(&u, &target);
+        let run = |metric: DnssecCoverageMetric| {
+            let prepared = metric.prepare(&u);
+            let mut shard = metric.shard(&u, 1, &prepared);
+            let ctx = MeasureCtx {
+                universe: &u,
+                index: &index,
+                name: &target,
+                name_index: 0,
+                closure: &closure,
+            };
+            shard.measure(&ctx, 0);
+            metric.merge(&u, vec![shard])
+        };
+        let universal = run(DnssecCoverageMetric {
+            policy: DeploymentPolicy::Universal,
+        });
+        assert_eq!(universal[0].1.as_floats().unwrap()[0], 1.0);
+        assert_eq!(universal[1].1.as_counts().unwrap()[0], 1);
+        let top = run(DnssecCoverageMetric::top_level());
+        let frac = top[0].1.as_floats().unwrap()[0];
+        assert!(frac > 0.0 && frac < 1.0, "partial coverage, got {frac}");
+        assert_eq!(
+            top[1].1.as_counts().unwrap()[0],
+            0,
+            "chain broken below TLD"
+        );
+        let none = run(DnssecCoverageMetric {
+            policy: DeploymentPolicy::None,
+        });
+        assert_eq!(none[0].1.as_floats().unwrap()[0], 0.0);
     }
 }

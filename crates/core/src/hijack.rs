@@ -50,11 +50,15 @@ impl HijackSet {
     }
 
     fn of(universe: &Universe, servers: Vec<ServerId>) -> HijackSet {
-        let safe_members =
-            servers.iter().filter(|&&s| !universe.server(s).vulnerable).count();
-        HijackSet { servers, safe_members }
+        let safe_members = servers
+            .iter()
+            .filter(|&&s| !universe.server(s).vulnerable)
+            .count();
+        HijackSet {
+            servers,
+            safe_members,
+        }
     }
-
 }
 
 /// Combined per-name hijack analysis.
@@ -108,8 +112,11 @@ pub fn min_cut_flattened(
     if cut.total_weight >= perils_graph::flow::INF / 2 {
         return None; // only cuttable through out-of-model nodes
     }
-    let servers: Vec<ServerId> =
-        cut.cut.iter().filter_map(|&node| dg.server_of(node)).collect();
+    let servers: Vec<ServerId> = cut
+        .cut
+        .iter()
+        .filter_map(|&node| dg.server_of(node))
+        .collect();
     Some(HijackSet::of(universe, servers))
 }
 
@@ -133,7 +140,10 @@ pub fn min_hijack_exact(universe: &Universe, closure: &NameClosure) -> Option<Hi
     }
 
     fn objective(sub: &Universe, blocked: &BTreeSet<ServerId>) -> (usize, usize) {
-        let safe = blocked.iter().filter(|&&s| !sub.server(s).vulnerable).count();
+        let safe = blocked
+            .iter()
+            .filter(|&&s| !sub.server(s).vulnerable)
+            .count();
         (blocked.len(), safe)
     }
 
@@ -174,7 +184,10 @@ pub fn min_hijack_exact(universe: &Universe, closure: &NameClosure) -> Option<Hi
         }
     }
 
-    let ctx = Ctx { sub: &sub, target: &target };
+    let ctx = Ctx {
+        sub: &sub,
+        target: &target,
+    };
     let mut blocked = BTreeSet::new();
     search(&ctx, &mut blocked, &mut best);
 
@@ -205,8 +218,14 @@ mod tests {
         b.raw_server(&name("a.root-servers.net"), false, true);
         b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
         b.add_zone(&name("com"), &[name("tld1.nst.com"), name("tld2.nst.com")]);
-        b.add_zone(&name("nst.com"), &[name("tld1.nst.com"), name("tld2.nst.com")]);
-        b.add_zone(&name("example.com"), &[name("ns1.example.com"), name("ns2.example.com")]);
+        b.add_zone(
+            &name("nst.com"),
+            &[name("tld1.nst.com"), name("tld2.nst.com")],
+        );
+        b.add_zone(
+            &name("example.com"),
+            &[name("ns1.example.com"), name("ns2.example.com")],
+        );
         b.finish()
     }
 
@@ -222,8 +241,11 @@ mod tests {
         assert_eq!(flat.size(), 2, "flattened: {:?}", flat);
         // Two minimum cuts exist ({ns1,ns2} and {tld1,tld2}); whichever is
         // returned must be one of them.
-        let names: Vec<String> =
-            exact.servers.iter().map(|&s| u.server(s).name.to_string()).collect();
+        let names: Vec<String> = exact
+            .servers
+            .iter()
+            .map(|&s| u.server(s).name.to_string())
+            .collect();
         let own = ["ns1.example.com".to_string(), "ns2.example.com".to_string()];
         let tld = ["tld1.nst.com".to_string(), "tld2.nst.com".to_string()];
         assert!(
@@ -243,7 +265,10 @@ mod tests {
         b.add_zone(&name("net"), &[name("a.root-servers.net")]);
         // victim.com has two NS, both inside provider.net, which is served
         // by the single box ns.provider.net.
-        b.add_zone(&name("victim.com"), &[name("ns1.provider.net"), name("ns2.provider.net")]);
+        b.add_zone(
+            &name("victim.com"),
+            &[name("ns1.provider.net"), name("ns2.provider.net")],
+        );
         b.add_zone(&name("provider.net"), &[name("ns.provider.net")]);
         let u = b.finish();
         let index = DependencyIndex::build(&u);
@@ -269,7 +294,10 @@ mod tests {
         b.raw_server(&name("a.root-servers.net"), false, true);
         b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
         b.add_zone(&name("com"), &[name("a.root-servers.net")]);
-        b.add_zone(&name("selfhosted.com"), &[name("ns1.selfhosted.com"), name("ns2.selfhosted.com")]);
+        b.add_zone(
+            &name("selfhosted.com"),
+            &[name("ns1.selfhosted.com"), name("ns2.selfhosted.com")],
+        );
         let u = b.finish();
         let index = DependencyIndex::build(&u);
         let closure = index.closure_for(&u, &name("www.selfhosted.com"));
@@ -286,7 +314,10 @@ mod tests {
         b.raw_server(&name("vuln.example.com"), true, false);
         b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
         b.add_zone(&name("com"), &[name("a.root-servers.net")]);
-        b.add_zone(&name("example.com"), &[name("vuln.example.com"), name("safe.example.com")]);
+        b.add_zone(
+            &name("example.com"),
+            &[name("vuln.example.com"), name("safe.example.com")],
+        );
         let u = b.finish();
         let index = DependencyIndex::build(&u);
         let closure = index.closure_for(&u, &name("www.example.com"));
@@ -326,7 +357,10 @@ mod tests {
         let closure = index.closure_for(&u, &name("www.victim.com"));
         let exact = min_hijack_exact(&u, &closure).unwrap();
         assert_eq!(exact.size(), 1);
-        assert_eq!(exact.safe_members, 0, "the vulnerable provider box wins: {exact:?}");
+        assert_eq!(
+            exact.safe_members, 0,
+            "the vulnerable provider box wins: {exact:?}"
+        );
         // The flattened graph only sees the referral path through the
         // (safe) NS host itself, so its cut is the safe box: one more case
         // where the exact semantics find a strictly better attack.

@@ -20,6 +20,9 @@
 //!   an exact AND/OR branch-and-bound, with the safe-bottleneck counts of
 //!   Figure 7;
 //! * [`value`] — names-controlled-per-server ranking (Figures 8, 9);
+//! * [`metric`] — the pluggable per-name measurement API ([`NameMetric`]):
+//!   the survey engine's extension point, with the paper's measurements as
+//!   built-in metrics;
 //! * [`attack`] — multi-stage attack simulation (the fbi.gov escalation),
 //!   including DoS-assisted hijacks;
 //! * [`dnssec`] — the §5 argument made quantitative: signing stops
@@ -32,6 +35,7 @@ pub mod closure;
 pub mod delegation;
 pub mod dnssec;
 pub mod hijack;
+pub mod metric;
 pub mod misconfig;
 pub mod tcb;
 pub mod universe;
@@ -39,7 +43,13 @@ pub mod usable;
 pub mod value;
 
 pub use closure::{DependencyIndex, NameClosure};
+pub use dnssec::{DeploymentPolicy, DnssecCoverageMetric};
 pub use hijack::{HijackAnalysis, HijackSet};
+pub use metric::{
+    MeasureCtx, MetricColumn, MetricShard, MinCutMetric, NameMetric, PreparedState, TcbMetric,
+    ValueMetric,
+};
+pub use misconfig::{DepthIndex, MisconfigIndex, MisconfigMetric};
 pub use tcb::TcbStats;
 pub use universe::{ServerEntry, ServerId, Universe, UniverseBuilder, ZoneEntry, ZoneId};
 pub use value::ValueIndex;

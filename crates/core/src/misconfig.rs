@@ -15,9 +15,11 @@
 //!   nests more than a threshold of levels (each level is another place
 //!   to be hijacked, and another RTT).
 
+use crate::metric::{columns, MeasureCtx, MetricColumn, MetricShard, NameMetric, PreparedState};
 use crate::universe::{ServerId, Universe, ZoneId};
 use crate::usable::Reachability;
 use perils_dns::name::DnsName;
+use std::any::Any;
 use std::collections::BTreeSet;
 
 /// One audit finding.
@@ -84,6 +86,46 @@ fn operator_of(name: &DnsName) -> DnsName {
     name.suffix(2)
 }
 
+/// The shared operator domain when all of the zone's (two or more)
+/// nameservers sit under one registered parent.
+pub fn single_operator(universe: &Universe, zone: ZoneId) -> Option<DnsName> {
+    let zone = universe.zone(zone);
+    if zone.ns.len() < 2 {
+        return None;
+    }
+    let operators: BTreeSet<DnsName> = zone
+        .ns
+        .iter()
+        .map(|&s| operator_of(&universe.server(s).name))
+        .collect();
+    if operators.len() == 1 {
+        operators.into_iter().next()
+    } else {
+        None
+    }
+}
+
+/// The zone's NS hosts with no address anywhere in the modeled universe
+/// (lame-delegation precursors).
+pub fn unresolvable_ns(universe: &Universe, zone: ZoneId) -> Vec<ServerId> {
+    let zone = universe.zone(zone);
+    zone.ns
+        .iter()
+        .copied()
+        .filter(|&sid| {
+            let server = universe.server(sid);
+            let in_bailiwick = server.name.is_subdomain_of(&zone.origin);
+            // A usable home zone must be more specific than the root:
+            // "the deepest zone enclosing this host is the root" means the
+            // branch is simply not delegated anywhere we know of.
+            let has_home = universe
+                .zone_of(&server.name)
+                .is_some_and(|z| !universe.zone(z).origin.is_root());
+            !server.is_root && !in_bailiwick && !has_home
+        })
+        .collect()
+}
+
 /// Audits every zone in the universe (structure-level checks).
 pub fn audit_zones(universe: &Universe) -> AuditReport {
     let mut report = AuditReport::default();
@@ -97,34 +139,22 @@ pub fn audit_zones(universe: &Universe) -> AuditReport {
         if zone.ns.len() == 1 {
             report.findings.push(Finding::SingleServer { zone: zid });
         }
-        if zone.ns.len() > 1 {
-            let operators: BTreeSet<DnsName> = zone
-                .ns
-                .iter()
-                .map(|&s| operator_of(&universe.server(s).name))
-                .collect();
-            if operators.len() == 1 {
-                report.findings.push(Finding::SingleOperator {
-                    zone: zid,
-                    operator: operators.into_iter().next().expect("len 1"),
-                });
-            }
+        if let Some(operator) = single_operator(universe, zid) {
+            report.findings.push(Finding::SingleOperator {
+                zone: zid,
+                operator,
+            });
         }
-        for &sid in &zone.ns {
-            let server = universe.server(sid);
-            let in_bailiwick = server.name.is_subdomain_of(&zone.origin);
-            // A usable home zone must be more specific than the root:
-            // "the deepest zone enclosing this host is the root" means the
-            // branch is simply not delegated anywhere we know of.
-            let has_home = universe
-                .zone_of(&server.name)
-                .is_some_and(|z| !universe.zone(z).origin.is_root());
-            if !server.is_root && !in_bailiwick && !has_home {
-                report.findings.push(Finding::UnresolvableNs { zone: zid, server: sid });
-            }
+        for sid in unresolvable_ns(universe, zid) {
+            report.findings.push(Finding::UnresolvableNs {
+                zone: zid,
+                server: sid,
+            });
         }
         if !reach.zone_reachable(zid) {
-            report.findings.push(Finding::Unbootstrappable { zone: zid });
+            report
+                .findings
+                .push(Finding::Unbootstrappable { zone: zid });
         }
     }
     report
@@ -182,19 +212,257 @@ pub fn dependency_depth(universe: &Universe, name: &DnsName) -> usize {
 }
 
 /// Audits a set of names for deep dependencies.
-pub fn audit_names(
-    universe: &Universe,
-    names: &[DnsName],
-    depth_threshold: usize,
-) -> AuditReport {
+pub fn audit_names(universe: &Universe, names: &[DnsName], depth_threshold: usize) -> AuditReport {
     let mut report = AuditReport::default();
     for name in names {
         let depth = dependency_depth(universe, name);
         if depth > depth_threshold {
-            report.findings.push(Finding::DeepDependency { name: name.clone(), depth });
+            report.findings.push(Finding::DeepDependency {
+                name: name.clone(),
+                depth,
+            });
         }
     }
     report
+}
+
+/// Precomputed glueless-nesting depths for every server in a universe.
+///
+/// [`dependency_depth`] enumerates simple paths, which is exact but
+/// explodes on the dense mutual-secondary webs real (and synthetic)
+/// topologies contain. This index computes the same quantity
+/// **cycle-collapsed** — longest path over the SCC condensation of the
+/// glueless-dependency graph, linear in servers + edges — which agrees
+/// with [`dependency_depth`] on acyclic webs and treats a mutual-secondary
+/// cycle as a single nesting level. The survey metric uses this.
+#[derive(Debug, Clone)]
+pub struct DepthIndex {
+    depth: Vec<usize>,
+}
+
+impl DepthIndex {
+    /// Builds the index (O(servers × chain length + edges)).
+    pub fn build(universe: &Universe) -> DepthIndex {
+        use perils_graph::digraph::{DiGraph, NodeId};
+        use perils_graph::scc::condensation;
+        let n = universe.server_count();
+        let mut graph: DiGraph<()> = DiGraph::new();
+        for _ in 0..n {
+            graph.add_node(());
+        }
+        // Edge s → g when resolving s's address can force a glueless
+        // sub-resolution of g (g serves a chain zone of s out of bailiwick).
+        for sid in universe.server_ids() {
+            let entry = universe.server(sid);
+            if entry.is_root {
+                continue;
+            }
+            for &zid in &universe.chain_zones(&entry.name) {
+                let zone = universe.zone(zid);
+                for &dep in &zone.ns {
+                    let dep_server = universe.server(dep);
+                    if !dep_server.is_root && !dep_server.name.is_subdomain_of(&zone.origin) {
+                        graph
+                            .add_edge_dedup(NodeId(sid.index() as u32), NodeId(dep.index() as u32));
+                    }
+                }
+            }
+        }
+        // Longest path over the condensation DAG. Tarjan emits components
+        // in reverse topological order, so every out-neighbor of component
+        // `c` has a smaller id and is already final.
+        let (dag, scc) = condensation(&graph);
+        let mut component_depth = vec![0usize; scc.count()];
+        for c in 0..scc.count() {
+            let mut best = 0usize;
+            for &d in dag.out_neighbors(NodeId(c as u32)) {
+                best = best.max(1 + component_depth[d.index()]);
+            }
+            component_depth[c] = best;
+        }
+        DepthIndex {
+            depth: (0..n)
+                .map(|i| component_depth[scc.component_of[i]])
+                .collect(),
+        }
+    }
+
+    /// Glueless nesting depth of `server`'s own address resolution.
+    pub fn depth_of_server(&self, server: ServerId) -> usize {
+        self.depth[server.index()]
+    }
+
+    /// Glueless nesting depth of resolving `name`: the deepest chain of
+    /// "resolve a server name to resolve a server name…" it can force.
+    pub fn depth_of_name(&self, universe: &Universe, name: &DnsName) -> usize {
+        let mut worst = 0usize;
+        for &zid in &universe.chain_zones(name) {
+            let zone = universe.zone(zid);
+            for &sid in &zone.ns {
+                let server = universe.server(sid);
+                if server.is_root || server.name.is_subdomain_of(&zone.origin) {
+                    continue;
+                }
+                worst = worst.max(1 + self.depth[sid.index()]);
+            }
+        }
+        worst
+    }
+}
+
+/// Bit set in [`columns::MISCONFIG_FLAGS`] when the name's own zone has a
+/// single nameserver.
+pub const FLAG_SINGLE_SERVER: usize = 1 << 0;
+/// Bit: all of the zone's nameservers share one operator domain.
+pub const FLAG_SINGLE_OPERATOR: usize = 1 << 1;
+/// Bit: some NS of the zone resolves nowhere in the modeled universe.
+pub const FLAG_UNRESOLVABLE_NS: usize = 1 << 2;
+/// Bit: glueless dependency nesting exceeds the metric's threshold.
+pub const FLAG_DEEP_DEPENDENCY: usize = 1 << 3;
+
+/// Per-name configuration-error audit as a pluggable survey metric: a flag
+/// bitmask (`misconfig_flags`) plus the cycle-collapsed glueless nesting
+/// depth (`misconfig_depth`, see [`DepthIndex`]) for every surveyed name.
+#[derive(Debug, Clone, Copy)]
+pub struct MisconfigMetric {
+    /// Depth above which [`FLAG_DEEP_DEPENDENCY`] is set.
+    pub depth_threshold: usize,
+}
+
+impl Default for MisconfigMetric {
+    fn default() -> MisconfigMetric {
+        MisconfigMetric { depth_threshold: 2 }
+    }
+}
+
+/// Per-universe precomputation behind [`MisconfigMetric`]: every zone's
+/// structural flag bits plus the cycle-collapsed [`DepthIndex`]. Built once
+/// per engine run (via [`NameMetric::prepare`]) and shared by all shards.
+#[derive(Debug, Clone)]
+pub struct MisconfigIndex {
+    zone_flags: Vec<usize>,
+    depths: DepthIndex,
+}
+
+impl MisconfigIndex {
+    /// Builds the index (O(zones × NS + servers + edges)).
+    pub fn build(universe: &Universe) -> MisconfigIndex {
+        let mut zone_flags = vec![0usize; universe.zone_count()];
+        for zid in universe.zone_ids() {
+            let zone = universe.zone(zid);
+            if zone.origin.is_root() {
+                continue;
+            }
+            let mut flags = 0usize;
+            if zone.ns.len() == 1 {
+                flags |= FLAG_SINGLE_SERVER;
+            }
+            if single_operator(universe, zid).is_some() {
+                flags |= FLAG_SINGLE_OPERATOR;
+            }
+            if !unresolvable_ns(universe, zid).is_empty() {
+                flags |= FLAG_UNRESOLVABLE_NS;
+            }
+            zone_flags[zid.index()] = flags;
+        }
+        MisconfigIndex {
+            zone_flags,
+            depths: DepthIndex::build(universe),
+        }
+    }
+
+    /// The structural flag bits of `zone`.
+    pub fn zone_flags(&self, zone: ZoneId) -> usize {
+        self.zone_flags[zone.index()]
+    }
+
+    /// The shared depth index.
+    pub fn depths(&self) -> &DepthIndex {
+        &self.depths
+    }
+}
+
+struct MisconfigShard {
+    threshold: usize,
+    index: std::sync::Arc<MisconfigIndex>,
+    flags: Vec<usize>,
+    depth: Vec<usize>,
+}
+
+impl MetricShard for MisconfigShard {
+    fn measure(&mut self, ctx: &MeasureCtx<'_>, slot: usize) {
+        let mut flags = ctx
+            .universe
+            .zone_of(ctx.name)
+            .map(|zid| self.index.zone_flags(zid))
+            .unwrap_or(0);
+        let depth = self.index.depths().depth_of_name(ctx.universe, ctx.name);
+        if depth > self.threshold {
+            flags |= FLAG_DEEP_DEPENDENCY;
+        }
+        self.flags[slot] = flags;
+        self.depth[slot] = depth;
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+impl NameMetric for MisconfigMetric {
+    fn id(&self) -> &str {
+        "misconfig"
+    }
+
+    fn columns(&self) -> Vec<String> {
+        vec![
+            columns::MISCONFIG_FLAGS.into(),
+            columns::MISCONFIG_DEPTH.into(),
+        ]
+    }
+
+    fn prepare(&self, universe: &Universe) -> PreparedState {
+        Some(std::sync::Arc::new(MisconfigIndex::build(universe)))
+    }
+
+    fn shard(
+        &self,
+        universe: &Universe,
+        shard_len: usize,
+        prepared: &PreparedState,
+    ) -> Box<dyn MetricShard> {
+        let index = prepared
+            .as_ref()
+            .and_then(|p| std::sync::Arc::clone(p).downcast::<MisconfigIndex>().ok())
+            .unwrap_or_else(|| std::sync::Arc::new(MisconfigIndex::build(universe)));
+        Box::new(MisconfigShard {
+            threshold: self.depth_threshold,
+            index,
+            flags: vec![0; shard_len],
+            depth: vec![0; shard_len],
+        })
+    }
+
+    fn merge(
+        &self,
+        _universe: &Universe,
+        shards: Vec<Box<dyn MetricShard>>,
+    ) -> Vec<(String, MetricColumn)> {
+        let mut flags = Vec::new();
+        let mut depth = Vec::new();
+        for shard in shards {
+            let shard = shard
+                .into_any()
+                .downcast::<MisconfigShard>()
+                .unwrap_or_else(|_| panic!("metric misconfig: foreign shard type"));
+            flags.extend(shard.flags);
+            depth.extend(shard.depth);
+        }
+        vec![
+            (columns::MISCONFIG_FLAGS.into(), MetricColumn::Counts(flags)),
+            (columns::MISCONFIG_DEPTH.into(), MetricColumn::Counts(depth)),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -206,7 +474,10 @@ mod tests {
     fn base() -> crate::universe::UniverseBuilder {
         let mut b = Universe::builder();
         b.raw_server(&name("a.root-servers.net"), false, true);
-        b.add_zone(&perils_dns::name::DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(
+            &perils_dns::name::DnsName::root(),
+            &[name("a.root-servers.net")],
+        );
         b.add_zone(&name("com"), &[name("a.root-servers.net")]);
         b.add_zone(&name("net"), &[name("a.root-servers.net")]);
         b
@@ -227,7 +498,10 @@ mod tests {
     #[test]
     fn flags_single_operator_redundancy() {
         let mut b = base();
-        b.add_zone(&name("corr.com"), &[name("ns1.prov.net"), name("ns2.prov.net")]);
+        b.add_zone(
+            &name("corr.com"),
+            &[name("ns1.prov.net"), name("ns2.prov.net")],
+        );
         b.add_zone(&name("prov.net"), &[name("ns1.prov.net")]);
         let u = b.finish();
         let report = audit_zones(&u);
@@ -242,10 +516,16 @@ mod tests {
     fn flags_unresolvable_ns() {
         let mut b = base();
         // Delegation to a host under an unmodeled TLD (no zone_of).
-        b.add_zone(&name("dangling.com"), &[name("ns.ghost.zz"), name("ns1.dangling.com")]);
+        b.add_zone(
+            &name("dangling.com"),
+            &[name("ns.ghost.zz"), name("ns1.dangling.com")],
+        );
         let u = b.finish();
         let report = audit_zones(&u);
-        assert_eq!(report.count_of(|f| matches!(f, Finding::UnresolvableNs { .. })), 1);
+        assert_eq!(
+            report.count_of(|f| matches!(f, Finding::UnresolvableNs { .. })),
+            1
+        );
     }
 
     #[test]
@@ -265,7 +545,10 @@ mod tests {
     #[test]
     fn clean_zone_not_flagged() {
         let mut b = base();
-        b.add_zone(&name("ok.com"), &[name("ns1.ok.com"), name("ns2.other.net")]);
+        b.add_zone(
+            &name("ok.com"),
+            &[name("ns1.ok.com"), name("ns2.other.net")],
+        );
         b.add_zone(&name("other.net"), &[name("ns1.other.net")]);
         let u = b.finish();
         let report = audit_zones(&u);
@@ -304,5 +587,75 @@ mod tests {
         let names = vec![name("www.victim.com")];
         assert_eq!(audit_names(&u, &names, 1).findings.len(), 1);
         assert!(audit_names(&u, &names, 4).is_clean());
+    }
+
+    #[test]
+    fn depth_index_agrees_with_exhaustive_on_acyclic_webs() {
+        let mut b = base();
+        b.add_zone(&name("victim.com"), &[name("ns.a.net")]);
+        b.add_zone(&name("a.net"), &[name("ns.b.net")]);
+        b.add_zone(&name("b.net"), &[name("ns.b.net")]);
+        b.add_zone(&name("self.com"), &[name("ns1.self.com")]);
+        let u = b.finish();
+        let index = DepthIndex::build(&u);
+        for target in [
+            name("www.victim.com"),
+            name("www.self.com"),
+            name("www.b.net"),
+        ] {
+            assert_eq!(
+                index.depth_of_name(&u, &target),
+                dependency_depth(&u, &target),
+                "{target}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_index_collapses_cycles() {
+        // Mutual glueless secondaries: x.com ↔ y.com. The exhaustive
+        // search walks into the cycle and once around it; the index
+        // collapses the cycle to a single level. Both terminate.
+        let mut b = base();
+        b.add_zone(&name("x.com"), &[name("ns.y.com")]);
+        b.add_zone(&name("y.com"), &[name("ns.x.com")]);
+        let u = b.finish();
+        let index = DepthIndex::build(&u);
+        assert_eq!(index.depth_of_name(&u, &name("www.x.com")), 1);
+        assert_eq!(dependency_depth(&u, &name("www.x.com")), 3);
+    }
+
+    #[test]
+    fn misconfig_metric_flags_and_depth() {
+        use crate::closure::DependencyIndex;
+        let mut b = base();
+        b.add_zone(&name("solo.com"), &[name("ns1.solo.com")]);
+        b.add_zone(&name("victim.com"), &[name("ns.a.net")]);
+        b.add_zone(&name("a.net"), &[name("ns.b.net")]);
+        b.add_zone(&name("b.net"), &[name("ns.b.net")]);
+        let u = b.finish();
+        let index = DependencyIndex::build(&u);
+        let metric = MisconfigMetric { depth_threshold: 1 };
+        let targets = [name("www.solo.com"), name("www.victim.com")];
+        let prepared = metric.prepare(&u);
+        let mut shard = metric.shard(&u, targets.len(), &prepared);
+        for (slot, target) in targets.iter().enumerate() {
+            let closure = index.closure_for(&u, target);
+            let ctx = MeasureCtx {
+                universe: &u,
+                index: &index,
+                name: target,
+                name_index: slot,
+                closure: &closure,
+            };
+            shard.measure(&ctx, slot);
+        }
+        let cols = metric.merge(&u, vec![shard]);
+        let flags = cols[0].1.as_counts().expect("counts");
+        let depth = cols[1].1.as_counts().expect("counts");
+        assert_ne!(flags[0] & FLAG_SINGLE_SERVER, 0, "solo.com has one NS");
+        assert_eq!(depth[0], 0, "glued self-hosting nests nothing");
+        assert_ne!(flags[1] & FLAG_DEEP_DEPENDENCY, 0, "victim nests past 1");
+        assert_eq!(depth[1], 2);
     }
 }

@@ -99,7 +99,11 @@ mod tests {
         b.add_zone(&name("net"), &[name("a.root-servers.net")]);
         b.add_zone(
             &name("example.com"),
-            &[name("ns1.example.com"), name("ns2.example.com"), name("offsite.provider.net")],
+            &[
+                name("ns1.example.com"),
+                name("ns2.example.com"),
+                name("offsite.provider.net"),
+            ],
         );
         b.add_zone(&name("provider.net"), &[name("offsite.provider.net")]);
         b.finish()

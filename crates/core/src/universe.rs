@@ -74,7 +74,9 @@ pub struct Universe {
 impl Universe {
     /// Starts building a universe by hand.
     pub fn builder() -> UniverseBuilder {
-        UniverseBuilder { universe: Universe::default() }
+        UniverseBuilder {
+            universe: Universe::default(),
+        }
     }
 
     /// Builds the universe structurally from a ground-truth registry.
@@ -109,8 +111,8 @@ impl Universe {
             // Merge the parent's view of this zone, if the parent is in the
             // registry (covers parent/child NS-set drift).
             if let Some(parent_origin) = zone.origin().parent() {
-                for ancestor in std::iter::once(parent_origin.clone())
-                    .chain(parent_origin.ancestors().skip(1))
+                for ancestor in
+                    std::iter::once(parent_origin.clone()).chain(parent_origin.ancestors().skip(1))
                 {
                     if let Some(parent_zone) = registry.get(&ancestor) {
                         for extra in parent_zone.ns_names_at(zone.origin()) {
@@ -220,7 +222,10 @@ impl UniverseBuilder {
             return id;
         }
         let (vulnerable, scripted_exploit) = match banner.as_deref().and_then(BindVersion::parse) {
-            Some(version) => (db.is_vulnerable(&version), db.has_scripted_exploit(&version)),
+            Some(version) => (
+                db.is_vulnerable(&version),
+                db.has_scripted_exploit(&version),
+            ),
             None => (false, false),
         };
         let id = ServerId(self.universe.servers.len() as u32);
@@ -294,7 +299,10 @@ impl UniverseBuilder {
             return existing;
         }
         let id = ZoneId(self.universe.zones.len() as u32);
-        self.universe.zones.push(ZoneEntry { origin: key.clone(), ns });
+        self.universe.zones.push(ZoneEntry {
+            origin: key.clone(),
+            ns,
+        });
         self.universe.zone_by_origin.insert(key, id);
         id
     }
@@ -317,7 +325,10 @@ mod tests {
         b.raw_server(&name("ns1.example.com"), true, false);
         b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
         b.add_zone(&name("com"), &[name("ns.tld.test")]);
-        b.add_zone(&name("example.com"), &[name("ns1.example.com"), name("ns2.example.com")]);
+        b.add_zone(
+            &name("example.com"),
+            &[name("ns1.example.com"), name("ns2.example.com")],
+        );
         b.finish()
     }
 
@@ -326,7 +337,10 @@ mod tests {
         let u = tiny_universe();
         assert_eq!(u.zone_count(), 3);
         assert_eq!(u.server_count(), 4, "ns2 auto-created");
-        assert!(u.server_id(&name("NS1.EXAMPLE.COM")).is_some(), "case-insensitive");
+        assert!(
+            u.server_id(&name("NS1.EXAMPLE.COM")).is_some(),
+            "case-insensitive"
+        );
         let ns1 = u.server_id(&name("ns1.example.com")).unwrap();
         assert!(u.server(ns1).vulnerable);
         let ns2 = u.server_id(&name("ns2.example.com")).unwrap();
@@ -337,15 +351,20 @@ mod tests {
     fn chain_zones_excludes_root() {
         let u = tiny_universe();
         let chain = u.chain_zones(&name("www.example.com"));
-        let origins: Vec<String> =
-            chain.iter().map(|&z| u.zone(z).origin.to_string()).collect();
+        let origins: Vec<String> = chain
+            .iter()
+            .map(|&z| u.zone(z).origin.to_string())
+            .collect();
         assert_eq!(origins, vec!["com", "example.com"]);
     }
 
     #[test]
     fn zone_of_finds_deepest() {
         let u = tiny_universe();
-        assert_eq!(u.zone_of(&name("www.example.com")), u.zone_id(&name("example.com")));
+        assert_eq!(
+            u.zone_of(&name("www.example.com")),
+            u.zone_id(&name("example.com"))
+        );
         assert_eq!(u.zone_of(&name("other.com")), u.zone_id(&name("com")));
         assert_eq!(u.zone_of(&name("other.org")), u.zone_id(&DnsName::root()));
     }
@@ -374,15 +393,21 @@ mod tests {
         use perils_dns::zone::Zone;
         let mut reg = ZoneRegistry::new();
         let mut root = Zone::synthetic(DnsName::root(), name("a.root-servers.net"));
-        root.add_rdata(DnsName::root(), RData::Ns(name("a.root-servers.net"))).unwrap();
-        root.add_rdata(name("com"), RData::Ns(name("ns.tld.test"))).unwrap();
+        root.add_rdata(DnsName::root(), RData::Ns(name("a.root-servers.net")))
+            .unwrap();
+        root.add_rdata(name("com"), RData::Ns(name("ns.tld.test")))
+            .unwrap();
         reg.insert(root);
         let mut com = Zone::synthetic(name("com"), name("ns.tld.test"));
-        com.add_rdata(name("com"), RData::Ns(name("ns.tld.test"))).unwrap();
-        com.add_rdata(name("example.com"), RData::Ns(name("ns1.example.com"))).unwrap();
+        com.add_rdata(name("com"), RData::Ns(name("ns.tld.test")))
+            .unwrap();
+        com.add_rdata(name("example.com"), RData::Ns(name("ns1.example.com")))
+            .unwrap();
         reg.insert(com);
         let mut example = Zone::synthetic(name("example.com"), name("ns1.example.com"));
-        example.add_rdata(name("example.com"), RData::Ns(name("ns1.example.com"))).unwrap();
+        example
+            .add_rdata(name("example.com"), RData::Ns(name("ns1.example.com")))
+            .unwrap();
         reg.insert(example);
 
         let db = VulnDb::isc_feb_2004();

@@ -61,8 +61,10 @@ impl Reachability {
                 .filter(|&p| p != zid);
             parent.push(p);
         }
-        let home_zone: Vec<Option<ZoneId>> =
-            universe.server_ids().map(|sid| universe.zone_of(&universe.server(sid).name)).collect();
+        let home_zone: Vec<Option<ZoneId>> = universe
+            .server_ids()
+            .map(|sid| universe.zone_of(&universe.server(sid).name))
+            .collect();
         // TLD-style zones: delegated from the root (or straight from the
         // hints). The real root zone file carries glue A records for every
         // TLD nameserver *regardless of bailiwick*, so their addresses
@@ -136,7 +138,13 @@ impl Reachability {
                 break;
             }
         }
-        Reachability { reachable, cert, parent, home_zone, parent_is_hints }
+        Reachability {
+            reachable,
+            cert,
+            parent,
+            home_zone,
+            parent_is_hints,
+        }
     }
 
     /// Whether zone `z` is cleanly reachable.
@@ -232,7 +240,10 @@ mod tests {
     }
 
     fn blocked(u: &Universe, names: &[&str]) -> BTreeSet<ServerId> {
-        names.iter().map(|n| u.server_id(&name(n)).unwrap()).collect()
+        names
+            .iter()
+            .map(|n| u.server_id(&name(n)).unwrap())
+            .collect()
     }
 
     #[test]
@@ -240,7 +251,11 @@ mod tests {
         let u = universe();
         let r = Reachability::compute(&u, &BTreeSet::new());
         for zid in u.zone_ids() {
-            assert!(r.zone_reachable(zid), "zone {} unreachable", u.zone(zid).origin);
+            assert!(
+                r.zone_reachable(zid),
+                "zone {} unreachable",
+                u.zone(zid).origin
+            );
         }
         assert!(r.name_resolves(&u, &name("www.example.com")));
         assert!(r.name_resolves(&u, &name("www.offsite.org")));
@@ -281,8 +296,18 @@ mod tests {
     fn blocking_tld_server_kills_everything_below() {
         let u = universe();
         let r = Reachability::compute(&u, &blocked(&u, &["a.gtld-servers.net"]));
-        for zone in ["com", "net", "org", "example.com", "provider.net", "offsite.org"] {
-            assert!(!r.zone_reachable(u.zone_id(&name(zone)).unwrap()), "{zone} should fall");
+        for zone in [
+            "com",
+            "net",
+            "org",
+            "example.com",
+            "provider.net",
+            "offsite.org",
+        ] {
+            assert!(
+                !r.zone_reachable(u.zone_id(&name(zone)).unwrap()),
+                "{zone} should fall"
+            );
         }
     }
 
@@ -308,11 +333,13 @@ mod tests {
         // anything *disjoint* from the witness never kills the name.
         let u = universe();
         let r = Reachability::compute(&u, &BTreeSet::new());
-        let w: BTreeSet<ServerId> =
-            r.witness(&u, &name("www.offsite.org")).unwrap().into_iter().collect();
+        let w: BTreeSet<ServerId> = r
+            .witness(&u, &name("www.offsite.org"))
+            .unwrap()
+            .into_iter()
+            .collect();
         // Block every non-witness server.
-        let others: BTreeSet<ServerId> =
-            u.server_ids().filter(|s| !w.contains(s)).collect();
+        let others: BTreeSet<ServerId> = u.server_ids().filter(|s| !w.contains(s)).collect();
         let r2 = Reachability::compute(&u, &others);
         assert!(r2.name_resolves(&u, &name("www.offsite.org")));
     }

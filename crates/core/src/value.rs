@@ -21,7 +21,10 @@ pub struct ValueIndex {
 impl ValueIndex {
     /// Creates an index sized for `universe`.
     pub fn new(universe: &Universe) -> ValueIndex {
-        ValueIndex { controlled: vec![0; universe.server_count()], names_seen: 0 }
+        ValueIndex {
+            controlled: vec![0; universe.server_count()],
+            names_seen: 0,
+        }
     }
 
     /// Accounts one surveyed name's closure (each TCB member controls the
@@ -41,7 +44,11 @@ impl ValueIndex {
     ///
     /// Panics if the indexes were built over different universes.
     pub fn merge(&mut self, other: &ValueIndex) {
-        assert_eq!(self.controlled.len(), other.controlled.len(), "universe mismatch");
+        assert_eq!(
+            self.controlled.len(),
+            other.controlled.len(),
+            "universe mismatch"
+        );
         for (a, b) in self.controlled.iter_mut().zip(&other.controlled) {
             *a += b;
         }
@@ -173,7 +180,11 @@ mod tests {
         let tld = u.server_id(&name("tld.nic.com")).unwrap();
         let evil = u.server_id(&name("ns.evil.edu")).unwrap();
         let selfhost = u.server_id(&name("ns.c.com")).unwrap();
-        assert_eq!(value.controlled_by(tld), 3, "TLD server controls everything");
+        assert_eq!(
+            value.controlled_by(tld),
+            3,
+            "TLD server controls everything"
+        );
         assert_eq!(value.controlled_by(evil), 2);
         assert_eq!(value.controlled_by(selfhost), 1);
 

@@ -23,11 +23,8 @@ struct WorldSpec {
 
 fn arb_world() -> impl Strategy<Value = WorldSpec> {
     (2usize..8).prop_flat_map(|n_domains| {
-        proptest::collection::vec(
-            (0u8..3, 0usize..4, 0usize..8, any::<bool>()),
-            n_domains,
-        )
-        .prop_map(move |choices| WorldSpec { n_domains, choices })
+        proptest::collection::vec((0u8..3, 0usize..4, 0usize..8, any::<bool>()), n_domains)
+            .prop_map(move |choices| WorldSpec { n_domains, choices })
     })
 }
 
@@ -43,7 +40,10 @@ fn build(spec: &WorldSpec) -> (Universe, Vec<DnsName>) {
         b.raw_server(&name(&format!("ns1.prov{p}.net")), vulnerable, false);
         b.add_zone(
             &name(&format!("prov{p}.net")),
-            &[name(&format!("ns1.prov{p}.net")), name(&format!("ns2.prov{p}.net"))],
+            &[
+                name(&format!("ns1.prov{p}.net")),
+                name(&format!("ns2.prov{p}.net")),
+            ],
         );
     }
     let mut targets = Vec::new();
@@ -53,7 +53,13 @@ fn build(spec: &WorldSpec) -> (Universe, Vec<DnsName>) {
             0 => {
                 // Self-hosted.
                 b.raw_server(&name(&format!("ns1.d{i}.com")), vulnerable, false);
-                b.add_zone(&origin, &[name(&format!("ns1.d{i}.com")), name(&format!("ns2.d{i}.com"))]);
+                b.add_zone(
+                    &origin,
+                    &[
+                        name(&format!("ns1.d{i}.com")),
+                        name(&format!("ns2.d{i}.com")),
+                    ],
+                );
             }
             1 => {
                 // Provider-hosted.
@@ -71,7 +77,10 @@ fn build(spec: &WorldSpec) -> (Universe, Vec<DnsName>) {
                 b.raw_server(&name(&format!("ns1.d{i}.com")), vulnerable, false);
                 b.add_zone(
                     &origin,
-                    &[name(&format!("ns1.d{i}.com")), name(&format!("ns1.d{other}.com"))],
+                    &[
+                        name(&format!("ns1.d{i}.com")),
+                        name(&format!("ns1.d{other}.com")),
+                    ],
                 );
             }
         }

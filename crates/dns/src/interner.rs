@@ -76,7 +76,10 @@ impl NameInterner {
 
     /// Iterates `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (NameId, &DnsName)> {
-        self.by_id.iter().enumerate().map(|(i, n)| (NameId(i as u32), n))
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NameId(i as u32), n))
     }
 }
 

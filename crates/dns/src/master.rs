@@ -83,10 +83,13 @@ fn tokenize(content: &str) -> Result<Vec<(usize, Vec<Token>, bool)>, MasterError
                 ';' => break, // comment
                 '(' => paren_depth += 1,
                 ')' => {
-                    paren_depth = paren_depth.checked_sub(1).ok_or_else(|| MasterError::Syntax {
-                        line: line_no,
-                        message: "unbalanced ')'".to_string(),
-                    })?;
+                    paren_depth =
+                        paren_depth
+                            .checked_sub(1)
+                            .ok_or_else(|| MasterError::Syntax {
+                                line: line_no,
+                                message: "unbalanced ')'".to_string(),
+                            })?;
                 }
                 '"' => {
                     let mut s = String::new();
@@ -111,7 +114,10 @@ fn tokenize(content: &str) -> Result<Vec<(usize, Vec<Token>, bool)>, MasterError
                             message: "unterminated string".to_string(),
                         });
                     }
-                    current.push(Token { text: s, quoted: true });
+                    current.push(Token {
+                        text: s,
+                        quoted: true,
+                    });
                 }
                 c if c.is_whitespace() => {}
                 other => {
@@ -123,7 +129,10 @@ fn tokenize(content: &str) -> Result<Vec<(usize, Vec<Token>, bool)>, MasterError
                         }
                         s.push(chars.next().expect("peeked"));
                     }
-                    current.push(Token { text: s, quoted: false });
+                    current.push(Token {
+                        text: s,
+                        quoted: false,
+                    });
                 }
             }
         }
@@ -217,7 +226,10 @@ pub fn parse_zone(content: &str, default_origin: &DnsName) -> Result<Zone, Maste
                 message: "record missing type".into(),
             })?;
             if token.quoted {
-                return Err(MasterError::Syntax { line, message: "unexpected string".into() });
+                return Err(MasterError::Syntax {
+                    line,
+                    message: "unexpected string".into(),
+                });
             }
             let upper = token.text.to_ascii_uppercase();
             if let Ok(v) = token.text.parse::<u32>() {
@@ -324,7 +336,16 @@ pub fn parse_zone(content: &str, default_origin: &DnsName) -> Result<Zone, Maste
             }
         };
         let rtype = rdata.rr_type().expect("typed rdata");
-        records.push((line, Record { name: owner, rtype, class, ttl, rdata }));
+        records.push((
+            line,
+            Record {
+                name: owner,
+                rtype,
+                class,
+                ttl,
+                rdata,
+            },
+        ));
     }
 
     // The SOA defines the zone; it must be present.
@@ -339,7 +360,8 @@ pub fn parse_zone(content: &str, default_origin: &DnsName) -> Result<Zone, Maste
     };
     let mut zone = Zone::new(soa_record.name.clone(), soa);
     for (line, record) in records {
-        zone.add(record).map_err(|source| MasterError::Zone { line, source })?;
+        zone.add(record)
+            .map_err(|source| MasterError::Zone { line, source })?;
     }
     Ok(zone)
 }
@@ -350,11 +372,17 @@ pub fn serialize_zone(zone: &Zone) -> String {
     out.push_str(&format!("$ORIGIN {}.\n", zone.origin()));
     for record in zone.iter() {
         out.push_str(&format!("{}.", record.name));
-        out.push_str(&format!(" {} {} {} ", record.ttl, record.class, record.rtype));
+        out.push_str(&format!(
+            " {} {} {} ",
+            record.ttl, record.class, record.rtype
+        ));
         let display = record.to_string();
         // Reuse Record's Display for the RDATA portion: it is everything
         // after "<name> <ttl> <class> <type> ".
-        let prefix = format!("{} {} {} {} ", record.name, record.ttl, record.class, record.rtype);
+        let prefix = format!(
+            "{} {} {} {} ",
+            record.name, record.ttl, record.class, record.rtype
+        );
         out.push_str(&display[prefix.len()..]);
         out.push('\n');
     }
@@ -393,12 +421,18 @@ mail    IN MX 10 smtp
         assert_eq!(zone.soa().serial, 2004072200);
         assert_eq!(
             zone.apex_ns_names(),
-            vec![name("bigred.cit.cornell.edu"), name("cudns.cit.cornell.edu")]
+            vec![
+                name("bigred.cit.cornell.edu"),
+                name("cudns.cit.cornell.edu")
+            ]
         );
         // Delegation to cs.cornell.edu with an off-site secondary.
         assert_eq!(
             zone.ns_names_at(&name("cs.cornell.edu")),
-            vec![name("simon.cs.cornell.edu"), name("cayuga.cs.rochester.edu")]
+            vec![
+                name("simon.cs.cornell.edu"),
+                name("cayuga.cs.rochester.edu")
+            ]
         );
         // Relative + absolute owners, TTL override.
         match zone.lookup(&name("www.cornell.edu"), RrType::A) {
@@ -426,7 +460,10 @@ mail    IN MX 10 smtp
     #[test]
     fn unbalanced_parens_rejected() {
         let bad = "@ IN SOA a. b. (1 2 3 4 5\n";
-        assert!(matches!(parse_zone(bad, &name("x.test")), Err(MasterError::Syntax { .. })));
+        assert!(matches!(
+            parse_zone(bad, &name("x.test")),
+            Err(MasterError::Syntax { .. })
+        ));
     }
 
     #[test]
@@ -472,6 +509,9 @@ $ORIGIN sub.example.com.
 ns2 IN A 10.0.0.2
 "#;
         let zone = parse_zone(content, &DnsName::root()).unwrap();
-        assert_eq!(zone.ns_names_at(&name("sub.example.com")), vec![name("ns2.sub.example.com")]);
+        assert_eq!(
+            zone.ns_names_at(&name("sub.example.com")),
+            vec![name("ns2.sub.example.com")]
+        );
     }
 }

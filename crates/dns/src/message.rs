@@ -131,7 +131,11 @@ pub struct Question {
 impl Question {
     /// IN-class question.
     pub fn new(name: DnsName, qtype: RrType) -> Question {
-        Question { name, qtype, qclass: RrClass::In }
+        Question {
+            name,
+            qtype,
+            qclass: RrClass::In,
+        }
     }
 
     /// The CHAOS `version.bind. TXT` fingerprinting question.
@@ -177,7 +181,13 @@ impl Message {
     pub fn query(id: u16, question: Question) -> Message {
         Message {
             id,
-            flags: Flags { qr: false, aa: false, tc: false, rd: false, ra: false },
+            flags: Flags {
+                qr: false,
+                aa: false,
+                tc: false,
+                rd: false,
+                ra: false,
+            },
             opcode: Opcode::Query,
             rcode: Rcode::NoError,
             questions: vec![question],
@@ -191,7 +201,13 @@ impl Message {
     pub fn response_to(query: &Message) -> Message {
         Message {
             id: query.id,
-            flags: Flags { qr: true, aa: false, tc: false, rd: query.flags.rd, ra: false },
+            flags: Flags {
+                qr: true,
+                aa: false,
+                tc: false,
+                rd: query.flags.rd,
+                ra: false,
+            },
             opcode: query.opcode,
             rcode: Rcode::NoError,
             questions: query.questions.clone(),
@@ -224,7 +240,10 @@ impl Message {
     /// Iterates over all records in answer, authority and additional
     /// sections.
     pub fn all_records(&self) -> impl Iterator<Item = &Record> {
-        self.answers.iter().chain(self.authority.iter()).chain(self.additional.iter())
+        self.answers
+            .iter()
+            .chain(self.authority.iter())
+            .chain(self.additional.iter())
     }
 }
 
@@ -264,13 +283,21 @@ mod tests {
     fn referral_and_authoritative_predicates() {
         let q = Message::query(1, Question::new(name("www.example.com"), RrType::A));
         let mut referral = Message::response_to(&q);
-        referral.authority.push(Record::new(name("example.com"), 3600, RData::Ns(name("ns1.example.com"))));
+        referral.authority.push(Record::new(
+            name("example.com"),
+            3600,
+            RData::Ns(name("ns1.example.com")),
+        ));
         assert!(referral.is_referral());
         assert!(!referral.is_authoritative_answer());
 
         let mut answer = Message::response_to(&q);
         answer.flags.aa = true;
-        answer.answers.push(Record::new(name("www.example.com"), 3600, RData::A(Ipv4Addr::new(1, 2, 3, 4))));
+        answer.answers.push(Record::new(
+            name("www.example.com"),
+            3600,
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        ));
         assert!(answer.is_authoritative_answer());
         assert!(!answer.is_referral());
     }
@@ -279,9 +306,15 @@ mod tests {
     fn all_records_spans_sections() {
         let q = Message::query(1, Question::new(name("a.b"), RrType::A));
         let mut m = Message::response_to(&q);
-        m.answers.push(Record::new(name("a.b"), 1, RData::A(Ipv4Addr::LOCALHOST)));
-        m.authority.push(Record::new(name("b"), 1, RData::Ns(name("ns.b"))));
-        m.additional.push(Record::new(name("ns.b"), 1, RData::A(Ipv4Addr::new(10, 0, 0, 1))));
+        m.answers
+            .push(Record::new(name("a.b"), 1, RData::A(Ipv4Addr::LOCALHOST)));
+        m.authority
+            .push(Record::new(name("b"), 1, RData::Ns(name("ns.b"))));
+        m.additional.push(Record::new(
+            name("ns.b"),
+            1,
+            RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+        ));
         assert_eq!(m.all_records().count(), 3);
     }
 

@@ -69,7 +69,9 @@ impl Label {
                 return Err(NameError::BadByte(b));
             }
         }
-        Ok(Label { bytes: bytes.to_vec() })
+        Ok(Label {
+            bytes: bytes.to_vec(),
+        })
     }
 
     /// The label's bytes with original case.
@@ -89,7 +91,9 @@ impl Label {
 
     /// Returns the label lowercased (for canonical forms).
     pub fn to_lowercase(&self) -> Label {
-        Label { bytes: self.bytes.to_ascii_lowercase() }
+        Label {
+            bytes: self.bytes.to_ascii_lowercase(),
+        }
     }
 }
 
@@ -201,7 +205,9 @@ impl DnsName {
         if self.labels.is_empty() {
             None
         } else {
-            Some(DnsName { labels: self.labels[1..].to_vec() })
+            Some(DnsName {
+                labels: self.labels[1..].to_vec(),
+            })
         }
     }
 
@@ -221,7 +227,9 @@ impl DnsName {
     /// Iterates over `self`, `self.parent()`, …, down to the root
     /// (the root itself included last).
     pub fn ancestors(&self) -> impl Iterator<Item = DnsName> + '_ {
-        (0..=self.labels.len()).map(move |skip| DnsName { labels: self.labels[skip..].to_vec() })
+        (0..=self.labels.len()).map(move |skip| DnsName {
+            labels: self.labels[skip..].to_vec(),
+        })
     }
 
     /// True if `self` is `other` or lies underneath it.
@@ -243,14 +251,18 @@ impl DnsName {
     /// The top-level domain (rightmost label) as a single-label name, or
     /// `None` for the root.
     pub fn tld(&self) -> Option<DnsName> {
-        self.labels.last().map(|l| DnsName { labels: vec![l.clone()] })
+        self.labels.last().map(|l| DnsName {
+            labels: vec![l.clone()],
+        })
     }
 
     /// The last `n` labels as a name (e.g. `suffix(2)` of `www.cornell.edu`
     /// is `cornell.edu`). Returns the whole name if `n >= label_count`.
     pub fn suffix(&self, n: usize) -> DnsName {
         let skip = self.labels.len().saturating_sub(n);
-        DnsName { labels: self.labels[skip..].to_vec() }
+        DnsName {
+            labels: self.labels[skip..].to_vec(),
+        }
     }
 
     /// Longest common suffix (in labels) with `other`.
@@ -266,7 +278,9 @@ impl DnsName {
     /// Canonical all-lowercase form (used for map keys and wire
     /// compression).
     pub fn to_lowercase(&self) -> DnsName {
-        DnsName { labels: self.labels.iter().map(Label::to_lowercase).collect() }
+        DnsName {
+            labels: self.labels.iter().map(Label::to_lowercase).collect(),
+        }
     }
 }
 
@@ -312,7 +326,10 @@ mod tests {
         for text in ["www.cs.cornell.edu", "a.b", "x", "xn--exmple-cua.com"] {
             assert_eq!(name(text).to_string(), text);
         }
-        assert_eq!(DnsName::from_ascii("www.example.com.").unwrap().to_string(), "www.example.com");
+        assert_eq!(
+            DnsName::from_ascii("www.example.com.").unwrap().to_string(),
+            "www.example.com"
+        );
         assert_eq!(DnsName::root().to_string(), ".");
         assert_eq!(DnsName::from_ascii(".").unwrap(), DnsName::root());
         assert_eq!(DnsName::from_ascii("").unwrap(), DnsName::root());
@@ -320,12 +337,18 @@ mod tests {
 
     #[test]
     fn rejects_bad_labels() {
-        assert!(matches!(DnsName::from_ascii("a..b"), Err(NameError::EmptyLabel)));
+        assert!(matches!(
+            DnsName::from_ascii("a..b"),
+            Err(NameError::EmptyLabel)
+        ));
         assert!(matches!(
             DnsName::from_ascii(&format!("{}.com", "x".repeat(64))),
             Err(NameError::LabelTooLong(64))
         ));
-        assert!(matches!(DnsName::from_ascii("bad label.com"), Err(NameError::BadByte(b' '))));
+        assert!(matches!(
+            DnsName::from_ascii("bad label.com"),
+            Err(NameError::BadByte(b' '))
+        ));
         assert!(Label::new(b"ok-label_1").is_ok());
     }
 
@@ -333,7 +356,10 @@ mod tests {
     fn rejects_overlong_names() {
         let label = "a".repeat(63);
         let long = [label.as_str(); 5].join("."); // 5*64+1 = 321 wire bytes
-        assert!(matches!(DnsName::from_ascii(&long), Err(NameError::NameTooLong(_))));
+        assert!(matches!(
+            DnsName::from_ascii(&long),
+            Err(NameError::NameTooLong(_))
+        ));
     }
 
     #[test]
@@ -354,7 +380,16 @@ mod tests {
         let n = name("www.cs.cornell.edu");
         assert_eq!(n.parent().unwrap(), name("cs.cornell.edu"));
         let chain: Vec<String> = n.ancestors().map(|a| a.to_string()).collect();
-        assert_eq!(chain, vec!["www.cs.cornell.edu", "cs.cornell.edu", "cornell.edu", "edu", "."]);
+        assert_eq!(
+            chain,
+            vec![
+                "www.cs.cornell.edu",
+                "cs.cornell.edu",
+                "cornell.edu",
+                "edu",
+                "."
+            ]
+        );
         assert!(DnsName::root().parent().is_none());
         assert_eq!(DnsName::root().ancestors().count(), 1);
     }
@@ -368,7 +403,10 @@ mod tests {
         assert!(www.is_subdomain_of(&www));
         assert!(!www.is_proper_subdomain_of(&www));
         assert!(!name("cs.rochester.edu").is_subdomain_of(&name("cornell.edu")));
-        assert!(!name("badcornell.edu").is_subdomain_of(&name("cornell.edu")), "label boundary respected");
+        assert!(
+            !name("badcornell.edu").is_subdomain_of(&name("cornell.edu")),
+            "label boundary respected"
+        );
     }
 
     #[test]
@@ -382,7 +420,10 @@ mod tests {
 
     #[test]
     fn common_suffix() {
-        assert_eq!(name("a.b.example.com").common_suffix_len(&name("x.example.com")), 2);
+        assert_eq!(
+            name("a.b.example.com").common_suffix_len(&name("x.example.com")),
+            2
+        );
         assert_eq!(name("a.com").common_suffix_len(&name("a.org")), 0);
         assert_eq!(name("Same.Com").common_suffix_len(&name("same.com")), 2);
     }
@@ -402,7 +443,7 @@ mod tests {
 
     #[test]
     fn ordering_is_case_insensitive() {
-        let mut v = vec![name("B.com"), name("a.com")];
+        let mut v = [name("B.com"), name("a.com")];
         v.sort();
         assert_eq!(v[0], name("a.com"));
     }

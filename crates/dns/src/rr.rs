@@ -165,7 +165,9 @@ impl Soa {
     /// A reasonable default SOA for generated zones.
     pub fn synthetic(mname: DnsName, serial: u32) -> Soa {
         Soa {
-            rname: mname.prepend("hostmaster").unwrap_or_else(|_| mname.clone()),
+            rname: mname
+                .prepend("hostmaster")
+                .unwrap_or_else(|_| mname.clone()),
             mname,
             serial,
             refresh: 7200,
@@ -273,12 +275,24 @@ impl Record {
         let rtype = rdata
             .rr_type()
             .expect("Record::new requires typed RDATA; use Record::opaque");
-        Record { name, rtype, class: RrClass::In, ttl, rdata }
+        Record {
+            name,
+            rtype,
+            class: RrClass::In,
+            ttl,
+            rdata,
+        }
     }
 
     /// Builds a record with explicit type and class around raw RDATA bytes.
     pub fn opaque(name: DnsName, rtype: RrType, class: RrClass, ttl: u32, data: Vec<u8>) -> Record {
-        Record { name, rtype, class, ttl, rdata: RData::Opaque(data) }
+        Record {
+            name,
+            rtype,
+            class,
+            ttl,
+            rdata: RData::Opaque(data),
+        }
     }
 
     /// Builds the CHAOS-class TXT record answering `version.bind.`.
@@ -295,7 +309,11 @@ impl Record {
 
 impl fmt::Display for Record {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} {} ", self.name, self.ttl, self.class, self.rtype)?;
+        write!(
+            f,
+            "{} {} {} {} ",
+            self.name, self.ttl, self.class, self.rtype
+        )?;
         match &self.rdata {
             RData::A(ip) => write!(f, "{ip}"),
             RData::Aaaa(ip) => write!(f, "{ip}"),
@@ -305,7 +323,10 @@ impl fmt::Display for Record {
                 "{}. {}. {} {} {} {} {}",
                 soa.mname, soa.rname, soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum
             ),
-            RData::Mx { preference, exchange } => write!(f, "{preference} {exchange}."),
+            RData::Mx {
+                preference,
+                exchange,
+            } => write!(f, "{preference} {exchange}."),
             RData::Txt(strings) => {
                 for (i, s) in strings.iter().enumerate() {
                     if i > 0 {
@@ -315,7 +336,12 @@ impl fmt::Display for Record {
                 }
                 Ok(())
             }
-            RData::Srv { priority, weight, port, target } => {
+            RData::Srv {
+                priority,
+                weight,
+                port,
+                target,
+            } => {
                 write!(f, "{priority} {weight} {port} {target}.")
             }
             RData::Opaque(bytes) => write!(f, "\\# {} (opaque)", bytes.len()),
@@ -357,7 +383,11 @@ mod tests {
 
     #[test]
     fn record_new_derives_type() {
-        let r = Record::new(name("ns1.example.com"), 3600, RData::A(Ipv4Addr::new(10, 0, 0, 1)));
+        let r = Record::new(
+            name("ns1.example.com"),
+            3600,
+            RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+        );
         assert_eq!(r.rtype, RrType::A);
         assert_eq!(r.class, RrClass::In);
     }
@@ -370,9 +400,16 @@ mod tests {
 
     #[test]
     fn embedded_names() {
-        assert_eq!(RData::Ns(name("ns.example.com")).embedded_name(), Some(&name("ns.example.com")));
         assert_eq!(
-            RData::Mx { preference: 10, exchange: name("mx.example.com") }.embedded_name(),
+            RData::Ns(name("ns.example.com")).embedded_name(),
+            Some(&name("ns.example.com"))
+        );
+        assert_eq!(
+            RData::Mx {
+                preference: 10,
+                exchange: name("mx.example.com")
+            }
+            .embedded_name(),
             Some(&name("mx.example.com"))
         );
         assert_eq!(RData::A(Ipv4Addr::LOCALHOST).embedded_name(), None);

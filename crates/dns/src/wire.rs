@@ -54,7 +54,10 @@ impl fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "message truncated"),
             WireError::BadPointer { at, target } => {
-                write!(f, "compression pointer at {at} targets {target} (not strictly earlier)")
+                write!(
+                    f,
+                    "compression pointer at {at} targets {target} (not strictly earlier)"
+                )
             }
             WireError::PointerLoop => write!(f, "compression pointer loop"),
             WireError::BadLabelType(b) => write!(f, "unsupported label type byte {b:#04x}"),
@@ -81,7 +84,10 @@ struct Encoder {
 
 impl Encoder {
     fn new() -> Encoder {
-        Encoder { buf: BytesMut::with_capacity(512), seen: HashMap::new() }
+        Encoder {
+            buf: BytesMut::with_capacity(512),
+            seen: HashMap::new(),
+        }
     }
 
     fn put_name(&mut self, name: &DnsName) {
@@ -140,7 +146,10 @@ impl Encoder {
                 self.buf.put_u32(soa.expire);
                 self.buf.put_u32(soa.minimum);
             }
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 self.buf.put_u16(*preference);
                 self.put_name(exchange);
             }
@@ -152,7 +161,12 @@ impl Encoder {
                     self.buf.put_slice(chunk);
                 }
             }
-            RData::Srv { priority, weight, port, target } => {
+            RData::Srv {
+                priority,
+                weight,
+                port,
+                target,
+            } => {
                 self.buf.put_u16(*priority);
                 self.buf.put_u16(*weight);
                 self.buf.put_u16(*port);
@@ -312,7 +326,11 @@ impl<'a> Decoder<'a> {
         let name = self.take_name()?;
         let qtype = RrType::from_code(self.take_u16()?);
         let qclass = RrClass::from_code(self.take_u16()?);
-        Ok(Question { name, qtype, qclass })
+        Ok(Question {
+            name,
+            qtype,
+            qclass,
+        })
     }
 
     fn take_record(&mut self) -> Result<Record, WireError> {
@@ -329,18 +347,28 @@ impl<'a> Decoder<'a> {
         if self.pos != rd_end {
             return Err(WireError::BadRdataLength { rtype });
         }
-        Ok(Record { name, rtype, class, ttl, rdata })
+        Ok(Record {
+            name,
+            rtype,
+            class,
+            ttl,
+            rdata,
+        })
     }
 
     fn take_rdata(&mut self, rtype: RrType, rd_end: usize) -> Result<RData, WireError> {
         let rd_len = rd_end - self.pos;
         let rdata = match rtype {
             RrType::A => {
-                let octets = self.take_slice(4).map_err(|_| WireError::BadRdataLength { rtype })?;
+                let octets = self
+                    .take_slice(4)
+                    .map_err(|_| WireError::BadRdataLength { rtype })?;
                 RData::A(Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]))
             }
             RrType::Aaaa => {
-                let octets = self.take_slice(16).map_err(|_| WireError::BadRdataLength { rtype })?;
+                let octets = self
+                    .take_slice(16)
+                    .map_err(|_| WireError::BadRdataLength { rtype })?;
                 let mut segments = [0u8; 16];
                 segments.copy_from_slice(octets);
                 RData::Aaaa(Ipv6Addr::from(segments))
@@ -364,7 +392,10 @@ impl<'a> Decoder<'a> {
             RrType::Mx => {
                 let preference = self.take_u16()?;
                 let exchange = self.take_name()?;
-                RData::Mx { preference, exchange }
+                RData::Mx {
+                    preference,
+                    exchange,
+                }
             }
             RrType::Txt => {
                 let mut strings = Vec::new();
@@ -383,7 +414,12 @@ impl<'a> Decoder<'a> {
                 let weight = self.take_u16()?;
                 let port = self.take_u16()?;
                 let target = self.take_name()?;
-                RData::Srv { priority, weight, port, target }
+                RData::Srv {
+                    priority,
+                    weight,
+                    port,
+                    target,
+                }
             }
             _ => RData::Opaque(self.take_slice(rd_len)?.to_vec()),
         };
@@ -429,7 +465,16 @@ pub fn decode(data: &[u8]) -> Result<Message, WireError> {
     if dec.pos != data.len() {
         return Err(WireError::TrailingBytes(data.len() - dec.pos));
     }
-    Ok(Message { id, flags, opcode, rcode, questions, answers, authority, additional })
+    Ok(Message {
+        id,
+        flags,
+        opcode,
+        rcode,
+        questions,
+        answers,
+        authority,
+        additional,
+    })
 }
 
 #[cfg(test)]
@@ -441,10 +486,26 @@ mod tests {
         let q = Message::query(0x1234, Question::new(name("www.cs.cornell.edu"), RrType::A));
         let mut m = Message::response_to(&q);
         m.flags.aa = true;
-        m.answers.push(Record::new(name("www.cs.cornell.edu"), 3600, RData::A(Ipv4Addr::new(128, 84, 154, 137))));
-        m.authority.push(Record::new(name("cs.cornell.edu"), 7200, RData::Ns(name("simon.cs.cornell.edu"))));
-        m.authority.push(Record::new(name("cs.cornell.edu"), 7200, RData::Ns(name("dns.cs.wisc.edu"))));
-        m.additional.push(Record::new(name("simon.cs.cornell.edu"), 7200, RData::A(Ipv4Addr::new(128, 84, 96, 10))));
+        m.answers.push(Record::new(
+            name("www.cs.cornell.edu"),
+            3600,
+            RData::A(Ipv4Addr::new(128, 84, 154, 137)),
+        ));
+        m.authority.push(Record::new(
+            name("cs.cornell.edu"),
+            7200,
+            RData::Ns(name("simon.cs.cornell.edu")),
+        ));
+        m.authority.push(Record::new(
+            name("cs.cornell.edu"),
+            7200,
+            RData::Ns(name("dns.cs.wisc.edu")),
+        ));
+        m.additional.push(Record::new(
+            name("simon.cs.cornell.edu"),
+            7200,
+            RData::A(Ipv4Addr::new(128, 84, 96, 10)),
+        ));
         m
     }
 
@@ -480,20 +541,66 @@ mod tests {
     fn round_trip_all_rdata_types() {
         let q = Message::query(9, Question::new(name("t.example"), RrType::Any));
         let mut m = Message::response_to(&q);
-        m.answers.push(Record::new(name("t.example"), 1, RData::A(Ipv4Addr::new(10, 1, 2, 3))));
-        m.answers.push(Record::new(name("t.example"), 1, RData::Aaaa("2001:db8::1".parse().unwrap())));
-        m.answers.push(Record::new(name("t.example"), 1, RData::Ns(name("ns.t.example"))));
-        m.answers.push(Record::new(name("alias.t.example"), 1, RData::Cname(name("t.example"))));
-        m.answers.push(Record::new(name("t.example"), 1, RData::Ptr(name("host.t.example"))));
-        m.answers.push(Record::new(name("t.example"), 1, RData::Soa(Soa::synthetic(name("ns.t.example"), 42))));
-        m.answers.push(Record::new(name("t.example"), 1, RData::Mx { preference: 10, exchange: name("mx.t.example") }));
-        m.answers.push(Record::new(name("t.example"), 1, RData::Txt(vec!["hello".into(), "world".into()])));
+        m.answers.push(Record::new(
+            name("t.example"),
+            1,
+            RData::A(Ipv4Addr::new(10, 1, 2, 3)),
+        ));
+        m.answers.push(Record::new(
+            name("t.example"),
+            1,
+            RData::Aaaa("2001:db8::1".parse().unwrap()),
+        ));
+        m.answers.push(Record::new(
+            name("t.example"),
+            1,
+            RData::Ns(name("ns.t.example")),
+        ));
+        m.answers.push(Record::new(
+            name("alias.t.example"),
+            1,
+            RData::Cname(name("t.example")),
+        ));
+        m.answers.push(Record::new(
+            name("t.example"),
+            1,
+            RData::Ptr(name("host.t.example")),
+        ));
+        m.answers.push(Record::new(
+            name("t.example"),
+            1,
+            RData::Soa(Soa::synthetic(name("ns.t.example"), 42)),
+        ));
+        m.answers.push(Record::new(
+            name("t.example"),
+            1,
+            RData::Mx {
+                preference: 10,
+                exchange: name("mx.t.example"),
+            },
+        ));
+        m.answers.push(Record::new(
+            name("t.example"),
+            1,
+            RData::Txt(vec!["hello".into(), "world".into()]),
+        ));
         m.answers.push(Record::new(
             name("_sip._udp.t.example"),
             1,
-            RData::Srv { priority: 1, weight: 2, port: 5060, target: name("sip.t.example") },
+            RData::Srv {
+                priority: 1,
+                weight: 2,
+                port: 5060,
+                target: name("sip.t.example"),
+            },
         ));
-        m.answers.push(Record::opaque(name("t.example"), RrType::Unknown(999), RrClass::In, 1, vec![1, 2, 3]));
+        m.answers.push(Record::opaque(
+            name("t.example"),
+            RrType::Unknown(999),
+            RrClass::In,
+            1,
+            vec![1, 2, 3],
+        ));
         let decoded = decode(&encode(&m)).unwrap();
         assert_eq!(decoded, m);
     }
@@ -502,7 +609,8 @@ mod tests {
     fn empty_txt_and_root_name() {
         let q = Message::query(1, Question::new(DnsName::root(), RrType::Ns));
         let mut m = Message::response_to(&q);
-        m.answers.push(Record::new(DnsName::root(), 1, RData::Txt(vec![])));
+        m.answers
+            .push(Record::new(DnsName::root(), 1, RData::Txt(vec![])));
         let decoded = decode(&encode(&m)).unwrap();
         assert_eq!(decoded, m);
     }
@@ -569,7 +677,8 @@ mod tests {
     fn rdata_length_mismatch_rejected() {
         let q = Message::query(5, Question::new(name("a.b"), RrType::A));
         let mut m = Message::response_to(&q);
-        m.answers.push(Record::new(name("a.b"), 1, RData::A(Ipv4Addr::LOCALHOST)));
+        m.answers
+            .push(Record::new(name("a.b"), 1, RData::A(Ipv4Addr::LOCALHOST)));
         let mut bytes = encode(&m);
         // Find the RDLENGTH of the A record (4) and inflate it.
         let pos = bytes.len() - 6; // ...RDLENGTH(2) RDATA(4)
@@ -602,7 +711,11 @@ mod tests {
     fn decoding_is_case_preserving_but_compression_case_insensitive() {
         let q = Message::query(2, Question::new(name("WWW.Example.COM"), RrType::A));
         let mut m = Message::response_to(&q);
-        m.answers.push(Record::new(name("www.example.com"), 60, RData::A(Ipv4Addr::new(1, 1, 1, 1))));
+        m.answers.push(Record::new(
+            name("www.example.com"),
+            60,
+            RData::A(Ipv4Addr::new(1, 1, 1, 1)),
+        ));
         let bytes = encode(&m);
         let decoded = decode(&bytes).unwrap();
         // Names are equal case-insensitively.

@@ -121,7 +121,7 @@ impl Zone {
 
     /// Convenience constructor with a synthetic SOA.
     pub fn synthetic(origin: DnsName, primary_ns: DnsName) -> Zone {
-        Zone::new(origin, Soa::synthetic(primary_ns, 2004_07_22))
+        Zone::new(origin, Soa::synthetic(primary_ns, 20040722))
     }
 
     /// The zone origin (apex name).
@@ -140,13 +140,19 @@ impl Zone {
     /// cut are accepted as glue; anything else below a cut is rejected.
     pub fn add(&mut self, record: Record) -> Result<(), ZoneError> {
         if !record.name.is_subdomain_of(&self.origin) {
-            return Err(ZoneError::OutOfZone { name: record.name, origin: self.origin.clone() });
+            return Err(ZoneError::OutOfZone {
+                name: record.name,
+                origin: self.origin.clone(),
+            });
         }
         if let Some(cut) = self.covering_cut(&record.name) {
             let is_glue = matches!(record.rtype, RrType::A | RrType::Aaaa);
             let is_cut_ns = record.rtype == RrType::Ns && record.name == cut;
             if !is_glue && !is_cut_ns {
-                return Err(ZoneError::BelowZoneCut { name: record.name, cut });
+                return Err(ZoneError::BelowZoneCut {
+                    name: record.name,
+                    cut,
+                });
             }
         }
         let node = self.records.entry(record.name.clone()).or_default();
@@ -185,7 +191,9 @@ impl Zone {
         // An empty non-terminal exists if any stored owner lies beneath it.
         // (Owners are ordered leftmost-label-first, so subdomains are not
         // contiguous in the map; a scan is required and zones are small.)
-        self.records.keys().any(|owner| owner.is_proper_subdomain_of(name))
+        self.records
+            .keys()
+            .any(|owner| owner.is_proper_subdomain_of(name))
     }
 
     /// Looks up `name`/`rtype` per RFC 1034 §4.3.2 within this zone only.
@@ -202,7 +210,11 @@ impl Zone {
                 .cloned()
                 .unwrap_or_default();
             let glue = self.glue_for_ns_set(&ns_records);
-            return ZoneLookup::Referral { cut, ns_records, glue };
+            return ZoneLookup::Referral {
+                cut,
+                ns_records,
+                glue,
+            };
         }
         // Exact match.
         if let Some(node) = self.records.get(name) {
@@ -258,7 +270,11 @@ impl Zone {
     fn node_lookup(node: &BTreeMap<RrType, Vec<Record>>, rtype: RrType) -> Option<ZoneLookup> {
         if rtype == RrType::Any {
             let all: Vec<Record> = node.values().flatten().cloned().collect();
-            return if all.is_empty() { None } else { Some(ZoneLookup::Answer(all)) };
+            return if all.is_empty() {
+                None
+            } else {
+                Some(ZoneLookup::Answer(all))
+            };
         }
         if let Some(records) = node.get(&rtype) {
             if !records.is_empty() {
@@ -343,12 +359,17 @@ impl Zone {
 
     /// Iterates every record in the zone in sorted owner order.
     pub fn iter(&self) -> impl Iterator<Item = &Record> {
-        self.records.values().flat_map(|node| node.values().flatten())
+        self.records
+            .values()
+            .flat_map(|node| node.values().flatten())
     }
 
     /// Total record count.
     pub fn record_count(&self) -> usize {
-        self.records.values().map(|n| n.values().map(Vec::len).sum::<usize>()).sum()
+        self.records
+            .values()
+            .map(|n| n.values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 }
 
@@ -403,7 +424,10 @@ impl ZoneRegistry {
     /// trust analysis consumes: resolving `name` requires one server from
     /// each zone in this chain.
     pub fn zone_chain(&self, name: &DnsName) -> Vec<&Zone> {
-        let mut chain: Vec<&Zone> = name.ancestors().filter_map(|a| self.zones.get(&a)).collect();
+        let mut chain: Vec<&Zone> = name
+            .ancestors()
+            .filter_map(|a| self.zones.get(&a))
+            .collect();
         chain.reverse();
         chain
     }
@@ -453,15 +477,41 @@ mod tests {
 
     fn example_zone() -> Zone {
         let mut z = Zone::synthetic(name("example.com"), name("ns1.example.com"));
-        z.add_rdata(name("example.com"), RData::Ns(name("ns1.example.com"))).unwrap();
-        z.add_rdata(name("example.com"), RData::Ns(name("ns2.example.com"))).unwrap();
-        z.add_rdata(name("ns1.example.com"), RData::A("10.0.0.1".parse().unwrap())).unwrap();
-        z.add_rdata(name("ns2.example.com"), RData::A("10.0.0.2".parse().unwrap())).unwrap();
-        z.add_rdata(name("www.example.com"), RData::A("10.0.0.80".parse().unwrap())).unwrap();
-        z.add_rdata(name("alias.example.com"), RData::Cname(name("www.example.com"))).unwrap();
+        z.add_rdata(name("example.com"), RData::Ns(name("ns1.example.com")))
+            .unwrap();
+        z.add_rdata(name("example.com"), RData::Ns(name("ns2.example.com")))
+            .unwrap();
+        z.add_rdata(
+            name("ns1.example.com"),
+            RData::A("10.0.0.1".parse().unwrap()),
+        )
+        .unwrap();
+        z.add_rdata(
+            name("ns2.example.com"),
+            RData::A("10.0.0.2".parse().unwrap()),
+        )
+        .unwrap();
+        z.add_rdata(
+            name("www.example.com"),
+            RData::A("10.0.0.80".parse().unwrap()),
+        )
+        .unwrap();
+        z.add_rdata(
+            name("alias.example.com"),
+            RData::Cname(name("www.example.com")),
+        )
+        .unwrap();
         // Delegation: sub.example.com with one glued NS.
-        z.add_rdata(name("sub.example.com"), RData::Ns(name("ns.sub.example.com"))).unwrap();
-        z.add_rdata(name("ns.sub.example.com"), RData::A("10.0.1.1".parse().unwrap())).unwrap();
+        z.add_rdata(
+            name("sub.example.com"),
+            RData::Ns(name("ns.sub.example.com")),
+        )
+        .unwrap();
+        z.add_rdata(
+            name("ns.sub.example.com"),
+            RData::A("10.0.1.1".parse().unwrap()),
+        )
+        .unwrap();
         z
     }
 
@@ -472,15 +522,28 @@ mod tests {
             ZoneLookup::Answer(records) => assert_eq!(records.len(), 1),
             other => panic!("expected answer, got {other:?}"),
         }
-        assert_eq!(z.lookup(&name("www.example.com"), RrType::Mx), ZoneLookup::NoData);
-        assert_eq!(z.lookup(&name("missing.example.com"), RrType::A), ZoneLookup::NxDomain);
+        assert_eq!(
+            z.lookup(&name("www.example.com"), RrType::Mx),
+            ZoneLookup::NoData
+        );
+        assert_eq!(
+            z.lookup(&name("missing.example.com"), RrType::A),
+            ZoneLookup::NxDomain
+        );
     }
 
     #[test]
     fn empty_non_terminal_is_nodata() {
         let mut z = example_zone();
-        z.add_rdata(name("host.deep.example.com"), RData::A("10.0.2.1".parse().unwrap())).unwrap();
-        assert_eq!(z.lookup(&name("deep.example.com"), RrType::A), ZoneLookup::NoData);
+        z.add_rdata(
+            name("host.deep.example.com"),
+            RData::A("10.0.2.1".parse().unwrap()),
+        )
+        .unwrap();
+        assert_eq!(
+            z.lookup(&name("deep.example.com"), RrType::A),
+            ZoneLookup::NoData
+        );
     }
 
     #[test]
@@ -494,14 +557,21 @@ mod tests {
             other => panic!("expected CNAME, got {other:?}"),
         }
         // Querying the CNAME type itself answers directly.
-        assert!(matches!(z.lookup(&name("alias.example.com"), RrType::Cname), ZoneLookup::Answer(_)));
+        assert!(matches!(
+            z.lookup(&name("alias.example.com"), RrType::Cname),
+            ZoneLookup::Answer(_)
+        ));
     }
 
     #[test]
     fn referral_below_cut_with_glue() {
         let z = example_zone();
         match z.lookup(&name("www.sub.example.com"), RrType::A) {
-            ZoneLookup::Referral { cut, ns_records, glue } => {
+            ZoneLookup::Referral {
+                cut,
+                ns_records,
+                glue,
+            } => {
                 assert_eq!(cut, name("sub.example.com"));
                 assert_eq!(ns_records.len(), 1);
                 assert_eq!(glue.len(), 1);
@@ -510,22 +580,33 @@ mod tests {
             other => panic!("expected referral, got {other:?}"),
         }
         // The cut name itself also refers.
-        assert!(matches!(z.lookup(&name("sub.example.com"), RrType::A), ZoneLookup::Referral { .. }));
+        assert!(matches!(
+            z.lookup(&name("sub.example.com"), RrType::A),
+            ZoneLookup::Referral { .. }
+        ));
     }
 
     #[test]
     fn records_below_cut_rejected_except_glue() {
         let mut z = example_zone();
-        let err = z.add_rdata(name("www.sub.example.com"), RData::Txt(vec!["x".into()])).unwrap_err();
+        let err = z
+            .add_rdata(name("www.sub.example.com"), RData::Txt(vec!["x".into()]))
+            .unwrap_err();
         assert!(matches!(err, ZoneError::BelowZoneCut { .. }));
         // Glue is fine.
-        z.add_rdata(name("ns2.sub.example.com"), RData::A("10.0.1.2".parse().unwrap())).unwrap();
+        z.add_rdata(
+            name("ns2.sub.example.com"),
+            RData::A("10.0.1.2".parse().unwrap()),
+        )
+        .unwrap();
     }
 
     #[test]
     fn out_of_zone_rejected() {
         let mut z = example_zone();
-        let err = z.add_rdata(name("other.org"), RData::A("1.1.1.1".parse().unwrap())).unwrap_err();
+        let err = z
+            .add_rdata(name("other.org"), RData::A("1.1.1.1".parse().unwrap()))
+            .unwrap_err();
         assert!(matches!(err, ZoneError::OutOfZone { .. }));
     }
 
@@ -537,7 +618,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ZoneError::CnameConflict(_)));
         let err = z
-            .add_rdata(name("alias.example.com"), RData::A("1.2.3.4".parse().unwrap()))
+            .add_rdata(
+                name("alias.example.com"),
+                RData::A("1.2.3.4".parse().unwrap()),
+            )
             .unwrap_err();
         assert!(matches!(err, ZoneError::CnameConflict(_)));
     }
@@ -545,7 +629,11 @@ mod tests {
     #[test]
     fn wildcard_synthesis() {
         let mut z = example_zone();
-        z.add_rdata(name("*.pool.example.com"), RData::A("10.9.9.9".parse().unwrap())).unwrap();
+        z.add_rdata(
+            name("*.pool.example.com"),
+            RData::A("10.9.9.9".parse().unwrap()),
+        )
+        .unwrap();
         match z.lookup(&name("h42.pool.example.com"), RrType::A) {
             ZoneLookup::Answer(records) => {
                 assert_eq!(records[0].name, name("h42.pool.example.com"));
@@ -553,7 +641,11 @@ mod tests {
             other => panic!("expected wildcard answer, got {other:?}"),
         }
         // Explicit names shadow the wildcard.
-        z.add_rdata(name("real.pool.example.com"), RData::A("10.8.8.8".parse().unwrap())).unwrap();
+        z.add_rdata(
+            name("real.pool.example.com"),
+            RData::A("10.8.8.8".parse().unwrap()),
+        )
+        .unwrap();
         match z.lookup(&name("real.pool.example.com"), RrType::A) {
             ZoneLookup::Answer(records) => match records[0].rdata {
                 RData::A(ip) => assert_eq!(ip, "10.8.8.8".parse::<Ipv4Addr>().unwrap()),
@@ -578,27 +670,47 @@ mod tests {
     #[test]
     fn apex_ns_and_cuts() {
         let z = example_zone();
-        assert_eq!(z.apex_ns_names(), vec![name("ns1.example.com"), name("ns2.example.com")]);
-        assert_eq!(z.cut_names().cloned().collect::<Vec<_>>(), vec![name("sub.example.com")]);
+        assert_eq!(
+            z.apex_ns_names(),
+            vec![name("ns1.example.com"), name("ns2.example.com")]
+        );
+        assert_eq!(
+            z.cut_names().cloned().collect::<Vec<_>>(),
+            vec![name("sub.example.com")]
+        );
     }
 
     #[test]
     fn registry_find_and_chain() {
         let mut reg = ZoneRegistry::new();
         let mut root = Zone::synthetic(DnsName::root(), name("a.root-servers.net"));
-        root.add_rdata(DnsName::root(), RData::Ns(name("a.root-servers.net"))).unwrap();
+        root.add_rdata(DnsName::root(), RData::Ns(name("a.root-servers.net")))
+            .unwrap();
         reg.insert(root);
         let mut com = Zone::synthetic(name("com"), name("a.gtld-servers.net"));
-        com.add_rdata(name("com"), RData::Ns(name("a.gtld-servers.net"))).unwrap();
+        com.add_rdata(name("com"), RData::Ns(name("a.gtld-servers.net")))
+            .unwrap();
         reg.insert(com);
         reg.insert(example_zone());
 
-        assert_eq!(reg.find_zone(&name("www.example.com")).unwrap().origin(), &name("example.com"));
-        assert_eq!(reg.find_zone(&name("www.other.com")).unwrap().origin(), &name("com"));
-        assert_eq!(reg.find_zone(&name("www.other.org")).unwrap().origin(), &DnsName::root());
+        assert_eq!(
+            reg.find_zone(&name("www.example.com")).unwrap().origin(),
+            &name("example.com")
+        );
+        assert_eq!(
+            reg.find_zone(&name("www.other.com")).unwrap().origin(),
+            &name("com")
+        );
+        assert_eq!(
+            reg.find_zone(&name("www.other.org")).unwrap().origin(),
+            &DnsName::root()
+        );
 
-        let chain: Vec<String> =
-            reg.zone_chain(&name("www.example.com")).iter().map(|z| z.origin().to_string()).collect();
+        let chain: Vec<String> = reg
+            .zone_chain(&name("www.example.com"))
+            .iter()
+            .map(|z| z.origin().to_string())
+            .collect();
         assert_eq!(chain, vec![".", "com", "example.com"]);
     }
 
@@ -607,8 +719,14 @@ mod tests {
         let mut reg = ZoneRegistry::new();
         reg.insert(example_zone());
         // ns.sub.example.com has glue in example.com but no own zone.
-        assert_eq!(reg.addresses_of(&name("ns.sub.example.com")), vec!["10.0.1.1".parse::<Ipv4Addr>().unwrap()]);
-        assert_eq!(reg.addresses_of(&name("ns1.example.com")), vec!["10.0.0.1".parse::<Ipv4Addr>().unwrap()]);
+        assert_eq!(
+            reg.addresses_of(&name("ns.sub.example.com")),
+            vec!["10.0.1.1".parse::<Ipv4Addr>().unwrap()]
+        );
+        assert_eq!(
+            reg.addresses_of(&name("ns1.example.com")),
+            vec!["10.0.0.1".parse::<Ipv4Addr>().unwrap()]
+        );
         assert!(reg.addresses_of(&name("nowhere.test")).is_empty());
     }
 

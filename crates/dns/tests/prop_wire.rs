@@ -35,28 +35,55 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         arb_name().prop_map(RData::Ns),
         arb_name().prop_map(RData::Cname),
         arb_name().prop_map(RData::Ptr),
-        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
         proptest::collection::vec("[ -~]{0,40}", 0..3).prop_map(RData::Txt),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa(Soa {
-                mname,
-                rname,
-                serial,
-                refresh,
-                retry,
-                expire,
-                minimum
-            })),
-        (any::<u16>(), any::<u16>(), any::<u16>(), arb_name())
-            .prop_map(|(priority, weight, port, target)| RData::Srv { priority, weight, port, target }),
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa(Soa {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum
+                })
+            ),
+        (any::<u16>(), any::<u16>(), any::<u16>(), arb_name()).prop_map(
+            |(priority, weight, port, target)| RData::Srv {
+                priority,
+                weight,
+                port,
+                target
+            }
+        ),
         proptest::collection::vec(any::<u8>(), 0..32).prop_map(RData::Opaque),
     ]
 }
 
 fn arb_record() -> impl Strategy<Value = Record> {
     (arb_name(), arb_rdata(), any::<u32>(), 0u16..5).prop_map(|(name, rdata, ttl, unknown_code)| {
-        let rtype = rdata.rr_type().unwrap_or(RrType::Unknown(1000 + unknown_code));
-        Record { name, rtype, class: RrClass::In, ttl, rdata }
+        let rtype = rdata
+            .rr_type()
+            .unwrap_or(RrType::Unknown(1000 + unknown_code));
+        Record {
+            name,
+            rtype,
+            class: RrClass::In,
+            ttl,
+            rdata,
+        }
     })
 }
 
@@ -71,16 +98,24 @@ fn arb_message() -> impl Strategy<Value = Message> {
         proptest::collection::vec(arb_record(), 0..4),
         arb_name(),
     )
-        .prop_map(|(id, aa, tc, rd, answers, authority, additional, qname)| Message {
-            id,
-            flags: Flags { qr: true, aa, tc, rd, ra: false },
-            opcode: Opcode::Query,
-            rcode: Rcode::NoError,
-            questions: vec![Question::new(qname, RrType::A)],
-            answers,
-            authority,
-            additional,
-        })
+        .prop_map(
+            |(id, aa, tc, rd, answers, authority, additional, qname)| Message {
+                id,
+                flags: Flags {
+                    qr: true,
+                    aa,
+                    tc,
+                    rd,
+                    ra: false,
+                },
+                opcode: Opcode::Query,
+                rcode: Rcode::NoError,
+                questions: vec![Question::new(qname, RrType::A)],
+                answers,
+                authority,
+                additional,
+            },
+        )
 }
 
 proptest! {

@@ -13,7 +13,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set with room for `capacity` elements.
     pub fn new(capacity: usize) -> BitSet {
-        BitSet { blocks: vec![0; capacity.div_ceil(64)], capacity }
+        BitSet {
+            blocks: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// The capacity this set was created with.
@@ -27,7 +30,11 @@ impl BitSet {
     ///
     /// Panics if `value >= capacity`.
     pub fn insert(&mut self, value: usize) -> bool {
-        assert!(value < self.capacity, "bit {value} out of capacity {}", self.capacity);
+        assert!(
+            value < self.capacity,
+            "bit {value} out of capacity {}",
+            self.capacity
+        );
         let (block, bit) = (value / 64, value % 64);
         let mask = 1u64 << bit;
         let fresh = self.blocks[block] & mask == 0;

@@ -29,7 +29,12 @@ pub struct DiGraph<N> {
 
 impl<N> Default for DiGraph<N> {
     fn default() -> Self {
-        DiGraph { weights: Vec::new(), out_edges: Vec::new(), in_edges: Vec::new(), edge_count: 0 }
+        DiGraph {
+            weights: Vec::new(),
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+            edge_count: 0,
+        }
     }
 }
 

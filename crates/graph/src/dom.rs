@@ -71,11 +71,7 @@ pub fn immediate_dominators<N>(graph: &DiGraph<N>, root: NodeId) -> Vec<Option<N
 
 /// The strict dominators of `node` (excluding itself and the root), closest
 /// first. Empty when `node` is unreachable.
-pub fn strict_dominators<N>(
-    graph: &DiGraph<N>,
-    root: NodeId,
-    node: NodeId,
-) -> Vec<NodeId> {
+pub fn strict_dominators<N>(graph: &DiGraph<N>, root: NodeId, node: NodeId) -> Vec<NodeId> {
     let idom = immediate_dominators(graph, root);
     let mut out = Vec::new();
     let mut v = node;

@@ -36,7 +36,10 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Creates a network with `n` nodes (ids `0..n`).
     pub fn new(n: usize) -> FlowNetwork {
-        FlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new() }
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Adds a node, returning its id.
@@ -56,10 +59,16 @@ impl FlowNetwork {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> usize {
-        assert!(from < self.adj.len() && to < self.adj.len(), "endpoint out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "endpoint out of range"
+        );
         let id = self.edges.len();
         self.edges.push(Edge { to: to as u32, cap });
-        self.edges.push(Edge { to: from as u32, cap: 0 });
+        self.edges.push(Edge {
+            to: from as u32,
+            cap: 0,
+        });
         self.adj[from].push(id as u32);
         self.adj[to].push(id as u32 + 1);
         id
@@ -74,7 +83,10 @@ impl FlowNetwork {
     /// Runs Dinic from `source` to `sink`, returning the max-flow value.
     /// May be called once per network (capacities are consumed).
     pub fn max_flow(&mut self, source: usize, sink: usize) -> u64 {
-        assert!(source < self.adj.len() && sink < self.adj.len(), "endpoint out of range");
+        assert!(
+            source < self.adj.len() && sink < self.adj.len(),
+            "endpoint out of range"
+        );
         if source == sink {
             return 0;
         }
@@ -219,7 +231,11 @@ pub fn min_vertex_cut<N>(
     // Node v splits into in-node 2v and out-node 2v+1.
     let mut net = FlowNetwork::new(2 * n);
     for v in graph.nodes() {
-        let w = if v == source || v == sink { INF } else { weight(v).min(INF - 1) };
+        let w = if v == source || v == sink {
+            INF
+        } else {
+            weight(v).min(INF - 1)
+        };
         net.add_edge(2 * v.index(), 2 * v.index() + 1, w);
     }
     for (u, v) in graph.edges() {
@@ -243,7 +259,10 @@ pub fn min_vertex_cut<N>(
             cut.push(v);
         }
     }
-    Some(VertexCut { total_weight: flow, cut })
+    Some(VertexCut {
+        total_weight: flow,
+        cut,
+    })
 }
 
 #[cfg(test)]

@@ -88,7 +88,10 @@ pub fn tarjan_scc<N>(graph: &DiGraph<N>) -> SccResult {
             }
         }
     }
-    SccResult { component_of, components }
+    SccResult {
+        component_of,
+        components,
+    }
 }
 
 /// Builds the condensation DAG: one node per SCC (weighted by member count),
@@ -159,7 +162,10 @@ mod tests {
             scc.component_of[cornell.index()],
             scc.component_of[rochester.index()]
         );
-        assert_ne!(scc.component_of[wisc.index()], scc.component_of[umich.index()]);
+        assert_ne!(
+            scc.component_of[wisc.index()],
+            scc.component_of[umich.index()]
+        );
         // Condensation is a DAG.
         assert!(topo_sort(&dag).is_some());
         assert_eq!(dag.node_count(), 3);

@@ -77,8 +77,10 @@ pub fn dfs_postorder<N>(graph: &DiGraph<N>, start: NodeId) -> Vec<NodeId> {
 pub fn topo_sort<N>(graph: &DiGraph<N>) -> Option<Vec<NodeId>> {
     let n = graph.node_count();
     let mut in_deg: Vec<usize> = (0..n).map(|i| graph.in_degree(NodeId(i as u32))).collect();
-    let mut ready: Vec<NodeId> =
-        (0..n as u32).map(NodeId).filter(|&v| in_deg[v.index()] == 0).collect();
+    let mut ready: Vec<NodeId> = (0..n as u32)
+        .map(NodeId)
+        .filter(|&v| in_deg[v.index()] == 0)
+        .collect();
     let mut order = Vec::with_capacity(n);
     while let Some(node) = ready.pop() {
         order.push(node);

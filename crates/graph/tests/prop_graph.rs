@@ -20,12 +20,8 @@ fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> DiGraph<()> {
 }
 
 fn arb_graph(max_n: usize, max_e: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2..=max_n).prop_flat_map(move |n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..=max_e),
-        )
-    })
+    (2..=max_n)
+        .prop_flat_map(move |n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..=max_e)))
 }
 
 /// Does `s` reach `t` after removing `removed`?
@@ -56,8 +52,9 @@ fn reaches_avoiding(g: &DiGraph<()>, s: NodeId, t: NodeId, removed: u32) -> bool
 fn brute_force_cut_size(g: &DiGraph<()>, s: NodeId, t: NodeId) -> Option<usize> {
     let n = g.node_count();
     assert!(n <= 12, "brute force limited to small graphs");
-    let interior: Vec<usize> =
-        (0..n).filter(|&i| i != s.index() && i != t.index()).collect();
+    let interior: Vec<usize> = (0..n)
+        .filter(|&i| i != s.index() && i != t.index())
+        .collect();
     let mut best: Option<usize> = None;
     for mask in 0u32..(1 << interior.len()) {
         let mut removed = 0u32;

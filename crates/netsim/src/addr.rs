@@ -58,9 +58,16 @@ impl IpAllocator {
     /// Panics when a region block is exhausted (65,536 hosts) or the region
     /// id exceeds 254 — generous bounds for the survey sizes used here.
     pub fn alloc(&mut self, region: Region) -> Ipv4Addr {
-        assert!(region.0 < 255, "region id {} too large for the address plan", region.0);
+        assert!(
+            region.0 < 255,
+            "region id {} too large for the address plan",
+            region.0
+        );
         let host = self.next_host.entry(region.0).or_insert(0);
-        assert!(*host < HOSTS_PER_REGION, "region {region} address block exhausted");
+        assert!(
+            *host < HOSTS_PER_REGION,
+            "region {region} address block exhausted"
+        );
         *host += 1;
         let value: u32 = ((region.0 as u32 + 1) << 16) | (*host - 1);
         Ipv4Addr::from(value)

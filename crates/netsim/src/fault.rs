@@ -46,7 +46,10 @@ impl FaultPlan {
 
     /// A plan with uniform packet loss.
     pub fn with_drop_probability(p: f64) -> FaultPlan {
-        FaultPlan { drop_probability: p.clamp(0.0, 1.0), ..FaultPlan::default() }
+        FaultPlan {
+            drop_probability: p.clamp(0.0, 1.0),
+            ..FaultPlan::default()
+        }
     }
 
     /// Marks `addr` as down.

@@ -132,7 +132,10 @@ impl SimNet {
     pub fn query(&self, to: Ipv4Addr, query: &Message) -> QueryOutcome {
         let (qname, qtype) = match query.question() {
             Some(q) => (q.name.clone(), q.qtype),
-            None => (perils_dns::name::DnsName::root(), perils_dns::rr::RrType::Any),
+            None => (
+                perils_dns::name::DnsName::root(),
+                perils_dns::rr::RrType::Any,
+            ),
         };
         let mut stats = self.stats.lock();
         stats.queries += 1;
@@ -152,7 +155,11 @@ impl SimNet {
             (
                 rng.chance(drop_p),
                 rng.chance(drop_p),
-                if jitter_bound == 0 { 0 } else { rng.below(jitter_bound as u64 + 1) as u32 },
+                if jitter_bound == 0 {
+                    0
+                } else {
+                    rng.below(jitter_bound as u64 + 1) as u32
+                },
             )
         };
 
@@ -160,23 +167,38 @@ impl SimNet {
             stats.to_dead += 1;
             stats.total_ms += TIMEOUT_MS as u64;
             drop(stats);
-            self.trace.lock().record(to, qname, qtype, TraceOutcome::Dead, 0);
-            return QueryOutcome { response: None, rtt_ms: TIMEOUT_MS };
+            self.trace
+                .lock()
+                .record(to, qname, qtype, TraceOutcome::Dead, 0);
+            return QueryOutcome {
+                response: None,
+                rtt_ms: TIMEOUT_MS,
+            };
         }
         if lost_out {
             stats.dropped += 1;
             stats.total_ms += TIMEOUT_MS as u64;
             drop(stats);
-            self.trace.lock().record(to, qname, qtype, TraceOutcome::Dropped, 0);
-            return QueryOutcome { response: None, rtt_ms: TIMEOUT_MS };
+            self.trace
+                .lock()
+                .record(to, qname, qtype, TraceOutcome::Dropped, 0);
+            return QueryOutcome {
+                response: None,
+                rtt_ms: TIMEOUT_MS,
+            };
         }
         let endpoint = self.endpoints.read().get(&to).cloned();
         let Some(endpoint) = endpoint else {
             stats.to_unbound += 1;
             stats.total_ms += TIMEOUT_MS as u64;
             drop(stats);
-            self.trace.lock().record(to, qname, qtype, TraceOutcome::NoEndpoint, 0);
-            return QueryOutcome { response: None, rtt_ms: TIMEOUT_MS };
+            self.trace
+                .lock()
+                .record(to, qname, qtype, TraceOutcome::NoEndpoint, 0);
+            return QueryOutcome {
+                response: None,
+                rtt_ms: TIMEOUT_MS,
+            };
         };
         drop(stats);
         let response = endpoint.handle(query);
@@ -187,22 +209,37 @@ impl SimNet {
                 stats.answered += 1;
                 stats.total_ms += rtt as u64;
                 drop(stats);
-                self.trace.lock().record(to, qname, qtype, TraceOutcome::Answered, rtt);
-                QueryOutcome { response: Some(response), rtt_ms: rtt }
+                self.trace
+                    .lock()
+                    .record(to, qname, qtype, TraceOutcome::Answered, rtt);
+                QueryOutcome {
+                    response: Some(response),
+                    rtt_ms: rtt,
+                }
             }
             Some(_) => {
                 stats.dropped += 1;
                 stats.total_ms += TIMEOUT_MS as u64;
                 drop(stats);
-                self.trace.lock().record(to, qname, qtype, TraceOutcome::Dropped, 0);
-                QueryOutcome { response: None, rtt_ms: TIMEOUT_MS }
+                self.trace
+                    .lock()
+                    .record(to, qname, qtype, TraceOutcome::Dropped, 0);
+                QueryOutcome {
+                    response: None,
+                    rtt_ms: TIMEOUT_MS,
+                }
             }
             None => {
                 // Server silently ignored the query.
                 stats.total_ms += TIMEOUT_MS as u64;
                 drop(stats);
-                self.trace.lock().record(to, qname, qtype, TraceOutcome::Answered, 0);
-                QueryOutcome { response: None, rtt_ms: TIMEOUT_MS }
+                self.trace
+                    .lock()
+                    .record(to, qname, qtype, TraceOutcome::Answered, 0);
+                QueryOutcome {
+                    response: None,
+                    rtt_ms: TIMEOUT_MS,
+                }
             }
         }
     }
@@ -309,7 +346,10 @@ mod tests {
         net.with_trace(|t| {
             assert_eq!(t.len(), 2);
             let outcomes: Vec<TraceOutcome> = t.events().map(|e| e.outcome).collect();
-            assert_eq!(outcomes, vec![TraceOutcome::Answered, TraceOutcome::NoEndpoint]);
+            assert_eq!(
+                outcomes,
+                vec![TraceOutcome::Answered, TraceOutcome::NoEndpoint]
+            );
         });
     }
 

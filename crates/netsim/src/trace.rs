@@ -70,7 +70,14 @@ impl TraceLog {
             if self.events.len() == self.capacity {
                 self.events.pop_front();
             }
-            self.events.push_back(TraceEvent { seq, to, qname, qtype, outcome, rtt_ms });
+            self.events.push_back(TraceEvent {
+                seq,
+                to,
+                qname,
+                qtype,
+                outcome,
+                rtt_ms,
+            });
         }
         seq
     }

@@ -41,7 +41,10 @@ impl Cache {
         let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0) as u64;
         self.entries.insert(
             (name.to_lowercase(), rtype),
-            CacheEntry { records, expires_at_ms: now_ms + ttl * 1000 },
+            CacheEntry {
+                records,
+                expires_at_ms: now_ms + ttl * 1000,
+            },
         );
     }
 
@@ -123,16 +126,29 @@ mod tests {
     #[test]
     fn put_get_within_ttl() {
         let mut cache = Cache::new();
-        cache.put(&name("www.x.com"), RrType::A, vec![a_record("www.x.com", 60)], 0);
+        cache.put(
+            &name("www.x.com"),
+            RrType::A,
+            vec![a_record("www.x.com", 60)],
+            0,
+        );
         assert!(cache.get(&name("www.x.com"), RrType::A, 59_999).is_some());
-        assert!(cache.get(&name("WWW.X.COM"), RrType::A, 1).is_some(), "case-insensitive");
+        assert!(
+            cache.get(&name("WWW.X.COM"), RrType::A, 1).is_some(),
+            "case-insensitive"
+        );
         assert_eq!(cache.stats().0, 2);
     }
 
     #[test]
     fn expiry_evicts() {
         let mut cache = Cache::new();
-        cache.put(&name("www.x.com"), RrType::A, vec![a_record("www.x.com", 60)], 0);
+        cache.put(
+            &name("www.x.com"),
+            RrType::A,
+            vec![a_record("www.x.com", 60)],
+            0,
+        );
         assert!(cache.get(&name("www.x.com"), RrType::A, 60_000).is_none());
         assert!(cache.is_empty(), "expired entry removed");
     }
@@ -162,7 +178,10 @@ mod tests {
         let mut cache = Cache::new();
         cache.put_negative(&name("gone.x.com"), RrType::A, 60, 0);
         assert!(cache.get_negative(&name("GONE.x.com"), RrType::A, 59_999));
-        assert!(!cache.get_negative(&name("gone.x.com"), RrType::Ns, 0), "type keyed");
+        assert!(
+            !cache.get_negative(&name("gone.x.com"), RrType::Ns, 0),
+            "type keyed"
+        );
         assert!(!cache.get_negative(&name("gone.x.com"), RrType::A, 60_000));
         assert!(cache.is_empty(), "expired negative entry removed");
         cache.put_negative(&name("gone.x.com"), RrType::A, 60, 0);

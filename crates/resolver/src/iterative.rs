@@ -142,7 +142,12 @@ impl IterativeResolver {
         config: ResolverConfig,
     ) -> IterativeResolver {
         assert!(!roots.is_empty(), "resolver needs at least one root hint");
-        IterativeResolver { net, roots, config, cache: Mutex::new(Cache::new()) }
+        IterativeResolver {
+            net,
+            roots,
+            config,
+            cache: Mutex::new(Cache::new()),
+        }
     }
 
     /// The configured root hints.
@@ -225,7 +230,10 @@ impl IterativeResolver {
         let mut candidates: Vec<Candidate> = self
             .roots
             .iter()
-            .map(|(n, a)| Candidate { ns_name: n.clone(), addr: Some(*a) })
+            .map(|(n, a)| Candidate {
+                ns_name: n.clone(),
+                addr: Some(*a),
+            })
             .collect();
         let mut current_cut = DnsName::root();
         let mut cname_chain: Vec<Record> = Vec::new();
@@ -241,18 +249,17 @@ impl IterativeResolver {
                 // Obtain an address: glue, cache, or sub-resolution.
                 let addr = match candidate.addr {
                     Some(addr) => addr,
-                    None => {
-                        match self.resolve_glueless(&candidate.ns_name, depth, run) {
-                            Some(addr) => addr,
-                            None => continue,
-                        }
-                    }
+                    None => match self.resolve_glueless(&candidate.ns_name, depth, run) {
+                        Some(addr) => addr,
+                        None => continue,
+                    },
                 };
                 // Query with retries.
-                let response = match self.exchange(addr, &candidate.ns_name, &current_name, qtype, run)? {
-                    Some(response) => response,
-                    None => continue, // timeouts exhausted; next server
-                };
+                let response =
+                    match self.exchange(addr, &candidate.ns_name, &current_name, qtype, run)? {
+                        Some(response) => response,
+                        None => continue, // timeouts exhausted; next server
+                    };
                 // Classify the response.
                 if response.rcode == Rcode::NxDomain {
                     self.trace_query(run, &candidate, addr, &current_name, QueryEvent::NxDomain);
@@ -269,8 +276,7 @@ impl IterativeResolver {
                         .answers
                         .iter()
                         .filter(|r| {
-                            (r.rtype == qtype || qtype == RrType::Any)
-                                && r.name == current_name
+                            (r.rtype == qtype || qtype == RrType::Any) && r.name == current_name
                         })
                         .cloned()
                         .collect();
@@ -285,9 +291,10 @@ impl IterativeResolver {
                         records.extend(direct);
                         return Ok(records);
                     }
-                    let cname = response.answers.iter().find(|r| {
-                        r.rtype == RrType::Cname && r.name == current_name
-                    });
+                    let cname = response
+                        .answers
+                        .iter()
+                        .find(|r| r.rtype == RrType::Cname && r.name == current_name);
                     if let Some(cname_record) = cname {
                         self.trace_query(run, &candidate, addr, &current_name, QueryEvent::Answer);
                         if qtype == RrType::Cname {
@@ -326,7 +333,10 @@ impl IterativeResolver {
                         candidates = self
                             .roots
                             .iter()
-                            .map(|(n, a)| Candidate { ns_name: n.clone(), addr: Some(*a) })
+                            .map(|(n, a)| Candidate {
+                                ns_name: n.clone(),
+                                addr: Some(*a),
+                            })
                             .collect();
                         continue 'descend;
                     }
@@ -373,7 +383,10 @@ impl IterativeResolver {
                                     .collect();
                                 self.cache_put(host, RrType::A, &glue_records, run.now_ms);
                             }
-                            next.push(Candidate { ns_name: host.clone(), addr: glue });
+                            next.push(Candidate {
+                                ns_name: host.clone(),
+                                addr: glue,
+                            });
                         }
                     }
                     if next.is_empty() {
@@ -407,7 +420,9 @@ impl IterativeResolver {
 
     /// Resolves the address of a glueless NS name via a nested resolution.
     fn resolve_glueless(&self, ns_name: &DnsName, depth: u32, run: &mut Run) -> Option<Ipv4Addr> {
-        run.trace.steps.push(TraceStep::SubResolutionStart { ns_name: ns_name.clone() });
+        run.trace.steps.push(TraceStep::SubResolutionStart {
+            ns_name: ns_name.clone(),
+        });
         let result = self.resolve_rec(ns_name, RrType::A, depth + 1, run);
         let addr = match &result {
             Ok(records) => records.iter().find_map(|r| match r.rdata {

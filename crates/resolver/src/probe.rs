@@ -37,7 +37,10 @@ impl DependencyReport {
     /// root servers themselves (the paper's convention: "the sizes reported
     /// here do not include the root nameservers").
     pub fn tcb(&self, root_server_names: &BTreeSet<DnsName>) -> BTreeSet<DnsName> {
-        self.servers.difference(root_server_names).cloned().collect()
+        self.servers
+            .difference(root_server_names)
+            .cloned()
+            .collect()
     }
 }
 
@@ -51,7 +54,10 @@ pub struct ChainProber<'r> {
 impl<'r> ChainProber<'r> {
     /// Creates a prober over `resolver` (fingerprinting enabled).
     pub fn new(resolver: &'r IterativeResolver) -> ChainProber<'r> {
-        ChainProber { resolver, fingerprint: true }
+        ChainProber {
+            resolver,
+            fingerprint: true,
+        }
     }
 
     /// Discovers the full dependency closure of `target`.
@@ -111,7 +117,8 @@ impl<'r> ChainProber<'r> {
                 let outcome = self.resolver_net_query(addr, &query);
                 let Some(response) = outcome else { continue };
                 if response.rcode == Rcode::NxDomain
-                    || (response.flags.aa && response.rcode == Rcode::NoError
+                    || (response.flags.aa
+                        && response.rcode == Rcode::NoError
                         && !response.is_referral())
                 {
                     // Terminal: authoritative answer / nodata / nxdomain.
@@ -163,9 +170,7 @@ impl<'r> ChainProber<'r> {
         }
     }
 
-    fn glue_first(
-        candidates: &[(DnsName, Option<Ipv4Addr>)],
-    ) -> Vec<(DnsName, Option<Ipv4Addr>)> {
+    fn glue_first(candidates: &[(DnsName, Option<Ipv4Addr>)]) -> Vec<(DnsName, Option<Ipv4Addr>)> {
         let mut ordered: Vec<(DnsName, Option<Ipv4Addr>)> = Vec::with_capacity(candidates.len());
         ordered.extend(candidates.iter().filter(|(_, g)| g.is_some()).cloned());
         ordered.extend(candidates.iter().filter(|(_, g)| g.is_none()).cloned());

@@ -77,14 +77,25 @@ impl ResolutionTrace {
 
     /// Number of queries sent.
     pub fn query_count(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s, TraceStep::Query { .. })).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, TraceStep::Query { .. }))
+            .count()
     }
 
     /// Number of timeouts observed.
     pub fn timeout_count(&self) -> usize {
         self.steps
             .iter()
-            .filter(|s| matches!(s, TraceStep::Query { event: QueryEvent::Timeout, .. }))
+            .filter(|s| {
+                matches!(
+                    s,
+                    TraceStep::Query {
+                        event: QueryEvent::Timeout,
+                        ..
+                    }
+                )
+            })
             .count()
     }
 
@@ -92,7 +103,15 @@ impl ResolutionTrace {
     pub fn lame_count(&self) -> usize {
         self.steps
             .iter()
-            .filter(|s| matches!(s, TraceStep::Query { event: QueryEvent::Lame, .. }))
+            .filter(|s| {
+                matches!(
+                    s,
+                    TraceStep::Query {
+                        event: QueryEvent::Lame,
+                        ..
+                    }
+                )
+            })
             .count()
     }
 
@@ -119,7 +138,12 @@ impl ResolutionTrace {
         let mut indent = 0usize;
         for step in &self.steps {
             match step {
-                TraceStep::Query { server, addr, qname, event } => {
+                TraceStep::Query {
+                    server,
+                    addr,
+                    qname,
+                    event,
+                } => {
                     out.push_str(&"  ".repeat(indent));
                     out.push_str(&format!("{qname} @ {server} ({addr}): {event:?}\n"));
                 }
@@ -158,9 +182,14 @@ mod tests {
         let trace = ResolutionTrace {
             steps: vec![
                 q("a.root", "www.x.com", QueryEvent::Referral),
-                TraceStep::SubResolutionStart { ns_name: name("ns.y.net") },
+                TraceStep::SubResolutionStart {
+                    ns_name: name("ns.y.net"),
+                },
                 q("b.gtld", "ns.y.net", QueryEvent::Answer),
-                TraceStep::SubResolutionEnd { ns_name: name("ns.y.net"), ok: true },
+                TraceStep::SubResolutionEnd {
+                    ns_name: name("ns.y.net"),
+                    ok: true,
+                },
                 q("b.gtld", "www.x.com", QueryEvent::Timeout),
                 q("a.root", "www.x.com", QueryEvent::Lame),
             ],
@@ -168,7 +197,10 @@ mod tests {
         assert_eq!(trace.query_count(), 4);
         assert_eq!(trace.timeout_count(), 1);
         assert_eq!(trace.lame_count(), 1);
-        assert_eq!(trace.servers_contacted(), vec![name("a.root"), name("b.gtld")]);
+        assert_eq!(
+            trace.servers_contacted(),
+            vec![name("a.root"), name("b.gtld")]
+        );
         assert_eq!(trace.max_subresolution_depth(), 1);
         let text = trace.render();
         assert!(text.contains("glueless"));
@@ -179,10 +211,20 @@ mod tests {
     fn nested_depth() {
         let trace = ResolutionTrace {
             steps: vec![
-                TraceStep::SubResolutionStart { ns_name: name("a.x") },
-                TraceStep::SubResolutionStart { ns_name: name("b.y") },
-                TraceStep::SubResolutionEnd { ns_name: name("b.y"), ok: false },
-                TraceStep::SubResolutionEnd { ns_name: name("a.x"), ok: true },
+                TraceStep::SubResolutionStart {
+                    ns_name: name("a.x"),
+                },
+                TraceStep::SubResolutionStart {
+                    ns_name: name("b.y"),
+                },
+                TraceStep::SubResolutionEnd {
+                    ns_name: name("b.y"),
+                    ok: false,
+                },
+                TraceStep::SubResolutionEnd {
+                    ns_name: name("a.x"),
+                    ok: true,
+                },
             ],
         };
         assert_eq!(trace.max_subresolution_depth(), 2);

@@ -7,16 +7,19 @@ use perils_authserver::scenarios::{cornell_figure1, Scenario};
 use perils_dns::name::name;
 use perils_dns::rr::RrType;
 use perils_netsim::{FaultPlan, Region, SimNet};
-use perils_resolver::{ChainProber, IterativeResolver, ResolverConfig};
 use perils_resolver::iterative::ResolveError;
+use perils_resolver::{ChainProber, IterativeResolver, ResolverConfig};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 fn setup(scenario: &Scenario, faults: FaultPlan, seed: u64) -> (Arc<SimNet>, IterativeResolver) {
     let net = Arc::new(SimNet::new(seed, faults, Region(0)));
     deploy(&net, &scenario.registry, &scenario.specs).expect("deploys");
-    let resolver =
-        IterativeResolver::new(net.clone(), scenario.roots.clone(), ResolverConfig::default());
+    let resolver = IterativeResolver::new(
+        net.clone(),
+        scenario.roots.clone(),
+        ResolverConfig::default(),
+    );
     (net, resolver)
 }
 
@@ -24,8 +27,13 @@ fn setup(scenario: &Scenario, faults: FaultPlan, seed: u64) -> (Arc<SimNet>, Ite
 fn resolves_www_cs_cornell_edu() {
     let scenario = cornell_figure1();
     let (_net, resolver) = setup(&scenario, FaultPlan::none(), 1);
-    let resolution = resolver.resolve(&name("www.cs.cornell.edu"), RrType::A).expect("resolves");
-    assert_eq!(resolution.v4_addresses(), vec!["3.0.0.88".parse::<Ipv4Addr>().unwrap()]);
+    let resolution = resolver
+        .resolve(&name("www.cs.cornell.edu"), RrType::A)
+        .expect("resolves");
+    assert_eq!(
+        resolution.v4_addresses(),
+        vec!["3.0.0.88".parse::<Ipv4Addr>().unwrap()]
+    );
     // The walk passes root → edu → cornell.edu → cs.cornell.edu.
     let servers = resolution.trace.servers_contacted();
     assert!(servers.contains(&name("a.root-servers.net")));
@@ -44,10 +52,18 @@ fn failover_uses_offsite_glueless_secondary() {
     // fail over to cayuga.cs.rochester.edu, whose address requires a
     // sub-resolution through the rochester.edu chain.
     net.with_faults(|f| f.kill("3.0.0.2".parse().unwrap()));
-    let resolution = resolver.resolve(&name("www.cs.cornell.edu"), RrType::A).expect("fails over");
-    assert_eq!(resolution.v4_addresses(), vec!["3.0.0.88".parse::<Ipv4Addr>().unwrap()]);
+    let resolution = resolver
+        .resolve(&name("www.cs.cornell.edu"), RrType::A)
+        .expect("fails over");
+    assert_eq!(
+        resolution.v4_addresses(),
+        vec!["3.0.0.88".parse::<Ipv4Addr>().unwrap()]
+    );
     let servers = resolution.trace.servers_contacted();
-    assert!(servers.contains(&name("cayuga.cs.rochester.edu")), "{servers:?}");
+    assert!(
+        servers.contains(&name("cayuga.cs.rochester.edu")),
+        "{servers:?}"
+    );
     assert!(
         resolution.trace.max_subresolution_depth() >= 1,
         "glueless cayuga requires a sub-resolution"
@@ -68,7 +84,9 @@ fn transitive_failure_blocks_resolution() {
         f.kill("3.0.0.2".parse().unwrap()); // simon.cs.cornell.edu
         f.kill("4.0.0.1".parse().unwrap()); // ns1.rochester.edu
     });
-    let err = resolver.resolve(&name("www.cs.cornell.edu"), RrType::A).unwrap_err();
+    let err = resolver
+        .resolve(&name("www.cs.cornell.edu"), RrType::A)
+        .unwrap_err();
     assert!(
         matches!(err, ResolveError::Unreachable(_)),
         "expected unreachable, got {err:?}"
@@ -79,19 +97,28 @@ fn transitive_failure_blocks_resolution() {
 fn cname_chase() {
     let scenario = cornell_figure1();
     let (_net, resolver) = setup(&scenario, FaultPlan::none(), 4);
-    let resolution = resolver.resolve(&name("web.cs.cornell.edu"), RrType::A).expect("resolves");
+    let resolution = resolver
+        .resolve(&name("web.cs.cornell.edu"), RrType::A)
+        .expect("resolves");
     assert_eq!(resolution.records.len(), 2, "CNAME + A");
     assert_eq!(resolution.records[0].rtype, RrType::Cname);
-    assert_eq!(resolution.v4_addresses(), vec!["3.0.0.88".parse::<Ipv4Addr>().unwrap()]);
+    assert_eq!(
+        resolution.v4_addresses(),
+        vec!["3.0.0.88".parse::<Ipv4Addr>().unwrap()]
+    );
 }
 
 #[test]
 fn nxdomain_and_nodata() {
     let scenario = cornell_figure1();
     let (_net, resolver) = setup(&scenario, FaultPlan::none(), 5);
-    let err = resolver.resolve(&name("nonexistent.cs.cornell.edu"), RrType::A).unwrap_err();
+    let err = resolver
+        .resolve(&name("nonexistent.cs.cornell.edu"), RrType::A)
+        .unwrap_err();
     assert!(matches!(err, ResolveError::NxDomain(_)), "{err:?}");
-    let err = resolver.resolve(&name("www.cs.cornell.edu"), RrType::Mx).unwrap_err();
+    let err = resolver
+        .resolve(&name("www.cs.cornell.edu"), RrType::Mx)
+        .unwrap_err();
     assert!(matches!(err, ResolveError::NoData(_)), "{err:?}");
 }
 
@@ -99,9 +126,13 @@ fn nxdomain_and_nodata() {
 fn cache_eliminates_repeat_queries() {
     let scenario = cornell_figure1();
     let (net, resolver) = setup(&scenario, FaultPlan::none(), 6);
-    let first = resolver.resolve(&name("www.cs.cornell.edu"), RrType::A).unwrap();
+    let first = resolver
+        .resolve(&name("www.cs.cornell.edu"), RrType::A)
+        .unwrap();
     let baseline = net.stats().queries;
-    let second = resolver.resolve(&name("www.cs.cornell.edu"), RrType::A).unwrap();
+    let second = resolver
+        .resolve(&name("www.cs.cornell.edu"), RrType::A)
+        .unwrap();
     assert_eq!(net.stats().queries, baseline, "answer served from cache");
     assert_eq!(second.queries, 0);
     assert_eq!(second.v4_addresses(), first.v4_addresses());
@@ -110,7 +141,11 @@ fn cache_eliminates_repeat_queries() {
 #[test]
 fn survives_packet_loss() {
     let scenario = cornell_figure1();
-    let net = Arc::new(SimNet::new(7, FaultPlan::with_drop_probability(0.2), Region(0)));
+    let net = Arc::new(SimNet::new(
+        7,
+        FaultPlan::with_drop_probability(0.2),
+        Region(0),
+    ));
     deploy(&net, &scenario.registry, &scenario.specs).unwrap();
     // Several zones on the chain have a single NS, so per-exchange retries
     // carry the burden; 4 retries at 20% bidirectional loss gives ~98%
@@ -118,12 +153,18 @@ fn survives_packet_loss() {
     let resolver = IterativeResolver::new(
         net,
         scenario.roots.clone(),
-        ResolverConfig { retries: 4, ..ResolverConfig::default() },
+        ResolverConfig {
+            retries: 4,
+            ..ResolverConfig::default()
+        },
     );
     let mut successes = 0;
     for _ in 0..10 {
         resolver.flush_cache();
-        if resolver.resolve(&name("www.cs.cornell.edu"), RrType::A).is_ok() {
+        if resolver
+            .resolve(&name("www.cs.cornell.edu"), RrType::A)
+            .is_ok()
+        {
             successes += 1;
         }
     }
@@ -136,7 +177,10 @@ fn deterministic_given_seed() {
     let run = |seed: u64| {
         let (net, resolver) = setup(&scenario, FaultPlan::with_drop_probability(0.2), seed);
         let outcome = resolver.resolve(&name("www.cs.cornell.edu"), RrType::A);
-        (outcome.map(|r| (r.queries, r.total_rtt_ms)).ok(), net.stats())
+        (
+            outcome.map(|r| (r.queries, r.total_rtt_ms)).ok(),
+            net.stats(),
+        )
     };
     assert_eq!(run(42), run(42));
 }
@@ -149,11 +193,19 @@ fn budget_exhaustion_is_reported() {
     let resolver = IterativeResolver::new(
         net,
         scenario.roots.clone(),
-        ResolverConfig { query_budget: 2, ..ResolverConfig::default() },
+        ResolverConfig {
+            query_budget: 2,
+            ..ResolverConfig::default()
+        },
     );
-    let err = resolver.resolve(&name("www.cs.cornell.edu"), RrType::A).unwrap_err();
+    let err = resolver
+        .resolve(&name("www.cs.cornell.edu"), RrType::A)
+        .unwrap_err();
     assert!(
-        matches!(err, ResolveError::BudgetExhausted | ResolveError::Unreachable(_)),
+        matches!(
+            err,
+            ResolveError::BudgetExhausted | ResolveError::Unreachable(_)
+        ),
         "{err:?}"
     );
 }
@@ -166,8 +218,19 @@ fn prober_discovers_full_closure() {
     let report = prober.discover(&name("www.cs.cornell.edu"));
 
     // Zone cuts on some chain of the closure.
-    for cut in ["edu", "cornell.edu", "cs.cornell.edu", "rochester.edu", "cs.rochester.edu", "wisc.edu"] {
-        assert!(report.zone_ns.contains_key(&name(cut)), "missing cut {cut}: {:?}", report.zone_ns.keys().collect::<Vec<_>>());
+    for cut in [
+        "edu",
+        "cornell.edu",
+        "cs.cornell.edu",
+        "rochester.edu",
+        "cs.rochester.edu",
+        "wisc.edu",
+    ] {
+        assert!(
+            report.zone_ns.contains_key(&name(cut)),
+            "missing cut {cut}: {:?}",
+            report.zone_ns.keys().collect::<Vec<_>>()
+        );
     }
     // The full NS *sets* are recorded, not just the contacted servers: the
     // cs.cornell.edu set includes the off-site cayuga even though simon
@@ -178,7 +241,11 @@ fn prober_discovers_full_closure() {
 
     // Transitive reach: umich servers are in the closure (cornell →
     // rochester → wisc → umich), as the paper's Figure 1 shows.
-    assert!(report.servers.contains(&name("dns2.itd.umich.edu")), "{:?}", report.servers);
+    assert!(
+        report.servers.contains(&name("dns2.itd.umich.edu")),
+        "{:?}",
+        report.servers
+    );
     assert!(report.servers.contains(&name("dns.cs.wisc.edu")));
 
     // Banners were collected for discovered servers.
@@ -203,7 +270,10 @@ fn prober_discovers_full_closure() {
         .collect();
     assert!(vulnerable.contains(&"cayuga.cs.rochester.edu".to_string()));
     assert!(vulnerable.contains(&"dns.cs.wisc.edu".to_string()));
-    assert!(vulnerable.contains(&"slate.cs.rochester.edu".to_string()), "9.2.1 has the rdataset DoS");
+    assert!(
+        vulnerable.contains(&"slate.cs.rochester.edu".to_string()),
+        "9.2.1 has the rdataset DoS"
+    );
     assert!(!vulnerable.contains(&"cudns.cit.cornell.edu".to_string()));
 }
 

@@ -1,4 +1,5 @@
-//! Regenerates every figure of the paper from a seeded synthetic survey.
+//! Regenerates every figure of the paper from a seeded synthetic survey,
+//! running the full extended metric set through the analysis engine.
 //!
 //! ```text
 //! cargo run --release -p perils-survey --bin figures [-- --scale tiny|default|paper]
@@ -9,13 +10,18 @@
 //! source) and, with `--csv`, writes one CSV per figure for external
 //! plotting.
 
-use perils_survey::driver::{run_survey, SurveyConfig};
+use perils_core::metric::columns;
+use perils_core::misconfig::{
+    FLAG_DEEP_DEPENDENCY, FLAG_SINGLE_OPERATOR, FLAG_SINGLE_SERVER, FLAG_UNRESOLVABLE_NS,
+};
+use perils_survey::driver::SurveyConfig;
+use perils_survey::engine::{Engine, SyntheticSource};
 use perils_survey::figures;
 use std::io::Write;
 
 fn main() {
     let mut scale = "default".to_string();
-    let mut seed = 2004_07_22u64;
+    let mut seed = 20040722u64; // 2004-07-22, the paper's crawl date
     let mut csv_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,12 +51,21 @@ fn main() {
         }
     };
 
+    // The extended engine: the six classic measurements plus the
+    // misconfiguration and DNSSEC-coverage metrics, one sharded pass.
+    let engine = Engine::with_extended_metrics()
+        .threads(config.threads)
+        .exact_hijack_sample(config.exact_hijack_sample);
+    let source = SyntheticSource {
+        params: config.params.clone(),
+    };
     eprintln!(
-        "generating universe and running survey (scale={scale}, seed={seed}, names={})...",
-        config.params.names
+        "running metrics {:?} over {} (scale={scale})...",
+        engine.metric_ids(),
+        perils_survey::engine::WorldSource::describe(&source),
     );
     let started = std::time::Instant::now();
-    let report = run_survey(&config);
+    let report = engine.run(source);
     eprintln!(
         "survey complete in {:.1}s: {} names, {} zones, {} servers",
         started.elapsed().as_secs_f64(),
@@ -76,11 +91,17 @@ fn main() {
     println!("{}", f5.render());
     println!("{}", f6.render());
     println!("{}", f7.render());
-    println!("{}", f8.render("Figure 8 — Number of names controlled by nameservers"));
-    println!("{}", f9.render("Figure 9 — Names controlled by .edu and .org nameservers"));
+    println!(
+        "{}",
+        f8.render("Figure 8 — Number of names controlled by nameservers")
+    );
+    println!(
+        "{}",
+        f9.render("Figure 9 — Names controlled by .edu and .org nameservers")
+    );
     println!(
         "Name-control concentration (Gini over non-zero servers): {:.3}  (§3.3: \"disproportionate\")\n",
-        report.value.gini()
+        report.value().gini()
     );
 
     // Exact-vs-flattened ablation summary over the sampled names.
@@ -88,9 +109,9 @@ fn main() {
         let mut agree = 0usize;
         let mut exact_smaller = 0usize;
         for &(i, exact_size, _) in &report.exact_sample {
-            if report.cut_size[i] == exact_size {
+            if report.cut_size()[i] == exact_size {
                 agree += 1;
-            } else if exact_size < report.cut_size[i] {
+            } else if exact_size < report.cut_size()[i] {
                 exact_smaller += 1;
             }
         }
@@ -102,44 +123,29 @@ fn main() {
         );
     }
 
-    // Extensions: §5 DNSSEC argument + configuration audit.
+    // Extension metrics, straight out of the engine's columnar report.
     {
-        use perils_core::closure::DependencyIndex;
-        use perils_core::dnssec::{dnssec_impact, DnssecDeployment};
-        use perils_core::misconfig::audit_zones;
-        let universe = &report.world.universe;
-        let index = DependencyIndex::build(universe);
-        let owned: std::collections::BTreeSet<_> = universe
-            .server_ids()
-            .filter(|&s| {
-                let e = universe.server(s);
-                e.scripted_exploit && !e.is_root
-            })
-            .collect();
-        let sample: Vec<_> =
-            report.world.names.iter().take(2000).map(|n| n.name.clone()).collect();
-        let unsigned =
-            dnssec_impact(universe, &index, &DnssecDeployment::none(), &sample, &owned);
-        let signed = dnssec_impact(
-            universe,
-            &index,
-            &DnssecDeployment::universal(universe),
-            &sample,
-            &owned,
-        );
+        let n = report.world.names.len().max(1);
+        let flags = report.counts(columns::MISCONFIG_FLAGS);
+        let depth = report.counts(columns::MISCONFIG_DEPTH);
+        let count_flag = |bit: usize| flags.iter().filter(|&&f| f & bit != 0).count();
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
         println!(
-            "DNSSEC (§5, attacker = all scripted-vulnerable servers, {} sampled names):\n               unsigned world: {} forgeable, {} deniable\n               universal DNSSEC: {} forgeable, {} deniable  — integrity protected, availability not\n",
-            unsigned.names, unsigned.forgeable, unsigned.deniable, signed.forgeable, signed.deniable
+            "Misconfiguration metric (Pappas et al. checks, per surveyed name):\n               single-server zone {} | single-operator redundancy {} | unresolvable NS {} |\n               deep glueless nesting {} (max observed depth {max_depth})\n",
+            count_flag(FLAG_SINGLE_SERVER),
+            count_flag(FLAG_SINGLE_OPERATOR),
+            count_flag(FLAG_UNRESOLVABLE_NS),
+            count_flag(FLAG_DEEP_DEPENDENCY),
         );
-        let audit = audit_zones(universe);
-        use perils_core::misconfig::Finding;
+
+        let fraction = report.floats(columns::DNSSEC_SIGNED_FRACTION);
+        let protected = report.counts(columns::DNSSEC_CHAIN_PROTECTED);
+        let mean_fraction = fraction.iter().sum::<f64>() / n as f64;
         println!(
-            "Configuration audit (Pappas et al. checks over {} zones): single-server {} |              single-operator redundancy {} | unresolvable NS {} | unbootstrappable {}\n",
-            universe.zone_count(),
-            audit.count_of(|f| matches!(f, Finding::SingleServer { .. })),
-            audit.count_of(|f| matches!(f, Finding::SingleOperator { .. })),
-            audit.count_of(|f| matches!(f, Finding::UnresolvableNs { .. })),
-            audit.count_of(|f| matches!(f, Finding::Unbootstrappable { .. })),
+            "DNSSEC coverage metric (root+TLD \"islands of security\" rollout):\n               mean signed fraction of TCB zones {:.1}% | chain-protected names {} of {}\n               (§5: signing shrinks the forgeable surface; the closure — the deniable surface — is unchanged)\n",
+            100.0 * mean_fraction,
+            protected.iter().filter(|&&p| p > 0).count(),
+            report.world.names.len(),
         );
     }
 

@@ -1,18 +1,20 @@
-//! The survey driver: resolve every crawled name's dependency structure
-//! and accumulate the per-name statistics all figures are computed from.
+//! The legacy survey entry point, now a thin wrapper over the pluggable
+//! [`engine`](crate::engine).
 //!
-//! The heavy loop (closure + TCB stats + min-cut per name) is sharded
-//! across threads with `crossbeam` scoped threads; every shard works on an
-//! immutable universe and writes into its own slice, so the result is
-//! deterministic regardless of thread count.
+//! [`run_survey`] configures an [`Engine`] with the six seed measurements
+//! (TCB statistics, flattened min-cut, value ranking) and runs it over a
+//! [`SyntheticSource`]. The engine keeps the seed driver's execution model
+//! — crossbeam-sharded contiguous name ranges, closure computed once per
+//! name, deterministic merge — so results are byte-identical to the
+//! original hardwired loop at any thread count. Register additional
+//! [`perils_core::NameMetric`]s through [`Engine`] directly when you need
+//! more than the classic six columns.
 
+use crate::engine::{Engine, SyntheticSource};
 use crate::params::TopologyParams;
-use crate::topology::SyntheticWorld;
-use perils_core::closure::DependencyIndex;
-use perils_core::hijack::{min_cut_flattened, min_hijack_exact};
-use perils_core::tcb::TcbStats;
-use perils_core::value::ValueIndex;
 use std::num::NonZeroUsize;
+
+pub use crate::engine::SurveyReport;
 
 /// Survey configuration.
 #[derive(Debug, Clone)]
@@ -54,149 +56,20 @@ impl SurveyConfig {
             threads: None,
         }
     }
-}
 
-/// Per-name survey measurements, in `world.names` order.
-#[derive(Debug)]
-pub struct SurveyReport {
-    /// The surveyed world (universe + names + metadata).
-    pub world: SyntheticWorld,
-    /// TCB size per name (root servers excluded).
-    pub tcb_sizes: Vec<usize>,
-    /// Nameowner-administered TCB members per name.
-    pub nameowner: Vec<usize>,
-    /// Vulnerable TCB members per name.
-    pub vulnerable_in_tcb: Vec<usize>,
-    /// Percent of TCB with no known vulnerability, per name.
-    pub safety_percent: Vec<f64>,
-    /// Flattened min-cut size per name (0: uncuttable / root-served).
-    pub cut_size: Vec<usize>,
-    /// Non-vulnerable members of the min-cut per name.
-    pub safe_in_cut: Vec<usize>,
-    /// Names-controlled accumulator over all surveyed names.
-    pub value: ValueIndex,
-    /// `(name index, exact size, exact safe members)` for the sampled
-    /// exact hijack runs.
-    pub exact_sample: Vec<(usize, usize, usize)>,
-}
-
-impl SurveyReport {
-    /// Indices of the top-500 popular names (forwarded from the world).
-    pub fn top500(&self) -> &[usize] {
-        &self.world.top500
-    }
-
-    /// Selects per-name values for the top-500 subset.
-    pub fn top500_of<'a, T: Copy>(&self, values: &'a [T]) -> Vec<T> {
-        self.world.top500.iter().map(|&i| values[i]).collect()
+    /// The engine this configuration describes (built-in metrics only).
+    pub fn engine(&self) -> Engine {
+        Engine::with_builtin_metrics()
+            .threads(self.threads)
+            .exact_hijack_sample(self.exact_hijack_sample)
     }
 }
 
-/// Runs the full survey described by `config`.
+/// Runs the full survey described by `config` through the engine.
 pub fn run_survey(config: &SurveyConfig) -> SurveyReport {
-    let world = SyntheticWorld::generate(&config.params);
-    let index = DependencyIndex::build(&world.universe);
-    let n = world.names.len();
-
-    let threads = config
-        .threads
-        .map(NonZeroUsize::get)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
-        })
-        .clamp(1, 16);
-
-    let mut tcb_sizes = vec![0usize; n];
-    let mut nameowner = vec![0usize; n];
-    let mut vulnerable_in_tcb = vec![0usize; n];
-    let mut safety_percent = vec![0f64; n];
-    let mut cut_size = vec![0usize; n];
-    let mut safe_in_cut = vec![0usize; n];
-
-    // Shard the per-name loop: each worker owns disjoint slices.
-    let chunk = n.div_ceil(threads).max(1);
-    let universe = &world.universe;
-    let names = &world.names;
-    let index_ref = &index;
-
-    let mut value_shards: Vec<ValueIndex> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut rest = (
-            tcb_sizes.as_mut_slice(),
-            nameowner.as_mut_slice(),
-            vulnerable_in_tcb.as_mut_slice(),
-            safety_percent.as_mut_slice(),
-            cut_size.as_mut_slice(),
-            safe_in_cut.as_mut_slice(),
-        );
-        let mut start = 0usize;
-        while start < n {
-            let len = chunk.min(n - start);
-            let (tcb_s, tcb_rest) = rest.0.split_at_mut(len);
-            let (own_s, own_rest) = rest.1.split_at_mut(len);
-            let (vul_s, vul_rest) = rest.2.split_at_mut(len);
-            let (saf_s, saf_rest) = rest.3.split_at_mut(len);
-            let (cut_s, cut_rest) = rest.4.split_at_mut(len);
-            let (sic_s, sic_rest) = rest.5.split_at_mut(len);
-            rest = (tcb_rest, own_rest, vul_rest, saf_rest, cut_rest, sic_rest);
-            let range = start..start + len;
-            handles.push(scope.spawn(move |_| {
-                let mut local_value = ValueIndex::new(universe);
-                for (slot, i) in range.clone().enumerate() {
-                    let closure = index_ref.closure_for(universe, &names[i].name);
-                    let stats = TcbStats::compute(universe, &closure);
-                    tcb_s[slot] = stats.tcb_size;
-                    own_s[slot] = stats.nameowner_administered;
-                    vul_s[slot] = stats.vulnerable;
-                    saf_s[slot] = stats.safety_percent();
-                    match min_cut_flattened(universe, index_ref, &closure) {
-                        Some(cut) => {
-                            cut_s[slot] = cut.size();
-                            sic_s[slot] = cut.safe_members;
-                        }
-                        None => {
-                            cut_s[slot] = 0;
-                            sic_s[slot] = 0;
-                        }
-                    }
-                    local_value.record(universe, &closure);
-                }
-                local_value
-            }));
-            start += len;
-        }
-        for handle in handles {
-            value_shards.push(handle.join().expect("survey shard panicked"));
-        }
+    config.engine().run(SyntheticSource {
+        params: config.params.clone(),
     })
-    .expect("crossbeam scope");
-
-    let mut value = ValueIndex::new(&world.universe);
-    for shard in &value_shards {
-        value.merge(shard);
-    }
-
-    // Exact hijack sample (sequential; used by the ablation analysis).
-    let mut exact_sample = Vec::new();
-    for i in 0..config.exact_hijack_sample.min(n) {
-        let closure = index.closure_for(&world.universe, &world.names[i].name);
-        if let Some(exact) = min_hijack_exact(&world.universe, &closure) {
-            exact_sample.push((i, exact.size(), exact.safe_members));
-        }
-    }
-
-    SurveyReport {
-        world,
-        tcb_sizes,
-        nameowner,
-        vulnerable_in_tcb,
-        safety_percent,
-        cut_size,
-        safe_in_cut,
-        value,
-        exact_sample,
-    }
 }
 
 #[cfg(test)]
@@ -207,11 +80,11 @@ mod tests {
     fn tiny_survey_runs_and_is_deterministic() {
         let a = run_survey(&SurveyConfig::tiny(11));
         let b = run_survey(&SurveyConfig::tiny(11));
-        assert_eq!(a.tcb_sizes, b.tcb_sizes);
-        assert_eq!(a.cut_size, b.cut_size);
-        assert_eq!(a.safe_in_cut, b.safe_in_cut);
-        assert_eq!(a.value.names_seen(), b.value.names_seen());
-        assert!(!a.tcb_sizes.is_empty());
+        assert_eq!(a.tcb_sizes(), b.tcb_sizes());
+        assert_eq!(a.cut_size(), b.cut_size());
+        assert_eq!(a.safe_in_cut(), b.safe_in_cut());
+        assert_eq!(a.value().names_seen(), b.value().names_seen());
+        assert!(!a.tcb_sizes().is_empty());
     }
 
     #[test]
@@ -222,10 +95,10 @@ mod tests {
         four.threads = NonZeroUsize::new(4);
         let a = run_survey(&one);
         let b = run_survey(&four);
-        assert_eq!(a.tcb_sizes, b.tcb_sizes);
-        assert_eq!(a.safe_in_cut, b.safe_in_cut);
-        let ranking_a = a.value.ranking();
-        let ranking_b = b.value.ranking();
+        assert_eq!(a.tcb_sizes(), b.tcb_sizes());
+        assert_eq!(a.safe_in_cut(), b.safe_in_cut());
+        let ranking_a = a.value().ranking();
+        let ranking_b = b.value().ranking();
         assert_eq!(ranking_a, ranking_b);
     }
 
@@ -233,19 +106,19 @@ mod tests {
     fn per_name_vectors_align() {
         let report = run_survey(&SurveyConfig::tiny(17));
         let n = report.world.names.len();
-        assert_eq!(report.tcb_sizes.len(), n);
-        assert_eq!(report.nameowner.len(), n);
-        assert_eq!(report.vulnerable_in_tcb.len(), n);
-        assert_eq!(report.safety_percent.len(), n);
-        assert_eq!(report.cut_size.len(), n);
-        assert_eq!(report.safe_in_cut.len(), n);
-        assert_eq!(report.value.names_seen() as usize, n);
+        assert_eq!(report.tcb_sizes().len(), n);
+        assert_eq!(report.nameowner().len(), n);
+        assert_eq!(report.vulnerable_in_tcb().len(), n);
+        assert_eq!(report.safety_percent().len(), n);
+        assert_eq!(report.cut_size().len(), n);
+        assert_eq!(report.safe_in_cut().len(), n);
+        assert_eq!(report.value().names_seen() as usize, n);
         // Sanity: vulnerable members never exceed TCB size; safety is
         // consistent.
         for i in 0..n {
-            assert!(report.vulnerable_in_tcb[i] <= report.tcb_sizes[i]);
-            assert!(report.nameowner[i] <= report.tcb_sizes[i]);
-            assert!(report.safe_in_cut[i] <= report.cut_size[i]);
+            assert!(report.vulnerable_in_tcb()[i] <= report.tcb_sizes()[i]);
+            assert!(report.nameowner()[i] <= report.tcb_sizes()[i]);
+            assert!(report.safe_in_cut()[i] <= report.cut_size()[i]);
         }
     }
 
@@ -254,12 +127,12 @@ mod tests {
         let report = run_survey(&SurveyConfig::tiny(19));
         assert!(!report.exact_sample.is_empty());
         for &(i, exact_size, _) in &report.exact_sample {
-            if report.cut_size[i] > 0 {
+            if report.cut_size()[i] > 0 {
                 assert!(
-                    exact_size <= report.cut_size[i],
+                    exact_size <= report.cut_size()[i],
                     "exact {} > flattened {} for name {}",
                     exact_size,
-                    report.cut_size[i],
+                    report.cut_size()[i],
                     report.world.names[i].name
                 );
             }
@@ -269,7 +142,7 @@ mod tests {
     #[test]
     fn top500_helper() {
         let report = run_survey(&SurveyConfig::tiny(23));
-        let subset = report.top500_of(&report.tcb_sizes);
+        let subset = report.top500_of(report.tcb_sizes());
         assert_eq!(subset.len(), report.top500().len());
     }
 }

@@ -1,0 +1,528 @@
+//! The pluggable analysis engine: one sharded per-name measurement pass,
+//! any world, any set of [`NameMetric`]s.
+//!
+//! The seed hardwired six measurements into the survey driver's thread
+//! loop; this module owns the loop once. An [`Engine`] holds registered
+//! metrics, a [`WorldSource`] supplies the delegation universe plus the
+//! surveyed names — synthetic topologies, hand-built packet scenarios
+//! (fbi.gov, Figure 1) and wire-probed worlds all load through the same
+//! trait — and [`Engine::run`] shards the name loop across threads exactly
+//! as the seed driver did: each worker owns a contiguous name range,
+//! computes every name's dependency closure **once**, feeds it to every
+//! metric's shard accumulator, and the merge concatenates shards in range
+//! order, so results are deterministic and invariant in the thread count.
+//!
+//! The output is a columnar [`SurveyReport`] keyed by metric column id,
+//! with typed accessors for the classic figures' columns.
+
+use crate::params::TopologyParams;
+use crate::scenario::{universe_from_reports, universe_from_scenario};
+use crate::topology::{SurveyName, SyntheticWorld};
+use perils_authserver::scenarios::Scenario;
+use perils_core::closure::DependencyIndex;
+use perils_core::hijack::min_hijack_exact;
+use perils_core::metric::{columns, MeasureCtx, MetricColumn, MetricShard, NameMetric};
+use perils_core::universe::Universe;
+use perils_core::value::ValueIndex;
+use perils_core::{DnssecCoverageMetric, MinCutMetric, MisconfigMetric, TcbMetric, ValueMetric};
+use perils_dns::name::DnsName;
+use perils_resolver::DependencyReport;
+use std::collections::BTreeMap;
+use std::num::NonZeroUsize;
+
+/// A delegation universe plus the names surveyed over it — the common
+/// denominator every [`WorldSource`] produces and the engine consumes.
+#[derive(Debug)]
+pub struct AnalysisWorld {
+    /// The analysis universe.
+    pub universe: Universe,
+    /// The surveyed names, in survey order.
+    pub names: Vec<SurveyName>,
+    /// Indices into `names` of the most popular subset (may be empty for
+    /// scenario worlds, where popularity is meaningless).
+    pub top500: Vec<usize>,
+}
+
+impl AnalysisWorld {
+    /// Wraps a universe and plain target names (rank = survey order).
+    pub fn from_targets(universe: Universe, targets: Vec<DnsName>) -> AnalysisWorld {
+        let names = targets
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| SurveyName {
+                tld: name.tld().unwrap_or_else(DnsName::root),
+                popularity_rank: i,
+                name,
+            })
+            .collect();
+        AnalysisWorld {
+            universe,
+            names,
+            top500: Vec::new(),
+        }
+    }
+}
+
+/// Supplies an [`AnalysisWorld`] to the engine. Implemented by the
+/// synthetic generator, hand-built packet scenarios and wire-probed
+/// dependency reports, so every world kind runs through the same engine.
+pub trait WorldSource {
+    /// Human-readable description for diagnostics.
+    fn describe(&self) -> String;
+
+    /// Builds the world (consumes the source; generation can be costly and
+    /// the engine takes ownership of the result).
+    fn load(self) -> AnalysisWorld;
+}
+
+impl WorldSource for AnalysisWorld {
+    fn describe(&self) -> String {
+        format!("prebuilt world ({} names)", self.names.len())
+    }
+
+    fn load(self) -> AnalysisWorld {
+        self
+    }
+}
+
+/// Generates a synthetic world from [`TopologyParams`].
+#[derive(Debug, Clone)]
+pub struct SyntheticSource {
+    /// Generator parameters.
+    pub params: TopologyParams,
+}
+
+impl WorldSource for SyntheticSource {
+    fn describe(&self) -> String {
+        format!(
+            "synthetic world (seed {}, {} names)",
+            self.params.seed, self.params.names
+        )
+    }
+
+    fn load(self) -> AnalysisWorld {
+        SyntheticWorld::generate(&self.params).load()
+    }
+}
+
+impl WorldSource for SyntheticWorld {
+    fn describe(&self) -> String {
+        format!("generated world ({} names)", self.names.len())
+    }
+
+    fn load(self) -> AnalysisWorld {
+        AnalysisWorld {
+            universe: self.universe,
+            names: self.names,
+            top500: self.top500,
+        }
+    }
+}
+
+/// Builds the world structurally from a packet-level scenario's registry
+/// (ground-truth banners), surveying `targets`.
+pub struct ScenarioSource<'a> {
+    /// The hand-built scenario (fbi.gov, Figure 1, generated tiny worlds).
+    pub scenario: &'a Scenario,
+    /// The names to survey.
+    pub targets: Vec<DnsName>,
+}
+
+impl WorldSource for ScenarioSource<'_> {
+    fn describe(&self) -> String {
+        format!("scenario world ({} targets)", self.targets.len())
+    }
+
+    fn load(self) -> AnalysisWorld {
+        AnalysisWorld::from_targets(universe_from_scenario(self.scenario), self.targets)
+    }
+}
+
+/// Builds the world from wire-probed dependency reports (what the paper's
+/// measurement harness saw), surveying `targets`.
+pub struct ProbedSource<'a> {
+    /// One report per probed name.
+    pub reports: &'a [DependencyReport],
+    /// The root-server names (the prober cannot see past the hints).
+    pub roots: Vec<DnsName>,
+    /// The names to survey.
+    pub targets: Vec<DnsName>,
+}
+
+impl WorldSource for ProbedSource<'_> {
+    fn describe(&self) -> String {
+        format!("probed world ({} reports)", self.reports.len())
+    }
+
+    fn load(self) -> AnalysisWorld {
+        AnalysisWorld::from_targets(
+            universe_from_reports(self.reports, &self.roots),
+            self.targets,
+        )
+    }
+}
+
+/// Columnar survey results keyed by metric column id.
+#[derive(Debug)]
+pub struct SurveyReport {
+    /// The surveyed world.
+    pub world: AnalysisWorld,
+    columns: BTreeMap<String, MetricColumn>,
+    /// `(name index, exact size, exact safe members)` for the sampled
+    /// exact hijack runs (empty unless configured).
+    pub exact_sample: Vec<(usize, usize, usize)>,
+}
+
+impl SurveyReport {
+    /// The column for `id`, if a registered metric produced it.
+    pub fn column(&self, id: &str) -> Option<&MetricColumn> {
+        self.columns.get(id)
+    }
+
+    /// All column ids, sorted.
+    pub fn column_ids(&self) -> impl Iterator<Item = &str> {
+        self.columns.keys().map(String::as_str)
+    }
+
+    fn expect_column(&self, id: &str) -> &MetricColumn {
+        self.columns.get(id).unwrap_or_else(|| {
+            let available: Vec<&str> = self.column_ids().collect();
+            panic!("no metric produced column {id:?}; available: {available:?}")
+        })
+    }
+
+    /// Per-name counts column `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column is missing or not a counts column.
+    pub fn counts(&self, id: &str) -> &[usize] {
+        self.expect_column(id)
+            .as_counts()
+            .unwrap_or_else(|| panic!("column {id:?} is not a counts column"))
+    }
+
+    /// Per-name floats column `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column is missing or not a floats column.
+    pub fn floats(&self, id: &str) -> &[f64] {
+        self.expect_column(id)
+            .as_floats()
+            .unwrap_or_else(|| panic!("column {id:?} is not a floats column"))
+    }
+
+    /// TCB size per name (root servers excluded).
+    pub fn tcb_sizes(&self) -> &[usize] {
+        self.counts(columns::TCB_SIZE)
+    }
+
+    /// Nameowner-administered TCB members per name.
+    pub fn nameowner(&self) -> &[usize] {
+        self.counts(columns::NAMEOWNER)
+    }
+
+    /// Vulnerable TCB members per name.
+    pub fn vulnerable_in_tcb(&self) -> &[usize] {
+        self.counts(columns::VULNERABLE_IN_TCB)
+    }
+
+    /// Percent of TCB with no known vulnerability, per name.
+    pub fn safety_percent(&self) -> &[f64] {
+        self.floats(columns::SAFETY_PERCENT)
+    }
+
+    /// Flattened min-cut size per name (0: uncuttable / root-served).
+    pub fn cut_size(&self) -> &[usize] {
+        self.counts(columns::CUT_SIZE)
+    }
+
+    /// Non-vulnerable members of the min-cut per name.
+    pub fn safe_in_cut(&self) -> &[usize] {
+        self.counts(columns::SAFE_IN_CUT)
+    }
+
+    /// Names-controlled aggregate over all surveyed names.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no value metric was registered.
+    pub fn value(&self) -> &ValueIndex {
+        self.expect_column(columns::VALUE)
+            .as_value()
+            .unwrap_or_else(|| panic!("column {:?} is not a value column", columns::VALUE))
+    }
+
+    /// Indices of the top-500 popular names (forwarded from the world).
+    pub fn top500(&self) -> &[usize] {
+        &self.world.top500
+    }
+
+    /// Selects per-name values for the top-500 subset.
+    pub fn top500_of<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        self.world.top500.iter().map(|&i| values[i]).collect()
+    }
+}
+
+/// The survey engine: registered metrics plus execution knobs.
+pub struct Engine {
+    metrics: Vec<Box<dyn NameMetric>>,
+    threads: Option<NonZeroUsize>,
+    exact_hijack_sample: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with no metrics registered.
+    pub fn new() -> Engine {
+        Engine {
+            metrics: Vec::new(),
+            threads: None,
+            exact_hijack_sample: 0,
+        }
+    }
+
+    /// The six seed measurements: TCB statistics, flattened min-cut and
+    /// the names-controlled value ranking.
+    pub fn with_builtin_metrics() -> Engine {
+        Engine::new()
+            .register(TcbMetric)
+            .register(MinCutMetric)
+            .register(ValueMetric)
+    }
+
+    /// The built-ins plus the misconfiguration audit and DNSSEC-coverage
+    /// metrics (the extended workload set).
+    pub fn with_extended_metrics() -> Engine {
+        Engine::with_builtin_metrics()
+            .register(MisconfigMetric::default())
+            .register(DnssecCoverageMetric::top_level())
+    }
+
+    /// Registers a metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the metric's id or any of its column ids collides with
+    /// an already-registered metric.
+    pub fn register(mut self, metric: impl NameMetric + 'static) -> Engine {
+        for existing in &self.metrics {
+            assert_ne!(
+                existing.id(),
+                metric.id(),
+                "duplicate metric id {:?}",
+                metric.id()
+            );
+            for column in existing.columns() {
+                assert!(
+                    !metric.columns().contains(&column),
+                    "metric {:?} re-declares column {column:?} of {:?}",
+                    metric.id(),
+                    existing.id()
+                );
+            }
+        }
+        self.metrics.push(Box::new(metric));
+        self
+    }
+
+    /// Sets the worker thread count (`None`: available parallelism).
+    pub fn threads(mut self, threads: Option<NonZeroUsize>) -> Engine {
+        self.threads = threads;
+        self
+    }
+
+    /// Also runs the exact AND/OR hijack search on the first `n` names.
+    pub fn exact_hijack_sample(mut self, n: usize) -> Engine {
+        self.exact_hijack_sample = n;
+        self
+    }
+
+    /// Ids of the registered metrics, in registration order.
+    pub fn metric_ids(&self) -> Vec<&str> {
+        self.metrics.iter().map(|m| m.id()).collect()
+    }
+
+    /// Loads `source` and runs every registered metric over it.
+    pub fn run(&self, source: impl WorldSource) -> SurveyReport {
+        self.run_world(source.load())
+    }
+
+    /// Runs every registered metric over an already-built world.
+    pub fn run_world(&self, world: AnalysisWorld) -> SurveyReport {
+        let index = DependencyIndex::build(&world.universe);
+        let n = world.names.len();
+
+        let threads = self
+            .threads
+            .map(NonZeroUsize::get)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(4)
+            })
+            .clamp(1, 16);
+
+        // Shard the per-name loop: each worker owns one contiguous name
+        // range and its own accumulators; the closure is computed once per
+        // name and shared by every metric.
+        let chunk = n.div_ceil(threads).max(1);
+        let universe = &world.universe;
+        let names = &world.names;
+        let index_ref = &index;
+        let metrics = &self.metrics;
+
+        // Per-run metric precomputation, shared by every shard.
+        let prepared: Vec<_> = metrics.iter().map(|m| m.prepare(universe)).collect();
+        let prepared_ref = &prepared;
+
+        let mut worker_shards: Vec<Vec<Box<dyn MetricShard>>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0usize;
+            while start < n {
+                let len = chunk.min(n - start);
+                let range = start..start + len;
+                handles.push(scope.spawn(move |_| {
+                    let mut shards: Vec<Box<dyn MetricShard>> = metrics
+                        .iter()
+                        .zip(prepared_ref)
+                        .map(|(m, p)| m.shard(universe, len, p))
+                        .collect();
+                    for (slot, i) in range.enumerate() {
+                        let closure = index_ref.closure_for(universe, &names[i].name);
+                        let ctx = MeasureCtx {
+                            universe,
+                            index: index_ref,
+                            name: &names[i].name,
+                            name_index: i,
+                            closure: &closure,
+                        };
+                        for shard in &mut shards {
+                            shard.measure(&ctx, slot);
+                        }
+                    }
+                    shards
+                }));
+                start += len;
+            }
+            for handle in handles {
+                worker_shards.push(handle.join().expect("survey shard panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+
+        // Transpose worker-major into metric-major, preserving range order,
+        // and merge.
+        let mut per_metric: Vec<Vec<Box<dyn MetricShard>>> =
+            (0..self.metrics.len()).map(|_| Vec::new()).collect();
+        for worker in worker_shards {
+            for (k, shard) in worker.into_iter().enumerate() {
+                per_metric[k].push(shard);
+            }
+        }
+        let mut merged: BTreeMap<String, MetricColumn> = BTreeMap::new();
+        for (metric, shards) in self.metrics.iter().zip(per_metric) {
+            for (id, column) in metric.merge(universe, shards) {
+                if let Some(len) = column.len() {
+                    assert_eq!(
+                        len,
+                        n,
+                        "metric {:?} column {id:?} has wrong length",
+                        metric.id()
+                    );
+                }
+                assert!(
+                    merged.insert(id.clone(), column).is_none(),
+                    "duplicate metric column {id:?}"
+                );
+            }
+        }
+
+        // Exact hijack sample (sequential; used by the ablation analysis).
+        let mut exact_sample = Vec::new();
+        for i in 0..self.exact_hijack_sample.min(n) {
+            let closure = index.closure_for(&world.universe, &world.names[i].name);
+            if let Some(exact) = min_hijack_exact(&world.universe, &closure) {
+                exact_sample.push((i, exact.size(), exact.safe_members));
+            }
+        }
+
+        SurveyReport {
+            world,
+            columns: merged,
+            exact_sample,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perils_core::metric::columns;
+
+    fn tiny_engine() -> Engine {
+        Engine::with_extended_metrics()
+    }
+
+    #[test]
+    fn engine_runs_all_metrics_over_synthetic_source() {
+        let report = tiny_engine().run(SyntheticSource {
+            params: TopologyParams::tiny(41),
+        });
+        let n = report.world.names.len();
+        assert!(n > 0);
+        for id in [
+            columns::TCB_SIZE,
+            columns::NAMEOWNER,
+            columns::VULNERABLE_IN_TCB,
+            columns::CUT_SIZE,
+            columns::SAFE_IN_CUT,
+            columns::MISCONFIG_FLAGS,
+            columns::MISCONFIG_DEPTH,
+            columns::DNSSEC_CHAIN_PROTECTED,
+        ] {
+            assert_eq!(report.counts(id).len(), n, "{id}");
+        }
+        assert_eq!(report.floats(columns::SAFETY_PERCENT).len(), n);
+        assert_eq!(report.floats(columns::DNSSEC_SIGNED_FRACTION).len(), n);
+        assert_eq!(report.value().names_seen() as usize, n);
+    }
+
+    #[test]
+    fn engine_accepts_prebuilt_and_generated_worlds() {
+        let world = SyntheticWorld::generate(&TopologyParams::tiny(43));
+        let names = world.names.len();
+        let report = Engine::with_builtin_metrics().run(world);
+        assert_eq!(report.tcb_sizes().len(), names);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric id")]
+    fn duplicate_metric_rejected() {
+        let _ = Engine::with_builtin_metrics().register(perils_core::TcbMetric);
+    }
+
+    #[test]
+    #[should_panic(expected = "no metric produced column")]
+    fn missing_column_panics_with_listing() {
+        let report = Engine::new().run(SyntheticSource {
+            params: TopologyParams::tiny(47),
+        });
+        let _ = report.tcb_sizes();
+    }
+
+    #[test]
+    fn describe_names_the_source() {
+        let source = SyntheticSource {
+            params: TopologyParams::tiny(1),
+        };
+        assert!(source.describe().contains("seed 1"));
+    }
+}

@@ -5,7 +5,7 @@
 //! method producing the aligned-text table and a `to_csv()` for external
 //! plotting. EXPERIMENTS.md records paper-vs-measured for each of these.
 
-use crate::driver::SurveyReport;
+use crate::engine::SurveyReport;
 use crate::topology::GTLDS;
 use perils_dns::name::{name, DnsName};
 use perils_util::stats::{Cdf, RankCurve, Summary};
@@ -30,13 +30,13 @@ pub struct Fig2 {
 
 /// Computes Figure 2.
 pub fn fig2(report: &SurveyReport) -> Fig2 {
-    let all_cdf = Cdf::of_counts(&report.tcb_sizes);
-    let top500_sizes = report.top500_of(&report.tcb_sizes);
+    let all_cdf = Cdf::of_counts(report.tcb_sizes());
+    let top500_sizes = report.top500_of(report.tcb_sizes());
     let top_cdf = Cdf::of_counts(&top500_sizes);
     Fig2 {
         all_points: all_cdf.plot_points(64),
         top500_points: top_cdf.plot_points(64),
-        all: Summary::of_counts(&report.tcb_sizes),
+        all: Summary::of_counts(report.tcb_sizes()),
         top500: Summary::of_counts(&top500_sizes),
         frac_gt_200: all_cdf.fraction_above(200.0),
         top500_frac_gt_200: top_cdf.fraction_above(200.0),
@@ -46,11 +46,14 @@ pub fn fig2(report: &SurveyReport) -> Fig2 {
 impl Fig2 {
     /// Renders the figure as a table of CDF points plus the summary row.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["tcb size", "all names CDF", "top-500 CDF"])
-            .align(vec![Align::Right, Align::Right, Align::Right]);
-        let top_cdf = Cdf::of(&self.top500_points.iter().map(|&(x, _)| x).collect::<Vec<_>>());
-        let _ = top_cdf;
+        let mut t = Table::new(vec!["tcb size", "all names CDF", "top-500 CDF"]).align(vec![
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
         for &(x, pct) in &self.all_points {
+            // Step-function lookup: the top-500 CDF value at this x is the
+            // last plot point at or below it.
             let top_pct = self
                 .top500_points
                 .iter()
@@ -58,7 +61,11 @@ impl Fig2 {
                 .last()
                 .map(|&(_, p)| p)
                 .unwrap_or(0.0);
-            t.row(vec![format!("{x:.0}"), format!("{pct:.1}%"), format!("{top_pct:.1}%")]);
+            t.row(vec![
+                format!("{x:.0}"),
+                format!("{pct:.1}%"),
+                format!("{top_pct:.1}%"),
+            ]);
         }
         format!(
             "Figure 2 — Size of TCB (CDF)\n{}\nall: median {} mean {} | >200: {} ; top-500: mean {} | >200: {}\n",
@@ -103,7 +110,7 @@ fn tld_means(report: &SurveyReport, keep: impl Fn(&str) -> bool) -> Vec<TldBar> 
         if keep(&tld) {
             let entry = sums.entry(tld).or_insert((0, 0));
             entry.0 += 1;
-            entry.1 += report.tcb_sizes[i] as u64;
+            entry.1 += report.tcb_sizes()[i] as u64;
         }
     }
     sums.into_iter()
@@ -128,7 +135,12 @@ pub struct Fig3 {
 /// Computes Figure 3.
 pub fn fig3(report: &SurveyReport) -> Fig3 {
     let mut bars = tld_means(report, |tld| GTLDS.contains(&tld));
-    bars.sort_by_key(|bar| GTLDS.iter().position(|g| *g == bar.tld).unwrap_or(usize::MAX));
+    bars.sort_by_key(|bar| {
+        GTLDS
+            .iter()
+            .position(|g| *g == bar.tld)
+            .unwrap_or(usize::MAX)
+    });
     let group_mean = if bars.is_empty() {
         0.0
     } else {
@@ -140,10 +152,17 @@ pub fn fig3(report: &SurveyReport) -> Fig3 {
 impl Fig3 {
     /// Renders the bar table.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["gTLD", "names", "mean TCB"])
-            .align(vec![Align::Left, Align::Right, Align::Right]);
+        let mut t = Table::new(vec!["gTLD", "names", "mean TCB"]).align(vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+        ]);
         for bar in &self.bars {
-            t.row(vec![bar.tld.clone(), bar.names.to_string(), fmt_f64(bar.mean_tcb, 1)]);
+            t.row(vec![
+                bar.tld.clone(),
+                bar.names.to_string(),
+                fmt_f64(bar.mean_tcb, 1),
+            ]);
         }
         format!(
             "Figure 3 — Average TCB size for gTLD names\n{}\ngroup mean: {}\n",
@@ -156,7 +175,11 @@ impl Fig3 {
     pub fn to_csv(&self) -> String {
         let mut t = Table::new(vec!["tld", "names", "mean_tcb"]);
         for bar in &self.bars {
-            t.row(vec![bar.tld.clone(), bar.names.to_string(), format!("{}", bar.mean_tcb)]);
+            t.row(vec![
+                bar.tld.clone(),
+                bar.names.to_string(),
+                format!("{}", bar.mean_tcb),
+            ]);
         }
         t.render_csv()
     }
@@ -187,10 +210,17 @@ pub fn fig4(report: &SurveyReport) -> Fig4 {
 impl Fig4 {
     /// Renders the bar table.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["ccTLD", "names", "mean TCB"])
-            .align(vec![Align::Left, Align::Right, Align::Right]);
+        let mut t = Table::new(vec!["ccTLD", "names", "mean TCB"]).align(vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+        ]);
         for bar in &self.bars {
-            t.row(vec![bar.tld.clone(), bar.names.to_string(), fmt_f64(bar.mean_tcb, 1)]);
+            t.row(vec![
+                bar.tld.clone(),
+                bar.names.to_string(),
+                fmt_f64(bar.mean_tcb, 1),
+            ]);
         }
         format!(
             "Figure 4 — Average TCB size for the 15 most vulnerable ccTLDs\n{}\nccTLD group mean: {}\n",
@@ -203,7 +233,11 @@ impl Fig4 {
     pub fn to_csv(&self) -> String {
         let mut t = Table::new(vec!["tld", "names", "mean_tcb"]);
         for bar in &self.bars {
-            t.row(vec![bar.tld.clone(), bar.names.to_string(), format!("{}", bar.mean_tcb)]);
+            t.row(vec![
+                bar.tld.clone(),
+                bar.names.to_string(),
+                format!("{}", bar.mean_tcb),
+            ]);
         }
         t.render_csv()
     }
@@ -226,14 +260,14 @@ pub struct Fig5 {
 
 /// Computes Figure 5.
 pub fn fig5(report: &SurveyReport) -> Fig5 {
-    let cdf = Cdf::of_counts(&report.vulnerable_in_tcb);
-    let top = report.top500_of(&report.vulnerable_in_tcb);
+    let cdf = Cdf::of_counts(report.vulnerable_in_tcb());
+    let top = report.top500_of(report.vulnerable_in_tcb());
     let top_cdf = Cdf::of_counts(&top);
     Fig5 {
         all_points: cdf.plot_points(64),
         top500_points: top_cdf.plot_points(64),
         frac_with_vulnerable: cdf.fraction_above(0.0),
-        mean_vulnerable: Summary::of_counts(&report.vulnerable_in_tcb).mean,
+        mean_vulnerable: Summary::of_counts(report.vulnerable_in_tcb()).mean,
         top500_mean_vulnerable: Summary::of_counts(&top).mean,
     }
 }
@@ -282,7 +316,7 @@ pub struct Fig6 {
 pub fn fig6(report: &SurveyReport) -> Fig6 {
     // RankCurve sorts descending; we want ascending safety, so rank by
     // (100 - safety).
-    let danger: Vec<f64> = report.safety_percent.iter().map(|&s| 100.0 - s).collect();
+    let danger: Vec<f64> = report.safety_percent().iter().map(|&s| 100.0 - s).collect();
     let curve = RankCurve::of(&danger);
     let points = curve
         .log_points(8)
@@ -291,7 +325,11 @@ pub fn fig6(report: &SurveyReport) -> Fig6 {
         .collect();
     Fig6 {
         points,
-        fully_vulnerable_names: report.safety_percent.iter().filter(|&&s| s <= 0.0).count(),
+        fully_vulnerable_names: report
+            .safety_percent()
+            .iter()
+            .filter(|&&s| s <= 0.0)
+            .count(),
     }
 }
 
@@ -339,20 +377,24 @@ pub struct Fig7 {
 /// Computes Figure 7.
 pub fn fig7(report: &SurveyReport) -> Fig7 {
     let cuttable: Vec<usize> = report
-        .cut_size
+        .cut_size()
         .iter()
-        .zip(&report.safe_in_cut)
+        .zip(report.safe_in_cut())
         .filter(|&(&size, _)| size > 0)
         .map(|(_, &safe)| safe)
         .collect();
-    let cut_sizes: Vec<usize> =
-        report.cut_size.iter().copied().filter(|&s| s > 0).collect();
+    let cut_sizes: Vec<usize> = report
+        .cut_size()
+        .iter()
+        .copied()
+        .filter(|&s| s > 0)
+        .collect();
     let cdf = Cdf::of_counts(&cuttable);
     let top: Vec<usize> = report
         .top500()
         .iter()
-        .filter(|&&i| report.cut_size[i] > 0)
-        .map(|&i| report.safe_in_cut[i])
+        .filter(|&&i| report.cut_size()[i] > 0)
+        .map(|&i| report.safe_in_cut()[i])
         .collect();
     let top_cdf = Cdf::of_counts(&top);
     let n = cuttable.len().max(1) as f64;
@@ -413,20 +455,20 @@ pub struct RankFigure {
 /// Computes Figure 8 (all servers + vulnerable servers).
 pub fn fig8(report: &SurveyReport) -> RankFigure {
     let universe = &report.world.universe;
-    let all: Vec<u64> = report.value.ranking().iter().map(|&(_, c)| c).collect();
+    let all: Vec<u64> = report.value().ranking().iter().map(|&(_, c)| c).collect();
     let vulnerable: Vec<u64> = report
-        .value
+        .value()
         .ranking_where(universe, |s| s.vulnerable)
         .iter()
         .map(|&(_, c)| c)
         .collect();
-    let (mean, median) = report.value.mean_median();
+    let (mean, median) = report.value().mean_median();
     RankFigure {
         series: vec![
             ("all".to_string(), curve_points(&all)),
             ("vulnerable".to_string(), curve_points(&vulnerable)),
         ],
-        controlling_10pct: report.value.servers_controlling_more_than(0.10),
+        controlling_10pct: report.value().servers_controlling_more_than(0.10),
         mean,
         median,
     }
@@ -435,17 +477,25 @@ pub fn fig8(report: &SurveyReport) -> RankFigure {
 /// Computes Figure 9 (`.edu` and `.org` servers).
 pub fn fig9(report: &SurveyReport) -> RankFigure {
     let universe = &report.world.universe;
-    let edu: Vec<u64> =
-        report.value.ranking_in_tld(universe, &name("edu")).iter().map(|&(_, c)| c).collect();
-    let org: Vec<u64> =
-        report.value.ranking_in_tld(universe, &name("org")).iter().map(|&(_, c)| c).collect();
-    let (mean, median) = report.value.mean_median();
+    let edu: Vec<u64> = report
+        .value()
+        .ranking_in_tld(universe, &name("edu"))
+        .iter()
+        .map(|&(_, c)| c)
+        .collect();
+    let org: Vec<u64> = report
+        .value()
+        .ranking_in_tld(universe, &name("org"))
+        .iter()
+        .map(|&(_, c)| c)
+        .collect();
+    let (mean, median) = report.value().mean_median();
     RankFigure {
         series: vec![
             ("edu".to_string(), curve_points(&edu)),
             ("org".to_string(), curve_points(&org)),
         ],
-        controlling_10pct: report.value.servers_controlling_more_than(0.10),
+        controlling_10pct: report.value().servers_controlling_more_than(0.10),
         mean,
         median,
     }
@@ -527,25 +577,35 @@ pub struct Headline {
 /// Computes the headline statistics.
 pub fn headline(report: &SurveyReport) -> Headline {
     let universe = &report.world.universe;
-    let tlds: std::collections::BTreeSet<String> =
-        report.world.names.iter().map(|n| n.tld.to_string()).collect();
+    let tlds: std::collections::BTreeSet<String> = report
+        .world
+        .names
+        .iter()
+        .map(|n| n.tld.to_string())
+        .collect();
     let vulnerable_servers = universe
         .server_ids()
         .filter(|&s| universe.server(s).vulnerable && !universe.server(s).is_root)
         .count();
-    let servers = universe.server_ids().filter(|&s| !universe.server(s).is_root).count();
-    let names_with_vulnerable_dep =
-        report.vulnerable_in_tcb.iter().filter(|&&v| v > 0).count();
-    let cuttable = report.cut_size.iter().filter(|&&c| c > 0).count().max(1);
-    let hijackable = report
-        .cut_size
+    let servers = universe
+        .server_ids()
+        .filter(|&s| !universe.server(s).is_root)
+        .count();
+    let names_with_vulnerable_dep = report
+        .vulnerable_in_tcb()
         .iter()
-        .zip(&report.safe_in_cut)
+        .filter(|&&v| v > 0)
+        .count();
+    let cuttable = report.cut_size().iter().filter(|&&c| c > 0).count().max(1);
+    let hijackable = report
+        .cut_size()
+        .iter()
+        .zip(report.safe_in_cut())
         .filter(|&(&size, &safe)| size > 0 && safe == 0)
         .count();
-    let threshold = (report.value.names_seen() as f64 * 0.10).floor() as u64;
+    let threshold = (report.value().names_seen() as f64 * 0.10).floor() as u64;
     let critical: Vec<_> = report
-        .value
+        .value()
         .ranking()
         .into_iter()
         .filter(|&(_, c)| c > threshold)
@@ -557,26 +617,35 @@ pub fn headline(report: &SurveyReport) -> Headline {
                 .iter()
                 .any(|g| server_name.is_subdomain_of(&name(&format!("{g}-servers.net"))))
     };
-    let critical_gtld =
-        critical.iter().filter(|&&(s, _)| is_gtld_box(&universe.server(s).name)).count();
-    let critical_vulnerable =
-        critical.iter().filter(|&&(s, _)| universe.server(s).vulnerable).count();
+    let critical_gtld = critical
+        .iter()
+        .filter(|&&(s, _)| is_gtld_box(&universe.server(s).name))
+        .count();
+    let critical_vulnerable = critical
+        .iter()
+        .filter(|&&(s, _)| universe.server(s).vulnerable)
+        .count();
     let critical_edu = critical
         .iter()
         .filter(|&&(s, _)| universe.server(s).name.is_subdomain_of(&name("edu")))
         .count();
-    let cut_sizes: Vec<usize> = report.cut_size.iter().copied().filter(|&c| c > 0).collect();
+    let cut_sizes: Vec<usize> = report
+        .cut_size()
+        .iter()
+        .copied()
+        .filter(|&c| c > 0)
+        .collect();
     Headline {
         names: report.world.names.len(),
         tlds: tlds.len(),
         servers,
         vulnerable_servers,
-        mean_tcb: Summary::of_counts(&report.tcb_sizes).mean,
-        median_tcb: Summary::of_counts(&report.tcb_sizes).median,
-        mean_nameowner: Summary::of_counts(&report.nameowner).mean,
+        mean_tcb: Summary::of_counts(report.tcb_sizes()).mean,
+        median_tcb: Summary::of_counts(report.tcb_sizes()).median,
+        mean_nameowner: Summary::of_counts(report.nameowner()).mean,
         names_with_vulnerable_dep,
         frac_with_vulnerable_dep: names_with_vulnerable_dep as f64
-            / report.tcb_sizes.len().max(1) as f64,
+            / report.tcb_sizes().len().max(1) as f64,
         frac_hijackable: hijackable as f64 / cuttable as f64,
         mean_cut: Summary::of_counts(&cut_sizes).mean,
         critical_servers: critical.len(),
@@ -589,11 +658,26 @@ pub fn headline(report: &SurveyReport) -> Headline {
 impl Headline {
     /// Renders the headline table with the paper's values alongside.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["statistic", "measured", "paper"])
-            .align(vec![Align::Left, Align::Right, Align::Right]);
-        t.row(vec!["surveyed names".to_string(), self.names.to_string(), "593160".to_string()]);
-        t.row(vec!["TLDs".to_string(), self.tlds.to_string(), "196".to_string()]);
-        t.row(vec!["nameservers".to_string(), self.servers.to_string(), "166771".to_string()]);
+        let mut t = Table::new(vec!["statistic", "measured", "paper"]).align(vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+        ]);
+        t.row(vec![
+            "surveyed names".to_string(),
+            self.names.to_string(),
+            "593160".to_string(),
+        ]);
+        t.row(vec![
+            "TLDs".to_string(),
+            self.tlds.to_string(),
+            "196".to_string(),
+        ]);
+        t.row(vec![
+            "nameservers".to_string(),
+            self.servers.to_string(),
+            "166771".to_string(),
+        ]);
         t.row(vec![
             "vulnerable servers".to_string(),
             format!(
@@ -603,8 +687,16 @@ impl Headline {
             ),
             "27141 (16.3%)".to_string(),
         ]);
-        t.row(vec!["mean TCB".to_string(), fmt_f64(self.mean_tcb, 1), "46".to_string()]);
-        t.row(vec!["median TCB".to_string(), fmt_f64(self.median_tcb, 0), "26".to_string()]);
+        t.row(vec![
+            "mean TCB".to_string(),
+            fmt_f64(self.mean_tcb, 1),
+            "46".to_string(),
+        ]);
+        t.row(vec![
+            "median TCB".to_string(),
+            fmt_f64(self.median_tcb, 0),
+            "26".to_string(),
+        ]);
         t.row(vec![
             "nameowner-administered".to_string(),
             fmt_f64(self.mean_nameowner, 1),
@@ -624,7 +716,11 @@ impl Headline {
             fmt_percent(self.frac_hijackable),
             "30%".to_string(),
         ]);
-        t.row(vec!["mean min-cut".to_string(), fmt_f64(self.mean_cut, 1), "2.5".to_string()]);
+        t.row(vec![
+            "mean min-cut".to_string(),
+            fmt_f64(self.mean_cut, 1),
+            "2.5".to_string(),
+        ]);
         t.row(vec![
             "servers controlling >10%".to_string(),
             self.critical_servers.to_string(),
@@ -706,10 +802,7 @@ mod tests {
         // Bars must appear in the paper's x-axis order (subset thereof).
         let mut expected = GTLDS.iter();
         for tld in order {
-            assert!(
-                expected.any(|g| *g == tld),
-                "gTLD {tld} out of paper order"
-            );
+            assert!(expected.any(|g| *g == tld), "gTLD {tld} out of paper order");
         }
     }
 

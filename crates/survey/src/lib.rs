@@ -19,16 +19,22 @@
 //!   fully-vulnerable min-cuts from only 17% vulnerable servers).
 //!
 //! Modules: [`params`] (presets), [`topology`] (the generator),
-//! [`driver`] (the parallel survey), [`figures`] (figure/table
-//! renderers), [`scenario`] (bridging hand-built packet-level scenarios
-//! into analyses).
+//! [`engine`] (the pluggable analysis engine: [`engine::WorldSource`] +
+//! registered [`perils_core::NameMetric`]s → columnar
+//! [`engine::SurveyReport`]), [`driver`] (the legacy `run_survey` wrapper
+//! over the engine), [`figures`] (figure/table renderers), [`scenario`]
+//! (bridging hand-built packet-level scenarios into analyses).
 
 pub mod driver;
+pub mod engine;
 pub mod figures;
 pub mod params;
 pub mod scenario;
 pub mod topology;
 
-pub use driver::{run_survey, SurveyConfig, SurveyReport};
+pub use driver::{run_survey, SurveyConfig};
+pub use engine::{
+    AnalysisWorld, Engine, ProbedSource, ScenarioSource, SurveyReport, SyntheticSource, WorldSource,
+};
 pub use params::TopologyParams;
 pub use topology::SyntheticWorld;

@@ -120,9 +120,18 @@ impl TopologyParams {
     pub fn validate(&self) {
         let p = self.p_self_hosted + self.p_provider_hosted + self.p_university_hosted;
         assert!(p <= 1.0 + 1e-9, "hosting probabilities sum to {p} > 1");
-        assert!(self.names > 0 && self.domains > 0, "names and domains must be positive");
-        assert!(self.providers > 0 && self.universities > 0, "operator pools must be non-empty");
-        assert!(self.cctlds >= self.messy_cctlds, "messy ccTLDs exceed ccTLD count");
+        assert!(
+            self.names > 0 && self.domains > 0,
+            "names and domains must be positive"
+        );
+        assert!(
+            self.providers > 0 && self.universities > 0,
+            "operator pools must be non-empty"
+        );
+        assert!(
+            self.cctlds >= self.messy_cctlds,
+            "messy ccTLDs exceed ccTLD count"
+        );
         assert!(
             (0.0..=1.0).contains(&self.vulnerable_operator_fraction),
             "vulnerable fraction out of range"
@@ -147,8 +156,14 @@ mod tests {
         let scaled = TopologyParams::default_scaled(1);
         let ratio = paper.names as f64 / scaled.names as f64;
         let domain_ratio = paper.domains as f64 / scaled.domains as f64;
-        assert!((ratio / domain_ratio - 1.0).abs() < 0.2, "domain scaling tracks name scaling");
-        assert_eq!(paper.vulnerable_operator_fraction, scaled.vulnerable_operator_fraction);
+        assert!(
+            (ratio / domain_ratio - 1.0).abs() < 0.2,
+            "domain scaling tracks name scaling"
+        );
+        assert_eq!(
+            paper.vulnerable_operator_fraction,
+            scaled.vulnerable_operator_fraction
+        );
     }
 
     #[test]

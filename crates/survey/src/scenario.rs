@@ -21,7 +21,9 @@ pub fn universe_from_scenario(scenario: &Scenario) -> Universe {
         .specs
         .iter()
         .filter_map(|spec| {
-            spec.software.banner().map(|b| (spec.host_name.to_lowercase(), b))
+            spec.software
+                .banner()
+                .map(|b| (spec.host_name.to_lowercase(), b))
         })
         .collect();
     let db = VulnDb::isc_feb_2004();
@@ -35,10 +37,7 @@ pub fn universe_from_scenario(scenario: &Scenario) -> Universe {
 ///
 /// `root_names` marks which servers are root servers (the prober cannot
 /// see past the hints).
-pub fn universe_from_reports(
-    reports: &[DependencyReport],
-    root_names: &[DnsName],
-) -> Universe {
+pub fn universe_from_reports(reports: &[DependencyReport], root_names: &[DnsName]) -> Universe {
     let db = VulnDb::isc_feb_2004();
     let mut builder = Universe::builder();
     for root in root_names {
@@ -66,10 +65,14 @@ mod tests {
     fn scenario_universe_carries_vulnerability_truth() {
         let scenario = fbi_case();
         let u = universe_from_scenario(&scenario);
-        let ns2 = u.server_id(&name("reston-ns2.telemail.net")).expect("exists");
+        let ns2 = u
+            .server_id(&name("reston-ns2.telemail.net"))
+            .expect("exists");
         assert!(u.server(ns2).vulnerable);
         assert!(u.server(ns2).scripted_exploit);
-        let ns1 = u.server_id(&name("reston-ns1.telemail.net")).expect("exists");
+        let ns1 = u
+            .server_id(&name("reston-ns1.telemail.net"))
+            .expect("exists");
         assert!(!u.server(ns1).vulnerable);
         // Root flag comes from serving the root zone.
         let root = u.server_id(&name("a.root-servers.net")).expect("exists");

@@ -27,14 +27,15 @@ use perils_vulndb::VulnDb;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The twelve gTLDs of Figure 3, in the paper's plotted order.
-pub const GTLDS: [&str; 12] =
-    ["aero", "int", "name", "mil", "info", "edu", "biz", "gov", "org", "net", "com", "coop"];
+pub const GTLDS: [&str; 12] = [
+    "aero", "int", "name", "mil", "info", "edu", "biz", "gov", "org", "net", "com", "coop",
+];
 
 /// The fifteen worst ccTLDs of Figure 4, in the paper's plotted order,
 /// followed by other real codes; synthetic codes fill any remainder.
 pub const CCTLD_SEED: [&str; 30] = [
-    "ua", "by", "sm", "mt", "my", "pl", "it", "mo", "am", "ie", "tp", "mk", "hk", "tw", "cn",
-    "ws", "de", "uk", "fr", "jp", "nl", "ru", "br", "au", "ca", "se", "no", "fi", "es", "gr",
+    "ua", "by", "sm", "mt", "my", "pl", "it", "mo", "am", "ie", "tp", "mk", "hk", "tw", "cn", "ws",
+    "de", "uk", "fr", "jp", "nl", "ru", "br", "au", "ca", "se", "no", "fi", "es", "gr",
 ];
 
 /// Number of communities in the volunteer backbone chain.
@@ -115,12 +116,15 @@ impl SyntheticWorld {
         }
         // Which zone is each host's home (deepest origin containing it)?
         let origins: BTreeSet<DnsName> = self.zones.iter().map(|z| z.origin.clone()).collect();
-        let home_of = |host: &DnsName| -> Option<DnsName> {
-            host.ancestors().find(|a| origins.contains(a))
-        };
+        let home_of =
+            |host: &DnsName| -> Option<DnsName> { host.ancestors().find(|a| origins.contains(a)) };
         // Build zones.
         for plan in &self.zones {
-            let primary = plan.ns.first().cloned().unwrap_or_else(|| name("a.root-servers.net"));
+            let primary = plan
+                .ns
+                .first()
+                .cloned()
+                .unwrap_or_else(|| name("a.root-servers.net"));
             let mut zone = Zone::synthetic(plan.origin.clone(), primary);
             for ns in &plan.ns {
                 zone.add_rdata(plan.origin.clone(), RData::Ns(ns.clone()))
@@ -178,7 +182,10 @@ impl SyntheticWorld {
         let mut zones_of: BTreeMap<DnsName, Vec<DnsName>> = BTreeMap::new();
         for plan in &self.zones {
             for ns in &plan.ns {
-                zones_of.entry(ns.clone()).or_default().push(plan.origin.clone());
+                zones_of
+                    .entry(ns.clone())
+                    .or_default()
+                    .push(plan.origin.clone());
             }
         }
         let specs: Vec<ServerSpec> = self
@@ -191,9 +198,16 @@ impl SyntheticWorld {
                 zones: zones_of.remove(&server.name).unwrap_or_default(),
             })
             .collect();
-        let roots: Vec<(DnsName, std::net::Ipv4Addr)> =
-            self.roots.iter().map(|(n, _)| (n.clone(), addr_of[n])).collect();
-        Scenario { registry, specs, roots }
+        let roots: Vec<(DnsName, std::net::Ipv4Addr)> = self
+            .roots
+            .iter()
+            .map(|(n, _)| (n.clone(), addr_of[n]))
+            .collect();
+        Scenario {
+            registry,
+            specs,
+            roots,
+        }
     }
 }
 
@@ -290,7 +304,14 @@ impl<'p> Generator<'p> {
             }
             universe
                 .server_ids()
-                .map(|sid| Region(by_name.get(&universe.server(sid).name).copied().unwrap_or(0)))
+                .map(|sid| {
+                    Region(
+                        by_name
+                            .get(&universe.server(sid).name)
+                            .copied()
+                            .unwrap_or(0),
+                    )
+                })
                 .collect()
         };
 
@@ -396,7 +417,10 @@ impl<'p> Generator<'p> {
             let forced = if code == "ws" {
                 Some(true)
             } else {
-                Some(self.rng.chance(0.4 * self.params.vulnerable_operator_fraction))
+                Some(
+                    self.rng
+                        .chance(0.4 * self.params.vulnerable_operator_fraction),
+                )
             };
             let version = self.pick_version(forced).to_string();
             for k in 1..=2 {
@@ -439,7 +463,8 @@ impl<'p> Generator<'p> {
                 ns.push(host);
             }
             self.add_zone(domain, ns.clone(), ns);
-            self.provider_boxes.push((self.zones.last().expect("just added").ns.clone(), region));
+            self.provider_boxes
+                .push((self.zones.last().expect("just added").ns.clone(), region));
         }
     }
 
@@ -483,7 +508,11 @@ impl<'p> Generator<'p> {
             } else {
                 name(&format!("uni{i}.edu"))
             };
-            let rate = if cluster_vulnerable[i / cluster] { 0.45 } else { 0.02 };
+            let rate = if cluster_vulnerable[i / cluster] {
+                0.45
+            } else {
+                0.02
+            };
             let forced = Some(self.rng.chance(rate));
             let version = self.pick_version(forced).to_string();
             let mut ns = Vec::new();
@@ -675,8 +704,8 @@ impl<'p> Generator<'p> {
         for (rank, &idx) in cc_order.iter().enumerate() {
             cc_rank[idx] = rank;
         }
-        for idx in 0..cctld_labels.len() {
-            cc_pop.push(cctld_total / harmonic / (cc_rank[idx] + 1) as f64);
+        for &rank in &cc_rank {
+            cc_pop.push(cctld_total / harmonic / (rank + 1) as f64);
         }
         let mut weights: Vec<f64> = gtld_weights.iter().map(|(_, w)| *w).collect();
         weights.extend(cc_pop);
@@ -725,7 +754,11 @@ impl<'p> Generator<'p> {
                 0 => {
                     // Self-hosted, glued.
                     let version = self.pick_version(None).to_string();
-                    let count = if popular || self.rng.chance(0.5) { 3 } else { 2 };
+                    let count = if popular || self.rng.chance(0.5) {
+                        3
+                    } else {
+                        2
+                    };
                     for k in 1..=count {
                         let host = origin.prepend(&format!("ns{k}")).expect("short label");
                         self.add_server(&host, &version, 0, false);
@@ -830,8 +863,9 @@ impl<'p> Generator<'p> {
         let mut zipf = ZipfTable::new(domain_zones.len(), self.params.popularity_zipf);
         let mut seen: BTreeSet<DnsName> = BTreeSet::new();
         let mut names: Vec<SurveyName> = Vec::new();
-        let hosts =
-            ["www", "web", "mail", "news", "shop", "ftp", "w3", "portal", "images", "search"];
+        let hosts = [
+            "www", "web", "mail", "news", "shop", "ftp", "w3", "portal", "images", "search",
+        ];
         let mut attempts = 0usize;
         while names.len() < self.params.names && attempts < self.params.names * 20 {
             attempts += 1;
@@ -839,7 +873,11 @@ impl<'p> Generator<'p> {
             let domain = &domain_zones[rank];
             // Mostly www; a directory crawl also surfaces other hosts of
             // popular domains.
-            let start = if names.len() % 4 == 0 { self.rng.below_usize(hosts.len()) } else { 0 };
+            let start = if names.len().is_multiple_of(4) {
+                self.rng.below_usize(hosts.len())
+            } else {
+                0
+            };
             for step in 0..hosts.len() {
                 let host_label = hosts[(start + step) % hosts.len()];
                 let full = domain.prepend(host_label).expect("short label");
@@ -902,7 +940,10 @@ mod tests {
             );
         }
         // Root servers are flagged.
-        let root = world.universe.server_id(&name("a.root-servers.net")).unwrap();
+        let root = world
+            .universe
+            .server_id(&name("a.root-servers.net"))
+            .unwrap();
         assert!(world.universe.server(root).is_root);
         // Regions aligned with servers.
         assert_eq!(world.server_regions.len(), world.universe.server_count());
@@ -925,19 +966,31 @@ mod tests {
         let nic_servers: Vec<_> = zone
             .ns
             .iter()
-            .filter(|&&s| world.universe.server(s).name.is_subdomain_of(&name("nic.ws")))
+            .filter(|&&s| {
+                world
+                    .universe
+                    .server(s)
+                    .name
+                    .is_subdomain_of(&name("nic.ws"))
+            })
             .collect();
         assert!(!nic_servers.is_empty());
         for &sid in nic_servers {
-            assert!(world.universe.server(sid).vulnerable, "nic.ws boxes run old BIND");
+            assert!(
+                world.universe.server(sid).vulnerable,
+                "nic.ws boxes run old BIND"
+            );
         }
     }
 
     #[test]
     fn top500_is_popularity_ordered() {
         let world = SyntheticWorld::generate(&TopologyParams::tiny(4));
-        let ranks: Vec<usize> =
-            world.top500.iter().map(|&i| world.names[i].popularity_rank).collect();
+        let ranks: Vec<usize> = world
+            .top500
+            .iter()
+            .map(|&i| world.names[i].popularity_rank)
+            .collect();
         for w in ranks.windows(2) {
             assert!(w[0] <= w[1]);
         }
@@ -951,7 +1004,10 @@ mod tests {
         assert!(scenario.specs.len() > 50);
         // Every root hint has an address and a spec.
         for (host, addr) in &scenario.roots {
-            assert!(scenario.specs.iter().any(|s| &s.host_name == host && &s.addr == addr));
+            assert!(scenario
+                .specs
+                .iter()
+                .any(|s| &s.host_name == host && &s.addr == addr));
         }
     }
 }

@@ -172,7 +172,10 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative/non-finite value, or
     /// sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "AliasTable requires at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "AliasTable requires at least one weight"
+        );
         let total: f64 = weights
             .iter()
             .map(|&w| {

@@ -58,7 +58,8 @@ impl Rng {
     /// results.
     pub fn fork(&self, stream: u64) -> Rng {
         // Mix the current state with the stream id through SplitMix64.
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),
@@ -229,7 +230,10 @@ mod tests {
             counts[rng.below(8) as usize] += 1;
         }
         for &c in &counts {
-            assert!((9_000..11_000).contains(&c), "bucket count {c} outside tolerance");
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} outside tolerance"
+            );
         }
     }
 

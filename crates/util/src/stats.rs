@@ -30,7 +30,14 @@ impl Summary {
     /// Computes a summary of `values` (need not be sorted).
     pub fn of(values: &[f64]) -> Summary {
         if values.is_empty() {
-            return Summary { count: 0, mean: 0.0, median: 0.0, min: 0.0, max: 0.0, stddev: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                median: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+            };
         }
         let count = values.len();
         let mean = values.iter().sum::<f64>() / count as f64;
@@ -137,7 +144,7 @@ impl Cdf {
         if points.len() <= max_points {
             return points;
         }
-        let stride = (points.len() + max_points - 1) / max_points;
+        let stride = points.len().div_ceil(max_points);
         let last = *points.last().expect("non-empty");
         let mut sampled: Vec<(f64, f64)> = points.into_iter().step_by(stride).collect();
         if sampled.last() != Some(&last) {
@@ -252,7 +259,10 @@ impl Histogram {
             };
             counts[idx] += 1;
         }
-        Histogram { edges: edges.to_vec(), counts }
+        Histogram {
+            edges: edges.to_vec(),
+            counts,
+        }
     }
 
     /// Builds `bins` equal-width bins spanning `[lo, hi)`.
@@ -294,7 +304,10 @@ mod tests {
 
     #[test]
     fn summary_of_counts_matches_f64() {
-        assert_eq!(Summary::of_counts(&[1, 2, 3]), Summary::of(&[1.0, 2.0, 3.0]));
+        assert_eq!(
+            Summary::of_counts(&[1, 2, 3]),
+            Summary::of(&[1.0, 2.0, 3.0])
+        );
     }
 
     #[test]

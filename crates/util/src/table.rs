@@ -26,7 +26,11 @@ impl Table {
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         let aligns = vec![Align::Left; headers.len()];
-        Table { headers, aligns, rows: Vec::new() }
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
     }
 
     /// Sets per-column alignment.
@@ -83,11 +87,11 @@ impl Table {
                     Align::Left => {
                         out.push_str(cell);
                         if i + 1 < cols {
-                            out.extend(std::iter::repeat(' ').take(pad));
+                            out.extend(std::iter::repeat_n(' ', pad));
                         }
                     }
                     Align::Right => {
-                        out.extend(std::iter::repeat(' ').take(pad));
+                        out.extend(std::iter::repeat_n(' ', pad));
                         out.push_str(cell);
                     }
                 }
@@ -96,7 +100,7 @@ impl Table {
         };
         emit_row(&mut out, &self.headers);
         let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
-        out.extend(std::iter::repeat('-').take(rule));
+        out.extend(std::iter::repeat_n('-', rule));
         out.push('\n');
         for row in &self.rows {
             emit_row(&mut out, row);

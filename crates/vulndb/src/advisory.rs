@@ -118,7 +118,10 @@ impl VulnDb {
                 title: "Inverse-query information leak",
                 severity: Severity::Disclosure,
                 scripted_exploit: true,
-                affected: vec![VersionRange::new(v("4.9.0"), v("4.9.6")), VersionRange::new(v("8.2.0"), v("8.2.1"))],
+                affected: vec![
+                    VersionRange::new(v("4.9.0"), v("4.9.6")),
+                    VersionRange::new(v("8.2.0"), v("8.2.1")),
+                ],
             },
             Advisory {
                 key: "zxfr",
@@ -196,7 +199,10 @@ impl VulnDb {
 
     /// Advisories affecting `version`.
     pub fn affecting(&self, version: &BindVersion) -> Vec<&Advisory> {
-        self.advisories.iter().filter(|a| a.affects(version)).collect()
+        self.advisories
+            .iter()
+            .filter(|a| a.affects(version))
+            .collect()
     }
 
     /// Whether `version` has at least one known exploit.
@@ -207,7 +213,9 @@ impl VulnDb {
     /// Whether `version` has a *scripted* exploit enabling full compromise
     /// (the attacker capability the paper's hijack analysis assumes).
     pub fn has_scripted_exploit(&self, version: &BindVersion) -> bool {
-        self.advisories.iter().any(|a| a.scripted_exploit && a.affects(version))
+        self.advisories
+            .iter()
+            .any(|a| a.scripted_exploit && a.affects(version))
     }
 }
 

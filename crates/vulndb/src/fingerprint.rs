@@ -49,11 +49,17 @@ impl<'db> Assessment<'db> {
 /// Assesses a raw banner string.
 pub fn assess_banner<'db>(db: &'db VulnDb, banner: Option<&str>) -> Assessment<'db> {
     match banner {
-        None => Assessment { fingerprint: Fingerprint::Unknown, advisories: Vec::new() },
+        None => Assessment {
+            fingerprint: Fingerprint::Unknown,
+            advisories: Vec::new(),
+        },
         Some(text) => match BindVersion::parse(text) {
             Some(version) => {
                 let advisories = db.affecting(&version);
-                Assessment { fingerprint: Fingerprint::Bind(version), advisories }
+                Assessment {
+                    fingerprint: Fingerprint::Bind(version),
+                    advisories,
+                }
             }
             None => Assessment {
                 fingerprint: Fingerprint::Hidden(text.to_string()),
@@ -126,7 +132,10 @@ mod tests {
         let query = Message::query(1, Question::version_bind());
         let mut response = Message::response_to(&query);
         response.answers.push(Record::version_banner("BIND 8.2.4"));
-        assert_eq!(banner_from_response(&response), Some("BIND 8.2.4".to_string()));
+        assert_eq!(
+            banner_from_response(&response),
+            Some("BIND 8.2.4".to_string())
+        );
 
         let db = VulnDb::isc_feb_2004();
         assert!(assess_response(&db, &response).is_vulnerable());

@@ -24,12 +24,22 @@ pub struct BindVersion {
 impl BindVersion {
     /// Constructs a version from components.
     pub fn new(major: u32, minor: u32, patch: u32) -> BindVersion {
-        BindVersion { major, minor, patch, patchlevel: None }
+        BindVersion {
+            major,
+            minor,
+            patch,
+            patchlevel: None,
+        }
     }
 
     /// Constructs a version with a `-P<n>` patch level.
     pub fn with_patchlevel(major: u32, minor: u32, patch: u32, pl: u32) -> BindVersion {
-        BindVersion { major, minor, patch, patchlevel: Some(pl) }
+        BindVersion {
+            major,
+            minor,
+            patch,
+            patchlevel: Some(pl),
+        }
     }
 
     /// Parses a version out of a banner fragment.
@@ -64,12 +74,22 @@ impl BindVersion {
             let s = s.strip_prefix('P').or_else(|| s.strip_prefix('p'))?;
             s.parse().ok()
         });
-        Some(BindVersion { major, minor, patch, patchlevel })
+        Some(BindVersion {
+            major,
+            minor,
+            patch,
+            patchlevel,
+        })
     }
 
     /// Ordered component tuple used by `Ord`.
     fn key(&self) -> (u32, u32, u32, u32) {
-        (self.major, self.minor, self.patch, self.patchlevel.unwrap_or(0))
+        (
+            self.major,
+            self.minor,
+            self.patch,
+            self.patchlevel.unwrap_or(0),
+        )
     }
 }
 
@@ -103,27 +123,48 @@ mod tests {
     fn parses_plain_versions() {
         assert_eq!(BindVersion::parse("8.2.4"), Some(BindVersion::new(8, 2, 4)));
         assert_eq!(BindVersion::parse("9.2"), Some(BindVersion::new(9, 2, 0)));
-        assert_eq!(BindVersion::parse("4.9.11"), Some(BindVersion::new(4, 9, 11)));
+        assert_eq!(
+            BindVersion::parse("4.9.11"),
+            Some(BindVersion::new(4, 9, 11))
+        );
     }
 
     #[test]
     fn parses_banner_decorations() {
-        assert_eq!(BindVersion::parse("BIND 8.2.4"), Some(BindVersion::new(8, 2, 4)));
-        assert_eq!(BindVersion::parse("named 9.2.3-P1"), Some(BindVersion::with_patchlevel(9, 2, 3, 1)));
-        assert_eq!(BindVersion::parse("\"8.4.7-REL\""), Some(BindVersion::new(8, 4, 7)));
-        assert_eq!(BindVersion::parse("8.2.2-P7"), Some(BindVersion::with_patchlevel(8, 2, 2, 7)));
+        assert_eq!(
+            BindVersion::parse("BIND 8.2.4"),
+            Some(BindVersion::new(8, 2, 4))
+        );
+        assert_eq!(
+            BindVersion::parse("named 9.2.3-P1"),
+            Some(BindVersion::with_patchlevel(9, 2, 3, 1))
+        );
+        assert_eq!(
+            BindVersion::parse("\"8.4.7-REL\""),
+            Some(BindVersion::new(8, 4, 7))
+        );
+        assert_eq!(
+            BindVersion::parse("8.2.2-P7"),
+            Some(BindVersion::with_patchlevel(8, 2, 2, 7))
+        );
     }
 
     #[test]
     fn rejects_hidden_banners() {
-        for banner in ["surely you must be joking", "unknown", "", "secret", "none of your business"] {
+        for banner in [
+            "surely you must be joking",
+            "unknown",
+            "",
+            "secret",
+            "none of your business",
+        ] {
             assert_eq!(BindVersion::parse(banner), None, "{banner:?}");
         }
     }
 
     #[test]
     fn ordering() {
-        let mut versions = vec![
+        let mut versions = [
             BindVersion::parse("9.2.3").unwrap(),
             BindVersion::parse("8.2.2-P5").unwrap(),
             BindVersion::parse("8.2.4").unwrap(),
@@ -133,7 +174,10 @@ mod tests {
         ];
         versions.sort();
         let rendered: Vec<String> = versions.iter().map(|v| v.to_string()).collect();
-        assert_eq!(rendered, vec!["4.9.11", "8.2.2-P5", "8.2.2-P7", "8.2.3", "8.2.4", "9.2.3"]);
+        assert_eq!(
+            rendered,
+            vec!["4.9.11", "8.2.2-P5", "8.2.2-P7", "8.2.3", "8.2.4", "9.2.3"]
+        );
     }
 
     #[test]

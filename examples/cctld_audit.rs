@@ -19,7 +19,7 @@ use perils::util::table::{Align, Table};
 use std::collections::BTreeSet;
 
 fn main() {
-    let mut params = TopologyParams::default_scaled(2004_07_22);
+    let mut params = TopologyParams::default_scaled(20040722);
     params.names = 8_000; // audit needs the infrastructure, not the crawl
     let world = SyntheticWorld::generate(&params);
     let universe = &world.universe;
@@ -28,8 +28,12 @@ fn main() {
     // Audit the fifteen messiest ccTLDs: TCB of a hypothetical name
     // www.gov.<cc>, vulnerable dependencies, countries-of-dependence.
     println!("ccTLD audit (paper §3.1: \"DNS creates a small world after all!\")\n");
-    let mut table = Table::new(vec!["ccTLD", "TCB", "vulnerable", "safety"])
-        .align(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut table = Table::new(vec!["ccTLD", "TCB", "vulnerable", "safety"]).align(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     for code in world.cctld_order.iter().take(15) {
         let probe = name(&format!("www.gov.{code}"));
         let closure = index.closure_for(universe, &probe);

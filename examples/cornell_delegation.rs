@@ -29,16 +29,26 @@ fn main() {
     // Wire-probed view (what the paper's measurement harness saw).
     let net = Arc::new(SimNet::new(7, FaultPlan::none(), Region(0)));
     deploy(&net, &scenario.registry, &scenario.specs).expect("deploy");
-    let resolver =
-        IterativeResolver::new(net.clone(), scenario.roots.clone(), ResolverConfig::default());
+    let resolver = IterativeResolver::new(
+        net.clone(),
+        scenario.roots.clone(),
+        ResolverConfig::default(),
+    );
     let prober = ChainProber::new(&resolver);
     let report = prober.discover(&target);
 
-    println!("Delegation graph of {target} (wire-probed, {} queries)\n", report.queries);
+    println!(
+        "Delegation graph of {target} (wire-probed, {} queries)\n",
+        report.queries
+    );
     for (zone, ns_set) in &report.zone_ns {
         println!("zone {zone}");
         for ns in ns_set {
-            let banner = report.banners.get(ns).and_then(|b| b.as_deref()).unwrap_or("?");
+            let banner = report
+                .banners
+                .get(ns)
+                .and_then(|b| b.as_deref())
+                .unwrap_or("?");
             println!("    NS {ns}  [BIND {banner}]");
         }
     }
@@ -50,21 +60,31 @@ fn main() {
     let index = DependencyIndex::build(&universe);
     let closure = index.closure_for(&universe, &target);
     println!("\nTransitive chain check:");
-    for host in ["cayuga.cs.rochester.edu", "dns.cs.wisc.edu", "dns2.itd.umich.edu"] {
+    for host in [
+        "cayuga.cs.rochester.edu",
+        "dns.cs.wisc.edu",
+        "dns2.itd.umich.edu",
+    ] {
         let inside = closure
             .servers
             .iter()
             .any(|&s| universe.server(s).name == name(host));
-        println!("    {host}: {}", if inside { "IN the TCB" } else { "not in TCB" });
+        println!(
+            "    {host}: {}",
+            if inside { "IN the TCB" } else { "not in TCB" }
+        );
     }
 
     // Machine-readable Figure 1: Graphviz DOT on stdout-adjacent file.
     let dg = DelegationGraph::build(&universe, &index, &closure);
     let dot = dg.to_dot(&universe, "www.cs.cornell.edu");
     std::fs::write("figure1.dot", &dot).ok();
-    println!("
+    println!(
+        "
 wrote figure1.dot ({} nodes, {} edges) — render with `dot -Tsvg`",
-        dg.graph.node_count(), dg.graph.edge_count());
+        dg.graph.node_count(),
+        dg.graph.edge_count()
+    );
 
     // Resilience vs security: Cornell's own servers stay up, yet the name
     // dies when two *remote* machines fail.

@@ -27,7 +27,9 @@ fn main() {
     let target = name("www.fbi.gov");
 
     // Step 0: what the fingerprint shows.
-    let ns2 = universe.server_id(&name("reston-ns2.telemail.net")).expect("exists");
+    let ns2 = universe
+        .server_id(&name("reston-ns2.telemail.net"))
+        .expect("exists");
     let banner = universe.server(ns2).banner.clone().unwrap_or_default();
     let version = BindVersion::parse(&banner).expect("banner parses");
     println!("reston-ns2.telemail.net runs BIND {version}; known exploits:");
@@ -37,7 +39,11 @@ fn main() {
             advisory.key,
             advisory.title,
             advisory.severity,
-            if advisory.scripted_exploit { ", scripted exploit circulating" } else { "" }
+            if advisory.scripted_exploit {
+                ", scripted exploit circulating"
+            } else {
+                ""
+            }
         );
     }
 
@@ -45,7 +51,10 @@ fn main() {
     let foothold = sim.all_scripted_vulnerable();
     println!(
         "\nStep 1 — compromise via scripted exploits: {:?}",
-        foothold.iter().map(|&s| universe.server(s).name.to_string()).collect::<Vec<_>>()
+        foothold
+            .iter()
+            .map(|&s| universe.server(s).name.to_string())
+            .collect::<Vec<_>>()
     );
 
     // Step 2: partial hijack of fbi.gov is already possible.

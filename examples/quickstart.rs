@@ -26,8 +26,11 @@ fn main() {
     println!("deployed {} authoritative servers\n", net.endpoint_count());
 
     // 2. Resolve www.cs.cornell.edu iteratively from the root hints.
-    let resolver =
-        IterativeResolver::new(net.clone(), scenario.roots.clone(), ResolverConfig::default());
+    let resolver = IterativeResolver::new(
+        net.clone(),
+        scenario.roots.clone(),
+        ResolverConfig::default(),
+    );
     let target = name("www.cs.cornell.edu");
     let resolution = resolver.resolve(&target, RrType::A).expect("resolves");
     println!(
@@ -43,13 +46,23 @@ fn main() {
     let index = DependencyIndex::build(&universe);
     let closure = index.closure_for(&universe, &target);
     let stats = TcbStats::compute(&universe, &closure);
-    println!("TCB of {target}: {} servers (excluding roots)", stats.tcb_size);
-    println!("  administered by the nameowner : {}", stats.nameowner_administered);
+    println!(
+        "TCB of {target}: {} servers (excluding roots)",
+        stats.tcb_size
+    );
+    println!(
+        "  administered by the nameowner : {}",
+        stats.nameowner_administered
+    );
     println!("  with known vulnerabilities    : {}", stats.vulnerable);
     println!("  TCB members:");
     for sid in closure.tcb(&universe) {
         let server = universe.server(sid);
-        let mark = if server.vulnerable { " (VULNERABLE)" } else { "" };
+        let mark = if server.vulnerable {
+            " (VULNERABLE)"
+        } else {
+            ""
+        };
         println!("    {}{mark}", server.name);
     }
 
@@ -68,7 +81,11 @@ fn main() {
         println!(
             "exact AND/OR hijack minimum: {} servers ({})",
             exact.size(),
-            if exact.fully_vulnerable() { "ALL vulnerable — scripted hijack!" } else { "needs safe boxes" }
+            if exact.fully_vulnerable() {
+                "ALL vulnerable — scripted hijack!"
+            } else {
+                "needs safe boxes"
+            }
         );
     }
 }

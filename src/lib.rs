@@ -11,18 +11,109 @@
 //! * [`authserver`] — authoritative nameserver behaviour.
 //! * [`resolver`] — iterative resolution with delegation-chain traces.
 //! * [`core`] — the paper's contribution: TCBs, hijack min-cuts, value
-//!   ranking, attack simulation.
-//! * [`survey`] — topology generation and the figure-regeneration pipelines.
+//!   ranking, attack simulation, and the pluggable [`core::NameMetric`]
+//!   measurement API.
+//! * [`survey`] — topology generation and the analysis engine: a
+//!   [`survey::WorldSource`] (synthetic, packet-scenario or wire-probed)
+//!   plus registered metrics, run in one sharded deterministic pass.
 //! * [`util`] — deterministic RNG, distributions, statistics, tables.
 //!
-//! ## Quickstart
+//! ## Quickstart: run the classic survey
+//!
+//! The engine runs a set of per-name metrics over a world. The built-in
+//! metrics reproduce the paper's six measurements; `with_extended_metrics`
+//! adds the misconfiguration-audit and DNSSEC-coverage columns:
 //!
 //! ```
-//! use perils::survey::{SurveyConfig, run_survey};
+//! use perils::survey::{Engine, SyntheticSource, TopologyParams};
 //!
-//! // A miniature, fully deterministic survey.
+//! let engine = Engine::with_extended_metrics();
+//! let report = engine.run(SyntheticSource { params: TopologyParams::tiny(1) });
+//! // Columnar access, typed:
+//! assert_eq!(report.tcb_sizes().len(), report.world.names.len());
+//! assert!(report.value().names_seen() > 0);
+//! assert!(report.floats("dnssec_signed_fraction").iter().all(|f| (0.0..=1.0).contains(f)));
+//! ```
+//!
+//! The legacy entry point is a thin wrapper over the same engine:
+//!
+//! ```
+//! use perils::survey::{run_survey, SurveyConfig};
+//!
 //! let report = run_survey(&SurveyConfig::tiny(1));
-//! assert!(report.tcb_sizes.len() > 0);
+//! assert!(!report.tcb_sizes().is_empty());
+//! ```
+//!
+//! ## Registering a custom metric
+//!
+//! Any per-name measurement plugs into the same sharded pass — the
+//! dependency closure is computed once per name and shared with every
+//! registered metric:
+//!
+//! ```
+//! use perils::core::metric::{MeasureCtx, MetricColumn, MetricShard, NameMetric, PreparedState};
+//! use perils::core::universe::Universe;
+//! use perils::survey::{Engine, SyntheticSource, TopologyParams};
+//!
+//! /// Counts how many *zones* each name's resolution can touch.
+//! struct ZoneCountMetric;
+//! struct ZoneCountShard(Vec<usize>);
+//!
+//! impl MetricShard for ZoneCountShard {
+//!     fn measure(&mut self, ctx: &MeasureCtx<'_>, slot: usize) {
+//!         self.0[slot] = ctx.closure.zones.len();
+//!     }
+//!     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> { self }
+//! }
+//!
+//! impl NameMetric for ZoneCountMetric {
+//!     fn id(&self) -> &str { "zone_count" }
+//!     fn columns(&self) -> Vec<String> { vec!["zone_count".into()] }
+//!     fn shard(
+//!         &self,
+//!         _u: &Universe,
+//!         len: usize,
+//!         _prepared: &PreparedState,
+//!     ) -> Box<dyn MetricShard> {
+//!         Box::new(ZoneCountShard(vec![0; len]))
+//!     }
+//!     fn merge(
+//!         &self,
+//!         _u: &Universe,
+//!         shards: Vec<Box<dyn MetricShard>>,
+//!     ) -> Vec<(String, MetricColumn)> {
+//!         let mut all = Vec::new();
+//!         for s in shards {
+//!             all.extend(s.into_any().downcast::<ZoneCountShard>().unwrap().0);
+//!         }
+//!         vec![("zone_count".into(), MetricColumn::Counts(all))]
+//!     }
+//! }
+//!
+//! let report = Engine::with_builtin_metrics()
+//!     .register(ZoneCountMetric)
+//!     .run(SyntheticSource { params: TopologyParams::tiny(7) });
+//! assert_eq!(report.counts("zone_count").len(), report.world.names.len());
+//! ```
+//!
+//! ## Analyzing hand-built and wire-probed worlds
+//!
+//! Packet-level scenarios (the paper's fbi.gov case study, Figure 1) and
+//! resolver-probed dependency reports run through the **same** engine via
+//! [`survey::ScenarioSource`] and [`survey::ProbedSource`]:
+//!
+//! ```
+//! use perils::authserver::scenarios::fbi_case;
+//! use perils::dns::name::name;
+//! use perils::survey::{Engine, ScenarioSource};
+//!
+//! let scenario = fbi_case();
+//! let report = Engine::with_builtin_metrics().run(ScenarioSource {
+//!     scenario: &scenario,
+//!     targets: vec![name("www.fbi.gov")],
+//! });
+//! // Two machines suffice to take fbi.gov offline (§3.2).
+//! assert_eq!(report.cut_size()[0], 2);
 //! ```
 
 pub use perils_authserver as authserver;

@@ -21,8 +21,7 @@ fn fingerprinting_finds_the_four_exploits() {
     let scenario = fbi_case();
     let net = Arc::new(SimNet::new(5, FaultPlan::none(), Region(0)));
     deploy(&net, &scenario.registry, &scenario.specs).expect("deploy");
-    let resolver =
-        IterativeResolver::new(net, scenario.roots.clone(), ResolverConfig::default());
+    let resolver = IterativeResolver::new(net, scenario.roots.clone(), ResolverConfig::default());
     let prober = ChainProber::new(&resolver);
     let report = prober.discover(&name("www.fbi.gov"));
 
@@ -32,7 +31,9 @@ fn fingerprinting_finds_the_four_exploits() {
 
     // The banner of reston-ns2 parses to 8.2.4 with the paper's four
     // exploits: libbind, negcache, sigrec, DoS multi.
-    let banner = report.banners[&name("reston-ns2.telemail.net")].as_deref().unwrap();
+    let banner = report.banners[&name("reston-ns2.telemail.net")]
+        .as_deref()
+        .unwrap();
     let version = BindVersion::parse(banner).unwrap();
     let db = VulnDb::isc_feb_2004();
     let keys: Vec<&str> = db.affecting(&version).iter().map(|a| a.key).collect();
@@ -79,13 +80,19 @@ fn min_cut_reflects_bottleneck_structure() {
     // cuts exist (the sprintip pair, or the gov+gtld registry pair) and
     // either is a valid bottleneck reading.
     assert_eq!(cut.size(), 2);
-    let cut_names: BTreeSet<String> =
-        cut.servers.iter().map(|&s| universe.server(s).name.to_string()).collect();
-    let sprintip_pair = cut_names.contains("dns.sprintip.com")
-        && cut_names.contains("dns2.sprintip.com");
-    let registry_pair = cut_names.contains("a.gov-servers.net")
-        && cut_names.contains("a.gtld-servers.net");
-    assert!(sprintip_pair || registry_pair, "unexpected cut {cut_names:?}");
+    let cut_names: BTreeSet<String> = cut
+        .servers
+        .iter()
+        .map(|&s| universe.server(s).name.to_string())
+        .collect();
+    let sprintip_pair =
+        cut_names.contains("dns.sprintip.com") && cut_names.contains("dns2.sprintip.com");
+    let registry_pair =
+        cut_names.contains("a.gov-servers.net") && cut_names.contains("a.gtld-servers.net");
+    assert!(
+        sprintip_pair || registry_pair,
+        "unexpected cut {cut_names:?}"
+    );
     // No all-vulnerable min-cut exists: fbi.gov is not in the paper's 30%
     // — hijacking it takes the multi-stage attack of §3.2.
     assert!(!cut.fully_vulnerable());
@@ -96,10 +103,14 @@ fn wire_resolution_of_fbi_works() {
     let scenario = fbi_case();
     let net = Arc::new(SimNet::new(6, FaultPlan::none(), Region(0)));
     deploy(&net, &scenario.registry, &scenario.specs).expect("deploy");
-    let resolver =
-        IterativeResolver::new(net, scenario.roots.clone(), ResolverConfig::default());
-    let resolution = resolver.resolve(&name("www.fbi.gov"), RrType::A).expect("resolves");
-    assert_eq!(resolution.v4_addresses(), vec!["8.0.0.80".parse::<std::net::Ipv4Addr>().unwrap()]);
+    let resolver = IterativeResolver::new(net, scenario.roots.clone(), ResolverConfig::default());
+    let resolution = resolver
+        .resolve(&name("www.fbi.gov"), RrType::A)
+        .expect("resolves");
+    assert_eq!(
+        resolution.v4_addresses(),
+        vec!["8.0.0.80".parse::<std::net::Ipv4Addr>().unwrap()]
+    );
     // Resolution crossed the transitive chain: sprintip's servers had to
     // be resolved through telemail (glueless sub-resolutions).
     assert!(resolution.trace.max_subresolution_depth() >= 1);

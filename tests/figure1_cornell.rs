@@ -31,13 +31,15 @@ fn structural_and_wire_probed_views_agree() {
     // Wire-probed view.
     let net = Arc::new(SimNet::new(3, FaultPlan::none(), Region(0)));
     deploy(&net, &scenario.registry, &scenario.specs).expect("deploy");
-    let resolver =
-        IterativeResolver::new(net, scenario.roots.clone(), ResolverConfig::default());
+    let resolver = IterativeResolver::new(net, scenario.roots.clone(), ResolverConfig::default());
     let prober = ChainProber::new(&resolver);
     let report = prober.discover(&target);
     let root_names: BTreeSet<_> = scenario.roots.iter().map(|(n, _)| n.clone()).collect();
-    let probed_tcb: BTreeSet<String> =
-        report.tcb(&root_names).iter().map(|n| n.to_string()).collect();
+    let probed_tcb: BTreeSet<String> = report
+        .tcb(&root_names)
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
 
     assert_eq!(structural_tcb, probed_tcb, "TCBs must match");
 
@@ -45,7 +47,11 @@ fn structural_and_wire_probed_views_agree() {
     // statistics.
     let probed_universe = universe_from_reports(
         &[report],
-        &scenario.roots.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        &scenario
+            .roots
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect::<Vec<_>>(),
     );
     let probed_index = DependencyIndex::build(&probed_universe);
     let probed_closure = probed_index.closure_for(&probed_universe, &target);
@@ -84,11 +90,17 @@ fn figure1_tcb_contents() {
         "dns.itd.umich.edu",
         "dns2.itd.umich.edu",
     ] {
-        assert!(members.contains(expected), "missing {expected}: {members:?}");
+        assert!(
+            members.contains(expected),
+            "missing {expected}: {members:?}"
+        );
     }
     // Only Cornell-operated servers count as nameowner-administered.
     let stats = TcbStats::compute(&universe, &closure);
-    assert_eq!(stats.nameowner_administered, 1, "simon is the only in-zone server");
+    assert_eq!(
+        stats.nameowner_administered, 1,
+        "simon is the only in-zone server"
+    );
     assert!(stats.tcb_size >= 11);
 }
 

@@ -25,12 +25,14 @@ fn structural_closure_matches_wire_probe_on_generated_world() {
     let resolver = IterativeResolver::new(
         net,
         scenario.roots.clone(),
-        ResolverConfig { query_budget: 20_000, ..ResolverConfig::default() },
+        ResolverConfig {
+            query_budget: 20_000,
+            ..ResolverConfig::default()
+        },
     );
     let prober = ChainProber::new(&resolver);
     let index = DependencyIndex::build(&world.universe);
-    let root_names: BTreeSet<DnsName> =
-        scenario.roots.iter().map(|(n, _)| n.clone()).collect();
+    let root_names: BTreeSet<DnsName> = scenario.roots.iter().map(|(n, _)| n.clone()).collect();
 
     // Sample a spread of names (popular and unpopular).
     let step = (world.names.len() / 12).max(1);
@@ -43,10 +45,14 @@ fn structural_closure_matches_wire_probe_on_generated_world() {
             .map(|&s| world.universe.server(s).name.to_string())
             .collect();
         let report = prober.discover(&survey_name.name);
-        let probed: BTreeSet<String> =
-            report.tcb(&root_names).iter().map(|n| n.to_string()).collect();
+        let probed: BTreeSet<String> = report
+            .tcb(&root_names)
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
         assert_eq!(
-            structural, probed,
+            structural,
+            probed,
             "closure mismatch for {} (structural {} vs probed {})",
             survey_name.name,
             structural.len(),
@@ -62,17 +68,27 @@ fn survey_summary_shapes_hold_at_tiny_scale() {
     let report = run_survey(&SurveyConfig::tiny(77));
     let headline = figures::headline(&report);
     // Shape assertions (loose bands; the tiny world is noisy).
-    assert!(headline.mean_tcb >= headline.median_tcb, "heavy tail: mean ≥ median");
-    assert!(headline.mean_cut >= 1.0 && headline.mean_cut <= 12.0, "mean cut {}", headline.mean_cut);
+    assert!(
+        headline.mean_tcb >= headline.median_tcb,
+        "heavy tail: mean ≥ median"
+    );
+    assert!(
+        headline.mean_cut >= 1.0 && headline.mean_cut <= 12.0,
+        "mean cut {}",
+        headline.mean_cut
+    );
     assert!(headline.frac_with_vulnerable_dep >= headline.frac_hijackable);
     // Figure 2: top-500 names have TCBs at least as large on average.
     let f2 = figures::fig2(&report);
-    assert!(f2.top500.mean + 1e-9 >= f2.all.mean * 0.8, "popular names are not smaller");
+    assert!(
+        f2.top500.mean + 1e-9 >= f2.all.mean * 0.8,
+        "popular names are not smaller"
+    );
     // Figure 8: rank curve is heavy-tailed — the top server controls far
     // more names than the median server.
-    let ranking = report.value.ranking();
+    let ranking = report.value().ranking();
     let top = ranking.first().map(|&(_, c)| c).unwrap_or(0);
-    let (_, median) = report.value.mean_median();
+    let (_, median) = report.value().mean_median();
     assert!(top as f64 > median * 10.0, "top {top} vs median {median}");
 }
 
@@ -80,9 +96,9 @@ fn survey_summary_shapes_hold_at_tiny_scale() {
 fn survey_determinism_across_runs() {
     let a = run_survey(&SurveyConfig::tiny(555));
     let b = run_survey(&SurveyConfig::tiny(555));
-    assert_eq!(a.tcb_sizes, b.tcb_sizes);
-    assert_eq!(a.vulnerable_in_tcb, b.vulnerable_in_tcb);
-    assert_eq!(a.cut_size, b.cut_size);
+    assert_eq!(a.tcb_sizes(), b.tcb_sizes());
+    assert_eq!(a.vulnerable_in_tcb(), b.vulnerable_in_tcb());
+    assert_eq!(a.cut_size(), b.cut_size());
     let ha = figures::headline(&a);
     let hb = figures::headline(&b);
     assert_eq!(ha.critical_servers, hb.critical_servers);
@@ -96,8 +112,8 @@ fn exact_hijack_validates_flattened_cut_direction() {
     let report = run_survey(&SurveyConfig::tiny(31));
     assert!(!report.exact_sample.is_empty());
     for &(i, exact_size, _) in &report.exact_sample {
-        if report.cut_size[i] > 0 {
-            assert!(exact_size <= report.cut_size[i]);
+        if report.cut_size()[i] > 0 {
+            assert!(exact_size <= report.cut_size()[i]);
         }
     }
 }

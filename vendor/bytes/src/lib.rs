@@ -1,0 +1,110 @@
+//! Minimal offline shim for the `bytes` crate: just enough `BytesMut` +
+//! `BufMut` for a growable big-endian byte buffer (see vendor/README.md).
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer backed by a `Vec<u8>`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Vec<u8> {
+        buf.inner
+    }
+}
+
+/// Write access to a growable buffer (big-endian integer puts).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u16` in network byte order.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a `u32` in network byte order.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn puts_are_big_endian_and_ordered() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(0xAB);
+        b.put_u16(0x0102);
+        b.put_u32(0x03040506);
+        b.put_slice(&[9, 9]);
+        assert_eq!(&b[..], &[0xAB, 1, 2, 3, 4, 5, 6, 9, 9]);
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.to_vec(), Vec::<u8>::from(b));
+    }
+
+    #[test]
+    fn deref_mut_allows_in_place_patching() {
+        let mut b = BytesMut::new();
+        b.put_u16(0);
+        b[0..2].copy_from_slice(&0xBEEFu16.to_be_bytes());
+        assert_eq!(&b[..], &0xBEEFu16.to_be_bytes());
+    }
+}

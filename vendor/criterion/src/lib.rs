@@ -1,0 +1,202 @@
+//! Minimal offline shim for `criterion`: a plain timing loop behind the
+//! `Criterion` / `criterion_group!` / `criterion_main!` API (see
+//! vendor/README.md). No statistics, no plots — each benchmark runs
+//! `sample_size` timed iterations after a short warm-up and prints the mean
+//! wall-clock time per iteration.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up: one untimed batch.
+    let mut warm = Bencher {
+        iters: 1,
+        total_nanos: 0,
+    };
+    f(&mut warm);
+    let mut bench = Bencher {
+        iters: sample_size.max(1) as u64,
+        total_nanos: 0,
+    };
+    f(&mut bench);
+    let per_iter = bench.total_nanos / u128::from(bench.iters);
+    println!(
+        "bench {name:<40} {:>12} ns/iter ({} iters)",
+        per_iter, bench.iters
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's timed iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_bench(c: &mut Criterion) {
+        let mut calls = 0u64;
+        c.bench_function("count", |b| b.iter(|| calls += 1));
+        assert!(calls >= 2, "warm-up plus timed iterations ran");
+    }
+
+    criterion_group!(shim_group, counting_bench);
+
+    #[test]
+    fn group_and_bencher_run() {
+        shim_group();
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut hits = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| hits += x)
+        });
+        group.finish();
+        assert!(hits >= 7);
+    }
+}

@@ -1,0 +1,90 @@
+//! Minimal offline shim for `crossbeam`: scoped threads with the
+//! `crossbeam::thread::scope` API, implemented over `std::thread::scope`
+//! (see vendor/README.md).
+
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// A scope for spawning threads that borrow from the enclosing stack
+    /// frame. Mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread. Mirrors `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all threads spawned in it are joined before
+    /// this returns. Crossbeam reports panicked unjoined threads through the
+    /// `Err` variant; `std::thread::scope` resumes the panic instead, so this
+    /// shim's `Err` case is unreachable in practice — callers `.expect()` it
+    /// either way.
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut totals = Vec::new();
+        crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            for h in handles {
+                totals.push(h.join().expect("no panic"));
+            }
+        })
+        .expect("scope");
+        assert_eq!(totals, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| {
+                    inner
+                        .spawn(|_| 21)
+                        .join()
+                        .map(|v| v * 2)
+                        .expect("inner join")
+                })
+                .join()
+                .expect("outer join")
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+    }
+}

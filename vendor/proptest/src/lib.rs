@@ -1,0 +1,247 @@
+//! Minimal offline shim for `proptest` (see vendor/README.md).
+//!
+//! Implements the strategy combinators and the `proptest!` test macro as a
+//! plain deterministic random tester: every case draws fresh inputs from a
+//! seeded RNG and runs the body. There is **no shrinking** — a failure
+//! reports the case number, and re-running reproduces it exactly (the RNG is
+//! seeded per test case, not from entropy).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// `use proptest::prelude::*` — the strategy DSL and macros.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// The `prop::` alias exposed by the real prelude (`prop::sample::Index`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+/// Deterministic RNG (splitmix64) used to draw test inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one test case of one test function.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // Fold the test name into the seed so sibling tests see different
+        // streams, deterministically.
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case) << 1) ^ 0xD1B5_4A32_D192_ED03,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift; bias is irrelevant for testing purposes.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Draw bounds from range-shaped size specifications.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub min: usize,
+    /// Inclusive upper bound.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    /// Draws a size from the range.
+    pub fn draw(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body (returns an error instead
+/// of panicking so the harness can report the failing case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)+), left, right
+            ));
+        }
+    }};
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports the subset of the real macro used in
+/// this workspace: an optional `#![proptest_config(...)]` header followed by
+/// `fn name(pattern in strategy, ...) { body }` items (attributes, including
+/// `#[test]` and doc comments, pass through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each test function in a `proptest!` block.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                let outcome: ::std::result::Result<(), ::std::string::String> = {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut rng);
+                    )+
+                    #[allow(clippy::redundant_closure_call)]
+                    (move || { $body ::std::result::Result::Ok(()) })()
+                };
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!("proptest case {case} of {}: {message}", stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Sanity: drawn values respect their strategy's bounds.
+        #[test]
+        fn ranges_and_collections(x in 3u8..7, v in crate::collection::vec(0usize..5, 2..=4)) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((2..=4).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        /// Combinators compose.
+        #[test]
+        fn map_flatmap_oneof(
+            pair in (1usize..4).prop_flat_map(|n| (Just(n), crate::collection::vec(0u8..2, n))),
+            s in "[a-c]{2,3}",
+            pick in prop_oneof![Just(1u8), Just(9u8)],
+        ) {
+            prop_assert_eq!(pair.0, pair.1.len());
+            prop_assert!((2..=3).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(pick == 1 || pick == 9);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = crate::TestRng::for_case("t", 5);
+        let mut b = crate::TestRng::for_case("t", 5);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("t", 6);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,49 @@
+//! Sampling strategies (`select`, `Index`).
+
+use crate::strategy::{Arbitrary, Strategy};
+use crate::TestRng;
+
+/// Picks uniformly from a fixed list of values.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].clone()
+    }
+}
+
+/// An index into a collection whose length is only known at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Projects onto `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is 0 (there is no valid index).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index {
+            raw: rng.next_u64(),
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! String strategies from regex-like patterns.
+//!
+//! The real proptest accepts any regex; this shim supports the subset the
+//! workspace uses — a single character class with a repetition count, e.g.
+//! `"[ -~]{0,40}"` or `"[a-z]{3}"` — and panics with a clear message on
+//! anything else.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{min,max}` / `[class]{n}` into (alphabet, min, max).
+fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let unsupported = || -> ! {
+        panic!(
+            "proptest shim: unsupported string pattern {pattern:?} \
+             (only \"[class]{{min,max}}\" is implemented; see vendor/README.md)"
+        )
+    };
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| unsupported());
+    let (class, rest) = rest.split_once(']').unwrap_or_else(|| unsupported());
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| unsupported());
+    let (min, max) = match counts.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().unwrap_or_else(|_| unsupported()),
+            hi.parse().unwrap_or_else(|_| unsupported()),
+        ),
+        None => {
+            let n = counts.parse().unwrap_or_else(|_| unsupported());
+            (n, n)
+        }
+    };
+    assert!(min <= max, "proptest shim: empty repetition in {pattern:?}");
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "proptest shim: bad range in {pattern:?}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        unsupported();
+    }
+    (alphabet, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_ascii_class() {
+        let (alphabet, min, max) = parse_class_pattern("[ -~]{0,40}");
+        assert_eq!(alphabet.len(), 95, "space through tilde");
+        assert_eq!((min, max), (0, 40));
+    }
+
+    #[test]
+    fn mixed_class_and_exact_count() {
+        let (alphabet, min, max) = parse_class_pattern("[a-c_]{3}");
+        assert_eq!(alphabet, vec!['a', 'b', 'c', '_']);
+        assert_eq!((min, max), (3, 3));
+    }
+}
