@@ -1,0 +1,122 @@
+//! Closure-pipeline benchmarks: dependency-index build and per-name
+//! closure throughput on paper-proportioned synthetic worlds.
+//!
+//! Two world sizes are measured — 10k and 100k surveyed names, scaled from
+//! the `default_scaled` preset's proportions — and two closure paths: the
+//! memoized sub-closure union (`closure_for`) against the legacy per-name
+//! BFS (`closure_for_bfs`) it replaced. The printed `[closure]` lines give
+//! the aggregate speedup over a fixed name sample; the per-path benchmarks
+//! give the usual ns/iter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perils_core::closure::DependencyIndex;
+use perils_dns::name::DnsName;
+use perils_survey::params::TopologyParams;
+use perils_survey::topology::SyntheticWorld;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// `default_scaled` proportions stretched to `names` surveyed names (the
+/// TLD count stays at the paper's 196 — it does not grow with the crawl).
+fn scaled_params(seed: u64, names: usize) -> TopologyParams {
+    let f = names as f64 / 60_000.0;
+    let mut p = TopologyParams::default_scaled(seed);
+    p.names = names;
+    p.domains = ((26_000.0 * f) as usize).max(400);
+    p.providers = ((320.0 * f) as usize).max(16);
+    p.universities = ((260.0 * f) as usize).max(20);
+    p
+}
+
+const WORLDS: [(&str, usize); 2] = [("10k", 10_000), ("100k", 100_000)];
+
+fn index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(3);
+    for (label, names) in WORLDS {
+        let world = SyntheticWorld::generate(&scaled_params(2005, names));
+        println!(
+            "[closure] world {label}: {} names, {} servers, {} zones",
+            world.names.len(),
+            world.universe.server_count(),
+            world.universe.zone_count()
+        );
+        group.bench_with_input(BenchmarkId::new("serial", label), &world, |b, w| {
+            b.iter(|| black_box(DependencyIndex::build_with_threads(&w.universe, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", label), &world, |b, w| {
+            b.iter(|| black_box(DependencyIndex::build(&w.universe)))
+        });
+    }
+    group.finish();
+}
+
+fn closure_throughput(c: &mut Criterion) {
+    for (label, names) in WORLDS {
+        let world = SyntheticWorld::generate(&scaled_params(2005, names));
+        let index = DependencyIndex::build(&world.universe);
+        let sample: Vec<DnsName> = world
+            .names
+            .iter()
+            .take(2_000)
+            .map(|n| n.name.clone())
+            .collect();
+
+        // Aggregate comparison over the sample: equality check plus the
+        // headline memoized-vs-BFS speedup.
+        let mut ws = index.workspace();
+        let start = Instant::now();
+        let memo_total: usize = sample
+            .iter()
+            .map(|n| {
+                index
+                    .closure_for_with(&world.universe, n, &mut ws)
+                    .servers
+                    .len()
+            })
+            .sum();
+        let memo_time = start.elapsed();
+        let start = Instant::now();
+        let bfs_total: usize = sample
+            .iter()
+            .map(|n| index.closure_for_bfs(&world.universe, n).servers.len())
+            .sum();
+        let bfs_time = start.elapsed();
+        assert_eq!(memo_total, bfs_total, "paths disagree on closure sizes");
+        let (compressed, components) = (index.memo_stats(), index.component_count());
+        println!(
+            "[closure] {label}: {} names in {:?} memoized vs {:?} bfs ({:.1}x), \
+             mean closure {:.1} servers, {} components ({} server sets, {} zone sets interned)",
+            sample.len(),
+            memo_time,
+            bfs_time,
+            bfs_time.as_secs_f64() / memo_time.as_secs_f64().max(1e-9),
+            memo_total as f64 / sample.len() as f64,
+            components,
+            compressed.0,
+            compressed.1,
+        );
+
+        let mut group = c.benchmark_group(format!("closure_{label}"));
+        group.sample_size(5);
+        group.bench_function("memoized", |b| {
+            let mut ws = index.workspace();
+            b.iter(|| {
+                for n in &sample {
+                    black_box(index.closure_for_with(&world.universe, n, &mut ws));
+                }
+            })
+        });
+        group.bench_function("bfs", |b| {
+            b.iter(|| {
+                for n in &sample {
+                    black_box(index.closure_for_bfs(&world.universe, n));
+                }
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, index_build, closure_throughput);
+criterion_main!(benches);

@@ -6,62 +6,376 @@
 //! set; every one of those nameserver *names* contributes the closure of
 //! its own chain; and so on to a fixed point.
 //!
-//! [`DependencyIndex`] precomputes the server→server dependency adjacency
-//! once per universe so that per-name closures are a cheap BFS (the mean
-//! closure is ~46 servers), which is what lets the survey process hundreds
-//! of thousands of names.
+//! [`DependencyIndex`] precomputes that fixed point for the whole universe
+//! so the survey can process hundreds of thousands of names:
+//!
+//! * the server→server dependency graph is stored once as CSR adjacency
+//!   (built in parallel over contiguous server ranges, with linear
+//!   stamp-based NS dedup);
+//! * the graph is condensed through [`perils_graph::csr::Csr::scc`]
+//!   (delegation webs are cyclic — cornell ↔ rochester in Figure 1), and
+//!   every component's reachable server/zone set is memoized once as an
+//!   interned set ([`perils_graph::bitset::BitSetInterner`]);
+//! * [`DependencyIndex::closure_for`] is then a union of those precomputed
+//!   sub-closures instead of a fresh traversal. The legacy per-name BFS
+//!   survives as [`DependencyIndex::closure_for_bfs`], the reference
+//!   implementation the property tests and benches compare against.
 
 use crate::universe::{ServerId, Universe, ZoneId};
 use perils_dns::name::DnsName;
+use perils_graph::bitset::{BitSet, BitSetInterner, SetId};
+use perils_graph::csr::Csr;
 use std::collections::BTreeSet;
 
 /// Precomputed dependency structure over a universe.
 #[derive(Debug, Clone)]
 pub struct DependencyIndex {
-    /// For each server: the servers its *address resolution* could involve
-    /// — the NS sets of every zone on its name's chain (root excluded).
-    server_deps: Vec<Vec<ServerId>>,
-    /// For each server: the zones on its name's chain (root excluded).
-    server_chains: Vec<Vec<ZoneId>>,
+    /// CSR adjacency: for each server, the servers its *address
+    /// resolution* could involve — the NS sets of every zone on its name's
+    /// chain (root excluded), deduplicated in first-occurrence order.
+    dep_offsets: Vec<u32>,
+    dep_targets: Vec<ServerId>,
+    /// CSR rows: for each server, the zones on its name's chain (root
+    /// excluded), root-first.
+    chain_offsets: Vec<u32>,
+    chain_targets: Vec<ZoneId>,
+    /// Strongly connected component of each server in the dependency
+    /// graph.
+    component_of: Vec<u32>,
+    /// Per-component memoized reachable servers (the component's members
+    /// plus everything any member transitively depends on).
+    component_servers: Vec<SetId>,
+    /// Per-component memoized zones: the chains of every reachable server.
+    component_zones: Vec<SetId>,
+    server_sets: BitSetInterner,
+    zone_sets: BitSetInterner,
+}
+
+/// Reusable scratch for [`DependencyIndex::closure_for_with`]: per-call
+/// allocations (dedup bitsets, id buffers) hoisted out of the hot loop so a
+/// survey worker thread allocates once, not once per name.
+#[derive(Debug)]
+pub struct ClosureWorkspace {
+    seen_servers: BitSet,
+    seen_zones: BitSet,
+    servers: Vec<u32>,
+    zones: Vec<u32>,
+    seed_components: Vec<u32>,
+}
+
+/// One worker's slice of the phase-1 build: chain and dependency rows for
+/// a contiguous server range, flattened for CSR concatenation.
+struct RowSlice {
+    dep_flat: Vec<ServerId>,
+    dep_lens: Vec<u32>,
+    chain_flat: Vec<ZoneId>,
+    chain_lens: Vec<u32>,
+}
+
+/// Computes chain and dependency rows for servers `range`. `stamps` must
+/// be a `server_count`-sized array whose values never collide with the
+/// absolute server indices in `range` (epoch-per-server linear dedup).
+fn server_rows(universe: &Universe, range: std::ops::Range<usize>, stamps: &mut [u32]) -> RowSlice {
+    let mut rows = RowSlice {
+        dep_flat: Vec::new(),
+        dep_lens: Vec::with_capacity(range.len()),
+        chain_flat: Vec::new(),
+        chain_lens: Vec::with_capacity(range.len()),
+    };
+    let mut chain: Vec<ZoneId> = Vec::new();
+    for i in range {
+        let server = universe.server(ServerId(i as u32));
+        universe.chain_zones_into(&server.name, &mut chain);
+        let mut deps = 0u32;
+        for &zid in &chain {
+            for &ns in &universe.zone(zid).ns {
+                if stamps[ns.index()] != i as u32 {
+                    stamps[ns.index()] = i as u32;
+                    rows.dep_flat.push(ns);
+                    deps += 1;
+                }
+            }
+        }
+        rows.dep_lens.push(deps);
+        rows.chain_lens.push(chain.len() as u32);
+        rows.chain_flat.extend_from_slice(&chain);
+    }
+    rows
 }
 
 impl DependencyIndex {
-    /// Builds the index (O(servers × chain length)).
+    /// Builds the index. Small universes build inline; larger ones
+    /// parallelize across available cores (the result is identical either
+    /// way).
     pub fn build(universe: &Universe) -> DependencyIndex {
-        let mut server_deps = Vec::with_capacity(universe.server_count());
-        let mut server_chains = Vec::with_capacity(universe.server_count());
-        for sid in universe.server_ids() {
-            let server = universe.server(sid);
-            let chain = universe.chain_zones(&server.name);
-            let mut deps: Vec<ServerId> = Vec::new();
-            for &zid in &chain {
-                for &ns in &universe.zone(zid).ns {
-                    if !deps.contains(&ns) {
-                        deps.push(ns);
+        let threads = if universe.server_count() < 4096 {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        };
+        DependencyIndex::build_with_threads(universe, threads)
+    }
+
+    /// Builds the index with an explicit worker-thread count.
+    ///
+    /// Phase 1 computes per-server chains and dependency rows in parallel
+    /// over contiguous server ranges (concatenated in range order, so the
+    /// CSR is invariant in the thread count). Phase 2 condenses the
+    /// dependency graph into strongly connected components and memoizes
+    /// each component's reachable server/zone sets bottom-up.
+    pub fn build_with_threads(universe: &Universe, threads: usize) -> DependencyIndex {
+        let n = universe.server_count();
+        let threads = threads.clamp(1, 16);
+
+        // Phase 1: CSR rows (parallel).
+        let slices: Vec<RowSlice> = if threads == 1 || n < 2 * threads {
+            let mut stamps = vec![u32::MAX; n];
+            vec![server_rows(universe, 0..n, &mut stamps)]
+        } else {
+            let chunk = n.div_ceil(threads).max(1);
+            let mut slices = Vec::new();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                let mut start = 0usize;
+                while start < n {
+                    let range = start..(start + chunk).min(n);
+                    start = range.end;
+                    handles.push(scope.spawn(move |_| {
+                        let mut stamps = vec![u32::MAX; n];
+                        server_rows(universe, range, &mut stamps)
+                    }));
+                }
+                for handle in handles {
+                    slices.push(handle.join().expect("index build shard panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            slices
+        };
+
+        let mut dep_offsets = Vec::with_capacity(n + 1);
+        let mut chain_offsets = Vec::with_capacity(n + 1);
+        dep_offsets.push(0u32);
+        chain_offsets.push(0u32);
+        let mut dep_targets = Vec::new();
+        let mut chain_targets = Vec::new();
+        for slice in slices {
+            for &len in &slice.dep_lens {
+                let last = *dep_offsets.last().expect("non-empty offsets");
+                dep_offsets.push(last + len);
+            }
+            for &len in &slice.chain_lens {
+                let last = *chain_offsets.last().expect("non-empty offsets");
+                chain_offsets.push(last + len);
+            }
+            dep_targets.extend_from_slice(&slice.dep_flat);
+            chain_targets.extend_from_slice(&slice.chain_flat);
+        }
+        debug_assert_eq!(dep_offsets.len(), n + 1);
+        assert!(
+            u32::try_from(dep_targets.len()).is_ok(),
+            "dependency edge count fits u32"
+        );
+        assert!(
+            u32::try_from(chain_targets.len()).is_ok(),
+            "chain entry count fits u32"
+        );
+
+        // Phase 2: condense the dependency graph and memoize per-component
+        // sub-closures bottom-up (component ids are reverse topological:
+        // every successor of a component has a smaller id).
+        let mut gb = Csr::builder();
+        let mut row: Vec<u32> = Vec::new();
+        for s in 0..n {
+            row.clear();
+            let lo = dep_offsets[s] as usize;
+            let hi = dep_offsets[s + 1] as usize;
+            row.extend(dep_targets[lo..hi].iter().map(|sid| sid.0));
+            gb.push_row(&row);
+        }
+        let graph = gb.finish();
+        let scc = graph.scc();
+        let dag = graph.condense(&scc);
+
+        let zone_capacity = universe.zone_count();
+        let mut server_sets = BitSetInterner::new(n);
+        let mut zone_sets = BitSetInterner::new(zone_capacity);
+        let mut component_servers: Vec<SetId> = Vec::with_capacity(scc.count());
+        let mut component_zones: Vec<SetId> = Vec::with_capacity(scc.count());
+        let mut seen_servers = BitSet::new(n);
+        let mut seen_zones = BitSet::new(zone_capacity);
+        let mut out_servers: Vec<u32> = Vec::new();
+        let mut out_zones: Vec<u32> = Vec::new();
+        for (c, members) in scc.components.iter().enumerate() {
+            out_servers.clear();
+            out_zones.clear();
+            for member in members {
+                let s = member.index();
+                if seen_servers.insert(s) {
+                    out_servers.push(s as u32);
+                }
+                for zid in &chain_targets[chain_offsets[s] as usize..chain_offsets[s + 1] as usize]
+                {
+                    if seen_zones.insert(zid.index()) {
+                        out_zones.push(zid.0);
                     }
                 }
             }
-            server_deps.push(deps);
-            server_chains.push(chain);
+            for &d in dag.neighbors(c) {
+                debug_assert!((d as usize) < c, "condensation is reverse topological");
+                server_sets.union_into(
+                    component_servers[d as usize],
+                    &mut seen_servers,
+                    &mut out_servers,
+                );
+                zone_sets.union_into(component_zones[d as usize], &mut seen_zones, &mut out_zones);
+            }
+            out_servers.sort_unstable();
+            out_zones.sort_unstable();
+            component_servers.push(server_sets.intern(&out_servers));
+            component_zones.push(zone_sets.intern(&out_zones));
+            // Sparse clear keeps the whole pass linear in output size.
+            for &v in &out_servers {
+                seen_servers.remove(v as usize);
+            }
+            for &v in &out_zones {
+                seen_zones.remove(v as usize);
+            }
         }
+        let component_of: Vec<u32> = scc.component_of.iter().map(|&c| c as u32).collect();
+
         DependencyIndex {
-            server_deps,
-            server_chains,
+            dep_offsets,
+            dep_targets,
+            chain_offsets,
+            chain_targets,
+            component_of,
+            component_servers,
+            component_zones,
+            server_sets,
+            zone_sets,
         }
     }
 
     /// The servers that could be involved in resolving `server`'s address.
     pub fn deps_of(&self, server: ServerId) -> &[ServerId] {
-        &self.server_deps[server.index()]
+        let lo = self.dep_offsets[server.index()] as usize;
+        let hi = self.dep_offsets[server.index() + 1] as usize;
+        &self.dep_targets[lo..hi]
     }
 
     /// The zones on `server`'s name's chain (root excluded), root-first.
     pub fn chain_of(&self, server: ServerId) -> &[ZoneId] {
-        &self.server_chains[server.index()]
+        let lo = self.chain_offsets[server.index()] as usize;
+        let hi = self.chain_offsets[server.index() + 1] as usize;
+        &self.chain_targets[lo..hi]
     }
 
-    /// Computes the dependency closure for `target`.
+    /// Number of strongly connected components in the dependency graph.
+    pub fn component_count(&self) -> usize {
+        self.component_servers.len()
+    }
+
+    /// `(distinct server sets, distinct zone sets)` in the memo arenas —
+    /// interning statistics for diagnostics (sibling registry servers share
+    /// identical zone closures).
+    pub fn memo_stats(&self) -> (usize, usize) {
+        (self.server_sets.len(), self.zone_sets.len())
+    }
+
+    /// A scratch workspace sized for this index; reuse it across
+    /// [`DependencyIndex::closure_for_with`] calls to keep the per-name
+    /// cost allocation-free.
+    pub fn workspace(&self) -> ClosureWorkspace {
+        ClosureWorkspace {
+            seen_servers: BitSet::new(self.server_sets.capacity()),
+            seen_zones: BitSet::new(self.zone_sets.capacity()),
+            servers: Vec::new(),
+            zones: Vec::new(),
+            seed_components: Vec::new(),
+        }
+    }
+
+    /// Computes the dependency closure for `target` as a union of the
+    /// memoized per-component sub-closures.
     pub fn closure_for(&self, universe: &Universe, target: &DnsName) -> NameClosure {
+        self.closure_for_with(universe, target, &mut self.workspace())
+    }
+
+    /// [`DependencyIndex::closure_for`] with caller-owned scratch (the
+    /// survey engine holds one workspace per worker thread).
+    pub fn closure_for_with(
+        &self,
+        universe: &Universe,
+        target: &DnsName,
+        ws: &mut ClosureWorkspace,
+    ) -> NameClosure {
+        let target_chain = universe.chain_zones(target);
+        // Seed components: the NS sets of the target's own chain. The
+        // closure of each seed server is exactly its component's memoized
+        // set, so the per-name work is a small union, not a traversal.
+        ws.seed_components.clear();
+        for &zid in &target_chain {
+            for &ns in &universe.zone(zid).ns {
+                let c = self.component_of[ns.index()];
+                if !ws.seed_components.contains(&c) {
+                    ws.seed_components.push(c);
+                }
+            }
+        }
+        let mut zones: BTreeSet<ZoneId> = target_chain.iter().copied().collect();
+        let mut servers: BTreeSet<ServerId> = BTreeSet::new();
+        if let [c] = ws.seed_components[..] {
+            // Single component: its memoized sets are already deduplicated
+            // and sorted; stream them straight into the output.
+            self.server_sets
+                .for_each(self.component_servers[c as usize], |v| {
+                    servers.insert(ServerId(v));
+                });
+            self.zone_sets
+                .for_each(self.component_zones[c as usize], |v| {
+                    zones.insert(ZoneId(v));
+                });
+        } else if !ws.seed_components.is_empty() {
+            ws.servers.clear();
+            ws.zones.clear();
+            for &c in &ws.seed_components {
+                self.server_sets.union_into(
+                    self.component_servers[c as usize],
+                    &mut ws.seen_servers,
+                    &mut ws.servers,
+                );
+                self.zone_sets.union_into(
+                    self.component_zones[c as usize],
+                    &mut ws.seen_zones,
+                    &mut ws.zones,
+                );
+            }
+            ws.servers.sort_unstable();
+            ws.zones.sort_unstable();
+            servers.extend(ws.servers.iter().map(|&v| ServerId(v)));
+            zones.extend(ws.zones.iter().map(|&v| ZoneId(v)));
+            for &v in &ws.servers {
+                ws.seen_servers.remove(v as usize);
+            }
+            for &v in &ws.zones {
+                ws.seen_zones.remove(v as usize);
+            }
+        }
+        NameClosure {
+            target: target.to_lowercase(),
+            target_chain,
+            zones,
+            servers,
+        }
+    }
+
+    /// The legacy per-name BFS over the dependency adjacency — the
+    /// reference implementation [`DependencyIndex::closure_for`] is tested
+    /// against, and the baseline the closure bench measures speedups over.
+    pub fn closure_for_bfs(&self, universe: &Universe, target: &DnsName) -> NameClosure {
         let target_chain = universe.chain_zones(target);
         let mut servers: BTreeSet<ServerId> = BTreeSet::new();
         let mut zones: BTreeSet<ZoneId> = target_chain.iter().copied().collect();
@@ -278,6 +592,79 @@ mod tests {
                 .collect();
             assert!(names.contains(&"simon.cs.cornell.edu".to_string()));
             assert!(names.contains(&"cayuga.cs.rochester.edu".to_string()));
+        }
+    }
+
+    #[test]
+    fn memoized_closure_matches_bfs_on_cyclic_universe() {
+        // The cornell ↔ rochester web collapses into one SCC; the memoized
+        // union must agree with the legacy BFS set-for-set for every
+        // plausible target, including names inside the cycle.
+        let u = figure1_universe();
+        let index = DependencyIndex::build(&u);
+        let mut ws = index.workspace();
+        for target in [
+            "www.cs.cornell.edu",
+            "www.cs.rochester.edu",
+            "www.rochester.edu",
+            "www.cs.wisc.edu",
+            "www.umich.edu",
+            "host.edu-servers.net",
+            "nowhere.test",
+        ] {
+            let memo = index.closure_for_with(&u, &name(target), &mut ws);
+            let bfs = index.closure_for_bfs(&u, &name(target));
+            assert_eq!(memo.servers, bfs.servers, "{target} servers");
+            assert_eq!(memo.zones, bfs.zones, "{target} zones");
+            assert_eq!(memo.target_chain, bfs.target_chain, "{target} chain");
+            assert_eq!(memo.target, bfs.target);
+        }
+    }
+
+    #[test]
+    fn cycle_collapses_into_one_component() {
+        let u = figure1_universe();
+        let index = DependencyIndex::build(&u);
+        let simon = u.server_id(&name("simon.cs.cornell.edu")).unwrap();
+        let cayuga = u.server_id(&name("cayuga.cs.rochester.edu")).unwrap();
+        // simon serves rochester.edu (cayuga's chain) and cayuga serves
+        // cs.cornell.edu (simon's chain): mutual dependency, one SCC.
+        assert_eq!(
+            index.component_of[simon.index()],
+            index.component_of[cayuga.index()]
+        );
+        assert!(index.component_count() < u.server_count());
+        let (server_sets, zone_sets) = index.memo_stats();
+        assert!(server_sets <= index.component_count());
+        assert!(zone_sets <= index.component_count());
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let u = figure1_universe();
+        let serial = DependencyIndex::build_with_threads(&u, 1);
+        let parallel = DependencyIndex::build_with_threads(&u, 8);
+        for sid in u.server_ids() {
+            assert_eq!(serial.deps_of(sid), parallel.deps_of(sid), "{sid:?}");
+            assert_eq!(serial.chain_of(sid), parallel.chain_of(sid), "{sid:?}");
+        }
+        let a = serial.closure_for(&u, &name("www.cs.cornell.edu"));
+        let b = parallel.closure_for(&u, &name("www.cs.cornell.edu"));
+        assert_eq!(a.servers, b.servers);
+        assert_eq!(a.zones, b.zones);
+    }
+
+    #[test]
+    fn dep_rows_are_deduplicated() {
+        // simon.cs.cornell.edu sits on two chain zones that both list
+        // overlapping NS sets; its dependency row must list each server
+        // once, in first-occurrence order.
+        let u = figure1_universe();
+        let index = DependencyIndex::build(&u);
+        for sid in u.server_ids() {
+            let deps = index.deps_of(sid);
+            let unique: BTreeSet<ServerId> = deps.iter().copied().collect();
+            assert_eq!(unique.len(), deps.len(), "duplicate dep in row {sid:?}");
         }
     }
 

@@ -123,6 +123,37 @@ impl MetricColumn {
     pub fn is_empty(&self) -> bool {
         self.len() == Some(0)
     }
+
+    /// Appends a later batch's column of the same kind: per-name columns
+    /// concatenate (batches are contiguous name ranges in survey order),
+    /// value aggregates merge commutatively. This is what lets the
+    /// streaming engine pass merge per batch without ever holding all
+    /// shards in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column kinds differ (a metric changed its output
+    /// kind between batches).
+    pub fn append(&mut self, other: MetricColumn) {
+        match (self, other) {
+            (MetricColumn::Counts(a), MetricColumn::Counts(b)) => a.extend(b),
+            (MetricColumn::Floats(a), MetricColumn::Floats(b)) => a.extend(b),
+            (MetricColumn::Value(a), MetricColumn::Value(b)) => a.merge(&b),
+            (a, b) => panic!(
+                "column kind mismatch between batches: {} vs {}",
+                a.kind(),
+                b.kind()
+            ),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricColumn::Counts(_) => "counts",
+            MetricColumn::Floats(_) => "floats",
+            MetricColumn::Value(_) => "value",
+        }
+    }
 }
 
 /// The shard-local accumulator of one metric on one worker thread.

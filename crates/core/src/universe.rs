@@ -149,14 +149,15 @@ impl Universe {
         &self.servers[id.index()]
     }
 
-    /// Zone id by origin.
+    /// Zone id by origin. `DnsName` hashes and compares ASCII
+    /// case-insensitively, so no normalization copy is needed here.
     pub fn zone_id(&self, origin: &DnsName) -> Option<ZoneId> {
-        self.zone_by_origin.get(&origin.to_lowercase()).copied()
+        self.zone_by_origin.get(origin).copied()
     }
 
-    /// Server id by host name.
+    /// Server id by host name (case-insensitive, like [`Universe::zone_id`]).
     pub fn server_id(&self, name: &DnsName) -> Option<ServerId> {
-        self.server_by_name.get(&name.to_lowercase()).copied()
+        self.server_by_name.get(name).copied()
     }
 
     /// Iterates all zone ids.
@@ -173,13 +174,22 @@ impl Universe {
     /// the root zone (per the paper, root servers are taken as trusted and
     /// excluded from TCBs).
     pub fn chain_zones(&self, name: &DnsName) -> Vec<ZoneId> {
-        let mut chain: Vec<ZoneId> = name
-            .ancestors()
-            .filter(|a| !a.is_root())
-            .filter_map(|a| self.zone_id(&a))
-            .collect();
-        chain.reverse();
+        let mut chain = Vec::new();
+        self.chain_zones_into(name, &mut chain);
         chain
+    }
+
+    /// [`Universe::chain_zones`] into a caller-owned buffer (cleared
+    /// first), so bulk passes like the dependency-index build reuse one
+    /// allocation across hundreds of thousands of servers.
+    pub fn chain_zones_into(&self, name: &DnsName, out: &mut Vec<ZoneId>) {
+        out.clear();
+        out.extend(
+            name.ancestors()
+                .filter(|a| !a.is_root())
+                .filter_map(|a| self.zone_id(&a)),
+        );
+        out.reverse();
     }
 
     /// The deepest zone enclosing `name` (including the root zone if

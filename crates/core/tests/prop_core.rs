@@ -233,3 +233,44 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// The memoized sub-closure union agrees with the legacy per-name BFS
+    /// set-for-set on random universes — including the cyclic ones the
+    /// mixed hosting style produces (mutual cross-domain secondaries, the
+    /// cornell ↔ rochester pattern).
+    #[test]
+    fn memoized_closure_equals_bfs(spec in arb_world()) {
+        let (universe, targets) = build(&spec);
+        let index = DependencyIndex::build(&universe);
+        let mut ws = index.workspace();
+        for target in &targets {
+            let memo = index.closure_for_with(&universe, target, &mut ws);
+            let bfs = index.closure_for_bfs(&universe, target);
+            prop_assert_eq!(&memo.servers, &bfs.servers, "servers of {}", target);
+            prop_assert_eq!(&memo.zones, &bfs.zones, "zones of {}", target);
+            prop_assert_eq!(&memo.target_chain, &bfs.target_chain, "chain of {}", target);
+        }
+    }
+
+    /// The parallel index build is invariant in the thread count: the CSR
+    /// rows and every closure match the single-threaded build exactly.
+    #[test]
+    fn index_build_thread_invariant(spec in arb_world()) {
+        let (universe, targets) = build(&spec);
+        let serial = DependencyIndex::build_with_threads(&universe, 1);
+        let parallel = DependencyIndex::build_with_threads(&universe, 8);
+        for sid in universe.server_ids() {
+            prop_assert_eq!(serial.deps_of(sid), parallel.deps_of(sid));
+            prop_assert_eq!(serial.chain_of(sid), parallel.chain_of(sid));
+        }
+        for target in targets.iter().take(3) {
+            let a = serial.closure_for(&universe, target);
+            let b = parallel.closure_for(&universe, target);
+            prop_assert_eq!(&a.servers, &b.servers, "servers of {}", target);
+            prop_assert_eq!(&a.zones, &b.zones, "zones of {}", target);
+        }
+    }
+}

@@ -1,7 +1,14 @@
-//! A fixed-capacity bitset over `u64` blocks.
+//! A fixed-capacity bitset over `u64` blocks, plus an interner for
+//! memoized set storage.
 //!
 //! Reachability and closure computations over survey-scale graphs need cheap
-//! set union and membership; this is the usual packed representation.
+//! set union and membership; [`BitSet`] is the usual packed representation.
+//! [`BitSetInterner`] stores many related sets compactly — each distinct
+//! set once, sparse (sorted ids) when small and packed (bit blocks) when
+//! dense — which is what lets the dependency index memoize one reachable
+//! set per strongly connected component without quadratic memory.
+
+use std::collections::HashMap;
 
 /// A fixed-capacity set of `usize` values in `[0, capacity)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,6 +142,191 @@ impl FromIterator<usize> for BitSet {
     }
 }
 
+/// Handle to a set stored in a [`BitSetInterner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SetId(u32);
+
+impl SetId {
+    /// The id as an index into the interner's arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned set: sparse sorted ids when small, packed blocks when the
+/// set is dense enough that blocks are the smaller representation.
+#[derive(Debug, Clone)]
+enum CompactSet {
+    Sparse(Box<[u32]>),
+    Dense { blocks: Box<[u64]>, len: u32 },
+}
+
+/// A deduplicating arena of sets over `[0, capacity)`.
+///
+/// `intern` stores each distinct set once and hands out a [`SetId`];
+/// identical sets (e.g. the zone closures of sibling registry servers)
+/// share storage. Sets are stored sparsely (4 bytes per element) below a
+/// density of 1/32 and as bit blocks above it, so both a survey-scale
+/// arena of ~46-element mean closures and the occasional hub component
+/// reaching thousands of servers stay memory-bounded.
+#[derive(Debug, Clone)]
+pub struct BitSetInterner {
+    capacity: usize,
+    sets: Vec<CompactSet>,
+    /// FNV-1a hash of the sorted ids → candidate set ids (collisions are
+    /// resolved by full comparison).
+    by_hash: HashMap<u64, Vec<SetId>>,
+    /// Total elements across interned sets, counting each set once
+    /// (dedup-aware size accounting for diagnostics).
+    stored_elements: usize,
+}
+
+impl BitSetInterner {
+    /// Creates an empty interner for sets over `[0, capacity)`.
+    pub fn new(capacity: usize) -> BitSetInterner {
+        BitSetInterner {
+            capacity,
+            sets: Vec::new(),
+            by_hash: HashMap::new(),
+            stored_elements: 0,
+        }
+    }
+
+    /// The element capacity sets are bounded by.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of distinct sets stored.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when no set has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Total elements across distinct sets (each set counted once).
+    pub fn stored_elements(&self) -> usize {
+        self.stored_elements
+    }
+
+    /// Interns `ids`, which must be sorted ascending and duplicate-free
+    /// with every element `< capacity`. Returns the id of the stored set —
+    /// the same id for an identical set interned earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ids` is unsorted, has duplicates, or exceeds capacity.
+    pub fn intern(&mut self, ids: &[u32]) -> SetId {
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "interned ids must be sorted and unique"
+        );
+        if let Some(&last) = ids.last() {
+            assert!(
+                (last as usize) < self.capacity,
+                "id {last} out of capacity {}",
+                self.capacity
+            );
+        }
+        let hash = fnv1a(ids);
+        if let Some(candidates) = self.by_hash.get(&hash) {
+            for &id in candidates {
+                if self.eq_ids(id, ids) {
+                    return id;
+                }
+            }
+        }
+        let id = SetId(u32::try_from(self.sets.len()).expect("interner set count fits u32"));
+        self.sets.push(self.pack(ids));
+        self.stored_elements += ids.len();
+        self.by_hash.entry(hash).or_default().push(id);
+        id
+    }
+
+    /// Number of elements in set `id`.
+    pub fn set_len(&self, id: SetId) -> usize {
+        match &self.sets[id.index()] {
+            CompactSet::Sparse(ids) => ids.len(),
+            CompactSet::Dense { len, .. } => *len as usize,
+        }
+    }
+
+    /// Calls `f` for every element of set `id`, ascending.
+    pub fn for_each(&self, id: SetId, mut f: impl FnMut(u32)) {
+        match &self.sets[id.index()] {
+            CompactSet::Sparse(ids) => ids.iter().copied().for_each(f),
+            CompactSet::Dense { blocks, .. } => {
+                for (i, &block) in blocks.iter().enumerate() {
+                    let mut bits = block;
+                    while bits != 0 {
+                        let tz = bits.trailing_zeros();
+                        bits &= bits - 1;
+                        f((i * 64) as u32 + tz);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unions set `id` into the `seen` scratch set, appending every element
+    /// not already present to `out`. The caller owns clearing `seen`
+    /// (sparsely, via `out`) between uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seen` was not sized to this interner's capacity.
+    pub fn union_into(&self, id: SetId, seen: &mut BitSet, out: &mut Vec<u32>) {
+        assert_eq!(seen.capacity(), self.capacity, "scratch capacity mismatch");
+        self.for_each(id, |v| {
+            if seen.insert(v as usize) {
+                out.push(v);
+            }
+        });
+    }
+
+    fn pack(&self, ids: &[u32]) -> CompactSet {
+        // Dense wins once 4 bytes/element exceeds capacity/8 bytes of blocks.
+        if ids.len() * 32 >= self.capacity && self.capacity >= 64 {
+            let mut blocks = vec![0u64; self.capacity.div_ceil(64)];
+            for &v in ids {
+                blocks[v as usize / 64] |= 1u64 << (v % 64);
+            }
+            CompactSet::Dense {
+                blocks: blocks.into_boxed_slice(),
+                len: ids.len() as u32,
+            }
+        } else {
+            CompactSet::Sparse(ids.into())
+        }
+    }
+
+    fn eq_ids(&self, id: SetId, ids: &[u32]) -> bool {
+        match &self.sets[id.index()] {
+            CompactSet::Sparse(stored) => stored.as_ref() == ids,
+            CompactSet::Dense { blocks, len } => {
+                *len as usize == ids.len()
+                    && ids
+                        .iter()
+                        .all(|&v| blocks[v as usize / 64] & (1u64 << (v % 64)) != 0)
+            }
+        }
+    }
+}
+
+fn fnv1a(ids: &[u32]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &v in ids {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +377,72 @@ mod tests {
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 63, 64, 77, 199]);
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn interner_dedupes_identical_sets() {
+        let mut pool = BitSetInterner::new(1000);
+        let a = pool.intern(&[1, 5, 900]);
+        let b = pool.intern(&[1, 5, 900]);
+        let c = pool.intern(&[1, 5]);
+        assert_eq!(a, b, "identical sets share one id");
+        assert_ne!(a, c);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.stored_elements(), 5);
+        assert_eq!(pool.set_len(a), 3);
+        let mut got = Vec::new();
+        pool.for_each(a, |v| got.push(v));
+        assert_eq!(got, vec![1, 5, 900]);
+    }
+
+    #[test]
+    fn interner_dense_representation_roundtrips() {
+        let mut pool = BitSetInterner::new(256);
+        // 0..128 is dense enough (128 * 32 >= 256) to be packed as blocks.
+        let big: Vec<u32> = (0..128).collect();
+        let id = pool.intern(&big);
+        assert_eq!(pool.set_len(id), 128);
+        let mut got = Vec::new();
+        pool.for_each(id, |v| got.push(v));
+        assert_eq!(got, big);
+        // Dense and sparse storage dedupe against each other consistently.
+        assert_eq!(pool.intern(&big), id);
+        let small = pool.intern(&[3, 4]);
+        assert_ne!(small, id);
+    }
+
+    #[test]
+    fn interner_union_into_appends_fresh_elements() {
+        let mut pool = BitSetInterner::new(100);
+        let a = pool.intern(&[2, 7, 40]);
+        let b = pool.intern(&[7, 41]);
+        let mut seen = BitSet::new(100);
+        let mut out = Vec::new();
+        pool.union_into(a, &mut seen, &mut out);
+        pool.union_into(b, &mut seen, &mut out);
+        assert_eq!(out, vec![2, 7, 40, 41], "7 appended once");
+    }
+
+    #[test]
+    fn interner_empty_set() {
+        let mut pool = BitSetInterner::new(10);
+        let a = pool.intern(&[]);
+        let b = pool.intern(&[]);
+        assert_eq!(a, b);
+        assert_eq!(pool.set_len(a), 0);
+        assert_eq!(pool.stored_elements(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn interner_rejects_unsorted_ids() {
+        BitSetInterner::new(10).intern(&[5, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn interner_rejects_out_of_range_ids() {
+        BitSetInterner::new(10).intern(&[10]);
     }
 
     #[test]

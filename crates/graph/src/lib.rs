@@ -4,7 +4,10 @@
 //! `petgraph`) providing exactly what the transitive-trust analysis needs:
 //!
 //! * [`digraph`] — an arena-based directed graph with dense [`NodeId`]s;
-//! * [`bitset`] — a fixed-capacity bitset used for reachability sets;
+//! * [`csr`] — immutable compressed-sparse-row adjacency for build-once
+//!   read-many graphs (the survey's dependency index);
+//! * [`bitset`] — a fixed-capacity bitset used for reachability sets, plus
+//!   a deduplicating set interner for memoized sub-closures;
 //! * [`traversal`] — BFS/DFS, topological sort, reachability and transitive
 //!   closure;
 //! * [`scc`] — Tarjan strongly-connected components and condensation
@@ -16,12 +19,14 @@
 //!   analysis used by the ablation benches.
 
 pub mod bitset;
+pub mod csr;
 pub mod digraph;
 pub mod dom;
 pub mod flow;
 pub mod scc;
 pub mod traversal;
 
-pub use bitset::BitSet;
+pub use bitset::{BitSet, BitSetInterner, SetId};
+pub use csr::{Csr, CsrBuilder};
 pub use digraph::{DiGraph, NodeId};
 pub use flow::{FlowNetwork, VertexCut};

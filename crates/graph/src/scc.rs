@@ -27,7 +27,22 @@ impl SccResult {
 
 /// Computes strongly connected components with an iterative Tarjan.
 pub fn tarjan_scc<N>(graph: &DiGraph<N>) -> SccResult {
-    let n = graph.node_count();
+    tarjan_scc_with(
+        graph.node_count(),
+        |u| graph.out_degree(NodeId(u as u32)),
+        |u, k| graph.out_neighbors(NodeId(u as u32))[k].index(),
+    )
+}
+
+/// The iterative-Tarjan core over any adjacency representation: `degree(u)`
+/// is node `u`'s out-degree and `neighbor(u, k)` its `k`-th out-neighbor.
+/// [`tarjan_scc`] (arena graphs) and [`crate::csr::Csr::scc`] (CSR) both
+/// delegate here.
+pub fn tarjan_scc_with(
+    n: usize,
+    degree: impl Fn(usize) -> usize,
+    neighbor: impl Fn(usize, usize) -> usize,
+) -> SccResult {
     const UNSET: usize = usize::MAX;
     let mut index_of = vec![UNSET; n];
     let mut low = vec![0usize; n];
@@ -39,7 +54,7 @@ pub fn tarjan_scc<N>(graph: &DiGraph<N>) -> SccResult {
 
     // Explicit DFS frames: (node, neighbor cursor).
     let mut frames: Vec<(NodeId, usize)> = Vec::new();
-    for root in graph.nodes() {
+    for root in (0..n as u32).map(NodeId) {
         if index_of[root.index()] != UNSET {
             continue;
         }
@@ -51,9 +66,8 @@ pub fn tarjan_scc<N>(graph: &DiGraph<N>) -> SccResult {
         on_stack[root.index()] = true;
 
         while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
-            let neighbors = graph.out_neighbors(v);
-            if *cursor < neighbors.len() {
-                let w = neighbors[*cursor];
+            if *cursor < degree(v.index()) {
+                let w = NodeId(neighbor(v.index(), *cursor) as u32);
                 *cursor += 1;
                 if index_of[w.index()] == UNSET {
                     index_of[w.index()] = next_index;

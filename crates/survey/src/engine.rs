@@ -8,9 +8,16 @@
 //! (fbi.gov, Figure 1) and wire-probed worlds all load through the same
 //! trait — and [`Engine::run`] shards the name loop across threads exactly
 //! as the seed driver did: each worker owns a contiguous name range,
-//! computes every name's dependency closure **once**, feeds it to every
-//! metric's shard accumulator, and the merge concatenates shards in range
-//! order, so results are deterministic and invariant in the thread count.
+//! computes every name's dependency closure **once** (via the memoized
+//! sub-closure index, with per-worker scratch), feeds it to every metric's
+//! shard accumulator, and the merge concatenates shards in range order, so
+//! results are deterministic and invariant in the thread count.
+//!
+//! [`Engine::run_batched`] is the same pass streamed in bounded batches:
+//! shards live only for one batch, each batch merges immediately, and the
+//! merged columns append across batches, so peak accumulator memory is set
+//! by the batch size rather than the name count. `run` is the
+//! single-batch special case and produces byte-identical reports.
 //!
 //! The output is a columnar [`SurveyReport`] keyed by metric column id,
 //! with typed accessors for the classic figures' columns.
@@ -349,106 +356,165 @@ impl Engine {
         self.metrics.iter().map(|m| m.id()).collect()
     }
 
-    /// Loads `source` and runs every registered metric over it.
+    /// Loads `source` and runs every registered metric over it in one
+    /// batch (peak memory proportional to the name count; see
+    /// [`Engine::run_batched`] for the bounded-memory pass).
     pub fn run(&self, source: impl WorldSource) -> SurveyReport {
         self.run_world(source.load())
     }
 
+    /// Loads `source` and streams the survey in bounded batches: names are
+    /// fed through the sharded loop `batch_size` at a time, each batch's
+    /// shards are merged immediately, and the merged columns are appended
+    /// across batches. Peak accumulator memory is therefore proportional
+    /// to `batch_size × threads`, not to the name count — the knob that
+    /// keeps 593k-name paper-scale runs memory-bounded.
+    ///
+    /// The result is identical to [`Engine::run`] for every batch size:
+    /// per-name columns concatenate in survey order and aggregate columns
+    /// merge commutatively ([`MetricColumn::append`]).
+    pub fn run_batched(&self, source: impl WorldSource, batch_size: NonZeroUsize) -> SurveyReport {
+        self.run_world_batched(source.load(), Some(batch_size))
+    }
+
     /// Runs every registered metric over an already-built world.
     pub fn run_world(&self, world: AnalysisWorld) -> SurveyReport {
-        let index = DependencyIndex::build(&world.universe);
-        let n = world.names.len();
+        self.run_world_batched(world, None)
+    }
 
-        let threads = self
-            .threads
+    fn thread_count(&self) -> usize {
+        self.threads
             .map(NonZeroUsize::get)
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(NonZeroUsize::get)
                     .unwrap_or(4)
             })
-            .clamp(1, 16);
+            .clamp(1, 16)
+    }
 
-        // Shard the per-name loop: each worker owns one contiguous name
-        // range and its own accumulators; the closure is computed once per
-        // name and shared by every metric.
-        let chunk = n.div_ceil(threads).max(1);
+    fn run_world_batched(
+        &self,
+        world: AnalysisWorld,
+        batch_size: Option<NonZeroUsize>,
+    ) -> SurveyReport {
+        let threads = self.thread_count();
+        let index = DependencyIndex::build_with_threads(&world.universe, threads);
+        let n = world.names.len();
+        let batch = batch_size.map(NonZeroUsize::get).unwrap_or(n.max(1));
+
         let universe = &world.universe;
         let names = &world.names;
         let index_ref = &index;
         let metrics = &self.metrics;
 
-        // Per-run metric precomputation, shared by every shard.
+        // Per-run metric precomputation, shared by every shard of every
+        // batch.
         let prepared: Vec<_> = metrics.iter().map(|m| m.prepare(universe)).collect();
         let prepared_ref = &prepared;
 
-        let mut worker_shards: Vec<Vec<Box<dyn MetricShard>>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let mut start = 0usize;
-            while start < n {
-                let len = chunk.min(n - start);
-                let range = start..start + len;
-                handles.push(scope.spawn(move |_| {
-                    let mut shards: Vec<Box<dyn MetricShard>> = metrics
-                        .iter()
-                        .zip(prepared_ref)
-                        .map(|(m, p)| m.shard(universe, len, p))
-                        .collect();
-                    for (slot, i) in range.enumerate() {
-                        let closure = index_ref.closure_for(universe, &names[i].name);
-                        let ctx = MeasureCtx {
-                            universe,
-                            index: index_ref,
-                            name: &names[i].name,
-                            name_index: i,
-                            closure: &closure,
-                        };
-                        for shard in &mut shards {
-                            shard.measure(&ctx, slot);
+        let mut merged: BTreeMap<String, MetricColumn> = BTreeMap::new();
+        let mut batch_start = 0usize;
+        loop {
+            let batch_len = batch.min(n - batch_start);
+            let batch_range = batch_start..batch_start + batch_len;
+
+            // Shard the batch's name range: each worker owns one
+            // contiguous sub-range and its own accumulators; the closure
+            // is computed once per name and shared by every metric.
+            let chunk = batch_len.div_ceil(threads).max(1);
+            let mut worker_shards: Vec<Vec<Box<dyn MetricShard>>> = Vec::new();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                let mut start = batch_range.start;
+                while start < batch_range.end {
+                    let len = chunk.min(batch_range.end - start);
+                    let range = start..start + len;
+                    handles.push(scope.spawn(move |_| {
+                        let mut shards: Vec<Box<dyn MetricShard>> = metrics
+                            .iter()
+                            .zip(prepared_ref)
+                            .map(|(m, p)| m.shard(universe, len, p))
+                            .collect();
+                        let mut ws = index_ref.workspace();
+                        for (slot, i) in range.enumerate() {
+                            let closure =
+                                index_ref.closure_for_with(universe, &names[i].name, &mut ws);
+                            let ctx = MeasureCtx {
+                                universe,
+                                index: index_ref,
+                                name: &names[i].name,
+                                name_index: i,
+                                closure: &closure,
+                            };
+                            for shard in &mut shards {
+                                shard.measure(&ctx, slot);
+                            }
+                        }
+                        shards
+                    }));
+                    start += len;
+                }
+                for handle in handles {
+                    worker_shards.push(handle.join().expect("survey shard panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+
+            // Transpose worker-major into metric-major, preserving range
+            // order, and merge this batch.
+            let mut per_metric: Vec<Vec<Box<dyn MetricShard>>> =
+                (0..self.metrics.len()).map(|_| Vec::new()).collect();
+            for worker in worker_shards {
+                for (k, shard) in worker.into_iter().enumerate() {
+                    per_metric[k].push(shard);
+                }
+            }
+            for (metric, shards) in self.metrics.iter().zip(per_metric) {
+                for (id, column) in metric.merge(universe, shards) {
+                    if let Some(len) = column.len() {
+                        assert_eq!(
+                            len,
+                            batch_len,
+                            "metric {:?} column {id:?} has wrong batch length",
+                            metric.id()
+                        );
+                    }
+                    match merged.entry(id) {
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            if batch_start > 0 {
+                                panic!(
+                                    "metric {:?} produced column {:?} only after the first batch",
+                                    metric.id(),
+                                    slot.key()
+                                );
+                            }
+                            slot.insert(column);
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut slot) => {
+                            assert!(batch_start > 0, "duplicate metric column {:?}", slot.key());
+                            slot.get_mut().append(column);
                         }
                     }
-                    shards
-                }));
-                start += len;
+                }
             }
-            for handle in handles {
-                worker_shards.push(handle.join().expect("survey shard panicked"));
-            }
-        })
-        .expect("crossbeam scope");
 
-        // Transpose worker-major into metric-major, preserving range order,
-        // and merge.
-        let mut per_metric: Vec<Vec<Box<dyn MetricShard>>> =
-            (0..self.metrics.len()).map(|_| Vec::new()).collect();
-        for worker in worker_shards {
-            for (k, shard) in worker.into_iter().enumerate() {
-                per_metric[k].push(shard);
+            batch_start = batch_range.end;
+            if batch_start >= n {
+                break;
             }
         }
-        let mut merged: BTreeMap<String, MetricColumn> = BTreeMap::new();
-        for (metric, shards) in self.metrics.iter().zip(per_metric) {
-            for (id, column) in metric.merge(universe, shards) {
-                if let Some(len) = column.len() {
-                    assert_eq!(
-                        len,
-                        n,
-                        "metric {:?} column {id:?} has wrong length",
-                        metric.id()
-                    );
-                }
-                assert!(
-                    merged.insert(id.clone(), column).is_none(),
-                    "duplicate metric column {id:?}"
-                );
+        for (id, column) in &merged {
+            if let Some(len) = column.len() {
+                assert_eq!(len, n, "column {id:?} has wrong total length");
             }
         }
 
         // Exact hijack sample (sequential; used by the ablation analysis).
         let mut exact_sample = Vec::new();
+        let mut ws = index.workspace();
         for i in 0..self.exact_hijack_sample.min(n) {
-            let closure = index.closure_for(&world.universe, &world.names[i].name);
+            let closure = index.closure_for_with(&world.universe, &world.names[i].name, &mut ws);
             if let Some(exact) = min_hijack_exact(&world.universe, &closure) {
                 exact_sample.push((i, exact.size(), exact.safe_members));
             }
@@ -516,6 +582,51 @@ mod tests {
             params: TopologyParams::tiny(47),
         });
         let _ = report.tcb_sizes();
+    }
+
+    #[test]
+    fn batched_run_matches_unbatched() {
+        let params = TopologyParams::tiny(53);
+        let engine = tiny_engine();
+        let baseline = engine.run(SyntheticSource {
+            params: params.clone(),
+        });
+        let n = baseline.world.names.len();
+        assert!(n > 0);
+        for batch in [1usize, 7, 64, n] {
+            let batched = engine.run_batched(
+                SyntheticSource {
+                    params: params.clone(),
+                },
+                NonZeroUsize::new(batch).unwrap(),
+            );
+            for id in baseline.column_ids() {
+                let a = baseline.column(id).expect("baseline column");
+                let b = batched.column(id).expect("batched column");
+                match (a, b) {
+                    (MetricColumn::Counts(x), MetricColumn::Counts(y)) => {
+                        assert_eq!(x, y, "{id} at batch {batch}")
+                    }
+                    (MetricColumn::Floats(x), MetricColumn::Floats(y)) => {
+                        assert_eq!(x, y, "{id} at batch {batch}")
+                    }
+                    (MetricColumn::Value(x), MetricColumn::Value(y)) => {
+                        assert_eq!(x.ranking(), y.ranking(), "{id} at batch {batch}");
+                        assert_eq!(x.names_seen(), y.names_seen());
+                    }
+                    _ => panic!("{id} changed kind at batch {batch}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_run_handles_empty_world() {
+        let world = AnalysisWorld::from_targets(perils_core::universe::Universe::default(), vec![]);
+        let report =
+            Engine::with_builtin_metrics().run_batched(world, NonZeroUsize::new(16).unwrap());
+        assert!(report.tcb_sizes().is_empty());
+        assert_eq!(report.value().names_seen(), 0);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Property tests of the streaming engine pass: for random synthetic
+//! seeds, `Engine::run_batched` must produce a `SurveyReport` identical to
+//! `Engine::run` at every tested batch size — per-name columns
+//! element-for-element, the value aggregate ranking-for-ranking — and the
+//! report must be invariant in the worker thread count at the same time.
+
+use proptest::prelude::*;
+
+use perils_core::metric::MetricColumn;
+use perils_survey::engine::{Engine, SurveyReport, SyntheticSource};
+use perils_survey::params::TopologyParams;
+use std::num::NonZeroUsize;
+
+/// Small-but-structured generator parameters: a few hundred names over
+/// every hosting style, deterministic in `seed`.
+fn params(seed: u64) -> TopologyParams {
+    TopologyParams::tiny(seed)
+}
+
+fn assert_reports_equal(a: &SurveyReport, b: &SurveyReport, what: &str) -> Result<(), String> {
+    let ids_a: Vec<&str> = a.column_ids().collect();
+    let ids_b: Vec<&str> = b.column_ids().collect();
+    prop_assert_eq!(&ids_a, &ids_b, "column sets differ ({})", what);
+    for id in ids_a {
+        match (a.column(id).unwrap(), b.column(id).unwrap()) {
+            (MetricColumn::Counts(x), MetricColumn::Counts(y)) => {
+                prop_assert_eq!(x, y, "{} differs ({})", id, what)
+            }
+            (MetricColumn::Floats(x), MetricColumn::Floats(y)) => {
+                prop_assert_eq!(x, y, "{} differs ({})", id, what)
+            }
+            (MetricColumn::Value(x), MetricColumn::Value(y)) => {
+                prop_assert_eq!(x.names_seen(), y.names_seen(), "{} ({})", id, what);
+                prop_assert_eq!(x.ranking(), y.ranking(), "{} ranking ({})", id, what);
+            }
+            _ => return Err(format!("{id} changed column kind ({what})")),
+        }
+    }
+    prop_assert_eq!(&a.exact_sample, &b.exact_sample, "exact sample ({})", what);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// `run_batched` ≡ `run` for batch sizes {1, 7, 64, all}.
+    #[test]
+    fn batched_report_identical_to_unbatched(seed in 0u64..10_000) {
+        let engine = Engine::with_builtin_metrics().exact_hijack_sample(5);
+        let baseline = engine.run(SyntheticSource { params: params(seed) });
+        let n = baseline.world.names.len();
+        prop_assert!(n > 0);
+        for batch in [1usize, 7, 64, n] {
+            let batched = engine.run_batched(
+                SyntheticSource { params: params(seed) },
+                NonZeroUsize::new(batch).expect("non-zero batch"),
+            );
+            assert_reports_equal(&baseline, &batched, &format!("batch {batch}"))?;
+        }
+    }
+
+    /// Batching composes with thread-count invariance: a single-threaded
+    /// unbatched run equals a multi-threaded batched run.
+    #[test]
+    fn batching_and_threading_commute(seed in 0u64..10_000, batch in 1usize..96) {
+        let one = Engine::with_builtin_metrics()
+            .threads(NonZeroUsize::new(1))
+            .run(SyntheticSource { params: params(seed) });
+        let many = Engine::with_builtin_metrics()
+            .threads(NonZeroUsize::new(8))
+            .run_batched(
+                SyntheticSource { params: params(seed) },
+                NonZeroUsize::new(batch).expect("non-zero batch"),
+            );
+        assert_reports_equal(&one, &many, &format!("1-thread vs 8-thread batch {batch}"))?;
+    }
+}

@@ -96,7 +96,7 @@ impl VulnDb {
     }
 
     /// The ISC BIND vulnerability matrix as of February 2004 — the paper's
-    /// reference [4].
+    /// reference \[4\].
     pub fn isc_feb_2004() -> VulnDb {
         let advisories = vec![
             Advisory {

@@ -1,6 +1,6 @@
 //! BIND version parsing and the ISC advisory matrix.
 //!
-//! The paper overlays "well-documented software bugs" (its citation [4] is
+//! The paper overlays "well-documented software bugs" (its citation \[4\] is
 //! the ISC BIND vulnerability page, February 2004) on the delegation graphs
 //! it measured: 27,141 of 166,771 surveyed servers ran versions with known
 //! exploits, which poisons 45% of all names' TCBs.
