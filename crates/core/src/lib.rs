@@ -28,7 +28,9 @@
 //! * [`dnssec`] — the §5 argument made quantitative: signing stops
 //!   forgery but not denial;
 //! * [`misconfig`] — configuration-error audits (single-homed zones,
-//!   unresolvable NS, glueless cycles, deep dependency nesting).
+//!   unresolvable NS, glueless cycles, deep dependency nesting);
+//! * [`zombie`] — zombie-delegation analysis: names whose NS sets resolve
+//!   only to dead/unreachable infrastructure.
 
 pub mod attack;
 pub mod closure;
@@ -41,15 +43,17 @@ pub mod tcb;
 pub mod universe;
 pub mod usable;
 pub mod value;
+pub mod zombie;
 
 pub use closure::{DependencyIndex, NameClosure};
 pub use dnssec::{DeploymentPolicy, DnssecCoverageMetric};
 pub use hijack::{HijackAnalysis, HijackSet};
 pub use metric::{
-    MeasureCtx, MetricColumn, MetricShard, MinCutMetric, NameMetric, PreparedState, TcbMetric,
-    ValueMetric,
+    ColumnKind, MeasureCtx, MetricColumn, MetricShard, MinCutMetric, NameMetric, PreparedState,
+    TcbMetric, ValueMetric,
 };
 pub use misconfig::{DepthIndex, MisconfigIndex, MisconfigMetric};
 pub use tcb::TcbStats;
 pub use universe::{ServerEntry, ServerId, Universe, UniverseBuilder, ZoneEntry, ZoneId};
 pub use value::ValueIndex;
+pub use zombie::{ZombieDelegationMetric, ZombieIndex};

@@ -57,6 +57,14 @@ pub mod columns {
     pub const DNSSEC_SIGNED_FRACTION: &str = "dnssec_signed_fraction";
     /// 1 when the name's own chain of trust is unbroken, else 0.
     pub const DNSSEC_CHAIN_PROTECTED: &str = "dnssec_chain_protected";
+    /// Dead (unresolvable-infrastructure) servers in the name's TCB.
+    pub const ZOMBIE_DEAD_IN_TCB: &str = "zombie_dead_in_tcb";
+    /// Zombie delegations (zones whose entire NS set is dead) in the
+    /// name's closure.
+    pub const ZOMBIE_ZONES: &str = "zombie_zones";
+    /// 1 when a zone on the name's own chain is a zombie delegation (the
+    /// name resolves only through dead infrastructure), else 0.
+    pub const ZOMBIE_ORPHANED: &str = "zombie_orphaned";
 }
 
 /// Everything a metric may consult for one surveyed name. The engine
@@ -74,7 +82,45 @@ pub struct MeasureCtx<'a> {
     pub closure: &'a NameClosure,
 }
 
+/// The shape of a [`MetricColumn`] — the queryable column schema.
+///
+/// Every column id a [`NameMetric`] declares maps to exactly one kind,
+/// and the kind is stable for the lifetime of a report (batches of a
+/// streamed run must produce the same kind every time; see
+/// [`MetricColumn::append`]). Consumers — figure renderers, exporters —
+/// match on the kind instead of guessing an accessor, so a mismatch is a
+/// typed error rather than a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnKind {
+    /// Per-name integer counts, one entry per surveyed name.
+    Counts,
+    /// Per-name floating-point values, one entry per surveyed name.
+    Floats,
+    /// A universe-wide aggregate ([`ValueIndex`]), not per-name.
+    Value,
+}
+
+impl std::fmt::Display for ColumnKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ColumnKind::Counts => "counts",
+            ColumnKind::Floats => "floats",
+            ColumnKind::Value => "value",
+        })
+    }
+}
+
 /// One merged output column of a metric.
+///
+/// # Column-schema contract
+///
+/// A metric's [`NameMetric::columns`] list is its public schema: every id
+/// in that list appears exactly once in the [`NameMetric::merge`] output,
+/// always with the same [`ColumnKind`]. Ids are globally unique per engine
+/// (registration enforces this), so a column id is a stable, queryable
+/// address — figure renderers declare the ids they need and the registry
+/// checks availability before building, making "metric not registered" a
+/// typed skip instead of a panic.
 #[derive(Debug, Clone)]
 pub enum MetricColumn {
     /// Per-name integer counts, in survey name order.
@@ -147,11 +193,12 @@ impl MetricColumn {
         }
     }
 
-    fn kind(&self) -> &'static str {
+    /// The column's schema kind (see the column-schema contract above).
+    pub fn kind(&self) -> ColumnKind {
         match self {
-            MetricColumn::Counts(_) => "counts",
-            MetricColumn::Floats(_) => "floats",
-            MetricColumn::Value(_) => "value",
+            MetricColumn::Counts(_) => ColumnKind::Counts,
+            MetricColumn::Floats(_) => ColumnKind::Floats,
+            MetricColumn::Value(_) => ColumnKind::Value,
         }
     }
 }

@@ -1,110 +1,142 @@
-//! Regenerates every figure of the paper from a seeded synthetic survey,
-//! running the full extended metric set through the analysis engine.
+//! Regenerates the paper's figures from a seeded synthetic survey through
+//! the figure registry.
 //!
 //! ```text
-//! cargo run --release -p perils-survey --bin figures [-- --scale tiny|default|paper]
-//!                                                    [--seed N] [--csv DIR]
+//! cargo run --release -p perils-survey --bin figures -- \
+//!     [--scale tiny|default|paper] [--seed N] [--list] [--only ID[,ID...]]
+//!     [--format text|csv|json] [--out DIR] [--csv DIR]
 //! ```
 //!
-//! Prints each figure as an aligned text table (the EXPERIMENTS.md data
-//! source) and, with `--csv`, writes one CSV per figure for external
-//! plotting.
+//! The CLI is registry-driven: it registers metrics on the engine and
+//! figures on the [`FigureRegistry`], then renders whatever the registry
+//! produces — figures whose metrics are absent are reported as skipped,
+//! and a custom metric+figure pair plugs in without touching any
+//! per-figure code here (the zombie-delegation workload below is exactly
+//! that). `--list` prints the registered figures with their required
+//! columns; `--only` selects a subset; `--format`/`--out` choose the
+//! serialization and destination (`--csv DIR` is the legacy flag for an
+//! additional CSV directory sink). Note for `--csv` users: files are now
+//! named by figure id (`fig2.csv`, `headline.csv`, …) instead of the old
+//! per-figure names (`fig2_tcb_cdf.csv`, …), since the registry owns the
+//! naming. Without `--out`, figures stream to stdout; the aligned-text
+//! stream is the EXPERIMENTS.md data source.
 
-use perils_core::metric::columns;
-use perils_core::misconfig::{
-    FLAG_DEEP_DEPENDENCY, FLAG_SINGLE_OPERATOR, FLAG_SINGLE_SERVER, FLAG_UNRESOLVABLE_NS,
-};
+use perils_core::ZombieDelegationMetric;
 use perils_survey::driver::SurveyConfig;
-use perils_survey::engine::{Engine, SyntheticSource};
-use perils_survey::figures;
-use std::io::Write;
+use perils_survey::engine::{Engine, SurveyReport, SyntheticSource};
+use perils_survey::figures::ZombieFigure;
+use perils_survey::render::{
+    DirectorySink, FigureOutcome, FigureRegistry, ReportSink, SinkFormat, WriterSink,
+};
 
-fn main() {
-    let mut scale = "default".to_string();
-    let mut seed = 20040722u64; // 2004-07-22, the paper's crawl date
-    let mut csv_dir: Option<String> = None;
+const USAGE: &str = "usage: figures [--scale tiny|default|paper] [--seed N] [--list]\n               [--only ID[,ID...]] [--format text|csv|json] [--out DIR] [--csv DIR]";
+
+/// Prints a usage error and exits with status 2 (never panics on bad
+/// arguments).
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    scale: String,
+    seed: u64,
+    list: bool,
+    only: Option<Vec<String>>,
+    format: SinkFormat,
+    out_dir: Option<String>,
+    legacy_csv_dir: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        scale: "default".to_string(),
+        seed: 20040722, // 2004-07-22, the paper's crawl date
+        list: false,
+        only: None,
+        format: SinkFormat::Text,
+        out_dir: None,
+        legacy_csv_dir: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => scale = args.next().unwrap_or_else(|| "default".into()),
-            "--seed" => {
-                seed = args
+            "--scale" => {
+                parsed.scale = args
                     .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| panic!("--seed needs an integer"))
+                    .unwrap_or_else(|| usage_error("--scale needs a value"));
             }
-            "--csv" => csv_dir = args.next(),
-            other => {
-                eprintln!("unknown argument {other:?}");
-                eprintln!("usage: figures [--scale tiny|default|paper] [--seed N] [--csv DIR]");
-                std::process::exit(2);
+            "--seed" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--seed needs an integer"));
+                parsed.seed = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("malformed --seed {raw:?}")));
             }
+            "--list" => parsed.list = true,
+            "--only" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--only needs a comma-separated id list"));
+                parsed.only = Some(
+                    raw.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            "--format" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--format needs text|csv|json"));
+                parsed.format = SinkFormat::parse(&raw)
+                    .unwrap_or_else(|| usage_error(&format!("unknown format {raw:?}")));
+            }
+            "--out" => parsed.out_dir = args.next().or_else(|| usage_error("--out needs DIR")),
+            "--csv" => {
+                parsed.legacy_csv_dir = args.next().or_else(|| usage_error("--csv needs DIR"));
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
-    let config = match scale.as_str() {
-        "tiny" => SurveyConfig::tiny(seed),
-        "default" => SurveyConfig::default_scaled(seed),
-        "paper" => SurveyConfig::paper(seed),
-        other => {
-            eprintln!("unknown scale {other:?} (tiny|default|paper)");
-            std::process::exit(2);
-        }
-    };
+    parsed
+}
 
-    // The extended engine: the six classic measurements plus the
-    // misconfiguration and DNSSEC-coverage metrics, one sharded pass.
-    let engine = Engine::with_extended_metrics()
+/// Everything registered for this binary: the extended metric set plus the
+/// zombie-delegation workload, figures matching.
+fn registry() -> FigureRegistry {
+    FigureRegistry::extended().register(ZombieFigure)
+}
+
+fn engine(config: &SurveyConfig) -> Engine {
+    Engine::with_extended_metrics()
+        .register(ZombieDelegationMetric)
         .threads(config.threads)
-        .exact_hijack_sample(config.exact_hijack_sample);
-    let source = SyntheticSource {
-        params: config.params.clone(),
-    };
-    eprintln!(
-        "running metrics {:?} over {} (scale={scale})...",
-        engine.metric_ids(),
-        perils_survey::engine::WorldSource::describe(&source),
-    );
-    let started = std::time::Instant::now();
-    let report = engine.run(source);
-    eprintln!(
-        "survey complete in {:.1}s: {} names, {} zones, {} servers",
-        started.elapsed().as_secs_f64(),
-        report.world.names.len(),
-        report.world.universe.zone_count(),
-        report.world.universe.server_count(),
-    );
+        .exact_hijack_sample(config.exact_hijack_sample)
+}
 
-    let f2 = figures::fig2(&report);
-    let f3 = figures::fig3(&report);
-    let f4 = figures::fig4(&report);
-    let f5 = figures::fig5(&report);
-    let f6 = figures::fig6(&report);
-    let f7 = figures::fig7(&report);
-    let f8 = figures::fig8(&report);
-    let f9 = figures::fig9(&report);
-    let headline = figures::headline(&report);
+fn print_figure_list(registry: &FigureRegistry) {
+    let mut table = perils_util::table::Table::new(vec!["id", "required columns", "title"]);
+    for figure in registry.iter() {
+        table.row(vec![
+            figure.id().to_string(),
+            figure.required_columns().join(","),
+            figure.title().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}
 
-    println!("{}", headline.render());
-    println!("{}", f2.render());
-    println!("{}", f3.render());
-    println!("{}", f4.render());
-    println!("{}", f5.render());
-    println!("{}", f6.render());
-    println!("{}", f7.render());
-    println!(
-        "{}",
-        f8.render("Figure 8 — Number of names controlled by nameservers")
-    );
-    println!(
-        "{}",
-        f9.render("Figure 9 — Names controlled by .edu and .org nameservers")
-    );
+/// Extra diagnostics that are not figures (printed only on the text
+/// stdout stream): value concentration and the exact-hijack ablation.
+fn print_extras(report: &SurveyReport) {
     println!(
         "Name-control concentration (Gini over non-zero servers): {:.3}  (§3.3: \"disproportionate\")\n",
         report.value().gini()
     );
-
-    // Exact-vs-flattened ablation summary over the sampled names.
     if !report.exact_sample.is_empty() {
         let mut agree = 0usize;
         let mut exact_smaller = 0usize;
@@ -122,48 +154,128 @@ fn main() {
             exact_smaller
         );
     }
+}
 
-    // Extension metrics, straight out of the engine's columnar report.
-    {
-        let n = report.world.names.len().max(1);
-        let flags = report.counts(columns::MISCONFIG_FLAGS);
-        let depth = report.counts(columns::MISCONFIG_DEPTH);
-        let count_flag = |bit: usize| flags.iter().filter(|&&f| f & bit != 0).count();
-        let max_depth = depth.iter().copied().max().unwrap_or(0);
-        println!(
-            "Misconfiguration metric (Pappas et al. checks, per surveyed name):\n               single-server zone {} | single-operator redundancy {} | unresolvable NS {} |\n               deep glueless nesting {} (max observed depth {max_depth})\n",
-            count_flag(FLAG_SINGLE_SERVER),
-            count_flag(FLAG_SINGLE_OPERATOR),
-            count_flag(FLAG_UNRESOLVABLE_NS),
-            count_flag(FLAG_DEEP_DEPENDENCY),
-        );
+fn main() {
+    let args = parse_args();
+    let registry = registry();
 
-        let fraction = report.floats(columns::DNSSEC_SIGNED_FRACTION);
-        let protected = report.counts(columns::DNSSEC_CHAIN_PROTECTED);
-        let mean_fraction = fraction.iter().sum::<f64>() / n as f64;
-        println!(
-            "DNSSEC coverage metric (root+TLD \"islands of security\" rollout):\n               mean signed fraction of TCB zones {:.1}% | chain-protected names {} of {}\n               (§5: signing shrinks the forgeable surface; the closure — the deniable surface — is unchanged)\n",
-            100.0 * mean_fraction,
-            protected.iter().filter(|&&p| p > 0).count(),
-            report.world.names.len(),
-        );
+    if args.list {
+        print_figure_list(&registry);
+        return;
     }
 
-    if let Some(dir) = csv_dir {
-        std::fs::create_dir_all(&dir).expect("create csv dir");
-        let write = |file: &str, content: String| {
-            let path = format!("{dir}/{file}");
-            let mut f = std::fs::File::create(&path).expect("create csv");
-            f.write_all(content.as_bytes()).expect("write csv");
-            eprintln!("wrote {path}");
-        };
-        write("fig2_tcb_cdf.csv", f2.to_csv());
-        write("fig3_gtld.csv", f3.to_csv());
-        write("fig4_cctld.csv", f4.to_csv());
-        write("fig5_vulnerable_cdf.csv", f5.to_csv());
-        write("fig6_safety.csv", f6.to_csv());
-        write("fig7_bottlenecks.csv", f7.to_csv());
-        write("fig8_value.csv", f8.to_csv());
-        write("fig9_edu_org.csv", f9.to_csv());
+    if let Some(only) = &args.only {
+        let known = registry.ids();
+        for id in only {
+            if !known.contains(&id.as_str()) {
+                usage_error(&format!("unknown figure {id:?}; registered: {known:?}"));
+            }
+        }
+    }
+
+    let config = match args.scale.as_str() {
+        "tiny" => SurveyConfig::tiny(args.seed),
+        "default" => SurveyConfig::default_scaled(args.seed),
+        "paper" => SurveyConfig::paper(args.seed),
+        other => usage_error(&format!("unknown scale {other:?} (tiny|default|paper)")),
+    };
+
+    let engine = engine(&config);
+    let source = SyntheticSource {
+        params: config.params.clone(),
+    };
+    eprintln!(
+        "running metrics {:?} over {} (scale={})...",
+        engine.metric_ids(),
+        perils_survey::engine::WorldSource::describe(&source),
+        args.scale,
+    );
+    let started = std::time::Instant::now();
+    let report = engine.run(source);
+    eprintln!(
+        "survey complete in {:.1}s: {} names, {} zones, {} servers",
+        started.elapsed().as_secs_f64(),
+        report.world.names.len(),
+        report.world.universe.zone_count(),
+        report.world.universe.server_count(),
+    );
+
+    // Build every selected figure through the registry. Missing columns are
+    // skips (reported on stderr), not panics.
+    let outcomes: Vec<FigureOutcome> = match &args.only {
+        None => registry.build_all(&report),
+        Some(only) => only
+            .iter()
+            .map(|id| match registry.build(id, &report) {
+                Ok(rendered) => FigureOutcome::Rendered(rendered),
+                Err(perils_survey::render::FigureError::MissingColumns { figure, missing }) => {
+                    FigureOutcome::Skipped {
+                        id: figure,
+                        missing,
+                    }
+                }
+                Err(error) => FigureOutcome::Failed {
+                    id: id.clone(),
+                    error,
+                },
+            })
+            .collect(),
+    };
+
+    let mut failed = false;
+    let mut rendered = Vec::new();
+    for outcome in &outcomes {
+        match outcome {
+            FigureOutcome::Rendered(figure) => rendered.push(figure),
+            FigureOutcome::Skipped { id, missing } => {
+                eprintln!("skipped figure {id:?}: missing columns {missing:?}");
+            }
+            FigureOutcome::Failed { id, error } => {
+                eprintln!("figure {id:?} failed: {error}");
+                failed = true;
+            }
+        }
+    }
+
+    // Route rendered figures into the selected sinks.
+    let sink_result: std::io::Result<()> = (|| {
+        match &args.out_dir {
+            Some(dir) => {
+                let mut sink = DirectorySink::new(dir, args.format);
+                for figure in &rendered {
+                    sink.emit(figure)?;
+                }
+                sink.finish()?;
+                eprintln!("wrote {} figure files to {dir}", sink.written().len());
+            }
+            None => {
+                let stdout = std::io::stdout();
+                let mut sink = WriterSink::new(stdout.lock(), args.format);
+                for figure in &rendered {
+                    sink.emit(figure)?;
+                }
+                sink.finish()?;
+                if args.format == SinkFormat::Text && args.only.is_none() {
+                    print_extras(&report);
+                }
+            }
+        }
+        if let Some(dir) = &args.legacy_csv_dir {
+            let mut sink = DirectorySink::new(dir, SinkFormat::Csv);
+            for figure in &rendered {
+                sink.emit(figure)?;
+            }
+            sink.finish()?;
+            eprintln!("wrote {} CSV files to {dir}", sink.written().len());
+        }
+        Ok(())
+    })();
+    if let Err(e) = sink_result {
+        eprintln!("error: writing figures failed: {e}");
+        std::process::exit(1);
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

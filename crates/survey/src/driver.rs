@@ -8,7 +8,9 @@
 //! name, deterministic merge — so results are byte-identical to the
 //! original hardwired loop at any thread count. Register additional
 //! [`perils_core::NameMetric`]s through [`Engine`] directly when you need
-//! more than the classic six columns.
+//! more than the classic six columns, and pair each with a
+//! [`crate::render::Figure`] on a [`crate::render::FigureRegistry`] to
+//! render its output alongside the classic figures.
 
 use crate::engine::{Engine, SyntheticSource};
 use crate::params::TopologyParams;

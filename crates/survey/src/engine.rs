@@ -28,7 +28,7 @@ use crate::topology::{SurveyName, SyntheticWorld};
 use perils_authserver::scenarios::Scenario;
 use perils_core::closure::DependencyIndex;
 use perils_core::hijack::min_hijack_exact;
-use perils_core::metric::{columns, MeasureCtx, MetricColumn, MetricShard, NameMetric};
+use perils_core::metric::{columns, ColumnKind, MeasureCtx, MetricColumn, MetricShard, NameMetric};
 use perils_core::universe::Universe;
 use perils_core::value::ValueIndex;
 use perils_core::{DnssecCoverageMetric, MinCutMetric, MisconfigMetric, TcbMetric, ValueMetric};
@@ -169,6 +169,52 @@ impl WorldSource for ProbedSource<'_> {
     }
 }
 
+/// A typed report-access failure: the requested column is absent (its
+/// metric was never registered) or has a different [`ColumnKind`] than the
+/// accessor asked for.
+///
+/// This is what the `try_*` accessors on [`SurveyReport`] return, and what
+/// the figure registry turns into a skip instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// No registered metric produced the column.
+    MissingColumn {
+        /// The requested column id.
+        column: String,
+        /// Every column id the report does contain, sorted.
+        available: Vec<String>,
+    },
+    /// The column exists but is of a different kind.
+    WrongKind {
+        /// The requested column id.
+        column: String,
+        /// The kind the accessor asked for.
+        expected: ColumnKind,
+        /// The kind the column actually has.
+        actual: ColumnKind,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::MissingColumn { column, available } => {
+                write!(
+                    f,
+                    "no metric produced column {column:?}; available: {available:?}"
+                )
+            }
+            ReportError::WrongKind {
+                column,
+                expected,
+                actual,
+            } => write!(f, "column {column:?} is {actual}, not {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
 /// Columnar survey results keyed by metric column id.
 #[derive(Debug)]
 pub struct SurveyReport {
@@ -191,33 +237,72 @@ impl SurveyReport {
         self.columns.keys().map(String::as_str)
     }
 
-    fn expect_column(&self, id: &str) -> &MetricColumn {
-        self.columns.get(id).unwrap_or_else(|| {
-            let available: Vec<&str> = self.column_ids().collect();
-            panic!("no metric produced column {id:?}; available: {available:?}")
+    /// The report's column schema: every `(id, kind)` pair, sorted by id.
+    /// This is what figure registries match `required_columns` against.
+    pub fn schema(&self) -> impl Iterator<Item = (&str, ColumnKind)> {
+        self.columns.iter().map(|(id, c)| (id.as_str(), c.kind()))
+    }
+
+    /// The column for `id`, or a typed [`ReportError::MissingColumn`].
+    pub fn try_column(&self, id: &str) -> Result<&MetricColumn, ReportError> {
+        self.columns
+            .get(id)
+            .ok_or_else(|| ReportError::MissingColumn {
+                column: id.to_string(),
+                available: self.columns.keys().cloned().collect(),
+            })
+    }
+
+    /// Per-name counts column `id`, or a typed error.
+    pub fn try_counts(&self, id: &str) -> Result<&[usize], ReportError> {
+        let column = self.try_column(id)?;
+        column.as_counts().ok_or_else(|| ReportError::WrongKind {
+            column: id.to_string(),
+            expected: ColumnKind::Counts,
+            actual: column.kind(),
+        })
+    }
+
+    /// Per-name floats column `id`, or a typed error.
+    pub fn try_floats(&self, id: &str) -> Result<&[f64], ReportError> {
+        let column = self.try_column(id)?;
+        column.as_floats().ok_or_else(|| ReportError::WrongKind {
+            column: id.to_string(),
+            expected: ColumnKind::Floats,
+            actual: column.kind(),
+        })
+    }
+
+    /// The names-controlled aggregate column `id`, or a typed error.
+    pub fn try_value_column(&self, id: &str) -> Result<&ValueIndex, ReportError> {
+        let column = self.try_column(id)?;
+        column.as_value().ok_or_else(|| ReportError::WrongKind {
+            column: id.to_string(),
+            expected: ColumnKind::Value,
+            actual: column.kind(),
         })
     }
 
     /// Per-name counts column `id`.
     ///
+    /// Thin convenience over [`SurveyReport::try_counts`].
+    ///
     /// # Panics
     ///
     /// Panics when the column is missing or not a counts column.
     pub fn counts(&self, id: &str) -> &[usize] {
-        self.expect_column(id)
-            .as_counts()
-            .unwrap_or_else(|| panic!("column {id:?} is not a counts column"))
+        self.try_counts(id).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Per-name floats column `id`.
+    ///
+    /// Thin convenience over [`SurveyReport::try_floats`].
     ///
     /// # Panics
     ///
     /// Panics when the column is missing or not a floats column.
     pub fn floats(&self, id: &str) -> &[f64] {
-        self.expect_column(id)
-            .as_floats()
-            .unwrap_or_else(|| panic!("column {id:?} is not a floats column"))
+        self.try_floats(id).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// TCB size per name (root servers excluded).
@@ -252,13 +337,14 @@ impl SurveyReport {
 
     /// Names-controlled aggregate over all surveyed names.
     ///
+    /// Thin convenience over [`SurveyReport::try_value_column`].
+    ///
     /// # Panics
     ///
     /// Panics when no value metric was registered.
     pub fn value(&self) -> &ValueIndex {
-        self.expect_column(columns::VALUE)
-            .as_value()
-            .unwrap_or_else(|| panic!("column {:?} is not a value column", columns::VALUE))
+        self.try_value_column(columns::VALUE)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Indices of the top-500 popular names (forwarded from the world).
@@ -582,6 +668,49 @@ mod tests {
             params: TopologyParams::tiny(47),
         });
         let _ = report.tcb_sizes();
+    }
+
+    #[test]
+    fn try_accessors_return_typed_errors() {
+        let report = Engine::with_builtin_metrics().run(SyntheticSource {
+            params: TopologyParams::tiny(47),
+        });
+        // Present and well-typed.
+        assert!(report.try_counts(columns::TCB_SIZE).is_ok());
+        assert!(report.try_floats(columns::SAFETY_PERCENT).is_ok());
+        assert!(report.try_value_column(columns::VALUE).is_ok());
+        // Absent column.
+        match report.try_counts("no_such_column") {
+            Err(ReportError::MissingColumn { column, available }) => {
+                assert_eq!(column, "no_such_column");
+                assert!(available.contains(&columns::TCB_SIZE.to_string()));
+            }
+            other => panic!("expected MissingColumn, got {other:?}"),
+        }
+        // Wrong kind.
+        match report.try_counts(columns::SAFETY_PERCENT) {
+            Err(ReportError::WrongKind {
+                expected, actual, ..
+            }) => {
+                assert_eq!(expected, ColumnKind::Counts);
+                assert_eq!(actual, ColumnKind::Floats);
+            }
+            other => panic!("expected WrongKind, got {other:?}"),
+        }
+        assert!(report.try_floats(columns::TCB_SIZE).is_err());
+        assert!(report.try_value_column(columns::TCB_SIZE).is_err());
+    }
+
+    #[test]
+    fn schema_lists_every_column_with_kind() {
+        let report = Engine::with_builtin_metrics().run(SyntheticSource {
+            params: TopologyParams::tiny(47),
+        });
+        let schema: std::collections::BTreeMap<&str, ColumnKind> = report.schema().collect();
+        assert_eq!(schema.len(), report.column_ids().count());
+        assert_eq!(schema[columns::TCB_SIZE], ColumnKind::Counts);
+        assert_eq!(schema[columns::SAFETY_PERCENT], ColumnKind::Floats);
+        assert_eq!(schema[columns::VALUE], ColumnKind::Value);
     }
 
     #[test]

@@ -22,19 +22,27 @@
 //! [`engine`] (the pluggable analysis engine: [`engine::WorldSource`] +
 //! registered [`perils_core::NameMetric`]s → columnar
 //! [`engine::SurveyReport`]), [`driver`] (the legacy `run_survey` wrapper
-//! over the engine), [`figures`] (figure/table renderers), [`scenario`]
-//! (bridging hand-built packet-level scenarios into analyses).
+//! over the engine), [`render`] (the pluggable output pipeline:
+//! [`render::Figure`] + [`render::FigureRegistry`] + [`render::ReportSink`]),
+//! [`figures`] (the paper's figure renderers, registered on that pipeline),
+//! [`scenario`] (bridging hand-built packet-level scenarios into analyses).
 
 pub mod driver;
 pub mod engine;
 pub mod figures;
 pub mod params;
+pub mod render;
 pub mod scenario;
 pub mod topology;
 
 pub use driver::{run_survey, SurveyConfig};
 pub use engine::{
-    AnalysisWorld, Engine, ProbedSource, ScenarioSource, SurveyReport, SyntheticSource, WorldSource,
+    AnalysisWorld, Engine, ProbedSource, ReportError, ScenarioSource, SurveyReport,
+    SyntheticSource, WorldSource,
 };
 pub use params::TopologyParams;
+pub use render::{
+    DirectorySink, Figure, FigureError, FigureOutcome, FigureRegistry, RenderedFigure, ReportSink,
+    SinkFormat, WriterSink,
+};
 pub use topology::SyntheticWorld;

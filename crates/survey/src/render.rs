@@ -1,0 +1,578 @@
+//! The pluggable rendering pipeline: figures, the registry, and sinks.
+//!
+//! PR 1 made the *measurement* side pluggable ([`NameMetric`] → columnar
+//! [`SurveyReport`]); this module does the same for the *output* side. A
+//! [`Figure`] declares the column ids it needs and builds a
+//! [`RenderedFigure`] from a report; a [`FigureRegistry`] holds figures,
+//! checks each one's [`Figure::required_columns`] against
+//! [`SurveyReport::column_ids`] **before** building — so a figure whose
+//! metric was never registered is a typed skip ([`FigureOutcome::Skipped`]),
+//! not a panic — and a [`ReportSink`] decides where rendered figures go
+//! (stdout, one file per figure, any format). A custom metric ships its own
+//! figure by implementing the two traits and registering both; neither the
+//! engine nor the figures CLI needs to change.
+//!
+//! [`NameMetric`]: perils_core::NameMetric
+
+use crate::engine::{ReportError, SurveyReport};
+use perils_util::table::Table;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A figure build failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FigureError {
+    /// The report lacks columns the figure requires (its metric was not
+    /// registered for the run).
+    MissingColumns {
+        /// The figure id.
+        figure: String,
+        /// The required column ids the report does not contain.
+        missing: Vec<String>,
+    },
+    /// A column access failed while building (missing or wrong kind).
+    Report(ReportError),
+    /// The registry holds no figure with the requested id.
+    UnknownFigure {
+        /// The requested id.
+        figure: String,
+        /// Every id the registry does hold, in registration order.
+        known: Vec<String>,
+    },
+}
+
+impl From<ReportError> for FigureError {
+    fn from(e: ReportError) -> FigureError {
+        FigureError::Report(e)
+    }
+}
+
+impl std::fmt::Display for FigureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FigureError::MissingColumns { figure, missing } => {
+                write!(f, "figure {figure:?} requires absent columns {missing:?}")
+            }
+            FigureError::Report(e) => write!(f, "{e}"),
+            FigureError::UnknownFigure { figure, known } => {
+                write!(f, "unknown figure {figure:?}; registered: {known:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FigureError {}
+
+/// A renderable paper artifact: declares the report columns it consumes
+/// and builds a [`RenderedFigure`] from them.
+///
+/// Implementations must read the report **only** through the `try_*`
+/// accessors (or equivalently return [`FigureError`] on absence) so the
+/// registry's column check stays the single source of skip decisions.
+pub trait Figure: Send + Sync {
+    /// Stable identifier (unique per registry; used for `--only` and file
+    /// names).
+    fn id(&self) -> &str;
+
+    /// Human-readable title (the text rendering's first line).
+    fn title(&self) -> &str;
+
+    /// The column ids this figure reads. The registry skips the figure
+    /// when any of them is absent from the report.
+    fn required_columns(&self) -> &[&str];
+
+    /// Builds the figure from a report whose schema satisfied
+    /// [`Figure::required_columns`].
+    fn build(&self, report: &SurveyReport) -> Result<RenderedFigure, FigureError>;
+}
+
+/// A fully built figure, ready to serialize into any [`SinkFormat`].
+///
+/// Holds the aligned-text rendering verbatim (figures predating the
+/// registry keep their exact legacy output) plus the underlying data
+/// table, from which CSV and JSON are derived.
+#[derive(Debug, Clone)]
+pub struct RenderedFigure {
+    id: String,
+    title: String,
+    text: String,
+    data: Table,
+}
+
+impl RenderedFigure {
+    /// Wraps a rendered figure: `text` is the aligned-text form, `data`
+    /// the flat data table behind the CSV/JSON forms.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        text: impl Into<String>,
+        data: Table,
+    ) -> RenderedFigure {
+        RenderedFigure {
+            id: id.into(),
+            title: title.into(),
+            text: text.into(),
+            data,
+        }
+    }
+
+    /// The figure id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The figure title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The aligned-text rendering.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The flat data table (CSV headers + rows).
+    pub fn data(&self) -> &Table {
+        &self.data
+    }
+
+    /// The CSV rendering of the data table.
+    pub fn csv(&self) -> String {
+        self.data.render_csv()
+    }
+
+    /// The JSON rendering: `{"id", "title", "columns", "rows"}` with every
+    /// cell as a string (cells are formatted, not raw, values).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\"id\":");
+        json_string(&mut out, &self.id);
+        out.push_str(",\"title\":");
+        json_string(&mut out, &self.title);
+        out.push_str(",\"columns\":[");
+        for (i, h) in self.data.headers().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, h);
+        }
+        out.push_str("],\"rows\":[");
+        for (r, row) in self.data.rows().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, cell);
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serializes into `format`.
+    pub fn emit(&self, format: SinkFormat) -> String {
+        match format {
+            SinkFormat::Text => self.text.clone(),
+            SinkFormat::Csv => self.csv(),
+            SinkFormat::Json => self.json(),
+        }
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The serialization a sink writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkFormat {
+    /// Aligned text tables (the EXPERIMENTS.md data source).
+    Text,
+    /// RFC4180-style CSV, one table per figure.
+    Csv,
+    /// One JSON object per figure.
+    Json,
+}
+
+impl SinkFormat {
+    /// Parses a `--format` argument.
+    pub fn parse(s: &str) -> Option<SinkFormat> {
+        match s {
+            "text" => Some(SinkFormat::Text),
+            "csv" => Some(SinkFormat::Csv),
+            "json" => Some(SinkFormat::Json),
+            _ => None,
+        }
+    }
+
+    /// The file extension for directory sinks.
+    pub fn extension(self) -> &'static str {
+        match self {
+            SinkFormat::Text => "txt",
+            SinkFormat::Csv => "csv",
+            SinkFormat::Json => "json",
+        }
+    }
+}
+
+/// Where rendered figures go. `--csv DIR` is one implementation
+/// ([`DirectorySink`] with [`SinkFormat::Csv`]); stdout is another.
+pub trait ReportSink {
+    /// Consumes one rendered figure.
+    fn emit(&mut self, figure: &RenderedFigure) -> std::io::Result<()>;
+
+    /// Flushes any buffered output (directory sinks are unbuffered; writer
+    /// sinks flush the inner writer).
+    fn finish(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams every figure to one writer (stdout, a file, a test buffer),
+/// separated by blank lines in text mode.
+pub struct WriterSink<W: Write> {
+    writer: W,
+    format: SinkFormat,
+}
+
+impl<W: Write> WriterSink<W> {
+    /// Wraps `writer`, serializing as `format`.
+    pub fn new(writer: W, format: SinkFormat) -> WriterSink<W> {
+        WriterSink { writer, format }
+    }
+}
+
+impl<W: Write> ReportSink for WriterSink<W> {
+    fn emit(&mut self, figure: &RenderedFigure) -> std::io::Result<()> {
+        let payload = figure.emit(self.format);
+        self.writer.write_all(payload.as_bytes())?;
+        // Text/CSV renderings end in one newline, JSON in none; one blank
+        // separator keeps a concatenated stream readable and
+        // line-delimited.
+        writeln!(self.writer)
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Writes one `<id>.<ext>` file per figure into a directory, creating the
+/// directory (and parents) if missing.
+pub struct DirectorySink {
+    dir: PathBuf,
+    format: SinkFormat,
+    written: Vec<PathBuf>,
+}
+
+impl DirectorySink {
+    /// Creates the sink; the directory is created on first emit.
+    pub fn new(dir: impl Into<PathBuf>, format: SinkFormat) -> DirectorySink {
+        DirectorySink {
+            dir: dir.into(),
+            format,
+            written: Vec::new(),
+        }
+    }
+
+    /// The files written so far.
+    pub fn written(&self) -> &[PathBuf] {
+        &self.written
+    }
+
+    /// The target directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl ReportSink for DirectorySink {
+    fn emit(&mut self, figure: &RenderedFigure) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self
+            .dir
+            .join(format!("{}.{}", figure.id(), self.format.extension()));
+        std::fs::write(&path, figure.emit(self.format))?;
+        self.written.push(path);
+        Ok(())
+    }
+}
+
+/// The per-figure result of a registry pass over one report.
+#[derive(Debug)]
+pub enum FigureOutcome {
+    /// The figure built successfully.
+    Rendered(RenderedFigure),
+    /// The report lacks required columns; the figure was not built.
+    Skipped {
+        /// The figure id.
+        id: String,
+        /// The absent column ids.
+        missing: Vec<String>,
+    },
+    /// The column check passed but the build still failed.
+    Failed {
+        /// The figure id.
+        id: String,
+        /// The failure.
+        error: FigureError,
+    },
+}
+
+impl FigureOutcome {
+    /// The id of the figure this outcome belongs to.
+    pub fn id(&self) -> &str {
+        match self {
+            FigureOutcome::Rendered(f) => f.id(),
+            FigureOutcome::Skipped { id, .. } | FigureOutcome::Failed { id, .. } => id,
+        }
+    }
+
+    /// The rendered figure, when the build succeeded.
+    pub fn rendered(&self) -> Option<&RenderedFigure> {
+        match self {
+            FigureOutcome::Rendered(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered collection of figures keyed by id, with column-schema
+/// checking. Registration order is presentation order.
+#[derive(Default)]
+pub struct FigureRegistry {
+    figures: Vec<Box<dyn Figure>>,
+}
+
+impl FigureRegistry {
+    /// An empty registry.
+    pub fn new() -> FigureRegistry {
+        FigureRegistry::default()
+    }
+
+    /// Registers a figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the figure's id collides with an already-registered
+    /// figure (mirroring `Engine::register`).
+    pub fn register(mut self, figure: impl Figure + 'static) -> FigureRegistry {
+        assert!(
+            !self.figures.iter().any(|f| f.id() == figure.id()),
+            "duplicate figure id {:?}",
+            figure.id()
+        );
+        self.figures.push(Box::new(figure));
+        self
+    }
+
+    /// Number of registered figures.
+    pub fn len(&self) -> usize {
+        self.figures.len()
+    }
+
+    /// True when no figure is registered.
+    pub fn is_empty(&self) -> bool {
+        self.figures.is_empty()
+    }
+
+    /// The registered figures, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Figure> {
+        self.figures.iter().map(Box::as_ref)
+    }
+
+    /// The registered figure ids, in registration order.
+    pub fn ids(&self) -> Vec<&str> {
+        self.figures.iter().map(|f| f.id()).collect()
+    }
+
+    /// Looks up a figure by id.
+    pub fn get(&self, id: &str) -> Option<&dyn Figure> {
+        self.figures.iter().find(|f| f.id() == id).map(Box::as_ref)
+    }
+
+    /// The required columns of `figure` that `report` does not contain.
+    pub fn missing_columns(figure: &dyn Figure, report: &SurveyReport) -> Vec<String> {
+        figure
+            .required_columns()
+            .iter()
+            .filter(|&&c| report.column(c).is_none())
+            .map(|&c| c.to_string())
+            .collect()
+    }
+
+    /// Builds one figure by id, checking its required columns first.
+    pub fn build(&self, id: &str, report: &SurveyReport) -> Result<RenderedFigure, FigureError> {
+        let figure = self.get(id).ok_or_else(|| FigureError::UnknownFigure {
+            figure: id.to_string(),
+            known: self.ids().iter().map(|s| s.to_string()).collect(),
+        })?;
+        let missing = FigureRegistry::missing_columns(figure, report);
+        if !missing.is_empty() {
+            return Err(FigureError::MissingColumns {
+                figure: id.to_string(),
+                missing,
+            });
+        }
+        figure.build(report)
+    }
+
+    /// Builds every registered figure against `report`, in registration
+    /// order. Figures whose required columns are absent become
+    /// [`FigureOutcome::Skipped`]; build failures become
+    /// [`FigureOutcome::Failed`]. Never panics on schema mismatches.
+    pub fn build_all(&self, report: &SurveyReport) -> Vec<FigureOutcome> {
+        self.figures
+            .iter()
+            .map(|figure| {
+                let missing = FigureRegistry::missing_columns(figure.as_ref(), report);
+                if !missing.is_empty() {
+                    return FigureOutcome::Skipped {
+                        id: figure.id().to_string(),
+                        missing,
+                    };
+                }
+                match figure.build(report) {
+                    Ok(rendered) => FigureOutcome::Rendered(rendered),
+                    Err(error) => FigureOutcome::Failed {
+                        id: figure.id().to_string(),
+                        error,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AnalysisWorld, Engine};
+    use perils_core::universe::Universe;
+
+    struct NeedsGhostColumn;
+
+    impl Figure for NeedsGhostColumn {
+        fn id(&self) -> &str {
+            "ghost"
+        }
+        fn title(&self) -> &str {
+            "Ghost"
+        }
+        fn required_columns(&self) -> &[&str] {
+            &["no_such_column"]
+        }
+        fn build(&self, report: &SurveyReport) -> Result<RenderedFigure, FigureError> {
+            let _ = report.try_counts("no_such_column")?;
+            unreachable!("the registry must skip before building")
+        }
+    }
+
+    fn empty_report() -> SurveyReport {
+        Engine::with_builtin_metrics().run(AnalysisWorld::from_targets(Universe::default(), vec![]))
+    }
+
+    #[test]
+    fn missing_columns_become_skips_not_panics() {
+        let registry = FigureRegistry::new().register(NeedsGhostColumn);
+        let outcomes = registry.build_all(&empty_report());
+        assert_eq!(outcomes.len(), 1);
+        match &outcomes[0] {
+            FigureOutcome::Skipped { id, missing } => {
+                assert_eq!(id, "ghost");
+                assert_eq!(missing, &["no_such_column".to_string()]);
+            }
+            other => panic!("expected skip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_by_id_reports_unknown_and_missing() {
+        let registry = FigureRegistry::new().register(NeedsGhostColumn);
+        let report = empty_report();
+        match registry.build("nope", &report) {
+            Err(FigureError::UnknownFigure { figure, known }) => {
+                assert_eq!(figure, "nope");
+                assert_eq!(known, vec!["ghost".to_string()]);
+            }
+            other => panic!("expected unknown-figure error, got {other:?}"),
+        }
+        assert!(matches!(
+            registry.build("ghost", &report),
+            Err(FigureError::MissingColumns { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate figure id")]
+    fn duplicate_figure_rejected() {
+        let _ = FigureRegistry::new()
+            .register(NeedsGhostColumn)
+            .register(NeedsGhostColumn);
+    }
+
+    #[test]
+    fn rendered_figure_emits_all_formats() {
+        let mut data = Table::new(vec!["x", "y"]);
+        data.row(vec!["1", "a\"b"]);
+        let fig = RenderedFigure::new("t", "Title", "Title\nbody\n", data);
+        assert_eq!(fig.emit(SinkFormat::Text), "Title\nbody\n");
+        assert_eq!(fig.emit(SinkFormat::Csv), "x,y\n1,\"a\"\"b\"\n");
+        assert_eq!(
+            fig.emit(SinkFormat::Json),
+            "{\"id\":\"t\",\"title\":\"Title\",\"columns\":[\"x\",\"y\"],\"rows\":[[\"1\",\"a\\\"b\"]]}"
+        );
+    }
+
+    #[test]
+    fn writer_sink_separates_figures() {
+        let fig = RenderedFigure::new("a", "A", "A\n", Table::new(vec!["x"]));
+        let mut buffer = Vec::new();
+        {
+            let mut sink = WriterSink::new(&mut buffer, SinkFormat::Text);
+            sink.emit(&fig).unwrap();
+            sink.emit(&fig).unwrap();
+            sink.finish().unwrap();
+        }
+        assert_eq!(String::from_utf8(buffer).unwrap(), "A\n\nA\n\n");
+    }
+
+    #[test]
+    fn directory_sink_creates_missing_directories() {
+        let dir = std::env::temp_dir().join(format!("perils-sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nested = dir.join("deep/figures");
+        let mut sink = DirectorySink::new(&nested, SinkFormat::Json);
+        let fig = RenderedFigure::new("f", "F", "F\n", Table::new(vec!["x"]));
+        sink.emit(&fig).unwrap();
+        assert_eq!(sink.written().len(), 1);
+        let content = std::fs::read_to_string(nested.join("f.json")).unwrap();
+        assert!(content.starts_with("{\"id\":\"f\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sink_format_parsing() {
+        assert_eq!(SinkFormat::parse("text"), Some(SinkFormat::Text));
+        assert_eq!(SinkFormat::parse("csv"), Some(SinkFormat::Csv));
+        assert_eq!(SinkFormat::parse("json"), Some(SinkFormat::Json));
+        assert_eq!(SinkFormat::parse("yaml"), None);
+        assert_eq!(SinkFormat::Text.extension(), "txt");
+    }
+}

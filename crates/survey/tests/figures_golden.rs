@@ -1,0 +1,208 @@
+//! Golden-file coverage for the figure registry at tiny scale, seed
+//! 20040722 (the paper's crawl date).
+//!
+//! Every registered figure's aligned-text and CSV serializations are
+//! pinned byte-for-byte against `tests/golden/<id>.{txt,csv}`; a second
+//! test pins the registry output against the legacy free-function
+//! renderers, and a third checks that figures whose metrics are absent
+//! are reported as skipped rather than panicking. Regenerate goldens
+//! with `GOLDEN_REGEN=1 cargo test -p perils-survey --test figures_golden`.
+
+use perils_core::universe::Universe;
+use perils_core::ZombieDelegationMetric;
+use perils_dns::name::{name, DnsName};
+use perils_survey::engine::{AnalysisWorld, Engine, SurveyReport, SyntheticSource};
+use perils_survey::figures::{self, ZombieFigure};
+use perils_survey::params::TopologyParams;
+use perils_survey::render::{FigureOutcome, FigureRegistry};
+use std::path::PathBuf;
+
+const SEED: u64 = 20040722;
+
+/// The figures binary's full configuration: extended metrics plus the
+/// zombie-delegation workload.
+fn full_report() -> SurveyReport {
+    Engine::with_extended_metrics()
+        .register(ZombieDelegationMetric)
+        .run(SyntheticSource {
+            params: TopologyParams::tiny(SEED),
+        })
+}
+
+fn full_registry() -> FigureRegistry {
+    FigureRegistry::extended().register(ZombieFigure)
+}
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file)
+}
+
+fn check_golden(file: &str, actual: &str) {
+    let path = golden_path(file);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {path:?} ({e}); regenerate with GOLDEN_REGEN=1")
+    });
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {file}; regenerate with GOLDEN_REGEN=1 if the change is intended"
+    );
+}
+
+#[test]
+fn every_registered_figure_matches_golden_text_and_csv() {
+    let report = full_report();
+    let outcomes = full_registry().build_all(&report);
+    assert_eq!(outcomes.len(), 12, "twelve registered figures");
+    for outcome in &outcomes {
+        let figure = outcome
+            .rendered()
+            .unwrap_or_else(|| panic!("figure {:?} did not render: {outcome:?}", outcome.id()));
+        check_golden(&format!("{}.txt", figure.id()), figure.text());
+        check_golden(&format!("{}.csv", figure.id()), &figure.csv());
+    }
+}
+
+#[test]
+fn registry_output_is_byte_identical_to_legacy_renderers() {
+    let report = full_report();
+    let registry = full_registry();
+    let legacy: Vec<(&str, String, String)> = vec![
+        (
+            "headline",
+            figures::headline(&report).render(),
+            figures::headline(&report).to_csv(),
+        ),
+        (
+            "fig2",
+            figures::fig2(&report).render(),
+            figures::fig2(&report).to_csv(),
+        ),
+        (
+            "fig3",
+            figures::fig3(&report).render(),
+            figures::fig3(&report).to_csv(),
+        ),
+        (
+            "fig4",
+            figures::fig4(&report).render(),
+            figures::fig4(&report).to_csv(),
+        ),
+        (
+            "fig5",
+            figures::fig5(&report).render(),
+            figures::fig5(&report).to_csv(),
+        ),
+        (
+            "fig6",
+            figures::fig6(&report).render(),
+            figures::fig6(&report).to_csv(),
+        ),
+        (
+            "fig7",
+            figures::fig7(&report).render(),
+            figures::fig7(&report).to_csv(),
+        ),
+        (
+            "fig8",
+            figures::fig8(&report).render("Figure 8 — Number of names controlled by nameservers"),
+            figures::fig8(&report).to_csv(),
+        ),
+        (
+            "fig9",
+            figures::fig9(&report)
+                .render("Figure 9 — Names controlled by .edu and .org nameservers"),
+            figures::fig9(&report).to_csv(),
+        ),
+    ];
+    for (id, text, csv) in legacy {
+        let built = registry.build(id, &report).expect(id);
+        assert_eq!(built.text(), text, "{id} text drifted from legacy renderer");
+        assert_eq!(built.csv(), csv, "{id} CSV drifted from legacy renderer");
+    }
+}
+
+#[test]
+fn figures_with_unregistered_metrics_are_skipped_not_panicking() {
+    // Only the built-in metrics run: misconfig, dnssec and zombie columns
+    // are absent, so those figures must skip while the classic nine render.
+    let report = Engine::with_builtin_metrics().run(SyntheticSource {
+        params: TopologyParams::tiny(SEED),
+    });
+    let outcomes = full_registry().build_all(&report);
+    let mut skipped = Vec::new();
+    for outcome in &outcomes {
+        match outcome {
+            FigureOutcome::Rendered(_) => {}
+            FigureOutcome::Skipped { id, missing } => {
+                assert!(!missing.is_empty());
+                skipped.push(id.clone());
+            }
+            FigureOutcome::Failed { id, error } => panic!("figure {id:?} failed: {error}"),
+        }
+    }
+    assert_eq!(skipped, vec!["misconfig", "dnssec", "zombie"]);
+}
+
+/// The zombie-delegation workload end to end through only the public
+/// `NameMetric` / `Figure` / `FigureRegistry` APIs: a hand-built decayed
+/// world flows from engine registration to rendered figure with no
+/// engine-internal or per-figure CLI code involved.
+#[test]
+fn zombie_workload_end_to_end_via_public_apis() {
+    let mut b = Universe::builder();
+    b.raw_server(&name("a.root-servers.net"), false, true);
+    b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+    b.add_zone(&name("com"), &[name("a.root-servers.net")]);
+    b.add_zone(&name("net"), &[name("a.root-servers.net")]);
+    // stale.com's delegation points only at a vanished branch; half.com
+    // keeps one live server; alive.net is healthy and glued.
+    b.add_zone(
+        &name("stale.com"),
+        &[name("ns1.ghost.zz"), name("ns2.ghost.zz")],
+    );
+    b.add_zone(
+        &name("half.com"),
+        &[name("ns.ghost.zz"), name("ns.alive.net")],
+    );
+    b.add_zone(&name("alive.net"), &[name("ns.alive.net")]);
+    let world = AnalysisWorld::from_targets(
+        b.finish(),
+        vec![
+            name("www.stale.com"),
+            name("www.half.com"),
+            name("www.alive.net"),
+        ],
+    );
+
+    let report = Engine::new().register(ZombieDelegationMetric).run(world);
+    let registry = FigureRegistry::new().register(ZombieFigure);
+    let outcomes = registry.build_all(&report);
+    assert_eq!(outcomes.len(), 1);
+    let figure = outcomes[0].rendered().expect("zombie figure renders");
+    assert_eq!(figure.id(), "zombie");
+    let text = figure.text();
+    assert!(
+        text.contains("names w/ dead dependency") && text.contains("2 (66.7%)"),
+        "stale.com and half.com names both lean on dead infrastructure:\n{text}"
+    );
+    assert!(
+        text.contains("orphaned names (zombie chain)"),
+        "summary row present:\n{text}"
+    );
+    let summary = figures::ZombieSummary::from_report(&report).expect("columns present");
+    assert_eq!(summary.names, 3);
+    assert_eq!(summary.names_with_dead_dep, 2);
+    assert_eq!(summary.orphaned_names, 1, "only stale.com is orphaned");
+    assert_eq!(summary.max_zombie_zones, 1);
+    // The JSON serialization carries the same rows.
+    assert!(figure
+        .json()
+        .contains("\"orphaned names (zombie chain)\",\"1\""));
+}

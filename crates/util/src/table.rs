@@ -56,6 +56,16 @@ impl Table {
         self
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = &[String]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

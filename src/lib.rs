@@ -13,9 +13,11 @@
 //! * [`core`] — the paper's contribution: TCBs, hijack min-cuts, value
 //!   ranking, attack simulation, and the pluggable [`core::NameMetric`]
 //!   measurement API.
-//! * [`survey`] — topology generation and the analysis engine: a
-//!   [`survey::WorldSource`] (synthetic, packet-scenario or wire-probed)
-//!   plus registered metrics, run in one sharded deterministic pass.
+//! * [`survey`] — topology generation, the analysis engine (a
+//!   [`survey::WorldSource`] — synthetic, packet-scenario or wire-probed —
+//!   plus registered metrics, run in one sharded deterministic pass), and
+//!   the rendering pipeline ([`survey::Figure`] + [`survey::FigureRegistry`]
+//!   + [`survey::ReportSink`]).
 //! * [`util`] — deterministic RNG, distributions, statistics, tables.
 //!
 //! ## Quickstart: run the classic survey
@@ -44,16 +46,24 @@
 //! assert!(!report.tcb_sizes().is_empty());
 //! ```
 //!
-//! ## Registering a custom metric
+//! ## Registering a custom metric *and its figure*
 //!
 //! Any per-name measurement plugs into the same sharded pass — the
 //! dependency closure is computed once per name and shared with every
-//! registered metric:
+//! registered metric. A measurement's *renderer* plugs in the same way:
+//! a [`survey::Figure`] declares the column ids it needs (the
+//! column-schema contract on [`core::MetricColumn`]: every id a metric
+//! declares maps to exactly one column of a stable
+//! [`core::ColumnKind`]), and the [`survey::FigureRegistry`] checks that
+//! schema before building, so a figure whose metric is missing is a
+//! typed skip — never a panic:
 //!
 //! ```
 //! use perils::core::metric::{MeasureCtx, MetricColumn, MetricShard, NameMetric, PreparedState};
 //! use perils::core::universe::Universe;
-//! use perils::survey::{Engine, SyntheticSource, TopologyParams};
+//! use perils::survey::render::{Figure, FigureError, FigureRegistry, RenderedFigure};
+//! use perils::survey::{Engine, SurveyReport, SyntheticSource, TopologyParams};
+//! use perils::util::table::Table;
 //!
 //! /// Counts how many *zones* each name's resolution can touch.
 //! struct ZoneCountMetric;
@@ -90,10 +100,43 @@
 //!     }
 //! }
 //!
+//! /// The matching renderer: required columns declared, access typed.
+//! struct ZoneCountFigure;
+//!
+//! impl Figure for ZoneCountFigure {
+//!     fn id(&self) -> &str { "zone_count" }
+//!     fn title(&self) -> &str { "Zones touched per name" }
+//!     fn required_columns(&self) -> &[&str] { &["zone_count"] }
+//!     fn build(&self, report: &SurveyReport) -> Result<RenderedFigure, FigureError> {
+//!         let counts = report.try_counts("zone_count")?; // typed, no panic
+//!         let mean = counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64;
+//!         let mut data = Table::new(vec!["statistic", "value"]);
+//!         data.row(vec!["mean zones per name".to_string(), format!("{mean:.1}")]);
+//!         let text = format!("{}\nmean zones per name: {mean:.1}\n", self.title());
+//!         Ok(RenderedFigure::new(self.id(), self.title(), text, data))
+//!     }
+//! }
+//!
+//! // Register the pair; the engine and registry need no other changes.
 //! let report = Engine::with_builtin_metrics()
 //!     .register(ZoneCountMetric)
 //!     .run(SyntheticSource { params: TopologyParams::tiny(7) });
-//! assert_eq!(report.counts("zone_count").len(), report.world.names.len());
+//! let registry = FigureRegistry::classic().register(ZoneCountFigure);
+//!
+//! // The classic nine and the custom figure all render...
+//! let outcomes = registry.build_all(&report);
+//! assert!(outcomes.iter().all(|o| o.rendered().is_some()));
+//! let custom = registry.build("zone_count", &report).unwrap();
+//! assert!(custom.text().contains("mean zones per name"));
+//! assert!(custom.json().starts_with("{\"id\":\"zone_count\""));
+//!
+//! // ...and on a report missing the metric, the figure skips (typed).
+//! let bare = Engine::with_builtin_metrics()
+//!     .run(SyntheticSource { params: TopologyParams::tiny(7) });
+//! assert!(matches!(
+//!     registry.build("zone_count", &bare),
+//!     Err(FigureError::MissingColumns { .. })
+//! ));
 //! ```
 //!
 //! ## Analyzing hand-built and wire-probed worlds
