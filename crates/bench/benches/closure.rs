@@ -1,16 +1,22 @@
 //! Closure-pipeline benchmarks: dependency-index build and per-name
 //! closure throughput on paper-proportioned synthetic worlds.
 //!
-//! Two world sizes are measured — 10k and 100k surveyed names, scaled from
-//! the `default_scaled` preset's proportions — and two closure paths: the
-//! memoized sub-closure union (`closure_for`) against the legacy per-name
-//! BFS (`closure_for_bfs`) it replaced. The printed `[closure]` lines give
-//! the aggregate speedup over a fixed name sample; the per-path benchmarks
-//! give the usual ns/iter.
+//! Two world sizes are measured — 10k and 100k surveyed names, scaled
+//! from the `default_scaled` preset's proportions — against three closure
+//! paths: the borrowed [`ClosureView`] (the engine's allocation-free hot
+//! path), the owned `closure_for` materialization, and the legacy
+//! per-name BFS. The index build is measured serial and parallel against
+//! `baseline_build`, a verbatim re-implementation of the PR 2 pipeline
+//! (per-server rows, row-copied CSR, serial bottom-up memoization) kept
+//! here as the speedup baseline — the `[closure]` lines print the
+//! aggregate ratios; the per-path benchmarks give the usual ns/iter.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perils_core::closure::DependencyIndex;
+use perils_core::universe::{ServerId, Universe, ZoneId};
 use perils_dns::name::DnsName;
+use perils_graph::bitset::{BitSet, BitSetInterner, SetId};
+use perils_graph::csr::Csr;
 use perils_survey::params::TopologyParams;
 use perils_survey::topology::SyntheticWorld;
 use std::hint::black_box;
@@ -30,6 +36,111 @@ fn scaled_params(seed: u64, names: usize) -> TopologyParams {
 
 const WORLDS: [(&str, usize); 2] = [("10k", 10_000), ("100k", 100_000)];
 
+/// The delegation-chain walk as PR 2 shipped it: one materialized
+/// ancestor name (with its label allocations) per lookup. Kept so the
+/// baseline reproduces the old pipeline's cost model, not just its
+/// algorithm — the current `Universe::chain_zones_into` probes the origin
+/// map with borrowed label suffixes instead.
+fn chain_zones_legacy(universe: &Universe, name: &DnsName, out: &mut Vec<ZoneId>) {
+    out.clear();
+    out.extend(
+        name.ancestors()
+            .filter(|a| !a.is_root())
+            .filter_map(|a| universe.zone_id(&a)),
+    );
+    out.reverse();
+}
+
+/// The PR 2 index pipeline, kept verbatim as the bench baseline: one
+/// chain walk (allocating, see [`chain_zones_legacy`]) and one dependency
+/// row **per server**, rows copied into a CSR a row at a time, and the
+/// per-component memoization done serially bottom-up with bitset dedup
+/// and a final sort. Only the memoized component sets are returned —
+/// enough to assert the new pipeline computes identical closure inputs.
+fn baseline_build(universe: &Universe) -> (Vec<SetId>, BitSetInterner, BitSetInterner) {
+    let n = universe.server_count();
+    let mut stamps = vec![u32::MAX; n];
+    let mut chain: Vec<ZoneId> = Vec::new();
+    let mut dep_offsets = vec![0u32];
+    let mut dep_targets: Vec<ServerId> = Vec::new();
+    let mut chain_offsets = vec![0u32];
+    let mut chain_targets: Vec<ZoneId> = Vec::new();
+    for i in 0..n {
+        let server = universe.server(ServerId(i as u32));
+        chain_zones_legacy(universe, &server.name, &mut chain);
+        for &zid in &chain {
+            for &ns in &universe.zone(zid).ns {
+                if stamps[ns.index()] != i as u32 {
+                    stamps[ns.index()] = i as u32;
+                    dep_targets.push(ns);
+                }
+            }
+        }
+        dep_offsets.push(dep_targets.len() as u32);
+        chain_targets.extend_from_slice(&chain);
+        chain_offsets.push(chain_targets.len() as u32);
+    }
+
+    let mut gb = Csr::builder();
+    let mut row: Vec<u32> = Vec::new();
+    for s in 0..n {
+        row.clear();
+        row.extend(
+            dep_targets[dep_offsets[s] as usize..dep_offsets[s + 1] as usize]
+                .iter()
+                .map(|sid| sid.0),
+        );
+        gb.push_row(&row);
+    }
+    let graph = gb.finish();
+    let scc = graph.scc();
+    let dag = graph.condense(&scc);
+
+    let zone_capacity = universe.zone_count();
+    let mut server_sets = BitSetInterner::new(n);
+    let mut zone_sets = BitSetInterner::new(zone_capacity);
+    let mut component_servers: Vec<SetId> = Vec::with_capacity(scc.count());
+    let mut component_zones: Vec<SetId> = Vec::with_capacity(scc.count());
+    let mut seen_servers = BitSet::new(n);
+    let mut seen_zones = BitSet::new(zone_capacity);
+    let mut out_servers: Vec<u32> = Vec::new();
+    let mut out_zones: Vec<u32> = Vec::new();
+    for (c, members) in scc.components.iter().enumerate() {
+        out_servers.clear();
+        out_zones.clear();
+        for member in members {
+            let s = member.index();
+            if seen_servers.insert(s) {
+                out_servers.push(s as u32);
+            }
+            for zid in &chain_targets[chain_offsets[s] as usize..chain_offsets[s + 1] as usize] {
+                if seen_zones.insert(zid.index()) {
+                    out_zones.push(zid.0);
+                }
+            }
+        }
+        for &d in dag.neighbors(c) {
+            server_sets.union_into(
+                component_servers[d as usize],
+                &mut seen_servers,
+                &mut out_servers,
+            );
+            zone_sets.union_into(component_zones[d as usize], &mut seen_zones, &mut out_zones);
+        }
+        out_servers.sort_unstable();
+        out_zones.sort_unstable();
+        component_servers.push(server_sets.intern(&out_servers));
+        component_zones.push(zone_sets.intern(&out_zones));
+        for &v in &out_servers {
+            seen_servers.remove(v as usize);
+        }
+        for &v in &out_zones {
+            seen_zones.remove(v as usize);
+        }
+    }
+    (component_servers, server_sets, zone_sets)
+}
+
 fn index_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_build");
     group.sample_size(3);
@@ -41,6 +152,45 @@ fn index_build(c: &mut Criterion) {
             world.universe.server_count(),
             world.universe.zone_count()
         );
+
+        // Aggregate baseline-vs-new build comparison: warm-up run, then
+        // the median of three timed runs per pipeline (single runs are
+        // dominated by allocator noise at this scale).
+        let median = |f: &dyn Fn()| -> std::time::Duration {
+            f();
+            let mut runs: Vec<std::time::Duration> = (0..3)
+                .map(|_| {
+                    let start = Instant::now();
+                    f();
+                    start.elapsed()
+                })
+                .collect();
+            runs.sort();
+            runs[1]
+        };
+        let baseline_time = median(&|| {
+            black_box(baseline_build(&world.universe));
+        });
+        let serial_time = median(&|| {
+            black_box(DependencyIndex::build_with_threads(&world.universe, 1));
+        });
+        let parallel_time = median(&|| {
+            black_box(DependencyIndex::build(&world.universe));
+        });
+        // Same memoized universe: distinct interned server sets agree.
+        let (_, baseline_servers, _) = baseline_build(&world.universe);
+        let index = DependencyIndex::build(&world.universe);
+        assert_eq!(index.memo_stats().0, baseline_servers.len());
+        println!(
+            "[closure] {label} index build: baseline {baseline_time:?}, serial {serial_time:?} \
+             ({:.1}x), parallel {parallel_time:?} ({:.1}x)",
+            baseline_time.as_secs_f64() / serial_time.as_secs_f64().max(1e-9),
+            baseline_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9),
+        );
+
+        group.bench_with_input(BenchmarkId::new("baseline", label), &world, |b, w| {
+            b.iter(|| black_box(baseline_build(&w.universe)))
+        });
         group.bench_with_input(BenchmarkId::new("serial", label), &world, |b, w| {
             b.iter(|| black_box(DependencyIndex::build_with_threads(&w.universe, 1)))
         });
@@ -63,10 +213,20 @@ fn closure_throughput(c: &mut Criterion) {
             .collect();
 
         // Aggregate comparison over the sample: equality check plus the
-        // headline memoized-vs-BFS speedup.
+        // headline view-vs-owned-vs-BFS throughputs.
         let mut ws = index.workspace();
         let start = Instant::now();
-        let memo_total: usize = sample
+        let view_total: usize = sample
+            .iter()
+            .map(|n| {
+                index
+                    .closure_view(&world.universe, n, &mut ws)
+                    .server_count()
+            })
+            .sum();
+        let view_time = start.elapsed();
+        let start = Instant::now();
+        let owned_total: usize = sample
             .iter()
             .map(|n| {
                 index
@@ -75,31 +235,42 @@ fn closure_throughput(c: &mut Criterion) {
                     .len()
             })
             .sum();
-        let memo_time = start.elapsed();
+        let owned_time = start.elapsed();
         let start = Instant::now();
         let bfs_total: usize = sample
             .iter()
             .map(|n| index.closure_for_bfs(&world.universe, n).servers.len())
             .sum();
         let bfs_time = start.elapsed();
-        assert_eq!(memo_total, bfs_total, "paths disagree on closure sizes");
+        assert_eq!(view_total, bfs_total, "view and BFS disagree on sizes");
+        assert_eq!(owned_total, bfs_total, "owned and BFS disagree on sizes");
         let (compressed, components) = (index.memo_stats(), index.component_count());
         println!(
-            "[closure] {label}: {} names in {:?} memoized vs {:?} bfs ({:.1}x), \
-             mean closure {:.1} servers, {} components ({} server sets, {} zone sets interned)",
+            "[closure] {label}: {} names in {view_time:?} view / {owned_time:?} owned / \
+             {bfs_time:?} bfs ({:.1}x view over bfs), mean closure {:.1} servers, \
+             {components} components ({} server sets, {} zone sets interned)",
             sample.len(),
-            memo_time,
-            bfs_time,
-            bfs_time.as_secs_f64() / memo_time.as_secs_f64().max(1e-9),
-            memo_total as f64 / sample.len() as f64,
-            components,
+            bfs_time.as_secs_f64() / view_time.as_secs_f64().max(1e-9),
+            view_total as f64 / sample.len() as f64,
             compressed.0,
             compressed.1,
         );
 
         let mut group = c.benchmark_group(format!("closure_{label}"));
         group.sample_size(5);
-        group.bench_function("memoized", |b| {
+        group.bench_function("view", |b| {
+            let mut ws = index.workspace();
+            b.iter(|| {
+                for n in &sample {
+                    black_box(
+                        index
+                            .closure_view(&world.universe, n, &mut ws)
+                            .server_count(),
+                    );
+                }
+            })
+        });
+        group.bench_function("owned", |b| {
             let mut ws = index.workspace();
             b.iter(|| {
                 for n in &sample {

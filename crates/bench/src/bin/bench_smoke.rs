@@ -1,0 +1,148 @@
+//! Reduced-sample closure/survey benchmark for CI smoke runs.
+//!
+//! Measures the numbers the perf trajectory tracks — dependency-index
+//! build time (serial and default-parallel, warm), closure throughput
+//! (borrowed-view and owned paths), and the end-to-end engine pass — on a
+//! scaled synthetic world, and writes them as JSON (`BENCH_04.json` in
+//! CI) so future PRs can diff against this one's numbers without
+//! re-running the full criterion suite.
+//!
+//! ```text
+//! bench_smoke [--names N] [--out FILE.json]
+//! ```
+
+use perils_core::closure::DependencyIndex;
+use perils_dns::name::DnsName;
+use perils_survey::engine::{Engine, WorldSource};
+use perils_survey::params::TopologyParams;
+use perils_survey::topology::SyntheticWorld;
+use std::time::Instant;
+
+/// `default_scaled` proportions stretched to `names` surveyed names.
+fn scaled_params(seed: u64, names: usize) -> TopologyParams {
+    let f = names as f64 / 60_000.0;
+    let mut p = TopologyParams::default_scaled(seed);
+    p.names = names;
+    p.domains = ((26_000.0 * f) as usize).max(400);
+    p.providers = ((320.0 * f) as usize).max(16);
+    p.universities = ((260.0 * f) as usize).max(20);
+    p
+}
+
+fn median_ms(mut runs: Vec<f64>) -> f64 {
+    runs.sort_by(f64::total_cmp);
+    runs[runs.len() / 2]
+}
+
+fn main() {
+    let mut names = 10_000usize;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--names" => {
+                names = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
+    let params = scaled_params(2005, names);
+    let gen_start = Instant::now();
+    let world = SyntheticWorld::generate(&params);
+    let gen_s = gen_start.elapsed().as_secs_f64();
+    eprintln!(
+        "world: {} names, {} servers, {} zones ({gen_s:.2}s to generate)",
+        world.names.len(),
+        world.universe.server_count(),
+        world.universe.zone_count()
+    );
+
+    // Index build, warm: one throwaway build per mode, then the median of
+    // three timed runs.
+    let measure_build = |threads: Option<usize>| -> f64 {
+        let build = || match threads {
+            Some(t) => DependencyIndex::build_with_threads(&world.universe, t),
+            None => DependencyIndex::build(&world.universe),
+        };
+        let _warm = build();
+        median_ms(
+            (0..3)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(build());
+                    start.elapsed().as_secs_f64() * 1e3
+                })
+                .collect(),
+        )
+    };
+    let serial_ms = measure_build(Some(1));
+    let parallel_ms = measure_build(None);
+    eprintln!("index build: {serial_ms:.1} ms serial, {parallel_ms:.1} ms default");
+
+    let index = DependencyIndex::build(&world.universe);
+    let sample: Vec<DnsName> = world
+        .names
+        .iter()
+        .take(2_000)
+        .map(|n| n.name.clone())
+        .collect();
+    let mut ws = index.workspace();
+
+    let start = Instant::now();
+    let mut view_total = 0usize;
+    for n in &sample {
+        view_total += index
+            .closure_view(&world.universe, n, &mut ws)
+            .server_count();
+    }
+    let view_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let mut owned_total = 0usize;
+    for n in &sample {
+        owned_total += index
+            .closure_for_with(&world.universe, n, &mut ws)
+            .servers
+            .len();
+    }
+    let owned_s = start.elapsed().as_secs_f64();
+    assert_eq!(view_total, owned_total, "view and owned paths disagree");
+    let closures_view = sample.len() as f64 / view_s;
+    let closures_owned = sample.len() as f64 / owned_s;
+    eprintln!(
+        "closures: {closures_view:.0}/s view, {closures_owned:.0}/s owned (mean {:.1} servers)",
+        view_total as f64 / sample.len() as f64
+    );
+
+    // End-to-end engine pass over the prebuilt world (generation excluded).
+    let start = Instant::now();
+    let report = Engine::with_builtin_metrics().run_world(world.load());
+    let survey_s = start.elapsed().as_secs_f64();
+    eprintln!(
+        "survey pass: {survey_s:.2} s ({} names, builtin metrics)",
+        report.world.names.len()
+    );
+
+    if let Some(path) = out {
+        let json = format!(
+            "{{\"names\":{},\"servers\":{},\"zones\":{},\"generate_s\":{gen_s:.3},\
+             \"index_build_ms_serial\":{serial_ms:.2},\"index_build_ms\":{parallel_ms:.2},\
+             \"closures_per_sec_view\":{closures_view:.0},\"closures_per_sec_owned\":{closures_owned:.0},\
+             \"survey_pass_s\":{survey_s:.3}}}\n",
+            report.world.names.len(),
+            report.world.universe.server_count(),
+            report.world.universe.zone_count(),
+        );
+        std::fs::write(&path, json).expect("write bench JSON");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_smoke [--names N] [--out FILE.json]");
+    std::process::exit(2);
+}

@@ -9,36 +9,80 @@
 //! [`DependencyIndex`] precomputes that fixed point for the whole universe
 //! so the survey can process hundreds of thousands of names:
 //!
-//! * the server→server dependency graph is stored once as CSR adjacency
-//!   (built in parallel over contiguous server ranges, with linear
-//!   stamp-based NS dedup);
-//! * the graph is condensed through [`perils_graph::csr::Csr::scc`]
-//!   (delegation webs are cyclic — cornell ↔ rochester in Figure 1), and
-//!   every component's reachable server/zone set is memoized once as an
-//!   interned set ([`perils_graph::bitset::BitSetInterner`]);
-//! * [`DependencyIndex::closure_for`] is then a union of those precomputed
-//!   sub-closures instead of a fresh traversal. The legacy per-name BFS
-//!   survives as [`DependencyIndex::closure_for_bfs`], the reference
-//!   implementation the property tests and benches compare against.
+//! * chain and dependency rows are stored once **per zone** (a server's
+//!   rows are its home zone's rows; sibling nameservers share) and built
+//!   by recurrence over the zone tree — each row is a memcpy of its
+//!   parent zone's row plus the zone's own NS set, with no name hashing
+//!   on the hot path (see `build_zone_rows`);
+//! * the implicit server→server dependency graph is condensed through
+//!   [`perils_graph::scc::tarjan_scc_with`] without materializing
+//!   per-server edges (delegation webs are cyclic — cornell ↔ rochester
+//!   in Figure 1), and every component's reachable server/zone set is
+//!   memoized once as an interned set
+//!   ([`perils_graph::bitset::BitSetInterner`]). Memoization runs
+//!   **level-parallel**: components are grouped by topological level over
+//!   the condensation (a level depends only on deeper levels), each
+//!   level's sets are computed across worker threads, and the merge
+//!   thread interns them in component order — deterministic and
+//!   thread-count invariant by construction.
+//!
+//! # Reading closures: views, not sets
+//!
+//! The read side is [`DependencyIndex::closure_view`]: it returns a
+//! [`ClosureView`] — the closure as **borrowed sorted slices**, either
+//! straight out of the interner (a single-component closure *is* its
+//! component's memoized set — no copy at all) or assembled in the caller's
+//! reusable [`ClosureWorkspace`]. The engine's per-name hot loop therefore
+//! allocates nothing per name: no `BTreeSet`s, no chain vector, no
+//! lowercased name. A view is `Copy`, cheap to pass to every registered
+//! metric, and answers membership queries by binary search.
+//!
+//! The owned [`NameClosure`] remains the public facade for callers that
+//! want to hold a closure beyond the workspace's next use —
+//! [`ClosureView::to_owned`] materializes one, and
+//! [`DependencyIndex::closure_for`] is the convenience that does both
+//! steps. The legacy per-name BFS survives as
+//! [`DependencyIndex::closure_for_bfs`], the reference implementation the
+//! property tests and benches compare against.
+//!
+//! A closure is a pure function of the target's delegation chain: the view
+//! derives everything from [`ClosureView::target_chain`], so two names with
+//! equal chains (`www.example.com` and `mail.example.com`) have identical
+//! closures — the invariant per-chain metric caches (e.g. the min-cut
+//! metric's) rely on.
 
 use crate::universe::{ServerId, Universe, ZoneId};
 use perils_dns::name::DnsName;
 use perils_graph::bitset::{BitSet, BitSetInterner, SetId};
 use perils_graph::csr::Csr;
+use perils_graph::scc::SccResult;
 use std::collections::BTreeSet;
 
 /// Precomputed dependency structure over a universe.
+///
+/// A server's delegation chain — and with it its dependency row — is a
+/// function of its **home zone** (the deepest zone enclosing its name):
+/// every ancestor zone of the server's name is an ancestor zone of that
+/// origin. The index therefore stores chain and dependency rows once per
+/// *zone* and maps each server to its home zone, instead of duplicating
+/// rows per server: sibling nameservers (`ns1`/`ns2`/`ns3` of one domain)
+/// share one row, the edge arrays shrink accordingly, and the SCC pass
+/// runs over the implicit per-server graph without materializing a
+/// per-server edge copy.
 #[derive(Debug, Clone)]
 pub struct DependencyIndex {
-    /// CSR adjacency: for each server, the servers its *address
-    /// resolution* could involve — the NS sets of every zone on its name's
-    /// chain (root excluded), deduplicated in first-occurrence order.
-    dep_offsets: Vec<u32>,
-    dep_targets: Vec<ServerId>,
-    /// CSR rows: for each server, the zones on its name's chain (root
-    /// excluded), root-first.
-    chain_offsets: Vec<u32>,
-    chain_targets: Vec<ZoneId>,
+    /// Per server: index of its home zone, or `u32::MAX` when no zone
+    /// encloses the server's name (its rows are empty).
+    home_zone: Vec<u32>,
+    /// CSR rows per zone: the zones on the origin's chain (root excluded),
+    /// root-first, the zone itself included last.
+    zone_chain_offsets: Vec<u32>,
+    zone_chain_targets: Vec<ZoneId>,
+    /// CSR rows per zone: the servers an address resolution under this
+    /// zone could involve — the NS sets of every chain zone, deduplicated
+    /// in first-occurrence order.
+    zone_dep_offsets: Vec<u32>,
+    zone_dep_targets: Vec<ServerId>,
     /// Strongly connected component of each server in the dependency
     /// graph.
     component_of: Vec<u32>,
@@ -51,11 +95,13 @@ pub struct DependencyIndex {
     zone_sets: BitSetInterner,
 }
 
-/// Reusable scratch for [`DependencyIndex::closure_for_with`]: per-call
-/// allocations (dedup bitsets, id buffers) hoisted out of the hot loop so a
-/// survey worker thread allocates once, not once per name.
+/// Reusable scratch for [`DependencyIndex::closure_view`]: the chain
+/// buffer, dedup bitsets and output slices a view borrows from, hoisted
+/// out of the hot loop so a survey worker thread allocates once, not once
+/// per name.
 #[derive(Debug)]
 pub struct ClosureWorkspace {
+    chain: Vec<ZoneId>,
     seen_servers: BitSet,
     seen_zones: BitSet,
     servers: Vec<u32>,
@@ -63,44 +109,461 @@ pub struct ClosureWorkspace {
     seed_components: Vec<u32>,
 }
 
-/// One worker's slice of the phase-1 build: chain and dependency rows for
-/// a contiguous server range, flattened for CSR concatenation.
-struct RowSlice {
-    dep_flat: Vec<ServerId>,
-    dep_lens: Vec<u32>,
-    chain_flat: Vec<ZoneId>,
-    chain_lens: Vec<u32>,
+/// Phase-1 output: per-zone chain and dependency rows, in zone-id order.
+struct ZoneRowTables {
+    chain_offsets: Vec<u32>,
+    chain_targets: Vec<ZoneId>,
+    dep_offsets: Vec<u32>,
+    dep_targets: Vec<ServerId>,
 }
 
-/// Computes chain and dependency rows for servers `range`. `stamps` must
-/// be a `server_count`-sized array whose values never collide with the
-/// absolute server indices in `range` (epoch-per-server linear dedup).
-fn server_rows(universe: &Universe, range: std::ops::Range<usize>, stamps: &mut [u32]) -> RowSlice {
-    let mut rows = RowSlice {
-        dep_flat: Vec::new(),
-        dep_lens: Vec::with_capacity(range.len()),
-        chain_flat: Vec::new(),
-        chain_lens: Vec::with_capacity(range.len()),
-    };
-    let mut chain: Vec<ZoneId> = Vec::new();
-    for i in range {
-        let server = universe.server(ServerId(i as u32));
-        universe.chain_zones_into(&server.name, &mut chain);
-        let mut deps = 0u32;
-        for &zid in &chain {
-            for &ns in &universe.zone(zid).ns {
-                if stamps[ns.index()] != i as u32 {
-                    stamps[ns.index()] = i as u32;
-                    rows.dep_flat.push(ns);
-                    deps += 1;
+/// Computes every zone's chain and dependency rows **by recurrence over
+/// the zone tree**: `chain(z) = chain(parent(z)) + z` and `dep(z) =
+/// dep(parent(z)) ++ (NS(z) not already present)` — the parent zone
+/// ([`Universe::parent_zone_of`], precomputed at universe build) is the
+/// deepest zone strictly enclosing `z`'s origin, so its chain is exactly
+/// `z`'s proper enclosing zones. Processing zones shallowest-first makes
+/// each row one `extend_from_within` of its parent's row plus a
+/// stamp-deduplicated append of the zone's own NS set: no name hashing,
+/// no chain re-scans, and every probe O(1) — the whole pass is linear in
+/// the total row length.
+fn build_zone_rows(universe: &Universe) -> ZoneRowTables {
+    let zn = universe.zone_count();
+    // Counting sort by origin depth: parents precede children.
+    let mut depth_count: Vec<u32> = Vec::new();
+    let depths: Vec<u32> = (0..zn)
+        .map(|z| {
+            let d = universe.zone(ZoneId(z as u32)).origin.label_count() as u32;
+            if depth_count.len() <= d as usize {
+                depth_count.resize(d as usize + 1, 0);
+            }
+            depth_count[d as usize] += 1;
+            d
+        })
+        .collect();
+    let mut starts = vec![0u32; depth_count.len() + 1];
+    for (d, &count) in depth_count.iter().enumerate() {
+        starts[d + 1] = starts[d] + count;
+    }
+    let mut order = vec![0u32; zn];
+    let mut cursor = starts.clone();
+    for (z, &d) in depths.iter().enumerate() {
+        order[cursor[d as usize] as usize] = z as u32;
+        cursor[d as usize] += 1;
+    }
+
+    // Rows in processing order, then reassembled in id order below.
+    // `stamps[s] == z` ⇔ server `s` is already on zone `z`'s row
+    // (epoch-per-zone linear dedup, as the per-server pass used).
+    let mut stamps = vec![u32::MAX; universe.server_count()];
+    let mut chain_tmp: Vec<ZoneId> = Vec::new();
+    let mut dep_tmp: Vec<ServerId> = Vec::new();
+    let mut chain_pos: Vec<(u32, u32)> = vec![(0, 0); zn];
+    let mut dep_pos: Vec<(u32, u32)> = vec![(0, 0); zn];
+    for &z in &order {
+        let zone = universe.zone(ZoneId(z));
+        let chain_start = chain_tmp.len();
+        let dep_start = dep_tmp.len();
+        if let Some(p) = universe.parent_zone_of(ZoneId(z)) {
+            let (o, l) = chain_pos[p.index()];
+            chain_tmp.extend_from_within(o as usize..(o + l) as usize);
+            let (o, l) = dep_pos[p.index()];
+            dep_tmp.extend_from_within(o as usize..(o + l) as usize);
+        }
+        if !zone.origin.is_root() {
+            chain_tmp.push(ZoneId(z));
+            for &sid in &dep_tmp[dep_start..] {
+                stamps[sid.index()] = z;
+            }
+            for &ns in &zone.ns {
+                if stamps[ns.index()] != z {
+                    stamps[ns.index()] = z;
+                    dep_tmp.push(ns);
                 }
             }
         }
-        rows.dep_lens.push(deps);
-        rows.chain_lens.push(chain.len() as u32);
-        rows.chain_flat.extend_from_slice(&chain);
+        chain_pos[z as usize] = (chain_start as u32, (chain_tmp.len() - chain_start) as u32);
+        dep_pos[z as usize] = (dep_start as u32, (dep_tmp.len() - dep_start) as u32);
+        assert!(
+            u32::try_from(chain_tmp.len()).is_ok() && u32::try_from(dep_tmp.len()).is_ok(),
+            "zone row tables fit u32"
+        );
     }
-    rows
+
+    let mut tables = ZoneRowTables {
+        chain_offsets: Vec::with_capacity(zn + 1),
+        chain_targets: Vec::with_capacity(chain_tmp.len()),
+        dep_offsets: Vec::with_capacity(zn + 1),
+        dep_targets: Vec::with_capacity(dep_tmp.len()),
+    };
+    tables.chain_offsets.push(0);
+    tables.dep_offsets.push(0);
+    for z in 0..zn {
+        let (o, l) = chain_pos[z];
+        tables
+            .chain_targets
+            .extend_from_slice(&chain_tmp[o as usize..(o + l) as usize]);
+        tables.chain_offsets.push(tables.chain_targets.len() as u32);
+        let (o, l) = dep_pos[z];
+        tables
+            .dep_targets
+            .extend_from_slice(&dep_tmp[o as usize..(o + l) as usize]);
+        tables.dep_offsets.push(tables.dep_targets.len() as u32);
+    }
+    tables
+}
+
+/// The memoization phase's output: one interned server set and one
+/// interned zone set per strongly connected component.
+struct MemoResult {
+    component_servers: Vec<SetId>,
+    component_zones: Vec<SetId>,
+    server_sets: BitSetInterner,
+    zone_sets: BitSetInterner,
+}
+
+/// Per-worker scratch of the memoization phase.
+struct MemoScratch {
+    seen_servers: BitSet,
+    seen_zones: BitSet,
+    out_servers: Vec<u32>,
+    out_zones: Vec<u32>,
+    tmp: Vec<u32>,
+}
+
+impl MemoScratch {
+    fn new(server_capacity: usize, zone_capacity: usize) -> MemoScratch {
+        MemoScratch {
+            seen_servers: BitSet::new(server_capacity),
+            seen_zones: BitSet::new(zone_capacity),
+            out_servers: Vec::new(),
+            out_zones: Vec::new(),
+            tmp: Vec::new(),
+        }
+    }
+}
+
+/// Sorted-merge union of two sorted, duplicate-free slices into `out`.
+fn union_merge(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// Above this condensation fan-out the bitset union path wins over
+/// repeated sorted merges (each merge re-traverses the accumulated set).
+const MERGE_MAX_FANOUT: usize = 4;
+
+/// Everything the memoization phase reads, bundled so worker closures
+/// borrow one struct instead of seven slices.
+struct MemoInput<'a> {
+    scc: &'a SccResult,
+    dag: &'a Csr,
+    home_zone: &'a [u32],
+    zone_chain_offsets: &'a [u32],
+    zone_chain_targets: &'a [ZoneId],
+}
+
+impl MemoInput<'_> {
+    /// The chain-zone row of server `s` (its home zone's chain).
+    fn chain_of_server(&self, s: usize) -> &[ZoneId] {
+        let z = self.home_zone[s];
+        if z == u32::MAX {
+            return &[];
+        }
+        let lo = self.zone_chain_offsets[z as usize] as usize;
+        let hi = self.zone_chain_offsets[z as usize + 1] as usize;
+        &self.zone_chain_targets[lo..hi]
+    }
+
+    /// Computes component `c`'s reachable server/zone sets into `scratch`
+    /// (sorted, deduplicated; scratch bitsets are left clean). Successor
+    /// components must already be memoized in `servers`/`zones`.
+    fn component_sets(
+        &self,
+        c: usize,
+        server_sets: &BitSetInterner,
+        zone_sets: &BitSetInterner,
+        component_servers: &[Option<SetId>],
+        component_zones: &[Option<SetId>],
+        scratch: &mut MemoScratch,
+    ) {
+        let members = &self.scc.components[c];
+        let neighbors = self.dag.neighbors(c);
+
+        // Merge fast path: the typical component has one or two sparse
+        // successor sets, so a fold of sorted merges beats the bitset
+        // bookkeeping plus a full sort. (Components partition the server
+        // set, so members are disjoint from every successor's servers;
+        // successors may still overlap each other, which merge dedups.)
+        let mergeable = neighbors.len() <= MERGE_MAX_FANOUT
+            && neighbors.iter().all(|&d| {
+                let sv = component_servers[d as usize].expect("successor memoized first");
+                let zv = component_zones[d as usize].expect("successor memoized first");
+                server_sets.as_sorted_slice(sv).is_some() && zone_sets.as_sorted_slice(zv).is_some()
+            });
+        if mergeable {
+            scratch.out_servers.clear();
+            scratch
+                .out_servers
+                .extend(members.iter().map(|m| m.index() as u32));
+            scratch.out_servers.sort_unstable();
+            scratch.out_zones.clear();
+            for member in members {
+                scratch
+                    .out_zones
+                    .extend(self.chain_of_server(member.index()).iter().map(|zid| zid.0));
+            }
+            scratch.out_zones.sort_unstable();
+            scratch.out_zones.dedup();
+            for &d in neighbors {
+                let sv = component_servers[d as usize].expect("successor memoized first");
+                let zv = component_zones[d as usize].expect("successor memoized first");
+                let set = server_sets.as_sorted_slice(sv).expect("checked sparse");
+                union_merge(&scratch.out_servers, set, &mut scratch.tmp);
+                std::mem::swap(&mut scratch.out_servers, &mut scratch.tmp);
+                let set = zone_sets.as_sorted_slice(zv).expect("checked sparse");
+                union_merge(&scratch.out_zones, set, &mut scratch.tmp);
+                std::mem::swap(&mut scratch.out_zones, &mut scratch.tmp);
+            }
+            return;
+        }
+
+        // Bitset path: dense successors or wide fan-out.
+        scratch.out_servers.clear();
+        scratch.out_zones.clear();
+        for member in members {
+            let s = member.index();
+            if scratch.seen_servers.insert(s) {
+                scratch.out_servers.push(s as u32);
+            }
+            for zid in self.chain_of_server(s) {
+                if scratch.seen_zones.insert(zid.index()) {
+                    scratch.out_zones.push(zid.0);
+                }
+            }
+        }
+        for &d in neighbors {
+            let sv = component_servers[d as usize].expect("successor memoized first");
+            let zv = component_zones[d as usize].expect("successor memoized first");
+            server_sets.union_into(sv, &mut scratch.seen_servers, &mut scratch.out_servers);
+            zone_sets.union_into(zv, &mut scratch.seen_zones, &mut scratch.out_zones);
+        }
+        scratch.out_servers.sort_unstable();
+        scratch.out_zones.sort_unstable();
+        // Sparse clear keeps the whole pass linear in output size.
+        for &v in &scratch.out_servers {
+            scratch.seen_servers.remove(v as usize);
+        }
+        for &v in &scratch.out_zones {
+            scratch.seen_zones.remove(v as usize);
+        }
+    }
+}
+
+/// One worker's memoized sets for a contiguous chunk of a level: server
+/// then zone elements per component, concatenated, with per-component
+/// lengths and precomputed content hashes so the merge thread interns
+/// without re-hashing.
+struct MemoChunk {
+    data: Vec<u32>,
+    /// `(server_len, zone_len, server_hash, zone_hash)` per component.
+    meta: Vec<(u32, u32, u64, u64)>,
+}
+
+fn memoize_chunk(
+    input: &MemoInput<'_>,
+    comps: &[u32],
+    server_sets: &BitSetInterner,
+    zone_sets: &BitSetInterner,
+    component_servers: &[Option<SetId>],
+    component_zones: &[Option<SetId>],
+    scratch: &mut MemoScratch,
+) -> MemoChunk {
+    let mut chunk = MemoChunk {
+        data: Vec::new(),
+        meta: Vec::with_capacity(comps.len()),
+    };
+    for &c in comps {
+        input.component_sets(
+            c as usize,
+            server_sets,
+            zone_sets,
+            component_servers,
+            component_zones,
+            scratch,
+        );
+        chunk.meta.push((
+            scratch.out_servers.len() as u32,
+            scratch.out_zones.len() as u32,
+            BitSetInterner::hash_ids(&scratch.out_servers),
+            BitSetInterner::hash_ids(&scratch.out_zones),
+        ));
+        chunk.data.extend_from_slice(&scratch.out_servers);
+        chunk.data.extend_from_slice(&scratch.out_zones);
+    }
+    chunk
+}
+
+/// Below this many components a level is memoized inline — spawning
+/// workers costs more than the unions do.
+const LEVEL_PARALLEL_THRESHOLD: usize = 1024;
+
+/// Serial memoization: one bottom-up pass in ascending component id order
+/// (component ids are reverse topological, so every successor is final
+/// before its dependents are visited).
+fn memoize_serial(
+    input: &MemoInput<'_>,
+    server_capacity: usize,
+    zone_capacity: usize,
+) -> MemoResult {
+    let count = input.scc.count();
+    let mut server_sets = BitSetInterner::new(server_capacity);
+    let mut zone_sets = BitSetInterner::new(zone_capacity);
+    let mut component_servers: Vec<Option<SetId>> = vec![None; count];
+    let mut component_zones: Vec<Option<SetId>> = vec![None; count];
+    let mut scratch = MemoScratch::new(server_capacity, zone_capacity);
+    for c in 0..count {
+        input.component_sets(
+            c,
+            &server_sets,
+            &zone_sets,
+            &component_servers,
+            &component_zones,
+            &mut scratch,
+        );
+        component_servers[c] = Some(server_sets.intern(&scratch.out_servers));
+        component_zones[c] = Some(zone_sets.intern(&scratch.out_zones));
+    }
+    MemoResult {
+        component_servers: component_servers.into_iter().map(Option::unwrap).collect(),
+        component_zones: component_zones.into_iter().map(Option::unwrap).collect(),
+        server_sets,
+        zone_sets,
+    }
+}
+
+/// Level-parallel memoization: components grouped by topological level
+/// over the condensation (level 0 depends on nothing; a component's level
+/// is one past its deepest successor), each level's sets computed across
+/// `threads` workers, interned on the merge thread in component order.
+/// Closure contents are identical to [`memoize_serial`] for every
+/// component and invariant in the thread count — only the interner's
+/// internal id assignment order differs, which nothing observes.
+fn memoize_levels(
+    input: &MemoInput<'_>,
+    server_capacity: usize,
+    zone_capacity: usize,
+    threads: usize,
+) -> MemoResult {
+    let count = input.scc.count();
+    let mut level = vec![0u32; count];
+    let mut max_level = 0u32;
+    for c in 0..count {
+        let mut l = 0u32;
+        for &d in input.dag.neighbors(c) {
+            debug_assert!((d as usize) < c, "condensation is reverse topological");
+            l = l.max(level[d as usize] + 1);
+        }
+        level[c] = l;
+        max_level = max_level.max(l);
+    }
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_level as usize + 1];
+    for c in 0..count {
+        buckets[level[c] as usize].push(c as u32);
+    }
+
+    let mut server_sets = BitSetInterner::new(server_capacity);
+    let mut zone_sets = BitSetInterner::new(zone_capacity);
+    let mut component_servers: Vec<Option<SetId>> = vec![None; count];
+    let mut component_zones: Vec<Option<SetId>> = vec![None; count];
+    let mut scratch = MemoScratch::new(server_capacity, zone_capacity);
+
+    for bucket in &buckets {
+        let chunks: Vec<MemoChunk> = if bucket.len() < LEVEL_PARALLEL_THRESHOLD || threads == 1 {
+            vec![memoize_chunk(
+                input,
+                bucket,
+                &server_sets,
+                &zone_sets,
+                &component_servers,
+                &component_zones,
+                &mut scratch,
+            )]
+        } else {
+            let chunk_len = bucket.len().div_ceil(threads).max(1);
+            let server_sets = &server_sets;
+            let zone_sets = &zone_sets;
+            let component_servers = &component_servers;
+            let component_zones = &component_zones;
+            let mut chunks = Vec::new();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for comps in bucket.chunks(chunk_len) {
+                    handles.push(scope.spawn(move |_| {
+                        let mut scratch = MemoScratch::new(server_capacity, zone_capacity);
+                        memoize_chunk(
+                            input,
+                            comps,
+                            server_sets,
+                            zone_sets,
+                            component_servers,
+                            component_zones,
+                            &mut scratch,
+                        )
+                    }));
+                }
+                for handle in handles {
+                    chunks.push(handle.join().expect("memoize shard panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            chunks
+        };
+
+        // Intern this level's sets in component order: the chunks cover the
+        // bucket contiguously, so the interning order — and with it every
+        // id and dedup decision — does not depend on the chunk boundaries.
+        let mut comps = bucket.iter();
+        for chunk in chunks {
+            let mut cursor = 0usize;
+            for &(slen, zlen, shash, zhash) in &chunk.meta {
+                let c = *comps.next().expect("one meta entry per component") as usize;
+                let servers = &chunk.data[cursor..cursor + slen as usize];
+                cursor += slen as usize;
+                let zones = &chunk.data[cursor..cursor + zlen as usize];
+                cursor += zlen as usize;
+                component_servers[c] = Some(server_sets.intern_hashed(servers, shash));
+                component_zones[c] = Some(zone_sets.intern_hashed(zones, zhash));
+            }
+        }
+    }
+
+    MemoResult {
+        component_servers: component_servers.into_iter().map(Option::unwrap).collect(),
+        component_zones: component_zones.into_iter().map(Option::unwrap).collect(),
+        server_sets,
+        zone_sets,
+    }
 }
 
 impl DependencyIndex {
@@ -120,157 +583,115 @@ impl DependencyIndex {
 
     /// Builds the index with an explicit worker-thread count.
     ///
-    /// Phase 1 computes per-server chains and dependency rows in parallel
-    /// over contiguous server ranges (concatenated in range order, so the
-    /// CSR is invariant in the thread count). Phase 2 condenses the
-    /// dependency graph into strongly connected components and memoizes
-    /// each component's reachable server/zone sets bottom-up.
+    /// Phase 1 derives per-**zone** chain and dependency rows by a serial
+    /// recurrence over the zone tree (memcpy-bound — see
+    /// `build_zone_rows`) and maps every server to its home zone. Phase 2
+    /// condenses the implicit per-server dependency graph into strongly
+    /// connected components and memoizes each component's reachable
+    /// server/zone sets; `threads` controls only this memoization —
+    /// serially bottom-up at one thread, level-parallel otherwise
+    /// (grouped by topological level over the condensation, interned
+    /// deterministically on the merge thread). Both paths produce
+    /// identical closures, so the result is thread-count invariant.
     pub fn build_with_threads(universe: &Universe, threads: usize) -> DependencyIndex {
         let n = universe.server_count();
+        let zn = universe.zone_count();
         let threads = threads.clamp(1, 16);
 
-        // Phase 1: CSR rows (parallel).
-        let slices: Vec<RowSlice> = if threads == 1 || n < 2 * threads {
-            let mut stamps = vec![u32::MAX; n];
-            vec![server_rows(universe, 0..n, &mut stamps)]
-        } else {
-            let chunk = n.div_ceil(threads).max(1);
-            let mut slices = Vec::new();
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                let mut start = 0usize;
-                while start < n {
-                    let range = start..(start + chunk).min(n);
-                    start = range.end;
-                    handles.push(scope.spawn(move |_| {
-                        let mut stamps = vec![u32::MAX; n];
-                        server_rows(universe, range, &mut stamps)
-                    }));
-                }
-                for handle in handles {
-                    slices.push(handle.join().expect("index build shard panicked"));
-                }
+        // Phase 1a: per-zone CSR rows by recurrence over the zone tree
+        // (memcpy-bound; see `build_zone_rows`).
+        let ZoneRowTables {
+            chain_offsets: zone_chain_offsets,
+            chain_targets: zone_chain_targets,
+            dep_offsets: zone_dep_offsets,
+            dep_targets: zone_dep_targets,
+        } = build_zone_rows(universe);
+        debug_assert_eq!(zone_dep_offsets.len(), zn + 1);
+
+        // Phase 1b: home zone per server (precomputed by the universe
+        // builder; this is a plain copy).
+        let home_zone: Vec<u32> = (0..n)
+            .map(|i| {
+                universe
+                    .home_zone_of(ServerId(i as u32))
+                    .map(|z| z.0)
+                    .unwrap_or(u32::MAX)
             })
-            .expect("crossbeam scope");
-            slices
+            .collect();
+
+        // Phase 2: SCC + condensation over the implicit per-server graph
+        // (a server's dependency row is its home zone's row — no
+        // per-server edge copy is ever materialized) and per-component
+        // memoization.
+        let dep_row = |s: usize| -> &[ServerId] {
+            let z = home_zone[s];
+            if z == u32::MAX {
+                return &[];
+            }
+            let lo = zone_dep_offsets[z as usize] as usize;
+            let hi = zone_dep_offsets[z as usize + 1] as usize;
+            &zone_dep_targets[lo..hi]
         };
-
-        let mut dep_offsets = Vec::with_capacity(n + 1);
-        let mut chain_offsets = Vec::with_capacity(n + 1);
-        dep_offsets.push(0u32);
-        chain_offsets.push(0u32);
-        let mut dep_targets = Vec::new();
-        let mut chain_targets = Vec::new();
-        for slice in slices {
-            for &len in &slice.dep_lens {
-                let last = *dep_offsets.last().expect("non-empty offsets");
-                dep_offsets.push(last + len);
-            }
-            for &len in &slice.chain_lens {
-                let last = *chain_offsets.last().expect("non-empty offsets");
-                chain_offsets.push(last + len);
-            }
-            dep_targets.extend_from_slice(&slice.dep_flat);
-            chain_targets.extend_from_slice(&slice.chain_flat);
-        }
-        debug_assert_eq!(dep_offsets.len(), n + 1);
-        assert!(
-            u32::try_from(dep_targets.len()).is_ok(),
-            "dependency edge count fits u32"
+        let scc = perils_graph::scc::tarjan_scc_with(
+            n,
+            |u| dep_row(u).len(),
+            |u, k| dep_row(u)[k].index(),
         );
-        assert!(
-            u32::try_from(chain_targets.len()).is_ok(),
-            "chain entry count fits u32"
+        let dag = perils_graph::csr::condense_with(
+            &scc,
+            |u| dep_row(u).len(),
+            |u, k| dep_row(u)[k].index(),
         );
 
-        // Phase 2: condense the dependency graph and memoize per-component
-        // sub-closures bottom-up (component ids are reverse topological:
-        // every successor of a component has a smaller id).
-        let mut gb = Csr::builder();
-        let mut row: Vec<u32> = Vec::new();
-        for s in 0..n {
-            row.clear();
-            let lo = dep_offsets[s] as usize;
-            let hi = dep_offsets[s + 1] as usize;
-            row.extend(dep_targets[lo..hi].iter().map(|sid| sid.0));
-            gb.push_row(&row);
-        }
-        let graph = gb.finish();
-        let scc = graph.scc();
-        let dag = graph.condense(&scc);
-
-        let zone_capacity = universe.zone_count();
-        let mut server_sets = BitSetInterner::new(n);
-        let mut zone_sets = BitSetInterner::new(zone_capacity);
-        let mut component_servers: Vec<SetId> = Vec::with_capacity(scc.count());
-        let mut component_zones: Vec<SetId> = Vec::with_capacity(scc.count());
-        let mut seen_servers = BitSet::new(n);
-        let mut seen_zones = BitSet::new(zone_capacity);
-        let mut out_servers: Vec<u32> = Vec::new();
-        let mut out_zones: Vec<u32> = Vec::new();
-        for (c, members) in scc.components.iter().enumerate() {
-            out_servers.clear();
-            out_zones.clear();
-            for member in members {
-                let s = member.index();
-                if seen_servers.insert(s) {
-                    out_servers.push(s as u32);
-                }
-                for zid in &chain_targets[chain_offsets[s] as usize..chain_offsets[s + 1] as usize]
-                {
-                    if seen_zones.insert(zid.index()) {
-                        out_zones.push(zid.0);
-                    }
-                }
-            }
-            for &d in dag.neighbors(c) {
-                debug_assert!((d as usize) < c, "condensation is reverse topological");
-                server_sets.union_into(
-                    component_servers[d as usize],
-                    &mut seen_servers,
-                    &mut out_servers,
-                );
-                zone_sets.union_into(component_zones[d as usize], &mut seen_zones, &mut out_zones);
-            }
-            out_servers.sort_unstable();
-            out_zones.sort_unstable();
-            component_servers.push(server_sets.intern(&out_servers));
-            component_zones.push(zone_sets.intern(&out_zones));
-            // Sparse clear keeps the whole pass linear in output size.
-            for &v in &out_servers {
-                seen_servers.remove(v as usize);
-            }
-            for &v in &out_zones {
-                seen_zones.remove(v as usize);
-            }
-        }
+        let input = MemoInput {
+            scc: &scc,
+            dag: &dag,
+            home_zone: &home_zone,
+            zone_chain_offsets: &zone_chain_offsets,
+            zone_chain_targets: &zone_chain_targets,
+        };
+        let memo = if threads == 1 {
+            memoize_serial(&input, n, zn)
+        } else {
+            memoize_levels(&input, n, zn, threads)
+        };
         let component_of: Vec<u32> = scc.component_of.iter().map(|&c| c as u32).collect();
 
         DependencyIndex {
-            dep_offsets,
-            dep_targets,
-            chain_offsets,
-            chain_targets,
+            home_zone,
+            zone_chain_offsets,
+            zone_chain_targets,
+            zone_dep_offsets,
+            zone_dep_targets,
             component_of,
-            component_servers,
-            component_zones,
-            server_sets,
-            zone_sets,
+            component_servers: memo.component_servers,
+            component_zones: memo.component_zones,
+            server_sets: memo.server_sets,
+            zone_sets: memo.zone_sets,
         }
     }
 
-    /// The servers that could be involved in resolving `server`'s address.
+    /// The servers that could be involved in resolving `server`'s address
+    /// (its home zone's dependency row; sibling servers share one row).
     pub fn deps_of(&self, server: ServerId) -> &[ServerId] {
-        let lo = self.dep_offsets[server.index()] as usize;
-        let hi = self.dep_offsets[server.index() + 1] as usize;
-        &self.dep_targets[lo..hi]
+        let z = self.home_zone[server.index()];
+        if z == u32::MAX {
+            return &[];
+        }
+        let lo = self.zone_dep_offsets[z as usize] as usize;
+        let hi = self.zone_dep_offsets[z as usize + 1] as usize;
+        &self.zone_dep_targets[lo..hi]
     }
 
     /// The zones on `server`'s name's chain (root excluded), root-first.
     pub fn chain_of(&self, server: ServerId) -> &[ZoneId] {
-        let lo = self.chain_offsets[server.index()] as usize;
-        let hi = self.chain_offsets[server.index() + 1] as usize;
-        &self.chain_targets[lo..hi]
+        let z = self.home_zone[server.index()];
+        if z == u32::MAX {
+            return &[];
+        }
+        let lo = self.zone_chain_offsets[z as usize] as usize;
+        let hi = self.zone_chain_offsets[z as usize + 1] as usize;
+        &self.zone_chain_targets[lo..hi]
     }
 
     /// Number of strongly connected components in the dependency graph.
@@ -286,10 +707,11 @@ impl DependencyIndex {
     }
 
     /// A scratch workspace sized for this index; reuse it across
-    /// [`DependencyIndex::closure_for_with`] calls to keep the per-name
-    /// cost allocation-free.
+    /// [`DependencyIndex::closure_view`] calls to keep the per-name cost
+    /// allocation-free.
     pub fn workspace(&self) -> ClosureWorkspace {
         ClosureWorkspace {
+            chain: Vec::new(),
             seen_servers: BitSet::new(self.server_sets.capacity()),
             seen_zones: BitSet::new(self.zone_sets.capacity()),
             servers: Vec::new(),
@@ -298,26 +720,25 @@ impl DependencyIndex {
         }
     }
 
-    /// Computes the dependency closure for `target` as a union of the
-    /// memoized per-component sub-closures.
-    pub fn closure_for(&self, universe: &Universe, target: &DnsName) -> NameClosure {
-        self.closure_for_with(universe, target, &mut self.workspace())
-    }
-
-    /// [`DependencyIndex::closure_for`] with caller-owned scratch (the
-    /// survey engine holds one workspace per worker thread).
-    pub fn closure_for_with(
-        &self,
+    /// Computes the dependency closure for `target` as a borrowed
+    /// [`ClosureView`] — the allocation-free hot path the survey engine
+    /// runs on.
+    ///
+    /// The view borrows `ws` (and, on the single-component fast path, the
+    /// index's interned sets directly), so the workspace is busy until the
+    /// view is dropped; one workspace serves one name at a time.
+    pub fn closure_view<'a>(
+        &'a self,
         universe: &Universe,
-        target: &DnsName,
-        ws: &mut ClosureWorkspace,
-    ) -> NameClosure {
-        let target_chain = universe.chain_zones(target);
+        target: &'a DnsName,
+        ws: &'a mut ClosureWorkspace,
+    ) -> ClosureView<'a> {
+        universe.chain_zones_into(target, &mut ws.chain);
         // Seed components: the NS sets of the target's own chain. The
         // closure of each seed server is exactly its component's memoized
         // set, so the per-name work is a small union, not a traversal.
         ws.seed_components.clear();
-        for &zid in &target_chain {
+        for &zid in &ws.chain {
             for &ns in &universe.zone(zid).ns {
                 let c = self.component_of[ns.index()];
                 if !ws.seed_components.contains(&c) {
@@ -325,55 +746,93 @@ impl DependencyIndex {
                 }
             }
         }
-        let mut zones: BTreeSet<ZoneId> = target_chain.iter().copied().collect();
-        let mut servers: BTreeSet<ServerId> = BTreeSet::new();
-        if let [c] = ws.seed_components[..] {
-            // Single component: its memoized sets are already deduplicated
-            // and sorted; stream them straight into the output.
-            self.server_sets
-                .for_each(self.component_servers[c as usize], |v| {
-                    servers.insert(ServerId(v));
-                });
-            self.zone_sets
-                .for_each(self.component_zones[c as usize], |v| {
-                    zones.insert(ZoneId(v));
-                });
-        } else if !ws.seed_components.is_empty() {
-            ws.servers.clear();
-            ws.zones.clear();
-            for &c in &ws.seed_components {
-                self.server_sets.union_into(
-                    self.component_servers[c as usize],
-                    &mut ws.seen_servers,
-                    &mut ws.servers,
-                );
-                self.zone_sets.union_into(
-                    self.component_zones[c as usize],
-                    &mut ws.seen_zones,
-                    &mut ws.zones,
-                );
+
+        let servers: &[u32] = match ws.seed_components[..] {
+            [] => {
+                ws.servers.clear();
+                &ws.servers
             }
-            ws.servers.sort_unstable();
-            ws.zones.sort_unstable();
-            servers.extend(ws.servers.iter().map(|&v| ServerId(v)));
-            zones.extend(ws.zones.iter().map(|&v| ZoneId(v)));
-            for &v in &ws.servers {
-                ws.seen_servers.remove(v as usize);
+            [c] => {
+                // Single component: the closure *is* the memoized set.
+                // Sparse sets are borrowed straight out of the interner —
+                // no copy at all; dense sets stream into the workspace
+                // (already ascending, no sort needed).
+                let set = self.component_servers[c as usize];
+                match self.server_sets.as_sorted_slice(set) {
+                    Some(slice) => slice,
+                    None => {
+                        ws.servers.clear();
+                        self.server_sets.for_each(set, |v| ws.servers.push(v));
+                        &ws.servers
+                    }
+                }
             }
-            for &v in &ws.zones {
-                ws.seen_zones.remove(v as usize);
+            _ => {
+                ws.servers.clear();
+                for &c in &ws.seed_components {
+                    self.server_sets.union_into(
+                        self.component_servers[c as usize],
+                        &mut ws.seen_servers,
+                        &mut ws.servers,
+                    );
+                }
+                ws.servers.sort_unstable();
+                for &v in &ws.servers {
+                    ws.seen_servers.remove(v as usize);
+                }
+                &ws.servers
+            }
+        };
+
+        // Zones: the target's own chain plus every seed component's
+        // memoized zone set (the chains of all reachable servers).
+        ws.zones.clear();
+        for &zid in &ws.chain {
+            if ws.seen_zones.insert(zid.index()) {
+                ws.zones.push(zid.0);
             }
         }
-        NameClosure {
-            target: target.to_lowercase(),
-            target_chain,
-            zones,
+        for &c in &ws.seed_components {
+            self.zone_sets.union_into(
+                self.component_zones[c as usize],
+                &mut ws.seen_zones,
+                &mut ws.zones,
+            );
+        }
+        ws.zones.sort_unstable();
+        for &v in &ws.zones {
+            ws.seen_zones.remove(v as usize);
+        }
+
+        ClosureView {
+            target,
+            target_chain: &ws.chain,
             servers,
+            zones: &ws.zones,
         }
     }
 
+    /// Computes the dependency closure for `target` as an owned
+    /// [`NameClosure`] (a fresh workspace per call; use
+    /// [`DependencyIndex::closure_view`] with a reused workspace on hot
+    /// paths).
+    pub fn closure_for(&self, universe: &Universe, target: &DnsName) -> NameClosure {
+        self.closure_for_with(universe, target, &mut self.workspace())
+    }
+
+    /// [`DependencyIndex::closure_for`] with caller-owned scratch:
+    /// [`DependencyIndex::closure_view`] plus [`ClosureView::to_owned`].
+    pub fn closure_for_with(
+        &self,
+        universe: &Universe,
+        target: &DnsName,
+        ws: &mut ClosureWorkspace,
+    ) -> NameClosure {
+        self.closure_view(universe, target, ws).to_owned()
+    }
+
     /// The legacy per-name BFS over the dependency adjacency — the
-    /// reference implementation [`DependencyIndex::closure_for`] is tested
+    /// reference implementation [`DependencyIndex::closure_view`] is tested
     /// against, and the baseline the closure bench measures speedups over.
     pub fn closure_for_bfs(&self, universe: &Universe, target: &DnsName) -> NameClosure {
         let target_chain = universe.chain_zones(target);
@@ -406,7 +865,88 @@ impl DependencyIndex {
     }
 }
 
-/// The dependency closure of one name.
+/// The dependency closure of one name as **borrowed sorted slices** — no
+/// per-name allocation, `Copy`, cheap to hand to every registered metric.
+///
+/// Produced by [`DependencyIndex::closure_view`]; borrows the caller's
+/// [`ClosureWorkspace`] (and, for single-component closures, the index's
+/// interned sets directly). Everything a view exposes is derived from the
+/// target's delegation chain, so equal [`ClosureView::target_chain`]s mean
+/// identical closures.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosureView<'a> {
+    target: &'a DnsName,
+    target_chain: &'a [ZoneId],
+    servers: &'a [u32],
+    zones: &'a [u32],
+}
+
+impl<'a> ClosureView<'a> {
+    /// The name this closure belongs to (as passed in; not re-lowercased —
+    /// universe lookups are case-insensitive).
+    pub fn target(&self) -> &'a DnsName {
+        self.target
+    }
+
+    /// Zones on the target's own chain (root excluded), root-first.
+    pub fn target_chain(&self) -> &'a [ZoneId] {
+        self.target_chain
+    }
+
+    /// Every nameserver in the closure, ascending by id.
+    pub fn servers(&self) -> impl ExactSizeIterator<Item = ServerId> + Clone + 'a {
+        self.servers.iter().map(|&v| ServerId(v))
+    }
+
+    /// Every zone on any chain in the closure, ascending by id.
+    pub fn zones(&self) -> impl ExactSizeIterator<Item = ZoneId> + Clone + 'a {
+        self.zones.iter().map(|&v| ZoneId(v))
+    }
+
+    /// Number of servers in the closure.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of zones in the closure.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Membership test by binary search over the sorted server slice.
+    pub fn contains_server(&self, server: ServerId) -> bool {
+        self.servers.binary_search(&server.0).is_ok()
+    }
+
+    /// Membership test by binary search over the sorted zone slice.
+    pub fn contains_zone(&self, zone: ZoneId) -> bool {
+        self.zones.binary_search(&zone.0).is_ok()
+    }
+
+    /// TCB size (paper convention: root servers excluded).
+    pub fn tcb_size(&self, universe: &Universe) -> usize {
+        self.servers()
+            .filter(|&s| !universe.server(s).is_root)
+            .count()
+    }
+
+    /// Materializes an owned [`NameClosure`] (the public facade type) from
+    /// this view.
+    pub fn to_owned(&self) -> NameClosure {
+        NameClosure {
+            target: self.target.to_lowercase(),
+            target_chain: self.target_chain.to_vec(),
+            zones: self.zones().collect(),
+            servers: self.servers().collect(),
+        }
+    }
+}
+
+/// The dependency closure of one name, owned.
+///
+/// The survey's hot path works on [`ClosureView`]s; this is the facade
+/// type for callers that keep a closure around — attack simulations,
+/// examples, tests — materialized via [`ClosureView::to_owned`].
 #[derive(Debug, Clone)]
 pub struct NameClosure {
     /// The name this closure belongs to (lowercased).
@@ -622,6 +1162,44 @@ mod tests {
     }
 
     #[test]
+    fn view_matches_owned_closure_and_answers_membership() {
+        let u = figure1_universe();
+        let index = DependencyIndex::build(&u);
+        let mut ws = index.workspace();
+        for target in ["www.cs.cornell.edu", "www.umich.edu", "nowhere.test"] {
+            let target = name(target);
+            let owned = index.closure_for(&u, &target);
+            let view = index.closure_view(&u, &target, &mut ws);
+            assert_eq!(view.server_count(), owned.servers.len(), "{target}");
+            assert_eq!(view.zone_count(), owned.zones.len(), "{target}");
+            assert!(view
+                .servers()
+                .zip(owned.servers.iter().copied())
+                .all(|(a, b)| a == b));
+            assert!(view
+                .zones()
+                .zip(owned.zones.iter().copied())
+                .all(|(a, b)| a == b));
+            assert_eq!(view.target_chain(), &owned.target_chain[..]);
+            assert_eq!(view.tcb_size(&u), owned.tcb_size(&u));
+            for sid in u.server_ids() {
+                assert_eq!(
+                    view.contains_server(sid),
+                    owned.servers.contains(&sid),
+                    "{target} {sid:?}"
+                );
+            }
+            for zid in u.zone_ids() {
+                assert_eq!(view.contains_zone(zid), owned.zones.contains(&zid));
+            }
+            let roundtrip = view.to_owned();
+            assert_eq!(roundtrip.servers, owned.servers);
+            assert_eq!(roundtrip.zones, owned.zones);
+            assert_eq!(roundtrip.target, owned.target);
+        }
+    }
+
+    #[test]
     fn cycle_collapses_into_one_component() {
         let u = figure1_universe();
         let index = DependencyIndex::build(&u);
@@ -648,6 +1226,7 @@ mod tests {
             assert_eq!(serial.deps_of(sid), parallel.deps_of(sid), "{sid:?}");
             assert_eq!(serial.chain_of(sid), parallel.chain_of(sid), "{sid:?}");
         }
+        assert_eq!(serial.memo_stats(), parallel.memo_stats());
         let a = serial.closure_for(&u, &name("www.cs.cornell.edu"));
         let b = parallel.closure_for(&u, &name("www.cs.cornell.edu"));
         assert_eq!(a.servers, b.servers);

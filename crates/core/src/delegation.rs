@@ -13,8 +13,8 @@
 //! chain, and a vertex cut must block *every* such path — the paper's
 //! "critical bottleneck nameservers".
 
-use crate::closure::NameClosure;
-use crate::universe::{ServerId, Universe};
+use crate::closure::{ClosureView, NameClosure};
+use crate::universe::{ServerId, Universe, ZoneId};
 use perils_graph::digraph::{DiGraph, NodeId};
 use std::collections::HashMap;
 
@@ -49,11 +49,37 @@ impl DelegationGraph {
         index: &crate::closure::DependencyIndex,
         closure: &NameClosure,
     ) -> DelegationGraph {
+        DelegationGraph::build_parts(
+            universe,
+            index,
+            &closure.target_chain,
+            closure.servers.iter().copied(),
+        )
+    }
+
+    /// [`DelegationGraph::build`] for a borrowed [`ClosureView`] — the
+    /// survey engine's per-name path; identical graph, no owned closure.
+    pub fn build_view(
+        universe: &Universe,
+        index: &crate::closure::DependencyIndex,
+        view: &ClosureView<'_>,
+    ) -> DelegationGraph {
+        DelegationGraph::build_parts(universe, index, view.target_chain(), view.servers())
+    }
+
+    /// The shared construction core: `servers` must yield the closure's
+    /// servers in ascending id order (both entry points do).
+    fn build_parts(
+        universe: &Universe,
+        index: &crate::closure::DependencyIndex,
+        target_chain: &[ZoneId],
+        servers: impl Iterator<Item = ServerId> + Clone,
+    ) -> DelegationGraph {
         let mut graph: DiGraph<DelegationNode> = DiGraph::new();
         let source = graph.add_node(DelegationNode::Source);
         let sink = graph.add_node(DelegationNode::Target);
         let mut node_of_server: HashMap<ServerId, NodeId> = HashMap::new();
-        for &sid in &closure.servers {
+        for sid in servers.clone() {
             node_of_server.insert(sid, graph.add_node(DelegationNode::Server(sid)));
         }
 
@@ -88,9 +114,9 @@ impl DelegationGraph {
         };
 
         // The target's own chain terminates at the sink.
-        add_chain(&mut graph, &closure.target_chain, sink);
+        add_chain(&mut graph, target_chain, sink);
         // Every nameserver name's chain terminates at that server's node.
-        for &sid in &closure.servers {
+        for sid in servers {
             let endpoint = node_of_server[&sid];
             add_chain(&mut graph, index.chain_of(sid), endpoint);
         }

@@ -69,14 +69,14 @@ impl DnssecDeployment {
     /// **every** zone on the name's chain is signed (an unsigned link
     /// breaks the chain of trust; everything below it is forgeable).
     pub fn chain_protected(&self, universe: &Universe, name: &DnsName) -> bool {
-        if !self.root_signed {
-            return false;
-        }
-        let chain = universe.chain_zones(name);
-        if chain.is_empty() {
-            return false;
-        }
-        chain.iter().all(|z| self.signed.contains(z))
+        self.chain_protected_for(&universe.chain_zones(name))
+    }
+
+    /// [`DnssecDeployment::chain_protected`] for an already-computed
+    /// delegation chain (e.g. [`crate::closure::ClosureView::target_chain`]
+    /// on the survey's allocation-free path).
+    pub fn chain_protected_for(&self, chain: &[ZoneId]) -> bool {
+        self.root_signed && !chain.is_empty() && chain.iter().all(|z| self.signed.contains(z))
     }
 }
 
@@ -216,19 +216,21 @@ struct DnssecShard {
 
 impl MetricShard for DnssecShard {
     fn measure(&mut self, ctx: &MeasureCtx<'_>, slot: usize) {
-        let total = ctx.closure.zones.len();
+        let total = ctx.closure.zone_count();
         let signed = ctx
             .closure
-            .zones
-            .iter()
-            .filter(|&&z| self.deployment.is_signed(z))
+            .zones()
+            .filter(|&z| self.deployment.is_signed(z))
             .count();
         self.fraction[slot] = if total == 0 {
             0.0
         } else {
             signed as f64 / total as f64
         };
-        self.protected[slot] = usize::from(self.deployment.chain_protected(ctx.universe, ctx.name));
+        self.protected[slot] = usize::from(
+            self.deployment
+                .chain_protected_for(ctx.closure.target_chain()),
+        );
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -444,16 +446,16 @@ mod tests {
         let u = universe();
         let index = DependencyIndex::build(&u);
         let target = name("www.victim.com");
-        let closure = index.closure_for(&u, &target);
         let run = |metric: DnssecCoverageMetric| {
             let prepared = metric.prepare(&u);
             let mut shard = metric.shard(&u, 1, &prepared);
+            let mut ws = index.workspace();
             let ctx = MeasureCtx {
                 universe: &u,
                 index: &index,
                 name: &target,
                 name_index: 0,
-                closure: &closure,
+                closure: index.closure_view(&u, &target, &mut ws),
             };
             shard.measure(&ctx, 0);
             metric.merge(&u, vec![shard])

@@ -16,7 +16,7 @@
 //!   branching on resolution witnesses. The `ablation_mincut` bench
 //!   compares the two.
 
-use crate::closure::NameClosure;
+use crate::closure::{ClosureView, NameClosure};
 use crate::delegation::DelegationGraph;
 use crate::universe::{ServerId, Universe};
 use crate::usable::Reachability;
@@ -92,7 +92,22 @@ pub fn min_cut_flattened(
     index: &crate::closure::DependencyIndex,
     closure: &NameClosure,
 ) -> Option<HijackSet> {
-    let dg = DelegationGraph::build(universe, index, closure);
+    min_cut_of_graph(universe, DelegationGraph::build(universe, index, closure))
+}
+
+/// [`min_cut_flattened`] for a borrowed [`ClosureView`] — same cut, no
+/// owned closure. Since the view (and with it the delegation graph) is a
+/// pure function of the target's chain, results may be cached per chain,
+/// which is exactly what [`crate::MinCutMetric`] does.
+pub fn min_cut_flattened_view(
+    universe: &Universe,
+    index: &crate::closure::DependencyIndex,
+    view: &ClosureView<'_>,
+) -> Option<HijackSet> {
+    min_cut_of_graph(universe, DelegationGraph::build_view(universe, index, view))
+}
+
+fn min_cut_of_graph(universe: &Universe, dg: DelegationGraph) -> Option<HijackSet> {
     let cut = perils_graph::flow::min_vertex_cut(&dg.graph, dg.source, dg.sink, |node| {
         match dg.server_of(node) {
             Some(sid) => {

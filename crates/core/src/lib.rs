@@ -45,7 +45,7 @@ pub mod usable;
 pub mod value;
 pub mod zombie;
 
-pub use closure::{DependencyIndex, NameClosure};
+pub use closure::{ClosureView, ClosureWorkspace, DependencyIndex, NameClosure};
 pub use dnssec::{DeploymentPolicy, DnssecCoverageMetric};
 pub use hijack::{HijackAnalysis, HijackSet};
 pub use metric::{
@@ -53,7 +53,7 @@ pub use metric::{
     TcbMetric, ValueMetric,
 };
 pub use misconfig::{DepthIndex, MisconfigIndex, MisconfigMetric};
-pub use tcb::TcbStats;
+pub use tcb::{TcbStats, TcbTally};
 pub use universe::{ServerEntry, ServerId, Universe, UniverseBuilder, ZoneEntry, ZoneId};
 pub use value::ValueIndex;
 pub use zombie::{ZombieDelegationMetric, ZombieIndex};

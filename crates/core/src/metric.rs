@@ -25,13 +25,14 @@
 //! metrics must make their own merge order-insensitive (as `ValueIndex`'s
 //! commutative sum is).
 
-use crate::closure::{DependencyIndex, NameClosure};
-use crate::hijack::min_cut_flattened;
-use crate::tcb::TcbStats;
-use crate::universe::Universe;
+use crate::closure::{ClosureView, DependencyIndex};
+use crate::hijack::min_cut_flattened_view;
+use crate::tcb::TcbTally;
+use crate::universe::{Universe, ZoneId};
 use crate::value::ValueIndex;
 use perils_dns::name::DnsName;
 use std::any::Any;
+use std::collections::HashMap;
 
 /// Canonical column ids of the built-in metrics.
 pub mod columns {
@@ -68,7 +69,8 @@ pub mod columns {
 }
 
 /// Everything a metric may consult for one surveyed name. The engine
-/// computes the dependency closure once and shares it across all metrics.
+/// computes the dependency closure once — as a borrowed, allocation-free
+/// [`ClosureView`] — and shares it across all metrics.
 pub struct MeasureCtx<'a> {
     /// The analysis universe.
     pub universe: &'a Universe,
@@ -78,8 +80,9 @@ pub struct MeasureCtx<'a> {
     pub name: &'a DnsName,
     /// Index of the name in the survey's global name order.
     pub name_index: usize,
-    /// The name's dependency closure.
-    pub closure: &'a NameClosure,
+    /// The name's dependency closure (borrowed sorted slices; call
+    /// [`ClosureView::to_owned`] only if the measurement must retain it).
+    pub closure: ClosureView<'a>,
 }
 
 /// The shape of a [`MetricColumn`] — the queryable column schema.
@@ -266,7 +269,7 @@ fn downcast_shards<T: 'static>(shards: Vec<Box<dyn MetricShard>>, metric: &str) 
 // Built-in: TCB statistics (Figures 2–6).
 
 /// TCB size, nameowner-administered, vulnerable members and safety percent —
-/// four columns from one [`TcbStats::compute`] per name.
+/// four columns from one [`crate::tcb::TcbTally`] per name.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TcbMetric;
 
@@ -279,11 +282,11 @@ struct TcbShard {
 
 impl MetricShard for TcbShard {
     fn measure(&mut self, ctx: &MeasureCtx<'_>, slot: usize) {
-        let stats = TcbStats::compute(ctx.universe, ctx.closure);
-        self.tcb_size[slot] = stats.tcb_size;
-        self.nameowner[slot] = stats.nameowner_administered;
-        self.vulnerable[slot] = stats.vulnerable;
-        self.safety[slot] = stats.safety_percent();
+        let tally = TcbTally::compute(ctx.universe, &ctx.closure);
+        self.tcb_size[slot] = tally.tcb_size;
+        self.nameowner[slot] = tally.nameowner_administered;
+        self.vulnerable[slot] = tally.vulnerable;
+        self.safety[slot] = tally.safety_percent();
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -357,20 +360,32 @@ pub struct MinCutMetric;
 struct MinCutShard {
     cut_size: Vec<usize>,
     safe_in_cut: Vec<usize>,
+    /// Per-chain memo: a name's closure — and therefore its flattened
+    /// delegation graph and min-cut — is a pure function of its delegation
+    /// chain (see [`ClosureView`]), and a crawl surveys many host names
+    /// per domain, so equal chains recur constantly. The cache trades a
+    /// small per-shard map (one entry per *distinct chain*, not per name)
+    /// for skipping the dominant per-name cost of the survey pass; results
+    /// are byte-identical by construction.
+    by_chain: HashMap<Box<[ZoneId]>, (usize, usize)>,
 }
 
 impl MetricShard for MinCutShard {
     fn measure(&mut self, ctx: &MeasureCtx<'_>, slot: usize) {
-        match min_cut_flattened(ctx.universe, ctx.index, ctx.closure) {
-            Some(cut) => {
-                self.cut_size[slot] = cut.size();
-                self.safe_in_cut[slot] = cut.safe_members;
-            }
+        let chain = ctx.closure.target_chain();
+        let (cut_size, safe_in_cut) = match self.by_chain.get(chain) {
+            Some(&cached) => cached,
             None => {
-                self.cut_size[slot] = 0;
-                self.safe_in_cut[slot] = 0;
+                let computed = match min_cut_flattened_view(ctx.universe, ctx.index, &ctx.closure) {
+                    Some(cut) => (cut.size(), cut.safe_members),
+                    None => (0, 0),
+                };
+                self.by_chain.insert(chain.into(), computed);
+                computed
             }
-        }
+        };
+        self.cut_size[slot] = cut_size;
+        self.safe_in_cut[slot] = safe_in_cut;
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -396,6 +411,7 @@ impl NameMetric for MinCutMetric {
         Box::new(MinCutShard {
             cut_size: vec![0; shard_len],
             safe_in_cut: vec![0; shard_len],
+            by_chain: HashMap::new(),
         })
     }
 
@@ -432,7 +448,7 @@ struct ValueShard(ValueIndex);
 
 impl MetricShard for ValueShard {
     fn measure(&mut self, ctx: &MeasureCtx<'_>, _slot: usize) {
-        self.0.record(ctx.universe, ctx.closure);
+        self.0.record_view(ctx.universe, &ctx.closure);
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -497,19 +513,19 @@ mod tests {
         let u = universe();
         let index = DependencyIndex::build(&u);
         let prepared = metric.prepare(&u);
+        let mut ws = index.workspace();
         // Two shards to exercise merge order.
         let mid = targets.len() / 2;
         let mut shards = Vec::new();
         for (start, end) in [(0, mid), (mid, targets.len())] {
             let mut shard = metric.shard(&u, end - start, &prepared);
             for (slot, target) in targets[start..end].iter().enumerate() {
-                let closure = index.closure_for(&u, target);
                 let ctx = MeasureCtx {
                     universe: &u,
                     index: &index,
                     name: target,
                     name_index: start + slot,
-                    closure: &closure,
+                    closure: index.closure_view(&u, target, &mut ws),
                 };
                 shard.measure(&ctx, slot);
             }
@@ -520,6 +536,7 @@ mod tests {
 
     #[test]
     fn tcb_metric_matches_direct_stats() {
+        use crate::tcb::TcbStats;
         let targets = vec![name("www.site.com"), name("www.provider.net")];
         let cols = run_metric(&TcbMetric, &targets);
         assert_eq!(cols.len(), 4);

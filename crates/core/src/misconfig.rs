@@ -119,7 +119,7 @@ pub fn unresolvable_ns(universe: &Universe, zone: ZoneId) -> Vec<ServerId> {
             // "the deepest zone enclosing this host is the root" means the
             // branch is simply not delegated anywhere we know of.
             let has_home = universe
-                .zone_of(&server.name)
+                .home_zone_of(sid)
                 .is_some_and(|z| !universe.zone(z).origin.is_root());
             !server.is_root && !in_bailiwick && !has_home
         })
@@ -295,8 +295,14 @@ impl DepthIndex {
     /// Glueless nesting depth of resolving `name`: the deepest chain of
     /// "resolve a server name to resolve a server name…" it can force.
     pub fn depth_of_name(&self, universe: &Universe, name: &DnsName) -> usize {
+        self.depth_of_chain(universe, &universe.chain_zones(name))
+    }
+
+    /// [`DepthIndex::depth_of_name`] for an already-computed delegation
+    /// chain (the survey's allocation-free path).
+    pub fn depth_of_chain(&self, universe: &Universe, chain: &[ZoneId]) -> usize {
         let mut worst = 0usize;
-        for &zid in &universe.chain_zones(name) {
+        for &zid in chain {
             let zone = universe.zone(zid);
             for &sid in &zone.ns {
                 let server = universe.server(sid);
@@ -391,12 +397,15 @@ struct MisconfigShard {
 
 impl MetricShard for MisconfigShard {
     fn measure(&mut self, ctx: &MeasureCtx<'_>, slot: usize) {
-        let mut flags = ctx
-            .universe
-            .zone_of(ctx.name)
-            .map(|zid| self.index.zone_flags(zid))
+        // The name's own zone is the deepest zone on its chain; an empty
+        // chain means only the root encloses it, whose flags are zero —
+        // exactly what the `zone_of`-based lookup produced.
+        let chain = ctx.closure.target_chain();
+        let mut flags = chain
+            .last()
+            .map(|&zid| self.index.zone_flags(zid))
             .unwrap_or(0);
-        let depth = self.index.depths().depth_of_name(ctx.universe, ctx.name);
+        let depth = self.index.depths().depth_of_chain(ctx.universe, chain);
         if depth > self.threshold {
             flags |= FLAG_DEEP_DEPENDENCY;
         }
@@ -639,14 +648,14 @@ mod tests {
         let targets = [name("www.solo.com"), name("www.victim.com")];
         let prepared = metric.prepare(&u);
         let mut shard = metric.shard(&u, targets.len(), &prepared);
+        let mut ws = index.workspace();
         for (slot, target) in targets.iter().enumerate() {
-            let closure = index.closure_for(&u, target);
             let ctx = MeasureCtx {
                 universe: &u,
                 index: &index,
                 name: target,
                 name_index: slot,
-                closure: &closure,
+                closure: index.closure_view(&u, target, &mut ws),
             };
             shard.measure(&ctx, slot);
         }

@@ -1,8 +1,80 @@
 //! Per-name TCB statistics (§3.1, §3.2; Figures 2–6).
 
-use crate::closure::NameClosure;
+use crate::closure::{ClosureView, NameClosure};
 use crate::universe::{ServerId, Universe};
 use perils_dns::name::DnsName;
+
+/// The per-closure tallies behind [`TcbStats`], computed without cloning
+/// the surveyed name — the allocation-free form the survey engine's
+/// [`crate::TcbMetric`] records per name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcbTally {
+    /// TCB size (root servers excluded).
+    pub tcb_size: usize,
+    /// Servers administered by the nameowner.
+    pub nameowner_administered: usize,
+    /// TCB members with known vulnerabilities.
+    pub vulnerable: usize,
+    /// TCB members with scripted full-compromise exploits.
+    pub scripted_vulnerable: usize,
+}
+
+impl TcbTally {
+    /// Tallies a borrowed closure view. The nameowner's zone is the
+    /// deepest zone on the target's own chain — exactly what
+    /// [`Universe::zone_of`] resolves for the owned-closure path.
+    pub fn compute(universe: &Universe, view: &ClosureView<'_>) -> TcbTally {
+        let own_zone = view
+            .target_chain()
+            .last()
+            .map(|&z| &universe.zone(z).origin);
+        TcbTally::tally(universe, own_zone, view.servers())
+    }
+
+    /// Shared tallying core: `own_zone` of `None` (or the root, which the
+    /// callers never pass) means no server counts as nameowner-run.
+    fn tally(
+        universe: &Universe,
+        own_zone: Option<&DnsName>,
+        servers: impl Iterator<Item = ServerId>,
+    ) -> TcbTally {
+        let mut tally = TcbTally {
+            tcb_size: 0,
+            nameowner_administered: 0,
+            vulnerable: 0,
+            scripted_vulnerable: 0,
+        };
+        for sid in servers {
+            let server = universe.server(sid);
+            if server.is_root {
+                continue;
+            }
+            tally.tcb_size += 1;
+            if let Some(own) = own_zone {
+                if server.name.is_subdomain_of(own) {
+                    tally.nameowner_administered += 1;
+                }
+            }
+            if server.vulnerable {
+                tally.vulnerable += 1;
+            }
+            if server.scripted_exploit {
+                tally.scripted_vulnerable += 1;
+            }
+        }
+        tally
+    }
+
+    /// Fraction of the TCB with no known vulnerability, in percent
+    /// (Figure 6's "safety of TCB"). 100% for an empty TCB.
+    pub fn safety_percent(&self) -> f64 {
+        if self.tcb_size == 0 {
+            100.0
+        } else {
+            100.0 * (self.tcb_size - self.vulnerable) as f64 / self.tcb_size as f64
+        }
+    }
+}
 
 /// The per-name numbers every figure consumes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,32 +99,14 @@ impl TcbStats {
             .zone_of(&closure.target)
             .map(|z| universe.zone(z).origin.clone())
             .unwrap_or_else(DnsName::root);
-        let mut tcb_size = 0usize;
-        let mut nameowner_administered = 0usize;
-        let mut vulnerable = 0usize;
-        let mut scripted_vulnerable = 0usize;
-        for &sid in &closure.servers {
-            let server = universe.server(sid);
-            if server.is_root {
-                continue;
-            }
-            tcb_size += 1;
-            if !own_zone_origin.is_root() && server.name.is_subdomain_of(&own_zone_origin) {
-                nameowner_administered += 1;
-            }
-            if server.vulnerable {
-                vulnerable += 1;
-            }
-            if server.scripted_exploit {
-                scripted_vulnerable += 1;
-            }
-        }
+        let own_zone = (!own_zone_origin.is_root()).then_some(&own_zone_origin);
+        let tally = TcbTally::tally(universe, own_zone, closure.servers.iter().copied());
         TcbStats {
             name: closure.target.clone(),
-            tcb_size,
-            nameowner_administered,
-            vulnerable,
-            scripted_vulnerable,
+            tcb_size: tally.tcb_size,
+            nameowner_administered: tally.nameowner_administered,
+            vulnerable: tally.vulnerable,
+            scripted_vulnerable: tally.scripted_vulnerable,
         }
     }
 
@@ -122,6 +176,28 @@ mod tests {
         assert!(stats.has_vulnerable_dependency());
         let expected = 100.0 * 2.0 / 3.0;
         assert!((stats.safety_percent() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tally_agrees_with_owned_stats() {
+        let u = universe();
+        let index = DependencyIndex::build(&u);
+        let mut ws = index.workspace();
+        for target in ["www.example.com", "www.provider.net", "nowhere.test"] {
+            let stats = TcbStats::compute(&u, &index.closure_for(&u, &name(target)));
+            let tally = TcbTally::compute(&u, &index.closure_view(&u, &name(target), &mut ws));
+            assert_eq!(tally.tcb_size, stats.tcb_size, "{target}");
+            assert_eq!(
+                tally.nameowner_administered, stats.nameowner_administered,
+                "{target}"
+            );
+            assert_eq!(tally.vulnerable, stats.vulnerable, "{target}");
+            assert_eq!(
+                tally.scripted_vulnerable, stats.scripted_vulnerable,
+                "{target}"
+            );
+            assert_eq!(tally.safety_percent(), stats.safety_percent());
+        }
     }
 
     #[test]

@@ -69,6 +69,18 @@ pub struct Universe {
     zone_by_origin: HashMap<DnsName, ZoneId>,
     servers: Vec<ServerEntry>,
     server_by_name: HashMap<DnsName, ServerId>,
+    /// Per server: the deepest zone enclosing its name (`u32::MAX` when
+    /// none). Computed once by [`UniverseBuilder::finish`] so every
+    /// consumer — the dependency index, the zombie classification, the
+    /// misconfiguration audit — shares one ancestor-walk pass instead of
+    /// re-resolving per build.
+    server_home: Vec<u32>,
+    /// Per zone: the deepest zone **strictly** enclosing its origin
+    /// (`u32::MAX` when none). Also computed by
+    /// [`UniverseBuilder::finish`]; this is what lets delegation chains be
+    /// derived by recurrence (`chain(z) = chain(parent(z)) + z`) instead
+    /// of one ancestor walk per zone.
+    zone_parent: Vec<u32>,
 }
 
 impl Universe {
@@ -184,18 +196,44 @@ impl Universe {
     /// allocation across hundreds of thousands of servers.
     pub fn chain_zones_into(&self, name: &DnsName, out: &mut Vec<ZoneId>) {
         out.clear();
-        out.extend(
-            name.ancestors()
-                .filter(|a| !a.is_root())
-                .filter_map(|a| self.zone_id(&a)),
-        );
+        // Probe the origin map with borrowed label suffixes (`DnsName:
+        // Borrow<[Label]>`): the ancestor walk allocates nothing, which is
+        // what keeps the index build and the per-name closure path
+        // allocation-free. `skip == label_count` would be the root, which
+        // chains exclude.
+        let labels = name.labels();
+        for skip in 0..labels.len() {
+            if let Some(&id) = self.zone_by_origin.get(&labels[skip..]) {
+                out.push(id);
+            }
+        }
         out.reverse();
     }
 
     /// The deepest zone enclosing `name` (including the root zone if
     /// registered and nothing deeper matches).
     pub fn zone_of(&self, name: &DnsName) -> Option<ZoneId> {
-        name.ancestors().find_map(|a| self.zone_id(&a))
+        let labels = name.labels();
+        (0..=labels.len()).find_map(|skip| self.zone_by_origin.get(&labels[skip..]).copied())
+    }
+
+    /// The home zone of `server` — [`Universe::zone_of`] of its name,
+    /// precomputed at build time (no lookups, no allocation).
+    pub fn home_zone_of(&self, server: ServerId) -> Option<ZoneId> {
+        match self.server_home[server.index()] {
+            u32::MAX => None,
+            z => Some(ZoneId(z)),
+        }
+    }
+
+    /// The deepest zone strictly enclosing `zone`'s origin, precomputed at
+    /// build time (no lookups, no allocation). `None` for the root zone
+    /// and for origins with no registered proper ancestor.
+    pub fn parent_zone_of(&self, zone: ZoneId) -> Option<ZoneId> {
+        match self.zone_parent[zone.index()] {
+            u32::MAX => None,
+            z => Some(ZoneId(z)),
+        }
     }
 
     /// Whether the fraction of vulnerable (non-root) servers.
@@ -317,8 +355,37 @@ impl UniverseBuilder {
         id
     }
 
-    /// Finalizes the universe.
-    pub fn finish(self) -> Universe {
+    /// Finalizes the universe (resolving every server's home zone and
+    /// every zone's parent zone once).
+    pub fn finish(mut self) -> Universe {
+        self.universe.server_home = self
+            .universe
+            .servers
+            .iter()
+            .map(|s| {
+                self.universe
+                    .zone_of(&s.name)
+                    .map(|z| z.0)
+                    .unwrap_or(u32::MAX)
+            })
+            .collect();
+        self.universe.zone_parent = self
+            .universe
+            .zones
+            .iter()
+            .map(|z| {
+                let labels = z.origin.labels();
+                if labels.is_empty() {
+                    return u32::MAX;
+                }
+                // Deepest proper ancestor: walk suffixes past the first
+                // label.
+                (1..=labels.len())
+                    .find_map(|skip| self.universe.zone_by_origin.get(&labels[skip..]).copied())
+                    .map(|id| id.0)
+                    .unwrap_or(u32::MAX)
+            })
+            .collect();
         self.universe
     }
 }

@@ -7,7 +7,7 @@
 //! servers controlling more than a given share of the namespace, and the
 //! `.edu`/`.org`/vulnerable sub-rankings.
 
-use crate::closure::NameClosure;
+use crate::closure::{ClosureView, NameClosure};
 use crate::universe::{ServerId, Universe};
 use perils_dns::name::DnsName;
 
@@ -30,8 +30,18 @@ impl ValueIndex {
     /// Accounts one surveyed name's closure (each TCB member controls the
     /// name).
     pub fn record(&mut self, universe: &Universe, closure: &NameClosure) {
+        self.record_servers(universe, closure.servers.iter().copied());
+    }
+
+    /// [`ValueIndex::record`] for a borrowed closure view (the engine's
+    /// allocation-free path).
+    pub fn record_view(&mut self, universe: &Universe, view: &ClosureView<'_>) {
+        self.record_servers(universe, view.servers());
+    }
+
+    fn record_servers(&mut self, universe: &Universe, servers: impl Iterator<Item = ServerId>) {
         self.names_seen += 1;
-        for &sid in &closure.servers {
+        for sid in servers {
             if !universe.server(sid).is_root {
                 self.controlled[sid.index()] += 1;
             }

@@ -51,7 +51,7 @@ impl ZombieIndex {
             // cut *is* a home zone for that server, so glued servers are
             // alive by construction.
             let has_home = universe
-                .zone_of(&server.name)
+                .home_zone_of(sid)
                 .is_some_and(|z| !universe.zone(z).origin.is_root());
             dead_server[sid.index()] = !has_home;
         }
@@ -105,19 +105,17 @@ impl MetricShard for ZombieShard {
     fn measure(&mut self, ctx: &MeasureCtx<'_>, slot: usize) {
         self.dead_in_tcb[slot] = ctx
             .closure
-            .servers
-            .iter()
-            .filter(|&&s| !ctx.universe.server(s).is_root && self.index.is_dead(s))
+            .servers()
+            .filter(|&s| !ctx.universe.server(s).is_root && self.index.is_dead(s))
             .count();
         self.zombie_zones[slot] = ctx
             .closure
-            .zones
-            .iter()
-            .filter(|&&z| self.index.is_zombie(z))
+            .zones()
+            .filter(|&z| self.index.is_zombie(z))
             .count();
         self.orphaned[slot] = usize::from(
             ctx.closure
-                .target_chain
+                .target_chain()
                 .iter()
                 .any(|&z| self.index.is_zombie(z)),
         );
@@ -262,14 +260,14 @@ mod tests {
         ];
         let prepared = metric.prepare(&u);
         let mut shard = metric.shard(&u, targets.len(), &prepared);
+        let mut ws = dep.workspace();
         for (slot, target) in targets.iter().enumerate() {
-            let closure = dep.closure_for(&u, target);
             let ctx = MeasureCtx {
                 universe: &u,
                 index: &dep,
                 name: target,
                 name_index: slot,
-                closure: &closure,
+                closure: dep.closure_view(&u, target, &mut ws),
             };
             shard.measure(&ctx, slot);
         }

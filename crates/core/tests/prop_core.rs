@@ -255,8 +255,40 @@ proptest! {
         }
     }
 
-    /// The parallel index build is invariant in the thread count: the CSR
-    /// rows and every closure match the single-threaded build exactly.
+    /// The borrowed [`perils_core::ClosureView`] enumerates exactly the
+    /// BFS reference's sets — sorted slices for BTreeSets — under both the
+    /// serial and the level-parallel memoization (thread counts 1 and 8).
+    #[test]
+    fn closure_view_equals_bfs(spec in arb_world()) {
+        let (universe, targets) = build(&spec);
+        for threads in [1usize, 8] {
+            let index = DependencyIndex::build_with_threads(&universe, threads);
+            let mut ws = index.workspace();
+            for target in &targets {
+                let bfs = index.closure_for_bfs(&universe, target);
+                let view = index.closure_view(&universe, target, &mut ws);
+                prop_assert_eq!(
+                    view.servers().collect::<Vec<_>>(),
+                    bfs.servers.iter().copied().collect::<Vec<_>>(),
+                    "servers of {} at {} threads", target, threads
+                );
+                prop_assert_eq!(
+                    view.zones().collect::<Vec<_>>(),
+                    bfs.zones.iter().copied().collect::<Vec<_>>(),
+                    "zones of {} at {} threads", target, threads
+                );
+                prop_assert_eq!(
+                    view.target_chain(), &bfs.target_chain[..],
+                    "chain of {} at {} threads", target, threads
+                );
+            }
+        }
+    }
+
+    /// The parallel index build is invariant in the thread count: the
+    /// dependency rows, the interner statistics and every closure match
+    /// the single-threaded build exactly (level-parallel memoization ≡
+    /// serial memoization).
     #[test]
     fn index_build_thread_invariant(spec in arb_world()) {
         let (universe, targets) = build(&spec);
@@ -266,6 +298,8 @@ proptest! {
             prop_assert_eq!(serial.deps_of(sid), parallel.deps_of(sid));
             prop_assert_eq!(serial.chain_of(sid), parallel.chain_of(sid));
         }
+        prop_assert_eq!(serial.component_count(), parallel.component_count());
+        prop_assert_eq!(serial.memo_stats(), parallel.memo_stats());
         for target in targets.iter().take(3) {
             let a = serial.closure_for(&universe, target);
             let b = parallel.closure_for(&universe, target);

@@ -105,9 +105,16 @@ impl PartialEq for Label {
 
 impl std::hash::Hash for Label {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        for &b in &self.bytes {
-            state.write_u8(b.to_ascii_lowercase());
+        // Lowercase into a stack buffer and feed the hasher one `write`
+        // call instead of one per byte — name-keyed map lookups are the
+        // hottest operation of the dependency-index build. Labels are
+        // validated to at most 63 bytes ([`MAX_LABEL_LEN`]).
+        let mut lower = [0u8; MAX_LABEL_LEN];
+        let len = self.bytes.len();
+        for (dst, &b) in lower[..len].iter_mut().zip(&self.bytes) {
+            *dst = b.to_ascii_lowercase();
         }
+        state.write(&lower[..len]);
     }
 }
 
@@ -281,6 +288,19 @@ impl DnsName {
         DnsName {
             labels: self.labels.iter().map(Label::to_lowercase).collect(),
         }
+    }
+}
+
+/// A [`DnsName`] can stand in for its label slice in hashed collections:
+/// the derived `Hash`/`Eq`/`Ord` of `DnsName` delegate to its `Vec<Label>`
+/// field, which hashes and compares exactly like `[Label]` (labels
+/// themselves hash case-insensitively). This is what lets name-keyed maps
+/// be probed with a **borrowed suffix** of another name's labels — an
+/// ancestor walk without materializing one allocation per ancestor, the
+/// hot lookup of the dependency-index build.
+impl std::borrow::Borrow<[Label]> for DnsName {
+    fn borrow(&self) -> &[Label] {
+        &self.labels
     }
 }
 

@@ -154,11 +154,13 @@ impl SetId {
     }
 }
 
-/// One interned set: sparse sorted ids when small, packed blocks when the
-/// set is dense enough that blocks are the smaller representation.
+/// One interned set: sparse sorted ids when small (a range of the shared
+/// element arena — one allocation for all sparse sets, not one per set),
+/// packed blocks when the set is dense enough that blocks are the smaller
+/// representation.
 #[derive(Debug, Clone)]
 enum CompactSet {
-    Sparse(Box<[u32]>),
+    Sparse { offset: u32, len: u32 },
     Dense { blocks: Box<[u64]>, len: u32 },
 }
 
@@ -174,9 +176,15 @@ enum CompactSet {
 pub struct BitSetInterner {
     capacity: usize,
     sets: Vec<CompactSet>,
-    /// FNV-1a hash of the sorted ids → candidate set ids (collisions are
-    /// resolved by full comparison).
-    by_hash: HashMap<u64, Vec<SetId>>,
+    /// Shared element storage of every sparse set.
+    arena: Vec<u32>,
+    /// FNV-1a hash of the sorted ids → first set with that hash (further
+    /// same-hash sets go to `overflow`; collisions of *distinct* sets are
+    /// vanishingly rare, so the common case costs one map probe and no
+    /// per-bucket allocation).
+    by_hash: HashMap<u64, SetId>,
+    /// Rare same-hash-different-content candidates, scanned linearly.
+    overflow: Vec<(u64, SetId)>,
     /// Total elements across interned sets, counting each set once
     /// (dedup-aware size accounting for diagnostics).
     stored_elements: usize,
@@ -188,7 +196,9 @@ impl BitSetInterner {
         BitSetInterner {
             capacity,
             sets: Vec::new(),
+            arena: Vec::new(),
             by_hash: HashMap::new(),
+            overflow: Vec::new(),
             stored_elements: 0,
         }
     }
@@ -213,15 +223,42 @@ impl BitSetInterner {
         self.stored_elements
     }
 
-    /// Interns `ids`, which must be sorted ascending and duplicate-free
-    /// with every element `< capacity`. Returns the id of the stored set —
-    /// the same id for an identical set interned earlier.
+    /// Interns `ids`, which **must** be sorted ascending and
+    /// duplicate-free with every element `< capacity` — dedup comparisons,
+    /// slice borrowing and membership queries all assume it. Debug builds
+    /// verify the ordering; release builds trust the caller (this sits on
+    /// the index build's hot path). Returns the id of the stored set — the
+    /// same id for an identical set interned earlier.
     ///
     /// # Panics
     ///
-    /// Panics when `ids` is unsorted, has duplicates, or exceeds capacity.
+    /// Panics when the last id exceeds the capacity (and, in debug builds,
+    /// when `ids` is unsorted or has duplicates).
     pub fn intern(&mut self, ids: &[u32]) -> SetId {
-        assert!(
+        self.intern_hashed(ids, fnv1a(ids))
+    }
+
+    /// The content hash [`BitSetInterner::intern`] computes internally.
+    /// Worker threads of a parallel memoization pass hash their sets with
+    /// this and hand the results to [`BitSetInterner::intern_hashed`], so
+    /// the serial interning step on the merge thread does no re-hashing.
+    pub fn hash_ids(ids: &[u32]) -> u64 {
+        fnv1a(ids)
+    }
+
+    /// [`BitSetInterner::intern`] with a caller-precomputed content hash
+    /// (`hash` must equal [`BitSetInterner::hash_ids`] of `ids`).
+    ///
+    /// `ids` must be sorted ascending and duplicate-free — debug builds
+    /// verify this; release builds trust the caller (this sits on the
+    /// index build's hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an id exceeds the capacity (and, in debug builds, when
+    /// `ids` is unsorted or has duplicates).
+    pub fn intern_hashed(&mut self, ids: &[u32], hash: u64) -> SetId {
+        debug_assert!(
             ids.windows(2).all(|w| w[0] < w[1]),
             "interned ids must be sorted and unique"
         );
@@ -232,25 +269,55 @@ impl BitSetInterner {
                 self.capacity
             );
         }
-        let hash = fnv1a(ids);
-        if let Some(candidates) = self.by_hash.get(&hash) {
-            for &id in candidates {
-                if self.eq_ids(id, ids) {
-                    return id;
+        debug_assert_eq!(hash, fnv1a(ids), "precomputed hash mismatch");
+        match self.by_hash.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(first) => {
+                let first = *first.get();
+                if self.eq_ids(first, ids) {
+                    return first;
                 }
+                for &(h, id) in &self.overflow {
+                    if h == hash && self.eq_ids(id, ids) {
+                        return id;
+                    }
+                }
+                let id =
+                    SetId(u32::try_from(self.sets.len()).expect("interner set count fits u32"));
+                let packed = self.pack(ids);
+                self.sets.push(packed);
+                self.stored_elements += ids.len();
+                self.overflow.push((hash, id));
+                id
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let id =
+                    SetId(u32::try_from(self.sets.len()).expect("interner set count fits u32"));
+                slot.insert(id);
+                let packed = self.pack(ids);
+                self.sets.push(packed);
+                self.stored_elements += ids.len();
+                id
             }
         }
-        let id = SetId(u32::try_from(self.sets.len()).expect("interner set count fits u32"));
-        self.sets.push(self.pack(ids));
-        self.stored_elements += ids.len();
-        self.by_hash.entry(hash).or_default().push(id);
-        id
+    }
+
+    /// Borrows the sorted element slice of set `id` when it is stored
+    /// sparsely (`None` for block-packed dense sets). The zero-copy fast
+    /// path of closure views: a single-component closure *is* its
+    /// component's interned set, so the view borrows this slice directly.
+    pub fn as_sorted_slice(&self, id: SetId) -> Option<&[u32]> {
+        match self.sets[id.index()] {
+            CompactSet::Sparse { offset, len } => {
+                Some(&self.arena[offset as usize..(offset + len) as usize])
+            }
+            CompactSet::Dense { .. } => None,
+        }
     }
 
     /// Number of elements in set `id`.
     pub fn set_len(&self, id: SetId) -> usize {
         match &self.sets[id.index()] {
-            CompactSet::Sparse(ids) => ids.len(),
+            CompactSet::Sparse { len, .. } => *len as usize,
             CompactSet::Dense { len, .. } => *len as usize,
         }
     }
@@ -258,7 +325,11 @@ impl BitSetInterner {
     /// Calls `f` for every element of set `id`, ascending.
     pub fn for_each(&self, id: SetId, mut f: impl FnMut(u32)) {
         match &self.sets[id.index()] {
-            CompactSet::Sparse(ids) => ids.iter().copied().for_each(f),
+            CompactSet::Sparse { offset, len } => self.arena
+                [*offset as usize..(offset + len) as usize]
+                .iter()
+                .copied()
+                .for_each(f),
             CompactSet::Dense { blocks, .. } => {
                 for (i, &block) in blocks.iter().enumerate() {
                     let mut bits = block;
@@ -288,7 +359,7 @@ impl BitSetInterner {
         });
     }
 
-    fn pack(&self, ids: &[u32]) -> CompactSet {
+    fn pack(&mut self, ids: &[u32]) -> CompactSet {
         // Dense wins once 4 bytes/element exceeds capacity/8 bytes of blocks.
         if ids.len() * 32 >= self.capacity && self.capacity >= 64 {
             let mut blocks = vec![0u64; self.capacity.div_ceil(64)];
@@ -300,13 +371,20 @@ impl BitSetInterner {
                 len: ids.len() as u32,
             }
         } else {
-            CompactSet::Sparse(ids.into())
+            let offset = u32::try_from(self.arena.len()).expect("interner arena fits u32");
+            self.arena.extend_from_slice(ids);
+            CompactSet::Sparse {
+                offset,
+                len: ids.len() as u32,
+            }
         }
     }
 
     fn eq_ids(&self, id: SetId, ids: &[u32]) -> bool {
         match &self.sets[id.index()] {
-            CompactSet::Sparse(stored) => stored.as_ref() == ids,
+            CompactSet::Sparse { offset, len } => {
+                &self.arena[*offset as usize..(offset + len) as usize] == ids
+            }
             CompactSet::Dense { blocks, len } => {
                 *len as usize == ids.len()
                     && ids
@@ -317,12 +395,13 @@ impl BitSetInterner {
     }
 }
 
+/// FNV-1a folded one `u32` element at a time (not per byte): the hash is
+/// purely internal to the dedup map, so trading byte-granularity for a
+/// 4× shorter multiply chain is free.
 fn fnv1a(ids: &[u32]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &v in ids {
-        for b in v.to_le_bytes() {
-            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
-        }
+        h = (h ^ u64::from(v)).wrapping_mul(0x100_0000_01B3);
     }
     h
 }
@@ -421,6 +500,25 @@ mod tests {
         pool.union_into(a, &mut seen, &mut out);
         pool.union_into(b, &mut seen, &mut out);
         assert_eq!(out, vec![2, 7, 40, 41], "7 appended once");
+    }
+
+    #[test]
+    fn interner_sorted_slice_for_sparse_only() {
+        let mut pool = BitSetInterner::new(256);
+        let sparse = pool.intern(&[3, 9, 200]);
+        assert_eq!(pool.as_sorted_slice(sparse), Some(&[3u32, 9, 200][..]));
+        let big: Vec<u32> = (0..128).collect();
+        let dense = pool.intern(&big);
+        assert_eq!(pool.as_sorted_slice(dense), None, "dense sets are blocks");
+    }
+
+    #[test]
+    fn intern_hashed_dedupes_against_intern() {
+        let mut pool = BitSetInterner::new(100);
+        let a = pool.intern(&[1, 2, 50]);
+        let hash = BitSetInterner::hash_ids(&[1, 2, 50]);
+        assert_eq!(pool.intern_hashed(&[1, 2, 50], hash), a);
+        assert_eq!(pool.len(), 1);
     }
 
     #[test]

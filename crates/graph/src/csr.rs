@@ -9,6 +9,37 @@
 
 use crate::scc::{tarjan_scc_with, SccResult};
 
+/// [`Csr::condense`] over any adjacency representation: `degree(u)` is
+/// node `u`'s out-degree and `neighbor(u, k)` its `k`-th out-neighbor.
+/// This is what lets callers condense an *implicit* graph (e.g. the
+/// dependency-index build, whose per-server rows are shared per home
+/// zone) without materializing a per-node edge copy first.
+pub fn condense_with(
+    scc: &SccResult,
+    degree: impl Fn(usize) -> usize,
+    neighbor: impl Fn(usize, usize) -> usize,
+) -> Csr {
+    let mut builder = Csr::builder();
+    // Stamp array: `seen[c] == stamp` ⇔ component `c` already emitted
+    // for the current row (linear dedup, no hashing).
+    let mut seen = vec![u32::MAX; scc.count()];
+    let mut row: Vec<u32> = Vec::new();
+    for (c, members) in scc.components.iter().enumerate() {
+        row.clear();
+        for member in members {
+            for k in 0..degree(member.index()) {
+                let tc = scc.component_of[neighbor(member.index(), k)] as u32;
+                if tc as usize != c && seen[tc as usize] != c as u32 {
+                    seen[tc as usize] = c as u32;
+                    row.push(tc);
+                }
+            }
+        }
+        builder.push_row(&row);
+    }
+    builder.finish()
+}
+
 /// An immutable directed graph in compressed sparse row form.
 ///
 /// Node ids are dense `usize` indices in `[0, node_count)`; neighbor lists
@@ -65,25 +96,11 @@ impl Csr {
     /// Component rows list successor components in first-occurrence order
     /// over the members' neighbor lists, so the result is deterministic.
     pub fn condense(&self, scc: &SccResult) -> Csr {
-        let mut builder = Csr::builder();
-        // Stamp array: `seen[c] == stamp` ⇔ component `c` already emitted
-        // for the current row (linear dedup, no hashing).
-        let mut seen = vec![u32::MAX; scc.count()];
-        let mut row: Vec<u32> = Vec::new();
-        for (c, members) in scc.components.iter().enumerate() {
-            row.clear();
-            for member in members {
-                for &t in self.neighbors(member.index()) {
-                    let tc = scc.component_of[t as usize] as u32;
-                    if tc as usize != c && seen[tc as usize] != c as u32 {
-                        seen[tc as usize] = c as u32;
-                        row.push(tc);
-                    }
-                }
-            }
-            builder.push_row(&row);
-        }
-        builder.finish()
+        condense_with(
+            scc,
+            |u| self.neighbors(u).len(),
+            |u, k| self.neighbors(u)[k] as usize,
+        )
     }
 }
 
@@ -179,6 +196,24 @@ mod tests {
         let pair = scc.component_of[0];
         assert_eq!(dag.neighbors(pair), &[scc.component_of[2] as u32]);
         assert_eq!(dag.neighbors(scc.component_of[2]), &[] as &[u32]);
+    }
+
+    #[test]
+    fn condense_with_matches_csr_condense() {
+        // Same graph, materialized vs implicit adjacency.
+        let mut b = Csr::builder();
+        b.push_row(&[1, 2]);
+        b.push_row(&[0, 2]);
+        b.push_row(&[]);
+        let g = b.finish();
+        let scc = g.scc();
+        let via_csr = g.condense(&scc);
+        let rows = [vec![1u32, 2], vec![0, 2], vec![]];
+        let via_accessors = condense_with(&scc, |u| rows[u].len(), |u, k| rows[u][k] as usize);
+        assert_eq!(via_csr.node_count(), via_accessors.node_count());
+        for c in 0..via_csr.node_count() {
+            assert_eq!(via_csr.neighbors(c), via_accessors.neighbors(c));
+        }
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! (fbi.gov, Figure 1) and wire-probed worlds all load through the same
 //! trait — and [`Engine::run`] shards the name loop across threads exactly
 //! as the seed driver did: each worker owns a contiguous name range,
-//! computes every name's dependency closure **once** (via the memoized
-//! sub-closure index, with per-worker scratch), feeds it to every metric's
-//! shard accumulator, and the merge concatenates shards in range order, so
-//! results are deterministic and invariant in the thread count.
+//! computes every name's dependency closure **once** — as a borrowed
+//! [`perils_core::ClosureView`] over the memoized sub-closure index, with
+//! per-worker scratch, so the pass allocates no per-name closure sets —
+//! feeds it to every metric's shard accumulator, and the merge
+//! concatenates shards in range order, so results are deterministic and
+//! invariant in the thread count.
 //!
 //! [`Engine::run_batched`] is the same pass streamed in bounded batches:
 //! shards live only for one batch, each batch merges immediately, and the
@@ -524,14 +526,15 @@ impl Engine {
                             .collect();
                         let mut ws = index_ref.workspace();
                         for (slot, i) in range.enumerate() {
-                            let closure =
-                                index_ref.closure_for_with(universe, &names[i].name, &mut ws);
+                            // The closure is computed once per name as a
+                            // borrowed view — no per-name set allocation —
+                            // and shared by every registered metric.
                             let ctx = MeasureCtx {
                                 universe,
                                 index: index_ref,
                                 name: &names[i].name,
                                 name_index: i,
-                                closure: &closure,
+                                closure: index_ref.closure_view(universe, &names[i].name, &mut ws),
                             };
                             for shard in &mut shards {
                                 shard.measure(&ctx, slot);

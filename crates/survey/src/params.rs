@@ -51,6 +51,13 @@ pub struct TopologyParams {
     /// How many of the worst ccTLDs form dense volunteer webs (ua, by, sm,
     /// … in Figure 4).
     pub messy_cctlds: usize,
+    /// Fraction of second-level domains whose delegations have decayed:
+    /// their NS sets (partially or entirely) name hosts under vanished
+    /// branches of the namespace, so [`perils_core::ZombieDelegationMetric`]
+    /// has signal on synthetic worlds. Drawn from a dedicated RNG stream,
+    /// so `0.0` (every preset's default) produces **exactly** the same
+    /// world as before the knob existed — goldens are unaffected.
+    pub stale_delegation_fraction: f64,
 }
 
 impl TopologyParams {
@@ -72,6 +79,7 @@ impl TopologyParams {
             vulnerable_operator_fraction: 0.162,
             popular_extra_secondaries: 3,
             messy_cctlds: 20,
+            stale_delegation_fraction: 0.0,
         }
     }
 
@@ -93,6 +101,7 @@ impl TopologyParams {
             vulnerable_operator_fraction: 0.162,
             popular_extra_secondaries: 3,
             messy_cctlds: 20,
+            stale_delegation_fraction: 0.0,
         }
     }
 
@@ -113,6 +122,7 @@ impl TopologyParams {
             vulnerable_operator_fraction: 0.162,
             popular_extra_secondaries: 2,
             messy_cctlds: 3,
+            stale_delegation_fraction: 0.0,
         }
     }
 
@@ -140,6 +150,10 @@ impl TopologyParams {
         assert!(
             (0.0..=1.0).contains(&self.vulnerable_operator_fraction),
             "vulnerable fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.stale_delegation_fraction),
+            "stale-delegation fraction out of range"
         );
     }
 }

@@ -433,30 +433,73 @@ impl FigureRegistry {
         figure.build(report)
     }
 
-    /// Builds every registered figure against `report`, in registration
-    /// order. Figures whose required columns are absent become
-    /// [`FigureOutcome::Skipped`]; build failures become
+    fn outcome_of(figure: &dyn Figure, report: &SurveyReport) -> FigureOutcome {
+        let missing = FigureRegistry::missing_columns(figure, report);
+        if !missing.is_empty() {
+            return FigureOutcome::Skipped {
+                id: figure.id().to_string(),
+                missing,
+            };
+        }
+        match figure.build(report) {
+            Ok(rendered) => FigureOutcome::Rendered(rendered),
+            Err(error) => FigureOutcome::Failed {
+                id: figure.id().to_string(),
+                error,
+            },
+        }
+    }
+
+    /// Builds every registered figure against `report`, returning outcomes
+    /// in registration order. Figures whose required columns are absent
+    /// become [`FigureOutcome::Skipped`]; build failures become
     /// [`FigureOutcome::Failed`]. Never panics on schema mismatches.
+    ///
+    /// Figures are independent of each other (each reads only the shared
+    /// report), so they build **in parallel** across available cores —
+    /// heavyweight figures like the paper-scale CDFs no longer serialize
+    /// behind each other. Work-stealing assigns figures to workers, but
+    /// every outcome lands in its registration-order slot, so the result
+    /// (and any sink fed from it) is identical to a sequential pass.
     pub fn build_all(&self, report: &SurveyReport) -> Vec<FigureOutcome> {
-        self.figures
-            .iter()
-            .map(|figure| {
-                let missing = FigureRegistry::missing_columns(figure.as_ref(), report);
-                if !missing.is_empty() {
-                    return FigureOutcome::Skipped {
-                        id: figure.id().to_string(),
-                        missing,
-                    };
-                }
-                match figure.build(report) {
-                    Ok(rendered) => FigureOutcome::Rendered(rendered),
-                    Err(error) => FigureOutcome::Failed {
-                        id: figure.id().to_string(),
-                        error,
-                    },
-                }
-            })
-            .collect()
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(self.figures.len())
+            .min(8);
+        if threads <= 1 {
+            return self
+                .figures
+                .iter()
+                .map(|figure| FigureRegistry::outcome_of(figure.as_ref(), report))
+                .collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, FigureOutcome)> = Vec::with_capacity(self.figures.len());
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let next = &next;
+                let figures = &self.figures;
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= figures.len() {
+                            break;
+                        }
+                        local.push((i, FigureRegistry::outcome_of(figures[i].as_ref(), report)));
+                    }
+                    local
+                }));
+            }
+            for handle in handles {
+                indexed.extend(handle.join().expect("figure build worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, outcome)| outcome).collect()
     }
 }
 
@@ -565,6 +608,48 @@ mod tests {
         let content = std::fs::read_to_string(nested.join("f.json")).unwrap();
         assert!(content.starts_with("{\"id\":\"f\""));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_build_all_preserves_registration_order() {
+        struct Named(&'static str);
+        impl Figure for Named {
+            fn id(&self) -> &str {
+                self.0
+            }
+            fn title(&self) -> &str {
+                self.0
+            }
+            fn required_columns(&self) -> &[&str] {
+                &[]
+            }
+            fn build(&self, _report: &SurveyReport) -> Result<RenderedFigure, FigureError> {
+                Ok(RenderedFigure::new(
+                    self.0,
+                    self.0,
+                    format!("{}\n", self.0),
+                    Table::new(vec!["x"]),
+                ))
+            }
+        }
+        let registry = FigureRegistry::new()
+            .register(Named("a"))
+            .register(Named("b"))
+            .register(Named("c"))
+            .register(Named("d"))
+            .register(Named("e"));
+        let report = empty_report();
+        for _ in 0..4 {
+            let ids: Vec<String> = registry
+                .build_all(&report)
+                .iter()
+                .map(|o| {
+                    assert!(matches!(o, FigureOutcome::Rendered(_)));
+                    o.id().to_string()
+                })
+                .collect();
+            assert_eq!(ids, ["a", "b", "c", "d", "e"]);
+        }
     }
 
     #[test]

@@ -280,6 +280,7 @@ impl<'p> Generator<'p> {
         self.wire_cctld_slaves(&cctld_labels);
         let (domain_zones, domain_tlds) = self.build_domains(&cctld_labels);
         let names = self.crawl_names(&domain_zones, &domain_tlds);
+        self.decay_delegations(domain_zones.len());
 
         // Materialize the analysis universe.
         let db = VulnDb::isc_feb_2004();
@@ -853,6 +854,45 @@ impl<'p> Generator<'p> {
         (domain_zones, domain_tlds)
     }
 
+    /// Applies the stale-delegation knob
+    /// ([`TopologyParams::stale_delegation_fraction`]): that fraction of
+    /// second-level domains decays. Half of the decayed domains lose their
+    /// **entire** NS set to hosts under a vanished `.zz` branch — a zombie
+    /// delegation whose names become orphaned — and the rest keep their
+    /// live servers but gain one dead secondary (dead-in-TCB signal
+    /// without orphaning), mirroring how real delegations rot one expired
+    /// registration at a time.
+    ///
+    /// Decay draws from a dedicated forked RNG stream and runs after
+    /// everything else is planned, so a fraction of zero leaves the world
+    /// bit-identical to a build without the knob.
+    fn decay_delegations(&mut self, domain_count: usize) {
+        let fraction = self.params.stale_delegation_fraction;
+        if fraction <= 0.0 {
+            return;
+        }
+        let mut rng = Rng::new(self.params.seed).fork(0x7a6f_6d62); // "zomb"
+                                                                    // Domain zones are the last `domain_count` plans, in build order.
+        let base = self.zones.len() - domain_count;
+        for j in 0..domain_count {
+            if !rng.chance(fraction) {
+                continue;
+            }
+            let plan = &mut self.zones[base + j];
+            // `.zz` is reserved: never a generated ccTLD (seed codes are
+            // two known letters, synthetic codes end in `x`), so nothing
+            // in the universe can supply an address under it.
+            if rng.chance(0.5) {
+                let count = plan.ns.len().clamp(1, 2);
+                plan.ns = (1..=count)
+                    .map(|k| name(&format!("ns{k}.ghost{j}.zz")))
+                    .collect();
+            } else {
+                plan.ns.push(name(&format!("ns9.ghost{j}.zz")));
+            }
+        }
+    }
+
     /// Samples the crawled directory: Zipf-popular domains, one or more
     /// host names each, deduplicated.
     fn crawl_names(
@@ -980,6 +1020,35 @@ mod tests {
                 world.universe.server(sid).vulnerable,
                 "nic.ws boxes run old BIND"
             );
+        }
+    }
+
+    #[test]
+    fn stale_delegation_knob_decays_domains() {
+        use perils_core::ZombieIndex;
+        let clean = SyntheticWorld::generate(&TopologyParams::tiny(9));
+        let mut params = TopologyParams::tiny(9);
+        params.stale_delegation_fraction = 0.3;
+        let decayed = SyntheticWorld::generate(&params);
+        let clean_index = ZombieIndex::build(&clean.universe);
+        let decayed_index = ZombieIndex::build(&decayed.universe);
+        assert_eq!(
+            clean_index.zombie_zones(),
+            0,
+            "knob off: synthetic worlds have no zombie delegations"
+        );
+        assert!(
+            decayed_index.zombie_zones() > 0,
+            "full decay plants zombies"
+        );
+        assert!(
+            decayed_index.dead_servers() > decayed_index.zombie_zones(),
+            "partial decay plants extra dead secondaries"
+        );
+        // Decay perturbs delegations only — the crawl sample is unchanged.
+        assert_eq!(clean.names.len(), decayed.names.len());
+        for (a, b) in clean.names.iter().zip(&decayed.names) {
+            assert_eq!(a.name, b.name);
         }
     }
 

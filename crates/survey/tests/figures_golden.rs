@@ -128,6 +128,29 @@ fn registry_output_is_byte_identical_to_legacy_renderers() {
     }
 }
 
+/// The stale-delegation generator knob gives the zombie figure signal on
+/// synthetic worlds; this golden pins its output with the knob on (the
+/// knob-off golden — all zeros — is `zombie.{txt,csv}` above).
+#[test]
+fn zombie_figure_with_stale_knob_matches_golden() {
+    let mut params = TopologyParams::tiny(SEED);
+    params.stale_delegation_fraction = 0.12;
+    let report = Engine::new()
+        .register(ZombieDelegationMetric)
+        .run(SyntheticSource { params });
+    let figure = FigureRegistry::new()
+        .register(ZombieFigure)
+        .build("zombie", &report)
+        .expect("zombie figure renders");
+    let summary = figures::ZombieSummary::from_report(&report).expect("columns present");
+    assert!(
+        summary.names_with_dead_dep > 0 && summary.orphaned_names > 0,
+        "the knob must give the metric signal: {summary:?}"
+    );
+    check_golden("zombie_stale.txt", figure.text());
+    check_golden("zombie_stale.csv", &figure.csv());
+}
+
 #[test]
 fn figures_with_unregistered_metrics_are_skipped_not_panicking() {
     // Only the built-in metrics run: misconfig, dnssec and zombie columns

@@ -43,10 +43,16 @@ fn assert_reports_equal(a: &SurveyReport, b: &SurveyReport, what: &str) -> Resul
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
-    /// `run_batched` ≡ `run` for batch sizes {1, 7, 64, all}.
+    /// `run_batched` ≡ `run` for batch sizes {1, 7, 64, all}, re-pinned on
+    /// the view-based closure representation over the full metric set
+    /// (built-ins + misconfig + DNSSEC + zombie), so every view-path
+    /// measurement — including the min-cut metric's per-chain cache, whose
+    /// shards live only for one batch — is covered.
     #[test]
     fn batched_report_identical_to_unbatched(seed in 0u64..10_000) {
-        let engine = Engine::with_builtin_metrics().exact_hijack_sample(5);
+        let engine = Engine::with_extended_metrics()
+            .register(perils_core::ZombieDelegationMetric)
+            .exact_hijack_sample(5);
         let baseline = engine.run(SyntheticSource { params: params(seed) });
         let n = baseline.world.names.len();
         prop_assert!(n > 0);

@@ -71,7 +71,7 @@
 //!
 //! impl MetricShard for ZoneCountShard {
 //!     fn measure(&mut self, ctx: &MeasureCtx<'_>, slot: usize) {
-//!         self.0[slot] = ctx.closure.zones.len();
+//!         self.0[slot] = ctx.closure.zone_count();
 //!     }
 //!     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> { self }
 //! }
