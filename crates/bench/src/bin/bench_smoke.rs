@@ -2,20 +2,34 @@
 //!
 //! Measures the numbers the perf trajectory tracks — dependency-index
 //! build time (serial and default-parallel, warm), closure throughput
-//! (borrowed-view and owned paths), and the end-to-end engine pass — on a
-//! scaled synthetic world, and writes them as JSON (`BENCH_04.json` in
-//! CI) so future PRs can diff against this one's numbers without
-//! re-running the full criterion suite.
+//! (borrowed-view and owned paths), the end-to-end engine pass, and the
+//! process's **peak RSS** — on a scaled synthetic world, and writes them
+//! as JSON (`BENCH_05.json` in CI) so future PRs can diff against this
+//! one's numbers without re-running the full criterion suite.
 //!
 //! ```text
-//! bench_smoke [--names N] [--out FILE.json]
+//! bench_smoke [--names N] [--mode survey|build-materialized|build-streamed|materialized|streamed] [--out FILE.json]
 //! ```
+//!
+//! The `--mode` flag selects what is measured (peak RSS is a process-wide
+//! high-water mark, so comparing ingestion paths takes one process each):
+//!
+//! * `survey` (default): the classic smoke numbers — generate once, then
+//!   index build, closure throughput, survey pass;
+//! * `build-materialized` / `build-streamed`: universe construction
+//!   only, classic build vs event-stream build (bit-identity of the two
+//!   is pinned by `crates/survey/tests/stream_equivalence.rs`);
+//! * `materialized`: generation + `Engine::run_world` over the fully
+//!   materialized world (the pre-streaming ingestion shape);
+//! * `streamed`: `Engine::run_batched` over a `SyntheticSource` event
+//!   stream with a 4096-name batch — the bounded-memory ingestion path.
 
 use perils_core::closure::DependencyIndex;
 use perils_dns::name::DnsName;
-use perils_survey::engine::{Engine, WorldSource};
+use perils_survey::engine::{Engine, SyntheticSource, WorldSource};
 use perils_survey::params::TopologyParams;
 use perils_survey::topology::SyntheticWorld;
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
 /// `default_scaled` proportions stretched to `names` surveyed names.
@@ -34,8 +48,93 @@ fn median_ms(mut runs: Vec<f64>) -> f64 {
     runs[runs.len() / 2]
 }
 
+/// [`perils_util::peak_rss_mb`], defaulting to 0 off Linux so the JSON
+/// field stays present and diffs line up.
+fn peak_rss_mb() -> f64 {
+    perils_util::peak_rss_mb().unwrap_or(0.0)
+}
+
+fn write_json(path: &str, json: String) {
+    std::fs::write(path, json).expect("write bench JSON");
+    eprintln!("wrote {path}");
+}
+
+/// Universe construction only — either the classic materialized build
+/// (`build-materialized`) or the event-stream build (`build-streamed`)
+/// — to isolate the ingestion layer's overhead from the survey pass.
+/// One path per process: peak RSS is a process-wide high-water mark,
+/// and a second build in the same process pays the first one's
+/// allocator pressure (bit-identity of the two paths is pinned by
+/// `crates/survey/tests/stream_equivalence.rs`).
+fn run_build_mode(mode: &str, seed: u64, names: usize, out: Option<String>) {
+    let params = scaled_params(seed, names);
+    let start = Instant::now();
+    let universe = match mode {
+        "build-materialized" => SyntheticWorld::generate(&params).universe,
+        "build-streamed" => SyntheticSource { params }.stream().build_universe(),
+        other => unreachable!("mode {other} filtered in main"),
+    };
+    let build_s = start.elapsed().as_secs_f64();
+    let rss = peak_rss_mb();
+    eprintln!(
+        "{mode}: {} servers, {} zones in {build_s:.2} s, peak RSS {rss:.1} MiB",
+        universe.server_count(),
+        universe.zone_count(),
+    );
+    if let Some(path) = out {
+        write_json(
+            &path,
+            format!(
+                "{{\"mode\":\"{mode}\",\"names\":{names},\"servers\":{},\"zones\":{},\
+                 \"build_s\":{build_s:.3},\"peak_rss_mb\":{rss:.1}}}\n",
+                universe.server_count(),
+                universe.zone_count(),
+            ),
+        );
+    }
+}
+
+/// One end-to-end ingestion+survey pass (generation included), built-in
+/// metrics, for the materialized-vs-streamed memory comparison.
+fn run_ingestion_mode(mode: &str, seed: u64, names: usize, out: Option<String>) {
+    let params = scaled_params(seed, names);
+    let start = Instant::now();
+    let report = match mode {
+        "materialized" => {
+            let world = SyntheticWorld::generate(&params);
+            Engine::with_builtin_metrics().run_world(world.load())
+        }
+        "streamed" => Engine::with_builtin_metrics().run_batched(
+            SyntheticSource { params },
+            NonZeroUsize::new(4096).expect("non-zero batch"),
+        ),
+        other => unreachable!("mode {other} filtered in main"),
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+    let rss = peak_rss_mb();
+    eprintln!(
+        "{mode}: {} names, {} servers, {} zones in {wall_s:.2} s, peak RSS {rss:.1} MiB",
+        report.world.names.len(),
+        report.world.universe.server_count(),
+        report.world.universe.zone_count(),
+    );
+    if let Some(path) = out {
+        write_json(
+            &path,
+            format!(
+                "{{\"mode\":\"{mode}\",\"names\":{},\"servers\":{},\"zones\":{},\
+                 \"ingest_survey_s\":{wall_s:.3},\"peak_rss_mb\":{rss:.1}}}\n",
+                report.world.names.len(),
+                report.world.universe.server_count(),
+                report.world.universe.zone_count(),
+            ),
+        );
+    }
+}
+
 fn main() {
     let mut names = 10_000usize;
+    let mut mode = "survey".to_string();
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,9 +145,16 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--mode" => mode = args.next().unwrap_or_else(|| usage()),
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
+    }
+    match mode.as_str() {
+        "survey" => {}
+        "build-materialized" | "build-streamed" => return run_build_mode(&mode, 2005, names, out),
+        "materialized" | "streamed" => return run_ingestion_mode(&mode, 2005, names, out),
+        _ => usage(),
     }
 
     let params = scaled_params(2005, names);
@@ -122,27 +228,31 @@ fn main() {
     let start = Instant::now();
     let report = Engine::with_builtin_metrics().run_world(world.load());
     let survey_s = start.elapsed().as_secs_f64();
+    let rss = peak_rss_mb();
     eprintln!(
-        "survey pass: {survey_s:.2} s ({} names, builtin metrics)",
+        "survey pass: {survey_s:.2} s ({} names, builtin metrics); peak RSS {rss:.1} MiB",
         report.world.names.len()
     );
 
     if let Some(path) = out {
-        let json = format!(
-            "{{\"names\":{},\"servers\":{},\"zones\":{},\"generate_s\":{gen_s:.3},\
-             \"index_build_ms_serial\":{serial_ms:.2},\"index_build_ms\":{parallel_ms:.2},\
-             \"closures_per_sec_view\":{closures_view:.0},\"closures_per_sec_owned\":{closures_owned:.0},\
-             \"survey_pass_s\":{survey_s:.3}}}\n",
-            report.world.names.len(),
-            report.world.universe.server_count(),
-            report.world.universe.zone_count(),
+        write_json(
+            &path,
+            format!(
+                "{{\"names\":{},\"servers\":{},\"zones\":{},\"generate_s\":{gen_s:.3},\
+                 \"index_build_ms_serial\":{serial_ms:.2},\"index_build_ms\":{parallel_ms:.2},\
+                 \"closures_per_sec_view\":{closures_view:.0},\"closures_per_sec_owned\":{closures_owned:.0},\
+                 \"survey_pass_s\":{survey_s:.3},\"peak_rss_mb\":{rss:.1}}}\n",
+                report.world.names.len(),
+                report.world.universe.server_count(),
+                report.world.universe.zone_count(),
+            ),
         );
-        std::fs::write(&path, json).expect("write bench JSON");
-        eprintln!("wrote {path}");
     }
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench_smoke [--names N] [--out FILE.json]");
+    eprintln!(
+        "usage: bench_smoke [--names N] [--mode survey|build-materialized|build-streamed|materialized|streamed] [--out FILE.json]"
+    );
     std::process::exit(2);
 }

@@ -54,6 +54,9 @@ pub use metric::{
 };
 pub use misconfig::{DepthIndex, MisconfigIndex, MisconfigMetric};
 pub use tcb::{TcbStats, TcbTally};
-pub use universe::{ServerEntry, ServerId, Universe, UniverseBuilder, ZoneEntry, ZoneId};
+pub use universe::{
+    registry_events, ServerEntry, ServerId, Universe, UniverseBuilder, UniverseEvent, ZoneEntry,
+    ZoneId,
+};
 pub use value::ValueIndex;
 pub use zombie::{ZombieDelegationMetric, ZombieIndex};

@@ -8,9 +8,11 @@
 //! or from wire-probed dependency reports.
 
 use perils_dns::name::DnsName;
-use perils_dns::zone::ZoneRegistry;
+use perils_dns::zone::{ZoneEvent, ZoneRegistry};
 use perils_vulndb::{BindVersion, VulnDb};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+use std::ops::Bound::{Excluded, Included, Unbounded};
 
 /// Dense zone identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,7 +39,7 @@ impl ServerId {
 }
 
 /// One zone in the universe.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZoneEntry {
     /// The zone origin (lowercased).
     pub origin: DnsName,
@@ -46,7 +48,7 @@ pub struct ZoneEntry {
 }
 
 /// One nameserver in the universe.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerEntry {
     /// Host name (lowercased).
     pub name: DnsName,
@@ -63,7 +65,7 @@ pub struct ServerEntry {
 }
 
 /// The measured universe.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Universe {
     zones: Vec<ZoneEntry>,
     zone_by_origin: HashMap<DnsName, ZoneId>,
@@ -84,59 +86,25 @@ pub struct Universe {
 }
 
 impl Universe {
-    /// Starts building a universe by hand.
+    /// Starts building a universe by hand (or by streaming events into
+    /// [`UniverseBuilder::apply`]).
     pub fn builder() -> UniverseBuilder {
-        UniverseBuilder {
-            universe: Universe::default(),
-        }
+        UniverseBuilder::default()
     }
 
-    /// Builds the universe structurally from a ground-truth registry.
+    /// Builds the universe structurally from a ground-truth registry —
+    /// the materialized collector over [`registry_events`].
     ///
     /// `banner_of` supplies each server's `version.bind` banner (`None` =
     /// hidden/unreachable); `db` maps banners to vulnerability facts.
     pub fn from_registry(
         registry: &ZoneRegistry,
         db: &VulnDb,
-        mut banner_of: impl FnMut(&DnsName) -> Option<String>,
+        banner_of: impl FnMut(&DnsName) -> Option<String>,
     ) -> Universe {
         let mut builder = Universe::builder();
-        // First pass: create all servers named by any NS record.
-        for zone in registry.iter() {
-            let is_root_zone = zone.origin().is_root();
-            for ns_name in zone.apex_ns_names() {
-                let banner = banner_of(&ns_name);
-                builder.ensure_server(&ns_name, banner, db, is_root_zone);
-            }
-            // Parent-side cuts may name servers the child apex does not.
-            let cuts: Vec<DnsName> = zone.cut_names().cloned().collect();
-            for cut in cuts {
-                for ns_name in zone.ns_names_at(&cut) {
-                    let banner = banner_of(&ns_name);
-                    builder.ensure_server(&ns_name, banner, db, false);
-                }
-            }
-        }
-        // Second pass: zones with their NS sets (apex ∪ parent view).
-        for zone in registry.iter() {
-            let mut ns_names = zone.apex_ns_names();
-            // Merge the parent's view of this zone, if the parent is in the
-            // registry (covers parent/child NS-set drift).
-            if let Some(parent_origin) = zone.origin().parent() {
-                for ancestor in
-                    std::iter::once(parent_origin.clone()).chain(parent_origin.ancestors().skip(1))
-                {
-                    if let Some(parent_zone) = registry.get(&ancestor) {
-                        for extra in parent_zone.ns_names_at(zone.origin()) {
-                            if !ns_names.contains(&extra) {
-                                ns_names.push(extra);
-                            }
-                        }
-                        break;
-                    }
-                }
-            }
-            builder.add_zone(zone.origin(), &ns_names);
+        for event in registry_events(registry, banner_of) {
+            builder.apply(event, db);
         }
         builder.finish()
     }
@@ -236,6 +204,34 @@ impl Universe {
         }
     }
 
+    /// Decomposes the universe into the event stream that rebuilds it
+    /// verbatim: one [`UniverseEvent::ServerFacts`] per server in id
+    /// order (facts carried explicitly, so banner re-assessment cannot
+    /// drift), then one [`UniverseEvent::Zone`] per zone in id order.
+    /// Replaying through [`UniverseBuilder::apply`] yields an equal
+    /// universe with identical ids — this is how prebuilt worlds enter
+    /// the streaming ingestion pipeline.
+    pub fn into_events(self) -> impl Iterator<Item = UniverseEvent> + Send {
+        let Universe { zones, servers, .. } = self;
+        let server_names: Vec<DnsName> = servers.iter().map(|s| s.name.clone()).collect();
+        let server_events = servers.into_iter().map(|s| UniverseEvent::ServerFacts {
+            name: s.name,
+            banner: s.banner,
+            vulnerable: s.vulnerable,
+            scripted_exploit: s.scripted_exploit,
+            is_root: s.is_root,
+        });
+        let zone_events = zones.into_iter().map(move |z| UniverseEvent::Zone {
+            origin: z.origin,
+            ns: z
+                .ns
+                .iter()
+                .map(|s| server_names[s.index()].clone())
+                .collect(),
+        });
+        server_events.chain(zone_events)
+    }
+
     /// Whether the fraction of vulnerable (non-root) servers.
     pub fn vulnerable_fraction(&self) -> f64 {
         let eligible: Vec<&ServerEntry> = self.servers.iter().filter(|s| !s.is_root).collect();
@@ -246,14 +242,252 @@ impl Universe {
     }
 }
 
+/// One incremental observation the incremental [`UniverseBuilder`]
+/// consumes. This is the core-layer event vocabulary of the streaming
+/// ingestion pipeline: sources (the synthetic generator, packet
+/// scenarios, wire probes, zone files via [`ZoneEvent`]) emit events,
+/// the builder interns zones and servers as they arrive, and the engine
+/// never needs the whole world materialized up front.
+///
+/// Events are order-insensitive: the builder merges NS-set fragments,
+/// fixes up servers first seen as bare NS references once their facts
+/// arrive, and repoints parent/home-zone links when a deeper enclosing
+/// zone shows up late. Only *id assignment* depends on arrival order
+/// (first mention wins); [`UniverseBuilder::finish_canonical`] renumbers
+/// to an order-independent labeling when that matters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UniverseEvent {
+    /// A nameserver with its `version.bind` banner, to be assessed
+    /// against the run's [`VulnDb`].
+    Server {
+        /// Host name.
+        name: DnsName,
+        /// The banner, if any was obtained.
+        banner: Option<String>,
+        /// Whether the server serves the root zone.
+        is_root: bool,
+    },
+    /// A nameserver with explicit vulnerability facts (bypassing banner
+    /// assessment) — what [`Universe::into_events`] emits, so a
+    /// decomposed universe round-trips verbatim.
+    ServerFacts {
+        /// Host name.
+        name: DnsName,
+        /// The banner, if any was obtained.
+        banner: Option<String>,
+        /// Whether the fingerprint matched a vulnerable version.
+        vulnerable: bool,
+        /// Whether a scripted exploit exists.
+        scripted_exploit: bool,
+        /// Whether the server serves the root zone.
+        is_root: bool,
+    },
+    /// A zone with (a fragment of) its NS set; fragments for the same
+    /// origin merge.
+    Zone {
+        /// The zone origin.
+        origin: DnsName,
+        /// NS host names (servers are created as unknown-safe
+        /// placeholders when not yet seen, and fixed up later).
+        ns: Vec<DnsName>,
+    },
+}
+
+/// Streams a ground-truth [`ZoneRegistry`] as [`UniverseEvent`]s: one
+/// server event per NS mention (apex sets first, then parent-side cuts,
+/// per zone in registry order, roots flagged from the root zone's
+/// apex), then one zone event per zone with its apex ∪ parent-view NS
+/// set (covering parent/child NS-set drift). This is the **single**
+/// definition of the registry walk: [`Universe::from_registry`] is a
+/// collector over it, and scenario sources reuse it with their own
+/// banner lookups.
+pub fn registry_events(
+    registry: &ZoneRegistry,
+    mut banner_of: impl FnMut(&DnsName) -> Option<String>,
+) -> Vec<UniverseEvent> {
+    let mut events = Vec::new();
+    // First pass: every server named by any NS record.
+    for zone in registry.iter() {
+        let is_root_zone = zone.origin().is_root();
+        for ns_name in zone.apex_ns_names() {
+            events.push(UniverseEvent::Server {
+                banner: banner_of(&ns_name),
+                name: ns_name,
+                is_root: is_root_zone,
+            });
+        }
+        // Parent-side cuts may name servers the child apex does not.
+        for cut in zone.cut_names() {
+            for ns_name in zone.ns_names_at(cut) {
+                events.push(UniverseEvent::Server {
+                    banner: banner_of(&ns_name),
+                    name: ns_name,
+                    is_root: false,
+                });
+            }
+        }
+    }
+    // Second pass: zones with their NS sets (apex ∪ parent view).
+    for zone in registry.iter() {
+        let mut ns_names = zone.apex_ns_names();
+        // Merge the parent's view of this zone, if the parent is in the
+        // registry (covers parent/child NS-set drift).
+        if let Some(parent_origin) = zone.origin().parent() {
+            for ancestor in
+                std::iter::once(parent_origin.clone()).chain(parent_origin.ancestors().skip(1))
+            {
+                if let Some(parent_zone) = registry.get(&ancestor) {
+                    for extra in parent_zone.ns_names_at(zone.origin()) {
+                        if !ns_names.contains(&extra) {
+                            ns_names.push(extra);
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        events.push(UniverseEvent::Zone {
+            origin: zone.origin().clone(),
+            ns: ns_names,
+        });
+    }
+    events
+}
+
 /// Incremental universe construction.
-#[derive(Debug)]
+///
+/// The builder is the single ingestion point of the streaming pipeline:
+/// it interns zones and servers in first-mention order (stable ids — an
+/// id never changes once assigned, merges never renumber) and maintains
+/// every derived link **as events arrive** rather than in a final pass:
+///
+/// * parent/home-zone links: each insertion resolves its own links
+///   immediately, and a zone arriving *after* its descendants repoints
+///   exactly the affected subtree (found through a reversed-label suffix
+///   index, so the fixup never scans the whole universe);
+/// * deferred server facts: a server first seen as a bare NS reference
+///   is interned as an unknown-safe placeholder and fixed up in place
+///   when its banner or facts arrive later;
+/// * deferred glue: addresses observed before (or without) their
+///   server's own zone queue in a fixup buffer readable by
+///   address-aware consumers ([`UniverseBuilder::glue_of`]).
+///
+/// Peak memory is therefore bounded by the *universe* being built plus
+/// the builder's indexes — never by the feed, which can be arbitrarily
+/// long and arbitrarily reordered.
+#[derive(Debug, Default)]
 pub struct UniverseBuilder {
     universe: Universe,
+    /// Reversed-label suffix keys of every zone origin / server name,
+    /// for subtree-scoped link fixups. Builder-only; dropped at finish.
+    zones_by_path: BTreeMap<Vec<u8>, u32>,
+    servers_by_path: BTreeMap<Vec<u8>, u32>,
+    /// Per server: interned from a bare NS reference, facts pending.
+    placeholder: Vec<bool>,
+    /// Glue addresses awaiting an address-aware consumer, keyed by host.
+    deferred_glue: BTreeMap<DnsName, Vec<Ipv4Addr>>,
+}
+
+/// The reversed-label key of `name` (labels from the TLD inward, each
+/// terminated by `0x00`), under which a subtree is a contiguous
+/// [`BTreeMap`] range. Names are already lowercased when interned, so
+/// byte comparison is case-correct; candidates from a range scan are
+/// re-verified with real ancestry checks, so label bytes that collide
+/// with the separator cannot corrupt links.
+fn suffix_key(name: &DnsName) -> Vec<u8> {
+    let mut key = Vec::with_capacity(name.wire_len());
+    for label in name.labels().iter().rev() {
+        key.extend_from_slice(label.as_bytes());
+        key.push(0);
+    }
+    key
 }
 
 impl UniverseBuilder {
+    fn assess(banner: Option<&str>, db: &VulnDb) -> (bool, bool) {
+        match banner.and_then(BindVersion::parse) {
+            Some(version) => (
+                db.is_vulnerable(&version),
+                db.has_scripted_exploit(&version),
+            ),
+            None => (false, false),
+        }
+    }
+
+    /// Interns a new server (the caller has checked it is absent),
+    /// resolving its home zone against the zones seen so far.
+    fn intern_server(&mut self, key: DnsName, entry: ServerEntry, placeholder: bool) -> ServerId {
+        let id = ServerId(self.universe.servers.len() as u32);
+        let home = self.universe.zone_of(&key).map(|z| z.0).unwrap_or(u32::MAX);
+        self.servers_by_path.insert(suffix_key(&key), id.0);
+        self.universe.servers.push(entry);
+        self.universe.server_by_name.insert(key, id);
+        self.universe.server_home.push(home);
+        self.placeholder.push(placeholder);
+        id
+    }
+
+    /// Resolves the new zone's own parent link and repoints any
+    /// previously seen zone/server whose deepest enclosing zone this
+    /// insertion just became. Subtree candidates come from the suffix
+    /// indexes (a contiguous key range), and each is re-verified with a
+    /// real ancestry check before repointing.
+    fn link_new_zone(&mut self, id: ZoneId, origin: &DnsName) {
+        let labels = origin.labels();
+        let parent = (1..=labels.len())
+            .find_map(|skip| self.universe.zone_by_origin.get(&labels[skip..]).copied())
+            .map(|z| z.0)
+            .unwrap_or(u32::MAX);
+        debug_assert_eq!(self.universe.zone_parent.len(), id.index());
+        self.universe.zone_parent.push(parent);
+
+        let depth = labels.len();
+        let key = suffix_key(origin);
+        let deeper_than = |current: u32, universe: &Universe| {
+            current == u32::MAX || universe.zones[current as usize].origin.label_count() < depth
+        };
+        // Zones strictly below the new origin whose parent was shallower.
+        let descendants: Vec<u32> = self
+            .zones_by_path
+            .range::<[u8], _>((Excluded(&key[..]), Unbounded))
+            .take_while(|(k, _)| k.starts_with(&key))
+            .map(|(_, &z)| z)
+            .collect();
+        for z in descendants {
+            if deeper_than(self.universe.zone_parent[z as usize], &self.universe)
+                && self.universe.zones[z as usize]
+                    .origin
+                    .is_proper_subdomain_of(origin)
+            {
+                self.universe.zone_parent[z as usize] = id.0;
+            }
+        }
+        // Servers at or below the new origin whose home was shallower.
+        let tenants: Vec<u32> = self
+            .servers_by_path
+            .range::<[u8], _>((Included(&key[..]), Unbounded))
+            .take_while(|(k, _)| k.starts_with(&key))
+            .map(|(_, &s)| s)
+            .collect();
+        for s in tenants {
+            if deeper_than(self.universe.server_home[s as usize], &self.universe)
+                && self.universe.servers[s as usize]
+                    .name
+                    .is_subdomain_of(origin)
+            {
+                self.universe.server_home[s as usize] = id.0;
+            }
+        }
+        self.zones_by_path.insert(key, id.0);
+    }
+
     /// Adds (or finds) a server, assessing its banner against `db`.
+    ///
+    /// A server first seen as a bare NS reference (an unknown-safe
+    /// placeholder) is **fixed up in place**: its banner is recorded and
+    /// assessed as if it had arrived first, so event order does not
+    /// change the built universe. A server already carrying facts only
+    /// upgrades its root flag.
     pub fn ensure_server(
         &mut self,
         name: &DnsName,
@@ -263,29 +497,30 @@ impl UniverseBuilder {
     ) -> ServerId {
         let key = name.to_lowercase();
         if let Some(&id) = self.universe.server_by_name.get(&key) {
-            // Upgrade root status if this server also serves the root.
-            if is_root {
-                self.universe.servers[id.index()].is_root = true;
+            let entry = &mut self.universe.servers[id.index()];
+            if self.placeholder[id.index()] {
+                let (vulnerable, scripted_exploit) = Self::assess(banner.as_deref(), db);
+                entry.banner = banner;
+                entry.vulnerable = vulnerable;
+                entry.scripted_exploit = scripted_exploit;
+                self.placeholder[id.index()] = false;
             }
+            // Upgrade root status if this server also serves the root.
+            entry.is_root |= is_root;
             return id;
         }
-        let (vulnerable, scripted_exploit) = match banner.as_deref().and_then(BindVersion::parse) {
-            Some(version) => (
-                db.is_vulnerable(&version),
-                db.has_scripted_exploit(&version),
-            ),
-            None => (false, false),
-        };
-        let id = ServerId(self.universe.servers.len() as u32);
-        self.universe.servers.push(ServerEntry {
-            name: key.clone(),
-            banner,
-            vulnerable,
-            scripted_exploit,
-            is_root,
-        });
-        self.universe.server_by_name.insert(key, id);
-        id
+        let (vulnerable, scripted_exploit) = Self::assess(banner.as_deref(), db);
+        self.intern_server(
+            key.clone(),
+            ServerEntry {
+                name: key,
+                banner,
+                vulnerable,
+                scripted_exploit,
+                is_root,
+            },
+            false,
+        )
     }
 
     /// Adds a server with explicit vulnerability facts (bypassing banner
@@ -297,45 +532,92 @@ impl UniverseBuilder {
             entry.vulnerable |= vulnerable;
             entry.scripted_exploit |= vulnerable;
             entry.is_root |= is_root;
+            self.placeholder[id.index()] = false;
             return id;
         }
-        let id = ServerId(self.universe.servers.len() as u32);
-        self.universe.servers.push(ServerEntry {
-            name: key.clone(),
-            banner: None,
-            vulnerable,
-            scripted_exploit: vulnerable,
-            is_root,
-        });
-        self.universe.server_by_name.insert(key, id);
-        id
+        self.intern_server(
+            key.clone(),
+            ServerEntry {
+                name: key,
+                banner: None,
+                vulnerable,
+                scripted_exploit: vulnerable,
+                is_root,
+            },
+            false,
+        )
     }
 
-    /// Adds a zone with NS host names (servers must exist or are created
-    /// as unknown-safe).
+    /// Adds a server with fully explicit facts (what
+    /// [`Universe::into_events`] emits), so decomposed universes
+    /// round-trip verbatim.
+    fn facts_server(
+        &mut self,
+        name: &DnsName,
+        banner: Option<String>,
+        vulnerable: bool,
+        scripted_exploit: bool,
+        is_root: bool,
+    ) -> ServerId {
+        let key = name.to_lowercase();
+        if let Some(&id) = self.universe.server_by_name.get(&key) {
+            let entry = &mut self.universe.servers[id.index()];
+            if self.placeholder[id.index()] {
+                entry.banner = banner;
+                self.placeholder[id.index()] = false;
+            }
+            entry.vulnerable |= vulnerable;
+            entry.scripted_exploit |= scripted_exploit;
+            entry.is_root |= is_root;
+            return id;
+        }
+        self.intern_server(
+            key.clone(),
+            ServerEntry {
+                name: key,
+                banner,
+                vulnerable,
+                scripted_exploit,
+                is_root,
+            },
+            false,
+        )
+    }
+
+    /// Adds a zone with NS host names. Servers not yet seen are created
+    /// as unknown-safe placeholders and fixed up when their facts arrive
+    /// ([`UniverseBuilder::ensure_server`]); a duplicate origin merges
+    /// NS sets. Parent and home-zone links update incrementally, and the
+    /// **root** zone's NS set upgrades its servers to root status — so a
+    /// pure [`ZoneEvent`] feed (which has no server events) classifies
+    /// roots identically to [`Universe::from_registry`].
     pub fn add_zone(&mut self, origin: &DnsName, ns_names: &[DnsName]) -> ZoneId {
-        let key = origin.to_lowercase();
+        let at_root = origin.is_root();
         let ns: Vec<ServerId> = ns_names
             .iter()
             .map(|n| {
                 let lower = n.to_lowercase();
-                match self.universe.server_by_name.get(&lower) {
+                let id = match self.universe.server_by_name.get(&lower) {
                     Some(&id) => id,
-                    None => {
-                        let id = ServerId(self.universe.servers.len() as u32);
-                        self.universe.servers.push(ServerEntry {
-                            name: lower.clone(),
+                    None => self.intern_server(
+                        lower.clone(),
+                        ServerEntry {
+                            name: lower,
                             banner: None,
                             vulnerable: false,
                             scripted_exploit: false,
                             is_root: false,
-                        });
-                        self.universe.server_by_name.insert(lower, id);
-                        id
-                    }
+                        },
+                        true,
+                    ),
+                };
+                if at_root {
+                    self.universe.servers[id.index()].is_root = true;
                 }
+                id
             })
             .collect();
+        let key = origin.to_lowercase();
         if let Some(&existing) = self.universe.zone_by_origin.get(&key) {
             // Merge NS sets on duplicate insertion.
             let entry = &mut self.universe.zones[existing.index()];
@@ -351,42 +633,166 @@ impl UniverseBuilder {
             origin: key.clone(),
             ns,
         });
-        self.universe.zone_by_origin.insert(key, id);
+        self.universe.zone_by_origin.insert(key.clone(), id);
+        self.link_new_zone(id, &key);
         id
     }
 
-    /// Finalizes the universe (resolving every server's home zone and
-    /// every zone's parent zone once).
-    pub fn finish(mut self) -> Universe {
-        self.universe.server_home = self
-            .universe
-            .servers
-            .iter()
-            .map(|s| {
-                self.universe
-                    .zone_of(&s.name)
-                    .map(|z| z.0)
-                    .unwrap_or(u32::MAX)
-            })
-            .collect();
-        self.universe.zone_parent = self
-            .universe
-            .zones
-            .iter()
-            .map(|z| {
-                let labels = z.origin.labels();
-                if labels.is_empty() {
-                    return u32::MAX;
+    /// Applies one core-layer event ([`UniverseEvent`]).
+    pub fn apply(&mut self, event: UniverseEvent, db: &VulnDb) {
+        match event {
+            UniverseEvent::Server {
+                name,
+                banner,
+                is_root,
+            } => {
+                self.ensure_server(&name, banner, db, is_root);
+            }
+            UniverseEvent::ServerFacts {
+                name,
+                banner,
+                vulnerable,
+                scripted_exploit,
+                is_root,
+            } => {
+                self.facts_server(&name, banner, vulnerable, scripted_exploit, is_root);
+            }
+            UniverseEvent::Zone { origin, ns } => {
+                self.add_zone(&origin, &ns);
+            }
+        }
+    }
+
+    /// Applies one dns-layer event ([`ZoneEvent`]): cuts intern zones,
+    /// glue queues in the deferred-glue buffer (the universe models
+    /// structure, not addresses, but ingestion must not lose the
+    /// observation — address-aware consumers read it back through
+    /// [`UniverseBuilder::glue_of`]).
+    pub fn apply_zone_event(&mut self, event: ZoneEvent) {
+        match event {
+            ZoneEvent::Cut { zone, ns } => {
+                self.add_zone(&zone, &ns);
+            }
+            ZoneEvent::Glue { host, addr } => {
+                let queued = self.deferred_glue.entry(host.to_lowercase()).or_default();
+                if !queued.contains(&addr) {
+                    queued.push(addr);
                 }
-                // Deepest proper ancestor: walk suffixes past the first
-                // label.
-                (1..=labels.len())
-                    .find_map(|skip| self.universe.zone_by_origin.get(&labels[skip..]).copied())
-                    .map(|id| id.0)
-                    .unwrap_or(u32::MAX)
+            }
+        }
+    }
+
+    /// Addresses queued for `host` by [`ZoneEvent::Glue`] events, in
+    /// arrival order.
+    pub fn glue_of(&self, host: &DnsName) -> &[Ipv4Addr] {
+        self.deferred_glue
+            .get(&host.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of hosts with queued glue.
+    pub fn deferred_glue_len(&self) -> usize {
+        self.deferred_glue.len()
+    }
+
+    /// Number of servers still awaiting facts (interned from bare NS
+    /// references, no banner or facts event seen yet).
+    pub fn pending_server_fixups(&self) -> usize {
+        self.placeholder.iter().filter(|&&p| p).count()
+    }
+
+    /// Finalizes the universe. Links are maintained incrementally, so
+    /// this only drops the builder's indexes and fixup queues.
+    pub fn finish(self) -> Universe {
+        debug_assert_eq!(self.universe.server_home.len(), self.universe.servers.len());
+        debug_assert_eq!(self.universe.zone_parent.len(), self.universe.zones.len());
+        self.universe
+    }
+
+    /// Finalizes into the **canonical** labeling: servers renumbered in
+    /// name order, zones in origin order, NS sets sorted. Two builders
+    /// fed the same observations in any order (and any sharding) produce
+    /// byte-identical canonical universes, which is what the
+    /// streamed-vs-materialized equivalence tests pin. The default
+    /// [`UniverseBuilder::finish`] keeps first-mention ids instead, so
+    /// the classic generator path stays bit-compatible with its goldens.
+    pub fn finish_canonical(self) -> Universe {
+        let old = self.finish();
+        let mut server_order: Vec<u32> = (0..old.servers.len() as u32).collect();
+        server_order.sort_by(|&a, &b| {
+            old.servers[a as usize]
+                .name
+                .cmp(&old.servers[b as usize].name)
+        });
+        let mut new_server = vec![0u32; server_order.len()];
+        for (new, &oldid) in server_order.iter().enumerate() {
+            new_server[oldid as usize] = new as u32;
+        }
+        let mut zone_order: Vec<u32> = (0..old.zones.len() as u32).collect();
+        zone_order.sort_by(|&a, &b| {
+            old.zones[a as usize]
+                .origin
+                .cmp(&old.zones[b as usize].origin)
+        });
+        let mut new_zone = vec![0u32; zone_order.len()];
+        for (new, &oldid) in zone_order.iter().enumerate() {
+            new_zone[oldid as usize] = new as u32;
+        }
+        let remap_zone = |z: u32| {
+            if z == u32::MAX {
+                u32::MAX
+            } else {
+                new_zone[z as usize]
+            }
+        };
+
+        let servers: Vec<ServerEntry> = server_order
+            .iter()
+            .map(|&oldid| old.servers[oldid as usize].clone())
+            .collect();
+        let server_home: Vec<u32> = server_order
+            .iter()
+            .map(|&oldid| remap_zone(old.server_home[oldid as usize]))
+            .collect();
+        let zones: Vec<ZoneEntry> = zone_order
+            .iter()
+            .map(|&oldid| {
+                let entry = &old.zones[oldid as usize];
+                let mut ns: Vec<ServerId> = entry
+                    .ns
+                    .iter()
+                    .map(|s| ServerId(new_server[s.index()]))
+                    .collect();
+                ns.sort_unstable();
+                ZoneEntry {
+                    origin: entry.origin.clone(),
+                    ns,
+                }
             })
             .collect();
-        self.universe
+        let zone_parent: Vec<u32> = zone_order
+            .iter()
+            .map(|&oldid| remap_zone(old.zone_parent[oldid as usize]))
+            .collect();
+        let zone_by_origin = zones
+            .iter()
+            .enumerate()
+            .map(|(i, z)| (z.origin.clone(), ZoneId(i as u32)))
+            .collect();
+        let server_by_name = servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), ServerId(i as u32)))
+            .collect();
+        Universe {
+            zones,
+            zone_by_origin,
+            servers,
+            server_by_name,
+            server_home,
+            zone_parent,
+        }
     }
 }
 
@@ -462,6 +868,157 @@ mod tests {
         assert_eq!(u.zone_count(), 1);
         let z = u.zone(u.zone_id(&name("x.test")).unwrap());
         assert_eq!(z.ns.len(), 2);
+    }
+
+    #[test]
+    fn links_resolve_incrementally_under_any_insertion_order() {
+        // Adversarial order: deep zones and servers first, ancestors
+        // later — every later insertion must repoint exactly the
+        // affected subtree.
+        let mut b = Universe::builder();
+        b.add_zone(&name("a.b.c.test"), &[name("ns.a.b.c.test")]);
+        b.raw_server(&name("ns.mid.c.test"), false, false);
+        b.add_zone(&name("test"), &[name("ns.test")]);
+        b.add_zone(&name("c.test"), &[name("ns.c.test")]);
+        b.add_zone(&name("b.c.test"), &[name("ns.b.c.test")]);
+        b.add_zone(&DnsName::root(), &[name("ns.test")]);
+        let u = b.finish();
+
+        let zid = |n: &str| u.zone_id(&name(n)).expect(n);
+        assert_eq!(u.parent_zone_of(zid("a.b.c.test")), Some(zid("b.c.test")));
+        assert_eq!(u.parent_zone_of(zid("b.c.test")), Some(zid("c.test")));
+        assert_eq!(u.parent_zone_of(zid("c.test")), Some(zid("test")));
+        assert_eq!(u.parent_zone_of(zid("test")), u.zone_id(&DnsName::root()));
+        assert_eq!(u.parent_zone_of(u.zone_id(&DnsName::root()).unwrap()), None);
+        // Home zones match a from-scratch resolution for every server.
+        for sid in u.server_ids() {
+            assert_eq!(
+                u.home_zone_of(sid),
+                u.zone_of(&u.server(sid).name),
+                "home of {}",
+                u.server(sid).name
+            );
+        }
+        assert_eq!(
+            u.home_zone_of(u.server_id(&name("ns.mid.c.test")).unwrap()),
+            Some(zid("c.test")),
+            "server seen before its home zone is repointed"
+        );
+    }
+
+    #[test]
+    fn placeholder_servers_fix_up_when_facts_arrive() {
+        let db = VulnDb::isc_feb_2004();
+        // NS reference first: unknown-safe placeholder.
+        let mut b = Universe::builder();
+        b.add_zone(&name("x.test"), &[name("ns1.x.test")]);
+        assert_eq!(b.pending_server_fixups(), 1);
+        // Facts arrive later and are applied as if they came first.
+        b.ensure_server(&name("ns1.x.test"), Some("8.2.4".into()), &db, false);
+        assert_eq!(b.pending_server_fixups(), 0);
+        let late = b.finish();
+
+        let mut b = Universe::builder();
+        b.ensure_server(&name("ns1.x.test"), Some("8.2.4".into()), &db, false);
+        b.add_zone(&name("x.test"), &[name("ns1.x.test")]);
+        let early = b.finish();
+
+        assert_eq!(late, early, "event order must not change the universe");
+        let ns1 = late.server_id(&name("ns1.x.test")).unwrap();
+        assert!(late.server(ns1).vulnerable);
+        // A server that already carries facts is not overwritten.
+        let mut b = Universe::builder();
+        b.ensure_server(&name("ns1.x.test"), Some("9.2.3".into()), &db, false);
+        b.ensure_server(&name("ns1.x.test"), Some("8.2.4".into()), &db, false);
+        let first_wins = b.finish();
+        let ns1 = first_wins.server_id(&name("ns1.x.test")).unwrap();
+        assert!(!first_wins.server(ns1).vulnerable);
+    }
+
+    #[test]
+    fn zone_events_ingest_with_deferred_glue() {
+        use perils_dns::zone::ZoneEvent;
+        let mut b = Universe::builder();
+        // Glue arrives before anything references the host: queued, not
+        // lost, and no phantom server or zone is interned.
+        b.apply_zone_event(ZoneEvent::Glue {
+            host: name("ns1.x.test"),
+            addr: "10.0.0.1".parse().unwrap(),
+        });
+        assert_eq!(b.deferred_glue_len(), 1);
+        b.apply_zone_event(ZoneEvent::Cut {
+            zone: name("x.test"),
+            ns: vec![name("ns1.x.test")],
+        });
+        b.apply_zone_event(ZoneEvent::Cut {
+            zone: name("x.test"),
+            ns: vec![name("ns2.x.test")],
+        });
+        assert_eq!(
+            b.glue_of(&name("NS1.x.test")),
+            &["10.0.0.1".parse::<std::net::Ipv4Addr>().unwrap()]
+        );
+        let u = b.finish();
+        assert_eq!(u.zone_count(), 1, "glue interns no zone");
+        assert_eq!(u.server_count(), 2);
+        let z = u.zone(u.zone_id(&name("x.test")).unwrap());
+        assert_eq!(z.ns.len(), 2, "NS fragments merge");
+    }
+
+    #[test]
+    fn canonical_finish_is_order_independent() {
+        let db = VulnDb::isc_feb_2004();
+        let events = |b: &mut UniverseBuilder, order: &[usize]| {
+            let all: Vec<UniverseEvent> = vec![
+                UniverseEvent::Server {
+                    name: name("ns.tld.test"),
+                    banner: Some("9.2.3".into()),
+                    is_root: false,
+                },
+                UniverseEvent::Server {
+                    name: name("ns1.example.com"),
+                    banner: Some("8.2.4".into()),
+                    is_root: false,
+                },
+                UniverseEvent::Zone {
+                    origin: name("com"),
+                    ns: vec![name("ns.tld.test")],
+                },
+                UniverseEvent::Zone {
+                    origin: name("example.com"),
+                    ns: vec![name("ns1.example.com"), name("ns.tld.test")],
+                },
+            ];
+            for &i in order {
+                b.apply(all[i].clone(), &db);
+            }
+        };
+        let mut forward = Universe::builder();
+        events(&mut forward, &[0, 1, 2, 3]);
+        let forward = forward.finish_canonical();
+        let mut backward = Universe::builder();
+        events(&mut backward, &[3, 2, 1, 0]);
+        let backward = backward.finish_canonical();
+        assert_eq!(forward, backward);
+        // Canonical ids are name-sorted.
+        let names: Vec<String> = forward
+            .server_ids()
+            .map(|s| forward.server(s).name.to_string())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn into_events_round_trips_verbatim() {
+        let u = tiny_universe();
+        let db = VulnDb::isc_feb_2004();
+        let mut b = Universe::builder();
+        for event in u.clone().into_events() {
+            b.apply(event, &db);
+        }
+        assert_eq!(b.finish(), u);
     }
 
     #[test]

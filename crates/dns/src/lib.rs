@@ -12,8 +12,11 @@
 //! * [`wire`] — the full binary wire format with name compression
 //!   (RFC 1035 §4.1.4), bounds-checked and property tested;
 //! * [`zone`] — authoritative zones with delegation cuts, glue, wildcards,
-//!   and the [`zone::ZoneRegistry`] that models an entire namespace;
-//! * [`master`] — RFC 1035 §5 master-file (zone file) parser and serializer;
+//!   the [`zone::ZoneRegistry`] that models an entire namespace, and the
+//!   [`zone::ZoneEvent`] stream abstraction for incremental ingestion;
+//! * [`master`] — RFC 1035 §5 master-file (zone file) parser and
+//!   serializer, plus the zone-file-backed [`master::ZoneFileEvents`]
+//!   event iterator;
 //! * [`interner`] — compact integer ids for names, used by the analysis
 //!   crates to run surveys over hundreds of thousands of names.
 //!
@@ -29,7 +32,8 @@ pub mod wire;
 pub mod zone;
 
 pub use interner::{NameId, NameInterner};
+pub use master::ZoneFileEvents;
 pub use message::{Flags, Message, Opcode, Question, Rcode};
 pub use name::{DnsName, Label, NameError};
 pub use rr::{RData, Record, RrClass, RrType, Soa};
-pub use zone::{Zone, ZoneLookup, ZoneRegistry};
+pub use zone::{Zone, ZoneEvent, ZoneLookup, ZoneRegistry};

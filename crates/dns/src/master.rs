@@ -11,7 +11,7 @@
 
 use crate::name::{DnsName, NameError};
 use crate::rr::{RData, Record, RrClass, RrType, Soa};
-use crate::zone::{Zone, ZoneError};
+use crate::zone::{Zone, ZoneError, ZoneEvent};
 use std::fmt;
 
 /// Errors produced by the master-file parser.
@@ -40,6 +40,14 @@ pub enum MasterError {
     },
     /// The file had no SOA record.
     MissingSoa,
+    /// Reading from the underlying source failed (reader-backed
+    /// [`ZoneFileEvents`] streams only).
+    Io {
+        /// 1-based line number of the read position.
+        line: usize,
+        /// The IO error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for MasterError {
@@ -49,6 +57,7 @@ impl fmt::Display for MasterError {
             MasterError::Name { line, source } => write!(f, "line {line}: bad name: {source}"),
             MasterError::Zone { line, source } => write!(f, "line {line}: {source}"),
             MasterError::MissingSoa => write!(f, "zone file contains no SOA record"),
+            MasterError::Io { line, message } => write!(f, "line {line}: read failed: {message}"),
         }
     }
 }
@@ -62,29 +71,43 @@ struct Token {
     quoted: bool,
 }
 
-/// Splits file content into logical lines (joining parenthesized
-/// continuations), then into tokens. Comments run from `;` to end of line.
-fn tokenize(content: &str) -> Result<Vec<(usize, Vec<Token>, bool)>, MasterError> {
-    let mut logical: Vec<(usize, Vec<Token>, bool)> = Vec::new();
-    let mut current: Vec<Token> = Vec::new();
-    let mut paren_depth = 0usize;
-    let mut start_line = 1usize;
-    let mut leading_ws = false;
+/// A tokenized logical line: starting line number, tokens, and whether
+/// the first physical line began with whitespace (owner inheritance).
+type LogicalLine = (usize, Vec<Token>, bool);
 
-    for (idx, raw_line) in content.lines().enumerate() {
-        let line_no = idx + 1;
-        if paren_depth == 0 {
-            start_line = line_no;
-            leading_ws = raw_line.starts_with(' ') || raw_line.starts_with('\t');
+/// Incremental tokenizer: raw lines go in one at a time, logical lines
+/// (with parenthesized continuations joined and comments stripped) come
+/// out as soon as they complete. State is one partial logical line, so
+/// memory is bounded by the longest *record*, not the file — this is
+/// what lets [`ZoneFileEvents`] stream files larger than memory.
+#[derive(Debug, Default)]
+struct LineTokenizer {
+    current: Vec<Token>,
+    paren_depth: usize,
+    start_line: usize,
+    leading_ws: bool,
+}
+
+impl LineTokenizer {
+    /// Tokenizes one raw line; yields the completed logical line when
+    /// the parenthesis depth returns to zero.
+    fn push_line(
+        &mut self,
+        line_no: usize,
+        raw_line: &str,
+    ) -> Result<Option<LogicalLine>, MasterError> {
+        if self.paren_depth == 0 {
+            self.start_line = line_no;
+            self.leading_ws = raw_line.starts_with(' ') || raw_line.starts_with('\t');
         }
         let mut chars = raw_line.chars().peekable();
         while let Some(c) = chars.next() {
             match c {
                 ';' => break, // comment
-                '(' => paren_depth += 1,
+                '(' => self.paren_depth += 1,
                 ')' => {
-                    paren_depth =
-                        paren_depth
+                    self.paren_depth =
+                        self.paren_depth
                             .checked_sub(1)
                             .ok_or_else(|| MasterError::Syntax {
                                 line: line_no,
@@ -114,7 +137,7 @@ fn tokenize(content: &str) -> Result<Vec<(usize, Vec<Token>, bool)>, MasterError
                             message: "unterminated string".to_string(),
                         });
                     }
-                    current.push(Token {
+                    self.current.push(Token {
                         text: s,
                         quoted: true,
                     });
@@ -129,25 +152,56 @@ fn tokenize(content: &str) -> Result<Vec<(usize, Vec<Token>, bool)>, MasterError
                         }
                         s.push(chars.next().expect("peeked"));
                     }
-                    current.push(Token {
+                    self.current.push(Token {
                         text: s,
                         quoted: false,
                     });
                 }
             }
         }
-        if paren_depth == 0 && !current.is_empty() {
-            logical.push((start_line, std::mem::take(&mut current), leading_ws));
+        if self.paren_depth == 0 && !self.current.is_empty() {
+            return Ok(Some((
+                self.start_line,
+                std::mem::take(&mut self.current),
+                self.leading_ws,
+            )));
+        }
+        Ok(None)
+    }
+
+    /// Flushes at end of input; errors on an unbalanced `(`.
+    fn finish(&mut self) -> Result<Option<LogicalLine>, MasterError> {
+        if self.paren_depth != 0 {
+            return Err(MasterError::Syntax {
+                line: self.start_line,
+                message: "unbalanced '(' at end of file".to_string(),
+            });
+        }
+        if self.current.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some((
+                self.start_line,
+                std::mem::take(&mut self.current),
+                self.leading_ws,
+            )))
         }
     }
-    if paren_depth != 0 {
-        return Err(MasterError::Syntax {
-            line: start_line,
-            message: "unbalanced '(' at end of file".to_string(),
-        });
+}
+
+/// Splits file content into logical lines (joining parenthesized
+/// continuations), then into tokens. Comments run from `;` to end of
+/// line. The whole-file collector over [`LineTokenizer`].
+fn tokenize(content: &str) -> Result<Vec<LogicalLine>, MasterError> {
+    let mut tokenizer = LineTokenizer::default();
+    let mut logical: Vec<LogicalLine> = Vec::new();
+    for (idx, raw_line) in content.lines().enumerate() {
+        if let Some(line) = tokenizer.push_line(idx + 1, raw_line)? {
+            logical.push(line);
+        }
     }
-    if !current.is_empty() {
-        logical.push((start_line, current, leading_ws));
+    if let Some(line) = tokenizer.finish()? {
+        logical.push(line);
     }
     Ok(logical)
 }
@@ -174,51 +228,71 @@ fn parse_u32(text: &str, line: usize, what: &str) -> Result<u32, MasterError> {
     })
 }
 
-/// Parses a full zone file into a [`Zone`].
-///
-/// `default_origin` supplies the origin when the file has no `$ORIGIN`
-/// directive before its first record.
-pub fn parse_zone(content: &str, default_origin: &DnsName) -> Result<Zone, MasterError> {
-    let lines = tokenize(content)?;
-    let mut origin = default_origin.clone();
-    let mut default_ttl: u32 = 3600;
-    let mut previous_owner: Option<DnsName> = None;
-    let mut records: Vec<(usize, Record)> = Vec::new();
+/// Incremental state for parsing one master file record-by-record: the
+/// current `$ORIGIN`, `$TTL` and previous-owner context that later lines
+/// inherit. Shared by the whole-zone parser ([`parse_zone`]) and the
+/// streaming event reader ([`ZoneFileEvents`]), so both accept exactly the
+/// same files.
+#[derive(Debug, Clone)]
+struct LineParser {
+    origin: DnsName,
+    default_ttl: u32,
+    previous_owner: Option<DnsName>,
+}
 
-    for (line, tokens, leading_ws) in lines {
+impl LineParser {
+    fn new(default_origin: &DnsName) -> LineParser {
+        LineParser {
+            origin: default_origin.clone(),
+            default_ttl: 3600,
+            previous_owner: None,
+        }
+    }
+
+    /// Parses one logical line. Directives (`$ORIGIN`, `$TTL`) update the
+    /// parser state and yield `None`; record lines yield the record.
+    fn parse(
+        &mut self,
+        line: usize,
+        tokens: &[Token],
+        leading_ws: bool,
+    ) -> Result<Option<Record>, MasterError> {
         let first = &tokens[0];
         if !first.quoted && first.text.eq_ignore_ascii_case("$ORIGIN") {
             let target = tokens.get(1).ok_or_else(|| MasterError::Syntax {
                 line,
                 message: "$ORIGIN needs an argument".into(),
             })?;
-            origin = parse_name(&target.text, &origin, line)?;
-            continue;
+            self.origin = parse_name(&target.text, &self.origin, line)?;
+            return Ok(None);
         }
         if !first.quoted && first.text.eq_ignore_ascii_case("$TTL") {
             let target = tokens.get(1).ok_or_else(|| MasterError::Syntax {
                 line,
                 message: "$TTL needs an argument".into(),
             })?;
-            default_ttl = parse_u32(&target.text, line, "TTL")?;
-            continue;
+            self.default_ttl = parse_u32(&target.text, line, "TTL")?;
+            return Ok(None);
         }
 
+        let origin = &self.origin;
         let mut cursor = 0usize;
         let owner = if leading_ws {
-            previous_owner.clone().ok_or_else(|| MasterError::Syntax {
-                line,
-                message: "record with blank owner but no previous owner".into(),
-            })?
+            self.previous_owner
+                .clone()
+                .ok_or_else(|| MasterError::Syntax {
+                    line,
+                    message: "record with blank owner but no previous owner".into(),
+                })?
         } else {
-            let owner = parse_name(&tokens[0].text, &origin, line)?;
+            let owner = parse_name(&tokens[0].text, origin, line)?;
             cursor = 1;
             owner
         };
-        previous_owner = Some(owner.clone());
+        self.previous_owner = Some(owner.clone());
 
         // Optional TTL and class, in either order.
-        let mut ttl = default_ttl;
+        let mut ttl = self.default_ttl;
         let mut class = RrClass::In;
         loop {
             let token = tokens.get(cursor).ok_or_else(|| MasterError::Syntax {
@@ -286,21 +360,21 @@ pub fn parse_zone(content: &str, default_origin: &DnsName) -> Result<Zone, Maste
             }
             "NS" => {
                 need(1)?;
-                RData::Ns(parse_name(&rest[0].text, &origin, line)?)
+                RData::Ns(parse_name(&rest[0].text, origin, line)?)
             }
             "CNAME" => {
                 need(1)?;
-                RData::Cname(parse_name(&rest[0].text, &origin, line)?)
+                RData::Cname(parse_name(&rest[0].text, origin, line)?)
             }
             "PTR" => {
                 need(1)?;
-                RData::Ptr(parse_name(&rest[0].text, &origin, line)?)
+                RData::Ptr(parse_name(&rest[0].text, origin, line)?)
             }
             "MX" => {
                 need(2)?;
                 RData::Mx {
                     preference: parse_u32(&rest[0].text, line, "MX preference")? as u16,
-                    exchange: parse_name(&rest[1].text, &origin, line)?,
+                    exchange: parse_name(&rest[1].text, origin, line)?,
                 }
             }
             "TXT" => {
@@ -313,14 +387,14 @@ pub fn parse_zone(content: &str, default_origin: &DnsName) -> Result<Zone, Maste
                     priority: parse_u32(&rest[0].text, line, "SRV priority")? as u16,
                     weight: parse_u32(&rest[1].text, line, "SRV weight")? as u16,
                     port: parse_u32(&rest[2].text, line, "SRV port")? as u16,
-                    target: parse_name(&rest[3].text, &origin, line)?,
+                    target: parse_name(&rest[3].text, origin, line)?,
                 }
             }
             "SOA" => {
                 need(7)?;
                 RData::Soa(Soa {
-                    mname: parse_name(&rest[0].text, &origin, line)?,
-                    rname: parse_name(&rest[1].text, &origin, line)?,
+                    mname: parse_name(&rest[0].text, origin, line)?,
+                    rname: parse_name(&rest[1].text, origin, line)?,
                     serial: parse_u32(&rest[2].text, line, "serial")?,
                     refresh: parse_u32(&rest[3].text, line, "refresh")?,
                     retry: parse_u32(&rest[4].text, line, "retry")?,
@@ -336,16 +410,28 @@ pub fn parse_zone(content: &str, default_origin: &DnsName) -> Result<Zone, Maste
             }
         };
         let rtype = rdata.rr_type().expect("typed rdata");
-        records.push((
-            line,
-            Record {
-                name: owner,
-                rtype,
-                class,
-                ttl,
-                rdata,
-            },
-        ));
+        Ok(Some(Record {
+            name: owner,
+            rtype,
+            class,
+            ttl,
+            rdata,
+        }))
+    }
+}
+
+/// Parses a full zone file into a [`Zone`].
+///
+/// `default_origin` supplies the origin when the file has no `$ORIGIN`
+/// directive before its first record.
+pub fn parse_zone(content: &str, default_origin: &DnsName) -> Result<Zone, MasterError> {
+    let lines = tokenize(content)?;
+    let mut parser = LineParser::new(default_origin);
+    let mut records: Vec<(usize, Record)> = Vec::new();
+    for (line, tokens, leading_ws) in lines {
+        if let Some(record) = parser.parse(line, &tokens, leading_ws)? {
+            records.push((line, record));
+        }
     }
 
     // The SOA defines the zone; it must be present.
@@ -364,6 +450,161 @@ pub fn parse_zone(content: &str, default_origin: &DnsName) -> Result<Zone, Maste
             .map_err(|source| MasterError::Zone { line, source })?;
     }
     Ok(zone)
+}
+
+/// Where a [`ZoneFileEvents`] stream pulls its raw lines from: borrowed
+/// text, or any [`std::io::BufRead`] for files larger than memory.
+enum LineSource<'a> {
+    Str(std::str::Lines<'a>),
+    Reader(Box<dyn std::io::BufRead + 'a>),
+}
+
+impl LineSource<'_> {
+    fn next_line(&mut self) -> Option<Result<String, std::io::Error>> {
+        match self {
+            LineSource::Str(lines) => lines.next().map(|s| Ok(s.to_string())),
+            LineSource::Reader(reader) => {
+                let mut buf = String::new();
+                match reader.read_line(&mut buf) {
+                    Ok(0) => None,
+                    Ok(_) => {
+                        while buf.ends_with('\n') || buf.ends_with('\r') {
+                            buf.pop();
+                        }
+                        Some(Ok(buf))
+                    }
+                    Err(e) => Some(Err(e)),
+                }
+            }
+        }
+    }
+}
+
+/// A zone-file-backed [`ZoneEvent`] iterator: reads master-file text
+/// record by record and yields the delegation-relevant observations —
+/// every NS record as a (single-server) [`ZoneEvent::Cut`], every A
+/// record as [`ZoneEvent::Glue`] — without ever materializing a [`Zone`]
+/// (no owner/type maps, no cut index, no SOA requirement).
+///
+/// This is the ingestion end of the streaming pipeline, and it is
+/// **incremental all the way down**: lines are pulled one at a time from
+/// the source (borrowed text via [`ZoneFileEvents::new`], or any
+/// [`std::io::BufRead`] via [`ZoneFileEvents::from_reader`]), tokenized
+/// by a stateful line tokenizer whose buffer holds at most one
+/// partial record, and parsed in place — so a reader-backed feed larger
+/// than memory streams with memory bounded by its longest record.
+/// Consumers such as `perils_core`'s incremental universe builder merge
+/// the per-record NS fragments into full NS sets. Errors (syntax,
+/// record-level, IO) are yielded in stream order and end the stream.
+/// AAAA records are skipped (the simulated internet is IPv4-only), as
+/// are SOA/CNAME/MX/TXT/SRV/PTR records, which carry no delegation
+/// structure.
+pub struct ZoneFileEvents<'a> {
+    lines: LineSource<'a>,
+    line_no: usize,
+    tokenizer: LineTokenizer,
+    parser: LineParser,
+    input_done: bool,
+    finished: bool,
+}
+
+impl<'a> ZoneFileEvents<'a> {
+    /// Streams borrowed master-file text, resolving relative names
+    /// against `default_origin` until a `$ORIGIN` directive switches
+    /// the context.
+    pub fn new(content: &'a str, default_origin: &DnsName) -> ZoneFileEvents<'a> {
+        ZoneFileEvents::with_source(LineSource::Str(content.lines()), default_origin)
+    }
+
+    /// Streams from any buffered reader — the bounded-memory path for
+    /// zone files that do not fit in memory. IO failures surface as
+    /// [`MasterError::Io`] items.
+    pub fn from_reader(
+        reader: impl std::io::BufRead + 'a,
+        default_origin: &DnsName,
+    ) -> ZoneFileEvents<'a> {
+        ZoneFileEvents::with_source(LineSource::Reader(Box::new(reader)), default_origin)
+    }
+
+    fn with_source(lines: LineSource<'a>, default_origin: &DnsName) -> ZoneFileEvents<'a> {
+        ZoneFileEvents {
+            lines,
+            line_no: 0,
+            tokenizer: LineTokenizer::default(),
+            parser: LineParser::new(default_origin),
+            input_done: false,
+            finished: false,
+        }
+    }
+
+    /// Pulls raw lines until a logical line completes (or input ends).
+    fn next_logical(&mut self) -> Result<Option<LogicalLine>, MasterError> {
+        loop {
+            if self.input_done {
+                return Ok(None);
+            }
+            match self.lines.next_line() {
+                None => {
+                    self.input_done = true;
+                    return self.tokenizer.finish();
+                }
+                Some(Err(e)) => {
+                    self.input_done = true;
+                    return Err(MasterError::Io {
+                        line: self.line_no + 1,
+                        message: e.to_string(),
+                    });
+                }
+                Some(Ok(raw)) => {
+                    self.line_no += 1;
+                    if let Some(logical) = self.tokenizer.push_line(self.line_no, &raw)? {
+                        return Ok(Some(logical));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ZoneFileEvents<'_> {
+    type Item = Result<ZoneEvent, MasterError>;
+
+    fn next(&mut self) -> Option<Result<ZoneEvent, MasterError>> {
+        while !self.finished {
+            let (line, tokens, leading_ws) = match self.next_logical() {
+                Ok(Some(logical)) => logical,
+                Ok(None) => {
+                    self.finished = true;
+                    return None;
+                }
+                Err(e) => {
+                    self.finished = true;
+                    return Some(Err(e));
+                }
+            };
+            let record = match self.parser.parse(line, &tokens, leading_ws) {
+                Ok(Some(record)) => record,
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            };
+            match record.rdata {
+                RData::Ns(host) => {
+                    return Some(Ok(ZoneEvent::Cut {
+                        zone: record.name,
+                        ns: vec![host],
+                    }))
+                }
+                RData::A(addr) => {
+                    return Some(Ok(ZoneEvent::Glue {
+                        host: record.name,
+                        addr,
+                    }))
+                }
+                _ => continue,
+            }
+        }
+        None
+    }
 }
 
 /// Serializes a zone to master-file text (absolute names, explicit fields).
@@ -495,6 +736,85 @@ info IN TXT "hello world" "second \"string\""
         assert_eq!(reparsed.record_count(), zone.record_count());
         assert_eq!(reparsed.apex_ns_names(), zone.apex_ns_names());
         assert_eq!(reparsed.soa().serial, zone.soa().serial);
+    }
+
+    #[test]
+    fn zone_file_events_stream_without_materializing() {
+        let events: Vec<ZoneEvent> = ZoneFileEvents::new(CORNELL, &DnsName::root())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        // One Cut per NS record, in file order, with single-host fragments.
+        let cuts: Vec<(DnsName, DnsName)> = events
+            .iter()
+            .filter_map(|e| match e {
+                ZoneEvent::Cut { zone, ns } => Some((zone.clone(), ns[0].clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            cuts,
+            vec![
+                (name("cornell.edu"), name("bigred.cit.cornell.edu")),
+                (name("cornell.edu"), name("cudns.cit.cornell.edu")),
+                (name("cs.cornell.edu"), name("simon.cs.cornell.edu")),
+                (name("cs.cornell.edu"), name("cayuga.cs.rochester.edu")),
+            ]
+        );
+        // A records become glue; SOA/CNAME/MX lines are skipped.
+        let glue: Vec<&DnsName> = events
+            .iter()
+            .filter_map(|e| match e {
+                ZoneEvent::Glue { host, .. } => Some(host),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            glue,
+            vec![&name("simon.cs.cornell.edu"), &name("www.cornell.edu")]
+        );
+    }
+
+    #[test]
+    fn zone_file_events_report_record_errors_in_stream_order() {
+        let content = "www IN A 1.2.3.4\nbroken IN A not-an-address\n";
+        let mut events = ZoneFileEvents::new(content, &name("x.test"));
+        assert!(matches!(events.next(), Some(Ok(ZoneEvent::Glue { .. }))));
+        assert!(matches!(
+            events.next(),
+            Some(Err(MasterError::Syntax { line: 2, .. }))
+        ));
+        assert!(events.next().is_none());
+    }
+
+    #[test]
+    fn zone_file_events_from_reader_matches_str_path() {
+        // The BufRead-backed stream (the larger-than-memory path) sees
+        // exactly what the borrowed-text stream sees.
+        let from_str: Vec<ZoneEvent> = ZoneFileEvents::new(CORNELL, &DnsName::root())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let reader = std::io::BufReader::new(CORNELL.as_bytes());
+        let from_reader: Vec<ZoneEvent> = ZoneFileEvents::from_reader(reader, &DnsName::root())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(from_str, from_reader);
+        assert!(!from_str.is_empty());
+    }
+
+    #[test]
+    fn zone_file_events_agree_with_parse_zone() {
+        // The streaming reader and the whole-zone parser accept the same
+        // files and see the same delegation structure.
+        let zone = parse_zone(CORNELL, &DnsName::root()).unwrap();
+        let streamed_cut_hosts: Vec<DnsName> = ZoneFileEvents::new(CORNELL, &DnsName::root())
+            .filter_map(|e| match e.unwrap() {
+                ZoneEvent::Cut { zone, ns } if zone == name("cornell.edu") => {
+                    Some(ns.into_iter().next().unwrap())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(streamed_cut_hosts, zone.apex_ns_names());
     }
 
     #[test]

@@ -86,6 +86,41 @@ pub enum ZoneLookup {
     NxDomain,
 }
 
+/// One incremental observation from a zone-data feed.
+///
+/// A `ZoneEvent` is the unit of **streaming ingestion**: instead of
+/// materializing whole [`Zone`]s (or a whole [`ZoneRegistry`]) before any
+/// analysis can start, a feed — a parsed zone file
+/// ([`crate::master::ZoneFileEvents`]), a registry walk
+/// ([`ZoneRegistry::events`]), or a live probe — emits delegation
+/// structure one observation at a time. Events are designed to be
+/// order-insensitive under merging: NS sets may arrive fragmented across
+/// many [`ZoneEvent::Cut`]s for the same zone (consumers union them), and
+/// glue may precede or follow the cut that references it (consumers queue
+/// it). `perils_core`'s incremental universe builder is the canonical
+/// consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneEvent {
+    /// `zone` is served by the `ns` hosts — an apex NS set or a
+    /// parent-side delegation cut, possibly only a fragment of the full
+    /// NS set (zone files yield one event per NS record).
+    Cut {
+        /// The delegated zone's origin.
+        zone: DnsName,
+        /// NS host names observed for it (union with prior events).
+        ns: Vec<DnsName>,
+    },
+    /// An IPv4 address observed for `host` — authoritative or glue under
+    /// a cut. Carried for address-aware consumers; the structural
+    /// analysis needs only the cuts.
+    Glue {
+        /// The host the address belongs to.
+        host: DnsName,
+        /// The observed address.
+        addr: Ipv4Addr,
+    },
+}
+
 /// One authoritative zone.
 #[derive(Debug, Clone)]
 pub struct Zone {
@@ -357,6 +392,37 @@ impl Zone {
             .unwrap_or_default()
     }
 
+    /// Streams this zone's delegation-relevant content as [`ZoneEvent`]s:
+    /// the apex NS set first, then each cut's NS set (sorted cut order),
+    /// then every A record as glue (sorted owner order). Together with
+    /// [`ZoneRegistry::events`] this is the bridge from materialized
+    /// zones into the streaming ingestion pipeline.
+    pub fn events(&self) -> impl Iterator<Item = ZoneEvent> + '_ {
+        let apex = std::iter::once(self.origin.clone())
+            .chain(self.cut_names().cloned())
+            .filter_map(|owner| {
+                let ns = self.ns_names_at(&owner);
+                if ns.is_empty() {
+                    None
+                } else {
+                    Some(ZoneEvent::Cut { zone: owner, ns })
+                }
+            });
+        let glue = self.records.iter().flat_map(|(owner, node)| {
+            node.get(&RrType::A)
+                .into_iter()
+                .flatten()
+                .filter_map(move |record| match record.rdata {
+                    RData::A(addr) => Some(ZoneEvent::Glue {
+                        host: owner.clone(),
+                        addr,
+                    }),
+                    _ => None,
+                })
+        });
+        apex.chain(glue)
+    }
+
     /// Iterates every record in the zone in sorted owner order.
     pub fn iter(&self) -> impl Iterator<Item = &Record> {
         self.records
@@ -445,6 +511,15 @@ impl ZoneRegistry {
     /// Iterates zones in sorted origin order.
     pub fn iter(&self) -> impl Iterator<Item = &Zone> {
         self.zones.values()
+    }
+
+    /// Streams the whole namespace as [`ZoneEvent`]s, zone by zone in
+    /// sorted origin order ([`Zone::events`] per zone). This is the
+    /// materialized-registry end of the streaming ingestion pipeline: a
+    /// consumer that accepts events can ingest a registry, a zone file,
+    /// or a live feed through the same interface.
+    pub fn events(&self) -> impl Iterator<Item = ZoneEvent> + '_ {
+        self.iter().flat_map(Zone::events)
     }
 
     /// Collects every IPv4 address registered anywhere for `host`.
@@ -728,6 +803,64 @@ mod tests {
             vec!["10.0.0.1".parse::<Ipv4Addr>().unwrap()]
         );
         assert!(reg.addresses_of(&name("nowhere.test")).is_empty());
+    }
+
+    #[test]
+    fn zone_events_cover_apex_cuts_and_glue() {
+        let z = example_zone();
+        let events: Vec<ZoneEvent> = z.events().collect();
+        // Apex NS set first.
+        assert_eq!(
+            events[0],
+            ZoneEvent::Cut {
+                zone: name("example.com"),
+                ns: vec![name("ns1.example.com"), name("ns2.example.com")],
+            }
+        );
+        // The sub.example.com cut with its NS set.
+        assert!(events.contains(&ZoneEvent::Cut {
+            zone: name("sub.example.com"),
+            ns: vec![name("ns.sub.example.com")],
+        }));
+        // Every A record appears as glue, including the cut's glue host.
+        let glue_hosts: Vec<&DnsName> = events
+            .iter()
+            .filter_map(|e| match e {
+                ZoneEvent::Glue { host, .. } => Some(host),
+                _ => None,
+            })
+            .collect();
+        assert!(glue_hosts.contains(&&name("ns.sub.example.com")));
+        assert!(glue_hosts.contains(&&name("ns1.example.com")));
+        assert_eq!(glue_hosts.len(), 4, "one glue event per A record");
+    }
+
+    #[test]
+    fn registry_events_walk_every_zone() {
+        let mut reg = ZoneRegistry::new();
+        let mut root = Zone::synthetic(DnsName::root(), name("a.root-servers.net"));
+        root.add_rdata(DnsName::root(), RData::Ns(name("a.root-servers.net")))
+            .unwrap();
+        root.add_rdata(name("com"), RData::Ns(name("a.gtld-servers.net")))
+            .unwrap();
+        reg.insert(root);
+        reg.insert(example_zone());
+        let cuts: Vec<DnsName> = reg
+            .events()
+            .filter_map(|e| match e {
+                ZoneEvent::Cut { zone, .. } => Some(zone),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            cuts,
+            vec![
+                DnsName::root(),
+                name("com"),
+                name("example.com"),
+                name("sub.example.com"),
+            ]
+        );
     }
 
     #[test]

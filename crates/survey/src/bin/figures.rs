@@ -18,18 +18,32 @@
 //! additional CSV directory sink). Note for `--csv` users: files are now
 //! named by figure id (`fig2.csv`, `headline.csv`, …) instead of the old
 //! per-figure names (`fig2_tcb_cdf.csv`, …), since the registry owns the
-//! naming. Without `--out`, figures stream to stdout; the aligned-text
-//! stream is the EXPERIMENTS.md data source.
+//! naming (also stated in `--help`, where it was never documented before).
+//! Without `--out`, figures stream to stdout; the aligned-text stream is
+//! the EXPERIMENTS.md data source.
+//!
+//! Ingestion is streaming end to end: the synthetic source plans the
+//! world and feeds it to the engine as incremental universe events (the
+//! default `WorldSource` path since the streaming-ingestion refactor),
+//! and CSV directory exports go through the row-at-a-time
+//! `StreamingCsvSink`.
 
 use perils_core::ZombieDelegationMetric;
 use perils_survey::driver::SurveyConfig;
 use perils_survey::engine::{Engine, SurveyReport, SyntheticSource};
 use perils_survey::figures::ZombieFigure;
 use perils_survey::render::{
-    DirectorySink, FigureOutcome, FigureRegistry, ReportSink, SinkFormat, WriterSink,
+    DirectorySink, FigureOutcome, FigureRegistry, ReportSink, SinkFormat, StreamingCsvSink,
+    WriterSink,
 };
 
-const USAGE: &str = "usage: figures [--scale tiny|default|paper] [--seed N] [--list]\n               [--only ID[,ID...]] [--format text|csv|json] [--out DIR] [--csv DIR]";
+const USAGE: &str = "usage: figures [--scale tiny|default|paper] [--seed N] [--list]
+               [--only ID[,ID...]] [--format text|csv|json] [--out DIR] [--csv DIR]
+
+  --out DIR     one <figure-id>.<ext> file per figure (ext from --format)
+  --csv DIR     extra CSV sink (streaming, row-at-a-time); files are named
+                by figure id: fig2.csv, headline.csv, ... (since the
+                registry owns naming, NOT the legacy fig2_tcb_cdf.csv)";
 
 /// Prints a usage error and exits with status 2 (never panics on bad
 /// arguments).
@@ -194,11 +208,14 @@ fn main() {
     let started = std::time::Instant::now();
     let report = engine.run(source);
     eprintln!(
-        "survey complete in {:.1}s: {} names, {} zones, {} servers",
+        "survey complete in {:.1}s: {} names, {} zones, {} servers{}",
         started.elapsed().as_secs_f64(),
         report.world.names.len(),
         report.world.universe.zone_count(),
         report.world.universe.server_count(),
+        perils_util::peak_rss_mb()
+            .map(|mb| format!(", peak RSS {mb:.0} MiB"))
+            .unwrap_or_default(),
     );
 
     // Build every selected figure through the registry. Missing columns are
@@ -238,9 +255,22 @@ fn main() {
         }
     }
 
-    // Route rendered figures into the selected sinks.
+    // Route rendered figures into the selected sinks. CSV directories go
+    // through the streaming row-at-a-time sink (byte-identical output, no
+    // full-table buffering — the paper-scale CDF exports are the point).
     let sink_result: std::io::Result<()> = (|| {
         match &args.out_dir {
+            Some(dir) if args.format == SinkFormat::Csv => {
+                let mut sink = StreamingCsvSink::new(dir);
+                for figure in &rendered {
+                    sink.emit(figure)?;
+                }
+                sink.finish()?;
+                eprintln!(
+                    "wrote {} figure files to {dir} (streaming)",
+                    sink.written().len()
+                );
+            }
             Some(dir) => {
                 let mut sink = DirectorySink::new(dir, args.format);
                 for figure in &rendered {
@@ -262,12 +292,15 @@ fn main() {
             }
         }
         if let Some(dir) = &args.legacy_csv_dir {
-            let mut sink = DirectorySink::new(dir, SinkFormat::Csv);
+            let mut sink = StreamingCsvSink::new(dir);
             for figure in &rendered {
                 sink.emit(figure)?;
             }
             sink.finish()?;
-            eprintln!("wrote {} CSV files to {dir}", sink.written().len());
+            eprintln!(
+                "wrote {} CSV files to {dir} (streaming)",
+                sink.written().len()
+            );
         }
         Ok(())
     })();

@@ -25,17 +25,20 @@
 //! with typed accessors for the classic figures' columns.
 
 use crate::params::TopologyParams;
-use crate::scenario::{universe_from_reports, universe_from_scenario};
-use crate::topology::{SurveyName, SyntheticWorld};
+use crate::scenario::{report_events, scenario_events};
+use crate::topology::{plan_world, SurveyName, SyntheticWorld};
 use perils_authserver::scenarios::Scenario;
 use perils_core::closure::DependencyIndex;
 use perils_core::hijack::min_hijack_exact;
-use perils_core::metric::{columns, ColumnKind, MeasureCtx, MetricColumn, MetricShard, NameMetric};
-use perils_core::universe::Universe;
+use perils_core::metric::{
+    columns, ColumnKind, MeasureCtx, MetricColumn, MetricShard, NameMetric, PreparedState,
+};
+use perils_core::universe::{Universe, UniverseEvent};
 use perils_core::value::ValueIndex;
 use perils_core::{DnssecCoverageMetric, MinCutMetric, MisconfigMetric, TcbMetric, ValueMetric};
 use perils_dns::name::DnsName;
 use perils_resolver::DependencyReport;
+use perils_vulndb::VulnDb;
 use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 
@@ -55,38 +58,164 @@ pub struct AnalysisWorld {
 impl AnalysisWorld {
     /// Wraps a universe and plain target names (rank = survey order).
     pub fn from_targets(universe: Universe, targets: Vec<DnsName>) -> AnalysisWorld {
-        let names = targets
-            .into_iter()
-            .enumerate()
-            .map(|(i, name)| SurveyName {
-                tld: name.tld().unwrap_or_else(DnsName::root),
-                popularity_rank: i,
-                name,
-            })
-            .collect();
         AnalysisWorld {
             universe,
-            names,
+            names: survey_names_of(targets).collect(),
             top500: Vec::new(),
         }
     }
 }
 
-/// Supplies an [`AnalysisWorld`] to the engine. Implemented by the
-/// synthetic generator, hand-built packet scenarios and wire-probed
-/// dependency reports, so every world kind runs through the same engine.
+/// Plain target names as [`SurveyName`]s (rank = survey order).
+fn survey_names_of(targets: Vec<DnsName>) -> impl Iterator<Item = SurveyName> + Send {
+    targets.into_iter().enumerate().map(|(i, name)| SurveyName {
+        tld: name.tld().unwrap_or_else(DnsName::root),
+        popularity_rank: i,
+        name,
+    })
+}
+
+/// A world as a stream: incremental [`UniverseEvent`]s first, surveyed
+/// names second. This is what every [`WorldSource`] produces and what
+/// the engine ingests — the universe is built event by event through
+/// `perils_core`'s incremental [`perils_core::UniverseBuilder`] and the
+/// names are pulled in bounded batches, so no stage of ingestion ever
+/// requires the whole feed in memory at once.
+///
+/// The two phases are ordered: drain [`WorldStream::events`] (or call
+/// [`WorldStream::build_universe`]) before pulling
+/// [`WorldStream::names`] — the dependency closures the metrics consume
+/// are defined over the complete delegation structure.
+pub struct WorldStream {
+    events: Box<dyn Iterator<Item = UniverseEvent> + Send>,
+    names: Box<dyn Iterator<Item = SurveyName> + Send>,
+    top500: Vec<usize>,
+    db: VulnDb,
+    /// An already-built universe ([`WorldStream::of_world`]): the event
+    /// phase is skipped instead of decomposing and re-interning a
+    /// structure that already exists.
+    prebuilt: Option<Universe>,
+}
+
+impl WorldStream {
+    /// Wraps the two phases of a stream plus the popularity subset.
+    /// Banner assessment defaults to the paper's ISC Feb-2004 matrix
+    /// ([`WorldStream::with_db`] overrides).
+    pub fn new(
+        events: impl Iterator<Item = UniverseEvent> + Send + 'static,
+        names: impl Iterator<Item = SurveyName> + Send + 'static,
+        top500: Vec<usize>,
+    ) -> WorldStream {
+        WorldStream {
+            events: Box::new(events),
+            names: Box::new(names),
+            top500,
+            db: VulnDb::isc_feb_2004(),
+            prebuilt: None,
+        }
+    }
+
+    /// Replaces the vulnerability database banners are assessed against.
+    pub fn with_db(mut self, db: VulnDb) -> WorldStream {
+        self.db = db;
+        self
+    }
+
+    /// The remaining universe events (phase one).
+    pub fn events(&mut self) -> impl Iterator<Item = UniverseEvent> + '_ {
+        self.events.by_ref()
+    }
+
+    /// The remaining surveyed names (phase two; pull after the events
+    /// are drained).
+    pub fn names(&mut self) -> impl Iterator<Item = SurveyName> + '_ {
+        self.names.by_ref()
+    }
+
+    /// Indices into the name stream of the most popular subset (may be
+    /// empty for scenario worlds, where popularity is meaningless).
+    pub fn top500(&self) -> &[usize] {
+        &self.top500
+    }
+
+    /// Drains the event phase into an incremental builder and returns
+    /// the finished universe. Peak memory is the universe itself plus
+    /// the builder's indexes — independent of feed length and order.
+    /// Streams wrapped around a prebuilt world return it directly.
+    pub fn build_universe(&mut self) -> Universe {
+        if let Some(universe) = self.prebuilt.take() {
+            return universe;
+        }
+        let mut builder = Universe::builder();
+        for event in self.events.by_ref() {
+            builder.apply(event, &self.db);
+        }
+        builder.finish()
+    }
+
+    /// Materializes the whole stream into an [`AnalysisWorld`] (the
+    /// collector behind the default [`WorldSource::load`]).
+    pub fn collect(mut self) -> AnalysisWorld {
+        let universe = self.build_universe();
+        AnalysisWorld {
+            universe,
+            names: self.names.collect(),
+            top500: self.top500,
+        }
+    }
+
+    /// Wraps a prebuilt world as a stream. The universe is carried
+    /// whole — [`WorldStream::build_universe`] returns it directly
+    /// rather than decomposing and re-interning an existing structure
+    /// (use [`Universe::into_events`] when the event *stream* itself is
+    /// wanted; it round-trips verbatim, ids included).
+    fn of_world(world: AnalysisWorld) -> WorldStream {
+        let AnalysisWorld {
+            universe,
+            names,
+            top500,
+        } = world;
+        let mut stream = WorldStream::new(std::iter::empty(), names.into_iter(), top500);
+        stream.prebuilt = Some(universe);
+        stream
+    }
+}
+
+/// Supplies a world to the engine. Implemented by the synthetic
+/// generator, hand-built packet scenarios and wire-probed dependency
+/// reports, so every world kind runs through the same engine.
+///
+/// The primitive is **streaming**: [`WorldSource::stream`] emits the
+/// world as incremental universe events plus a name stream, and the
+/// provided [`WorldSource::load`] is a thin collector over it — so the
+/// streamed path is the default implementation, and a source only
+/// overrides `load` when it already holds a materialized world.
 pub trait WorldSource {
     /// Human-readable description for diagnostics.
     fn describe(&self) -> String;
 
-    /// Builds the world (consumes the source; generation can be costly and
-    /// the engine takes ownership of the result).
-    fn load(self) -> AnalysisWorld;
+    /// Streams the world (consumes the source): universe events first,
+    /// surveyed names second.
+    fn stream(self) -> WorldStream;
+
+    /// Materializes the world in one piece — a thin collector over
+    /// [`WorldSource::stream`]. Generation can be costly and the engine
+    /// takes ownership of the result.
+    fn load(self) -> AnalysisWorld
+    where
+        Self: Sized,
+    {
+        self.stream().collect()
+    }
 }
 
 impl WorldSource for AnalysisWorld {
     fn describe(&self) -> String {
         format!("prebuilt world ({} names)", self.names.len())
+    }
+
+    fn stream(self) -> WorldStream {
+        WorldStream::of_world(self)
     }
 
     fn load(self) -> AnalysisWorld {
@@ -109,14 +238,23 @@ impl WorldSource for SyntheticSource {
         )
     }
 
-    fn load(self) -> AnalysisWorld {
-        SyntheticWorld::generate(&self.params).load()
+    /// Plans the world, then hands the plan over as a lazy event stream:
+    /// the generator never materializes a [`Universe`] of its own, and
+    /// the event order matches the classic materialized build, so ids —
+    /// and therefore every figure — are bit-identical.
+    fn stream(self) -> WorldStream {
+        let (events, names, top500) = plan_world(&self.params).into_stream_parts();
+        WorldStream::new(events, names.into_iter(), top500)
     }
 }
 
 impl WorldSource for SyntheticWorld {
     fn describe(&self) -> String {
         format!("generated world ({} names)", self.names.len())
+    }
+
+    fn stream(self) -> WorldStream {
+        WorldStream::of_world(self.load())
     }
 
     fn load(self) -> AnalysisWorld {
@@ -142,8 +280,13 @@ impl WorldSource for ScenarioSource<'_> {
         format!("scenario world ({} targets)", self.targets.len())
     }
 
-    fn load(self) -> AnalysisWorld {
-        AnalysisWorld::from_targets(universe_from_scenario(self.scenario), self.targets)
+    fn stream(self) -> WorldStream {
+        let events = scenario_events(self.scenario);
+        WorldStream::new(
+            events.into_iter(),
+            survey_names_of(self.targets),
+            Vec::new(),
+        )
     }
 }
 
@@ -163,10 +306,12 @@ impl WorldSource for ProbedSource<'_> {
         format!("probed world ({} reports)", self.reports.len())
     }
 
-    fn load(self) -> AnalysisWorld {
-        AnalysisWorld::from_targets(
-            universe_from_reports(self.reports, &self.roots),
-            self.targets,
+    fn stream(self) -> WorldStream {
+        let events = report_events(self.reports, &self.roots);
+        WorldStream::new(
+            events.into_iter(),
+            survey_names_of(self.targets),
+            Vec::new(),
         )
     }
 }
@@ -445,15 +590,19 @@ impl Engine {
     }
 
     /// Loads `source` and runs every registered metric over it in one
-    /// batch (peak memory proportional to the name count; see
-    /// [`Engine::run_batched`] for the bounded-memory pass).
+    /// batch (peak accumulator memory proportional to the name count;
+    /// see [`Engine::run_batched`] for the bounded-memory pass). The
+    /// universe itself is still ingested through the source's event
+    /// stream — [`WorldSource::load`] is a collector over
+    /// [`WorldSource::stream`] unless the source holds a prebuilt world.
     pub fn run(&self, source: impl WorldSource) -> SurveyReport {
         self.run_world(source.load())
     }
 
-    /// Loads `source` and streams the survey in bounded batches: names are
-    /// fed through the sharded loop `batch_size` at a time, each batch's
-    /// shards are merged immediately, and the merged columns are appended
+    /// Streams `source` end to end in bounded batches: the universe is
+    /// built incrementally from the source's event stream, then names
+    /// are pulled through the sharded loop `batch_size` at a time, each
+    /// batch's shards merged immediately and the merged columns appended
     /// across batches. Peak accumulator memory is therefore proportional
     /// to `batch_size × threads`, not to the name count — the knob that
     /// keeps 593k-name paper-scale runs memory-bounded.
@@ -462,12 +611,81 @@ impl Engine {
     /// per-name columns concatenate in survey order and aggregate columns
     /// merge commutatively ([`MetricColumn::append`]).
     pub fn run_batched(&self, source: impl WorldSource, batch_size: NonZeroUsize) -> SurveyReport {
-        self.run_world_batched(source.load(), Some(batch_size))
+        self.run_stream(source.stream(), batch_size)
     }
 
     /// Runs every registered metric over an already-built world.
     pub fn run_world(&self, world: AnalysisWorld) -> SurveyReport {
-        self.run_world_batched(world, None)
+        let threads = self.thread_count();
+        let index = DependencyIndex::build_with_threads(&world.universe, threads);
+        let prepared: Vec<PreparedState> = self
+            .metrics
+            .iter()
+            .map(|m| m.prepare(&world.universe))
+            .collect();
+        let n = world.names.len();
+        let batch = n.max(1);
+        let mut merged: BTreeMap<String, MetricColumn> = BTreeMap::new();
+        let mut start = 0usize;
+        loop {
+            let len = batch.min(n - start);
+            self.run_batch(
+                &world.universe,
+                &index,
+                &prepared,
+                &world.names[start..start + len],
+                start,
+                threads,
+                &mut merged,
+            );
+            start += len;
+            if start >= n {
+                break;
+            }
+        }
+        self.finish_report(world, &index, merged)
+    }
+
+    /// Runs the survey over an already-started [`WorldStream`] (what
+    /// [`Engine::run_batched`] does after calling
+    /// [`WorldSource::stream`]): build the universe from the event
+    /// phase, then pull names in `batch_size`-bounded batches.
+    pub fn run_stream(&self, mut stream: WorldStream, batch_size: NonZeroUsize) -> SurveyReport {
+        let threads = self.thread_count();
+        let universe = stream.build_universe();
+        let index = DependencyIndex::build_with_threads(&universe, threads);
+        let prepared: Vec<PreparedState> =
+            self.metrics.iter().map(|m| m.prepare(&universe)).collect();
+        let batch = batch_size.get();
+        let mut merged: BTreeMap<String, MetricColumn> = BTreeMap::new();
+        let mut names: Vec<SurveyName> = Vec::new();
+        loop {
+            let start = names.len();
+            let batch_names: Vec<SurveyName> = stream.names.by_ref().take(batch).collect();
+            if batch_names.is_empty() && start > 0 {
+                break;
+            }
+            self.run_batch(
+                &universe,
+                &index,
+                &prepared,
+                &batch_names,
+                start,
+                threads,
+                &mut merged,
+            );
+            let got = batch_names.len();
+            names.extend(batch_names);
+            if got < batch {
+                break;
+            }
+        }
+        let world = AnalysisWorld {
+            universe,
+            names,
+            top500: stream.top500,
+        };
+        self.finish_report(world, &index, merged)
     }
 
     fn thread_count(&self) -> usize {
@@ -481,118 +699,115 @@ impl Engine {
             .clamp(1, 16)
     }
 
-    fn run_world_batched(
+    /// One sharded pass over a contiguous batch of names
+    /// (`batch_start..batch_start + batch.len()` in survey order): each
+    /// worker owns one contiguous sub-range and its own accumulators,
+    /// the closure is computed once per name as a borrowed view and
+    /// shared by every metric, and the batch's merged columns land in
+    /// `merged` (inserted on the first batch, appended afterwards).
+    #[allow(clippy::too_many_arguments)]
+    fn run_batch(
         &self,
-        world: AnalysisWorld,
-        batch_size: Option<NonZeroUsize>,
-    ) -> SurveyReport {
-        let threads = self.thread_count();
-        let index = DependencyIndex::build_with_threads(&world.universe, threads);
-        let n = world.names.len();
-        let batch = batch_size.map(NonZeroUsize::get).unwrap_or(n.max(1));
-
-        let universe = &world.universe;
-        let names = &world.names;
-        let index_ref = &index;
+        universe: &Universe,
+        index: &DependencyIndex,
+        prepared: &[PreparedState],
+        batch: &[SurveyName],
+        batch_start: usize,
+        threads: usize,
+        merged: &mut BTreeMap<String, MetricColumn>,
+    ) {
+        let batch_len = batch.len();
         let metrics = &self.metrics;
 
-        // Per-run metric precomputation, shared by every shard of every
-        // batch.
-        let prepared: Vec<_> = metrics.iter().map(|m| m.prepare(universe)).collect();
-        let prepared_ref = &prepared;
-
-        let mut merged: BTreeMap<String, MetricColumn> = BTreeMap::new();
-        let mut batch_start = 0usize;
-        loop {
-            let batch_len = batch.min(n - batch_start);
-            let batch_range = batch_start..batch_start + batch_len;
-
-            // Shard the batch's name range: each worker owns one
-            // contiguous sub-range and its own accumulators; the closure
-            // is computed once per name and shared by every metric.
-            let chunk = batch_len.div_ceil(threads).max(1);
-            let mut worker_shards: Vec<Vec<Box<dyn MetricShard>>> = Vec::new();
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                let mut start = batch_range.start;
-                while start < batch_range.end {
-                    let len = chunk.min(batch_range.end - start);
-                    let range = start..start + len;
-                    handles.push(scope.spawn(move |_| {
-                        let mut shards: Vec<Box<dyn MetricShard>> = metrics
-                            .iter()
-                            .zip(prepared_ref)
-                            .map(|(m, p)| m.shard(universe, len, p))
-                            .collect();
-                        let mut ws = index_ref.workspace();
-                        for (slot, i) in range.enumerate() {
-                            // The closure is computed once per name as a
-                            // borrowed view — no per-name set allocation —
-                            // and shared by every registered metric.
-                            let ctx = MeasureCtx {
-                                universe,
-                                index: index_ref,
-                                name: &names[i].name,
-                                name_index: i,
-                                closure: index_ref.closure_view(universe, &names[i].name, &mut ws),
-                            };
-                            for shard in &mut shards {
-                                shard.measure(&ctx, slot);
-                            }
-                        }
-                        shards
-                    }));
-                    start += len;
-                }
-                for handle in handles {
-                    worker_shards.push(handle.join().expect("survey shard panicked"));
-                }
-            })
-            .expect("crossbeam scope");
-
-            // Transpose worker-major into metric-major, preserving range
-            // order, and merge this batch.
-            let mut per_metric: Vec<Vec<Box<dyn MetricShard>>> =
-                (0..self.metrics.len()).map(|_| Vec::new()).collect();
-            for worker in worker_shards {
-                for (k, shard) in worker.into_iter().enumerate() {
-                    per_metric[k].push(shard);
-                }
-            }
-            for (metric, shards) in self.metrics.iter().zip(per_metric) {
-                for (id, column) in metric.merge(universe, shards) {
-                    if let Some(len) = column.len() {
-                        assert_eq!(
-                            len,
-                            batch_len,
-                            "metric {:?} column {id:?} has wrong batch length",
-                            metric.id()
-                        );
-                    }
-                    match merged.entry(id) {
-                        std::collections::btree_map::Entry::Vacant(slot) => {
-                            if batch_start > 0 {
-                                panic!(
-                                    "metric {:?} produced column {:?} only after the first batch",
-                                    metric.id(),
-                                    slot.key()
-                                );
-                            }
-                            slot.insert(column);
-                        }
-                        std::collections::btree_map::Entry::Occupied(mut slot) => {
-                            assert!(batch_start > 0, "duplicate metric column {:?}", slot.key());
-                            slot.get_mut().append(column);
+        // Shard the batch's name range.
+        let chunk = batch_len.div_ceil(threads).max(1);
+        let mut worker_shards: Vec<Vec<Box<dyn MetricShard>>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0usize;
+            while start < batch_len {
+                let len = chunk.min(batch_len - start);
+                let range = start..start + len;
+                handles.push(scope.spawn(move |_| {
+                    let mut shards: Vec<Box<dyn MetricShard>> = metrics
+                        .iter()
+                        .zip(prepared)
+                        .map(|(m, p)| m.shard(universe, len, p))
+                        .collect();
+                    let mut ws = index.workspace();
+                    for (slot, i) in range.enumerate() {
+                        // The closure is computed once per name as a
+                        // borrowed view — no per-name set allocation —
+                        // and shared by every registered metric.
+                        let ctx = MeasureCtx {
+                            universe,
+                            index,
+                            name: &batch[i].name,
+                            name_index: batch_start + i,
+                            closure: index.closure_view(universe, &batch[i].name, &mut ws),
+                        };
+                        for shard in &mut shards {
+                            shard.measure(&ctx, slot);
                         }
                     }
-                }
+                    shards
+                }));
+                start += len;
             }
+            for handle in handles {
+                worker_shards.push(handle.join().expect("survey shard panicked"));
+            }
+        })
+        .expect("crossbeam scope");
 
-            batch_start = batch_range.end;
-            if batch_start >= n {
-                break;
+        // Transpose worker-major into metric-major, preserving range
+        // order, and merge this batch.
+        let mut per_metric: Vec<Vec<Box<dyn MetricShard>>> =
+            (0..self.metrics.len()).map(|_| Vec::new()).collect();
+        for worker in worker_shards {
+            for (k, shard) in worker.into_iter().enumerate() {
+                per_metric[k].push(shard);
             }
         }
+        for (metric, shards) in self.metrics.iter().zip(per_metric) {
+            for (id, column) in metric.merge(universe, shards) {
+                if let Some(len) = column.len() {
+                    assert_eq!(
+                        len,
+                        batch_len,
+                        "metric {:?} column {id:?} has wrong batch length",
+                        metric.id()
+                    );
+                }
+                match merged.entry(id) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        if batch_start > 0 {
+                            panic!(
+                                "metric {:?} produced column {:?} only after the first batch",
+                                metric.id(),
+                                slot.key()
+                            );
+                        }
+                        slot.insert(column);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut slot) => {
+                        assert!(batch_start > 0, "duplicate metric column {:?}", slot.key());
+                        slot.get_mut().append(column);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Verifies column lengths, runs the exact hijack sample and wraps
+    /// the report.
+    fn finish_report(
+        &self,
+        world: AnalysisWorld,
+        index: &DependencyIndex,
+        merged: BTreeMap<String, MetricColumn>,
+    ) -> SurveyReport {
+        let n = world.names.len();
         for (id, column) in &merged {
             if let Some(len) = column.len() {
                 assert_eq!(len, n, "column {id:?} has wrong total length");
@@ -750,6 +965,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn world_stream_phases_compose_manually() {
+        // The events()/names() API drives ingestion by hand: drain the
+        // event phase into a builder, then pull names.
+        let mut stream = SyntheticSource {
+            params: TopologyParams::tiny(59),
+        }
+        .stream();
+        let universe = stream.build_universe();
+        assert!(universe.zone_count() > 0);
+        let names: Vec<_> = stream.names().take(10).collect();
+        assert_eq!(names.len(), 10);
+        // Every pulled name resolves against the streamed universe.
+        for n in &names {
+            assert!(universe.zone_of(&n.name).is_some(), "{}", n.name);
+        }
+        assert!(!stream.top500().is_empty());
+    }
+
+    #[test]
+    fn scenario_source_streams_and_batches_identically() {
+        use perils_authserver::scenarios::fbi_case;
+        use perils_dns::name::name;
+        let scenario = fbi_case();
+        let targets = vec![name("www.fbi.gov")];
+        let full = Engine::with_builtin_metrics().run(ScenarioSource {
+            scenario: &scenario,
+            targets: targets.clone(),
+        });
+        let batched = Engine::with_builtin_metrics().run_batched(
+            ScenarioSource {
+                scenario: &scenario,
+                targets,
+            },
+            NonZeroUsize::new(1).unwrap(),
+        );
+        assert_eq!(full.tcb_sizes(), batched.tcb_sizes());
+        assert_eq!(full.cut_size(), batched.cut_size());
+        assert_eq!(full.world.universe, batched.world.universe);
     }
 
     #[test]

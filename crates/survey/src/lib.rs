@@ -26,6 +26,14 @@
 //! [`render::Figure`] + [`render::FigureRegistry`] + [`render::ReportSink`]),
 //! [`figures`] (the paper's figure renderers, registered on that pipeline),
 //! [`scenario`] (bridging hand-built packet-level scenarios into analyses).
+//!
+//! Ingestion is **streaming**: every [`engine::WorldSource`] emits an
+//! [`engine::WorldStream`] — incremental [`perils_core::UniverseEvent`]s
+//! followed by a name stream — which the engine feeds through
+//! `perils_core`'s incremental universe builder and, via
+//! [`engine::Engine::run_batched`], through bounded name batches, so no
+//! stage ever needs the whole feed in memory. Materialized loading
+//! ([`engine::WorldSource::load`]) is a thin collector over the stream.
 
 pub mod driver;
 pub mod engine;
@@ -38,11 +46,11 @@ pub mod topology;
 pub use driver::{run_survey, SurveyConfig};
 pub use engine::{
     AnalysisWorld, Engine, ProbedSource, ReportError, ScenarioSource, SurveyReport,
-    SyntheticSource, WorldSource,
+    SyntheticSource, WorldSource, WorldStream,
 };
 pub use params::TopologyParams;
 pub use render::{
     DirectorySink, Figure, FigureError, FigureOutcome, FigureRegistry, RenderedFigure, ReportSink,
-    SinkFormat, WriterSink,
+    SinkFormat, StreamingCsvSink, WriterSink,
 };
 pub use topology::SyntheticWorld;

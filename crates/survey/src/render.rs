@@ -314,6 +314,50 @@ impl ReportSink for DirectorySink {
     }
 }
 
+/// Writes one `<id>.csv` file per figure, **streaming row-at-a-time**:
+/// each row of the figure's data table goes through a bounded
+/// [`std::io::BufWriter`] straight to disk, so no full-table CSV string
+/// is ever materialized — the paper-scale CDF figures (hundreds of
+/// thousands of rows) export with a flat memory profile. Output bytes
+/// are identical to [`DirectorySink`] with [`SinkFormat::Csv`].
+pub struct StreamingCsvSink {
+    dir: PathBuf,
+    written: Vec<PathBuf>,
+}
+
+impl StreamingCsvSink {
+    /// Creates the sink; the directory is created on first emit.
+    pub fn new(dir: impl Into<PathBuf>) -> StreamingCsvSink {
+        StreamingCsvSink {
+            dir: dir.into(),
+            written: Vec::new(),
+        }
+    }
+
+    /// The files written so far.
+    pub fn written(&self) -> &[PathBuf] {
+        &self.written
+    }
+
+    /// The target directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl ReportSink for StreamingCsvSink {
+    fn emit(&mut self, figure: &RenderedFigure) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.dir.join(format!("{}.csv", figure.id()));
+        let file = std::fs::File::create(&path)?;
+        let mut writer = std::io::BufWriter::new(file);
+        figure.data().write_csv(&mut writer)?;
+        writer.flush()?;
+        self.written.push(path);
+        Ok(())
+    }
+}
+
 /// The per-figure result of a registry pass over one report.
 #[derive(Debug)]
 pub enum FigureOutcome {
@@ -607,6 +651,28 @@ mod tests {
         assert_eq!(sink.written().len(), 1);
         let content = std::fs::read_to_string(nested.join("f.json")).unwrap();
         assert!(content.starts_with("{\"id\":\"f\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_csv_sink_matches_buffered_bytes() {
+        let dir = std::env::temp_dir().join(format!("perils-stream-sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut data = Table::new(vec!["x", "y"]);
+        data.row(vec!["1", "a\"b"]);
+        data.row(vec!["2", "plain"]);
+        let fig = RenderedFigure::new("s", "S", "S\n", data);
+
+        let mut streaming = StreamingCsvSink::new(dir.join("stream"));
+        streaming.emit(&fig).unwrap();
+        streaming.finish().unwrap();
+        let mut buffered = DirectorySink::new(dir.join("buffered"), SinkFormat::Csv);
+        buffered.emit(&fig).unwrap();
+
+        let a = std::fs::read(dir.join("stream/s.csv")).unwrap();
+        let b = std::fs::read(dir.join("buffered/s.csv")).unwrap();
+        assert_eq!(a, b, "streaming and buffered CSV must be byte-identical");
+        assert_eq!(streaming.written().len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

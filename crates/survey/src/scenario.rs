@@ -8,15 +8,19 @@
 //! tests can assert the two agree.
 
 use perils_authserver::scenarios::Scenario;
-use perils_core::universe::Universe;
+use perils_core::universe::{Universe, UniverseEvent};
 use perils_dns::name::DnsName;
 use perils_resolver::DependencyReport;
 use perils_vulndb::VulnDb;
 use std::collections::BTreeMap;
 
-/// Builds the analysis universe structurally from a scenario's registry,
-/// with banners taken from the server specs (ground truth).
-pub fn universe_from_scenario(scenario: &Scenario) -> Universe {
+/// Streams a scenario's registry as incremental [`UniverseEvent`]s, with
+/// banners taken from the server specs (ground truth). The walk itself —
+/// server events per NS mention, then zone events with the apex ∪
+/// parent-view NS set — is [`perils_core::registry_events`], the same
+/// single definition [`Universe::from_registry`] collects over; this
+/// wrapper only supplies the spec-backed banner lookup.
+pub fn scenario_events(scenario: &Scenario) -> Vec<UniverseEvent> {
     let banners: BTreeMap<DnsName, String> = scenario
         .specs
         .iter()
@@ -26,31 +30,64 @@ pub fn universe_from_scenario(scenario: &Scenario) -> Universe {
                 .map(|b| (spec.host_name.to_lowercase(), b))
         })
         .collect();
-    let db = VulnDb::isc_feb_2004();
-    Universe::from_registry(&scenario.registry, &db, |server| {
+    perils_core::registry_events(&scenario.registry, |server| {
         banners.get(&server.to_lowercase()).cloned()
     })
 }
 
-/// Builds a universe from wire-probed dependency reports (one per
-/// surveyed name), merging their zone→NS views and banners.
+/// Builds the analysis universe structurally from a scenario's registry,
+/// with banners taken from the server specs (ground truth) — the
+/// materialized collector over [`scenario_events`].
+pub fn universe_from_scenario(scenario: &Scenario) -> Universe {
+    let db = VulnDb::isc_feb_2004();
+    let mut builder = Universe::builder();
+    for event in scenario_events(scenario) {
+        builder.apply(event, &db);
+    }
+    builder.finish()
+}
+
+/// Streams wire-probed dependency reports (one per surveyed name) as
+/// incremental [`UniverseEvent`]s: the root hints first, then each
+/// report's banners and zone→NS views in report order.
+pub fn report_events(reports: &[DependencyReport], root_names: &[DnsName]) -> Vec<UniverseEvent> {
+    let mut events = Vec::new();
+    for root in root_names {
+        events.push(UniverseEvent::Server {
+            name: root.clone(),
+            banner: None,
+            is_root: true,
+        });
+    }
+    for report in reports {
+        for (server, banner) in &report.banners {
+            events.push(UniverseEvent::Server {
+                name: server.clone(),
+                banner: banner.clone(),
+                is_root: false,
+            });
+        }
+        for (zone, ns) in &report.zone_ns {
+            events.push(UniverseEvent::Zone {
+                origin: zone.clone(),
+                ns: ns.iter().cloned().collect(),
+            });
+        }
+    }
+    events
+}
+
+/// Builds a universe from wire-probed dependency reports, merging their
+/// zone→NS views and banners — the materialized collector over
+/// [`report_events`].
 ///
 /// `root_names` marks which servers are root servers (the prober cannot
 /// see past the hints).
 pub fn universe_from_reports(reports: &[DependencyReport], root_names: &[DnsName]) -> Universe {
     let db = VulnDb::isc_feb_2004();
     let mut builder = Universe::builder();
-    for root in root_names {
-        builder.ensure_server(root, None, &db, true);
-    }
-    for report in reports {
-        for (server, banner) in &report.banners {
-            builder.ensure_server(server, banner.clone(), &db, false);
-        }
-        for (zone, ns) in &report.zone_ns {
-            let ns_names: Vec<DnsName> = ns.iter().cloned().collect();
-            builder.add_zone(zone, &ns_names);
-        }
+    for event in report_events(reports, root_names) {
+        builder.apply(event, &db);
     }
     builder.finish()
 }

@@ -16,7 +16,7 @@ use crate::params::TopologyParams;
 use perils_authserver::deploy::ServerSpec;
 use perils_authserver::scenarios::Scenario;
 use perils_authserver::software::ServerSoftware;
-use perils_core::universe::Universe;
+use perils_core::universe::{Universe, UniverseEvent};
 use perils_dns::name::{name, DnsName};
 use perils_dns::rr::RData;
 use perils_dns::zone::{Zone, ZoneRegistry};
@@ -95,11 +95,121 @@ pub struct SyntheticWorld {
     roots: Vec<(DnsName, String)>,
 }
 
+/// The fully planned world before any materialization: compact zone and
+/// server plans, the crawled name sample, and the popularity subset.
+///
+/// A plan is the streaming pipeline's source of truth for synthetic
+/// worlds: [`SyntheticWorld::generate`] materializes it into an analysis
+/// [`Universe`] all at once (the classic path), while
+/// [`WorldPlan::into_stream_parts`] drains it as an incremental
+/// [`UniverseEvent`] feed so the engine's universe builder — not the
+/// generator — owns the only full-world allocation.
+#[derive(Debug)]
+pub(crate) struct WorldPlan {
+    zones: Vec<ZonePlan>,
+    servers: Vec<ServerPlan>,
+    roots: Vec<(DnsName, String)>,
+    names: Vec<SurveyName>,
+    top500: Vec<usize>,
+    cctld_order: Vec<String>,
+}
+
+impl WorldPlan {
+    /// Decomposes the plan into the streaming parts: a lazy
+    /// [`UniverseEvent`] iterator (every server with its version banner
+    /// in plan order, then every zone with its NS set — the exact
+    /// interning order of the materialized path, so ids are identical),
+    /// the surveyed names, and the top-500 index subset. Each plan entry
+    /// is dropped as its event is consumed.
+    pub(crate) fn into_stream_parts(
+        self,
+    ) -> (
+        impl Iterator<Item = UniverseEvent> + Send,
+        Vec<SurveyName>,
+        Vec<usize>,
+    ) {
+        let WorldPlan {
+            zones,
+            servers,
+            names,
+            top500,
+            ..
+        } = self;
+        let events = servers
+            .into_iter()
+            .map(|server| UniverseEvent::Server {
+                name: server.name,
+                banner: Some(server.version),
+                is_root: server.is_root,
+            })
+            .chain(zones.into_iter().map(|plan| UniverseEvent::Zone {
+                origin: plan.origin,
+                ns: plan.ns,
+            }));
+        (events, names, top500)
+    }
+}
+
+/// Plans a synthetic world without materializing its universe
+/// (deterministic in `params.seed`; same plan as
+/// [`SyntheticWorld::generate`], which is this plus materialization).
+pub(crate) fn plan_world(params: &TopologyParams) -> WorldPlan {
+    params.validate();
+    Generator::new(params).plan()
+}
+
 impl SyntheticWorld {
     /// Generates a world from `params` (deterministic in `params.seed`).
     pub fn generate(params: &TopologyParams) -> SyntheticWorld {
-        params.validate();
-        Generator::new(params).run()
+        SyntheticWorld::from_plan(plan_world(params))
+    }
+
+    /// Materializes a plan into the analysis universe (the interning
+    /// order — servers with banners first, then zones — is the contract
+    /// the streamed path reproduces event for event).
+    fn from_plan(plan: WorldPlan) -> SyntheticWorld {
+        let db = VulnDb::isc_feb_2004();
+        let mut builder = Universe::builder();
+        for server in &plan.servers {
+            builder.ensure_server(
+                &server.name,
+                Some(server.version.clone()),
+                &db,
+                server.is_root,
+            );
+        }
+        for zone in &plan.zones {
+            builder.add_zone(&zone.origin, &zone.ns);
+        }
+        let universe = builder.finish();
+        let server_regions: Vec<Region> = {
+            // Align regions with universe ids via name lookup.
+            let mut by_name: BTreeMap<DnsName, u16> = BTreeMap::new();
+            for s in &plan.servers {
+                by_name.insert(s.name.to_lowercase(), s.region);
+            }
+            universe
+                .server_ids()
+                .map(|sid| {
+                    Region(
+                        by_name
+                            .get(&universe.server(sid).name)
+                            .copied()
+                            .unwrap_or(0),
+                    )
+                })
+                .collect()
+        };
+        SyntheticWorld {
+            universe,
+            names: plan.names,
+            top500: plan.top500,
+            cctld_order: plan.cctld_order,
+            server_regions,
+            zones: plan.zones,
+            servers: plan.servers,
+            roots: plan.roots,
+        }
     }
 
     /// Materializes a packet-level scenario: full zones with glue, server
@@ -272,7 +382,7 @@ impl<'p> Generator<'p> {
         }
     }
 
-    fn run(mut self) -> SyntheticWorld {
+    fn plan(mut self) -> WorldPlan {
         self.build_root_and_gtlds();
         let cctld_labels = self.build_cctlds();
         self.build_providers();
@@ -282,54 +392,18 @@ impl<'p> Generator<'p> {
         let names = self.crawl_names(&domain_zones, &domain_tlds);
         self.decay_delegations(domain_zones.len());
 
-        // Materialize the analysis universe.
-        let db = VulnDb::isc_feb_2004();
-        let mut builder = Universe::builder();
-        for server in &self.servers {
-            builder.ensure_server(
-                &server.name,
-                Some(server.version.clone()),
-                &db,
-                server.is_root,
-            );
-        }
-        for plan in &self.zones {
-            builder.add_zone(&plan.origin, &plan.ns);
-        }
-        let universe = builder.finish();
-        let server_regions: Vec<Region> = {
-            // Align regions with universe ids via name lookup.
-            let mut by_name: BTreeMap<DnsName, u16> = BTreeMap::new();
-            for s in &self.servers {
-                by_name.insert(s.name.to_lowercase(), s.region);
-            }
-            universe
-                .server_ids()
-                .map(|sid| {
-                    Region(
-                        by_name
-                            .get(&universe.server(sid).name)
-                            .copied()
-                            .unwrap_or(0),
-                    )
-                })
-                .collect()
-        };
-
         // Top-500 by popularity rank.
         let mut by_rank: Vec<usize> = (0..names.len()).collect();
         by_rank.sort_by_key(|&i| names[i].popularity_rank);
         let top500: Vec<usize> = by_rank.into_iter().take(500).collect();
 
-        SyntheticWorld {
-            universe,
-            names,
-            top500,
-            cctld_order: self.cctld_order.clone(),
-            server_regions,
+        WorldPlan {
             zones: self.zones,
             servers: self.servers,
             roots: self.roots,
+            names,
+            top500,
+            cctld_order: self.cctld_order,
         }
     }
 

@@ -25,3 +25,17 @@ pub use dist::{AliasTable, Exponential, LogNormal, Pareto, ZipfTable};
 pub use rng::Rng;
 pub use stats::{Cdf, Histogram, RankCurve, Summary};
 pub use table::{Align, Table};
+
+/// The process's peak resident set (`VmHWM` from `/proc/self/status`),
+/// in MiB. `None` off Linux or when the field is unreadable. Used by the
+/// figures CLI and `bench_smoke` to report memory high-water marks next
+/// to wall-times.
+pub fn peak_rss_mb() -> Option<f64> {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()?
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map(|kb| kb / 1024.0)
+}

@@ -119,29 +119,44 @@ impl Table {
     }
 
     /// Renders the table as RFC4180-style CSV (quoting only when needed).
+    ///
+    /// Materializes the whole table as one `String`; for paper-scale
+    /// tables prefer [`Table::write_csv`], which streams row by row.
     pub fn render_csv(&self) -> String {
-        let mut out = String::new();
-        let emit = |out: &mut String, cells: &[String]| {
-            for (i, cell) in cells.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
-                    out.push('"');
-                    out.push_str(&cell.replace('"', "\"\""));
-                    out.push('"');
-                } else {
-                    out.push_str(cell);
-                }
-            }
-            out.push('\n');
-        };
-        emit(&mut out, &self.headers);
-        for row in &self.rows {
-            emit(&mut out, row);
-        }
-        out
+        let mut out = Vec::new();
+        self.write_csv(&mut out).expect("write to Vec cannot fail");
+        String::from_utf8(out).expect("CSV output is UTF-8")
     }
+
+    /// Streams the table as RFC4180-style CSV into `writer`, one row at
+    /// a time — byte-identical to [`Table::render_csv`] but never
+    /// buffering more than a single row, which is what keeps
+    /// paper-scale exports (hundreds of thousands of CDF rows) flat in
+    /// memory.
+    pub fn write_csv<W: std::io::Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        write_csv_row(writer, &self.headers)?;
+        for row in &self.rows {
+            write_csv_row(writer, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes one CSV row (RFC4180 quoting only when needed) to `writer`.
+pub fn write_csv_row<W: std::io::Write>(writer: &mut W, cells: &[String]) -> std::io::Result<()> {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            writer.write_all(b",")?;
+        }
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            writer.write_all(b"\"")?;
+            writer.write_all(cell.replace('"', "\"\"").as_bytes())?;
+            writer.write_all(b"\"")?;
+        } else {
+            writer.write_all(cell.as_bytes())?;
+        }
+    }
+    writer.write_all(b"\n")
 }
 
 /// Formats a float with `digits` decimal places, trimming a trailing ".0" for

@@ -1,0 +1,115 @@
+//! Namespace-rot sweep: chart hijackability and zombie delegations
+//! against the `stale_delegation_fraction` generator knob.
+//!
+//! The knob (PR 4) decays a fraction of second-level delegations: half
+//! the decayed domains lose their whole NS set to hosts under a vanished
+//! branch (a zombie delegation — their names become orphaned), the rest
+//! gain one dead secondary. This example sweeps the knob over a grid and
+//! runs the full streamed survey at each point, printing the fractions
+//! the decay moves: completely-hijackable names (min-cut fully
+//! vulnerable), names with a dead server in their TCB, and orphaned
+//! names, plus the universe-wide zombie-zone count.
+//!
+//! ```text
+//! cargo run --release --example stale_sweep [-- --scale tiny|default] [--seed N]
+//! ```
+
+use perils::core::metric::columns;
+use perils::core::ZombieDelegationMetric;
+use perils::survey::{Engine, SurveyReport, SyntheticSource, TopologyParams};
+use perils::util::table::{Align, Table};
+use std::num::NonZeroUsize;
+
+const GRID: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
+
+fn fraction(count: usize, total: usize) -> String {
+    format!("{:.1}%", 100.0 * count as f64 / total.max(1) as f64)
+}
+
+fn measure(report: &SurveyReport) -> Vec<String> {
+    let n = report.world.names.len();
+    let cut_size = report.counts(columns::CUT_SIZE);
+    let safe_in_cut = report.counts(columns::SAFE_IN_CUT);
+    let hijackable = cut_size
+        .iter()
+        .zip(safe_in_cut)
+        .filter(|&(&size, &safe)| size > 0 && safe == 0)
+        .count();
+    let dead_in_tcb = report
+        .counts(columns::ZOMBIE_DEAD_IN_TCB)
+        .iter()
+        .filter(|&&d| d > 0)
+        .count();
+    let orphaned = report
+        .counts(columns::ZOMBIE_ORPHANED)
+        .iter()
+        .filter(|&&o| o > 0)
+        .count();
+    // zombie_zones is a per-name count of zombie zones in the closure;
+    // the universe-wide zone count comes from the max over chains only
+    // when decay hits a chain, so report names-seeing-zombies instead.
+    let sees_zombie = report
+        .counts(columns::ZOMBIE_ZONES)
+        .iter()
+        .filter(|&&z| z > 0)
+        .count();
+    vec![
+        fraction(hijackable, n),
+        fraction(dead_in_tcb, n),
+        fraction(sees_zombie, n),
+        fraction(orphaned, n),
+    ]
+}
+
+fn main() {
+    let mut scale = "tiny".to_string();
+    let mut seed = 20040722u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().expect("--scale needs tiny|default"),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let base = match scale.as_str() {
+        "tiny" => TopologyParams::tiny(seed),
+        "default" => TopologyParams::default_scaled(seed),
+        other => panic!("unknown scale {other:?} (tiny|default)"),
+    };
+
+    let engine = Engine::with_builtin_metrics().register(ZombieDelegationMetric);
+    let mut table = Table::new(vec![
+        "stale_fraction",
+        "hijackable",
+        "dead in TCB",
+        "sees zombie zone",
+        "orphaned",
+    ])
+    .align(vec![Align::Right; 5]);
+    println!("sweeping stale_delegation_fraction at scale {scale}, seed {seed}...");
+    for stale in GRID {
+        let mut params = base.clone();
+        params.stale_delegation_fraction = stale;
+        // The streamed bounded-memory pass end to end: the generator
+        // hands the engine events, names flow through in batches.
+        let report = engine.run_batched(
+            SyntheticSource { params },
+            NonZeroUsize::new(4096).expect("non-zero"),
+        );
+        let mut row = vec![format!("{stale:.2}")];
+        row.extend(measure(&report));
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nDecay perturbs delegations only (dedicated RNG stream): the 0.00 row\n\
+         reproduces the clean world bit-for-bit, and each step adds rot on top\n\
+         of the identical crawl sample."
+    );
+}

@@ -158,6 +158,51 @@
 //! // Two machines suffice to take fbi.gov offline (§3.2).
 //! assert_eq!(report.cut_size()[0], 2);
 //! ```
+//!
+//! ## Streaming ingestion: bounded-memory universe building
+//!
+//! Worlds enter the engine as **streams**, not materialized blobs: every
+//! [`survey::WorldSource`] emits a [`survey::WorldStream`] — incremental
+//! [`core::UniverseEvent`]s followed by the surveyed names — and
+//! `perils_core`'s incremental [`core::UniverseBuilder`] interns zones
+//! and servers as events arrive, resolving parent/home-zone links on the
+//! fly, fixing up servers first seen as bare NS references, and queueing
+//! glue that outruns its zone. Peak memory is set by the *universe*, not
+//! the feed, and real zone-file data plugs straight in through
+//! [`dns::master::ZoneFileEvents`]:
+//!
+//! ```
+//! use perils::core::universe::Universe;
+//! use perils::dns::master::ZoneFileEvents;
+//! use perils::dns::name::name;
+//!
+//! // A zone file streams delegation events record by record (no Zone,
+//! // no registry, no SOA requirement — one event per NS/A record)...
+//! let file = "\
+//! $ORIGIN example.com.
+//! ns1  IN A 10.0.0.1      ; glue may precede its NS set: it queues
+//! @    IN NS ns1.example.com.
+//! @    IN NS ns2.example.com.
+//! sub  IN NS ns.sub.example.com.
+//! ";
+//! let mut builder = Universe::builder();
+//! for event in ZoneFileEvents::new(file, &name(".")) {
+//!     builder.apply_zone_event(event.unwrap());
+//! }
+//! assert_eq!(builder.glue_of(&name("ns1.example.com")).len(), 1);
+//! let universe = builder.finish();
+//! assert_eq!(universe.zone_count(), 2); // example.com + sub.example.com
+//!
+//! // The engine consumes the same shape through WorldSource::stream():
+//! // run_batched builds the universe from events, then pulls names in
+//! // bounded batches — byte-identical to run() at every batch size.
+//! use perils::survey::{Engine, SyntheticSource, TopologyParams};
+//! use std::num::NonZeroUsize;
+//! let source = SyntheticSource { params: TopologyParams::tiny(1) };
+//! let streamed = Engine::with_builtin_metrics()
+//!     .run_batched(source, NonZeroUsize::new(64).unwrap());
+//! assert!(!streamed.tcb_sizes().is_empty());
+//! ```
 
 pub use perils_authserver as authserver;
 pub use perils_core as core;
