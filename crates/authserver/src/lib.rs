@@ -9,6 +9,8 @@
 //! query according to their [`BannerPolicy`] — the fingerprinting channel
 //! the paper's survey used to find 27k vulnerable servers.
 
+#![forbid(unsafe_code)]
+
 pub mod deploy;
 pub mod scenarios;
 pub mod server;

@@ -303,6 +303,15 @@ pub fn fbi_case() -> Scenario {
         // under .com) — the transitive step.
         ns(z, "fbi.gov", "dns.sprintip.com");
         ns(z, "fbi.gov", "dns2.sprintip.com");
+        // usdoj.gov: one live glued NS plus a stale record pointing into
+        // an unmodeled namespace — the lame delegation the survey found
+        // everywhere. Off www.fbi.gov's dependency chain by design.
+        ns(z, "usdoj.gov", "ns1.usdoj.gov");
+        a(z, "ns1.usdoj.gov", "2.0.2.1");
+        ns(z, "usdoj.gov", "ns.usdoj-archive.zz");
+        // fedworld.gov: the registry still carries the cut, but the child
+        // zone itself is long gone — its NS glue is orphaned.
+        ns(z, "fedworld.gov", "ns.fedworld.zz");
     });
     b.zone("com", "a.gtld-servers.net", |z| {
         ns(z, "com", "a.gtld-servers.net");
@@ -350,6 +359,11 @@ pub fn fbi_case() -> Scenario {
         a(z, "reston-ns2.telemail.net", "7.0.0.2");
         a(z, "reston-ns3.telemail.net", "7.0.0.3");
     });
+    b.zone("usdoj.gov", "ns1.usdoj.gov", |z| {
+        ns(z, "usdoj.gov", "ns1.usdoj.gov");
+        a(z, "ns1.usdoj.gov", "2.0.2.1");
+        a(z, "www.usdoj.gov", "8.0.1.80");
+    });
 
     b.server(
         "a.root-servers.net",
@@ -391,12 +405,227 @@ pub fn fbi_case() -> Scenario {
         "9.2.2",
         &["sprintip.com"],
     );
+    b.server("ns1.usdoj.gov", "2.0.2.1", "9.2.3", &["usdoj.gov"]);
 
     Scenario {
         registry: b.registry,
         specs: b.specs,
         roots: vec![(name("a.root-servers.net"), "1.0.0.1".parse().unwrap())],
     }
+}
+
+/// A deliberately pathological universe that trips every built-in lint
+/// rule at least once — the lint engine's golden fixture.
+///
+/// Under a healthy root and a two-server `test` TLD:
+///
+/// * `solo.test` — one NS (`single-server`);
+/// * `corr.test` — both NS under `prov.test` (`single-operator`);
+/// * `dangling.test` — one live NS plus a dead `.zz` host
+///   (`lame-delegation`);
+/// * `x.test` ↔ `y.test` — mutually glueless, unbootstrappable
+///   (`glueless-cycle`);
+/// * `stale.test` — every NS dead (`zombie-ns`);
+/// * `deep0.test → deep1 → deep2 → deep3` — a glueless chain three
+///   levels deep (`deep-chain` on `www.deep0.test`);
+/// * `fat.test → bloat1 → … → bloat4` — one delegated NS dragging in a
+///   five-server closure (`tcb-inflation` on `www.fat.test`);
+/// * `choke.test` — a single glued NS every path crosses
+///   (`choke-point` on `www.choke.test`);
+/// * a `ghostchild.test` cut whose child zone no longer exists
+///   (`orphaned-glue` on `ns.ghostchild-legacy.zz`).
+///
+/// Not part of the healthy-scenario test lists: this universe is *meant*
+/// to be broken.
+pub fn lint_tripwire() -> Scenario {
+    let mut b = Builder::new();
+
+    b.zone(".", "a.root-servers.net", |z| {
+        ns(z, ".", "a.root-servers.net");
+        a(z, "a.root-servers.net", "1.0.0.1");
+        ns(z, "test", "ns1.test");
+        ns(z, "test", "ns2.test");
+        a(z, "ns1.test", "2.0.0.1");
+        a(z, "ns2.test", "2.0.0.2");
+        ns(z, "root-servers.net", "a.root-servers.net");
+    });
+    b.zone("test", "ns1.test", |z| {
+        ns(z, "test", "ns1.test");
+        ns(z, "test", "ns2.test");
+        a(z, "ns1.test", "2.0.0.1");
+        a(z, "ns2.test", "2.0.0.2");
+        // One pathology per delegation, each glued where the rule needs
+        // the zone alive and glueless where it needs it broken.
+        ns(z, "solo.test", "ns1.solo.test");
+        a(z, "ns1.solo.test", "3.0.0.1");
+        ns(z, "corr.test", "ns1.prov.test");
+        ns(z, "corr.test", "ns2.prov.test");
+        ns(z, "prov.test", "ns1.prov.test");
+        ns(z, "prov.test", "ns2.prov.test");
+        a(z, "ns1.prov.test", "3.0.1.1");
+        a(z, "ns2.prov.test", "3.0.1.2");
+        ns(z, "dangling.test", "ns1.dangling.test");
+        ns(z, "dangling.test", "ns.ghost.zz");
+        a(z, "ns1.dangling.test", "3.0.2.1");
+        ns(z, "x.test", "ns.y.test");
+        ns(z, "y.test", "ns.x.test");
+        ns(z, "stale.test", "ns1.gone.zz");
+        ns(z, "stale.test", "ns2.gone.zz");
+        ns(z, "deep0.test", "ns.deep1.test");
+        ns(z, "deep1.test", "ns.deep2.test");
+        ns(z, "deep2.test", "ns.deep3.test");
+        ns(z, "deep3.test", "ns.deep3.test");
+        a(z, "ns.deep3.test", "3.0.3.1");
+        ns(z, "fat.test", "ns.bloat1.test");
+        ns(z, "bloat1.test", "ns.bloat2.test");
+        ns(z, "bloat2.test", "ns.bloat3.test");
+        ns(z, "bloat3.test", "ns.bloat4.test");
+        ns(z, "bloat4.test", "ns.bloat4.test");
+        a(z, "ns.bloat4.test", "3.0.4.1");
+        ns(z, "choke.test", "ns1.choke.test");
+        a(z, "ns1.choke.test", "3.0.5.1");
+        // The orphan: a cut whose child zone has vanished.
+        ns(z, "ghostchild.test", "ns.ghostchild-legacy.zz");
+    });
+    b.zone("root-servers.net", "a.root-servers.net", |z| {
+        ns(z, "root-servers.net", "a.root-servers.net");
+        a(z, "a.root-servers.net", "1.0.0.1");
+    });
+    b.zone("solo.test", "ns1.solo.test", |z| {
+        ns(z, "solo.test", "ns1.solo.test");
+        a(z, "ns1.solo.test", "3.0.0.1");
+        a(z, "www.solo.test", "4.0.0.80");
+    });
+    b.zone("corr.test", "ns1.prov.test", |z| {
+        ns(z, "corr.test", "ns1.prov.test");
+        ns(z, "corr.test", "ns2.prov.test");
+        a(z, "www.corr.test", "4.0.1.80");
+    });
+    b.zone("prov.test", "ns1.prov.test", |z| {
+        ns(z, "prov.test", "ns1.prov.test");
+        ns(z, "prov.test", "ns2.prov.test");
+        a(z, "ns1.prov.test", "3.0.1.1");
+        a(z, "ns2.prov.test", "3.0.1.2");
+    });
+    b.zone("dangling.test", "ns1.dangling.test", |z| {
+        ns(z, "dangling.test", "ns1.dangling.test");
+        ns(z, "dangling.test", "ns.ghost.zz");
+        a(z, "ns1.dangling.test", "3.0.2.1");
+        a(z, "www.dangling.test", "4.0.2.80");
+    });
+    b.zone("x.test", "ns.y.test", |z| {
+        ns(z, "x.test", "ns.y.test");
+        a(z, "www.x.test", "4.0.3.80");
+    });
+    b.zone("y.test", "ns.x.test", |z| {
+        ns(z, "y.test", "ns.x.test");
+    });
+    b.zone("stale.test", "ns1.gone.zz", |z| {
+        ns(z, "stale.test", "ns1.gone.zz");
+        ns(z, "stale.test", "ns2.gone.zz");
+        a(z, "www.stale.test", "4.0.4.80");
+    });
+    b.zone("deep0.test", "ns.deep1.test", |z| {
+        ns(z, "deep0.test", "ns.deep1.test");
+        a(z, "www.deep0.test", "4.0.5.80");
+    });
+    b.zone("deep1.test", "ns.deep2.test", |z| {
+        ns(z, "deep1.test", "ns.deep2.test");
+    });
+    b.zone("deep2.test", "ns.deep3.test", |z| {
+        ns(z, "deep2.test", "ns.deep3.test");
+    });
+    b.zone("deep3.test", "ns.deep3.test", |z| {
+        ns(z, "deep3.test", "ns.deep3.test");
+        a(z, "ns.deep3.test", "3.0.3.1");
+    });
+    b.zone("fat.test", "ns.bloat1.test", |z| {
+        ns(z, "fat.test", "ns.bloat1.test");
+        a(z, "www.fat.test", "4.0.6.80");
+    });
+    b.zone("bloat1.test", "ns.bloat2.test", |z| {
+        ns(z, "bloat1.test", "ns.bloat2.test");
+    });
+    b.zone("bloat2.test", "ns.bloat3.test", |z| {
+        ns(z, "bloat2.test", "ns.bloat3.test");
+    });
+    b.zone("bloat3.test", "ns.bloat4.test", |z| {
+        ns(z, "bloat3.test", "ns.bloat4.test");
+    });
+    b.zone("bloat4.test", "ns.bloat4.test", |z| {
+        ns(z, "bloat4.test", "ns.bloat4.test");
+        a(z, "ns.bloat4.test", "3.0.4.1");
+    });
+    b.zone("choke.test", "ns1.choke.test", |z| {
+        ns(z, "choke.test", "ns1.choke.test");
+        a(z, "ns1.choke.test", "3.0.5.1");
+        a(z, "www.choke.test", "4.0.7.80");
+    });
+
+    b.server(
+        "a.root-servers.net",
+        "1.0.0.1",
+        "9.2.3",
+        &[".", "root-servers.net"],
+    );
+    b.server("ns1.test", "2.0.0.1", "9.2.3", &["test"]);
+    b.server("ns2.test", "2.0.0.2", "9.2.3", &["test"]);
+    b.server("ns1.solo.test", "3.0.0.1", "9.2.3", &["solo.test"]);
+    b.server(
+        "ns1.prov.test",
+        "3.0.1.1",
+        "9.2.3",
+        &["corr.test", "prov.test"],
+    );
+    b.server(
+        "ns2.prov.test",
+        "3.0.1.2",
+        "9.2.3",
+        &["corr.test", "prov.test"],
+    );
+    b.server("ns1.dangling.test", "3.0.2.1", "8.2.4", &["dangling.test"]);
+    b.server("ns.deep1.test", "3.0.3.2", "9.2.3", &["deep0.test"]);
+    b.server("ns.deep2.test", "3.0.3.3", "9.2.3", &["deep1.test"]);
+    b.server(
+        "ns.deep3.test",
+        "3.0.3.1",
+        "9.2.3",
+        &["deep2.test", "deep3.test"],
+    );
+    b.server("ns.bloat1.test", "3.0.4.2", "9.2.3", &["fat.test"]);
+    b.server("ns.bloat2.test", "3.0.4.3", "9.2.3", &["bloat1.test"]);
+    b.server("ns.bloat3.test", "3.0.4.4", "9.2.3", &["bloat2.test"]);
+    b.server(
+        "ns.bloat4.test",
+        "3.0.4.1",
+        "9.2.3",
+        &["bloat3.test", "bloat4.test"],
+    );
+    b.server("ns1.choke.test", "3.0.5.1", "9.2.3", &["choke.test"]);
+
+    Scenario {
+        registry: b.registry,
+        specs: b.specs,
+        roots: vec![(name("a.root-servers.net"), "1.0.0.1".parse().unwrap())],
+    }
+}
+
+/// The survey targets the lint goldens check `lint_tripwire` against:
+/// one name per pathology family.
+pub fn lint_tripwire_targets() -> Vec<DnsName> {
+    [
+        "www.solo.test",
+        "www.corr.test",
+        "www.dangling.test",
+        "www.x.test",
+        "www.stale.test",
+        "www.deep0.test",
+        "www.fat.test",
+        "www.choke.test",
+    ]
+    .iter()
+    .map(|n| name(n))
+    .collect()
 }
 
 #[cfg(test)]

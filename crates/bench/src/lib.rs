@@ -4,6 +4,8 @@
 //! `cargo bench` pass regenerates every figure's computation in minutes;
 //! the `figures` binary covers the full default/paper scales.
 
+#![forbid(unsafe_code)]
+
 use perils_survey::driver::{run_survey, SurveyConfig, SurveyReport};
 use perils_survey::params::TopologyParams;
 use std::sync::OnceLock;

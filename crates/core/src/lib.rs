@@ -30,13 +30,18 @@
 //! * [`misconfig`] — configuration-error audits (single-homed zones,
 //!   unresolvable NS, glueless cycles, deep dependency nesting);
 //! * [`zombie`] — zombie-delegation analysis: names whose NS sets resolve
-//!   only to dead/unreachable infrastructure.
+//!   only to dead/unreachable infrastructure;
+//! * [`lint`] — the delegation lint engine: per-subject diagnostics with
+//!   evidence chains, driven by a pluggable [`LintRule`] registry.
+
+#![forbid(unsafe_code)]
 
 pub mod attack;
 pub mod closure;
 pub mod delegation;
 pub mod dnssec;
 pub mod hijack;
+pub mod lint;
 pub mod metric;
 pub mod misconfig;
 pub mod tcb;
@@ -48,6 +53,10 @@ pub mod zombie;
 pub use closure::{ClosureView, ClosureWorkspace, DependencyIndex, NameClosure};
 pub use dnssec::{DeploymentPolicy, DnssecCoverageMetric};
 pub use hijack::{HijackAnalysis, HijackSet};
+pub use lint::{
+    check_universe, Diagnostic, EvidenceStep, LintCtx, LintError, LintIndex, LintRule,
+    RuleRegistry, Severity, SeverityOverrides, Subject,
+};
 pub use metric::{
     ColumnKind, MeasureCtx, MetricColumn, MetricShard, MinCutMetric, NameMetric, PreparedState,
     TcbMetric, ValueMetric,

@@ -238,6 +238,12 @@ pub fn audit_names(universe: &Universe, names: &[DnsName], depth_threshold: usiz
 #[derive(Debug, Clone)]
 pub struct DepthIndex {
     depth: Vec<usize>,
+    component_of: Vec<usize>,
+    /// Multi-member SCCs of the glueless graph — the mutual-secondary
+    /// cycles — each member list ascending by server id.
+    cycles: Vec<Vec<ServerId>>,
+    /// Per component: its index into `cycles` when it is one.
+    cycle_index: Vec<Option<u32>>,
 }
 
 impl DepthIndex {
@@ -280,16 +286,45 @@ impl DepthIndex {
             }
             component_depth[c] = best;
         }
+        // Record the multi-member components: those are the glueless
+        // dependency cycles the lint engine reports as evidence.
+        let mut members: Vec<Vec<ServerId>> = vec![Vec::new(); scc.count()];
+        for i in 0..n {
+            members[scc.component_of[i]].push(ServerId(i as u32));
+        }
+        let mut cycles = Vec::new();
+        let mut cycle_index = vec![None; scc.count()];
+        for (c, m) in members.into_iter().enumerate() {
+            if m.len() >= 2 {
+                cycle_index[c] = Some(cycles.len() as u32);
+                cycles.push(m);
+            }
+        }
         DepthIndex {
             depth: (0..n)
                 .map(|i| component_depth[scc.component_of[i]])
                 .collect(),
+            component_of: scc.component_of,
+            cycles,
+            cycle_index,
         }
     }
 
     /// Glueless nesting depth of `server`'s own address resolution.
     pub fn depth_of_server(&self, server: ServerId) -> usize {
         self.depth[server.index()]
+    }
+
+    /// The glueless dependency cycle `server` belongs to, when it sits on
+    /// a multi-member SCC of the glueless graph (members ascending by id).
+    pub fn cycle_of(&self, server: ServerId) -> Option<&[ServerId]> {
+        self.cycle_index[self.component_of[server.index()]]
+            .map(|i| self.cycles[i as usize].as_slice())
+    }
+
+    /// Every glueless dependency cycle in the universe.
+    pub fn cycles(&self) -> &[Vec<ServerId>] {
+        &self.cycles
     }
 
     /// Glueless nesting depth of resolving `name`: the deepest chain of
@@ -352,24 +387,15 @@ pub struct MisconfigIndex {
 
 impl MisconfigIndex {
     /// Builds the index (O(zones × NS + servers + edges)).
+    ///
+    /// The per-zone flag bits are derived from the lint rules
+    /// ([`crate::lint::zone_structural_flags`]), so the aggregate metric
+    /// and the per-subject diagnostics cannot drift apart: both paths run
+    /// the same predicates.
     pub fn build(universe: &Universe) -> MisconfigIndex {
         let mut zone_flags = vec![0usize; universe.zone_count()];
         for zid in universe.zone_ids() {
-            let zone = universe.zone(zid);
-            if zone.origin.is_root() {
-                continue;
-            }
-            let mut flags = 0usize;
-            if zone.ns.len() == 1 {
-                flags |= FLAG_SINGLE_SERVER;
-            }
-            if single_operator(universe, zid).is_some() {
-                flags |= FLAG_SINGLE_OPERATOR;
-            }
-            if !unresolvable_ns(universe, zid).is_empty() {
-                flags |= FLAG_UNRESOLVABLE_NS;
-            }
-            zone_flags[zid.index()] = flags;
+            zone_flags[zid.index()] = crate::lint::zone_structural_flags(universe, zid);
         }
         MisconfigIndex {
             zone_flags,
@@ -406,7 +432,12 @@ impl MetricShard for MisconfigShard {
             .map(|&zid| self.index.zone_flags(zid))
             .unwrap_or(0);
         let depth = self.index.depths().depth_of_chain(ctx.universe, chain);
-        if depth > self.threshold {
+        // Same threshold predicate as the `deep-chain` lint rule.
+        if (crate::lint::DeepChainRule {
+            threshold: self.threshold,
+        })
+        .exceeds(depth)
+        {
             flags |= FLAG_DEEP_DEPENDENCY;
         }
         self.flags[slot] = flags;

@@ -23,6 +23,8 @@
 //! The crate is IO-free: transport lives in `perils-netsim`, and server
 //! behaviour in `perils-authserver`.
 
+#![forbid(unsafe_code)]
+
 pub mod interner;
 pub mod master;
 pub mod message;

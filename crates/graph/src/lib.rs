@@ -18,6 +18,8 @@
 //! * [`dom`] — dominator computation, an alternative single-point-of-failure
 //!   analysis used by the ablation benches.
 
+#![forbid(unsafe_code)]
+
 pub mod bitset;
 pub mod csr;
 pub mod digraph;

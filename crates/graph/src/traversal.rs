@@ -94,6 +94,43 @@ pub fn topo_sort<N>(graph: &DiGraph<N>) -> Option<Vec<NodeId>> {
     (order.len() == n).then_some(order)
 }
 
+/// A shortest (fewest-edges) path from `from` to `to`, both inclusive,
+/// via BFS with parent reconstruction. `None` when `to` is unreachable
+/// from `from`.
+///
+/// Used by the lint engine to extract cut-witness paths from delegation
+/// graphs: the evidence for a `choke-point` finding is a concrete
+/// source → cut-server → target path, which is exactly two of these.
+pub fn shortest_path<N>(graph: &DiGraph<N>, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; graph.node_count()];
+    let mut seen = BitSet::new(graph.node_count());
+    seen.insert(from.index());
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    while let Some(node) = queue.pop_front() {
+        for &next in graph.out_neighbors(node) {
+            if seen.insert(next.index()) {
+                parent[next.index()] = Some(node);
+                if next == to {
+                    let mut path = vec![to];
+                    let mut cursor = to;
+                    while let Some(p) = parent[cursor.index()] {
+                        path.push(p);
+                        cursor = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
 /// Per-node transitive closure: `closure[v]` contains every node reachable
 /// from `v` (including `v`).
 ///
@@ -178,6 +215,18 @@ mod tests {
         assert_eq!(closure[d.index()].len(), 1);
         assert!(closure[b.index()].contains(d.index()));
         assert!(!closure[b.index()].contains(a.index()));
+    }
+
+    #[test]
+    fn shortest_path_finds_a_minimal_route() {
+        let (g, [a, b, c, d]) = diamond();
+        let path = shortest_path(&g, a, d).expect("reachable");
+        assert_eq!(path.len(), 3, "two hops through either arm");
+        assert_eq!(path[0], a);
+        assert_eq!(*path.last().unwrap(), d);
+        assert!(path[1] == b || path[1] == c);
+        assert_eq!(shortest_path(&g, a, a), Some(vec![a]));
+        assert_eq!(shortest_path(&g, d, a), None, "edges are directed");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! Everything is synchronous and deterministic: given the same seed and the
 //! same sequence of calls, a simulation replays byte-for-byte.
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod fault;
 pub mod net;

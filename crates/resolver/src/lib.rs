@@ -18,6 +18,8 @@
 //!   nameserver name's own delegation chain, plus `version.bind`
 //!   fingerprinting of each discovered server.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod iterative;
 pub mod probe;

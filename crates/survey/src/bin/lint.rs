@@ -1,0 +1,223 @@
+//! Lints a delegation universe and reports per-subject diagnostics with
+//! evidence chains.
+//!
+//! ```text
+//! cargo run --release -p perils-survey --bin lint -- \
+//!     [--world fbi|cornell|tripwire|tiny] [--seed N] [--threads N]
+//!     [--list-rules] [--allow RULE] [--warn RULE] [--deny RULE]
+//!     [--format text|json|sarif] [--out FILE]
+//! ```
+//!
+//! Severity overrides are repeatable and validated against the registry:
+//! `--allow RULE` suppresses a rule's findings, `--warn`/`--deny` re-level
+//! them (deny-level findings gate the exit code). Unknown rule ids are
+//! usage errors (exit 2), matching the figures CLI error contract.
+//!
+//! Exit codes: **0** — clean or warnings only; **1** — at least one
+//! deny-level finding (the CI gate); **2** — usage error (unknown flag,
+//! malformed value, unknown rule id).
+
+use perils_authserver::scenarios::{
+    cornell_figure1, fbi_case, lint_tripwire, lint_tripwire_targets,
+};
+use perils_core::lint::{RuleRegistry, Severity, SeverityOverrides};
+use perils_core::universe::Universe;
+use perils_dns::name::{name, DnsName};
+use perils_survey::driver::SurveyConfig;
+use perils_survey::engine::{SyntheticSource, WorldSource};
+use perils_survey::lint::{run_lint, LintFormat};
+use perils_survey::scenario::universe_from_scenario;
+use std::num::NonZeroUsize;
+
+const USAGE: &str = "usage: lint [--world fbi|cornell|tripwire|tiny] [--seed N] [--threads N]
+            [--list-rules] [--allow RULE] [--warn RULE] [--deny RULE]
+            [--format text|json|sarif] [--out FILE]
+
+  --world WORLD   universe to lint: the fbi.gov case study (default), the
+                  Figure 1 cornell web, the all-pathologies tripwire
+                  fixture, or a seeded tiny synthetic survey
+  --seed N        synthetic seed (tiny world only; default 20040722)
+  --threads N     worker threads (default: available parallelism, max 16);
+                  output is byte-identical for every choice
+  --list-rules    print the rule registry (id, default severity,
+                  description) and exit
+  --allow RULE    suppress RULE's findings          (repeatable)
+  --warn RULE     report RULE's findings as warnings (repeatable)
+  --deny RULE     report RULE's findings as errors   (repeatable)
+  --format FMT    text (rustc-style, default) | json | sarif (2.1.0)
+  --out FILE      write the report to FILE instead of stdout
+
+exit codes: 0 = clean or warnings only; 1 = deny-level findings present;
+            2 = usage error (unknown flag, value, or rule id)";
+
+/// Prints a usage error and exits with status 2 (never panics on bad
+/// arguments).
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    world: String,
+    seed: u64,
+    threads: Option<NonZeroUsize>,
+    list_rules: bool,
+    overrides: Vec<(String, Severity)>,
+    format: LintFormat,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        world: "fbi".to_string(),
+        seed: 20040722, // 2004-07-22, the paper's crawl date
+        threads: None,
+        list_rules: false,
+        overrides: Vec::new(),
+        format: LintFormat::Text,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--world" => {
+                parsed.world = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--world needs a value"));
+            }
+            "--seed" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--seed needs an integer"));
+                parsed.seed = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("malformed --seed {raw:?}")));
+            }
+            "--threads" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--threads needs an integer"));
+                parsed.threads = Some(
+                    raw.parse()
+                        .unwrap_or_else(|_| usage_error(&format!("malformed --threads {raw:?}"))),
+                );
+            }
+            "--list-rules" => parsed.list_rules = true,
+            "--allow" | "--warn" | "--deny" => {
+                let severity = Severity::parse(&arg[2..]).expect("flag names are labels");
+                let rule = args
+                    .next()
+                    .unwrap_or_else(|| usage_error(&format!("{arg} needs a rule id")));
+                parsed.overrides.push((rule, severity));
+            }
+            "--format" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--format needs text|json|sarif"));
+                parsed.format = LintFormat::parse(&raw)
+                    .unwrap_or_else(|| usage_error(&format!("unknown format {raw:?}")));
+            }
+            "--out" => parsed.out = args.next().or_else(|| usage_error("--out needs FILE")),
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    parsed
+}
+
+/// Resolves `--world` into a universe and its survey targets.
+fn load_world(world: &str, seed: u64) -> (Universe, Vec<DnsName>) {
+    match world {
+        "fbi" => (
+            universe_from_scenario(&fbi_case()),
+            vec![
+                name("www.fbi.gov"),
+                name("www.sprintip.com"),
+                name("www.telemail.net"),
+            ],
+        ),
+        "cornell" => (
+            universe_from_scenario(&cornell_figure1()),
+            vec![name("www.cs.cornell.edu"), name("www.cornell.edu")],
+        ),
+        "tripwire" => (
+            universe_from_scenario(&lint_tripwire()),
+            lint_tripwire_targets(),
+        ),
+        "tiny" => {
+            let config = SurveyConfig::tiny(seed);
+            let world = SyntheticSource {
+                params: config.params,
+            }
+            .load();
+            let names = world.names.into_iter().map(|n| n.name).collect();
+            (world.universe, names)
+        }
+        other => usage_error(&format!(
+            "unknown world {other:?} (fbi|cornell|tripwire|tiny)"
+        )),
+    }
+}
+
+fn print_rule_list(registry: &RuleRegistry) {
+    let mut table = perils_util::table::Table::new(vec!["rule", "default", "description"]);
+    for rule in registry.iter() {
+        table.row(vec![
+            rule.id().to_string(),
+            rule.default_severity().label().to_string(),
+            rule.describe().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn main() {
+    let args = parse_args();
+    let registry = RuleRegistry::builtin();
+
+    if args.list_rules {
+        print_rule_list(&registry);
+        return;
+    }
+
+    // Validate severity overrides up front: unknown rule ids are typed
+    // errors surfaced as usage errors, not panics.
+    let mut overrides = SeverityOverrides::new();
+    for (rule, severity) in &args.overrides {
+        if let Err(error) = overrides.set(&registry, rule, *severity) {
+            usage_error(&error.to_string());
+        }
+    }
+
+    let (universe, targets) = load_world(&args.world, args.seed);
+    eprintln!(
+        "linting world {:?}: {} zones, {} servers, {} target names...",
+        args.world,
+        universe.zone_count(),
+        universe.server_count(),
+        targets.len(),
+    );
+    let report = run_lint(&universe, &targets, &registry, &overrides, args.threads);
+    eprintln!(
+        "{} finding(s): {} deny, {} warn",
+        report.diagnostics.len(),
+        report.count(Severity::Deny),
+        report.count(Severity::Warn),
+    );
+
+    let rendered = report.emit(args.format);
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("error: writing {path:?} failed: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote report to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+
+    if report.has_deny() {
+        std::process::exit(1);
+    }
+}

@@ -35,9 +35,12 @@
 //! stage ever needs the whole feed in memory. Materialized loading
 //! ([`engine::WorldSource::load`]) is a thin collector over the stream.
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod engine;
 pub mod figures;
+pub mod lint;
 pub mod params;
 pub mod render;
 pub mod scenario;
@@ -48,6 +51,7 @@ pub use engine::{
     AnalysisWorld, Engine, ProbedSource, ReportError, ScenarioSource, SurveyReport,
     SyntheticSource, WorldSource, WorldStream,
 };
+pub use lint::{run_lint, LintFormat, LintReport, RuleMeta};
 pub use params::TopologyParams;
 pub use render::{
     DirectorySink, Figure, FigureError, FigureOutcome, FigureRegistry, RenderedFigure, ReportSink,

@@ -1,0 +1,407 @@
+//! The sharded lint runner and its output sinks.
+//!
+//! [`run_lint`] is the survey-side driver for [`perils_core::lint`]: it
+//! builds the dependency index and shared [`LintIndex`] facts once, then
+//! shards the three subject axes (zones, servers, surveyed names) over
+//! the same crossbeam worker pool the metric engine uses. Each worker
+//! runs every registered rule over its contiguous sub-ranges; shards are
+//! merged rule-major in range order, so the diagnostic stream — and
+//! every rendered byte — is invariant under thread count (the
+//! `stream_equivalence` suite pins this).
+//!
+//! Three sinks serialize a [`LintReport`]: rustc-style text for humans,
+//! a findings/rules/summary JSON document, and SARIF 2.1.0 for code
+//! scanning UIs and CI annotation.
+
+use perils_core::lint::{
+    check_universe, Diagnostic, LintCtx, LintIndex, RuleRegistry, Severity, SeverityOverrides,
+};
+use perils_core::universe::{ServerId, Universe, ZoneId};
+use perils_core::DependencyIndex;
+use perils_dns::name::DnsName;
+use perils_util::json::push_json_string;
+use std::num::NonZeroUsize;
+
+/// A rule's listing entry: its id, *effective* severity (defaults plus
+/// any overrides), and description. Registry order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleMeta {
+    /// Stable rule id.
+    pub id: &'static str,
+    /// Effective severity for this run.
+    pub severity: Severity,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// The outcome of a lint run: the merged diagnostics (severities
+/// re-stamped by overrides, `allow`-level findings dropped) plus the
+/// rule listing and subject counts the sinks summarize.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Every reported diagnostic, in rule-major, subject-range order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every registered rule with its effective severity.
+    pub rules: Vec<RuleMeta>,
+    /// Zones checked.
+    pub zones: usize,
+    /// Servers checked.
+    pub servers: usize,
+    /// Surveyed names checked.
+    pub names: usize,
+}
+
+impl LintReport {
+    /// Whether any reported finding is deny-level (the CI/exit-1 gate).
+    pub fn has_deny(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Deny)
+    }
+
+    /// Findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Renders through the chosen sink.
+    pub fn emit(&self, format: LintFormat) -> String {
+        match format {
+            LintFormat::Text => render_text(self),
+            LintFormat::Json => render_json(self),
+            LintFormat::Sarif => render_sarif(self),
+        }
+    }
+}
+
+/// Runs every rule in `registry` over `universe` and the surveyed
+/// `names`, sharded over `threads` workers (engine default when `None`),
+/// then applies `overrides`.
+///
+/// Output is deterministic and thread-count-invariant: workers own
+/// contiguous sub-ranges of each subject axis and their per-rule shards
+/// are concatenated in range order, exactly the metric engine's merge
+/// discipline.
+pub fn run_lint(
+    universe: &Universe,
+    names: &[DnsName],
+    registry: &RuleRegistry,
+    overrides: &SeverityOverrides,
+    threads: Option<NonZeroUsize>,
+) -> LintReport {
+    let workers = thread_count(threads);
+    let index = DependencyIndex::build_with_threads(universe, workers);
+    let facts = LintIndex::build(universe);
+    let zones: Vec<ZoneId> = universe.zone_ids().collect();
+    let servers: Vec<ServerId> = universe.server_ids().collect();
+
+    let diagnostics = if workers <= 1 {
+        check_universe(universe, &index, &facts, registry, names)
+    } else {
+        sharded_check(
+            universe, &index, &facts, registry, names, &zones, &servers, workers,
+        )
+    };
+
+    finish_report(
+        diagnostics,
+        registry,
+        overrides,
+        zones.len(),
+        servers.len(),
+        names.len(),
+    )
+}
+
+fn finish_report(
+    diagnostics: Vec<Diagnostic>,
+    registry: &RuleRegistry,
+    overrides: &SeverityOverrides,
+    zones: usize,
+    servers: usize,
+    names: usize,
+) -> LintReport {
+    let rules: Vec<RuleMeta> = registry
+        .iter()
+        .map(|rule| RuleMeta {
+            id: rule.id(),
+            severity: overrides.effective(rule),
+            description: rule.describe(),
+        })
+        .collect();
+    let effective_of = |id: &str| {
+        rules
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.severity)
+            .expect("diagnostic from an unregistered rule")
+    };
+    let diagnostics = diagnostics
+        .into_iter()
+        .filter_map(|mut d| {
+            let severity = effective_of(d.rule);
+            if severity == Severity::Allow {
+                return None;
+            }
+            d.severity = severity;
+            Some(d)
+        })
+        .collect();
+    LintReport {
+        diagnostics,
+        rules,
+        zones,
+        servers,
+        names,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sharded_check(
+    universe: &Universe,
+    index: &DependencyIndex,
+    facts: &LintIndex,
+    registry: &RuleRegistry,
+    names: &[DnsName],
+    zones: &[ZoneId],
+    servers: &[ServerId],
+    workers: usize,
+) -> Vec<Diagnostic> {
+    // Contiguous per-axis sub-ranges; a worker may own an empty slice of
+    // one axis and a populated slice of another.
+    let slice_of = |len: usize, w: usize| {
+        let chunk = len.div_ceil(workers).max(1);
+        let start = (w * chunk).min(len);
+        start..(start + chunk).min(len)
+    };
+    // worker-major: worker → rule → diagnostics.
+    let mut worker_shards: Vec<Vec<Vec<Diagnostic>>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let zone_range = slice_of(zones.len(), w);
+            let server_range = slice_of(servers.len(), w);
+            let name_range = slice_of(names.len(), w);
+            handles.push(scope.spawn(move |_| {
+                let ctx = LintCtx {
+                    universe,
+                    index,
+                    facts,
+                    zones: &zones[zone_range],
+                    servers: &servers[server_range],
+                    names: &names[name_range],
+                };
+                registry
+                    .iter()
+                    .map(|rule| rule.check(&ctx))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            worker_shards.push(handle.join().expect("lint shard panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    // Merge rule-major, workers in range order — the serial order.
+    let mut out = Vec::new();
+    for rule_idx in 0..registry.len() {
+        for worker in &mut worker_shards {
+            out.append(&mut worker[rule_idx]);
+        }
+    }
+    out
+}
+
+fn thread_count(threads: Option<NonZeroUsize>) -> usize {
+    threads
+        .map(NonZeroUsize::get)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(4)
+        })
+        .clamp(1, 16)
+}
+
+/// The serialization a lint sink writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintFormat {
+    /// rustc-style human diagnostics.
+    Text,
+    /// One findings/rules/summary JSON document.
+    Json,
+    /// SARIF 2.1.0 for code-scanning consumers.
+    Sarif,
+}
+
+impl LintFormat {
+    /// Parses a `--format` argument.
+    pub fn parse(s: &str) -> Option<LintFormat> {
+        match s {
+            "text" => Some(LintFormat::Text),
+            "json" => Some(LintFormat::Json),
+            "sarif" => Some(LintFormat::Sarif),
+            _ => None,
+        }
+    }
+}
+
+/// Severity → rustc-style headline word.
+fn text_label(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Deny => "error",
+        _ => "warning",
+    }
+}
+
+/// Severity → SARIF `level`.
+fn sarif_level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Allow => "none",
+        Severity::Warn => "warning",
+        Severity::Deny => "error",
+    }
+}
+
+/// rustc-style text: one headline + subject arrow + evidence notes per
+/// finding, then a summary line.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&format!(
+            "{}[{}]: {}\n  --> {}\n",
+            text_label(d.severity),
+            d.rule,
+            d.message,
+            d.subject
+        ));
+        for step in &d.evidence {
+            out.push_str(&format!("  = note: {}: {}\n", step.at, step.note));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "lint: {} finding(s) ({} deny, {} warn) across {} zones, {} servers, {} names\n",
+        report.diagnostics.len(),
+        report.count(Severity::Deny),
+        report.count(Severity::Warn),
+        report.zones,
+        report.servers,
+        report.names,
+    ));
+    out
+}
+
+/// The findings/rules/summary JSON document.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"findings\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"rule\": ");
+        push_json_string(&mut out, d.rule);
+        out.push_str(", \"severity\": ");
+        push_json_string(&mut out, d.severity.label());
+        out.push_str(", \"subject\": {\"kind\": ");
+        push_json_string(&mut out, d.subject.kind());
+        out.push_str(", \"name\": ");
+        push_json_string(&mut out, &d.subject.name().to_string());
+        out.push_str("}, \"message\": ");
+        push_json_string(&mut out, &d.message);
+        out.push_str(", \"evidence\": [");
+        for (j, step) in d.evidence.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"at\": ");
+            push_json_string(&mut out, &step.at.to_string());
+            out.push_str(", \"note\": ");
+            push_json_string(&mut out, &step.note);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ],\n  \"rules\": [");
+    for (i, rule) in report.rules.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"id\": ");
+        push_json_string(&mut out, rule.id);
+        out.push_str(", \"severity\": ");
+        push_json_string(&mut out, rule.severity.label());
+        out.push_str(", \"description\": ");
+        push_json_string(&mut out, rule.description);
+        out.push('}');
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"summary\": {{\"findings\": {}, \"deny\": {}, \"warn\": {}, \"zones\": {}, \"servers\": {}, \"names\": {}}}\n}}\n",
+        report.diagnostics.len(),
+        report.count(Severity::Deny),
+        report.count(Severity::Warn),
+        report.zones,
+        report.servers,
+        report.names,
+    ));
+    out
+}
+
+/// SARIF 2.1.0: the registry as `tool.driver.rules` (every rule, in
+/// registry order, with its effective level) and each finding as a
+/// `result` whose subject is a logical location and whose evidence chain
+/// becomes `relatedLocations`.
+pub fn render_sarif(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"perils-lint\",\n          \"rules\": [",
+    );
+    for (i, rule) in report.rules.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("            {\"id\": ");
+        push_json_string(&mut out, rule.id);
+        out.push_str(", \"shortDescription\": {\"text\": ");
+        push_json_string(&mut out, rule.description);
+        out.push_str("}, \"defaultConfiguration\": {\"level\": ");
+        push_json_string(&mut out, sarif_level(rule.severity));
+        out.push_str("}}");
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        let rule_index = report
+            .rules
+            .iter()
+            .position(|m| m.id == d.rule)
+            .expect("diagnostic from an unregistered rule");
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("        {\"ruleId\": ");
+        push_json_string(&mut out, d.rule);
+        out.push_str(&format!(", \"ruleIndex\": {rule_index}, \"level\": "));
+        push_json_string(&mut out, sarif_level(d.severity));
+        out.push_str(", \"message\": {\"text\": ");
+        push_json_string(&mut out, &d.message);
+        out.push_str("}, \"locations\": [{\"logicalLocations\": [{\"fullyQualifiedName\": ");
+        push_json_string(&mut out, &d.subject.to_string());
+        out.push_str(", \"kind\": ");
+        push_json_string(&mut out, d.subject.kind());
+        out.push_str("}]}]");
+        if !d.evidence.is_empty() {
+            out.push_str(", \"relatedLocations\": [");
+            for (j, step) in d.evidence.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"logicalLocations\": [{\"fullyQualifiedName\": ");
+                push_json_string(&mut out, &step.at.to_string());
+                out.push_str("}], \"message\": {\"text\": ");
+                push_json_string(&mut out, &step.note);
+                out.push_str("}}");
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
+    out
+}

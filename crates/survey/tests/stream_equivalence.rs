@@ -99,6 +99,39 @@ fn figure_bytes(universe: Universe, names: Vec<SurveyName>, top500: Vec<usize>) 
         .collect()
 }
 
+/// All three rendered lint serializations over a universe with the given
+/// name sample, at a given thread count.
+fn lint_bytes(universe: &Universe, names: &[SurveyName], threads: usize) -> Vec<String> {
+    use perils_core::lint::{RuleRegistry, SeverityOverrides};
+    use perils_survey::lint::{run_lint, LintFormat};
+    let names: Vec<_> = names.iter().map(|n| n.name.clone()).collect();
+    let report = run_lint(
+        universe,
+        &names,
+        &RuleRegistry::builtin(),
+        &SeverityOverrides::new(),
+        std::num::NonZeroUsize::new(threads),
+    );
+    vec![
+        report.emit(LintFormat::Text),
+        report.emit(LintFormat::Json),
+        report.emit(LintFormat::Sarif),
+    ]
+}
+
+#[test]
+fn lint_output_is_thread_count_invariant() {
+    let world = source(20040722).load();
+    let serial = lint_bytes(&world.universe, &world.names, 1);
+    for threads in [2, 8] {
+        assert_eq!(
+            lint_bytes(&world.universe, &world.names, threads),
+            serial,
+            "lint output diverged at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn streamed_default_load_is_bit_identical_to_materialized_generate() {
     for seed in [7, 20040722] {
@@ -175,6 +208,14 @@ proptest! {
         prop_assert_eq!(
             index_observations(&from_permuted, &names),
             index_observations(&baseline, &names)
+        );
+
+        // ... and byte-identical lint diagnostics in every serialization,
+        // regardless of worker count on either side.
+        prop_assert_eq!(
+            lint_bytes(&from_permuted, &names, 8),
+            lint_bytes(&baseline, &names, 1),
+            "lint output diverged across permutation/sharding/threads"
         );
 
         // ... and a byte-identical full figure set.

@@ -1,0 +1,237 @@
+//! Hand-rolled JSON emission and validation helpers.
+//!
+//! The workspace serializes JSON by hand (no serde — see the crate-level
+//! determinism note), so the escape rules live here once and every sink
+//! (figures, lint findings, SARIF) shares them. [`validate`] is the
+//! counterpart: a minimal recursive-descent syntax checker the test
+//! suites use to prove emitted documents actually parse, again without a
+//! JSON dependency.
+
+/// Appends `s` to `out` as a JSON string literal (quotes included),
+/// escaping per RFC 8259: `"`/`\\`, the common control shorthands, and
+/// `\u00XX` for the remaining C0 controls.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Checks that `s` is one syntactically valid JSON document (with
+/// nothing but whitespace after it). Returns a byte offset plus message
+/// on the first syntax error. Purely syntactic: no duplicate-key or
+/// number-range checks.
+pub fn validate(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn fail(pos: usize, what: &str) -> Result<(), String> {
+    Err(format!("{what} at byte {pos}"))
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == token {
+        *pos += 1;
+        Ok(())
+    } else {
+        fail(*pos, &format!("expected {:?}", token as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        _ => fail(*pos, "expected a JSON value"),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        fail(*pos, "malformed literal")
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'{')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return fail(*pos, "expected ',' or '}'"),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'[')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return fail(*pos, "expected ',' or ']'"),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'"')?;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return fail(*pos, "malformed \\u escape"),
+                            }
+                        }
+                    }
+                    _ => return fail(*pos, "invalid escape"),
+                }
+            }
+            c if c < 0x20 => return fail(*pos, "raw control character in string"),
+            _ => *pos += 1,
+        }
+    }
+    fail(*pos, "unterminated string")
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut saw_digit = false;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'0'..=b'9' => {
+                saw_digit = true;
+                *pos += 1;
+            }
+            b'.' | b'e' | b'E' | b'+' | b'-' => *pos += 1,
+            _ => break,
+        }
+    }
+    if saw_digit {
+        Ok(())
+    } else {
+        fail(start, "malformed number")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_round_trip_through_the_validator() {
+        let mut out = String::new();
+        push_json_string(&mut out, "plain");
+        assert_eq!(out, "\"plain\"");
+
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        validate(&out).expect("escaped string is valid JSON");
+    }
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for doc in [
+            "null",
+            "true",
+            "-12.5e3",
+            "\"x\"",
+            "[]",
+            "[1, 2, [3]]",
+            "{}",
+            r#"{"a": {"b": [1, null, "cA"]}, "d": false}"#,
+            "  {\n\"k\": 1\n}  ",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{'a': 1}",
+            "[\"\u{1}\"]",
+        ] {
+            assert!(validate(doc).is_err(), "{doc:?} should fail");
+        }
+    }
+}

@@ -15,13 +15,19 @@
 //! * [`stats`] — descriptive statistics, empirical CDFs, histograms and
 //!   log-binned rank curves used to render the paper's figures.
 //! * [`table`] — ASCII table and CSV rendering (string-based, IO-free).
+//! * [`json`] — hand-rolled JSON string escaping and a minimal syntax
+//!   validator (the workspace serializes JSON without serde).
+
+#![forbid(unsafe_code)]
 
 pub mod dist;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod table;
 
 pub use dist::{AliasTable, Exponential, LogNormal, Pareto, ZipfTable};
+pub use json::{push_json_string, validate as validate_json};
 pub use rng::Rng;
 pub use stats::{Cdf, Histogram, RankCurve, Summary};
 pub use table::{Align, Table};

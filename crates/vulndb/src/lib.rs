@@ -17,6 +17,8 @@
 //!   the paper's optimistic rule: servers whose version is hidden or
 //!   unparseable are assumed **non-vulnerable**.
 
+#![forbid(unsafe_code)]
+
 pub mod advisory;
 pub mod fingerprint;
 pub mod version;

@@ -203,6 +203,85 @@
 //!     .run_batched(source, NonZeroUsize::new(64).unwrap());
 //! assert!(!streamed.tcb_sizes().is_empty());
 //! ```
+//!
+//! ## Linting a universe: custom rules, evidence chains, SARIF
+//!
+//! The lint engine ([`core::lint`]) turns the paper's misconfiguration
+//! taxonomy into per-subject diagnostics with evidence chains. A custom
+//! [`core::LintRule`] registers next to the nine built-ins and flows
+//! through the sharded runner and every sink (text/JSON/SARIF)
+//! unchanged — all through public APIs:
+//!
+//! ```
+//! use perils::authserver::scenarios::fbi_case;
+//! use perils::core::lint::{
+//!     Diagnostic, EvidenceStep, LintCtx, LintRule, RuleRegistry, Severity,
+//!     SeverityOverrides, Subject,
+//! };
+//! use perils::dns::name::name;
+//! use perils::survey::lint::{run_lint, LintFormat};
+//! use perils::survey::scenario::universe_from_scenario;
+//!
+//! /// Flags zones served by software with known exploits (§3.1).
+//! struct VulnerableNsRule;
+//!
+//! impl LintRule for VulnerableNsRule {
+//!     fn id(&self) -> &'static str { "vulnerable-ns" }
+//!     fn default_severity(&self) -> Severity { Severity::Warn }
+//!     fn describe(&self) -> &'static str {
+//!         "zone is served by software with known exploits"
+//!     }
+//!     fn check(&self, ctx: &LintCtx<'_>) -> Vec<Diagnostic> {
+//!         let mut out = Vec::new();
+//!         for &zid in ctx.zones {
+//!             let zone = ctx.universe.zone(zid);
+//!             let exploitable: Vec<_> = zone.ns.iter().copied()
+//!                 .filter(|&sid| ctx.universe.server(sid).vulnerable)
+//!                 .collect();
+//!             if zone.origin.is_root() || exploitable.is_empty() { continue; }
+//!             out.push(Diagnostic {
+//!                 rule: self.id(),
+//!                 severity: self.default_severity(),
+//!                 subject: Subject::Zone(zone.origin.clone()),
+//!                 message: format!(
+//!                     "zone {} is served by {} exploitable nameserver(s)",
+//!                     zone.origin, exploitable.len(),
+//!                 ),
+//!                 evidence: exploitable.iter().map(|&sid| EvidenceStep {
+//!                     at: ctx.universe.server(sid).name.clone(),
+//!                     note: "runs software with known exploits".into(),
+//!                 }).collect(),
+//!             });
+//!         }
+//!         out
+//!     }
+//! }
+//!
+//! let registry = RuleRegistry::builtin().register(VulnerableNsRule);
+//! let universe = universe_from_scenario(&fbi_case());
+//! let report = run_lint(
+//!     &universe,
+//!     &[name("www.fbi.gov")],
+//!     &registry,
+//!     &SeverityOverrides::new(),
+//!     None,
+//! );
+//! // The custom rule names the paper's BIND 8.2.4 box...
+//! let finding = report.diagnostics.iter()
+//!     .find(|d| d.rule == "vulnerable-ns").unwrap();
+//! assert!(finding.evidence.iter()
+//!     .any(|e| e.at == name("reston-ns2.telemail.net")));
+//! // ...and serializes through every sink like any built-in, including
+//! // the SARIF rule listing.
+//! assert!(report.emit(LintFormat::Sarif).contains("\"vulnerable-ns\""));
+//!
+//! // Severity overrides are validated: unknown ids are typed errors,
+//! // the figures-CLI error contract (`bin/lint` exits 2 on them).
+//! let mut overrides = SeverityOverrides::new();
+//! assert!(overrides.set(&registry, "no-such-rule", Severity::Deny).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
 
 pub use perils_authserver as authserver;
 pub use perils_core as core;
