@@ -12,27 +12,15 @@
 //! aggregate ratios; the per-path benchmarks give the usual ns/iter.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perils_bench::scaled_params;
 use perils_core::closure::DependencyIndex;
 use perils_core::universe::{ServerId, Universe, ZoneId};
 use perils_dns::name::DnsName;
 use perils_graph::bitset::{BitSet, BitSetInterner, SetId};
 use perils_graph::csr::Csr;
-use perils_survey::params::TopologyParams;
 use perils_survey::topology::SyntheticWorld;
 use std::hint::black_box;
 use std::time::Instant;
-
-/// `default_scaled` proportions stretched to `names` surveyed names (the
-/// TLD count stays at the paper's 196 — it does not grow with the crawl).
-fn scaled_params(seed: u64, names: usize) -> TopologyParams {
-    let f = names as f64 / 60_000.0;
-    let mut p = TopologyParams::default_scaled(seed);
-    p.names = names;
-    p.domains = ((26_000.0 * f) as usize).max(400);
-    p.providers = ((320.0 * f) as usize).max(16);
-    p.universities = ((260.0 * f) as usize).max(20);
-    p
-}
 
 const WORLDS: [(&str, usize); 2] = [("10k", 10_000), ("100k", 100_000)];
 

@@ -8,7 +8,7 @@
 //! one's numbers without re-running the full criterion suite.
 //!
 //! ```text
-//! bench_smoke [--names N] [--mode survey|build-materialized|build-streamed|materialized|streamed] [--out FILE.json]
+//! bench_smoke [--names N] [--mode survey|matrix|...] [--threads T1,T2,...] [--out FILE.json]
 //! ```
 //!
 //! The `--mode` flag selects what is measured (peak RSS is a process-wide
@@ -16,6 +16,9 @@
 //!
 //! * `survey` (default): the classic smoke numbers — generate once, then
 //!   index build, closure throughput, survey pass;
+//! * `matrix`: the thread-scaling matrix (`BENCH_07.json` in CI) — one
+//!   row per `--threads` entry with per-stage timings: sharded ingestion,
+//!   zone rows, SCC, condensation, memoization, survey;
 //! * `build-materialized` / `build-streamed`: universe construction
 //!   only, classic build vs event-stream build (bit-identity of the two
 //!   is pinned by `crates/survey/tests/stream_equivalence.rs`);
@@ -24,24 +27,14 @@
 //! * `streamed`: `Engine::run_batched` over a `SyntheticSource` event
 //!   stream with a 4096-name batch — the bounded-memory ingestion path.
 
+use perils_bench::scaled_params;
 use perils_core::closure::DependencyIndex;
+use perils_core::universe::UniverseEvent;
 use perils_dns::name::DnsName;
-use perils_survey::engine::{Engine, SyntheticSource, WorldSource};
-use perils_survey::params::TopologyParams;
+use perils_survey::engine::{Engine, SyntheticSource, WorldSource, WorldStream};
 use perils_survey::topology::SyntheticWorld;
 use std::num::NonZeroUsize;
 use std::time::Instant;
-
-/// `default_scaled` proportions stretched to `names` surveyed names.
-fn scaled_params(seed: u64, names: usize) -> TopologyParams {
-    let f = names as f64 / 60_000.0;
-    let mut p = TopologyParams::default_scaled(seed);
-    p.names = names;
-    p.domains = ((26_000.0 * f) as usize).max(400);
-    p.providers = ((320.0 * f) as usize).max(16);
-    p.universities = ((260.0 * f) as usize).max(20);
-    p
-}
 
 fn median_ms(mut runs: Vec<f64>) -> f64 {
     runs.sort_by(f64::total_cmp);
@@ -132,10 +125,119 @@ fn run_ingestion_mode(mode: &str, seed: u64, names: usize, out: Option<String>) 
     }
 }
 
+/// The thread-scaling matrix (`--mode matrix`, `--threads LIST`): one row
+/// per thread count, timing every pipeline stage separately — sharded
+/// ingestion (the feed dealt into `t` shards drained concurrently), the
+/// zone-row recurrence, the SCC pass, the condensation, the memoization,
+/// and the survey pass — so the per-stage effect of parallelism is
+/// visible, not just the end-to-end wall time. A cross-row checksum
+/// asserts the output is thread-count invariant (full byte identity is
+/// pinned by `stream_equivalence.rs`).
+fn run_matrix_mode(seed: u64, names: usize, thread_counts: &[usize], out: Option<String>) {
+    use perils_survey::engine::AnalysisWorld;
+    use perils_survey::topology::SurveyName;
+
+    let params = scaled_params(seed, names);
+    // Collect the feed once, untimed: every row ingests the same events.
+    let mut stream = SyntheticSource { params }.stream();
+    let events: Vec<UniverseEvent> = stream.events().collect();
+    let survey_names: Vec<SurveyName> = stream.names().collect();
+    let top500 = stream.top500().to_vec();
+
+    let mut rows = Vec::new();
+    let mut checksum: Option<(usize, usize)> = None;
+    let mut dims = (0usize, 0usize);
+    for &t in thread_counts {
+        // Sharded ingestion: deal round-robin into `t` shards, drain them
+        // concurrently into one canonical builder.
+        let mut dealt: Vec<Vec<UniverseEvent>> = (0..t).map(|_| Vec::new()).collect();
+        for (i, event) in events.iter().cloned().enumerate() {
+            dealt[i % t].push(event);
+        }
+        let mut world_stream = WorldStream::new(
+            std::iter::empty(),
+            std::iter::empty::<SurveyName>(),
+            Vec::new(),
+        );
+        for shard in dealt {
+            world_stream = world_stream.with_shard(shard.into_iter());
+        }
+        let start = Instant::now();
+        let universe = world_stream.build_universe();
+        let ingest_s = start.elapsed().as_secs_f64();
+        dims = (universe.server_count(), universe.zone_count());
+
+        // Per-stage index build: warm once, then keep the median-total of
+        // three instrumented runs.
+        let _warm = DependencyIndex::build_with_threads(&universe, t);
+        let mut runs: Vec<_> = (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                let (index, stats) = DependencyIndex::build_with_stats(&universe, t);
+                let total_ms = start.elapsed().as_secs_f64() * 1e3;
+                (total_ms, stats, index.memo_stats())
+            })
+            .collect();
+        runs.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
+        let (index_total_ms, stats, _) = runs[1];
+
+        let start = Instant::now();
+        let report = Engine::with_builtin_metrics()
+            .threads(NonZeroUsize::new(t))
+            .run_world(AnalysisWorld {
+                universe,
+                names: survey_names.clone(),
+                top500: top500.clone(),
+            });
+        let survey_s = start.elapsed().as_secs_f64();
+        let sums = (
+            report.tcb_sizes().iter().sum::<usize>(),
+            report.cut_size().iter().sum::<usize>(),
+        );
+        match checksum {
+            None => checksum = Some(sums),
+            Some(expected) => assert_eq!(sums, expected, "survey output diverged at {t} threads"),
+        }
+
+        let (rows_ms, scc_ms, condense_ms, memoize_ms) = (
+            stats.zone_rows.as_secs_f64() * 1e3,
+            stats.scc.as_secs_f64() * 1e3,
+            stats.condense.as_secs_f64() * 1e3,
+            stats.memoize.as_secs_f64() * 1e3,
+        );
+        eprintln!(
+            "threads {t}: ingest {ingest_s:.2} s; index {index_total_ms:.1} ms \
+             (rows {rows_ms:.1}, scc {scc_ms:.1}, condense {condense_ms:.1}, \
+             memoize {memoize_ms:.1}); survey {survey_s:.2} s"
+        );
+        rows.push(format!(
+            "{{\"threads\":{t},\"ingest_s\":{ingest_s:.3},\"rows_ms\":{rows_ms:.2},\
+             \"scc_ms\":{scc_ms:.2},\"condense_ms\":{condense_ms:.2},\
+             \"memoize_ms\":{memoize_ms:.2},\"index_total_ms\":{index_total_ms:.2},\
+             \"survey_s\":{survey_s:.3}}}"
+        ));
+    }
+    let rss = peak_rss_mb();
+    if let Some(path) = out {
+        write_json(
+            &path,
+            format!(
+                "{{\"mode\":\"matrix\",\"names\":{},\"servers\":{},\"zones\":{},\
+                 \"peak_rss_mb\":{rss:.1},\"matrix\":[{}]}}\n",
+                survey_names.len(),
+                dims.0,
+                dims.1,
+                rows.join(",")
+            ),
+        );
+    }
+}
+
 fn main() {
     let mut names = 10_000usize;
     let mut mode = "survey".to_string();
     let mut out: Option<String> = None;
+    let mut thread_counts: Vec<usize> = vec![1, 2, 8];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -147,11 +249,22 @@ fn main() {
             }
             "--mode" => mode = args.next().unwrap_or_else(|| usage()),
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--threads" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                thread_counts = list
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if thread_counts.is_empty() || thread_counts.contains(&0) {
+                    usage();
+                }
+            }
             _ => usage(),
         }
     }
     match mode.as_str() {
         "survey" => {}
+        "matrix" => return run_matrix_mode(2005, names, &thread_counts, out),
         "build-materialized" | "build-streamed" => return run_build_mode(&mode, 2005, names, out),
         "materialized" | "streamed" => return run_ingestion_mode(&mode, 2005, names, out),
         _ => usage(),
@@ -252,7 +365,9 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_smoke [--names N] [--mode survey|build-materialized|build-streamed|materialized|streamed] [--out FILE.json]"
+        "usage: bench_smoke [--names N] \
+         [--mode survey|matrix|build-materialized|build-streamed|materialized|streamed] \
+         [--threads T1,T2,...] [--out FILE.json]"
     );
     std::process::exit(2);
 }

@@ -10,6 +10,20 @@ use perils_survey::driver::{run_survey, SurveyConfig, SurveyReport};
 use perils_survey::params::TopologyParams;
 use std::sync::OnceLock;
 
+/// `default_scaled` proportions stretched to `names` surveyed names — the
+/// one world-construction recipe every perf measurement shares
+/// (`bench_smoke`, `benches/closure.rs` baseline and current paths), so a
+/// generator change can never silently skew one side of a comparison.
+pub fn scaled_params(seed: u64, names: usize) -> TopologyParams {
+    let f = names as f64 / 60_000.0;
+    let mut p = TopologyParams::default_scaled(seed);
+    p.names = names;
+    p.domains = ((26_000.0 * f) as usize).max(400);
+    p.providers = ((320.0 * f) as usize).max(16);
+    p.universities = ((260.0 * f) as usize).max(20);
+    p
+}
+
 /// The bench-scale survey configuration: large enough for the figures'
 /// shapes to be visible, small enough to iterate.
 pub fn bench_config() -> SurveyConfig {

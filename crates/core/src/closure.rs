@@ -95,6 +95,21 @@ pub struct DependencyIndex {
     zone_sets: BitSetInterner,
 }
 
+/// Wall time of each stage of a [`DependencyIndex`] build, as measured by
+/// [`DependencyIndex::build_with_stats`]: the zone-row recurrence, the SCC
+/// pass, the condensation, and the per-component memoization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexBuildStats {
+    /// Phase 1a: chain/dep rows by recurrence over the zone tree.
+    pub zone_rows: std::time::Duration,
+    /// Phase 2: strongly connected components of the dependency graph.
+    pub scc: std::time::Duration,
+    /// Phase 2: condensation of the SCC partition into a DAG.
+    pub condense: std::time::Duration,
+    /// Phase 2: per-component closure memoization and interning.
+    pub memoize: std::time::Duration,
+}
+
 /// Reusable scratch for [`DependencyIndex::closure_view`]: the chain
 /// buffer, dedup bitsets and output slices a view borrows from, hoisted
 /// out of the hot loop so a survey worker thread allocates once, not once
@@ -117,6 +132,21 @@ struct ZoneRowTables {
     dep_targets: Vec<ServerId>,
 }
 
+/// Below this many zones in a depth level, the tree-parallel zone-row
+/// pass processes the level inline: a scope spawn costs more than a few
+/// hundred `extend_from_slice` rows.
+const ZONE_LEVEL_PARALLEL_THRESHOLD: usize = 512;
+
+/// One worker's share of a depth level in the tree-parallel zone-row
+/// pass: private row buffers plus `(zone, chain off/len, dep off/len)`
+/// descriptors with chunk-local offsets, rebased at merge.
+#[derive(Default)]
+struct LevelChunk {
+    chain: Vec<ZoneId>,
+    dep: Vec<ServerId>,
+    rows: Vec<(u32, u32, u32, u32, u32)>,
+}
+
 /// Computes every zone's chain and dependency rows **by recurrence over
 /// the zone tree**: `chain(z) = chain(parent(z)) + z` and `dep(z) =
 /// dep(parent(z)) ++ (NS(z) not already present)` — the parent zone
@@ -127,7 +157,14 @@ struct ZoneRowTables {
 /// stamp-deduplicated append of the zone's own NS set: no name hashing,
 /// no chain re-scans, and every probe O(1) — the whole pass is linear in
 /// the total row length.
-fn build_zone_rows(universe: &Universe) -> ZoneRowTables {
+///
+/// The recurrence is **tree-parallel**: every zone at depth `d` depends
+/// only on rows at depths `< d`, so each depth level fans out across
+/// workers once the level is wide enough ([`ZONE_LEVEL_PARALLEL_THRESHOLD`]).
+/// Worker chunks are merged back in bucket order, so the scratch layout —
+/// and with it every offset and the final tables — is byte-identical to
+/// the serial pass at any thread count.
+fn build_zone_rows(universe: &Universe, threads: usize) -> ZoneRowTables {
     let zn = universe.zone_count();
     // Counting sort by origin depth: parents precede children.
     let mut depth_count: Vec<u32> = Vec::new();
@@ -160,30 +197,105 @@ fn build_zone_rows(universe: &Universe) -> ZoneRowTables {
     let mut dep_tmp: Vec<ServerId> = Vec::new();
     let mut chain_pos: Vec<(u32, u32)> = vec![(0, 0); zn];
     let mut dep_pos: Vec<(u32, u32)> = vec![(0, 0); zn];
-    for &z in &order {
-        let zone = universe.zone(ZoneId(z));
-        let chain_start = chain_tmp.len();
-        let dep_start = dep_tmp.len();
-        if let Some(p) = universe.parent_zone_of(ZoneId(z)) {
-            let (o, l) = chain_pos[p.index()];
-            chain_tmp.extend_from_within(o as usize..(o + l) as usize);
-            let (o, l) = dep_pos[p.index()];
-            dep_tmp.extend_from_within(o as usize..(o + l) as usize);
-        }
-        if !zone.origin.is_root() {
-            chain_tmp.push(ZoneId(z));
-            for &sid in &dep_tmp[dep_start..] {
-                stamps[sid.index()] = z;
+    for d in 0..depth_count.len() {
+        let bucket = &order[starts[d] as usize..starts[d + 1] as usize];
+        if threads == 1 || bucket.len() < ZONE_LEVEL_PARALLEL_THRESHOLD {
+            for &z in bucket {
+                let zone = universe.zone(ZoneId(z));
+                let chain_start = chain_tmp.len();
+                let dep_start = dep_tmp.len();
+                if let Some(p) = universe.parent_zone_of(ZoneId(z)) {
+                    let (o, l) = chain_pos[p.index()];
+                    chain_tmp.extend_from_within(o as usize..(o + l) as usize);
+                    let (o, l) = dep_pos[p.index()];
+                    dep_tmp.extend_from_within(o as usize..(o + l) as usize);
+                }
+                if !zone.origin.is_root() {
+                    chain_tmp.push(ZoneId(z));
+                    for &sid in &dep_tmp[dep_start..] {
+                        stamps[sid.index()] = z;
+                    }
+                    for &ns in &zone.ns {
+                        if stamps[ns.index()] != z {
+                            stamps[ns.index()] = z;
+                            dep_tmp.push(ns);
+                        }
+                    }
+                }
+                chain_pos[z as usize] =
+                    (chain_start as u32, (chain_tmp.len() - chain_start) as u32);
+                dep_pos[z as usize] = (dep_start as u32, (dep_tmp.len() - dep_start) as u32);
             }
-            for &ns in &zone.ns {
-                if stamps[ns.index()] != z {
-                    stamps[ns.index()] = z;
-                    dep_tmp.push(ns);
+        } else {
+            // Every row at this depth reads only rows from shallower
+            // depths — already merged into `chain_tmp`/`dep_tmp` — so the
+            // level fans out across workers with private output buffers.
+            let chunk_len = bucket.len().div_ceil(threads).max(1);
+            let (chain_ref, dep_ref) = (&chain_tmp, &dep_tmp);
+            let (chain_pos_ref, dep_pos_ref) = (&chain_pos, &dep_pos);
+            let mut level_chunks: Vec<LevelChunk> = Vec::new();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for zones in bucket.chunks(chunk_len) {
+                    handles.push(scope.spawn(move |_| {
+                        let mut chunk = LevelChunk::default();
+                        let mut stamps = vec![u32::MAX; universe.server_count()];
+                        for &z in zones {
+                            let zone = universe.zone(ZoneId(z));
+                            let chain_start = chunk.chain.len();
+                            let dep_start = chunk.dep.len();
+                            if let Some(p) = universe.parent_zone_of(ZoneId(z)) {
+                                let (o, l) = chain_pos_ref[p.index()];
+                                chunk
+                                    .chain
+                                    .extend_from_slice(&chain_ref[o as usize..(o + l) as usize]);
+                                let (o, l) = dep_pos_ref[p.index()];
+                                chunk
+                                    .dep
+                                    .extend_from_slice(&dep_ref[o as usize..(o + l) as usize]);
+                            }
+                            if !zone.origin.is_root() {
+                                chunk.chain.push(ZoneId(z));
+                                for &sid in &chunk.dep[dep_start..] {
+                                    stamps[sid.index()] = z;
+                                }
+                                for &ns in &zone.ns {
+                                    if stamps[ns.index()] != z {
+                                        stamps[ns.index()] = z;
+                                        chunk.dep.push(ns);
+                                    }
+                                }
+                            }
+                            chunk.rows.push((
+                                z,
+                                chain_start as u32,
+                                (chunk.chain.len() - chain_start) as u32,
+                                dep_start as u32,
+                                (chunk.dep.len() - dep_start) as u32,
+                            ));
+                        }
+                        chunk
+                    }));
+                }
+                for handle in handles {
+                    level_chunks.push(handle.join().expect("zone row shard panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            // Merge in bucket order: the concatenation visits zones in
+            // exactly the serial processing order, so offsets match the
+            // serial layout byte for byte.
+            for chunk in level_chunks {
+                let chain_base = chain_tmp.len() as u32;
+                let dep_base = dep_tmp.len() as u32;
+                chain_tmp.extend_from_slice(&chunk.chain);
+                dep_tmp.extend_from_slice(&chunk.dep);
+                for (z, co, cl, dof, dl) in chunk.rows {
+                    chain_pos[z as usize] = (chain_base + co, cl);
+                    dep_pos[z as usize] = (dep_base + dof, dl);
                 }
             }
         }
-        chain_pos[z as usize] = (chain_start as u32, (chain_tmp.len() - chain_start) as u32);
-        dep_pos[z as usize] = (dep_start as u32, (dep_tmp.len() - dep_start) as u32);
         assert!(
             u32::try_from(chain_tmp.len()).is_ok() && u32::try_from(dep_tmp.len()).is_ok(),
             "zone row tables fit u32"
@@ -583,20 +695,32 @@ impl DependencyIndex {
 
     /// Builds the index with an explicit worker-thread count.
     ///
-    /// Phase 1 derives per-**zone** chain and dependency rows by a serial
-    /// recurrence over the zone tree (memcpy-bound — see
-    /// `build_zone_rows`) and maps every server to its home zone. Phase 2
-    /// condenses the implicit per-server dependency graph into strongly
-    /// connected components and memoizes each component's reachable
-    /// server/zone sets; `threads` controls only this memoization —
-    /// serially bottom-up at one thread, level-parallel otherwise
-    /// (grouped by topological level over the condensation, interned
-    /// deterministically on the merge thread). Both paths produce
-    /// identical closures, so the result is thread-count invariant.
+    /// Phase 1 derives per-**zone** chain and dependency rows by a
+    /// recurrence over the zone tree (memcpy-bound, tree-parallel by
+    /// depth level — see `build_zone_rows`) and maps every server to its
+    /// home zone. Phase 2 condenses the implicit per-server dependency
+    /// graph into strongly connected components — serial Tarjan at one
+    /// thread, adaptive trim + FW-BW otherwise
+    /// ([`perils_graph::scc::parallel_scc_with`]) — and memoizes each
+    /// component's reachable server/zone sets, serially bottom-up at one
+    /// thread and level-parallel otherwise. Every observable (rows,
+    /// closures, interning statistics) is thread-count invariant.
     pub fn build_with_threads(universe: &Universe, threads: usize) -> DependencyIndex {
+        DependencyIndex::build_with_stats(universe, threads).0
+    }
+
+    /// [`DependencyIndex::build_with_threads`], also returning the wall
+    /// time each build stage took — the instrumentation behind
+    /// `bench_smoke`'s per-stage matrix.
+    pub fn build_with_stats(
+        universe: &Universe,
+        threads: usize,
+    ) -> (DependencyIndex, IndexBuildStats) {
         let n = universe.server_count();
         let zn = universe.zone_count();
         let threads = threads.clamp(1, 16);
+        let mut stats = IndexBuildStats::default();
+        let t0 = std::time::Instant::now();
 
         // Phase 1a: per-zone CSR rows by recurrence over the zone tree
         // (memcpy-bound; see `build_zone_rows`).
@@ -605,8 +729,9 @@ impl DependencyIndex {
             chain_targets: zone_chain_targets,
             dep_offsets: zone_dep_offsets,
             dep_targets: zone_dep_targets,
-        } = build_zone_rows(universe);
+        } = build_zone_rows(universe, threads);
         debug_assert_eq!(zone_dep_offsets.len(), zn + 1);
+        stats.zone_rows = t0.elapsed();
 
         // Phase 1b: home zone per server (precomputed by the universe
         // builder; this is a plain copy).
@@ -632,16 +757,34 @@ impl DependencyIndex {
             let hi = zone_dep_offsets[z as usize + 1] as usize;
             &zone_dep_targets[lo..hi]
         };
-        let scc = perils_graph::scc::tarjan_scc_with(
-            n,
-            |u| dep_row(u).len(),
-            |u, k| dep_row(u)[k].index(),
-        );
+        // Component numbering differs between the strategies (raw Tarjan
+        // vs canonical FW-BW), but every downstream observable — closure
+        // contents, interning statistics, survey output — is invariant
+        // under SCC renumbering; both numberings are reverse topological,
+        // which is all condensation and memoization require.
+        let t1 = std::time::Instant::now();
+        let scc = if threads == 1 {
+            perils_graph::scc::tarjan_scc_with(
+                n,
+                |u| dep_row(u).len(),
+                |u, k| dep_row(u)[k].index(),
+            )
+        } else {
+            perils_graph::scc::parallel_scc_with(
+                n,
+                |u| dep_row(u).len(),
+                |u, k| dep_row(u)[k].index(),
+                threads,
+            )
+        };
+        stats.scc = t1.elapsed();
+        let t2 = std::time::Instant::now();
         let dag = perils_graph::csr::condense_with(
             &scc,
             |u| dep_row(u).len(),
             |u, k| dep_row(u)[k].index(),
         );
+        stats.condense = t2.elapsed();
 
         let input = MemoInput {
             scc: &scc,
@@ -650,14 +793,16 @@ impl DependencyIndex {
             zone_chain_offsets: &zone_chain_offsets,
             zone_chain_targets: &zone_chain_targets,
         };
+        let t3 = std::time::Instant::now();
         let memo = if threads == 1 {
             memoize_serial(&input, n, zn)
         } else {
             memoize_levels(&input, n, zn, threads)
         };
+        stats.memoize = t3.elapsed();
         let component_of: Vec<u32> = scc.component_of.iter().map(|&c| c as u32).collect();
 
-        DependencyIndex {
+        let index = DependencyIndex {
             home_zone,
             zone_chain_offsets,
             zone_chain_targets,
@@ -668,7 +813,8 @@ impl DependencyIndex {
             component_zones: memo.component_zones,
             server_sets: memo.server_sets,
             zone_sets: memo.zone_sets,
-        }
+        };
+        (index, stats)
     }
 
     /// The servers that could be involved in resolving `server`'s address

@@ -75,6 +75,11 @@ fn survey_names_of(targets: Vec<DnsName>) -> impl Iterator<Item = SurveyName> + 
     })
 }
 
+/// Events per channel batch in the sharded ingestion front-end: large
+/// enough to amortize the channel hand-off, small enough that bounded
+/// buffering stays bounded-memory.
+const INGEST_BATCH: usize = 512;
+
 /// A world as a stream: incremental [`UniverseEvent`]s first, surveyed
 /// names second. This is what every [`WorldSource`] produces and what
 /// the engine ingests — the universe is built event by event through
@@ -95,6 +100,10 @@ pub struct WorldStream {
     /// phase is skipped instead of decomposing and re-interning a
     /// structure that already exists.
     prebuilt: Option<Universe>,
+    /// Additional event shards ([`WorldStream::with_shard`]) ingested
+    /// concurrently with the main event stream by
+    /// [`WorldStream::build_universe`].
+    shards: Vec<Box<dyn Iterator<Item = UniverseEvent> + Send>>,
 }
 
 impl WorldStream {
@@ -112,7 +121,24 @@ impl WorldStream {
             top500,
             db: VulnDb::isc_feb_2004(),
             prebuilt: None,
+            shards: Vec::new(),
         }
+    }
+
+    /// Adds a parallel ingestion shard: an independent event stream (a
+    /// second crawl file, another zone transfer, one deal of a split
+    /// feed) drained **concurrently** with the main event stream when
+    /// [`WorldStream::build_universe`] runs. Sharded builds finish with
+    /// [`perils_core::UniverseBuilder::finish_canonical`], so the
+    /// universe — and everything downstream — is byte-identical
+    /// for every shard count and interleaving (the order-independence
+    /// `stream_equivalence.rs` pins).
+    pub fn with_shard(
+        mut self,
+        events: impl Iterator<Item = UniverseEvent> + Send + 'static,
+    ) -> WorldStream {
+        self.shards.push(Box::new(events));
+        self
     }
 
     /// Replaces the vulnerability database banners are assessed against.
@@ -142,15 +168,62 @@ impl WorldStream {
     /// the finished universe. Peak memory is the universe itself plus
     /// the builder's indexes — independent of feed length and order.
     /// Streams wrapped around a prebuilt world return it directly.
+    ///
+    /// With ingestion shards ([`WorldStream::with_shard`]), every shard
+    /// and the main event stream are drained on producer threads feeding
+    /// one builder through a bounded channel — event production
+    /// (parsing, generation, decompression) overlaps the builder's
+    /// interning — and the build finishes canonically, making the result
+    /// independent of shard count and arrival order.
     pub fn build_universe(&mut self) -> Universe {
         if let Some(universe) = self.prebuilt.take() {
             return universe;
         }
-        let mut builder = Universe::builder();
-        for event in self.events.by_ref() {
-            builder.apply(event, &self.db);
+        if self.shards.is_empty() {
+            let mut builder = Universe::builder();
+            for event in self.events.by_ref() {
+                builder.apply(event, &self.db);
+            }
+            return builder.finish();
         }
-        builder.finish()
+        let mut producers = std::mem::take(&mut self.shards);
+        producers.insert(
+            0,
+            std::mem::replace(&mut self.events, Box::new(std::iter::empty())),
+        );
+        let db = &self.db;
+        crossbeam::thread::scope(|scope| {
+            // Bounded batches keep peak memory independent of feed
+            // length: producers block once the applier falls behind.
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<UniverseEvent>>(producers.len() * 2);
+            for mut shard in producers.drain(..) {
+                let tx = tx.clone();
+                scope.spawn(move |_| {
+                    let mut batch = Vec::with_capacity(INGEST_BATCH);
+                    for event in shard.by_ref() {
+                        batch.push(event);
+                        if batch.len() == INGEST_BATCH {
+                            if tx.send(std::mem::take(&mut batch)).is_err() {
+                                return;
+                            }
+                            batch.reserve(INGEST_BATCH);
+                        }
+                    }
+                    if !batch.is_empty() {
+                        let _ = tx.send(batch);
+                    }
+                });
+            }
+            drop(tx);
+            let mut builder = Universe::builder();
+            for batch in rx {
+                for event in batch {
+                    builder.apply(event, db);
+                }
+            }
+            builder.finish_canonical()
+        })
+        .expect("crossbeam scope")
     }
 
     /// Materializes the whole stream into an [`AnalysisWorld`] (the

@@ -173,12 +173,75 @@ impl RenderedFigure {
         out
     }
 
+    /// A self-contained gnuplot script: the data table inlined as a
+    /// `$data` here-doc block followed by a minimal `plot` command, so
+    /// `gnuplot fig.gp` renders `<id>.png` with no side files. Every
+    /// column is charted against the first; a non-numeric first column
+    /// switches to categorical x tics.
+    pub fn gnuplot(&self) -> String {
+        let clean = |s: &str| s.replace(['\t', '\n'], " ");
+        let headers = self.data.headers();
+        let mut out = format!("# {} ({})\n$data << EOD\n", clean(&self.title), self.id);
+        for (i, h) in headers.iter().enumerate() {
+            if i > 0 {
+                out.push('\t');
+            }
+            out.push_str(&clean(h));
+        }
+        out.push('\n');
+        let mut numeric_x = true;
+        for row in self.data.rows() {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push('\t');
+                } else if cell.trim().parse::<f64>().is_err() {
+                    numeric_x = false;
+                }
+                out.push_str(&clean(cell));
+            }
+            out.push('\n');
+        }
+        out.push_str("EOD\n");
+        out.push_str("set datafile separator \"\\t\"\n");
+        out.push_str("set term pngcairo size 960,600\n");
+        let quoted = |s: &str| {
+            format!(
+                "\"{}\"",
+                clean(s).replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        };
+        out.push_str(&format!(
+            "set output {}\n",
+            quoted(&format!("{}.png", self.id))
+        ));
+        out.push_str(&format!("set title {}\n", quoted(&self.title)));
+        out.push_str("set key autotitle columnhead outside\n");
+        out.push_str("set style data linespoints\n");
+        if let Some(x) = headers.first() {
+            out.push_str(&format!("set xlabel {}\n", quoted(x)));
+        }
+        let cols = headers.len();
+        if cols >= 2 {
+            if numeric_x {
+                out.push_str(&format!("plot for [i=2:{cols}] $data using 1:i\n"));
+            } else {
+                out.push_str(&format!(
+                    "set xtics rotate by -45\nplot for [i=2:{cols}] $data using i:xtic(1)\n"
+                ));
+            }
+        } else {
+            out.push_str("plot $data using 0:1\n");
+        }
+        out
+    }
+
     /// Serializes into `format`.
     pub fn emit(&self, format: SinkFormat) -> String {
         match format {
             SinkFormat::Text => self.text.clone(),
             SinkFormat::Csv => self.csv(),
             SinkFormat::Json => self.json(),
+            SinkFormat::Gnuplot => self.gnuplot(),
         }
     }
 }
@@ -194,6 +257,8 @@ pub enum SinkFormat {
     Csv,
     /// One JSON object per figure.
     Json,
+    /// One self-contained gnuplot script per figure (inline data block).
+    Gnuplot,
 }
 
 impl SinkFormat {
@@ -203,6 +268,7 @@ impl SinkFormat {
             "text" => Some(SinkFormat::Text),
             "csv" => Some(SinkFormat::Csv),
             "json" => Some(SinkFormat::Json),
+            "gnuplot" => Some(SinkFormat::Gnuplot),
             _ => None,
         }
     }
@@ -213,6 +279,7 @@ impl SinkFormat {
             SinkFormat::Text => "txt",
             SinkFormat::Csv => "csv",
             SinkFormat::Json => "json",
+            SinkFormat::Gnuplot => "gp",
         }
     }
 }
@@ -709,7 +776,33 @@ mod tests {
         assert_eq!(SinkFormat::parse("text"), Some(SinkFormat::Text));
         assert_eq!(SinkFormat::parse("csv"), Some(SinkFormat::Csv));
         assert_eq!(SinkFormat::parse("json"), Some(SinkFormat::Json));
+        assert_eq!(SinkFormat::parse("gnuplot"), Some(SinkFormat::Gnuplot));
         assert_eq!(SinkFormat::parse("yaml"), None);
         assert_eq!(SinkFormat::Text.extension(), "txt");
+        assert_eq!(SinkFormat::Gnuplot.extension(), "gp");
+    }
+
+    #[test]
+    fn gnuplot_script_inlines_data_and_plots_numeric_x() {
+        let mut data = Table::new(vec!["size", "count", "share"]);
+        data.row(vec!["1", "10", "0.5"]);
+        data.row(vec!["2", "4", "0.2"]);
+        let fig = RenderedFigure::new("dist", "Size \"dist\"", "t\n", data);
+        let gp = fig.emit(SinkFormat::Gnuplot);
+        assert!(gp.starts_with("# Size \"dist\" (dist)\n$data << EOD\n"));
+        assert!(gp.contains("size\tcount\tshare\n1\t10\t0.5\n2\t4\t0.2\nEOD\n"));
+        assert!(gp.contains("set output \"dist.png\""));
+        assert!(gp.contains("set title \"Size \\\"dist\\\"\""));
+        assert!(gp.contains("plot for [i=2:3] $data using 1:i"));
+    }
+
+    #[test]
+    fn gnuplot_script_uses_category_tics_for_text_x() {
+        let mut data = Table::new(vec!["tld", "zones"]);
+        data.row(vec!["com", "120"]);
+        data.row(vec!["net", "35"]);
+        let fig = RenderedFigure::new("tlds", "Zones per TLD", "t\n", data);
+        let gp = fig.gnuplot();
+        assert!(gp.contains("plot for [i=2:2] $data using i:xtic(1)"));
     }
 }

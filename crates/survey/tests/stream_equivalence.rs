@@ -61,9 +61,12 @@ fn build(events: impl IntoIterator<Item = UniverseEvent>, canonical: bool) -> Un
 
 /// Every observable of the dependency index, for byte-comparison: the
 /// per-server delegation chain and dependency rows, and the full closure
-/// (server and zone sets) of every surveyed name.
-fn index_observations(universe: &Universe, names: &[SurveyName]) -> Vec<Vec<u32>> {
-    let index = DependencyIndex::build(universe);
+/// (server and zone sets) of every surveyed name. `threads` selects the
+/// build path — serial Tarjan + serial recurrence at 1, parallel SCC +
+/// tree-parallel rows otherwise — so comparing across thread counts pins
+/// the parallel pipeline against the serial one.
+fn index_observations(universe: &Universe, names: &[SurveyName], threads: usize) -> Vec<Vec<u32>> {
+    let index = DependencyIndex::build_with_threads(universe, threads);
     let mut out = Vec::new();
     for sid in universe.server_ids() {
         out.push(index.chain_of(sid).iter().map(|z| z.0).collect());
@@ -173,6 +176,74 @@ fn decomposed_world_round_trips_through_the_stream() {
     assert_eq!(world2.stream().collect().universe, reference);
 }
 
+/// Column-for-column report equality (the value aggregate compared by
+/// ranking, as in `prop_engine.rs`, but assert-based for plain tests).
+fn assert_reports_equal(a: &SurveyReport, b: &SurveyReport, what: &str) {
+    use perils_core::metric::MetricColumn;
+    let ids_a: Vec<&str> = a.column_ids().collect();
+    let ids_b: Vec<&str> = b.column_ids().collect();
+    assert_eq!(ids_a, ids_b, "column sets differ ({what})");
+    for id in ids_a {
+        match (a.column(id).unwrap(), b.column(id).unwrap()) {
+            (MetricColumn::Counts(x), MetricColumn::Counts(y)) => {
+                assert_eq!(x, y, "{id} differs ({what})")
+            }
+            (MetricColumn::Floats(x), MetricColumn::Floats(y)) => {
+                assert_eq!(x, y, "{id} differs ({what})")
+            }
+            (MetricColumn::Value(x), MetricColumn::Value(y)) => {
+                assert_eq!(x.names_seen(), y.names_seen(), "{id} ({what})");
+                assert_eq!(x.ranking(), y.ranking(), "{id} ranking ({what})");
+            }
+            _ => panic!("{id} changed column kind ({what})"),
+        }
+    }
+}
+
+/// The parallel ingestion front-end: the same feed dealt round-robin
+/// into N shards drained concurrently into one builder produces the
+/// canonical universe for every shard count — and `Engine::run_batched`
+/// over a sharded stream produces the same report as the monolithic
+/// world.
+#[test]
+fn sharded_ingestion_front_end_is_shard_count_invariant() {
+    let (events, names, top500) = feed(20040722);
+    let reference = build(events.clone(), true);
+
+    let deal = |shards: usize| -> perils_survey::WorldStream {
+        let mut dealt: Vec<Vec<UniverseEvent>> = (0..shards).map(|_| Vec::new()).collect();
+        for (i, event) in events.iter().cloned().enumerate() {
+            dealt[i % shards].push(event);
+        }
+        let mut stream = perils_survey::WorldStream::new(
+            std::iter::empty(),
+            names.clone().into_iter(),
+            top500.clone(),
+        );
+        for shard in dealt {
+            stream = stream.with_shard(shard.into_iter());
+        }
+        stream
+    };
+
+    for shards in [1usize, 2, 8] {
+        assert_eq!(
+            deal(shards).build_universe(),
+            reference,
+            "sharded ingestion diverged at {shards} shards"
+        );
+    }
+
+    let engine = Engine::with_extended_metrics().register(ZombieDelegationMetric);
+    let expected = engine.run_world(AnalysisWorld {
+        universe: reference,
+        names: names.clone(),
+        top500: top500.clone(),
+    });
+    let got = engine.run_stream(deal(3), std::num::NonZeroUsize::new(64).unwrap());
+    assert_reports_equal(&got, &expected, "sharded run_batched vs monolithic run");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
@@ -204,11 +275,18 @@ proptest! {
         prop_assert_eq!(&from_shards, &baseline, "sharded feed diverged");
 
         // Equal universes ⇒ equal dependency indexes, observed through
-        // chains, dependency rows and every surveyed name's closure.
-        prop_assert_eq!(
-            index_observations(&from_permuted, &names),
-            index_observations(&baseline, &names)
-        );
+        // chains, dependency rows and every surveyed name's closure —
+        // across the serial (1 thread) and parallel (2, 8 threads) build
+        // pipelines at the same time: parallel SCC ≡ Tarjan and
+        // tree-parallel zone rows ≡ the serial recurrence.
+        let serial_obs = index_observations(&baseline, &names, 1);
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &index_observations(&from_permuted, &names, threads),
+                &serial_obs,
+                "index diverged at {} threads", threads
+            );
+        }
 
         // ... and byte-identical lint diagnostics in every serialization,
         // regardless of worker count on either side.
