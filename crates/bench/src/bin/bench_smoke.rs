@@ -25,7 +25,12 @@
 //! * `materialized`: generation + `Engine::run_world` over the fully
 //!   materialized world (the pre-streaming ingestion shape);
 //! * `streamed`: `Engine::run_batched` over a `SyntheticSource` event
-//!   stream with a 4096-name batch — the bounded-memory ingestion path.
+//!   stream with a 4096-name batch — the bounded-memory ingestion path;
+//! * `service`: boot an in-process `perilsd` daemon on an ephemeral
+//!   port and measure warm per-name query latency over a keep-alive
+//!   connection (client-side p50/p99), plus one snapshot reload
+//!   (`BENCH_08.json` in CI — the service contract is p50 < 5 ms at
+//!   100k names).
 
 use perils_bench::scaled_params;
 use perils_core::closure::DependencyIndex;
@@ -233,11 +238,158 @@ fn run_matrix_mode(seed: u64, names: usize, thread_counts: &[usize], out: Option
     }
 }
 
+/// The warm-query latency benchmark (`--mode service`): the daemon, its
+/// worker pool and the client all live in this process, talking over
+/// loopback TCP — the same wire path the integration tests and CI smoke
+/// exercise, minus process-spawn noise.
+fn run_service_mode(seed: u64, names: usize, worker_threads: usize, out: Option<String>) {
+    use perils_service::{Daemon, ServiceConfig, WorldSpec};
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    const WARMUP: usize = 100;
+    const QUERIES: usize = 1_000;
+
+    /// One keep-alive request; returns (status, body).
+    fn request(reader: &mut BufReader<TcpStream>, method: &str, path: &str) -> (u16, String) {
+        let head = format!(
+            "{method} {path} HTTP/1.0\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n"
+        );
+        reader.get_mut().write_all(head.as_bytes()).expect("send");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).expect("header");
+            let trimmed = header.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some(v) = trimmed.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("content length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf8"))
+    }
+
+    let mut config = ServiceConfig {
+        figures: false, // pure query serving; the sweep is the figures CLI's job
+        ..ServiceConfig::default()
+    };
+    if worker_threads > 0 {
+        config.threads = worker_threads;
+    }
+    let spec = WorldSpec::Synthetic(scaled_params(seed, names));
+
+    let boot_start = Instant::now();
+    let daemon = Daemon::boot(spec, config);
+    let build_s = boot_start.elapsed().as_secs_f64();
+    let snap = daemon.store().current();
+    eprintln!(
+        "service: epoch 1 built in {build_s:.2} s ({} names, {} zones, {} servers, {} workers)",
+        snap.stats.names,
+        snap.stats.zones,
+        snap.stats.servers,
+        daemon.config().threads,
+    );
+    drop(snap);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("local addr");
+
+    let mut result = None;
+    crossbeam::thread::scope(|scope| {
+        let serving = scope.spawn(|_| daemon.serve(listener).expect("serve"));
+
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream);
+
+        // Query targets: a spread of surveyed names, via the data plane.
+        let (status, body) = request(&mut reader, "GET", "/names?limit=64");
+        assert_eq!(status, 200);
+        let value = perils_util::json::parse(&body).expect("names JSON");
+        let targets: Vec<String> = value
+            .get("names")
+            .and_then(|v| v.as_array())
+            .expect("names array")
+            .iter()
+            .map(|v| format!("/name/{}", v.as_str().expect("name")))
+            .collect();
+        assert!(!targets.is_empty());
+
+        for i in 0..WARMUP {
+            let (status, _) = request(&mut reader, "GET", &targets[i % targets.len()]);
+            assert_eq!(status, 200);
+        }
+        let mut latencies_ms: Vec<f64> = Vec::with_capacity(QUERIES);
+        for i in 0..QUERIES {
+            let start = Instant::now();
+            let (status, _) = request(&mut reader, "GET", &targets[i % targets.len()]);
+            assert_eq!(status, 200);
+            latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        latencies_ms.sort_by(f64::total_cmp);
+        let percentile =
+            |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p).round() as usize];
+        let (p50, p99) = (percentile(0.50), percentile(0.99));
+
+        // One reload: schedule, then poll the control plane until the
+        // next generation is live. Queries keep working throughout — the
+        // integration tests pin that; here we time it.
+        let reload_start = Instant::now();
+        let (status, _) = request(&mut reader, "POST", "/reload");
+        assert_eq!(status, 202);
+        loop {
+            let (status, body) = request(&mut reader, "GET", "/healthz");
+            assert_eq!(status, 200);
+            let health = perils_util::json::parse(&body).expect("healthz JSON");
+            if health.get("epoch").and_then(|v| v.as_u64()) == Some(2) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let reload_s = reload_start.elapsed().as_secs_f64();
+
+        let (status, _) = request(&mut reader, "POST", "/shutdown");
+        assert_eq!(status, 200);
+        let summary = serving.join().expect("serve thread");
+        result = Some((p50, p99, reload_s, summary.requests));
+    })
+    .expect("service bench threads");
+
+    let (p50, p99, reload_s, requests) = result.expect("bench ran");
+    let rss = peak_rss_mb();
+    eprintln!(
+        "service: {QUERIES} warm queries: p50 {p50:.3} ms, p99 {p99:.3} ms; \
+         reload {reload_s:.2} s; {requests} requests served; peak RSS {rss:.1} MiB"
+    );
+    if let Some(path) = out {
+        write_json(
+            &path,
+            format!(
+                "{{\"mode\":\"service\",\"names\":{names},\"threads\":{},\"build_s\":{build_s:.3},\
+                 \"queries\":{QUERIES},\"query_p50_ms\":{p50:.3},\"query_p99_ms\":{p99:.3},\
+                 \"reload_s\":{reload_s:.3},\"peak_rss_mb\":{rss:.1}}}\n",
+                daemon.config().threads,
+            ),
+        );
+    }
+}
+
 fn main() {
     let mut names = 10_000usize;
     let mut mode = "survey".to_string();
     let mut out: Option<String> = None;
     let mut thread_counts: Vec<usize> = vec![1, 2, 8];
+    let mut threads_given = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -258,6 +410,7 @@ fn main() {
                 if thread_counts.is_empty() || thread_counts.contains(&0) {
                     usage();
                 }
+                threads_given = true;
             }
             _ => usage(),
         }
@@ -267,6 +420,12 @@ fn main() {
         "matrix" => return run_matrix_mode(2005, names, &thread_counts, out),
         "build-materialized" | "build-streamed" => return run_build_mode(&mode, 2005, names, out),
         "materialized" | "streamed" => return run_ingestion_mode(&mode, 2005, names, out),
+        "service" => {
+            // Worker count: the first --threads entry when given,
+            // otherwise the daemon's default (available parallelism).
+            let workers = if threads_given { thread_counts[0] } else { 0 };
+            return run_service_mode(2005, names, workers, out);
+        }
         _ => usage(),
     }
 
@@ -366,7 +525,7 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_smoke [--names N] \
-         [--mode survey|matrix|build-materialized|build-streamed|materialized|streamed] \
+         [--mode survey|matrix|build-materialized|build-streamed|materialized|streamed|service] \
          [--threads T1,T2,...] [--out FILE.json]"
     );
     std::process::exit(2);

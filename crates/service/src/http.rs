@@ -1,0 +1,305 @@
+//! A minimal HTTP/1.0-subset wire protocol over blocking `std::net`.
+//!
+//! Just enough HTTP for the daemon's three planes: a request line,
+//! headers, an optional `Content-Length` body, and keep-alive. No
+//! chunked encoding, no multipart, no TLS — `perilsd` speaks to `curl`,
+//! to the integration tests' hand-rolled client, and to a Prometheus
+//! scraper, all of which live comfortably inside this subset.
+//!
+//! Hard limits keep a misbehaving peer from holding a worker hostage:
+//! request line and each header ≤ 8 KiB, ≤ 64 headers, body ≤ 64 KiB.
+//! Anything outside the subset is a `400` and the connection closes.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Maximum request-line / header-line length in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of headers.
+const MAX_HEADERS: usize = 64;
+/// Maximum request-body length in bytes.
+const MAX_BODY: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target (before any `?`).
+    pub path: String,
+    /// Raw query string (after `?`), if any.
+    pub query: Option<String>,
+    /// Whether the client asked to keep the connection open
+    /// (`Connection: keep-alive`, or HTTP/1.1 without `Connection: close`).
+    pub keep_alive: bool,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Clean end of stream before a request line — the peer hung up.
+    Eof,
+    /// The bytes are not inside the supported subset.
+    Malformed(&'static str),
+    /// Transport error (timeout, reset).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Eof => write!(f, "end of stream"),
+            RequestError::Malformed(why) => write!(f, "malformed request: {why}"),
+            RequestError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, rejecting lines over
+/// [`MAX_LINE`]. Returns `None` on clean EOF at a line boundary.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, RequestError> {
+    let mut line = Vec::new();
+    let mut limited = reader.take((MAX_LINE + 1) as u64);
+    match limited.read_until(b'\n', &mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(RequestError::Io(e)),
+    }
+    if line.len() > MAX_LINE {
+        return Err(RequestError::Malformed("line too long"));
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| RequestError::Malformed("non-utf8 header bytes"))
+}
+
+/// Reads and parses one request. `Err(RequestError::Eof)` means the
+/// peer closed the connection cleanly between requests.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> {
+    let request_line = match read_line(reader)? {
+        None => return Err(RequestError::Eof),
+        Some(line) if line.is_empty() => return Err(RequestError::Malformed("empty request line")),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(RequestError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(RequestError::Malformed("missing request target"))?;
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed("unsupported protocol version"));
+    }
+    let http11 = version == "HTTP/1.1";
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    if !path.starts_with('/') {
+        return Err(RequestError::Malformed("request target must be absolute"));
+    }
+
+    let mut content_length = 0usize;
+    let mut connection: Option<String> = None;
+    for _ in 0..=MAX_HEADERS {
+        let line = match read_line(reader)? {
+            None => return Err(RequestError::Malformed("eof inside headers")),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or(RequestError::Malformed("header without colon"))?;
+        let key = key.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match key.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse::<usize>()
+                    .map_err(|_| RequestError::Malformed("bad content-length"))?;
+                if content_length > MAX_BODY {
+                    return Err(RequestError::Malformed("body too large"));
+                }
+            }
+            "connection" => connection = Some(value.to_ascii_lowercase()),
+            _ => {}
+        }
+    }
+
+    let keep_alive = match connection.as_deref() {
+        Some("keep-alive") => true,
+        Some("close") => false,
+        _ => http11,
+    };
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(RequestError::Io)?;
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        keep_alive,
+        body,
+    })
+}
+
+/// One response: status, content type, body. Serialization appends the
+/// `Connection` header the daemon decides per request (keep-alive ends
+/// when the client asks for `close` or the daemon is draining).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response (the `/metrics` exposition).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+
+    /// A JSON error envelope: `{"error":"<message>"}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\":");
+        perils_util::json::push_json_string(&mut body, message);
+        body.push('}');
+        Response::json(status, body)
+    }
+
+    /// Serializes the response. The status line says `HTTP/1.0` — the
+    /// served subset — with an explicit `Connection` header so both
+    /// 1.0 and 1.1 clients agree on connection reuse.
+    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(self.body.as_bytes())?;
+        writer.flush()
+    }
+}
+
+/// Reason phrases for the statuses the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_a_get_with_query_and_keep_alive() {
+        let req = parse(b"GET /names?limit=5 HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/names");
+        assert_eq!(req.query.as_deref(), Some("limit=5"));
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn http11_defaults_to_keep_alive_and_close_overrides() {
+        assert!(parse(b"GET / HTTP/1.1\r\n\r\n").expect("parses").keep_alive);
+        assert!(
+            !parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .expect("parses")
+                .keep_alive
+        );
+        assert!(!parse(b"GET / HTTP/1.0\r\n\r\n").expect("parses").keep_alive);
+    }
+
+    #[test]
+    fn reads_content_length_bodies_exactly() {
+        let req = parse(b"POST /reload HTTP/1.0\r\nContent-Length: 12\r\n\r\n{\"seed\":123}")
+            .expect("parses");
+        assert_eq!(req.body, b"{\"seed\":123}");
+    }
+
+    #[test]
+    fn clean_eof_is_distinguished_from_garbage() {
+        assert!(matches!(parse(b""), Err(RequestError::Eof)));
+        assert!(matches!(
+            parse(b"NOT-HTTP\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / SPDY/3\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_up_front() {
+        let huge = format!(
+            "POST / HTTP/1.0\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(RequestError::Malformed("body too large"))
+        ));
+    }
+
+    #[test]
+    fn responses_serialize_with_explicit_connection_header() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".to_string())
+            .write_to(&mut out, true)
+            .expect("writes");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,364 @@
+//! The swappable world: what the daemon holds warm and what a reload
+//! replaces.
+//!
+//! A [`WorldSnapshot`] is everything a query needs, built once:
+//! universe, dependency index, lint facts and the cached figure sweep,
+//! stamped with a monotonically increasing epoch. The [`SnapshotStore`]
+//! holds the current snapshot behind `RwLock<Arc<..>>`: readers clone
+//! the `Arc` (a refcount bump under a read lock held for nanoseconds)
+//! and keep answering from the old world while a reload builds and
+//! swaps in the next one — queries never observe a torn snapshot, only
+//! epoch N or epoch N+1.
+
+use perils_authserver::scenarios::{
+    cornell_figure1, fbi_case, lint_tripwire, lint_tripwire_targets,
+};
+use perils_core::closure::{DependencyIndex, IndexBuildStats};
+use perils_core::lint::LintIndex;
+use perils_core::universe::Universe;
+use perils_dns::name::name;
+use perils_survey::engine::{Engine, ScenarioSource, SyntheticSource, WorldSource, WorldStream};
+use perils_survey::params::TopologyParams;
+use perils_survey::render::{FigureOutcome, FigureRegistry};
+use perils_survey::topology::SurveyName;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+/// Names per batch when pulling the stream's name phase through the
+/// figure-sweep engine (matches the streaming CLI default).
+const NAME_BATCH: usize = 4096;
+
+/// Which world the daemon builds — kept by the daemon so `POST /reload`
+/// can rebuild the same spec (optionally reseeded) from scratch through
+/// the streamed ingestion path.
+#[derive(Debug, Clone)]
+pub enum WorldSpec {
+    /// A seeded synthetic survey world.
+    Synthetic(TopologyParams),
+    /// The fbi.gov case study (packet-level scenario).
+    Fbi,
+    /// The Figure 1 cornell.edu web.
+    Cornell,
+    /// The all-pathologies lint fixture.
+    Tripwire,
+}
+
+impl WorldSpec {
+    /// Parses a `--world` argument. Synthetic scales take the seed;
+    /// scenario worlds ignore it.
+    pub fn parse(world: &str, seed: u64) -> Result<WorldSpec, String> {
+        match world {
+            "tiny" => Ok(WorldSpec::Synthetic(TopologyParams::tiny(seed))),
+            "default" => Ok(WorldSpec::Synthetic(TopologyParams::default_scaled(seed))),
+            "paper" => Ok(WorldSpec::Synthetic(TopologyParams::paper(seed))),
+            "fbi" => Ok(WorldSpec::Fbi),
+            "cornell" => Ok(WorldSpec::Cornell),
+            "tripwire" => Ok(WorldSpec::Tripwire),
+            other => Err(format!(
+                "unknown world {other:?} (tiny|default|paper|fbi|cornell|tripwire)"
+            )),
+        }
+    }
+
+    /// One-line description for boot/reload logging.
+    pub fn describe(&self) -> String {
+        match self {
+            WorldSpec::Synthetic(p) => {
+                format!("synthetic world (seed {}, {} names)", p.seed, p.names)
+            }
+            WorldSpec::Fbi => "fbi.gov case study".to_string(),
+            WorldSpec::Cornell => "cornell Figure 1 web".to_string(),
+            WorldSpec::Tripwire => "lint tripwire fixture".to_string(),
+        }
+    }
+
+    /// Reseeds a synthetic spec in place (`POST /reload` with a body);
+    /// scenario worlds have no seed and ignore it.
+    pub fn reseed(&mut self, seed: u64) {
+        if let WorldSpec::Synthetic(p) = self {
+            p.seed = seed;
+        }
+    }
+
+    /// The world as a stream — every build, boot or reload, goes through
+    /// the same bounded-memory ingestion path the batch CLIs use.
+    fn stream(&self) -> WorldStream {
+        match self {
+            WorldSpec::Synthetic(params) => SyntheticSource {
+                params: params.clone(),
+            }
+            .stream(),
+            WorldSpec::Fbi => ScenarioSource {
+                scenario: &fbi_case(),
+                targets: vec![
+                    name("www.fbi.gov"),
+                    name("www.sprintip.com"),
+                    name("www.telemail.net"),
+                ],
+            }
+            .stream(),
+            WorldSpec::Cornell => ScenarioSource {
+                scenario: &cornell_figure1(),
+                targets: vec![name("www.cs.cornell.edu"), name("www.cornell.edu")],
+            }
+            .stream(),
+            WorldSpec::Tripwire => ScenarioSource {
+                scenario: &lint_tripwire(),
+                targets: lint_tripwire_targets(),
+            }
+            .stream(),
+        }
+    }
+}
+
+/// Build cost breakdown, surfaced by `/healthz` logging and `/metrics`.
+#[derive(Debug, Clone)]
+pub struct SnapshotStats {
+    /// Wall-clock of the whole build (stream + index + lint + figures).
+    pub build: Duration,
+    /// Dependency-index phase timings.
+    pub index: IndexBuildStats,
+    /// Universe shape.
+    pub zones: usize,
+    /// Universe shape.
+    pub servers: usize,
+    /// Surveyed names.
+    pub names: usize,
+    /// Figures rendered into the cached sweep (0 with `--no-figures`).
+    pub figures: usize,
+}
+
+/// One immutable world generation: everything a query touches.
+#[derive(Debug)]
+pub struct WorldSnapshot {
+    /// Strictly increasing generation counter (starts at 1).
+    pub epoch: u64,
+    /// The delegation universe.
+    pub universe: Universe,
+    /// Universe-wide dependency index (closures, SCCs, memoized sets).
+    pub index: DependencyIndex,
+    /// Shared lint facts (depths, zombies, reachability).
+    pub lint: LintIndex,
+    /// The surveyed names, in survey order.
+    pub names: Vec<SurveyName>,
+    /// The cached full-figure sweep as one JSON document, or `None`
+    /// when the daemon was started with figures disabled.
+    pub figures_json: Option<String>,
+    /// Build cost and shape.
+    pub stats: SnapshotStats,
+    /// When the build finished (drives `/metrics` snapshot age).
+    pub built: Instant,
+}
+
+impl WorldSnapshot {
+    /// Builds generation `epoch` of `spec` from scratch through the
+    /// streamed ingestion path: universe (and, unless disabled, the
+    /// full figure sweep) first, then the dependency index and lint
+    /// facts the query plane reads.
+    pub fn build(spec: &WorldSpec, epoch: u64, threads: usize, figures: bool) -> WorldSnapshot {
+        let start = Instant::now();
+        let (universe, names, figures_json, rendered) = if figures {
+            let engine = Engine::with_extended_metrics().threads(NonZeroUsize::new(threads));
+            let batch = NonZeroUsize::new(NAME_BATCH).expect("static nonzero");
+            let report = engine.run_stream(spec.stream(), batch);
+            let (json, rendered) = render_figures(&report, epoch);
+            let world = report.world;
+            (world.universe, world.names, Some(json), rendered)
+        } else {
+            let mut stream = spec.stream();
+            let universe = stream.build_universe();
+            let names: Vec<SurveyName> = stream.names().collect();
+            (universe, names, None, 0)
+        };
+        let (index, index_stats) = DependencyIndex::build_with_stats(&universe, threads);
+        let lint = LintIndex::build(&universe);
+        let stats = SnapshotStats {
+            build: start.elapsed(),
+            index: index_stats,
+            zones: universe.zone_count(),
+            servers: universe.server_count(),
+            names: names.len(),
+            figures: rendered,
+        };
+        WorldSnapshot {
+            epoch,
+            universe,
+            index,
+            lint,
+            names,
+            figures_json,
+            stats,
+            built: Instant::now(),
+        }
+    }
+
+    /// Time since this snapshot finished building.
+    pub fn age(&self) -> Duration {
+        self.built.elapsed()
+    }
+}
+
+/// Renders the extended figure registry into one JSON document:
+/// `{"epoch":N,"figures":[..],"skipped":[{"id","missing"}]}`. Missing
+/// columns are skips, not errors — mirroring the figures CLI.
+fn render_figures(report: &perils_survey::engine::SurveyReport, epoch: u64) -> (String, usize) {
+    let registry = FigureRegistry::extended();
+    let outcomes = registry.build_all(report);
+    let mut figures = String::new();
+    let mut skipped = String::new();
+    let mut rendered = 0usize;
+    for outcome in &outcomes {
+        match outcome {
+            FigureOutcome::Rendered(figure) => {
+                if rendered > 0 {
+                    figures.push(',');
+                }
+                figures.push_str(&figure.json());
+                rendered += 1;
+            }
+            FigureOutcome::Skipped { id, missing } => {
+                if !skipped.is_empty() {
+                    skipped.push(',');
+                }
+                skipped.push_str("{\"id\":");
+                perils_util::json::push_json_string(&mut skipped, id);
+                skipped.push_str(",\"missing\":[");
+                for (i, column) in missing.iter().enumerate() {
+                    if i > 0 {
+                        skipped.push(',');
+                    }
+                    perils_util::json::push_json_string(&mut skipped, column);
+                }
+                skipped.push_str("]}");
+            }
+            FigureOutcome::Failed { id, error } => {
+                if !skipped.is_empty() {
+                    skipped.push(',');
+                }
+                skipped.push_str("{\"id\":");
+                perils_util::json::push_json_string(&mut skipped, id);
+                skipped.push_str(",\"error\":");
+                perils_util::json::push_json_string(&mut skipped, &error.to_string());
+                skipped.push('}');
+            }
+        }
+    }
+    (
+        format!("{{\"epoch\":{epoch},\"figures\":[{figures}],\"skipped\":[{skipped}]}}"),
+        rendered,
+    )
+}
+
+/// The atomically swappable current snapshot.
+///
+/// Readers pay one `Arc` clone under a read lock; the swap replaces the
+/// `Arc` under the write lock in O(1) — an in-flight query keeps its
+/// generation alive through its own refcount until it finishes.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Arc<WorldSnapshot>>,
+}
+
+impl SnapshotStore {
+    /// Wraps the boot snapshot.
+    pub fn new(snapshot: WorldSnapshot) -> SnapshotStore {
+        SnapshotStore {
+            current: RwLock::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The current generation (cheap: refcount bump).
+    pub fn current(&self) -> Arc<WorldSnapshot> {
+        self.current.read().clone()
+    }
+
+    /// The current epoch without keeping the snapshot alive.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch
+    }
+
+    /// Publishes `next`, which must advance the epoch — the per-connection
+    /// monotonicity the integration tests pin relies on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next.epoch` does not exceed the current epoch.
+    pub fn swap(&self, next: WorldSnapshot) -> u64 {
+        let next = Arc::new(next);
+        let mut current = self.current.write();
+        assert!(
+            next.epoch > current.epoch,
+            "snapshot epoch must advance: {} -> {}",
+            current.epoch,
+            next.epoch
+        );
+        let epoch = next.epoch;
+        *current = next;
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> WorldSpec {
+        WorldSpec::parse("tiny", 7).expect("tiny parses")
+    }
+
+    #[test]
+    fn builds_tiny_snapshot_with_figures() {
+        let snap = WorldSnapshot::build(&tiny_spec(), 1, 2, true);
+        assert_eq!(snap.epoch, 1);
+        assert!(snap.stats.names > 0);
+        assert!(snap.stats.figures > 0);
+        let json = snap.figures_json.as_deref().expect("figures cached");
+        let value = perils_util::json::parse(json).expect("figures JSON parses");
+        assert_eq!(value.get("epoch").and_then(|v| v.as_u64()), Some(1));
+        assert!(
+            value
+                .get("figures")
+                .and_then(|v| v.as_array())
+                .map(|a| a.len())
+                == Some(snap.stats.figures)
+        );
+    }
+
+    #[test]
+    fn no_figures_skips_the_sweep_but_keeps_names() {
+        let snap = WorldSnapshot::build(&tiny_spec(), 1, 1, false);
+        assert!(snap.figures_json.is_none());
+        assert_eq!(snap.stats.figures, 0);
+        assert!(!snap.names.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_thread_count_invariant() {
+        let one = WorldSnapshot::build(&tiny_spec(), 1, 1, true);
+        let eight = WorldSnapshot::build(&tiny_spec(), 1, 8, true);
+        assert_eq!(one.universe, eight.universe);
+        assert_eq!(one.figures_json, eight.figures_json);
+    }
+
+    #[test]
+    fn store_swap_advances_epoch_and_readers_hold_old_generations() {
+        let store = SnapshotStore::new(WorldSnapshot::build(&tiny_spec(), 1, 1, false));
+        let held = store.current();
+        assert_eq!(
+            store.swap(WorldSnapshot::build(&tiny_spec(), 2, 1, false)),
+            2
+        );
+        assert_eq!(held.epoch, 1, "in-flight reader keeps its generation");
+        assert_eq!(store.epoch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must advance")]
+    fn store_rejects_stale_epochs() {
+        let store = SnapshotStore::new(WorldSnapshot::build(&tiny_spec(), 3, 1, false));
+        store.swap(WorldSnapshot::build(&tiny_spec(), 3, 1, false));
+    }
+}

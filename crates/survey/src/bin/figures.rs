@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p perils-survey --bin figures -- \
 //!     [--scale tiny|default|paper] [--seed N] [--list] [--only ID[,ID...]]
-//!     [--format text|csv|json|gnuplot] [--out DIR] [--csv DIR]
+//!     [--format text|csv|json|gnuplot|vega] [--out DIR] [--csv DIR]
 //! ```
 //!
 //! The CLI is registry-driven: it registers metrics on the engine and
@@ -38,7 +38,7 @@ use perils_survey::render::{
 };
 
 const USAGE: &str = "usage: figures [--scale tiny|default|paper] [--seed N] [--list]
-               [--only ID[,ID...]] [--format text|csv|json|gnuplot] [--out DIR] [--csv DIR]
+               [--only ID[,ID...]] [--format text|csv|json|gnuplot|vega] [--out DIR] [--csv DIR]
 
   --out DIR     one <figure-id>.<ext> file per figure (ext from --format)
   --csv DIR     extra CSV sink (streaming, row-at-a-time); files are named
@@ -105,7 +105,7 @@ fn parse_args() -> Args {
             "--format" => {
                 let raw = args
                     .next()
-                    .unwrap_or_else(|| usage_error("--format needs text|csv|json|gnuplot"));
+                    .unwrap_or_else(|| usage_error("--format needs text|csv|json|gnuplot|vega"));
                 parsed.format = SinkFormat::parse(&raw)
                     .unwrap_or_else(|| usage_error(&format!("unknown format {raw:?}")));
             }

@@ -235,6 +235,91 @@ impl RenderedFigure {
         out
     }
 
+    /// A self-contained [Vega-Lite v5] spec: the data table inlined as
+    /// `data.values` (cells that parse as numbers become JSON numbers,
+    /// everything else stays a string), charted as a line plot of every
+    /// column against the first. With more than two columns a `fold`
+    /// transform melts them into one series axis colored by column name;
+    /// a non-numeric first column switches the x encoding to ordinal and
+    /// the mark to bars — the same form heuristic as the gnuplot sink.
+    ///
+    /// [Vega-Lite v5]: https://vega.github.io/vega-lite/
+    pub fn vega(&self) -> String {
+        let headers = self.data.headers();
+        let numeric = |cell: &str| cell.trim().parse::<f64>().is_ok();
+        let mut numeric_x = true;
+        let mut out = String::from(
+            "{\"$schema\":\"https://vega.github.io/schema/vega-lite/v5.json\",\"title\":",
+        );
+        json_string(&mut out, &self.title);
+        out.push_str(",\"name\":");
+        json_string(&mut out, &self.id);
+        out.push_str(",\"data\":{\"values\":[");
+        for (r, row) in self.data.rows().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, headers.get(i).map(String::as_str).unwrap_or(""));
+                out.push(':');
+                if numeric(cell) {
+                    out.push_str(cell.trim());
+                } else {
+                    if i == 0 {
+                        numeric_x = false;
+                    }
+                    json_string(&mut out, cell);
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        let x_field = headers.first().map(String::as_str).unwrap_or("x");
+        let x_type = if numeric_x { "quantitative" } else { "ordinal" };
+        let mark = if numeric_x { "line" } else { "bar" };
+        match headers.len() {
+            0 | 1 => {
+                // Degenerate single-column table: chart values by row index.
+                out.push_str(",\"mark\":\"point\",\"encoding\":{\"y\":{\"field\":");
+                json_string(&mut out, x_field);
+                out.push_str(",\"type\":\"quantitative\"}}}");
+            }
+            2 => {
+                out.push_str(&format!(
+                    ",\"mark\":\"{mark}\",\"encoding\":{{\"x\":{{\"field\":"
+                ));
+                json_string(&mut out, x_field);
+                out.push_str(&format!(",\"type\":\"{x_type}\"}},\"y\":{{\"field\":"));
+                json_string(&mut out, &headers[1]);
+                out.push_str(",\"type\":\"quantitative\"}}}");
+            }
+            _ => {
+                // Melt columns 2..n into (key, value) pairs, one colored
+                // series per original column.
+                out.push_str(",\"transform\":[{\"fold\":[");
+                for (i, h) in headers[1..].iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json_string(&mut out, h);
+                }
+                out.push_str(&format!(
+                    "]}}],\"mark\":\"{mark}\",\"encoding\":{{\"x\":{{\"field\":"
+                ));
+                json_string(&mut out, x_field);
+                out.push_str(&format!(
+                    ",\"type\":\"{x_type}\"}},\"y\":{{\"field\":\"value\",\"type\":\"quantitative\"}},\
+                     \"color\":{{\"field\":\"key\",\"type\":\"nominal\"}}}}}}"
+                ));
+            }
+        }
+        out
+    }
+
     /// Serializes into `format`.
     pub fn emit(&self, format: SinkFormat) -> String {
         match format {
@@ -242,6 +327,7 @@ impl RenderedFigure {
             SinkFormat::Csv => self.csv(),
             SinkFormat::Json => self.json(),
             SinkFormat::Gnuplot => self.gnuplot(),
+            SinkFormat::Vega => self.vega(),
         }
     }
 }
@@ -259,6 +345,8 @@ pub enum SinkFormat {
     Json,
     /// One self-contained gnuplot script per figure (inline data block).
     Gnuplot,
+    /// One self-contained Vega-Lite v5 spec per figure (inline data).
+    Vega,
 }
 
 impl SinkFormat {
@@ -269,6 +357,7 @@ impl SinkFormat {
             "csv" => Some(SinkFormat::Csv),
             "json" => Some(SinkFormat::Json),
             "gnuplot" => Some(SinkFormat::Gnuplot),
+            "vega" => Some(SinkFormat::Vega),
             _ => None,
         }
     }
@@ -280,6 +369,7 @@ impl SinkFormat {
             SinkFormat::Csv => "csv",
             SinkFormat::Json => "json",
             SinkFormat::Gnuplot => "gp",
+            SinkFormat::Vega => "vl.json",
         }
     }
 }
@@ -777,9 +867,86 @@ mod tests {
         assert_eq!(SinkFormat::parse("csv"), Some(SinkFormat::Csv));
         assert_eq!(SinkFormat::parse("json"), Some(SinkFormat::Json));
         assert_eq!(SinkFormat::parse("gnuplot"), Some(SinkFormat::Gnuplot));
+        assert_eq!(SinkFormat::parse("vega"), Some(SinkFormat::Vega));
         assert_eq!(SinkFormat::parse("yaml"), None);
         assert_eq!(SinkFormat::Text.extension(), "txt");
         assert_eq!(SinkFormat::Gnuplot.extension(), "gp");
+        assert_eq!(SinkFormat::Vega.extension(), "vl.json");
+    }
+
+    #[test]
+    fn vega_spec_is_valid_json_with_inline_numeric_data() {
+        use perils_util::json::{parse, Value};
+        let mut data = Table::new(vec!["size", "count", "share"]);
+        data.row(vec!["1", "10", "0.5"]);
+        data.row(vec!["2", "4", "0.2"]);
+        let fig = RenderedFigure::new("dist", "Size \"dist\"", "t\n", data);
+        let spec = parse(&fig.emit(SinkFormat::Vega)).expect("vega spec parses");
+        assert_eq!(
+            spec.get("$schema").and_then(Value::as_str),
+            Some("https://vega.github.io/schema/vega-lite/v5.json")
+        );
+        assert_eq!(
+            spec.get("title").and_then(Value::as_str),
+            Some("Size \"dist\"")
+        );
+        assert_eq!(spec.get("name").and_then(Value::as_str), Some("dist"));
+        let values = spec
+            .get("data")
+            .and_then(|d| d.get("values"))
+            .and_then(Value::as_array)
+            .expect("inline data values");
+        assert_eq!(values.len(), 2);
+        // Numeric cells become JSON numbers, not strings.
+        assert_eq!(values[0].get("size").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(values[1].get("share").and_then(Value::as_f64), Some(0.2));
+        // Three columns: folded multi-series line chart on quantitative x.
+        assert_eq!(spec.get("mark").and_then(Value::as_str), Some("line"));
+        let fold = spec
+            .get("transform")
+            .and_then(Value::as_array)
+            .and_then(|t| t[0].get("fold"))
+            .and_then(Value::as_array)
+            .expect("fold transform");
+        assert_eq!(fold.len(), 2);
+        assert_eq!(fold[0].as_str(), Some("count"));
+        let x = spec
+            .get("encoding")
+            .and_then(|e| e.get("x"))
+            .expect("x encoding");
+        assert_eq!(x.get("type").and_then(Value::as_str), Some("quantitative"));
+    }
+
+    #[test]
+    fn vega_spec_switches_to_bars_for_categorical_x() {
+        use perils_util::json::{parse, Value};
+        let mut data = Table::new(vec!["tld", "zones"]);
+        data.row(vec!["com", "120"]);
+        data.row(vec!["net", "35"]);
+        let fig = RenderedFigure::new("tlds", "Zones per TLD", "t\n", data);
+        let spec = parse(&fig.vega()).expect("vega spec parses");
+        assert_eq!(spec.get("mark").and_then(Value::as_str), Some("bar"));
+        let encoding = spec.get("encoding").expect("encoding");
+        let x = encoding.get("x").expect("x");
+        assert_eq!(x.get("field").and_then(Value::as_str), Some("tld"));
+        assert_eq!(x.get("type").and_then(Value::as_str), Some("ordinal"));
+        assert_eq!(
+            encoding
+                .get("y")
+                .and_then(|y| y.get("field"))
+                .and_then(Value::as_str),
+            Some("zones")
+        );
+        // Two columns: no fold transform.
+        assert_eq!(spec.get("transform"), None);
+        // Categorical cells stay strings.
+        let values = spec
+            .get("data")
+            .and_then(|d| d.get("values"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(values[0].get("tld").and_then(Value::as_str), Some("com"));
+        assert_eq!(values[0].get("zones").and_then(Value::as_f64), Some(120.0));
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   plus registered metrics, run in one sharded deterministic pass), and
 //!   the rendering pipeline ([`survey::Figure`] + [`survey::FigureRegistry`]
 //!   + [`survey::ReportSink`]).
+//! * [`service`] — the `perilsd` daemon: a warm [`service::WorldSnapshot`]
+//!   behind an atomically swappable store, per-name queries over HTTP,
+//!   reloads that never block readers, and a Prometheus metrics plane
+//!   (see OBSERVABILITY.md).
 //! * [`util`] — deterministic RNG, distributions, statistics, tables.
 //!
 //! ## Quickstart: run the classic survey
@@ -289,6 +293,7 @@ pub use perils_dns as dns;
 pub use perils_graph as graph;
 pub use perils_netsim as netsim;
 pub use perils_resolver as resolver;
+pub use perils_service as service;
 pub use perils_survey as survey;
 pub use perils_util as util;
 pub use perils_vulndb as vulndb;
