@@ -236,7 +236,7 @@ impl Daemon {
                             self.metrics.queue_rejected();
                             let mut conn = conn;
                             let _ = Response::error(503, "connection queue full")
-                                .write_to(&mut conn, false);
+                                .write_to(&mut conn, false, true);
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -275,9 +275,13 @@ impl Daemon {
             };
             let epoch = self.store.epoch() + 1;
             let next = WorldSnapshot::build(&spec, epoch, self.config.threads, self.config.figures);
+            // Clear the gate *before* the swap publishes the new epoch:
+            // a client that polls `/healthz` until the epoch bumps and
+            // then posts the next reload must never bounce off a flag
+            // that is only cleared after the swap it already observed.
+            self.reloading.store(false, Ordering::SeqCst);
             self.store.swap(next);
             self.metrics.reload_completed();
-            self.reloading.store(false, Ordering::SeqCst);
         }
     }
 
@@ -309,7 +313,7 @@ impl Daemon {
                 Err(RequestError::Malformed(why)) => {
                     let response = Response::error(400, why);
                     self.metrics.record(Endpoint::Other, 400, Duration::ZERO);
-                    let _ = response.write_to(&mut writer, false);
+                    let _ = response.write_to(&mut writer, false, true);
                     return Ok(());
                 }
                 Err(RequestError::Io(e)) => return Err(e),
@@ -317,7 +321,10 @@ impl Daemon {
             let started = Instant::now();
             let (endpoint, response, shutdown_after) = self.route(&request, workspace, reload_tx);
             let keep_alive = request.keep_alive && !shutdown_after && !self.is_shutting_down();
-            response.write_to(&mut writer, keep_alive)?;
+            // HEAD answers carry the head (real Content-Length included)
+            // but no body bytes.
+            let include_body = request.method != "HEAD";
+            response.write_to(&mut writer, keep_alive, include_body)?;
             self.metrics
                 .record(endpoint, response.status, started.elapsed());
             self.requests_served.fetch_add(1, Ordering::Relaxed);
@@ -441,6 +448,11 @@ impl Daemon {
     }
 
     /// Parses an optional `{"seed":N}` body and queues a rebuild.
+    ///
+    /// At most one reload is pending at a time: the `reloading` flag is
+    /// the admission gate, so a burst of `POST /reload` queues one
+    /// rebuild and answers `409` to the rest instead of stacking
+    /// multi-second builds back-to-back (retry once the epoch bumps).
     fn schedule_reload(&self, body: &[u8], reload_tx: &mpsc::Sender<ReloadRequest>) -> Response {
         let mut seed = None;
         if !body.is_empty() {
@@ -466,7 +478,9 @@ impl Daemon {
                 None => return Response::error(400, "reload body supports only \"seed\""),
             }
         }
-        self.reloading.store(true, Ordering::SeqCst);
+        if self.reloading.swap(true, Ordering::SeqCst) {
+            return Response::error(409, "a reload is already pending; retry after the epoch bumps");
+        }
         if reload_tx.send(ReloadRequest { seed }).is_err() {
             self.reloading.store(false, Ordering::SeqCst);
             return Response::error(503, "daemon is draining");
@@ -566,6 +580,21 @@ mod tests {
         assert_eq!(endpoint, Endpoint::Shutdown);
         assert_eq!(response.status, 200);
         assert!(drain);
+    }
+
+    #[test]
+    fn concurrent_reloads_are_gated_to_one_pending() {
+        let daemon = tiny_daemon(1);
+        let (tx, rx) = mpsc::channel();
+        assert_eq!(daemon.schedule_reload(b"", &tx).status, 202);
+        // While one is pending, further reloads bounce instead of
+        // stacking full rebuilds, and queue nothing.
+        assert_eq!(daemon.schedule_reload(b"{\"seed\":7}", &tx).status, 409);
+        assert!(rx.try_recv().is_ok(), "exactly one rebuild queued");
+        assert!(rx.try_recv().is_err(), "the 409 queued nothing");
+        // Once the reloader clears the gate, scheduling works again.
+        daemon.reloading.store(false, Ordering::SeqCst);
+        assert_eq!(daemon.schedule_reload(b"", &tx).status, 202);
     }
 
     #[test]

@@ -109,12 +109,14 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
 
     let mut content_length = 0usize;
     let mut connection: Option<String> = None;
+    let mut saw_blank_line = false;
     for _ in 0..=MAX_HEADERS {
         let line = match read_line(reader)? {
             None => return Err(RequestError::Malformed("eof inside headers")),
             Some(line) => line,
         };
         if line.is_empty() {
+            saw_blank_line = true;
             break;
         }
         let (key, value) = line
@@ -134,6 +136,12 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
             "connection" => connection = Some(value.to_ascii_lowercase()),
             _ => {}
         }
+    }
+    // Erroring (and closing) matters here: falling through would read
+    // the excess header bytes as the body / next request line and
+    // desync the connection.
+    if !saw_blank_line {
+        return Err(RequestError::Malformed("too many headers"));
     }
 
     let keep_alive = match connection.as_deref() {
@@ -198,8 +206,16 @@ impl Response {
 
     /// Serializes the response. The status line says `HTTP/1.0` — the
     /// served subset — with an explicit `Connection` header so both
-    /// 1.0 and 1.1 clients agree on connection reuse.
-    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+    /// 1.0 and 1.1 clients agree on connection reuse. `include_body`
+    /// is `false` for `HEAD` requests: the head (with the real
+    /// `Content-Length`) goes out, the body bytes do not — sending
+    /// them would desync a keep-alive client's next response.
+    pub fn write_to(
+        &self,
+        writer: &mut impl Write,
+        keep_alive: bool,
+        include_body: bool,
+    ) -> io::Result<()> {
         let head = format!(
             "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
@@ -209,7 +225,9 @@ impl Response {
             if keep_alive { "keep-alive" } else { "close" },
         );
         writer.write_all(head.as_bytes())?;
-        writer.write_all(self.body.as_bytes())?;
+        if include_body {
+            writer.write_all(self.body.as_bytes())?;
+        }
         writer.flush()
     }
 }
@@ -222,6 +240,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -291,15 +310,46 @@ mod tests {
     }
 
     #[test]
+    fn too_many_headers_is_an_error_not_a_desync() {
+        let mut request = String::from("GET / HTTP/1.0\r\n");
+        for i in 0..=MAX_HEADERS {
+            request.push_str(&format!("X-Pad-{i}: x\r\n"));
+        }
+        request.push_str("\r\n");
+        assert!(matches!(
+            parse(request.as_bytes()),
+            Err(RequestError::Malformed("too many headers"))
+        ));
+        // Exactly MAX_HEADERS headers still parse.
+        let mut request = String::from("GET / HTTP/1.0\r\n");
+        for i in 0..MAX_HEADERS {
+            request.push_str(&format!("X-Pad-{i}: x\r\n"));
+        }
+        request.push_str("\r\n");
+        assert!(parse(request.as_bytes()).is_ok());
+    }
+
+    #[test]
     fn responses_serialize_with_explicit_connection_header() {
         let mut out = Vec::new();
         Response::json(200, "{}".to_string())
-            .write_to(&mut out, true)
+            .write_to(&mut out, true, true)
             .expect("writes");
         let text = String::from_utf8(out).expect("ascii");
         assert!(text.starts_with("HTTP/1.0 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn head_serialization_keeps_content_length_but_omits_the_body() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"k\":1}".to_string())
+            .write_to(&mut out, true, false)
+            .expect("writes");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "no body bytes after the head");
     }
 }

@@ -21,8 +21,9 @@
 //!   contract extends to the wire.
 //! * **control** — `POST /reload` rebuilds the next snapshot from the
 //!   streamed [`perils_survey::engine::WorldSource`] path on a
-//!   dedicated thread and swaps it in without blocking readers;
-//!   `POST /shutdown` drains queued connections and exits.
+//!   dedicated thread and swaps it in without blocking readers
+//!   (admission-gated to one pending rebuild; excess posts answer
+//!   `409`); `POST /shutdown` drains queued connections and exits.
 //! * **observability** — `GET /healthz`, `GET /metrics` (Prometheus
 //!   text exposition; every field is documented in `OBSERVABILITY.md`).
 

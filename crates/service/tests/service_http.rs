@@ -104,6 +104,39 @@ impl Client {
         (status, raw, String::from_utf8(body).expect("utf8 body"))
     }
 
+    /// Sends a `HEAD` request and reads only what a HEAD exchange
+    /// leaves on the wire: status line + headers, no body. Returns the
+    /// status and the advertised `Content-Length`.
+    fn head(&mut self, path: &str) -> (u16, usize) {
+        let request =
+            format!("HEAD {path} HTTP/1.0\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n");
+        self.reader
+            .get_mut()
+            .write_all(request.as_bytes())
+            .expect("send");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split_ascii_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("header line");
+            let trimmed = header.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some(value) = trimmed.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = value.trim().parse().expect("content length");
+            }
+        }
+        (status, content_length)
+    }
+
     /// A request whose body must parse as JSON; returns (status, value).
     fn json(&mut self, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
         let (status, _, text) = self.request(method, path, body);
@@ -237,6 +270,23 @@ fn reload_under_load_keeps_epochs_monotonic_per_connection() {
     assert_eq!(summary.reloads, RELOADS);
     assert_eq!(daemon.store().epoch(), 1 + RELOADS);
     assert!(summary.requests > RELOADS * 2);
+}
+
+#[test]
+fn head_on_keep_alive_does_not_desync_the_connection() {
+    let daemon = tiny_daemon(1, false);
+    let ((), _) = with_daemon(&daemon, |addr| {
+        let mut client = Client::connect(addr);
+        let (status, content_length) = client.head("/healthz");
+        assert_eq!(status, 200);
+        assert!(content_length > 0, "HEAD still advertises the body length");
+        // Had the daemon written body bytes for the HEAD, this next
+        // exchange on the same connection would read them as its status
+        // line and fail.
+        let (status, health) = client.json("GET", "/healthz", None);
+        assert_eq!(status, 200);
+        assert_eq!(epoch_of(&health), 1);
+    });
 }
 
 #[test]

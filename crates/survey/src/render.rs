@@ -236,8 +236,9 @@ impl RenderedFigure {
     }
 
     /// A self-contained [Vega-Lite v5] spec: the data table inlined as
-    /// `data.values` (cells that parse as numbers become JSON numbers,
-    /// everything else stays a string), charted as a line plot of every
+    /// `data.values` (cells that are valid JSON number tokens are
+    /// spliced as JSON numbers, everything else stays a string),
+    /// charted as a line plot of every
     /// column against the first. With more than two columns a `fold`
     /// transform melts them into one series axis colored by column name;
     /// a non-numeric first column switches the x encoding to ordinal and
@@ -246,7 +247,16 @@ impl RenderedFigure {
     /// [Vega-Lite v5]: https://vega.github.io/vega-lite/
     pub fn vega(&self) -> String {
         let headers = self.data.headers();
-        let numeric = |cell: &str| cell.trim().parse::<f64>().is_ok();
+        // The cell is spliced into the spec verbatim when "numeric", so
+        // the check must be the JSON number *grammar*, not
+        // `str::parse::<f64>` — the latter accepts `NaN`, `inf`, `1.`,
+        // `.5`, `+2`, all of which would corrupt the emitted document.
+        let numeric = |cell: &str| {
+            matches!(
+                perils_util::json::parse(cell.trim()),
+                Ok(perils_util::json::Value::Number(_))
+            )
+        };
         let mut numeric_x = true;
         let mut out = String::from(
             "{\"$schema\":\"https://vega.github.io/schema/vega-lite/v5.json\",\"title\":",
@@ -915,6 +925,34 @@ mod tests {
             .and_then(|e| e.get("x"))
             .expect("x encoding");
         assert_eq!(x.get("type").and_then(Value::as_str), Some("quantitative"));
+    }
+
+    #[test]
+    fn vega_quotes_float_lookalikes_that_are_not_json_numbers() {
+        use perils_util::json::{parse, Value};
+        // Every one of these parses as f64 but is not a JSON number
+        // token; spliced verbatim they would make the spec unparseable.
+        let mut data = Table::new(vec!["label", "value"]);
+        for cell in ["NaN", "inf", "-inf", "1.", ".5", "+2"] {
+            data.row(vec!["row", cell]);
+        }
+        data.row(vec!["row", "2.5"]);
+        let fig = RenderedFigure::new("odd", "Odd cells", "t\n", data);
+        let spec = parse(&fig.vega()).expect("spec stays valid JSON");
+        let values = spec
+            .get("data")
+            .and_then(|d| d.get("values"))
+            .and_then(Value::as_array)
+            .expect("inline data values");
+        for (row, cell) in ["NaN", "inf", "-inf", "1.", ".5", "+2"].iter().enumerate() {
+            assert_eq!(
+                values[row].get("value").and_then(Value::as_str),
+                Some(*cell),
+                "{cell} must be emitted as a quoted string"
+            );
+        }
+        // A real JSON number still comes through as a number.
+        assert_eq!(values[6].get("value").and_then(Value::as_f64), Some(2.5));
     }
 
     #[test]

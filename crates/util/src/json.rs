@@ -115,11 +115,20 @@ impl Value {
     }
 }
 
+/// Maximum container nesting depth [`parse`] accepts. Recursion depth
+/// is bounded by input nesting, so without a cap a small hostile
+/// document (~30k bytes of `[`) overflows the stack of whatever thread
+/// called `parse` — and the service feeds network bodies straight in.
+/// 128 is far beyond any document the workspace emits.
+pub const MAX_DEPTH: usize = 128;
+
 /// What went wrong at [`JsonError::offset`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JsonErrorKind {
     /// No value where one was required.
     ExpectedValue,
+    /// Containers nested deeper than [`MAX_DEPTH`].
+    DepthLimitExceeded,
     /// A specific punctuation byte was required (`:`/`,`/`}`/`]`/...).
     ExpectedToken(char),
     /// `true`/`false`/`null` started but did not finish.
@@ -142,6 +151,9 @@ impl std::fmt::Display for JsonErrorKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             JsonErrorKind::ExpectedValue => write!(f, "expected a JSON value"),
+            JsonErrorKind::DepthLimitExceeded => {
+                write!(f, "nesting deeper than {MAX_DEPTH} levels")
+            }
             JsonErrorKind::ExpectedToken(c) => write!(f, "expected {c:?}"),
             JsonErrorKind::MalformedLiteral => write!(f, "malformed literal"),
             JsonErrorKind::MalformedNumber => write!(f, "malformed number"),
@@ -183,7 +195,7 @@ impl std::error::Error for JsonError {}
 pub fn parse(s: &str) -> Result<Value, JsonError> {
     let bytes = s.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(JsonError::at(pos, JsonErrorKind::TrailingContent));
@@ -217,11 +229,17 @@ fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), JsonError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+/// `depth` counts enclosing containers: `0` at the top level, `+1` per
+/// `[`/`{`. At [`MAX_DEPTH`] the parse fails instead of recursing —
+/// the recursion depth here is attacker-controlled otherwise.
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
     skip_ws(bytes, pos);
+    if depth >= MAX_DEPTH {
+        return Err(JsonError::at(*pos, JsonErrorKind::DepthLimitExceeded));
+    }
     match bytes.get(*pos) {
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
         Some(b't') => parse_literal(bytes, pos, b"true", Value::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, b"false", Value::Bool(false)),
@@ -245,7 +263,7 @@ fn parse_literal(
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
     expect(bytes, pos, b'{')?;
     skip_ws(bytes, pos);
     let mut members = Vec::new();
@@ -258,7 +276,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         members.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -272,7 +290,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
     expect(bytes, pos, b'[')?;
     skip_ws(bytes, pos);
     let mut items = Vec::new();
@@ -281,7 +299,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
         return Ok(Value::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -560,6 +578,28 @@ mod tests {
         let err = parse("null null").unwrap_err();
         assert_eq!(err.kind, JsonErrorKind::TrailingContent);
         assert_eq!(err.to_string(), "trailing content at byte 5");
+    }
+
+    #[test]
+    fn nesting_is_capped_instead_of_recursing_unboundedly() {
+        let nested = |n: usize| format!("{}{}", "[".repeat(n), "]".repeat(n));
+        assert!(parse(&nested(MAX_DEPTH)).is_ok());
+        let err = parse(&nested(MAX_DEPTH + 1)).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::DepthLimitExceeded);
+        // Objects hit the same cap.
+        let deep_obj = format!("{}1{}", "{\"k\":".repeat(MAX_DEPTH + 1), "}".repeat(MAX_DEPTH + 1));
+        assert_eq!(
+            parse(&deep_obj).unwrap_err().kind,
+            JsonErrorKind::DepthLimitExceeded
+        );
+        // The attack shape: a 60 KB document of open brackets must be a
+        // typed error, not a stack overflow (this would abort the whole
+        // process before the cap existed).
+        let bomb = "[".repeat(60 * 1024);
+        assert_eq!(
+            parse(&bomb).unwrap_err().kind,
+            JsonErrorKind::DepthLimitExceeded
+        );
     }
 
     #[test]
