@@ -30,7 +30,14 @@
 //!   port and measure warm per-name query latency over a keep-alive
 //!   connection (client-side p50/p99), plus one snapshot reload
 //!   (`BENCH_08.json` in CI — the service contract is p50 < 5 ms at
-//!   100k names).
+//!   100k names);
+//! * `snapshot`: the zero-parse archive numbers (`BENCH_09.json` in CI)
+//!   — full world build time vs `.psa` save time, archive size, and
+//!   load time (median of three), reporting the cold-start speedup.
+//!   `--verify` additionally asserts the loaded world is structurally
+//!   identical (universe, index, lint facts, names) and that figures
+//!   recomputed from it are byte-identical; `--assert-speedup X` fails
+//!   the run if load is not at least `X`× faster than rebuild.
 
 use perils_bench::scaled_params;
 use perils_core::closure::DependencyIndex;
@@ -384,12 +391,140 @@ fn run_service_mode(seed: u64, names: usize, worker_threads: usize, out: Option<
     }
 }
 
+/// The zero-parse archive benchmark (`--mode snapshot`): build a world
+/// the way a cold `perilsd` boot would (universe + dependency index +
+/// lint facts), archive it, then time the bulk-read load path against
+/// the rebuild it replaces.
+fn run_snapshot_mode(
+    seed: u64,
+    names: usize,
+    verify: bool,
+    assert_speedup: Option<f64>,
+    out: Option<String>,
+) {
+    use perils_core::LintIndex;
+    use perils_survey::engine::AnalysisWorld;
+    use perils_survey::render::{FigureOutcome, FigureRegistry};
+
+    let build_start = Instant::now();
+    let world = SyntheticSource {
+        params: scaled_params(seed, names),
+    }
+    .load();
+    let index = DependencyIndex::build(&world.universe);
+    let lint = LintIndex::build(&world.universe);
+    let build_s = build_start.elapsed().as_secs_f64();
+    eprintln!(
+        "snapshot: built {} names, {} zones, {} servers in {build_s:.2} s",
+        world.names.len(),
+        world.universe.zone_count(),
+        world.universe.server_count(),
+    );
+
+    let path =
+        std::env::temp_dir().join(format!("bench_snapshot_{}_{names}.psa", std::process::id()));
+    let save_start = Instant::now();
+    let archive_bytes = perils_survey::save_world(
+        &path,
+        &world.universe,
+        &index,
+        &lint,
+        &world.names,
+        &world.top500,
+        None,
+    )
+    .expect("save archive");
+    let save_s = save_start.elapsed().as_secs_f64();
+
+    // Time-to-ready: the daemon holds the loaded world for its lifetime,
+    // so the metric stops when the world is usable — dropping it (a million
+    // tiny frees at 100k names) happens outside the timed region, exactly
+    // as it does on a real cold boot.
+    let load_ms = median_ms(
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                let loaded = perils_survey::load_world(&path).expect("load archive");
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                drop(std::hint::black_box(loaded));
+                ms
+            })
+            .collect(),
+    );
+    let speedup = build_s / (load_ms / 1e3);
+    eprintln!(
+        "snapshot: saved {archive_bytes} bytes in {save_s:.2} s; \
+         load {load_ms:.1} ms (median of 3) — {speedup:.1}x faster than rebuild"
+    );
+
+    let verified = if verify {
+        let loaded = perils_survey::load_world(&path).expect("load archive");
+        assert!(loaded.universe == world.universe, "universe differs");
+        assert!(loaded.index == index, "dependency index differs");
+        assert!(loaded.lint == lint, "lint facts differ");
+        assert_eq!(loaded.names, world.names, "name list differs");
+        assert_eq!(loaded.top500, world.top500, "top500 differs");
+
+        // Figures recomputed from the loaded world must be byte-identical.
+        let engine = Engine::with_builtin_metrics();
+        let registry = FigureRegistry::classic();
+        let figure_bytes = |world: AnalysisWorld, index: &DependencyIndex| -> String {
+            let report = engine.run_world_indexed(world, index);
+            let mut all = String::new();
+            for outcome in registry.build_all(&report) {
+                if let FigureOutcome::Rendered(figure) = outcome {
+                    all.push_str(figure.id());
+                    all.push_str(&figure.json());
+                }
+            }
+            all
+        };
+        let original = figure_bytes(world, &index);
+        let reloaded = figure_bytes(
+            AnalysisWorld {
+                universe: loaded.universe,
+                names: loaded.names,
+                top500: loaded.top500,
+            },
+            &loaded.index,
+        );
+        assert_eq!(original, reloaded, "figure bytes differ after reload");
+        eprintln!("snapshot: verified — loaded world byte-identical (figures recomputed)");
+        true
+    } else {
+        false
+    };
+    if let Some(minimum) = assert_speedup {
+        assert!(
+            speedup >= minimum,
+            "snapshot load speedup {speedup:.1}x is below the {minimum:.0}x floor \
+             (build {build_s:.2} s vs load {load_ms:.1} ms)"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+
+    let rss = peak_rss_mb();
+    if let Some(path) = out {
+        write_json(
+            &path,
+            format!(
+                "{{\"mode\":\"snapshot\",\"names\":{names},\"build_s\":{build_s:.3},\
+                 \"save_s\":{save_s:.3},\"archive_bytes\":{archive_bytes},\
+                 \"load_ms\":{load_ms:.2},\"speedup\":{speedup:.1},\
+                 \"verified\":{verified},\"peak_rss_mb\":{rss:.1}}}\n"
+            ),
+        );
+    }
+}
+
 fn main() {
     let mut names = 10_000usize;
     let mut mode = "survey".to_string();
     let mut out: Option<String> = None;
     let mut thread_counts: Vec<usize> = vec![1, 2, 8];
     let mut threads_given = false;
+    let mut verify = false;
+    let mut assert_speedup: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -412,6 +547,14 @@ fn main() {
                 }
                 threads_given = true;
             }
+            "--verify" => verify = true,
+            "--assert-speedup" => {
+                assert_speedup = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             _ => usage(),
         }
     }
@@ -426,6 +569,7 @@ fn main() {
             let workers = if threads_given { thread_counts[0] } else { 0 };
             return run_service_mode(2005, names, workers, out);
         }
+        "snapshot" => return run_snapshot_mode(2005, names, verify, assert_speedup, out),
         _ => usage(),
     }
 
@@ -525,8 +669,8 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_smoke [--names N] \
-         [--mode survey|matrix|build-materialized|build-streamed|materialized|streamed|service] \
-         [--threads T1,T2,...] [--out FILE.json]"
+         [--mode survey|matrix|build-materialized|build-streamed|materialized|streamed|service|snapshot] \
+         [--threads T1,T2,...] [--verify] [--assert-speedup X] [--out FILE.json]"
     );
     std::process::exit(2);
 }

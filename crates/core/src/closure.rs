@@ -95,6 +95,42 @@ pub struct DependencyIndex {
     zone_sets: BitSetInterner,
 }
 
+/// Structural equality over every flat table and both interner arenas —
+/// the round-trip contract of the snapshot archive. Two indexes built
+/// from equal universes by the same algorithm compare equal regardless
+/// of thread count (the build is deterministic); an index reconstituted
+/// from an archive compares equal to the one that wrote it.
+impl PartialEq for DependencyIndex {
+    fn eq(&self, other: &DependencyIndex) -> bool {
+        self.home_zone == other.home_zone
+            && self.zone_chain_offsets == other.zone_chain_offsets
+            && self.zone_chain_targets == other.zone_chain_targets
+            && self.zone_dep_offsets == other.zone_dep_offsets
+            && self.zone_dep_targets == other.zone_dep_targets
+            && self.component_of == other.component_of
+            && self.component_servers == other.component_servers
+            && self.component_zones == other.component_zones
+            && self.server_sets == other.server_sets
+            && self.zone_sets == other.zone_sets
+    }
+}
+
+/// The borrowed flat state a snapshot archive persists for a
+/// [`DependencyIndex`] — every field is already a flat array or an
+/// interner arena, so encoding is a straight copy.
+pub(crate) struct DependencyIndexParts<'a> {
+    pub home_zone: &'a [u32],
+    pub zone_chain_offsets: &'a [u32],
+    pub zone_chain_targets: &'a [ZoneId],
+    pub zone_dep_offsets: &'a [u32],
+    pub zone_dep_targets: &'a [ServerId],
+    pub component_of: &'a [u32],
+    pub component_servers: &'a [SetId],
+    pub component_zones: &'a [SetId],
+    pub server_sets: &'a BitSetInterner,
+    pub zone_sets: &'a BitSetInterner,
+}
+
 /// Wall time of each stage of a [`DependencyIndex`] build, as measured by
 /// [`DependencyIndex::build_with_stats`]: the zone-row recurrence, the SCC
 /// pass, the condensation, and the per-component memoization.
@@ -679,6 +715,147 @@ fn memoize_levels(
 }
 
 impl DependencyIndex {
+    /// Borrows the flat state a snapshot archive persists.
+    pub(crate) fn snapshot_parts(&self) -> DependencyIndexParts<'_> {
+        DependencyIndexParts {
+            home_zone: &self.home_zone,
+            zone_chain_offsets: &self.zone_chain_offsets,
+            zone_chain_targets: &self.zone_chain_targets,
+            zone_dep_offsets: &self.zone_dep_offsets,
+            zone_dep_targets: &self.zone_dep_targets,
+            component_of: &self.component_of,
+            component_servers: &self.component_servers,
+            component_zones: &self.component_zones,
+            server_sets: &self.server_sets,
+            zone_sets: &self.zone_sets,
+        }
+    }
+
+    /// Reassembles an index from archived flat state, validating every
+    /// cross-table invariant (CSR monotonicity, id bounds, set-id bounds
+    /// against the interners) against the owning universe's dimensions.
+    /// No graph traversal, no SCC pass — the memoized structure is taken
+    /// as stored, which is safe because the caller (the snapshot loader)
+    /// has already checksum-verified the bytes and this validation makes
+    /// even a forged section unable to cause panics downstream.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_snapshot_parts(
+        universe: &Universe,
+        home_zone: Vec<u32>,
+        zone_chain_offsets: Vec<u32>,
+        zone_chain_targets: Vec<ZoneId>,
+        zone_dep_offsets: Vec<u32>,
+        zone_dep_targets: Vec<ServerId>,
+        component_of: Vec<u32>,
+        component_servers: Vec<SetId>,
+        component_zones: Vec<SetId>,
+        server_sets: BitSetInterner,
+        zone_sets: BitSetInterner,
+    ) -> Result<DependencyIndex, String> {
+        let n = universe.server_count();
+        let zn = universe.zone_count();
+        if home_zone.len() != n {
+            return Err(format!(
+                "home_zone has {} entries for {n} servers",
+                home_zone.len()
+            ));
+        }
+        if let Some(&bad) = home_zone
+            .iter()
+            .find(|&&z| z != u32::MAX && z as usize >= zn)
+        {
+            return Err(format!("home_zone references zone {bad} of {zn}"));
+        }
+        let check_csr = |offsets: &[u32], targets: usize, what: &str| -> Result<(), String> {
+            if offsets.len() != zn + 1 {
+                return Err(format!(
+                    "{what} offsets have {} entries for {zn} zones",
+                    offsets.len()
+                ));
+            }
+            if offsets.first() != Some(&0) || !offsets.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(format!("{what} offsets are not monotonic from zero"));
+            }
+            if offsets.last().copied().unwrap_or(0) as usize != targets {
+                return Err(format!(
+                    "{what} offsets end at {:?} but {targets} targets stored",
+                    offsets.last()
+                ));
+            }
+            Ok(())
+        };
+        check_csr(&zone_chain_offsets, zone_chain_targets.len(), "chain")?;
+        check_csr(&zone_dep_offsets, zone_dep_targets.len(), "dep")?;
+        if let Some(bad) = zone_chain_targets.iter().find(|z| z.index() >= zn) {
+            return Err(format!("chain row references zone {} of {zn}", bad.0));
+        }
+        if let Some(bad) = zone_dep_targets.iter().find(|s| s.index() >= n) {
+            return Err(format!("dep row references server {} of {n}", bad.0));
+        }
+        if component_of.len() != n {
+            return Err(format!(
+                "component_of has {} entries for {n} servers",
+                component_of.len()
+            ));
+        }
+        let components = component_servers.len();
+        if component_zones.len() != components {
+            return Err(format!(
+                "component_zones has {} entries for {components} components",
+                component_zones.len()
+            ));
+        }
+        if let Some(&bad) = component_of.iter().find(|&&c| c as usize >= components) {
+            return Err(format!(
+                "component_of references component {bad} of {components}"
+            ));
+        }
+        if server_sets.capacity() != n {
+            return Err(format!(
+                "server interner capacity {} for {n} servers",
+                server_sets.capacity()
+            ));
+        }
+        if zone_sets.capacity() != zn {
+            return Err(format!(
+                "zone interner capacity {} for {zn} zones",
+                zone_sets.capacity()
+            ));
+        }
+        if let Some(bad) = component_servers
+            .iter()
+            .find(|s| s.index() >= server_sets.len())
+        {
+            return Err(format!(
+                "component server set {} of {} interned",
+                bad.raw(),
+                server_sets.len()
+            ));
+        }
+        if let Some(bad) = component_zones
+            .iter()
+            .find(|s| s.index() >= zone_sets.len())
+        {
+            return Err(format!(
+                "component zone set {} of {} interned",
+                bad.raw(),
+                zone_sets.len()
+            ));
+        }
+        Ok(DependencyIndex {
+            home_zone,
+            zone_chain_offsets,
+            zone_chain_targets,
+            zone_dep_offsets,
+            zone_dep_targets,
+            component_of,
+            component_servers,
+            component_zones,
+            server_sets,
+            zone_sets,
+        })
+    }
+
     /// Builds the index. Small universes build inline; larger ones
     /// parallelize across available cores (the result is identical either
     /// way).

@@ -44,6 +44,7 @@ pub mod hijack;
 pub mod lint;
 pub mod metric;
 pub mod misconfig;
+pub mod snapshot;
 pub mod tcb;
 pub mod universe;
 pub mod usable;

@@ -163,7 +163,7 @@ pub struct Diagnostic {
 
 /// Universe-wide facts shared by every rule, built once per lint run
 /// (the analogue of [`crate::metric::NameMetric::prepare`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LintIndex {
     depths: DepthIndex,
     zombies: ZombieIndex,
@@ -172,6 +172,46 @@ pub struct LintIndex {
 }
 
 impl LintIndex {
+    /// Borrows the flat state a snapshot archive persists.
+    pub(crate) fn snapshot_parts(&self) -> (&DepthIndex, &ZombieIndex, &[bool], &[bool]) {
+        (
+            &self.depths,
+            &self.zombies,
+            &self.zone_reachable,
+            &self.referenced,
+        )
+    }
+
+    /// Reassembles the shared lint facts from archived flat state.
+    pub(crate) fn from_snapshot_parts(
+        universe: &Universe,
+        depths: DepthIndex,
+        zombies: ZombieIndex,
+        zone_reachable: Vec<bool>,
+        referenced: Vec<bool>,
+    ) -> Result<LintIndex, String> {
+        if zone_reachable.len() != universe.zone_count() {
+            return Err(format!(
+                "zone_reachable has {} entries for {} zones",
+                zone_reachable.len(),
+                universe.zone_count()
+            ));
+        }
+        if referenced.len() != universe.server_count() {
+            return Err(format!(
+                "referenced has {} entries for {} servers",
+                referenced.len(),
+                universe.server_count()
+            ));
+        }
+        Ok(LintIndex {
+            depths,
+            zombies,
+            zone_reachable,
+            referenced,
+        })
+    }
+
     /// Builds every shared fact: the cycle-collapsed glueless depth
     /// index, the liveness classification, the no-faults reachability
     /// baseline, and which servers any delegation references at all.

@@ -235,7 +235,7 @@ pub fn audit_names(universe: &Universe, names: &[DnsName], depth_threshold: usiz
 /// glueless-dependency graph, linear in servers + edges — which agrees
 /// with [`dependency_depth`] on acyclic webs and treats a mutual-secondary
 /// cycle as a single nesting level. The survey metric uses this.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DepthIndex {
     depth: Vec<usize>,
     component_of: Vec<usize>,
@@ -246,7 +246,78 @@ pub struct DepthIndex {
     cycle_index: Vec<Option<u32>>,
 }
 
+/// The borrowed flat state a snapshot archive persists for a
+/// [`DepthIndex`].
+pub(crate) struct DepthIndexParts<'a> {
+    pub depth: &'a [usize],
+    pub component_of: &'a [usize],
+    pub cycles: &'a [Vec<ServerId>],
+    pub cycle_index: &'a [Option<u32>],
+}
+
 impl DepthIndex {
+    /// Borrows the flat state a snapshot archive persists.
+    pub(crate) fn snapshot_parts(&self) -> DepthIndexParts<'_> {
+        DepthIndexParts {
+            depth: &self.depth,
+            component_of: &self.component_of,
+            cycles: &self.cycles,
+            cycle_index: &self.cycle_index,
+        }
+    }
+
+    /// Reassembles the index from archived flat state, validating the
+    /// cross-table ids so corrupt archives cannot cause out-of-bounds
+    /// lookups later.
+    pub(crate) fn from_snapshot_parts(
+        server_count: usize,
+        depth: Vec<usize>,
+        component_of: Vec<usize>,
+        cycles: Vec<Vec<ServerId>>,
+        cycle_index: Vec<Option<u32>>,
+    ) -> Result<DepthIndex, String> {
+        if depth.len() != server_count {
+            return Err(format!(
+                "depth has {} entries for {server_count} servers",
+                depth.len()
+            ));
+        }
+        if component_of.len() != server_count {
+            return Err(format!(
+                "component_of has {} entries for {server_count} servers",
+                component_of.len()
+            ));
+        }
+        let components = cycle_index.len();
+        if let Some(&bad) = component_of.iter().find(|&&c| c >= components) {
+            return Err(format!(
+                "component_of references component {bad} of {components}"
+            ));
+        }
+        if let Some(bad) = cycle_index
+            .iter()
+            .flatten()
+            .find(|&&c| c as usize >= cycles.len())
+        {
+            return Err(format!(
+                "cycle_index references cycle {bad} of {}",
+                cycles.len()
+            ));
+        }
+        if let Some(bad) = cycles.iter().flatten().find(|s| s.index() >= server_count) {
+            return Err(format!(
+                "cycle references server {} of {server_count}",
+                bad.0
+            ));
+        }
+        Ok(DepthIndex {
+            depth,
+            component_of,
+            cycles,
+            cycle_index,
+        })
+    }
+
     /// Builds the index (O(servers × chain length + edges)).
     pub fn build(universe: &Universe) -> DepthIndex {
         use perils_graph::digraph::{DiGraph, NodeId};

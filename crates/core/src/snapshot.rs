@@ -1,0 +1,412 @@
+//! Flat `.psa` section codecs for the built analysis structures.
+//!
+//! This module is the bridge between the core types and the
+//! [`perils_util::snapshot`] container: each `encode_*` writes one
+//! section's payload as flat little-endian fields, and each `decode_*`
+//! reconstitutes the type by bulk chunk decoding plus structural
+//! validation — every id is bounds-checked against the owning universe's
+//! dimensions before any accessor can index with it, so even a forged
+//! (checksum-valid) archive yields a typed [`SnapshotError`] rather
+//! than a panic or a silently inconsistent world.
+//!
+//! Round-trip contract: `decode_universe(encode_universe(u)) == u`, and
+//! likewise for [`DependencyIndex`] and [`LintIndex`] (all three are
+//! `PartialEq`). The property tests in `perils-survey` pin the stronger
+//! end-to-end claim — figure set, lint output and query responses of a
+//! loaded world are byte-identical to the built one.
+
+use crate::closure::DependencyIndex;
+use crate::lint::LintIndex;
+use crate::misconfig::DepthIndex;
+use crate::universe::{ServerEntry, ServerId, Universe, ZoneEntry, ZoneId};
+use crate::zombie::ZombieIndex;
+use perils_dns::name::{DnsName, Label};
+use perils_graph::bitset::{BitSetInterner, SetId};
+use perils_util::snapshot::{self, Dec, SnapshotError};
+
+/// Section tag for the canonical universe tables.
+pub const SECTION_UNIVERSE: [u8; 8] = *b"UNIVERSE";
+/// Section tag for the dependency index (rows, SCC map, interners).
+pub const SECTION_DEP_INDEX: [u8; 8] = *b"DEPINDEX";
+/// Section tag for the shared lint facts.
+pub const SECTION_LINT: [u8; 8] = *b"LINTIDX\0";
+
+/// Appends a wire-encoded [`DnsName`]: label count, then per label a
+/// length byte and the raw bytes. Decoding re-validates through the
+/// public [`Label::new`] constructor, so a corrupt archive cannot smuggle
+/// an invalid name into the universe.
+pub fn encode_name(out: &mut Vec<u8>, name: &DnsName) {
+    let labels = name.labels();
+    snapshot::put_u8(
+        out,
+        u8::try_from(labels.len()).expect("names have at most 127 labels"),
+    );
+    for label in labels {
+        let bytes = label.as_bytes();
+        snapshot::put_u8(
+            out,
+            u8::try_from(bytes.len()).expect("labels are at most 63 bytes"),
+        );
+        out.extend_from_slice(bytes);
+    }
+}
+
+/// Decodes one [`encode_name`] name, validating every label.
+pub fn decode_name(dec: &mut Dec<'_>) -> Result<DnsName, SnapshotError> {
+    let count = dec.u8()? as usize;
+    let mut labels = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = dec.u8()? as usize;
+        let bytes = dec.raw(len)?;
+        labels.push(Label::new(bytes).map_err(|e| dec.malformed(format!("invalid label: {e}")))?);
+    }
+    DnsName::from_labels(labels).map_err(|e| dec.malformed(format!("invalid name: {e}")))
+}
+
+/// Encodes the universe's flat state as the `UNIVERSE` section payload.
+pub fn encode_universe(universe: &Universe) -> Vec<u8> {
+    let (zones, servers, server_home, zone_parent) = universe.snapshot_parts();
+    let mut out = Vec::new();
+    snapshot::put_u32(
+        &mut out,
+        u32::try_from(zones.len()).expect("zone count fits u32"),
+    );
+    snapshot::put_u32(
+        &mut out,
+        u32::try_from(servers.len()).expect("server count fits u32"),
+    );
+    for zone in zones {
+        encode_name(&mut out, &zone.origin);
+        snapshot::put_u32(
+            &mut out,
+            u32::try_from(zone.ns.len()).expect("ns set fits u32"),
+        );
+        for s in &zone.ns {
+            snapshot::put_u32(&mut out, s.0);
+        }
+    }
+    for server in servers {
+        encode_name(&mut out, &server.name);
+        match &server.banner {
+            Some(banner) => {
+                snapshot::put_u8(&mut out, 1);
+                snapshot::put_bytes(&mut out, banner.as_bytes());
+            }
+            None => snapshot::put_u8(&mut out, 0),
+        }
+        let flags = u8::from(server.vulnerable)
+            | u8::from(server.scripted_exploit) << 1
+            | u8::from(server.is_root) << 2;
+        snapshot::put_u8(&mut out, flags);
+    }
+    snapshot::put_u32_slice(&mut out, server_home);
+    snapshot::put_u32_slice(&mut out, zone_parent);
+    out
+}
+
+/// Decodes a `UNIVERSE` section back into a [`Universe`].
+pub fn decode_universe(payload: &[u8]) -> Result<Universe, SnapshotError> {
+    let mut dec = Dec::new(payload, "UNIVERSE");
+    let zone_count = dec.u32()? as usize;
+    let server_count = dec.u32()? as usize;
+    let mut zones = Vec::with_capacity(zone_count.min(payload.len()));
+    for _ in 0..zone_count {
+        let origin = decode_name(&mut dec)?;
+        let ns_len = dec.u32()? as usize;
+        if ns_len * 4 > dec.remaining() {
+            return Err(dec.malformed(format!("NS set of {ns_len} exceeds section")));
+        }
+        let mut ns = Vec::with_capacity(ns_len);
+        for _ in 0..ns_len {
+            ns.push(ServerId(dec.u32()?));
+        }
+        zones.push(ZoneEntry { origin, ns });
+    }
+    let mut servers = Vec::with_capacity(server_count.min(payload.len()));
+    for _ in 0..server_count {
+        let name = decode_name(&mut dec)?;
+        let banner = match dec.u8()? {
+            0 => None,
+            1 => {
+                let bytes = dec.bytes()?;
+                Some(
+                    std::str::from_utf8(bytes)
+                        .map_err(|e| dec.malformed(format!("banner not UTF-8: {e}")))?
+                        .to_string(),
+                )
+            }
+            other => return Err(dec.malformed(format!("banner tag {other} is not 0/1"))),
+        };
+        let flags = dec.u8()?;
+        if flags & !0b111 != 0 {
+            return Err(dec.malformed(format!("server flag byte {flags:#04x} has unknown bits")));
+        }
+        servers.push(ServerEntry {
+            name,
+            banner,
+            vulnerable: flags & 1 != 0,
+            scripted_exploit: flags & 2 != 0,
+            is_root: flags & 4 != 0,
+        });
+    }
+    let server_home = dec.u32_vec()?;
+    let zone_parent = dec.u32_vec()?;
+    dec.finish()?;
+    Universe::from_snapshot_parts(zones, servers, server_home, zone_parent)
+        .map_err(|e| Dec::new(payload, "UNIVERSE").malformed(e))
+}
+
+/// Encodes the dependency index as the `DEPINDEX` section payload.
+pub fn encode_dep_index(index: &DependencyIndex) -> Vec<u8> {
+    let parts = index.snapshot_parts();
+    let mut out = Vec::new();
+    snapshot::put_u32_slice(&mut out, parts.home_zone);
+    snapshot::put_u32_slice(&mut out, parts.zone_chain_offsets);
+    put_id_slice(&mut out, parts.zone_chain_targets.iter().map(|z| z.0));
+    snapshot::put_u32_slice(&mut out, parts.zone_dep_offsets);
+    put_id_slice(&mut out, parts.zone_dep_targets.iter().map(|s| s.0));
+    snapshot::put_u32_slice(&mut out, parts.component_of);
+    put_id_slice(&mut out, parts.component_servers.iter().map(|s| s.raw()));
+    put_id_slice(&mut out, parts.component_zones.iter().map(|s| s.raw()));
+    parts.server_sets.encode_into(&mut out);
+    parts.zone_sets.encode_into(&mut out);
+    out
+}
+
+/// Decodes a `DEPINDEX` section, validating it against `universe`.
+pub fn decode_dep_index(
+    payload: &[u8],
+    universe: &Universe,
+) -> Result<DependencyIndex, SnapshotError> {
+    let mut dec = Dec::new(payload, "DEPINDEX");
+    let home_zone = dec.u32_vec()?;
+    let zone_chain_offsets = dec.u32_vec()?;
+    let zone_chain_targets: Vec<ZoneId> = dec.u32_vec()?.into_iter().map(ZoneId).collect();
+    let zone_dep_offsets = dec.u32_vec()?;
+    let zone_dep_targets: Vec<ServerId> = dec.u32_vec()?.into_iter().map(ServerId).collect();
+    let component_of = dec.u32_vec()?;
+    let component_servers: Vec<SetId> = dec.u32_vec()?.into_iter().map(SetId::from_raw).collect();
+    let component_zones: Vec<SetId> = dec.u32_vec()?.into_iter().map(SetId::from_raw).collect();
+    let server_sets = BitSetInterner::decode_from(&mut dec)?;
+    let zone_sets = BitSetInterner::decode_from(&mut dec)?;
+    dec.finish()?;
+    DependencyIndex::from_snapshot_parts(
+        universe,
+        home_zone,
+        zone_chain_offsets,
+        zone_chain_targets,
+        zone_dep_offsets,
+        zone_dep_targets,
+        component_of,
+        component_servers,
+        component_zones,
+        server_sets,
+        zone_sets,
+    )
+    .map_err(|e| Dec::new(payload, "DEPINDEX").malformed(e))
+}
+
+/// Encodes the shared lint facts as the `LINTIDX` section payload.
+pub fn encode_lint(lint: &LintIndex) -> Vec<u8> {
+    let (depths, zombies, zone_reachable, referenced) = lint.snapshot_parts();
+    let mut out = Vec::new();
+    let d = depths.snapshot_parts();
+    put_usize_slice(&mut out, d.depth);
+    put_usize_slice(&mut out, d.component_of);
+    snapshot::put_u32(
+        &mut out,
+        u32::try_from(d.cycles.len()).expect("cycle count fits u32"),
+    );
+    for cycle in d.cycles {
+        put_id_slice(&mut out, cycle.iter().map(|s| s.0));
+    }
+    // Option<u32> with u32::MAX as the None sentinel (cycle indexes are
+    // bounded by the cycle count, far below MAX).
+    put_id_slice(
+        &mut out,
+        d.cycle_index.iter().map(|c| c.unwrap_or(u32::MAX)),
+    );
+    let (dead_server, zombie_zone) = zombies.snapshot_parts();
+    snapshot::put_bool_slice(&mut out, dead_server);
+    snapshot::put_bool_slice(&mut out, zombie_zone);
+    snapshot::put_bool_slice(&mut out, zone_reachable);
+    snapshot::put_bool_slice(&mut out, referenced);
+    out
+}
+
+/// Decodes a `LINTIDX` section, validating it against `universe`.
+pub fn decode_lint(payload: &[u8], universe: &Universe) -> Result<LintIndex, SnapshotError> {
+    let mut dec = Dec::new(payload, "LINTIDX");
+    let depth = take_usize_vec(&mut dec)?;
+    let component_of = take_usize_vec(&mut dec)?;
+    let cycle_count = dec.u32()? as usize;
+    let mut cycles = Vec::with_capacity(cycle_count.min(payload.len()));
+    for _ in 0..cycle_count {
+        cycles.push(dec.u32_vec()?.into_iter().map(ServerId).collect::<Vec<_>>());
+    }
+    let cycle_index: Vec<Option<u32>> = dec
+        .u32_vec()?
+        .into_iter()
+        .map(|c| if c == u32::MAX { None } else { Some(c) })
+        .collect();
+    let depths = DepthIndex::from_snapshot_parts(
+        universe.server_count(),
+        depth,
+        component_of,
+        cycles,
+        cycle_index,
+    )
+    .map_err(|e| dec.malformed(e))?;
+    let dead_server = dec.bool_vec()?;
+    let zombie_zone = dec.bool_vec()?;
+    let zombies = ZombieIndex::from_snapshot_parts(universe, dead_server, zombie_zone)
+        .map_err(|e| dec.malformed(e))?;
+    let zone_reachable = dec.bool_vec()?;
+    let referenced = dec.bool_vec()?;
+    dec.finish()?;
+    LintIndex::from_snapshot_parts(universe, depths, zombies, zone_reachable, referenced)
+        .map_err(|e| Dec::new(payload, "LINTIDX").malformed(e))
+}
+
+/// Writes an id iterator as a length-prefixed `u32` array.
+fn put_id_slice(out: &mut Vec<u8>, ids: impl ExactSizeIterator<Item = u32>) {
+    snapshot::put_u32(out, u32::try_from(ids.len()).expect("id slice fits u32"));
+    out.reserve(ids.len() * 4);
+    for id in ids {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+}
+
+/// Writes a `usize` slice as a `u32` array — every archived value is an
+/// index bounded by a `u32` id space (debug-asserted; `try_from` guards
+/// release builds too).
+fn put_usize_slice(out: &mut Vec<u8>, values: &[usize]) {
+    snapshot::put_u32(out, u32::try_from(values.len()).expect("slice fits u32"));
+    out.reserve(values.len() * 4);
+    for &v in values {
+        let v = u32::try_from(v).expect("archived index fits u32");
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Reads a [`put_usize_slice`] array back as `usize`s.
+fn take_usize_vec(dec: &mut Dec<'_>) -> Result<Vec<usize>, SnapshotError> {
+    Ok(dec.u32_vec()?.into_iter().map(|v| v as usize).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perils_dns::name::name;
+    use perils_vulndb::VulnDb;
+
+    fn tiny_universe() -> Universe {
+        let db = VulnDb::isc_feb_2004();
+        let mut b = Universe::builder();
+        b.raw_server(&name("a.root-servers.net"), false, true);
+        // Banner-carrying servers so the Option<String> codec and the
+        // vulnerability flag bits are exercised.
+        b.ensure_server(
+            &name("a.gtld.net"),
+            Some("8.2.2-P5".to_string()),
+            &db,
+            false,
+        );
+        b.ensure_server(
+            &name("ns1.example.com"),
+            Some("9.2.3".to_string()),
+            &db,
+            false,
+        );
+        b.add_zone(&DnsName::root(), &[name("a.root-servers.net")]);
+        b.add_zone(&name("com"), &[name("a.gtld.net")]);
+        b.add_zone(&name("net"), &[name("a.gtld.net")]);
+        b.add_zone(&name("gtld.net"), &[name("a.gtld.net")]);
+        b.add_zone(
+            &name("example.com"),
+            &[name("ns1.example.com"), name("ns.offsite.org")],
+        );
+        b.add_zone(&name("org"), &[name("a.gtld.net")]);
+        b.add_zone(&name("offsite.org"), &[name("ns.offsite.org")]);
+        // Dead-branch delegation so the lint facts are non-trivial.
+        b.add_zone(&name("stale.com"), &[name("ns.ghost.zz")]);
+        b.finish()
+    }
+
+    #[test]
+    fn universe_round_trips_byte_identically() {
+        let universe = tiny_universe();
+        let bytes = encode_universe(&universe);
+        let loaded = decode_universe(&bytes).expect("decodes");
+        assert_eq!(loaded, universe);
+        assert_eq!(encode_universe(&loaded), bytes, "re-encode is byte-stable");
+    }
+
+    #[test]
+    fn dep_index_round_trips_and_compares_equal() {
+        let universe = tiny_universe();
+        let index = DependencyIndex::build(&universe);
+        let bytes = encode_dep_index(&index);
+        let loaded = decode_dep_index(&bytes, &universe).expect("decodes");
+        assert_eq!(loaded, index);
+        assert_eq!(encode_dep_index(&loaded), bytes, "re-encode is byte-stable");
+    }
+
+    #[test]
+    fn lint_index_round_trips_and_compares_equal() {
+        let universe = tiny_universe();
+        let lint = LintIndex::build(&universe);
+        let bytes = encode_lint(&lint);
+        let loaded = decode_lint(&bytes, &universe).expect("decodes");
+        assert_eq!(loaded, lint);
+        assert_eq!(encode_lint(&loaded), bytes, "re-encode is byte-stable");
+    }
+
+    #[test]
+    fn decoders_reject_mismatched_universe() {
+        let universe = tiny_universe();
+        let index = DependencyIndex::build(&universe);
+        let bytes = encode_dep_index(&index);
+        let other = Universe::builder().finish();
+        assert!(matches!(
+            decode_dep_index(&bytes, &other),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        let lint_bytes = encode_lint(&LintIndex::build(&universe));
+        assert!(matches!(
+            decode_lint(&lint_bytes, &other),
+            Err(SnapshotError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_sections_never_panic() {
+        let universe = tiny_universe();
+        let index = DependencyIndex::build(&universe);
+        let lint = LintIndex::build(&universe);
+        let sections = [
+            encode_universe(&universe),
+            encode_dep_index(&index),
+            encode_lint(&lint),
+        ];
+        for (which, bytes) in sections.iter().enumerate() {
+            for len in 0..bytes.len() {
+                let truncated = &bytes[..len];
+                let _ = match which {
+                    0 => decode_universe(truncated).map(|_| ()),
+                    1 => decode_dep_index(truncated, &universe).map(|_| ()),
+                    _ => decode_lint(truncated, &universe).map(|_| ()),
+                };
+            }
+            for byte in (0..bytes.len()).step_by(3) {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 0x40;
+                let _ = match which {
+                    0 => decode_universe(&bad).map(|_| ()),
+                    1 => decode_dep_index(&bad, &universe).map(|_| ()),
+                    _ => decode_lint(&bad, &universe).map(|_| ()),
+                };
+            }
+        }
+    }
+}

@@ -109,6 +109,91 @@ impl Universe {
         builder.finish()
     }
 
+    /// Borrows the flat state a snapshot archive persists: zones,
+    /// servers, and the two ancestor tables. The name→id maps are pure
+    /// derivations and are rebuilt on load.
+    pub(crate) fn snapshot_parts(&self) -> (&[ZoneEntry], &[ServerEntry], &[u32], &[u32]) {
+        (
+            &self.zones,
+            &self.servers,
+            &self.server_home,
+            &self.zone_parent,
+        )
+    }
+
+    /// Reassembles a universe from its [`Universe::snapshot_parts`]
+    /// state, rebuilding the name→id lookup maps (the same derivation
+    /// [`UniverseBuilder::finish_canonical`] performs). Validates every
+    /// cross-table id and rejects duplicate names, so a corrupt archive
+    /// yields an error instead of a structurally inconsistent universe.
+    pub(crate) fn from_snapshot_parts(
+        zones: Vec<ZoneEntry>,
+        servers: Vec<ServerEntry>,
+        server_home: Vec<u32>,
+        zone_parent: Vec<u32>,
+    ) -> Result<Universe, String> {
+        let zone_count = zones.len() as u32;
+        let server_count = servers.len() as u32;
+        if server_home.len() != servers.len() {
+            return Err(format!(
+                "server_home has {} entries for {} servers",
+                server_home.len(),
+                servers.len()
+            ));
+        }
+        if zone_parent.len() != zones.len() {
+            return Err(format!(
+                "zone_parent has {} entries for {} zones",
+                zone_parent.len(),
+                zones.len()
+            ));
+        }
+        for (i, zone) in zones.iter().enumerate() {
+            if let Some(bad) = zone.ns.iter().find(|s| s.0 >= server_count) {
+                return Err(format!(
+                    "zone {i} references server {} of {server_count}",
+                    bad.0
+                ));
+            }
+        }
+        if let Some(&bad) = server_home
+            .iter()
+            .find(|&&z| z != u32::MAX && z >= zone_count)
+        {
+            return Err(format!("server_home references zone {bad} of {zone_count}"));
+        }
+        if let Some(&bad) = zone_parent
+            .iter()
+            .find(|&&z| z != u32::MAX && z >= zone_count)
+        {
+            return Err(format!("zone_parent references zone {bad} of {zone_count}"));
+        }
+        let zone_by_origin: HashMap<DnsName, ZoneId> = zones
+            .iter()
+            .enumerate()
+            .map(|(i, z)| (z.origin.clone(), ZoneId(i as u32)))
+            .collect();
+        if zone_by_origin.len() != zones.len() {
+            return Err("duplicate zone origins".to_string());
+        }
+        let server_by_name: HashMap<DnsName, ServerId> = servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), ServerId(i as u32)))
+            .collect();
+        if server_by_name.len() != servers.len() {
+            return Err("duplicate server names".to_string());
+        }
+        Ok(Universe {
+            zones,
+            zone_by_origin,
+            servers,
+            server_by_name,
+            server_home,
+            zone_parent,
+        })
+    }
+
     /// Number of zones.
     pub fn zone_count(&self) -> usize {
         self.zones.len()

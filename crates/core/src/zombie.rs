@@ -30,13 +30,44 @@ use crate::universe::{ServerId, Universe, ZoneId};
 use std::any::Any;
 
 /// Universe-wide liveness classification behind [`ZombieDelegationMetric`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZombieIndex {
     dead_server: Vec<bool>,
     zombie_zone: Vec<bool>,
 }
 
 impl ZombieIndex {
+    /// Borrows the flat state a snapshot archive persists.
+    pub(crate) fn snapshot_parts(&self) -> (&[bool], &[bool]) {
+        (&self.dead_server, &self.zombie_zone)
+    }
+
+    /// Reassembles the classification from archived flat state.
+    pub(crate) fn from_snapshot_parts(
+        universe: &Universe,
+        dead_server: Vec<bool>,
+        zombie_zone: Vec<bool>,
+    ) -> Result<ZombieIndex, String> {
+        if dead_server.len() != universe.server_count() {
+            return Err(format!(
+                "dead_server has {} entries for {} servers",
+                dead_server.len(),
+                universe.server_count()
+            ));
+        }
+        if zombie_zone.len() != universe.zone_count() {
+            return Err(format!(
+                "zombie_zone has {} entries for {} zones",
+                zombie_zone.len(),
+                universe.zone_count()
+            ));
+        }
+        Ok(ZombieIndex {
+            dead_server,
+            zombie_zone,
+        })
+    }
+
     /// Classifies every server and zone (O(servers + zones × NS)).
     pub fn build(universe: &Universe) -> ZombieIndex {
         let mut dead_server = vec![false; universe.server_count()];

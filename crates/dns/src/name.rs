@@ -45,10 +45,30 @@ impl fmt::Display for NameError {
 
 impl std::error::Error for NameError {}
 
+/// Labels at most this long live inline in the [`Label`] struct rather
+/// than on the heap. Hostname labels are overwhelmingly short, so this
+/// keeps name construction — the hot inner loop of both world building
+/// and zero-parse snapshot decoding — free of per-label allocations.
+const INLINE_LABEL_LEN: usize = 23;
+
+#[derive(Debug, Clone)]
+enum LabelRepr {
+    Inline {
+        len: u8,
+        buf: [u8; INLINE_LABEL_LEN],
+    },
+    Heap(Vec<u8>),
+}
+
 /// A single DNS label: 1–63 bytes, case preserved, case-insensitive identity.
-#[derive(Debug, Clone, Eq)]
+///
+/// Storage is small-string optimized: labels up to 23 bytes (the
+/// overwhelming majority) are stored inline, longer ones on the heap.
+/// The representation is private; identity, ordering, and hashing go
+/// through [`Label::as_bytes`] and never observe it.
+#[derive(Debug, Clone)]
 pub struct Label {
-    bytes: Vec<u8>,
+    repr: LabelRepr,
 }
 
 impl Label {
@@ -69,19 +89,38 @@ impl Label {
                 return Err(NameError::BadByte(b));
             }
         }
-        Ok(Label {
-            bytes: bytes.to_vec(),
-        })
+        Ok(Label::from_validated(bytes))
+    }
+
+    /// Builds the storage for bytes that already passed validation.
+    fn from_validated(bytes: &[u8]) -> Label {
+        if bytes.len() <= INLINE_LABEL_LEN {
+            let mut buf = [0u8; INLINE_LABEL_LEN];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            Label {
+                repr: LabelRepr::Inline {
+                    len: bytes.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            Label {
+                repr: LabelRepr::Heap(bytes.to_vec()),
+            }
+        }
     }
 
     /// The label's bytes with original case.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.bytes
+        match &self.repr {
+            LabelRepr::Inline { len, buf } => &buf[..usize::from(*len)],
+            LabelRepr::Heap(bytes) => bytes,
+        }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.as_bytes().len()
     }
 
     /// Labels are never empty.
@@ -91,15 +130,20 @@ impl Label {
 
     /// Returns the label lowercased (for canonical forms).
     pub fn to_lowercase(&self) -> Label {
-        Label {
-            bytes: self.bytes.to_ascii_lowercase(),
+        let mut lower = self.clone();
+        match &mut lower.repr {
+            LabelRepr::Inline { len, buf } => buf[..usize::from(*len)].make_ascii_lowercase(),
+            LabelRepr::Heap(bytes) => bytes.make_ascii_lowercase(),
         }
+        lower
     }
 }
 
+impl Eq for Label {}
+
 impl PartialEq for Label {
     fn eq(&self, other: &Self) -> bool {
-        self.bytes.eq_ignore_ascii_case(&other.bytes)
+        self.as_bytes().eq_ignore_ascii_case(other.as_bytes())
     }
 }
 
@@ -109,9 +153,10 @@ impl std::hash::Hash for Label {
         // call instead of one per byte — name-keyed map lookups are the
         // hottest operation of the dependency-index build. Labels are
         // validated to at most 63 bytes ([`MAX_LABEL_LEN`]).
+        let bytes = self.as_bytes();
         let mut lower = [0u8; MAX_LABEL_LEN];
-        let len = self.bytes.len();
-        for (dst, &b) in lower[..len].iter_mut().zip(&self.bytes) {
+        let len = bytes.len();
+        for (dst, &b) in lower[..len].iter_mut().zip(bytes) {
             *dst = b.to_ascii_lowercase();
         }
         state.write(&lower[..len]);
@@ -126,8 +171,8 @@ impl PartialOrd for Label {
 
 impl Ord for Label {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        let a = self.bytes.iter().map(|b| b.to_ascii_lowercase());
-        let b = other.bytes.iter().map(|b| b.to_ascii_lowercase());
+        let a = self.as_bytes().iter().map(|b| b.to_ascii_lowercase());
+        let b = other.as_bytes().iter().map(|b| b.to_ascii_lowercase());
         a.cmp(b)
     }
 }
@@ -135,7 +180,7 @@ impl Ord for Label {
 impl fmt::Display for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Labels are validated printable ASCII, so lossless.
-        write!(f, "{}", String::from_utf8_lossy(&self.bytes))
+        write!(f, "{}", String::from_utf8_lossy(self.as_bytes()))
     }
 }
 

@@ -10,6 +10,8 @@
 
 use std::collections::HashMap;
 
+use perils_util::snapshot::{self, Dec, SnapshotError};
+
 /// A fixed-capacity set of `usize` values in `[0, capacity)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitSet {
@@ -152,13 +154,29 @@ impl SetId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The raw `u32` id, for flat serialization. Pair with
+    /// [`SetId::from_raw`]; not meaningful outside the interner that
+    /// issued it.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from its [`SetId::raw`] form. The caller owns
+    /// validating it against the target interner's length — snapshot
+    /// decoders do so before any set lookup.
+    #[inline]
+    pub fn from_raw(raw: u32) -> SetId {
+        SetId(raw)
+    }
 }
 
 /// One interned set: sparse sorted ids when small (a range of the shared
 /// element arena — one allocation for all sparse sets, not one per set),
 /// packed blocks when the set is dense enough that blocks are the smaller
 /// representation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum CompactSet {
     Sparse { offset: u32, len: u32 },
     Dense { blocks: Box<[u64]>, len: u32 },
@@ -380,6 +398,165 @@ impl BitSetInterner {
         }
     }
 
+    /// Appends this interner's exact internal layout — capacity, shared
+    /// sparse arena, and every set's representation (sparse range or
+    /// dense blocks) — as flat little-endian fields. Pair with
+    /// [`BitSetInterner::decode_from`]; the round trip is structurally
+    /// identical (same ids, same arena offsets, same packing choices).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        snapshot::put_u64(out, self.capacity as u64);
+        snapshot::put_u64(out, self.stored_elements as u64);
+        snapshot::put_u32_slice(out, &self.arena);
+        snapshot::put_u32(
+            out,
+            u32::try_from(self.sets.len()).expect("interner set count fits u32"),
+        );
+        for set in &self.sets {
+            match set {
+                CompactSet::Sparse { offset, len } => {
+                    snapshot::put_u8(out, 0);
+                    snapshot::put_u32(out, *offset);
+                    snapshot::put_u32(out, *len);
+                }
+                CompactSet::Dense { blocks, len } => {
+                    snapshot::put_u8(out, 1);
+                    snapshot::put_u32(out, *len);
+                    snapshot::put_u64_slice(out, blocks);
+                }
+            }
+        }
+    }
+
+    /// Reconstitutes an interner from [`BitSetInterner::encode_into`]
+    /// bytes. Set storage is bulk-decoded; only the dedup lookup maps are
+    /// re-derived, by hashing each set in id order — the same first-wins
+    /// order the original interning used, so even `by_hash`/`overflow`
+    /// come back identical and further interning behaves exactly as it
+    /// would on the original.
+    ///
+    /// Every structural claim is validated before use — sparse ranges
+    /// against the arena, element order/bounds against the capacity,
+    /// dense block counts and popcounts, and the stored-element total —
+    /// so a corrupt section yields a typed error, never a panic or a
+    /// silently wrong set.
+    pub fn decode_from(dec: &mut Dec<'_>) -> Result<BitSetInterner, SnapshotError> {
+        let capacity = usize::try_from(dec.u64()?)
+            .map_err(|_| dec.malformed("interner capacity exceeds usize"))?;
+        let stored_elements = usize::try_from(dec.u64()?)
+            .map_err(|_| dec.malformed("interner stored_elements exceeds usize"))?;
+        let arena = dec.u32_vec()?;
+        let set_count = dec.u32()? as usize;
+        let block_count = capacity.div_ceil(64);
+        let mut sets = Vec::with_capacity(set_count.min(dec.remaining()));
+        let mut element_total = 0usize;
+        for i in 0..set_count {
+            let set = match dec.u8()? {
+                0 => {
+                    let offset = dec.u32()?;
+                    let len = dec.u32()?;
+                    let end = u64::from(offset) + u64::from(len);
+                    if end > arena.len() as u64 {
+                        return Err(dec.malformed(format!(
+                            "sparse set {i} range {offset}+{len} exceeds arena of {}",
+                            arena.len()
+                        )));
+                    }
+                    let slice = &arena[offset as usize..end as usize];
+                    if !slice.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(dec.malformed(format!("sparse set {i} is not sorted-unique")));
+                    }
+                    if slice.last().is_some_and(|&v| v as usize >= capacity) {
+                        return Err(dec.malformed(format!(
+                            "sparse set {i} has an element out of capacity {capacity}"
+                        )));
+                    }
+                    CompactSet::Sparse { offset, len }
+                }
+                1 => {
+                    let len = dec.u32()?;
+                    let blocks = dec.u64_vec()?;
+                    if blocks.len() != block_count {
+                        return Err(dec.malformed(format!(
+                            "dense set {i} has {} blocks, capacity {capacity} needs {block_count}",
+                            blocks.len()
+                        )));
+                    }
+                    let tail_bits = capacity % 64;
+                    if tail_bits != 0
+                        && blocks
+                            .last()
+                            .is_some_and(|&b| b & !((1u64 << tail_bits) - 1) != 0)
+                    {
+                        return Err(dec.malformed(format!(
+                            "dense set {i} has bits beyond capacity {capacity}"
+                        )));
+                    }
+                    let popcount: u32 = blocks.iter().map(|b| b.count_ones()).sum();
+                    if popcount != len {
+                        return Err(dec.malformed(format!(
+                            "dense set {i} declares {len} elements but blocks hold {popcount}"
+                        )));
+                    }
+                    CompactSet::Dense {
+                        blocks: blocks.into_boxed_slice(),
+                        len,
+                    }
+                }
+                other => {
+                    return Err(
+                        dec.malformed(format!("set {i} has unknown representation tag {other}"))
+                    );
+                }
+            };
+            element_total += match &set {
+                CompactSet::Sparse { len, .. } | CompactSet::Dense { len, .. } => *len as usize,
+            };
+            sets.push(set);
+        }
+        if element_total != stored_elements {
+            return Err(dec.malformed(format!(
+                "stored_elements {stored_elements} disagrees with set contents {element_total}"
+            )));
+        }
+        let mut pool = BitSetInterner {
+            capacity,
+            sets,
+            arena,
+            by_hash: HashMap::new(),
+            overflow: Vec::new(),
+            stored_elements,
+        };
+        pool.rebuild_dedup_maps();
+        Ok(pool)
+    }
+
+    /// Re-derives `by_hash`/`overflow` from set storage, in id order —
+    /// matching the first-wins insertion order of the original build.
+    /// This is the only hashing a snapshot load performs: one FNV fold
+    /// per stored element, memory-bandwidth cheap.
+    fn rebuild_dedup_maps(&mut self) {
+        let mut scratch = Vec::new();
+        for index in 0..self.sets.len() {
+            let id = SetId(index as u32);
+            let hash = match &self.sets[index] {
+                CompactSet::Sparse { offset, len } => {
+                    fnv1a(&self.arena[*offset as usize..(offset + len) as usize])
+                }
+                CompactSet::Dense { .. } => {
+                    scratch.clear();
+                    self.for_each(id, |v| scratch.push(v));
+                    fnv1a(&scratch)
+                }
+            };
+            match self.by_hash.entry(hash) {
+                std::collections::hash_map::Entry::Occupied(_) => self.overflow.push((hash, id)),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(id);
+                }
+            }
+        }
+    }
+
     fn eq_ids(&self, id: SetId, ids: &[u32]) -> bool {
         match &self.sets[id.index()] {
             CompactSet::Sparse { offset, len } => {
@@ -392,6 +569,21 @@ impl BitSetInterner {
                         .all(|&v| blocks[v as usize / 64] & (1u64 << (v % 64)) != 0)
             }
         }
+    }
+}
+
+/// Structural equality: same capacity, same arena layout, same per-set
+/// representations. The dedup maps are derived state (reconstituted
+/// deterministically by [`BitSetInterner::decode_from`]) and are not
+/// compared. This is the serialization-fidelity contract — two interners
+/// built by different insertion orders may hold equal *sets* yet compare
+/// unequal here.
+impl PartialEq for BitSetInterner {
+    fn eq(&self, other: &BitSetInterner) -> bool {
+        self.capacity == other.capacity
+            && self.stored_elements == other.stored_elements
+            && self.arena == other.arena
+            && self.sets == other.sets
     }
 }
 
@@ -541,6 +733,55 @@ mod tests {
     #[should_panic(expected = "out of capacity")]
     fn interner_rejects_out_of_range_ids() {
         BitSetInterner::new(10).intern(&[10]);
+    }
+
+    #[test]
+    fn interner_codec_round_trips_exact_layout() {
+        let mut pool = BitSetInterner::new(256);
+        let a = pool.intern(&[1, 5, 200]);
+        let dense: Vec<u32> = (0..128).collect();
+        let b = pool.intern(&dense);
+        let c = pool.intern(&[]);
+        let mut bytes = Vec::new();
+        pool.encode_into(&mut bytes);
+        let mut dec = Dec::new(&bytes, "POOL");
+        let loaded = BitSetInterner::decode_from(&mut dec).expect("decodes");
+        dec.finish().expect("fully consumed");
+        assert_eq!(loaded, pool, "structural equality after round trip");
+        assert_eq!(loaded.set_len(a), 3);
+        assert_eq!(loaded.as_sorted_slice(a), Some(&[1u32, 5, 200][..]));
+        let mut got = Vec::new();
+        loaded.for_each(b, |v| got.push(v));
+        assert_eq!(got, dense);
+        // The rebuilt dedup maps keep interning consistent: re-interning
+        // an existing set returns its original id.
+        let mut loaded = loaded;
+        assert_eq!(loaded.intern(&[1, 5, 200]), a);
+        assert_eq!(loaded.intern(&dense), b);
+        assert_eq!(loaded.intern(&[]), c);
+        assert_eq!(loaded.len(), pool.len(), "no duplicates after reload");
+    }
+
+    #[test]
+    fn interner_codec_rejects_structural_corruption() {
+        let mut pool = BitSetInterner::new(256);
+        pool.intern(&[1, 5, 200]);
+        pool.intern(&(0..128).collect::<Vec<u32>>());
+        let mut bytes = Vec::new();
+        pool.encode_into(&mut bytes);
+        for byte in 0..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[byte] ^= flip;
+                let mut dec = Dec::new(&bad, "POOL");
+                // Must never panic; errors or a structurally valid (but
+                // different) interner are both acceptable — in the full
+                // archive the section checksum rejects the latter.
+                if let Ok(pool2) = BitSetInterner::decode_from(&mut dec) {
+                    let _ = pool2.len();
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,14 +3,16 @@
 //! ```text
 //! perilsd [--world tiny|default|paper|fbi|cornell|tripwire] [--seed N]
 //!         [--addr HOST:PORT] [--threads N] [--queue-cap N] [--no-figures]
+//!         [--snapshot PATH] [--save-snapshot PATH]
 //! ```
 //!
-//! Builds the world once, then serves it warm:
+//! Builds the world once (or restores one from a `.psa` archive in
+//! milliseconds with `--snapshot`), then serves it warm:
 //!
 //! * data plane — `GET /name/<name>`, `GET /zone/<zone>`, `GET /names`,
 //!   `GET /figures`
-//! * control plane — `POST /reload` (optional body `{"seed":N}`),
-//!   `POST /shutdown` (drain and exit)
+//! * control plane — `POST /reload` (optional body `{"seed":N}` or
+//!   `{"snapshot":"PATH"}`), `POST /shutdown` (drain and exit)
 //! * observability — `GET /healthz`, `GET /metrics`
 //!
 //! Exit codes: **0** — clean drain after `POST /shutdown`; **1** — bind
@@ -21,6 +23,7 @@ use std::net::TcpListener;
 
 const USAGE: &str = "usage: perilsd [--world tiny|default|paper|fbi|cornell|tripwire] [--seed N]
                [--addr HOST:PORT] [--threads N] [--queue-cap N] [--no-figures]
+               [--snapshot PATH] [--save-snapshot PATH]
 
   --world WORLD   universe to serve: a seeded synthetic survey at tiny
                   (default), default, or paper scale; or the fbi.gov,
@@ -33,6 +36,11 @@ const USAGE: &str = "usage: perilsd [--world tiny|default|paper|fbi|cornell|trip
   --queue-cap N   pending-connection cap; beyond it new connections get
                   503 (default 1024)
   --no-figures    skip the figure sweep at build time (GET /figures -> 404)
+  --snapshot PATH       boot from a .psa archive instead of building
+                        (--world/--seed still name the world plain
+                        POST /reload rebuilds)
+  --save-snapshot PATH  write the booted world to a .psa archive, then
+                        keep serving
 
 endpoints: GET /name/<n> /zone/<z> /names /figures /healthz /metrics
            POST /reload /shutdown
@@ -51,6 +59,8 @@ struct Args {
     seed: u64,
     addr: String,
     config: ServiceConfig,
+    snapshot: Option<String>,
+    save_snapshot: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +69,8 @@ fn parse_args() -> Args {
         seed: 20040722,
         addr: "127.0.0.1:8053".to_string(),
         config: ServiceConfig::default(),
+        snapshot: None,
+        save_snapshot: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -85,6 +97,8 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage_error("--queue-cap needs an unsigned integer"))
             }
             "--no-figures" => args.config.figures = false,
+            "--snapshot" => args.snapshot = Some(value_of("--snapshot")),
+            "--save-snapshot" => args.save_snapshot = Some(value_of("--save-snapshot")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -105,12 +119,27 @@ fn main() {
         Err(message) => usage_error(&message),
     };
 
-    eprintln!("perilsd: building {} ...", spec.describe());
-    let daemon = Daemon::boot(spec, args.config);
+    let daemon = match &args.snapshot {
+        Some(path) => {
+            eprintln!("perilsd: loading snapshot {path} ...");
+            match Daemon::boot_from_archive(spec, args.config, path) {
+                Ok(daemon) => daemon,
+                Err(e) => {
+                    eprintln!("perilsd: cannot load snapshot {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            eprintln!("perilsd: building {} ...", spec.describe());
+            Daemon::boot(spec, args.config)
+        }
+    };
     let snap = daemon.store().current();
     eprintln!(
-        "perilsd: epoch {} ready in {:.2}s: {} names, {} zones, {} servers, {} figures{}",
+        "perilsd: epoch {} ready ({}) in {:.2}s: {} names, {} zones, {} servers, {} figures{}",
         snap.epoch,
+        snap.stats.source.kind(),
         snap.stats.build.as_secs_f64(),
         snap.stats.names,
         snap.stats.zones,
@@ -120,6 +149,15 @@ fn main() {
             .map(|mb| format!(", peak RSS {mb:.0} MiB"))
             .unwrap_or_default(),
     );
+    if let Some(path) = &args.save_snapshot {
+        match snap.save_archive(path) {
+            Ok(bytes) => eprintln!("perilsd: snapshot saved to {path} ({bytes} bytes)"),
+            Err(e) => {
+                eprintln!("perilsd: cannot save snapshot to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     drop(snap);
 
     let listener = match TcpListener::bind(&args.addr) {

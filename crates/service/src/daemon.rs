@@ -88,6 +88,9 @@ pub struct ServeSummary {
 struct ReloadRequest {
     /// Reseed the (synthetic) spec before rebuilding.
     seed: Option<u64>,
+    /// Swap in a prebuilt `.psa` archive instead of rebuilding —
+    /// O(read) instead of O(rebuild).
+    snapshot: Option<String>,
 }
 
 /// The bounded hand-off between the acceptor and the workers.
@@ -183,6 +186,30 @@ impl Daemon {
         }
     }
 
+    /// Boots epoch 1 from a `.psa` snapshot archive instead of building
+    /// — the instant-restart path. `spec` is kept for later plain
+    /// `POST /reload`s (which rebuild from scratch); snapshot-served
+    /// reloads never touch it.
+    pub fn boot_from_archive(
+        spec: WorldSpec,
+        config: ServiceConfig,
+        path: &str,
+    ) -> Result<Daemon, perils_util::snapshot::SnapshotError> {
+        let mut config = config;
+        config.threads = config.threads.clamp(1, 16);
+        let snapshot = WorldSnapshot::load_archive(path, 1)?;
+        Ok(Daemon {
+            spec: SpecMutex::new(spec),
+            store: SnapshotStore::new(snapshot),
+            rules: RuleRegistry::builtin(),
+            metrics: Metrics::new(),
+            config,
+            shutdown: AtomicBool::new(false),
+            reloading: AtomicBool::new(false),
+            requests_served: AtomicU64::new(0),
+        })
+    }
+
     /// The snapshot store (tests and the bench read epochs directly).
     pub fn store(&self) -> &SnapshotStore {
         &self.store
@@ -266,15 +293,31 @@ impl Daemon {
     /// build; the swap itself is O(1) under a write lock.
     fn reload_loop(&self, rx: mpsc::Receiver<ReloadRequest>) {
         while let Ok(request) = rx.recv() {
-            let spec = {
-                let mut spec = self.spec.lock();
-                if let Some(seed) = request.seed {
-                    spec.reseed(seed);
-                }
-                spec.clone()
-            };
             let epoch = self.store.epoch() + 1;
-            let next = WorldSnapshot::build(&spec, epoch, self.config.threads, self.config.figures);
+            let next = if let Some(path) = &request.snapshot {
+                // Snapshot-served reload: O(read) archive load instead of
+                // O(rebuild). A bad archive fails the reload without
+                // touching the current generation — queries keep being
+                // answered from the old world.
+                match WorldSnapshot::load_archive(path, epoch) {
+                    Ok(next) => next,
+                    Err(e) => {
+                        eprintln!("perilsd: snapshot reload from {path:?} failed: {e}");
+                        self.metrics.reload_failed();
+                        self.reloading.store(false, Ordering::SeqCst);
+                        continue;
+                    }
+                }
+            } else {
+                let spec = {
+                    let mut spec = self.spec.lock();
+                    if let Some(seed) = request.seed {
+                        spec.reseed(seed);
+                    }
+                    spec.clone()
+                };
+                WorldSnapshot::build(&spec, epoch, self.config.threads, self.config.figures)
+            };
             // Clear the gate *before* the swap publishes the new epoch:
             // a client that polls `/healthz` until the epoch bumps and
             // then posts the next reload must never bounce off a flag
@@ -416,6 +459,8 @@ impl Daemon {
                     snap.age(),
                     self.reloading.load(Ordering::SeqCst),
                     self.config.threads,
+                    snap.stats.source.kind(),
+                    snap.stats.source.load_ms(),
                 );
                 (Endpoint::Metrics, Response::text(200, text), false)
             }
@@ -447,7 +492,8 @@ impl Daemon {
         }
     }
 
-    /// Parses an optional `{"seed":N}` body and queues a rebuild.
+    /// Parses an optional `{"seed":N}` or `{"snapshot":"PATH"}` body and
+    /// queues a rebuild (or an archive swap-in).
     ///
     /// At most one reload is pending at a time: the `reloading` flag is
     /// the admission gate, so a burst of `POST /reload` queues one
@@ -455,6 +501,7 @@ impl Daemon {
     /// multi-second builds back-to-back (retry once the epoch bumps).
     fn schedule_reload(&self, body: &[u8], reload_tx: &mpsc::Sender<ReloadRequest>) -> Response {
         let mut seed = None;
+        let mut snapshot = None;
         if !body.is_empty() {
             let text = match std::str::from_utf8(body) {
                 Ok(text) => text,
@@ -464,8 +511,8 @@ impl Daemon {
                 Ok(value) => value,
                 Err(e) => return Response::error(400, &format!("reload body is not JSON: {e}")),
             };
-            match value.get("seed") {
-                Some(v) => match v.as_u64() {
+            if let Some(v) = value.get("seed") {
+                match v.as_u64() {
                     Some(n) => seed = Some(n),
                     None => {
                         return Response::error(
@@ -473,15 +520,38 @@ impl Daemon {
                             "reload \"seed\" must be a non-negative integer",
                         )
                     }
-                },
-                None if value.as_object().map(|o| o.is_empty()) == Some(true) => {}
-                None => return Response::error(400, "reload body supports only \"seed\""),
+                }
+            }
+            if let Some(v) = value.get("snapshot") {
+                match v.as_str() {
+                    Some(path) if !path.is_empty() => snapshot = Some(path.to_string()),
+                    _ => {
+                        return Response::error(
+                            400,
+                            "reload \"snapshot\" must be a non-empty path string",
+                        )
+                    }
+                }
+            }
+            if seed.is_some() && snapshot.is_some() {
+                return Response::error(
+                    400,
+                    "reload takes \"seed\" or \"snapshot\", not both (a snapshot is already seeded)",
+                );
+            }
+            let recognized = usize::from(seed.is_some()) + usize::from(snapshot.is_some());
+            let keys = value.as_object().map(|o| o.len()).unwrap_or(usize::MAX);
+            if keys != recognized {
+                return Response::error(400, "reload body supports only \"seed\" or \"snapshot\"");
             }
         }
         if self.reloading.swap(true, Ordering::SeqCst) {
-            return Response::error(409, "a reload is already pending; retry after the epoch bumps");
+            return Response::error(
+                409,
+                "a reload is already pending; retry after the epoch bumps",
+            );
         }
-        if reload_tx.send(ReloadRequest { seed }).is_err() {
+        if reload_tx.send(ReloadRequest { seed, snapshot }).is_err() {
             self.reloading.store(false, Ordering::SeqCst);
             return Response::error(503, "daemon is draining");
         }

@@ -109,6 +109,7 @@ pub struct Metrics {
     queue_depth: AtomicUsize,
     queue_rejected: AtomicU64,
     reloads: AtomicU64,
+    reloads_failed: AtomicU64,
 }
 
 impl Metrics {
@@ -152,9 +153,20 @@ impl Metrics {
         self.reloads.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a reload that failed (archive unreadable or corrupt); the
+    /// old generation keeps serving.
+    pub fn reload_failed(&self) {
+        self.reloads_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Completed reloads so far.
     pub fn reloads(&self) -> u64 {
         self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// Failed reloads so far.
+    pub fn reloads_failed(&self) -> u64 {
+        self.reloads_failed.load(Ordering::Relaxed)
     }
 
     /// Connections accepted so far.
@@ -171,9 +183,20 @@ impl Metrics {
     }
 
     /// Renders the Prometheus text exposition. Snapshot identity (epoch,
-    /// age) and daemon state (reloading, worker count) come from the
-    /// caller — they live outside the counter block.
-    pub fn render(&self, epoch: u64, age: Duration, reloading: bool, workers: usize) -> String {
+    /// age, provenance) and daemon state (reloading, worker count) come
+    /// from the caller — they live outside the counter block.
+    /// `source_kind` is `"built"` or `"loaded"`; `archive_load_ms` is the
+    /// `.psa` decode wall-clock when the snapshot was loaded from one
+    /// (0 when built in-process).
+    pub fn render(
+        &self,
+        epoch: u64,
+        age: Duration,
+        reloading: bool,
+        workers: usize,
+        source_kind: &str,
+        archive_load_ms: f64,
+    ) -> String {
         let mut out = String::with_capacity(2048);
 
         out.push_str("# HELP perilsd_requests_total Requests served, by endpoint.\n");
@@ -244,11 +267,39 @@ impl Metrics {
             u8::from(reloading)
         ));
 
+        out.push_str(
+            "# HELP perilsd_snapshot_source How the serving snapshot came to be (1 on its kind).\n",
+        );
+        out.push_str("# TYPE perilsd_snapshot_source gauge\n");
+        for kind in ["built", "loaded"] {
+            out.push_str(&format!(
+                "perilsd_snapshot_source{{kind=\"{kind}\"}} {}\n",
+                u8::from(kind == source_kind)
+            ));
+        }
+
+        out.push_str(
+            "# HELP perilsd_snapshot_archive_load_ms Archive decode time for a loaded snapshot (0 when built in-process).\n",
+        );
+        out.push_str("# TYPE perilsd_snapshot_archive_load_ms gauge\n");
+        out.push_str(&format!(
+            "perilsd_snapshot_archive_load_ms {archive_load_ms}\n"
+        ));
+
         out.push_str("# HELP perilsd_reloads_total Completed snapshot reloads.\n");
         out.push_str("# TYPE perilsd_reloads_total counter\n");
         out.push_str(&format!(
             "perilsd_reloads_total {}\n",
             self.reloads.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP perilsd_reloads_failed_total Reloads rejected (unreadable or corrupt archive); the old generation kept serving.\n",
+        );
+        out.push_str("# TYPE perilsd_reloads_failed_total counter\n");
+        out.push_str(&format!(
+            "perilsd_reloads_failed_total {}\n",
+            self.reloads_failed.load(Ordering::Relaxed)
         ));
 
         out.push_str("# HELP perilsd_queue_depth Connections waiting for a worker.\n");
@@ -290,8 +341,13 @@ mod tests {
         m.record(Endpoint::Name, 200, Duration::from_micros(300));
         m.record(Endpoint::Name, 404, Duration::from_micros(300_000));
         m.record(Endpoint::Reload, 202, Duration::from_micros(50));
-        let text = m.render(3, Duration::from_secs(2), true, 4);
+        m.reload_failed();
+        let text = m.render(3, Duration::from_secs(2), true, 4, "loaded", 41.5);
         assert!(text.contains("perilsd_requests_total{endpoint=\"name\"} 2"));
+        assert!(text.contains("perilsd_snapshot_source{kind=\"built\"} 0"));
+        assert!(text.contains("perilsd_snapshot_source{kind=\"loaded\"} 1"));
+        assert!(text.contains("perilsd_snapshot_archive_load_ms 41.5"));
+        assert!(text.contains("perilsd_reloads_failed_total 1"));
         assert!(text.contains("perilsd_requests_total{endpoint=\"reload\"} 1"));
         assert!(text.contains("perilsd_responses_total{class=\"2xx\"} 2"));
         assert!(text.contains("perilsd_responses_total{class=\"4xx\"} 1"));
@@ -307,7 +363,7 @@ mod tests {
         m.record(Endpoint::Name, 200, Duration::from_micros(80)); // <= 100us
         m.record(Endpoint::Name, 200, Duration::from_micros(400)); // <= 500us
         m.record(Endpoint::Name, 200, Duration::from_secs(10)); // overflow
-        let text = m.render(1, Duration::ZERO, false, 1);
+        let text = m.render(1, Duration::ZERO, false, 1, "built", 0.0);
         assert!(text.contains("perilsd_request_duration_seconds_bucket{le=\"0.0001\"} 1"));
         assert!(text.contains("perilsd_request_duration_seconds_bucket{le=\"0.0005\"} 2"));
         assert!(text.contains("perilsd_request_duration_seconds_bucket{le=\"1\"} 2"));
@@ -316,7 +372,10 @@ mod tests {
 
     #[test]
     fn every_endpoint_appears_even_when_unused() {
-        let text = Metrics::new().render(1, Duration::ZERO, false, 1);
+        let text = Metrics::new().render(1, Duration::ZERO, false, 1, "built", 0.0);
+        assert!(text.contains("perilsd_snapshot_source{kind=\"built\"} 1"));
+        assert!(text.contains("perilsd_snapshot_source{kind=\"loaded\"} 0"));
+        assert!(text.contains("perilsd_snapshot_archive_load_ms 0"));
         for endpoint in ENDPOINTS {
             assert!(
                 text.contains(&format!("endpoint=\"{}\"", endpoint.label())),

@@ -21,7 +21,9 @@ use perils_survey::engine::{Engine, ScenarioSource, SyntheticSource, WorldSource
 use perils_survey::params::TopologyParams;
 use perils_survey::render::{FigureOutcome, FigureRegistry};
 use perils_survey::topology::SurveyName;
+use perils_util::snapshot::SnapshotError;
 use std::num::NonZeroUsize;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -114,12 +116,48 @@ impl WorldSpec {
     }
 }
 
+/// Where the active snapshot came from — `/metrics` surfaces this as
+/// `perilsd_snapshot_source{kind="built|loaded"}` so operators can tell
+/// a from-scratch build from a `.psa` archive boot at a glance.
+#[derive(Debug, Clone)]
+pub enum SnapshotSource {
+    /// Built from scratch through the streamed ingestion path.
+    Built,
+    /// Reconstituted from a `.psa` snapshot archive.
+    Loaded {
+        /// Archive size on disk.
+        archive_bytes: u64,
+        /// Wall-clock of the read + decode.
+        load: Duration,
+    },
+}
+
+impl SnapshotSource {
+    /// The `/metrics` label value.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SnapshotSource::Built => "built",
+            SnapshotSource::Loaded { .. } => "loaded",
+        }
+    }
+
+    /// Archive load wall-time in milliseconds (0 for built snapshots).
+    pub fn load_ms(&self) -> f64 {
+        match self {
+            SnapshotSource::Built => 0.0,
+            SnapshotSource::Loaded { load, .. } => load.as_secs_f64() * 1e3,
+        }
+    }
+}
+
 /// Build cost breakdown, surfaced by `/healthz` logging and `/metrics`.
 #[derive(Debug, Clone)]
 pub struct SnapshotStats {
-    /// Wall-clock of the whole build (stream + index + lint + figures).
+    /// Wall-clock of the whole build (stream + index + lint + figures),
+    /// or of the archive load for loaded snapshots.
     pub build: Duration,
-    /// Dependency-index phase timings.
+    /// Dependency-index phase timings (zeroed for loaded snapshots — the
+    /// index is read, not rebuilt).
     pub index: IndexBuildStats,
     /// Universe shape.
     pub zones: usize,
@@ -129,6 +167,8 @@ pub struct SnapshotStats {
     pub names: usize,
     /// Figures rendered into the cached sweep (0 with `--no-figures`).
     pub figures: usize,
+    /// Whether this world was built or loaded from an archive.
+    pub source: SnapshotSource,
 }
 
 /// One immutable world generation: everything a query touches.
@@ -144,6 +184,10 @@ pub struct WorldSnapshot {
     pub lint: LintIndex,
     /// The surveyed names, in survey order.
     pub names: Vec<SurveyName>,
+    /// Indices into `names` of the most popular subset (what the
+    /// top-500 figures slice on; archived so a loaded world can re-run
+    /// the figure sweep).
+    pub top500: Vec<usize>,
     /// The cached full-figure sweep as one JSON document, or `None`
     /// when the daemon was started with figures disabled.
     pub figures_json: Option<String>,
@@ -160,18 +204,25 @@ impl WorldSnapshot {
     /// facts the query plane reads.
     pub fn build(spec: &WorldSpec, epoch: u64, threads: usize, figures: bool) -> WorldSnapshot {
         let start = Instant::now();
-        let (universe, names, figures_json, rendered) = if figures {
+        let (universe, names, top500, figures_json, rendered) = if figures {
             let engine = Engine::with_extended_metrics().threads(NonZeroUsize::new(threads));
             let batch = NonZeroUsize::new(NAME_BATCH).expect("static nonzero");
             let report = engine.run_stream(spec.stream(), batch);
             let (json, rendered) = render_figures(&report, epoch);
             let world = report.world;
-            (world.universe, world.names, Some(json), rendered)
+            (
+                world.universe,
+                world.names,
+                world.top500,
+                Some(json),
+                rendered,
+            )
         } else {
             let mut stream = spec.stream();
             let universe = stream.build_universe();
             let names: Vec<SurveyName> = stream.names().collect();
-            (universe, names, None, 0)
+            let top500 = stream.top500().to_vec();
+            (universe, names, top500, None, 0)
         };
         let (index, index_stats) = DependencyIndex::build_with_stats(&universe, threads);
         let lint = LintIndex::build(&universe);
@@ -182,6 +233,7 @@ impl WorldSnapshot {
             servers: universe.server_count(),
             names: names.len(),
             figures: rendered,
+            source: SnapshotSource::Built,
         };
         WorldSnapshot {
             epoch,
@@ -189,16 +241,90 @@ impl WorldSnapshot {
             index,
             lint,
             names,
+            top500,
             figures_json,
             stats,
             built: Instant::now(),
         }
     }
 
+    /// Persists this snapshot as a `.psa` archive; returns the bytes
+    /// written. Everything a later [`WorldSnapshot::load_archive`] needs
+    /// is included — the cached figure sweep travels verbatim, so a
+    /// loaded daemon serves byte-identical `/figures` responses (modulo
+    /// the epoch stamp, which the loader rewrites to its own epoch).
+    pub fn save_archive(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        perils_survey::snapshot::save_world(
+            path,
+            &self.universe,
+            &self.index,
+            &self.lint,
+            &self.names,
+            &self.top500,
+            self.figures_json
+                .as_deref()
+                .map(|json| (json, self.stats.figures)),
+        )
+    }
+
+    /// Boots generation `epoch` from a `.psa` archive: one bulk read and
+    /// per-section chunk decoding instead of a world rebuild. The cached
+    /// figure JSON is re-stamped with this generation's epoch; everything
+    /// else is byte-identical to the snapshot that was saved.
+    pub fn load_archive(
+        path: impl AsRef<Path>,
+        epoch: u64,
+    ) -> Result<WorldSnapshot, SnapshotError> {
+        let start = Instant::now();
+        let world = perils_survey::snapshot::load_world(path)?;
+        let load = start.elapsed();
+        let figures_json = world
+            .figures_json
+            .map(|json| restamp_figures_epoch(&json, epoch));
+        let stats = SnapshotStats {
+            build: load,
+            index: IndexBuildStats::default(),
+            zones: world.universe.zone_count(),
+            servers: world.universe.server_count(),
+            names: world.names.len(),
+            figures: world.figures_rendered,
+            source: SnapshotSource::Loaded {
+                archive_bytes: world.archive_bytes,
+                load,
+            },
+        };
+        Ok(WorldSnapshot {
+            epoch,
+            universe: world.universe,
+            index: world.index,
+            lint: world.lint,
+            names: world.names,
+            top500: world.top500,
+            figures_json,
+            stats,
+            built: Instant::now(),
+        })
+    }
+
     /// Time since this snapshot finished building.
     pub fn age(&self) -> Duration {
         self.built.elapsed()
     }
+}
+
+/// Rewrites the leading `{"epoch":N,` stamp of a cached figure document
+/// (the exact prefix `render_figures` emits) to `epoch`. A document
+/// without that prefix is returned unchanged — better to serve figures
+/// with a stale stamp than to reject an otherwise valid archive.
+fn restamp_figures_epoch(json: &str, epoch: u64) -> String {
+    if let Some(rest) = json.strip_prefix("{\"epoch\":") {
+        if let Some(comma) = rest.find(',') {
+            if !rest[..comma].is_empty() && rest[..comma].bytes().all(|b| b.is_ascii_digit()) {
+                return format!("{{\"epoch\":{epoch},{}", &rest[comma + 1..]);
+            }
+        }
+    }
+    json.to_string()
 }
 
 /// Renders the extended figure registry into one JSON document:
@@ -360,5 +486,51 @@ mod tests {
     fn store_rejects_stale_epochs() {
         let store = SnapshotStore::new(WorldSnapshot::build(&tiny_spec(), 3, 1, false));
         store.swap(WorldSnapshot::build(&tiny_spec(), 3, 1, false));
+    }
+
+    fn temp_psa(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("perilsd_test_{tag}_{}.psa", std::process::id()))
+    }
+
+    #[test]
+    fn archive_round_trip_is_identical_with_restamped_epoch() {
+        let built = WorldSnapshot::build(&tiny_spec(), 1, 2, true);
+        let path = temp_psa("roundtrip");
+        let bytes = built.save_archive(&path).expect("saves");
+        assert!(bytes > 0);
+        let loaded = WorldSnapshot::load_archive(&path, 5).expect("loads");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.epoch, 5);
+        assert_eq!(loaded.universe, built.universe);
+        assert_eq!(loaded.index, built.index);
+        assert_eq!(loaded.lint, built.lint);
+        assert_eq!(loaded.names, built.names);
+        assert_eq!(loaded.top500, built.top500);
+        assert_eq!(loaded.stats.figures, built.stats.figures);
+        assert_eq!(loaded.stats.source.kind(), "loaded");
+        // The figure document is byte-identical except the epoch stamp.
+        let built_json = built.figures_json.as_deref().expect("built figures");
+        let loaded_json = loaded.figures_json.as_deref().expect("loaded figures");
+        assert_eq!(loaded_json, restamp_figures_epoch(built_json, 5));
+        assert_eq!(restamp_figures_epoch(loaded_json, 1), built_json);
+    }
+
+    #[test]
+    fn load_archive_rejects_garbage_with_typed_error() {
+        let path = temp_psa("garbage");
+        std::fs::write(&path, b"definitely not a snapshot archive").expect("writes");
+        let err = WorldSnapshot::load_archive(&path, 1).expect_err("rejected");
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("not a perils snapshot archive"));
+    }
+
+    #[test]
+    fn restamp_rewrites_only_the_epoch_prefix() {
+        assert_eq!(
+            restamp_figures_epoch("{\"epoch\":12,\"figures\":[]}", 3),
+            "{\"epoch\":3,\"figures\":[]}"
+        );
+        let unstamped = "{\"figures\":[]}";
+        assert_eq!(restamp_figures_epoch(unstamped, 3), unstamped);
     }
 }

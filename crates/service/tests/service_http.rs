@@ -311,3 +311,119 @@ fn shutdown_drains_cleanly_and_counts_work() {
     assert!(daemon.is_shutting_down());
     assert_eq!(summary.reloads, 0);
 }
+
+/// Strips every `"epoch":N` occurrence so data-plane bodies can be
+/// compared across generations.
+fn strip_epochs(body: &str) -> String {
+    let mut out = String::with_capacity(body.len());
+    let mut rest = body;
+    while let Some(at) = rest.find("\"epoch\":") {
+        let after = at + "\"epoch\":".len();
+        out.push_str(&rest[..after]);
+        out.push('E');
+        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Every data-plane answer for a connection: all `/name/<n>` bodies (in
+/// `/names` order), plus `/names` and `/figures` themselves.
+fn transcript(client: &mut Client) -> String {
+    let (status, names) = client.json("GET", "/names", None);
+    assert_eq!(status, 200);
+    let list: Vec<String> = names
+        .get("names")
+        .and_then(|v| v.as_array())
+        .expect("names array")
+        .iter()
+        .map(|v| v.as_str().expect("name string").to_string())
+        .collect();
+    assert!(!list.is_empty());
+    let mut out = String::new();
+    for name in &list {
+        let (status, _, body) = client.request("GET", &format!("/name/{name}"), None);
+        assert_eq!(status, 200, "{name}");
+        out.push_str(&body);
+        out.push('\n');
+    }
+    let (_, _, names_body) = client.request("GET", "/names", None);
+    out.push_str(&names_body);
+    let (status, _, figures) = client.request("GET", "/figures", None);
+    assert_eq!(status, 200);
+    out.push_str(&figures);
+    out
+}
+
+/// The tentpole contract on the wire: a daemon that saved its world to a
+/// `.psa` archive serves byte-identical data-plane answers (modulo the
+/// epoch stamp) after a snapshot-served `POST /reload`, and a second
+/// daemon cold-booted from the same archive matches too.
+#[test]
+fn snapshot_reload_and_cold_boot_serve_identical_answers() {
+    let archive = std::env::temp_dir().join(format!("perilsd_http_{}.psa", std::process::id()));
+    let daemon = tiny_daemon(2, true);
+    daemon
+        .store()
+        .current()
+        .save_archive(&archive)
+        .expect("save archive");
+
+    let ((before, after), summary) = with_daemon(&daemon, |addr| {
+        let mut client = Client::connect(addr);
+        let before = transcript(&mut client);
+
+        let body = format!("{{\"snapshot\":{:?}}}", archive.display().to_string());
+        let (status, reply) = client.json("POST", "/reload", Some(&body));
+        assert_eq!(status, 202, "{reply:?}");
+        // Wait for the swap: the epoch advances when the archive is live.
+        for _ in 0..200 {
+            let (_, health) = client.json("GET", "/healthz", None);
+            if epoch_of(&health) == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let (_, health) = client.json("GET", "/healthz", None);
+        assert_eq!(epoch_of(&health), 2, "snapshot reload never landed");
+        let (_, _, metrics) = client.request("GET", "/metrics", None);
+        assert!(metrics.contains("perilsd_snapshot_source{kind=\"loaded\"} 1"));
+        assert!(metrics.contains("perilsd_reloads_failed_total 0"));
+
+        (before, transcript(&mut client))
+    });
+    assert_eq!(summary.reloads, 1);
+    assert_eq!(strip_epochs(&before), strip_epochs(&after));
+
+    let cold = Daemon::boot_from_archive(
+        WorldSpec::parse("tiny", 20040722).expect("tiny parses"),
+        ServiceConfig {
+            threads: 2,
+            queue_cap: 64,
+            figures: true,
+        },
+        archive.to_str().expect("utf8 path"),
+    )
+    .expect("cold boot from archive");
+    let (cold_transcript, _) = with_daemon(&cold, |addr| transcript(&mut Client::connect(addr)));
+    assert_eq!(strip_epochs(&before), strip_epochs(&cold_transcript));
+
+    // A reload pointing at garbage keeps the old generation serving.
+    let ((), _) = with_daemon(&tiny_daemon(1, false), |addr| {
+        let mut client = Client::connect(addr);
+        let (status, _) = client.json(
+            "POST",
+            "/reload",
+            Some("{\"snapshot\":\"/nonexistent/world.psa\"}"),
+        );
+        assert_eq!(status, 202);
+        std::thread::sleep(Duration::from_millis(200));
+        let (_, health) = client.json("GET", "/healthz", None);
+        assert_eq!(epoch_of(&health), 1, "failed reload must not swap");
+        let (_, _, metrics) = client.request("GET", "/metrics", None);
+        assert!(metrics.contains("perilsd_reloads_failed_total 1"));
+        assert!(metrics.contains("perilsd_snapshot_source{kind=\"built\"} 1"));
+    });
+
+    std::fs::remove_file(&archive).ok();
+}

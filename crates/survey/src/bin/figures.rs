@@ -39,11 +39,17 @@ use perils_survey::render::{
 
 const USAGE: &str = "usage: figures [--scale tiny|default|paper] [--seed N] [--list]
                [--only ID[,ID...]] [--format text|csv|json|gnuplot|vega] [--out DIR] [--csv DIR]
+               [--load-snapshot PATH] [--save-snapshot PATH]
 
   --out DIR     one <figure-id>.<ext> file per figure (ext from --format)
   --csv DIR     extra CSV sink (streaming, row-at-a-time); files are named
                 by figure id: fig2.csv, headline.csv, ... (since the
-                registry owns naming, NOT the legacy fig2_tcb_cdf.csv)";
+                registry owns naming, NOT the legacy fig2_tcb_cdf.csv)
+  --load-snapshot PATH  analyze the world in a .psa archive instead of
+                        generating one (--scale/--seed ignored for the
+                        world; figures are recomputed, not replayed)
+  --save-snapshot PATH  after the run, write the world to a .psa archive
+                        for later --load-snapshot / perilsd --snapshot";
 
 /// Prints a usage error and exits with status 2 (never panics on bad
 /// arguments).
@@ -61,6 +67,8 @@ struct Args {
     format: SinkFormat,
     out_dir: Option<String>,
     legacy_csv_dir: Option<String>,
+    load_snapshot: Option<String>,
+    save_snapshot: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -72,6 +80,8 @@ fn parse_args() -> Args {
         format: SinkFormat::Text,
         out_dir: None,
         legacy_csv_dir: None,
+        load_snapshot: None,
+        save_snapshot: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -112,6 +122,16 @@ fn parse_args() -> Args {
             "--out" => parsed.out_dir = args.next().or_else(|| usage_error("--out needs DIR")),
             "--csv" => {
                 parsed.legacy_csv_dir = args.next().or_else(|| usage_error("--csv needs DIR"));
+            }
+            "--load-snapshot" => {
+                parsed.load_snapshot = args
+                    .next()
+                    .or_else(|| usage_error("--load-snapshot needs PATH"));
+            }
+            "--save-snapshot" => {
+                parsed.save_snapshot = args
+                    .next()
+                    .or_else(|| usage_error("--save-snapshot needs PATH"));
             }
             other => usage_error(&format!("unknown argument {other:?}")),
         }
@@ -196,17 +216,37 @@ fn main() {
     };
 
     let engine = engine(&config);
-    let source = SyntheticSource {
-        params: config.params.clone(),
-    };
-    eprintln!(
-        "running metrics {:?} over {} (scale={})...",
-        engine.metric_ids(),
-        perils_survey::engine::WorldSource::describe(&source),
-        args.scale,
-    );
     let started = std::time::Instant::now();
-    let report = engine.run(source);
+    let report = match &args.load_snapshot {
+        Some(path) => {
+            eprintln!(
+                "running metrics {:?} over snapshot {path} ...",
+                engine.metric_ids()
+            );
+            let loaded = perils_survey::load_world(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot load snapshot {path}: {e}");
+                std::process::exit(1);
+            });
+            let world = perils_survey::AnalysisWorld {
+                universe: loaded.universe,
+                names: loaded.names,
+                top500: loaded.top500,
+            };
+            engine.run_world_indexed(world, &loaded.index)
+        }
+        None => {
+            let source = SyntheticSource {
+                params: config.params.clone(),
+            };
+            eprintln!(
+                "running metrics {:?} over {} (scale={})...",
+                engine.metric_ids(),
+                perils_survey::engine::WorldSource::describe(&source),
+                args.scale,
+            );
+            engine.run(source)
+        }
+    };
     eprintln!(
         "survey complete in {:.1}s: {} names, {} zones, {} servers{}",
         started.elapsed().as_secs_f64(),
@@ -217,6 +257,26 @@ fn main() {
             .map(|mb| format!(", peak RSS {mb:.0} MiB"))
             .unwrap_or_default(),
     );
+
+    if let Some(path) = &args.save_snapshot {
+        let index = perils_core::DependencyIndex::build(&report.world.universe);
+        let lint = perils_core::LintIndex::build(&report.world.universe);
+        match perils_survey::save_world(
+            path,
+            &report.world.universe,
+            &index,
+            &lint,
+            &report.world.names,
+            &report.world.top500,
+            None,
+        ) {
+            Ok(bytes) => eprintln!("snapshot saved to {path} ({bytes} bytes)"),
+            Err(e) => {
+                eprintln!("error: cannot save snapshot to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Build every selected figure through the registry. Missing columns are
     // skips (reported on stderr), not panics.

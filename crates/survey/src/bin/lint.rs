@@ -22,16 +22,19 @@ use perils_authserver::scenarios::{
 };
 use perils_core::lint::{RuleRegistry, Severity, SeverityOverrides};
 use perils_core::universe::Universe;
+use perils_core::{DependencyIndex, LintIndex};
 use perils_dns::name::{name, DnsName};
 use perils_survey::driver::SurveyConfig;
 use perils_survey::engine::{SyntheticSource, WorldSource};
-use perils_survey::lint::{run_lint, LintFormat};
+use perils_survey::lint::{run_lint, run_lint_with, LintFormat};
 use perils_survey::scenario::universe_from_scenario;
+use perils_survey::topology::SurveyName;
 use std::num::NonZeroUsize;
 
 const USAGE: &str = "usage: lint [--world fbi|cornell|tripwire|tiny] [--seed N] [--threads N]
             [--list-rules] [--allow RULE] [--warn RULE] [--deny RULE]
             [--format text|json|sarif] [--out FILE]
+            [--load-snapshot PATH] [--save-snapshot PATH]
 
   --world WORLD   universe to lint: the fbi.gov case study (default), the
                   Figure 1 cornell web, the all-pathologies tripwire
@@ -46,6 +49,11 @@ const USAGE: &str = "usage: lint [--world fbi|cornell|tripwire|tiny] [--seed N] 
   --deny RULE     report RULE's findings as errors   (repeatable)
   --format FMT    text (rustc-style, default) | json | sarif (2.1.0)
   --out FILE      write the report to FILE instead of stdout
+  --load-snapshot PATH  lint the world in a .psa archive (its stored
+                        index and facts are reused, no rebuild);
+                        --world/--seed are ignored
+  --save-snapshot PATH  write the linted world (with its index and
+                        facts) to a .psa archive after the run
 
 exit codes: 0 = clean or warnings only; 1 = deny-level findings present;
             2 = usage error (unknown flag, value, or rule id)";
@@ -66,6 +74,8 @@ struct Args {
     overrides: Vec<(String, Severity)>,
     format: LintFormat,
     out: Option<String>,
+    load_snapshot: Option<String>,
+    save_snapshot: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -77,6 +87,8 @@ fn parse_args() -> Args {
         overrides: Vec::new(),
         format: LintFormat::Text,
         out: None,
+        load_snapshot: None,
+        save_snapshot: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -119,30 +131,62 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage_error(&format!("unknown format {raw:?}")));
             }
             "--out" => parsed.out = args.next().or_else(|| usage_error("--out needs FILE")),
+            "--load-snapshot" => {
+                parsed.load_snapshot = args
+                    .next()
+                    .or_else(|| usage_error("--load-snapshot needs PATH"));
+            }
+            "--save-snapshot" => {
+                parsed.save_snapshot = args
+                    .next()
+                    .or_else(|| usage_error("--save-snapshot needs PATH"));
+            }
             other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
     parsed
 }
 
-/// Resolves `--world` into a universe and its survey targets.
-fn load_world(world: &str, seed: u64) -> (Universe, Vec<DnsName>) {
+/// Wraps bare scenario targets as [`SurveyName`]s (tld = last label,
+/// rank = position) so any world can be written to a `.psa` archive.
+fn survey_names(targets: Vec<DnsName>) -> Vec<SurveyName> {
+    targets
+        .into_iter()
+        .enumerate()
+        .map(|(i, target)| {
+            let tld = DnsName::from_labels(target.labels().last().cloned().into_iter().collect())
+                .expect("a single label always fits");
+            SurveyName {
+                name: target,
+                tld,
+                popularity_rank: i,
+            }
+        })
+        .collect()
+}
+
+/// Resolves `--world` into a universe, its survey targets, and the
+/// popular-subset indices (empty for scenario worlds).
+fn load_world(world: &str, seed: u64) -> (Universe, Vec<SurveyName>, Vec<usize>) {
     match world {
         "fbi" => (
             universe_from_scenario(&fbi_case()),
-            vec![
+            survey_names(vec![
                 name("www.fbi.gov"),
                 name("www.sprintip.com"),
                 name("www.telemail.net"),
-            ],
+            ]),
+            Vec::new(),
         ),
         "cornell" => (
             universe_from_scenario(&cornell_figure1()),
-            vec![name("www.cs.cornell.edu"), name("www.cornell.edu")],
+            survey_names(vec![name("www.cs.cornell.edu"), name("www.cornell.edu")]),
+            Vec::new(),
         ),
         "tripwire" => (
             universe_from_scenario(&lint_tripwire()),
-            lint_tripwire_targets(),
+            survey_names(lint_tripwire_targets()),
+            Vec::new(),
         ),
         "tiny" => {
             let config = SurveyConfig::tiny(seed);
@@ -150,8 +194,7 @@ fn load_world(world: &str, seed: u64) -> (Universe, Vec<DnsName>) {
                 params: config.params,
             }
             .load();
-            let names = world.names.into_iter().map(|n| n.name).collect();
-            (world.universe, names)
+            (world.universe, world.names, world.top500)
         }
         other => usage_error(&format!(
             "unknown world {other:?} (fbi|cornell|tripwire|tiny)"
@@ -189,21 +232,71 @@ fn main() {
         }
     }
 
-    let (universe, targets) = load_world(&args.world, args.seed);
+    let (universe, names, top500, preloaded) = match &args.load_snapshot {
+        Some(path) => {
+            let loaded = perils_survey::load_world(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot load snapshot {path}: {e}");
+                std::process::exit(1);
+            });
+            (
+                loaded.universe,
+                loaded.names,
+                loaded.top500,
+                Some((loaded.index, loaded.lint)),
+            )
+        }
+        None => {
+            let (universe, names, top500) = load_world(&args.world, args.seed);
+            (universe, names, top500, None)
+        }
+    };
+    let targets: Vec<DnsName> = names.iter().map(|n| n.name.clone()).collect();
+    let described = args
+        .load_snapshot
+        .as_deref()
+        .map(|path| format!("snapshot {path}"))
+        .unwrap_or_else(|| format!("{:?}", args.world));
     eprintln!(
-        "linting world {:?}: {} zones, {} servers, {} target names...",
-        args.world,
+        "linting world {described}: {} zones, {} servers, {} target names...",
         universe.zone_count(),
         universe.server_count(),
         targets.len(),
     );
-    let report = run_lint(&universe, &targets, &registry, &overrides, args.threads);
+    let report = match &preloaded {
+        Some((index, facts)) => run_lint_with(
+            &universe,
+            &targets,
+            &registry,
+            &overrides,
+            args.threads,
+            index,
+            facts,
+        ),
+        None => run_lint(&universe, &targets, &registry, &overrides, args.threads),
+    };
     eprintln!(
         "{} finding(s): {} deny, {} warn",
         report.diagnostics.len(),
         report.count(Severity::Deny),
         report.count(Severity::Warn),
     );
+
+    if let Some(path) = &args.save_snapshot {
+        let (index, facts) = match preloaded {
+            Some(pair) => pair,
+            None => (
+                DependencyIndex::build(&universe),
+                LintIndex::build(&universe),
+            ),
+        };
+        match perils_survey::save_world(path, &universe, &index, &facts, &names, &top500, None) {
+            Ok(bytes) => eprintln!("snapshot saved to {path} ({bytes} bytes)"),
+            Err(e) => {
+                eprintln!("error: cannot save snapshot to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let rendered = report.emit(args.format);
     match &args.out {

@@ -691,6 +691,17 @@ impl Engine {
     pub fn run_world(&self, world: AnalysisWorld) -> SurveyReport {
         let threads = self.thread_count();
         let index = DependencyIndex::build_with_threads(&world.universe, threads);
+        self.run_world_indexed(world, &index)
+    }
+
+    /// [`Engine::run_world`] over a **prebuilt** dependency index — the
+    /// snapshot-loading path: a world reconstituted from a `.psa` archive
+    /// already carries its index, so the survey can skip the index build
+    /// entirely. `index` must have been built from (or validated against)
+    /// `world.universe`; the snapshot decoder guarantees this for loaded
+    /// archives.
+    pub fn run_world_indexed(&self, world: AnalysisWorld, index: &DependencyIndex) -> SurveyReport {
+        let threads = self.thread_count();
         let prepared: Vec<PreparedState> = self
             .metrics
             .iter()
@@ -704,7 +715,7 @@ impl Engine {
             let len = batch.min(n - start);
             self.run_batch(
                 &world.universe,
-                &index,
+                index,
                 &prepared,
                 &world.names[start..start + len],
                 start,
@@ -716,7 +727,7 @@ impl Engine {
                 break;
             }
         }
-        self.finish_report(world, &index, merged)
+        self.finish_report(world, index, merged)
     }
 
     /// Runs the survey over an already-started [`WorldStream`] (what

@@ -44,6 +44,7 @@ pub mod lint;
 pub mod params;
 pub mod render;
 pub mod scenario;
+pub mod snapshot;
 pub mod topology;
 
 pub use driver::{run_survey, SurveyConfig};
@@ -51,10 +52,11 @@ pub use engine::{
     AnalysisWorld, Engine, ProbedSource, ReportError, ScenarioSource, SurveyReport,
     SyntheticSource, WorldSource, WorldStream,
 };
-pub use lint::{run_lint, LintFormat, LintReport, RuleMeta};
+pub use lint::{run_lint, run_lint_with, LintFormat, LintReport, RuleMeta};
 pub use params::TopologyParams;
 pub use render::{
     DirectorySink, Figure, FigureError, FigureOutcome, FigureRegistry, RenderedFigure, ReportSink,
     SinkFormat, StreamingCsvSink, WriterSink,
 };
+pub use snapshot::{load_world, save_world, LoadedWorld};
 pub use topology::SyntheticWorld;

@@ -95,14 +95,34 @@ pub fn run_lint(
     let workers = thread_count(threads);
     let index = DependencyIndex::build_with_threads(universe, workers);
     let facts = LintIndex::build(universe);
+    run_lint_with(
+        universe, names, registry, overrides, threads, &index, &facts,
+    )
+}
+
+/// [`run_lint`] over a **prebuilt** dependency index and lint facts —
+/// the snapshot-loading path: a world reconstituted from a `.psa`
+/// archive already carries both, so linting skips the two builds. The
+/// index and facts must belong to `universe` (the snapshot decoder
+/// validates this for loaded archives).
+pub fn run_lint_with(
+    universe: &Universe,
+    names: &[DnsName],
+    registry: &RuleRegistry,
+    overrides: &SeverityOverrides,
+    threads: Option<NonZeroUsize>,
+    index: &DependencyIndex,
+    facts: &LintIndex,
+) -> LintReport {
+    let workers = thread_count(threads);
     let zones: Vec<ZoneId> = universe.zone_ids().collect();
     let servers: Vec<ServerId> = universe.server_ids().collect();
 
     let diagnostics = if workers <= 1 {
-        check_universe(universe, &index, &facts, registry, names)
+        check_universe(universe, index, facts, registry, names)
     } else {
         sharded_check(
-            universe, &index, &facts, registry, names, &zones, &servers, workers,
+            universe, index, facts, registry, names, &zones, &servers, workers,
         )
     };
 

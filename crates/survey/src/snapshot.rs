@@ -1,0 +1,221 @@
+//! Whole-world `.psa` archives: one file holding everything a query
+//! daemon or figure run needs — the canonical [`Universe`], its
+//! [`DependencyIndex`], the shared [`LintIndex`] facts, the surveyed
+//! names with their popularity structure, and (optionally) the rendered
+//! figure JSON — so a restart is a bulk read instead of a rebuild.
+//!
+//! Layout (all sections little-endian, checksummed by the container):
+//!
+//! | tag        | contents                                             |
+//! |------------|------------------------------------------------------|
+//! | `WORLDHDR` | dimensions + figure count, cross-checked on load     |
+//! | `UNIVERSE` | zones, servers, ancestor tables                      |
+//! | `DEPINDEX` | zone rows, SCC map, interner arenas                  |
+//! | `LINTIDX`  | depth/cycle index, liveness, reachability, referenced|
+//! | `SURVNAME` | surveyed names, ranks, top-500 indices               |
+//! | `FIGURES`  | rendered figure JSON (optional, stored verbatim)     |
+//!
+//! Loading validates each section against the universe's dimensions (see
+//! [`perils_core::snapshot`]) and cross-checks the header, so corrupt or
+//! mismatched archives produce a typed [`SnapshotError`], never a panic.
+
+use crate::topology::SurveyName;
+use perils_core::snapshot::{
+    decode_dep_index, decode_lint, decode_name, decode_universe, encode_dep_index, encode_lint,
+    encode_name, encode_universe, SECTION_DEP_INDEX, SECTION_LINT, SECTION_UNIVERSE,
+};
+use perils_core::universe::Universe;
+use perils_core::{DependencyIndex, LintIndex};
+use perils_util::snapshot::{self, Archive, ArchiveWriter, Dec, SnapshotError};
+use std::path::Path;
+
+/// Section tag for the world header (dimension cross-checks).
+pub const SECTION_HEADER: [u8; 8] = *b"WORLDHDR";
+/// Section tag for the surveyed-name list.
+pub const SECTION_NAMES: [u8; 8] = *b"SURVNAME";
+/// Section tag for the rendered figure JSON (optional).
+pub const SECTION_FIGURES: [u8; 8] = *b"FIGURES\0";
+
+/// A world reconstituted from a `.psa` archive — everything owned, ready
+/// to serve queries or run figure/lint passes without any rebuild.
+#[derive(Debug)]
+pub struct LoadedWorld {
+    /// The canonical universe.
+    pub universe: Universe,
+    /// Its dependency index, validated against the universe.
+    pub index: DependencyIndex,
+    /// The shared lint facts, validated against the universe.
+    pub lint: LintIndex,
+    /// The surveyed names, in survey order.
+    pub names: Vec<SurveyName>,
+    /// Indices into `names` of the most popular subset.
+    pub top500: Vec<usize>,
+    /// The rendered figure JSON stored at save time, verbatim.
+    pub figures_json: Option<String>,
+    /// How many figures that JSON holds (from the header, so consumers
+    /// need not parse the JSON to report the count).
+    pub figures_rendered: usize,
+    /// Total archive size in bytes.
+    pub archive_bytes: u64,
+}
+
+/// Serializes a built world to `bytes` (see the module table for the
+/// layout). `figures` carries the rendered figure JSON plus its figure
+/// count, when the saver has one.
+pub fn world_archive_bytes(
+    universe: &Universe,
+    index: &DependencyIndex,
+    lint: &LintIndex,
+    names: &[SurveyName],
+    top500: &[usize],
+    figures: Option<(&str, usize)>,
+) -> Vec<u8> {
+    let mut header = Vec::new();
+    snapshot::put_u32(
+        &mut header,
+        u32::try_from(universe.zone_count()).expect("zone count fits u32"),
+    );
+    snapshot::put_u32(
+        &mut header,
+        u32::try_from(universe.server_count()).expect("server count fits u32"),
+    );
+    snapshot::put_u32(
+        &mut header,
+        u32::try_from(names.len()).expect("name count fits u32"),
+    );
+    snapshot::put_u32(
+        &mut header,
+        u32::try_from(figures.map_or(0, |(_, n)| n)).expect("figure count fits u32"),
+    );
+    snapshot::put_u8(&mut header, u8::from(figures.is_some()));
+
+    let mut name_section = Vec::new();
+    snapshot::put_u32(
+        &mut name_section,
+        u32::try_from(names.len()).expect("name count fits u32"),
+    );
+    for entry in names {
+        encode_name(&mut name_section, &entry.name);
+        encode_name(&mut name_section, &entry.tld);
+        snapshot::put_u32(
+            &mut name_section,
+            u32::try_from(entry.popularity_rank).expect("rank fits u32"),
+        );
+    }
+    let top500_u32: Vec<u32> = top500
+        .iter()
+        .map(|&i| u32::try_from(i).expect("top500 index fits u32"))
+        .collect();
+    snapshot::put_u32_slice(&mut name_section, &top500_u32);
+
+    let mut writer = ArchiveWriter::new();
+    writer.add_section(SECTION_HEADER, header);
+    writer.add_section(SECTION_UNIVERSE, encode_universe(universe));
+    writer.add_section(SECTION_DEP_INDEX, encode_dep_index(index));
+    writer.add_section(SECTION_LINT, encode_lint(lint));
+    writer.add_section(SECTION_NAMES, name_section);
+    if let Some((json, _)) = figures {
+        writer.add_section(SECTION_FIGURES, json.as_bytes().to_vec());
+    }
+    writer.to_bytes()
+}
+
+/// [`world_archive_bytes`] written to `path`; returns the bytes written.
+pub fn save_world(
+    path: impl AsRef<Path>,
+    universe: &Universe,
+    index: &DependencyIndex,
+    lint: &LintIndex,
+    names: &[SurveyName],
+    top500: &[usize],
+    figures: Option<(&str, usize)>,
+) -> Result<u64, SnapshotError> {
+    let bytes = world_archive_bytes(universe, index, lint, names, top500, figures);
+    std::fs::write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads a world from in-memory archive bytes.
+pub fn load_world_bytes(bytes: Vec<u8>) -> Result<LoadedWorld, SnapshotError> {
+    let archive = Archive::from_bytes(bytes)?;
+    load_world_archive(&archive)
+}
+
+/// Loads a world from a `.psa` file: one bulk read, then per-section
+/// chunk decoding.
+pub fn load_world(path: impl AsRef<Path>) -> Result<LoadedWorld, SnapshotError> {
+    let archive = Archive::read_from_path(path)?;
+    load_world_archive(&archive)
+}
+
+fn load_world_archive(archive: &Archive) -> Result<LoadedWorld, SnapshotError> {
+    let mut header = Dec::new(archive.section(SECTION_HEADER)?, "WORLDHDR");
+    let zone_count = header.u32()? as usize;
+    let server_count = header.u32()? as usize;
+    let name_count = header.u32()? as usize;
+    let figures_rendered = header.u32()? as usize;
+    let has_figures = match header.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(header.malformed(format!("figure flag {other} is not 0/1"))),
+    };
+    header.finish()?;
+
+    let universe = decode_universe(archive.section(SECTION_UNIVERSE)?)?;
+    if universe.zone_count() != zone_count || universe.server_count() != server_count {
+        return Err(Dec::new(&[], "WORLDHDR").malformed(format!(
+            "header declares {zone_count} zones / {server_count} servers, universe holds {} / {}",
+            universe.zone_count(),
+            universe.server_count()
+        )));
+    }
+    let index = decode_dep_index(archive.section(SECTION_DEP_INDEX)?, &universe)?;
+    let lint = decode_lint(archive.section(SECTION_LINT)?, &universe)?;
+
+    let mut dec = Dec::new(archive.section(SECTION_NAMES)?, "SURVNAME");
+    let count = dec.u32()? as usize;
+    if count != name_count {
+        return Err(dec.malformed(format!(
+            "header declares {name_count} names, section holds {count}"
+        )));
+    }
+    let mut names = Vec::with_capacity(count.min(dec.remaining()));
+    for _ in 0..count {
+        let name = decode_name(&mut dec)?;
+        let tld = decode_name(&mut dec)?;
+        let popularity_rank = dec.u32()? as usize;
+        names.push(SurveyName {
+            name,
+            tld,
+            popularity_rank,
+        });
+    }
+    let top500: Vec<usize> = dec.u32_vec()?.into_iter().map(|i| i as usize).collect();
+    if let Some(&bad) = top500.iter().find(|&&i| i >= names.len()) {
+        return Err(dec.malformed(format!("top500 index {bad} of {} names", names.len())));
+    }
+    dec.finish()?;
+
+    let figures_json = match archive.optional_section(SECTION_FIGURES) {
+        Some(bytes) => Some(
+            String::from_utf8(bytes.to_vec())
+                .map_err(|e| Dec::new(&[], "FIGURES").malformed(format!("not UTF-8: {e}")))?,
+        ),
+        None => None,
+    };
+    if figures_json.is_some() != has_figures {
+        return Err(Dec::new(&[], "WORLDHDR")
+            .malformed("figure flag disagrees with FIGURES section presence".to_string()));
+    }
+
+    Ok(LoadedWorld {
+        universe,
+        index,
+        lint,
+        names,
+        top500,
+        figures_json,
+        figures_rendered,
+        archive_bytes: archive.len_bytes(),
+    })
+}

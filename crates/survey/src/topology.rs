@@ -47,7 +47,7 @@ const VULNERABLE_VERSIONS: [&str; 6] = ["8.2.4", "8.2.2-P5", "8.2.1", "8.3.1", "
 const CLEAN_VERSIONS: [&str; 6] = ["9.2.3", "9.2.2", "8.4.4", "8.3.7", "9.3.0", "4.9.11"];
 
 /// One surveyed (crawled) name.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SurveyName {
     /// The web-server name (e.g. `www.site123.com`).
     pub name: DnsName,

@@ -587,7 +587,11 @@ mod tests {
         let err = parse(&nested(MAX_DEPTH + 1)).unwrap_err();
         assert_eq!(err.kind, JsonErrorKind::DepthLimitExceeded);
         // Objects hit the same cap.
-        let deep_obj = format!("{}1{}", "{\"k\":".repeat(MAX_DEPTH + 1), "}".repeat(MAX_DEPTH + 1));
+        let deep_obj = format!(
+            "{}1{}",
+            "{\"k\":".repeat(MAX_DEPTH + 1),
+            "}".repeat(MAX_DEPTH + 1)
+        );
         assert_eq!(
             parse(&deep_obj).unwrap_err().kind,
             JsonErrorKind::DepthLimitExceeded

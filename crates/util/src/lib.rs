@@ -17,18 +17,22 @@
 //! * [`table`] — ASCII table and CSV rendering (string-based, IO-free).
 //! * [`json`] — hand-rolled JSON string escaping and a minimal syntax
 //!   validator (the workspace serializes JSON without serde).
+//! * [`snapshot`] — the `.psa` flat snapshot archive container: versioned,
+//!   checksummed little-endian sections with typed corruption errors.
 
 #![forbid(unsafe_code)]
 
 pub mod dist;
 pub mod json;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod table;
 
 pub use dist::{AliasTable, Exponential, LogNormal, Pareto, ZipfTable};
 pub use json::{push_json_string, validate as validate_json};
 pub use rng::Rng;
+pub use snapshot::{Archive, ArchiveWriter, Dec, SnapshotError};
 pub use stats::{Cdf, Histogram, RankCurve, Summary};
 pub use table::{Align, Table};
 

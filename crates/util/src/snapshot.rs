@@ -1,0 +1,667 @@
+//! The `.psa` ("perils snapshot archive") container: a versioned,
+//! little-endian, sectioned flat format for persisting built worlds.
+//!
+//! An archive is a fixed header (magic, version, endianness tag), a
+//! table of contents (one entry per section: 8-byte tag, offset, length,
+//! FNV-1a checksum), and the section payloads concatenated. Sections are
+//! flat arrays of fixed-width little-endian integers plus length-prefixed
+//! byte runs, so loading is a handful of bulk reads reconstituting each
+//! `Vec` by chunked `u32`/`u64` decoding — no per-record text parsing, no
+//! graph traversal, and no `unsafe` (the workspace forbids it): the
+//! chunk decoders below compile to memory-bandwidth copies without mmap
+//! or transmute.
+//!
+//! Every failure mode is a typed [`SnapshotError`]: wrong magic, an
+//! unsupported version, a byte-swapped (big-endian) header, truncation
+//! anywhere, per-section checksum mismatches, and structural nonsense
+//! inside a section (the per-type decoders in `perils-graph`/
+//! `perils-core` route their findings through [`Dec::malformed`]).
+//! Corrupt archives must never panic or yield silently wrong data — the
+//! format-hardening tests flip and truncate bytes at every offset and
+//! assert exactly that.
+
+use std::fmt;
+use std::path::Path;
+
+/// Archive magic: identifies a `.psa` file regardless of version.
+pub const MAGIC: [u8; 8] = *b"PSNAPARC";
+/// Current format version. Readers reject anything else.
+pub const VERSION: u32 = 1;
+/// Endianness sentinel, written as a little-endian `u32`. A reader that
+/// finds these bytes reversed is looking at a big-endian writer's
+/// output (or garbage) and rejects it with a clear message.
+pub const ENDIAN_TAG: u32 = 0x0A0B_0C0D;
+
+/// Size of one table-of-contents entry: tag + offset + length + checksum.
+const TOC_ENTRY: usize = 8 + 8 + 8 + 8;
+/// Size of the fixed header before the TOC.
+const HEADER: usize = 8 + 4 + 4 + 4;
+
+/// A typed snapshot-archive failure. Every way a load can go wrong maps
+/// to one of these — corrupt input is reported, never panicked on.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic {
+        /// The bytes found where the magic should be.
+        found: [u8; 8],
+    },
+    /// The archive was written by a different format version.
+    UnsupportedVersion {
+        /// The version the archive declares.
+        found: u32,
+    },
+    /// The endianness tag is byte-swapped: the archive was written
+    /// big-endian (or the header is corrupt in a way that mimics it).
+    BadEndianness,
+    /// The file ends before the structure it promises.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: String,
+    },
+    /// A section's payload does not hash to its TOC checksum.
+    ChecksumMismatch {
+        /// The section tag, as printable text.
+        section: String,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The section tag, as printable text.
+        section: String,
+    },
+    /// The same section tag appears twice in the TOC.
+    DuplicateSection {
+        /// The section tag, as printable text.
+        section: String,
+    },
+    /// A section decoded to structurally invalid data (bad lengths,
+    /// out-of-range ids, non-canonical flags, …).
+    Malformed {
+        /// The section tag, as printable text.
+        section: String,
+        /// Byte offset within the section where decoding stopped.
+        offset: usize,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic { found } => write!(
+                f,
+                "not a perils snapshot archive (magic {:?}, expected {:?})",
+                String::from_utf8_lossy(found),
+                String::from_utf8_lossy(&MAGIC),
+            ),
+            SnapshotError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads version {VERSION})"
+            ),
+            SnapshotError::BadEndianness => write!(
+                f,
+                "snapshot archive is byte-swapped (written big-endian?); \
+                 this reader only accepts little-endian archives"
+            ),
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot archive truncated while reading {context}")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "snapshot section {section:?} failed its checksum")
+            }
+            SnapshotError::MissingSection { section } => {
+                write!(f, "snapshot archive has no {section:?} section")
+            }
+            SnapshotError::DuplicateSection { section } => {
+                write!(f, "snapshot archive lists section {section:?} twice")
+            }
+            SnapshotError::Malformed {
+                section,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "snapshot section {section:?} is malformed at byte {offset}: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Renders a section tag as printable text (trailing NULs trimmed).
+pub fn tag_text(tag: [u8; 8]) -> String {
+    let end = tag.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+    String::from_utf8_lossy(&tag[..end]).into_owned()
+}
+
+/// FNV-1a folded over 8-byte little-endian words (tail bytes one at a
+/// time) — the per-section checksum. Not cryptographic; it catches the
+/// truncations and bit flips storage actually produces. Every fold is a
+/// bijection of the running state (xor, then multiply by an odd
+/// constant), so a single flipped bit anywhere always changes the final
+/// sum, and word folding keeps the verify pass near memory bandwidth
+/// instead of one multiply per byte.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut words = bytes.chunks_exact(8);
+    for word in &mut words {
+        let w = u64::from_le_bytes(word.try_into().expect("exact 8-byte chunk"));
+        h = (h ^ w).wrapping_mul(0x100_0000_01B3);
+    }
+    for &b in words.remainder() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Assembles an archive in memory: sections are appended in call order
+/// and serialized behind the header + TOC by [`ArchiveWriter::to_bytes`].
+#[derive(Debug, Default)]
+pub struct ArchiveWriter {
+    sections: Vec<([u8; 8], Vec<u8>)>,
+}
+
+impl ArchiveWriter {
+    /// An empty archive.
+    pub fn new() -> ArchiveWriter {
+        ArchiveWriter::default()
+    }
+
+    /// Adds a section. Tags must be unique per archive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tag` was already added — that is a writer bug, not
+    /// an input condition.
+    pub fn add_section(&mut self, tag: [u8; 8], payload: Vec<u8>) {
+        assert!(
+            self.sections.iter().all(|(t, _)| *t != tag),
+            "duplicate snapshot section {:?}",
+            tag_text(tag)
+        );
+        self.sections.push((tag, payload));
+    }
+
+    /// Serializes header, TOC and payloads into one buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload_len: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
+        let mut out = Vec::with_capacity(HEADER + TOC_ENTRY * self.sections.len() + payload_len);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        let mut offset = 0u64;
+        for (tag, payload) in &self.sections {
+            out.extend_from_slice(tag);
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&checksum(payload).to_le_bytes());
+            offset += payload.len() as u64;
+        }
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Serializes and writes the archive to `path`; returns the byte
+    /// count written.
+    pub fn write_to_path(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        let bytes = self.to_bytes();
+        std::fs::write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+/// A parsed archive: the raw bytes plus a validated TOC. Section
+/// payloads are borrowed slices of the one bulk read — checksums are
+/// verified once here, so decoders downstream trust the bytes'
+/// integrity (they still bounds-check every structural claim).
+#[derive(Debug)]
+pub struct Archive {
+    bytes: Vec<u8>,
+    toc: Vec<([u8; 8], std::ops::Range<usize>)>,
+}
+
+impl Archive {
+    /// Parses an in-memory archive: header, TOC, per-section checksums.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Archive, SnapshotError> {
+        let need = |have: usize, want: usize, context: &str| {
+            if have < want {
+                Err(SnapshotError::Truncated {
+                    context: context.to_string(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        need(bytes.len(), HEADER, "header")?;
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&bytes[..8]);
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
+        let version = u32_at(8);
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let endian = u32_at(12);
+        if endian != ENDIAN_TAG {
+            if endian == ENDIAN_TAG.swap_bytes() {
+                return Err(SnapshotError::BadEndianness);
+            }
+            return Err(SnapshotError::Truncated {
+                context: "endianness tag".to_string(),
+            });
+        }
+        let count = u32_at(16) as usize;
+        let toc_end =
+            HEADER
+                .checked_add(count.checked_mul(TOC_ENTRY).ok_or_else(|| {
+                    SnapshotError::Truncated {
+                        context: "table of contents".to_string(),
+                    }
+                })?)
+                .ok_or_else(|| SnapshotError::Truncated {
+                    context: "table of contents".to_string(),
+                })?;
+        need(bytes.len(), toc_end, "table of contents")?;
+        let payload = &bytes[toc_end..];
+        let mut toc = Vec::with_capacity(count);
+        let mut checks = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = HEADER + i * TOC_ENTRY;
+            let mut tag = [0u8; 8];
+            tag.copy_from_slice(&bytes[at..at + 8]);
+            let u64_at =
+                |j: usize| u64::from_le_bytes(bytes[j..j + 8].try_into().expect("8 bytes"));
+            let offset = u64_at(at + 8);
+            let len = u64_at(at + 16);
+            let sum = u64_at(at + 24);
+            let end = offset
+                .checked_add(len)
+                .filter(|&e| e <= payload.len() as u64);
+            let Some(end) = end else {
+                return Err(SnapshotError::Truncated {
+                    context: format!("section {:?} payload", tag_text(tag)),
+                });
+            };
+            if toc.iter().any(|(t, _)| *t == tag) {
+                return Err(SnapshotError::DuplicateSection {
+                    section: tag_text(tag),
+                });
+            }
+            let range = toc_end + offset as usize..toc_end + end as usize;
+            toc.push((tag, range.clone()));
+            checks.push((tag, range, sum));
+        }
+        for (tag, range, sum) in checks {
+            if checksum(&bytes[range]) != sum {
+                return Err(SnapshotError::ChecksumMismatch {
+                    section: tag_text(tag),
+                });
+            }
+        }
+        Ok(Archive { bytes, toc })
+    }
+
+    /// One bulk read of `path`, then [`Archive::from_bytes`].
+    pub fn read_from_path(path: impl AsRef<Path>) -> Result<Archive, SnapshotError> {
+        Archive::from_bytes(std::fs::read(path)?)
+    }
+
+    /// The payload of a required section.
+    pub fn section(&self, tag: [u8; 8]) -> Result<&[u8], SnapshotError> {
+        self.optional_section(tag)
+            .ok_or_else(|| SnapshotError::MissingSection {
+                section: tag_text(tag),
+            })
+    }
+
+    /// The payload of an optional section.
+    pub fn optional_section(&self, tag: [u8; 8]) -> Option<&[u8]> {
+        self.toc
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, range)| &self.bytes[range.clone()])
+    }
+
+    /// Total archive size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// The section tags present, in TOC order.
+    pub fn tags(&self) -> impl Iterator<Item = [u8; 8]> + '_ {
+        self.toc.iter().map(|(t, _)| *t)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Field encoders: little-endian, length-prefixed where variable.
+// ---------------------------------------------------------------------
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `u32 len` + raw bytes.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, u32::try_from(bytes.len()).expect("byte run fits u32"));
+    out.extend_from_slice(bytes);
+}
+
+/// Appends `u32 len` + the elements as little-endian `u32`s.
+pub fn put_u32_slice(out: &mut Vec<u8>, values: &[u32]) {
+    put_u32(out, u32::try_from(values.len()).expect("slice fits u32"));
+    out.reserve(values.len() * 4);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends `u32 len` + the elements as little-endian `u64`s.
+pub fn put_u64_slice(out: &mut Vec<u8>, values: &[u64]) {
+    put_u32(out, u32::try_from(values.len()).expect("slice fits u32"));
+    out.reserve(values.len() * 8);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends `u32 len` + one byte per bool.
+pub fn put_bool_slice(out: &mut Vec<u8>, values: &[bool]) {
+    put_u32(out, u32::try_from(values.len()).expect("slice fits u32"));
+    out.extend(values.iter().map(|&b| u8::from(b)));
+}
+
+/// A bounds-checked little-endian cursor over one section's payload.
+///
+/// Every read returns a typed error instead of panicking, and the bulk
+/// readers ([`Dec::u32_vec`], [`Dec::u64_vec`]) verify the promised
+/// length against the remaining bytes **before** allocating, so a
+/// corrupt length can neither overrun nor balloon memory.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    /// Wraps one section's payload. `section` labels errors.
+    pub fn new(buf: &'a [u8], section: &'static str) -> Dec<'a> {
+        Dec {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// A typed malformed-section error at the current offset.
+    pub fn malformed(&self, detail: impl Into<String>) -> SnapshotError {
+        SnapshotError::Malformed {
+            section: self.section.to_string(),
+            offset: self.pos,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(self.malformed(format!(
+                "need {n} bytes for {what}, only {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, "u32")?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, "u64")?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads `u32 len` + that many raw bytes (borrowed).
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let len = self.u32()? as usize;
+        self.take(len, "byte run")
+    }
+
+    /// Reads exactly `n` raw bytes (borrowed).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        self.take(n, "raw bytes")
+    }
+
+    /// Reads `u32 len` + `len` little-endian `u32`s — the chunked bulk
+    /// decode every flat array loads through.
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len * 4, "u32 array")?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Reads `u32 len` + `len` little-endian `u64`s.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len * 8, "u64 array")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Reads `u32 len` + one byte per bool; bytes other than 0/1 are
+    /// malformed (a flipped flag byte must not decode silently).
+    pub fn bool_vec(&mut self) -> Result<Vec<bool>, SnapshotError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len, "bool array")?;
+        if let Some(bad) = raw.iter().position(|&b| b > 1) {
+            return Err(self.malformed(format!("bool byte {bad} is {}", raw[bad])));
+        }
+        Ok(raw.iter().map(|&b| b == 1).collect())
+    }
+
+    /// Errors unless every byte was consumed — trailing garbage in a
+    /// section is corruption, not padding.
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(self.malformed(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_archive() -> Vec<u8> {
+        let mut w = ArchiveWriter::new();
+        let mut a = Vec::new();
+        put_u32_slice(&mut a, &[1, 2, 3, 0xFFFF_FFFF]);
+        put_bool_slice(&mut a, &[true, false, true]);
+        w.add_section(*b"ALPHA\0\0\0", a);
+        let mut b = Vec::new();
+        put_u64_slice(&mut b, &[u64::MAX, 0, 42]);
+        put_bytes(&mut b, b"hello");
+        w.add_section(*b"BETA\0\0\0\0", b);
+        w.to_bytes()
+    }
+
+    #[test]
+    fn round_trips_sections_and_fields() {
+        let archive = Archive::from_bytes(sample_archive()).expect("parses");
+        assert_eq!(archive.tags().count(), 2);
+        let mut dec = Dec::new(archive.section(*b"ALPHA\0\0\0").expect("alpha"), "ALPHA");
+        assert_eq!(dec.u32_vec().expect("u32s"), vec![1, 2, 3, 0xFFFF_FFFF]);
+        assert_eq!(dec.bool_vec().expect("bools"), vec![true, false, true]);
+        dec.finish().expect("fully consumed");
+        let mut dec = Dec::new(archive.section(*b"BETA\0\0\0\0").expect("beta"), "BETA");
+        assert_eq!(dec.u64_vec().expect("u64s"), vec![u64::MAX, 0, 42]);
+        assert_eq!(dec.bytes().expect("bytes"), b"hello");
+        dec.finish().expect("fully consumed");
+        assert!(matches!(
+            archive.section(*b"GAMMA\0\0\0"),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_endianness() {
+        let good = sample_archive();
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Archive::from_bytes(bad_magic),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        let mut bad_version = good.clone();
+        bad_version[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Archive::from_bytes(bad_version),
+            Err(SnapshotError::UnsupportedVersion { found: 99 })
+        ));
+        let mut swapped = good.clone();
+        swapped[12..16].copy_from_slice(&ENDIAN_TAG.to_be_bytes());
+        let err = Archive::from_bytes(swapped).expect_err("swapped tag rejected");
+        assert!(matches!(err, SnapshotError::BadEndianness));
+        assert!(err.to_string().contains("little-endian"));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let good = sample_archive();
+        for len in 0..good.len() {
+            let err = Archive::from_bytes(good[..len].to_vec())
+                .err()
+                .unwrap_or_else(|| panic!("truncation to {len} bytes must fail"));
+            // Any typed variant is acceptable; a panic is not.
+            let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_fails_parse_lookup_or_checksum() {
+        let good = sample_archive();
+        let original_tags: Vec<[u8; 8]> = Archive::from_bytes(good.clone())
+            .expect("valid")
+            .tags()
+            .collect();
+        for byte in 0..good.len() {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x10;
+            match Archive::from_bytes(bad) {
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+                Ok(archive) => {
+                    // The only flip the container itself cannot reject is
+                    // a TOC *tag* byte: the payload and its checksum are
+                    // untouched, the section is merely renamed — and the
+                    // rename surfaces as MissingSection the moment a
+                    // reader asks for the original tag. Payload flips are
+                    // always caught by the per-section checksum.
+                    let tags: Vec<[u8; 8]> = archive.tags().collect();
+                    assert_ne!(
+                        tags, original_tags,
+                        "bit flip at byte {byte} went unnoticed"
+                    );
+                    let renamed = original_tags
+                        .iter()
+                        .find(|t| !tags.contains(t))
+                        .expect("some original tag disappeared");
+                    assert!(matches!(
+                        archive.section(*renamed),
+                        Err(SnapshotError::MissingSection { .. })
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_lengths_do_not_balloon_or_panic() {
+        // A section whose internal length prefix promises more data than
+        // exists must produce Malformed, not an allocation explosion.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, u32::MAX); // "4 billion u32s follow"
+        let mut w = ArchiveWriter::new();
+        w.add_section(*b"HUGE\0\0\0\0", payload);
+        let archive = Archive::from_bytes(w.to_bytes()).expect("container is valid");
+        let mut dec = Dec::new(archive.section(*b"HUGE\0\0\0\0").expect("huge"), "HUGE");
+        assert!(matches!(
+            dec.u32_vec(),
+            Err(SnapshotError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut dec = Dec::new(&[1, 2, 3], "TAIL");
+        let _ = dec.u8().expect("one byte");
+        assert!(matches!(dec.finish(), Err(SnapshotError::Malformed { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate snapshot section")]
+    fn writer_rejects_duplicate_tags() {
+        let mut w = ArchiveWriter::new();
+        w.add_section(*b"DUP\0\0\0\0\0", Vec::new());
+        w.add_section(*b"DUP\0\0\0\0\0", Vec::new());
+    }
+}
