@@ -31,13 +31,23 @@
 //!   connection (client-side p50/p99), plus one snapshot reload
 //!   (`BENCH_08.json` in CI — the service contract is p50 < 5 ms at
 //!   100k names);
-//! * `snapshot`: the zero-parse archive numbers (`BENCH_09.json` in CI)
+//! * `snapshot`: the out-of-core archive numbers (`BENCH_10.json` in CI)
 //!   — full world build time vs `.psa` save time, archive size, and
-//!   load time (median of three), reporting the cold-start speedup.
-//!   `--verify` additionally asserts the loaded world is structurally
-//!   identical (universe, index, lint facts, names) and that figures
-//!   recomputed from it are byte-identical; `--assert-speedup X` fails
-//!   the run if load is not at least `X`× faster than rebuild.
+//!   per-backend cold-boot load time and **peak RSS**, both measured in
+//!   fresh subprocesses (`snapshot-load-probe` below, best of five) so
+//!   the numbers are not polluted by this process's build. The paged
+//!   probe runs with a cache budget of 25% of the archive. `--verify`
+//!   additionally asserts all three backends decode structurally
+//!   identical worlds (universe, index, lint facts, names) and that
+//!   figures recomputed from each are byte-identical; `--assert-speedup
+//!   X` fails the run if heap load is not at least `X`× faster than
+//!   rebuild; `--assert-heap-speedup X` gates heap-view load vs copy
+//!   decode; `--assert-rss-ratio R` gates heap probe RSS / copy probe
+//!   RSS;
+//! * `snapshot-load-probe` (internal): load `--path FILE` with
+//!   `--backend copy|heap|paged` (paged honors `--budget-bytes N`) in
+//!   this process and print one JSON line — the subprocess half of
+//!   `--mode snapshot`'s RSS measurements.
 
 use perils_bench::scaled_params;
 use perils_core::closure::DependencyIndex;
@@ -391,20 +401,90 @@ fn run_service_mode(seed: u64, names: usize, worker_threads: usize, out: Option<
     }
 }
 
-/// The zero-parse archive benchmark (`--mode snapshot`): build a world
+/// The subprocess half of `--mode snapshot`'s RSS measurement: load the
+/// archive with one backend in this (fresh) process, so `VmHWM` reflects
+/// that backend's loaded-world footprint alone, and print one JSON line.
+fn run_snapshot_load_probe(path: &str, backend_name: &str, budget_bytes: u64) {
+    use perils_survey::SnapshotBackend;
+    let backend = match backend_name {
+        "copy" => SnapshotBackend::Copy,
+        "heap" => SnapshotBackend::Heap,
+        "paged" => SnapshotBackend::paged(budget_bytes),
+        _ => usage(),
+    };
+    let start = Instant::now();
+    let loaded = perils_survey::load_world_with(path, backend).expect("probe load");
+    let load_ms = start.elapsed().as_secs_f64() * 1e3;
+    // Prove the world is usable, not just decoded: one closure through
+    // the index (paged backends fault their pages here, like a first
+    // daemon query would).
+    let mut ws = loaded.index.workspace();
+    let first = loaded.names.first().expect("world has names");
+    let closure = loaded
+        .index
+        .closure_view(&loaded.universe, &first.name, &mut ws);
+    let servers = closure.server_count();
+    let resident = loaded.store.as_ref().map_or(0, |s| s.resident_bytes());
+    let rss = peak_rss_mb();
+    println!(
+        "{{\"backend\":\"{backend_name}\",\"load_ms\":{load_ms:.2},\"peak_rss_mb\":{rss:.1},\
+         \"resident_bytes\":{resident},\"first_closure_servers\":{servers}}}"
+    );
+    drop(std::hint::black_box(loaded));
+}
+
+/// Spawns `bench_smoke --mode snapshot-load-probe` on the archive and
+/// parses its JSON line: (load_ms, peak_rss_mb, resident_bytes).
+fn spawn_probe(archive: &std::path::Path, backend: &str, budget_bytes: u64) -> (f64, f64, u64) {
+    let exe = std::env::current_exe().expect("current exe");
+    let output = std::process::Command::new(exe)
+        .args([
+            "--mode",
+            "snapshot-load-probe",
+            "--path",
+            archive.to_str().expect("utf8 archive path"),
+            "--backend",
+            backend,
+            "--budget-bytes",
+            &budget_bytes.to_string(),
+        ])
+        .output()
+        .expect("spawn probe");
+    assert!(
+        output.status.success(),
+        "{backend} probe failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("probe stdout utf8");
+    let line = stdout.lines().last().expect("probe printed JSON");
+    let value = perils_util::json::parse(line).expect("probe JSON parses");
+    let field = |k: &str| value.get(k).and_then(|v| v.as_f64()).expect("probe field");
+    (
+        field("load_ms"),
+        field("peak_rss_mb"),
+        field("resident_bytes") as u64,
+    )
+}
+
+/// The out-of-core archive benchmark (`--mode snapshot`): build a world
 /// the way a cold `perilsd` boot would (universe + dependency index +
-/// lint facts), archive it, then time the bulk-read load path against
-/// the rebuild it replaces.
+/// lint facts), archive it, then time every byte-store backend's load
+/// path against the rebuild it replaces — copy (the eager baseline),
+/// heap view (zero-copy resident buffer) and paged (cache budget 25% of
+/// the archive) — with per-backend peak RSS from fresh subprocesses.
 fn run_snapshot_mode(
     seed: u64,
     names: usize,
     verify: bool,
     assert_speedup: Option<f64>,
+    assert_heap_speedup: Option<f64>,
+    assert_rss_ratio: Option<f64>,
     out: Option<String>,
 ) {
     use perils_core::LintIndex;
     use perils_survey::engine::AnalysisWorld;
     use perils_survey::render::{FigureOutcome, FigureRegistry};
+    use perils_survey::SnapshotBackend;
 
     let build_start = Instant::now();
     let world = SyntheticSource {
@@ -435,37 +515,49 @@ fn run_snapshot_mode(
     )
     .expect("save archive");
     let save_s = save_start.elapsed().as_secs_f64();
+    let paged_budget = (archive_bytes / 4).max(8192);
 
-    // Time-to-ready: the daemon holds the loaded world for its lifetime,
-    // so the metric stops when the world is usable — dropping it (a million
-    // tiny frees at 100k names) happens outside the timed region, exactly
-    // as it does on a real cold boot.
-    let load_ms = median_ms(
-        (0..3)
-            .map(|_| {
-                let start = Instant::now();
-                let loaded = perils_survey::load_world(&path).expect("load archive");
-                let ms = start.elapsed().as_secs_f64() * 1e3;
-                drop(std::hint::black_box(loaded));
-                ms
-            })
-            .collect(),
-    );
+    // Time-to-ready and peak RSS per backend, each run in a fresh
+    // subprocess. The subprocess is the honest cold boot: this process
+    // has just built and dropped a 100k-name world, so re-loading here
+    // would time the allocator's free-list reuse (which flattens the
+    // copy/heap gap to noise), and its RSS high-water mark is the
+    // build's, not the load's. Scheduler noise on a shared box is
+    // additive, so the minimum of five boots estimates the load's own
+    // cost; RSS is a deterministic high-water mark, so max-of-runs only
+    // guards against a truncated /proc read.
+    let probe_best = |backend: &str, budget: u64| -> (f64, f64, u64) {
+        let runs: Vec<(f64, f64, u64)> = (0..5)
+            .map(|_| spawn_probe(&path, backend, budget))
+            .collect();
+        let load_ms = runs.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
+        let rss_mb = runs.iter().map(|r| r.1).fold(0.0f64, f64::max);
+        (load_ms, rss_mb, runs[0].2)
+    };
+    let (load_ms_copy, rss_copy_mb, _) = probe_best("copy", 0);
+    let (load_ms, rss_heap_mb, _) = probe_best("heap", 0);
+    let (load_ms_paged, rss_paged_mb, paged_resident) = probe_best("paged", paged_budget);
     let speedup = build_s / (load_ms / 1e3);
+    let heap_speedup = load_ms_copy / load_ms;
     eprintln!(
-        "snapshot: saved {archive_bytes} bytes in {save_s:.2} s; \
-         load {load_ms:.1} ms (median of 3) — {speedup:.1}x faster than rebuild"
+        "snapshot: saved {archive_bytes} bytes in {save_s:.2} s; cold load (best of 5) \
+         copy {load_ms_copy:.1} ms, heap {load_ms:.1} ms, paged {load_ms_paged:.1} ms \
+         (budget {paged_budget} B) — heap {speedup:.1}x faster than rebuild, \
+         {heap_speedup:.2}x faster than copy"
+    );
+    let rss_ratio = if rss_copy_mb > 0.0 {
+        rss_heap_mb / rss_copy_mb
+    } else {
+        0.0
+    };
+    eprintln!(
+        "snapshot: probe peak RSS copy {rss_copy_mb:.1} MiB, heap {rss_heap_mb:.1} MiB \
+         (ratio {rss_ratio:.2}), paged {rss_paged_mb:.1} MiB ({paged_resident} B resident)"
     );
 
     let verified = if verify {
-        let loaded = perils_survey::load_world(&path).expect("load archive");
-        assert!(loaded.universe == world.universe, "universe differs");
-        assert!(loaded.index == index, "dependency index differs");
-        assert!(loaded.lint == lint, "lint facts differ");
-        assert_eq!(loaded.names, world.names, "name list differs");
-        assert_eq!(loaded.top500, world.top500, "top500 differs");
-
-        // Figures recomputed from the loaded world must be byte-identical.
+        // All three backends must decode structurally identical worlds,
+        // and figures recomputed from each must be byte-identical.
         let engine = Engine::with_builtin_metrics();
         let registry = FigureRegistry::classic();
         let figure_bytes = |world: AnalysisWorld, index: &DependencyIndex| -> String {
@@ -479,17 +571,45 @@ fn run_snapshot_mode(
             }
             all
         };
-        let original = figure_bytes(world, &index);
-        let reloaded = figure_bytes(
+        let original = figure_bytes(
             AnalysisWorld {
-                universe: loaded.universe,
-                names: loaded.names,
-                top500: loaded.top500,
+                universe: world.universe.clone(),
+                names: world.names.clone(),
+                top500: world.top500.clone(),
             },
-            &loaded.index,
+            &index,
         );
-        assert_eq!(original, reloaded, "figure bytes differ after reload");
-        eprintln!("snapshot: verified — loaded world byte-identical (figures recomputed)");
+        for backend in [
+            SnapshotBackend::Copy,
+            SnapshotBackend::Heap,
+            SnapshotBackend::paged(paged_budget),
+        ] {
+            let kind = backend.kind();
+            let loaded = perils_survey::load_world_with(&path, backend).expect("load archive");
+            assert!(
+                loaded.universe == world.universe,
+                "{kind}: universe differs"
+            );
+            assert!(loaded.index == index, "{kind}: dependency index differs");
+            assert!(loaded.lint == lint, "{kind}: lint facts differ");
+            assert_eq!(loaded.names, world.names, "{kind}: name list differs");
+            assert_eq!(loaded.top500, world.top500, "{kind}: top500 differs");
+            let reloaded = figure_bytes(
+                AnalysisWorld {
+                    universe: loaded.universe,
+                    names: loaded.names.into_vec(),
+                    top500: loaded.top500,
+                },
+                &loaded.index,
+            );
+            assert_eq!(
+                original, reloaded,
+                "{kind}: figure bytes differ after reload"
+            );
+        }
+        eprintln!(
+            "snapshot: verified — copy/heap/paged worlds byte-identical (figures recomputed)"
+        );
         true
     } else {
         false
@@ -501,6 +621,20 @@ fn run_snapshot_mode(
              (build {build_s:.2} s vs load {load_ms:.1} ms)"
         );
     }
+    if let Some(minimum) = assert_heap_speedup {
+        assert!(
+            heap_speedup >= minimum,
+            "heap-view load is only {heap_speedup:.2}x faster than copy decode \
+             (floor {minimum}; copy {load_ms_copy:.1} ms vs heap {load_ms:.1} ms)"
+        );
+    }
+    if let Some(maximum) = assert_rss_ratio {
+        assert!(
+            rss_ratio <= maximum,
+            "heap probe RSS is {rss_ratio:.2}x the copy probe's (ceiling {maximum}; \
+             heap {rss_heap_mb:.1} MiB vs copy {rss_copy_mb:.1} MiB)"
+        );
+    }
     std::fs::remove_file(&path).ok();
 
     let rss = peak_rss_mb();
@@ -510,7 +644,12 @@ fn run_snapshot_mode(
             format!(
                 "{{\"mode\":\"snapshot\",\"names\":{names},\"build_s\":{build_s:.3},\
                  \"save_s\":{save_s:.3},\"archive_bytes\":{archive_bytes},\
-                 \"load_ms\":{load_ms:.2},\"speedup\":{speedup:.1},\
+                 \"load_ms\":{load_ms:.2},\"load_ms_copy\":{load_ms_copy:.2},\
+                 \"load_ms_paged\":{load_ms_paged:.2},\"paged_budget_bytes\":{paged_budget},\
+                 \"speedup\":{speedup:.1},\"heap_speedup_vs_copy\":{heap_speedup:.2},\
+                 \"probe_rss_copy_mb\":{rss_copy_mb:.1},\"probe_rss_heap_mb\":{rss_heap_mb:.1},\
+                 \"probe_rss_paged_mb\":{rss_paged_mb:.1},\"heap_rss_ratio_vs_copy\":{rss_ratio:.2},\
+                 \"paged_resident_bytes\":{paged_resident},\
                  \"verified\":{verified},\"peak_rss_mb\":{rss:.1}}}\n"
             ),
         );
@@ -525,6 +664,11 @@ fn main() {
     let mut threads_given = false;
     let mut verify = false;
     let mut assert_speedup: Option<f64> = None;
+    let mut assert_heap_speedup: Option<f64> = None;
+    let mut assert_rss_ratio: Option<f64> = None;
+    let mut probe_path: Option<String> = None;
+    let mut probe_backend = "heap".to_string();
+    let mut probe_budget_bytes = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -555,6 +699,28 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--assert-heap-speedup" => {
+                assert_heap_speedup = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--assert-rss-ratio" => {
+                assert_rss_ratio = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--path" => probe_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--backend" => probe_backend = args.next().unwrap_or_else(|| usage()),
+            "--budget-bytes" => {
+                probe_budget_bytes = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
     }
@@ -569,7 +735,21 @@ fn main() {
             let workers = if threads_given { thread_counts[0] } else { 0 };
             return run_service_mode(2005, names, workers, out);
         }
-        "snapshot" => return run_snapshot_mode(2005, names, verify, assert_speedup, out),
+        "snapshot" => {
+            return run_snapshot_mode(
+                2005,
+                names,
+                verify,
+                assert_speedup,
+                assert_heap_speedup,
+                assert_rss_ratio,
+                out,
+            )
+        }
+        "snapshot-load-probe" => {
+            let path = probe_path.unwrap_or_else(|| usage());
+            return run_snapshot_load_probe(&path, &probe_backend, probe_budget_bytes);
+        }
         _ => usage(),
     }
 
@@ -670,7 +850,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_smoke [--names N] \
          [--mode survey|matrix|build-materialized|build-streamed|materialized|streamed|service|snapshot] \
-         [--threads T1,T2,...] [--verify] [--assert-speedup X] [--out FILE.json]"
+         [--threads T1,T2,...] [--verify] [--assert-speedup X] \
+         [--assert-heap-speedup X] [--assert-rss-ratio R] [--out FILE.json]"
     );
     std::process::exit(2);
 }

@@ -56,6 +56,8 @@ use perils_dns::name::DnsName;
 use perils_graph::bitset::{BitSet, BitSetInterner, SetId};
 use perils_graph::csr::Csr;
 use perils_graph::scc::SccResult;
+use perils_util::snapshot::SnapshotError;
+use perils_util::U32Arr;
 use std::collections::BTreeSet;
 
 /// Precomputed dependency structure over a universe.
@@ -69,28 +71,35 @@ use std::collections::BTreeSet;
 /// share one row, the edge arrays shrink accordingly, and the SCC pass
 /// runs over the implicit per-server graph without materializing a
 /// per-server edge copy.
+/// Every flat table is a [`U32Arr`]: the build path produces owned
+/// `Vec`s, while a snapshot load under [`perils_util::snapshot::DecodeMode::View`]
+/// keeps each table as a zero-copy view into the archive's byte store —
+/// same accessors, same equality, no materialization.
 #[derive(Debug, Clone)]
 pub struct DependencyIndex {
     /// Per server: index of its home zone, or `u32::MAX` when no zone
     /// encloses the server's name (its rows are empty).
-    home_zone: Vec<u32>,
+    home_zone: U32Arr,
     /// CSR rows per zone: the zones on the origin's chain (root excluded),
-    /// root-first, the zone itself included last.
-    zone_chain_offsets: Vec<u32>,
-    zone_chain_targets: Vec<ZoneId>,
+    /// root-first, the zone itself included last. Targets are raw
+    /// [`ZoneId`] values; accessors re-type them.
+    zone_chain_offsets: U32Arr,
+    zone_chain_targets: U32Arr,
     /// CSR rows per zone: the servers an address resolution under this
     /// zone could involve — the NS sets of every chain zone, deduplicated
-    /// in first-occurrence order.
-    zone_dep_offsets: Vec<u32>,
-    zone_dep_targets: Vec<ServerId>,
+    /// in first-occurrence order. Targets are raw [`ServerId`] values.
+    zone_dep_offsets: U32Arr,
+    zone_dep_targets: U32Arr,
     /// Strongly connected component of each server in the dependency
     /// graph.
-    component_of: Vec<u32>,
+    component_of: U32Arr,
     /// Per-component memoized reachable servers (the component's members
-    /// plus everything any member transitively depends on).
-    component_servers: Vec<SetId>,
-    /// Per-component memoized zones: the chains of every reachable server.
-    component_zones: Vec<SetId>,
+    /// plus everything any member transitively depends on), as raw
+    /// [`SetId`] values.
+    component_servers: U32Arr,
+    /// Per-component memoized zones: the chains of every reachable server,
+    /// as raw [`SetId`] values.
+    component_zones: U32Arr,
     server_sets: BitSetInterner,
     zone_sets: BitSetInterner,
 }
@@ -119,16 +128,39 @@ impl PartialEq for DependencyIndex {
 /// [`DependencyIndex`] — every field is already a flat array or an
 /// interner arena, so encoding is a straight copy.
 pub(crate) struct DependencyIndexParts<'a> {
-    pub home_zone: &'a [u32],
-    pub zone_chain_offsets: &'a [u32],
-    pub zone_chain_targets: &'a [ZoneId],
-    pub zone_dep_offsets: &'a [u32],
-    pub zone_dep_targets: &'a [ServerId],
-    pub component_of: &'a [u32],
-    pub component_servers: &'a [SetId],
-    pub component_zones: &'a [SetId],
+    pub home_zone: &'a U32Arr,
+    pub zone_chain_offsets: &'a U32Arr,
+    pub zone_chain_targets: &'a U32Arr,
+    pub zone_dep_offsets: &'a U32Arr,
+    pub zone_dep_targets: &'a U32Arr,
+    pub component_of: &'a U32Arr,
+    pub component_servers: &'a U32Arr,
+    pub component_zones: &'a U32Arr,
     pub server_sets: &'a BitSetInterner,
     pub zone_sets: &'a BitSetInterner,
+}
+
+/// Error channel for the streaming snapshot validators: a structural
+/// finding (a message) or a store failure raised mid-stream by a paged
+/// view. Both flatten to the `String` the decode layer wraps.
+enum CheckError {
+    Msg(String),
+    Store(SnapshotError),
+}
+
+impl From<SnapshotError> for CheckError {
+    fn from(e: SnapshotError) -> CheckError {
+        CheckError::Store(e)
+    }
+}
+
+impl From<CheckError> for String {
+    fn from(e: CheckError) -> String {
+        match e {
+            CheckError::Msg(m) => m,
+            CheckError::Store(s) => s.to_string(),
+        }
+    }
 }
 
 /// Wall time of each stage of a [`DependencyIndex`] build, as measured by
@@ -738,60 +770,92 @@ impl DependencyIndex {
     /// as stored, which is safe because the caller (the snapshot loader)
     /// has already checksum-verified the bytes and this validation makes
     /// even a forged section unable to cause panics downstream.
+    /// Validation **streams** every table through
+    /// [`U32Arr::try_for_each`], so a view-backed load checks the same
+    /// invariants the eager decode always did without materializing a
+    /// single array.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_snapshot_parts(
         universe: &Universe,
-        home_zone: Vec<u32>,
-        zone_chain_offsets: Vec<u32>,
-        zone_chain_targets: Vec<ZoneId>,
-        zone_dep_offsets: Vec<u32>,
-        zone_dep_targets: Vec<ServerId>,
-        component_of: Vec<u32>,
-        component_servers: Vec<SetId>,
-        component_zones: Vec<SetId>,
+        home_zone: U32Arr,
+        zone_chain_offsets: U32Arr,
+        zone_chain_targets: U32Arr,
+        zone_dep_offsets: U32Arr,
+        zone_dep_targets: U32Arr,
+        component_of: U32Arr,
+        component_servers: U32Arr,
+        component_zones: U32Arr,
         server_sets: BitSetInterner,
         zone_sets: BitSetInterner,
     ) -> Result<DependencyIndex, String> {
         let n = universe.server_count();
         let zn = universe.zone_count();
+        // Streaming validators raise either a structural message or an
+        // I/O-ish store error; both flatten to the String the snapshot
+        // decoder wraps into its Malformed variant.
+        let bounded = |arr: &U32Arr, bound: usize, msg: &dyn Fn(u32) -> String| {
+            arr.try_for_each(|v| {
+                if v as usize >= bound {
+                    return Err(CheckError::Msg(msg(v)));
+                }
+                Ok(())
+            })
+            .map_err(String::from)
+        };
         if home_zone.len() != n {
             return Err(format!(
                 "home_zone has {} entries for {n} servers",
                 home_zone.len()
             ));
         }
-        if let Some(&bad) = home_zone
-            .iter()
-            .find(|&&z| z != u32::MAX && z as usize >= zn)
-        {
-            return Err(format!("home_zone references zone {bad} of {zn}"));
-        }
-        let check_csr = |offsets: &[u32], targets: usize, what: &str| -> Result<(), String> {
+        home_zone
+            .try_for_each(|z| {
+                if z != u32::MAX && z as usize >= zn {
+                    return Err(CheckError::Msg(format!(
+                        "home_zone references zone {z} of {zn}"
+                    )));
+                }
+                Ok(())
+            })
+            .map_err(String::from)?;
+        let check_csr = |offsets: &U32Arr, targets: usize, what: &str| -> Result<(), String> {
             if offsets.len() != zn + 1 {
                 return Err(format!(
                     "{what} offsets have {} entries for {zn} zones",
                     offsets.len()
                 ));
             }
-            if offsets.first() != Some(&0) || !offsets.windows(2).all(|w| w[0] <= w[1]) {
-                return Err(format!("{what} offsets are not monotonic from zero"));
-            }
-            if offsets.last().copied().unwrap_or(0) as usize != targets {
+            let mut prev: Option<u32> = None;
+            offsets
+                .try_for_each(|v| {
+                    let ok = match prev {
+                        None => v == 0,
+                        Some(p) => p <= v,
+                    };
+                    if !ok {
+                        return Err(CheckError::Msg(format!(
+                            "{what} offsets are not monotonic from zero"
+                        )));
+                    }
+                    prev = Some(v);
+                    Ok(())
+                })
+                .map_err(String::from)?;
+            if prev.unwrap_or(0) as usize != targets {
                 return Err(format!(
-                    "{what} offsets end at {:?} but {targets} targets stored",
-                    offsets.last()
+                    "{what} offsets end at {prev:?} but {targets} targets stored"
                 ));
             }
             Ok(())
         };
         check_csr(&zone_chain_offsets, zone_chain_targets.len(), "chain")?;
         check_csr(&zone_dep_offsets, zone_dep_targets.len(), "dep")?;
-        if let Some(bad) = zone_chain_targets.iter().find(|z| z.index() >= zn) {
-            return Err(format!("chain row references zone {} of {zn}", bad.0));
-        }
-        if let Some(bad) = zone_dep_targets.iter().find(|s| s.index() >= n) {
-            return Err(format!("dep row references server {} of {n}", bad.0));
-        }
+        bounded(&zone_chain_targets, zn, &|bad| {
+            format!("chain row references zone {bad} of {zn}")
+        })?;
+        bounded(&zone_dep_targets, n, &|bad| {
+            format!("dep row references server {bad} of {n}")
+        })?;
         if component_of.len() != n {
             return Err(format!(
                 "component_of has {} entries for {n} servers",
@@ -805,11 +869,9 @@ impl DependencyIndex {
                 component_zones.len()
             ));
         }
-        if let Some(&bad) = component_of.iter().find(|&&c| c as usize >= components) {
-            return Err(format!(
-                "component_of references component {bad} of {components}"
-            ));
-        }
+        bounded(&component_of, components, &|bad| {
+            format!("component_of references component {bad} of {components}")
+        })?;
         if server_sets.capacity() != n {
             return Err(format!(
                 "server interner capacity {} for {n} servers",
@@ -822,26 +884,15 @@ impl DependencyIndex {
                 zone_sets.capacity()
             ));
         }
-        if let Some(bad) = component_servers
-            .iter()
-            .find(|s| s.index() >= server_sets.len())
-        {
-            return Err(format!(
-                "component server set {} of {} interned",
-                bad.raw(),
+        bounded(&component_servers, server_sets.len(), &|bad| {
+            format!(
+                "component server set {bad} of {} interned",
                 server_sets.len()
-            ));
-        }
-        if let Some(bad) = component_zones
-            .iter()
-            .find(|s| s.index() >= zone_sets.len())
-        {
-            return Err(format!(
-                "component zone set {} of {} interned",
-                bad.raw(),
-                zone_sets.len()
-            ));
-        }
+            )
+        })?;
+        bounded(&component_zones, zone_sets.len(), &|bad| {
+            format!("component zone set {bad} of {} interned", zone_sets.len())
+        })?;
         Ok(DependencyIndex {
             home_zone,
             zone_chain_offsets,
@@ -979,42 +1030,69 @@ impl DependencyIndex {
         stats.memoize = t3.elapsed();
         let component_of: Vec<u32> = scc.component_of.iter().map(|&c| c as u32).collect();
 
+        // The build always materializes: every table is owned. A
+        // view-backed index only ever comes out of a snapshot load.
         let index = DependencyIndex {
-            home_zone,
-            zone_chain_offsets,
-            zone_chain_targets,
-            zone_dep_offsets,
-            zone_dep_targets,
-            component_of,
-            component_servers: memo.component_servers,
-            component_zones: memo.component_zones,
+            home_zone: home_zone.into(),
+            zone_chain_offsets: zone_chain_offsets.into(),
+            zone_chain_targets: zone_chain_targets
+                .into_iter()
+                .map(|z| z.0)
+                .collect::<Vec<u32>>()
+                .into(),
+            zone_dep_offsets: zone_dep_offsets.into(),
+            zone_dep_targets: zone_dep_targets
+                .into_iter()
+                .map(|s| s.0)
+                .collect::<Vec<u32>>()
+                .into(),
+            component_of: component_of.into(),
+            component_servers: memo
+                .component_servers
+                .into_iter()
+                .map(SetId::raw)
+                .collect::<Vec<u32>>()
+                .into(),
+            component_zones: memo
+                .component_zones
+                .into_iter()
+                .map(SetId::raw)
+                .collect::<Vec<u32>>()
+                .into(),
             server_sets: memo.server_sets,
             zone_sets: memo.zone_sets,
         };
         (index, stats)
     }
 
+    /// The CSR row of `server`'s home zone in `offsets`, as an element
+    /// range into the matching targets table.
+    fn home_row(&self, offsets: &U32Arr, server: ServerId) -> std::ops::Range<usize> {
+        let z = self.home_zone.get(server.index());
+        if z == u32::MAX {
+            return 0..0;
+        }
+        let lo = offsets.get(z as usize) as usize;
+        let hi = offsets.get(z as usize + 1) as usize;
+        lo..hi
+    }
+
     /// The servers that could be involved in resolving `server`'s address
     /// (its home zone's dependency row; sibling servers share one row).
-    pub fn deps_of(&self, server: ServerId) -> &[ServerId] {
-        let z = self.home_zone[server.index()];
-        if z == u32::MAX {
-            return &[];
-        }
-        let lo = self.zone_dep_offsets[z as usize] as usize;
-        let hi = self.zone_dep_offsets[z as usize + 1] as usize;
-        &self.zone_dep_targets[lo..hi]
+    /// Yields ids in row order; on a view-backed index the words decode
+    /// straight out of the archive's byte store.
+    pub fn deps_of(
+        &self,
+        server: ServerId,
+    ) -> impl ExactSizeIterator<Item = ServerId> + Clone + '_ {
+        let row = self.home_row(&self.zone_dep_offsets, server);
+        self.zone_dep_targets.iter_range(row).map(ServerId)
     }
 
     /// The zones on `server`'s name's chain (root excluded), root-first.
-    pub fn chain_of(&self, server: ServerId) -> &[ZoneId] {
-        let z = self.home_zone[server.index()];
-        if z == u32::MAX {
-            return &[];
-        }
-        let lo = self.zone_chain_offsets[z as usize] as usize;
-        let hi = self.zone_chain_offsets[z as usize + 1] as usize;
-        &self.zone_chain_targets[lo..hi]
+    pub fn chain_of(&self, server: ServerId) -> impl ExactSizeIterator<Item = ZoneId> + Clone + '_ {
+        let row = self.home_row(&self.zone_chain_offsets, server);
+        self.zone_chain_targets.iter_range(row).map(ZoneId)
     }
 
     /// Number of strongly connected components in the dependency graph.
@@ -1063,7 +1141,7 @@ impl DependencyIndex {
         ws.seed_components.clear();
         for &zid in &ws.chain {
             for &ns in &universe.zone(zid).ns {
-                let c = self.component_of[ns.index()];
+                let c = self.component_of.get(ns.index());
                 if !ws.seed_components.contains(&c) {
                     ws.seed_components.push(c);
                 }
@@ -1080,7 +1158,7 @@ impl DependencyIndex {
                 // Sparse sets are borrowed straight out of the interner —
                 // no copy at all; dense sets stream into the workspace
                 // (already ascending, no sort needed).
-                let set = self.component_servers[c as usize];
+                let set = SetId::from_raw(self.component_servers.get(c as usize));
                 match self.server_sets.as_sorted_slice(set) {
                     Some(slice) => slice,
                     None => {
@@ -1094,7 +1172,7 @@ impl DependencyIndex {
                 ws.servers.clear();
                 for &c in &ws.seed_components {
                     self.server_sets.union_into(
-                        self.component_servers[c as usize],
+                        SetId::from_raw(self.component_servers.get(c as usize)),
                         &mut ws.seen_servers,
                         &mut ws.servers,
                     );
@@ -1117,7 +1195,7 @@ impl DependencyIndex {
         }
         for &c in &ws.seed_components {
             self.zone_sets.union_into(
-                self.component_zones[c as usize],
+                SetId::from_raw(self.component_zones.get(c as usize)),
                 &mut ws.seen_zones,
                 &mut ws.zones,
             );
@@ -1170,10 +1248,10 @@ impl DependencyIndex {
             }
         }
         while let Some(sid) = queue.pop() {
-            for &zid in self.chain_of(sid) {
+            for zid in self.chain_of(sid) {
                 zones.insert(zid);
             }
-            for &dep in self.deps_of(sid) {
+            for dep in self.deps_of(sid) {
                 if servers.insert(dep) {
                     queue.push(dep);
                 }
@@ -1531,8 +1609,8 @@ mod tests {
         // simon serves rochester.edu (cayuga's chain) and cayuga serves
         // cs.cornell.edu (simon's chain): mutual dependency, one SCC.
         assert_eq!(
-            index.component_of[simon.index()],
-            index.component_of[cayuga.index()]
+            index.component_of.get(simon.index()),
+            index.component_of.get(cayuga.index())
         );
         assert!(index.component_count() < u.server_count());
         let (server_sets, zone_sets) = index.memo_stats();
@@ -1546,8 +1624,8 @@ mod tests {
         let serial = DependencyIndex::build_with_threads(&u, 1);
         let parallel = DependencyIndex::build_with_threads(&u, 8);
         for sid in u.server_ids() {
-            assert_eq!(serial.deps_of(sid), parallel.deps_of(sid), "{sid:?}");
-            assert_eq!(serial.chain_of(sid), parallel.chain_of(sid), "{sid:?}");
+            assert!(serial.deps_of(sid).eq(parallel.deps_of(sid)), "{sid:?}");
+            assert!(serial.chain_of(sid).eq(parallel.chain_of(sid)), "{sid:?}");
         }
         assert_eq!(serial.memo_stats(), parallel.memo_stats());
         let a = serial.closure_for(&u, &name("www.cs.cornell.edu"));
@@ -1564,7 +1642,7 @@ mod tests {
         let u = figure1_universe();
         let index = DependencyIndex::build(&u);
         for sid in u.server_ids() {
-            let deps = index.deps_of(sid);
+            let deps: Vec<ServerId> = index.deps_of(sid).collect();
             let unique: BTreeSet<ServerId> = deps.iter().copied().collect();
             assert_eq!(unique.len(), deps.len(), "duplicate dep in row {sid:?}");
         }

@@ -83,11 +83,14 @@ impl DelegationGraph {
             node_of_server.insert(sid, graph.add_node(DelegationNode::Server(sid)));
         }
 
+        // Takes the chain as a dyn iterator: `chain_of` streams zone ids
+        // out of a (possibly view-backed) index row, and a closure cannot
+        // be generic over the iterator type.
         let add_chain = |graph: &mut DiGraph<DelegationNode>,
-                         chain: &[crate::universe::ZoneId],
+                         chain: &mut dyn Iterator<Item = crate::universe::ZoneId>,
                          endpoint: NodeId| {
             let mut prev_layer: Vec<NodeId> = vec![source];
-            for &zid in chain {
+            for zid in chain {
                 let layer: Vec<NodeId> = universe
                     .zone(zid)
                     .ns
@@ -114,11 +117,11 @@ impl DelegationGraph {
         };
 
         // The target's own chain terminates at the sink.
-        add_chain(&mut graph, target_chain, sink);
+        add_chain(&mut graph, &mut target_chain.iter().copied(), sink);
         // Every nameserver name's chain terminates at that server's node.
         for sid in servers {
             let endpoint = node_of_server[&sid];
-            add_chain(&mut graph, index.chain_of(sid), endpoint);
+            add_chain(&mut graph, &mut index.chain_of(sid), endpoint);
         }
 
         DelegationGraph {

@@ -44,6 +44,7 @@ pub mod hijack;
 pub mod lint;
 pub mod metric;
 pub mod misconfig;
+mod namemap;
 pub mod snapshot;
 pub mod tcb;
 pub mod universe;

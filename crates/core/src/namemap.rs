@@ -1,0 +1,277 @@
+//! A name→id lookup that owns no keys.
+//!
+//! [`Universe`](crate::universe::Universe) keeps its zones and servers in
+//! dense `Vec`s; the origin/name lookup maps are pure derivations of
+//! those tables. Keying a `HashMap` by [`DnsName`](perils_dns::name::DnsName)
+//! therefore stores every name **twice** — once in the entry vec, once
+//! cloned into the map — and rebuilding the maps on snapshot load spends
+//! more time cloning and re-hashing names than decoding the section that
+//! carries them.
+//!
+//! [`NameIdMap`] removes the second copy: it is an open-addressed table
+//! of `u32` ids (each alongside a hash tag that short-circuits probe
+//! collisions), and a matching probe resolves an id back to its labels
+//! through a caller-supplied lookup (`|id| zones[id].origin.labels()`).
+//! Hashing and equality are ASCII case-insensitive over label bytes —
+//! the same identity [`Label`] itself implements — so lookups by any
+//! label-slice suffix need no allocation and no normalization copy.
+
+use perils_dns::name::Label;
+
+/// Hash seed (the FNV-1a 64-bit offset basis, kept for its pedigree).
+const SEED: u64 = 0xCBF2_9CE4_8422_2325;
+/// Multiplier for the word-mixing rounds (from FxHash).
+const MIX_K: u64 = 0x517C_C1B7_2722_0A95;
+/// Sentinel for an empty slot (never a valid id: entry counts are
+/// bounded well below `u32::MAX` everywhere ids are minted).
+const EMPTY: u32 = u32::MAX;
+
+/// Lowercases the ASCII uppercase bytes of a word in one SWAR round.
+/// Label bytes are validated printable ASCII (`< 0x80`), so the
+/// per-lane adds cannot carry into a neighbor; zero padding bytes pass
+/// through unchanged.
+fn lower8(w: u64) -> u64 {
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    const HIGH: u64 = 0x8080_8080_8080_8080;
+    let ge_a = w.wrapping_add(0x3F * ONES) & HIGH; // high bit set where byte >= b'A'
+    let gt_z = w.wrapping_add(0x25 * ONES) & HIGH; // high bit set where byte >  b'Z'
+    w | ((ge_a & !gt_z) >> 2) // 0x80 -> 0x20: set the lowercase bit
+}
+
+/// One mixing round (rotate–xor–multiply, FxHash style).
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(MIX_K)
+}
+
+/// Case-insensitive hash over a label slice, one multiply per 8 bytes
+/// instead of one per byte — this runs once per name on every snapshot
+/// map rebuild, so it is decode-path hot. Each label contributes its
+/// length and then its lowercased bytes in zero-padded little-endian
+/// words; the length prefix delimits labels, so `["ab","c"]` and
+/// `["a","bc"]` hash apart.
+fn hash_labels(labels: &[Label]) -> u64 {
+    let mut h = SEED;
+    for label in labels {
+        let bytes = label.as_bytes();
+        h = mix(h, bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            h = mix(h, lower8(word));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            h = mix(h, lower8(u64::from_le_bytes(buf)));
+        }
+    }
+    h
+}
+
+/// True when two label slices name the same domain (count and
+/// case-insensitive per-label equality).
+fn labels_eq(a: &[Label], b: &[Label]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x == y)
+}
+
+/// An open-addressed, linear-probing map from label slices to dense
+/// `u32` ids. Slots hold an id plus a 32-bit hash tag; the owning table
+/// resolves ids back to labels for probe comparisons, so the map adds
+/// ~8 bytes per entry instead of a cloned name. The tag is compared
+/// first, so a probe over a colliding slot almost never pays the random
+/// entry-table access a label comparison would cost.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NameIdMap {
+    /// Power-of-two slot array of `tag << 32 | id`; an id of [`EMPTY`]
+    /// marks a free slot.
+    slots: Vec<u64>,
+    len: usize,
+}
+
+/// Packs a slot: the hash's high 32 bits tag the entry id.
+fn slot(hash: u64, id: u32) -> u64 {
+    (hash & !0xFFFF_FFFF) | u64::from(id)
+}
+
+impl NameIdMap {
+    /// A map pre-sized for `n` entries (≤ 7/8 load after all inserts).
+    pub(crate) fn with_capacity(n: usize) -> NameIdMap {
+        NameIdMap {
+            slots: vec![u64::from(EMPTY); slots_for(n)],
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The id stored under `labels`, resolved through `name_of`.
+    pub(crate) fn get<'a>(
+        &self,
+        labels: &[Label],
+        name_of: impl Fn(u32) -> &'a [Label],
+    ) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let hash = hash_labels(labels);
+        let tag = hash & !0xFFFF_FFFF;
+        let mut at = (hash as usize) & mask;
+        loop {
+            let found = self.slots[at];
+            let id = found as u32;
+            if id == EMPTY {
+                return None;
+            }
+            if found & !0xFFFF_FFFF == tag && labels_eq(name_of(id), labels) {
+                return Some(id);
+            }
+            at = (at + 1) & mask;
+        }
+    }
+
+    /// Inserts `id` under its own labels (`name_of(id)`). Returns the
+    /// previously stored id when one with equal labels is already
+    /// present — the table is left unchanged in that case.
+    pub(crate) fn insert<'a>(
+        &mut self,
+        id: u32,
+        name_of: impl Fn(u32) -> &'a [Label],
+    ) -> Option<u32> {
+        debug_assert_ne!(id, EMPTY, "u32::MAX is the empty-slot sentinel");
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow(&name_of);
+        }
+        let mask = self.slots.len() - 1;
+        let labels = name_of(id);
+        let hash = hash_labels(labels);
+        let tag = hash & !0xFFFF_FFFF;
+        let mut at = (hash as usize) & mask;
+        loop {
+            let found = self.slots[at];
+            let existing = found as u32;
+            if existing == EMPTY {
+                self.slots[at] = slot(hash, id);
+                self.len += 1;
+                return None;
+            }
+            if found & !0xFFFF_FFFF == tag && labels_eq(name_of(existing), labels) {
+                return Some(existing);
+            }
+            at = (at + 1) & mask;
+        }
+    }
+
+    /// Doubles the slot array, re-placing every entry by its stored tag
+    /// and re-derived hash (the tag alone lacks the low bits that pick
+    /// the slot).
+    fn grow<'a>(&mut self, name_of: &impl Fn(u32) -> &'a [Label]) {
+        let new_len = (self.slots.len() * 2).max(slots_for(self.len + 1));
+        let old = std::mem::replace(&mut self.slots, vec![u64::from(EMPTY); new_len]);
+        let mask = new_len - 1;
+        for found in old {
+            let id = found as u32;
+            if id == EMPTY {
+                continue;
+            }
+            let hash = hash_labels(name_of(id));
+            let mut at = (hash as usize) & mask;
+            while self.slots[at] as u32 != EMPTY {
+                at = (at + 1) & mask;
+            }
+            self.slots[at] = slot(hash, id);
+        }
+    }
+}
+
+/// Slot count for `n` entries: next power of two above `8n/7`, at least 8.
+fn slots_for(n: usize) -> usize {
+    (n * 8 / 7 + 1).next_power_of_two().max(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perils_dns::name::{name, DnsName};
+
+    fn map_of(names: &[DnsName]) -> NameIdMap {
+        let mut map = NameIdMap::with_capacity(0);
+        for (i, _) in names.iter().enumerate() {
+            assert_eq!(map.insert(i as u32, |id| names[id as usize].labels()), None);
+        }
+        map
+    }
+
+    #[test]
+    fn inserts_and_finds_by_suffix_slices() {
+        let names = [name("www.example.com"), name("example.com"), name("com")];
+        let map = map_of(&names);
+        assert_eq!(map.len(), 3);
+        let probe = name("www.example.com");
+        let labels = probe.labels();
+        let resolve = |id: u32| names[id as usize].labels();
+        assert_eq!(map.get(labels, resolve), Some(0));
+        assert_eq!(map.get(&labels[1..], resolve), Some(1));
+        assert_eq!(map.get(&labels[2..], resolve), Some(2));
+        assert_eq!(map.get(&labels[3..], resolve), None, "root not inserted");
+        assert_eq!(map.get(name("other.com").labels(), resolve), None);
+    }
+
+    #[test]
+    fn identity_is_case_insensitive() {
+        let names = [name("NS1.Example.COM")];
+        let map = map_of(&names);
+        let resolve = |id: u32| names[id as usize].labels();
+        assert_eq!(map.get(name("ns1.example.com").labels(), resolve), Some(0));
+        assert_eq!(
+            hash_labels(name("AbC.de").labels()),
+            hash_labels(name("abc.DE").labels()),
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_returns_existing_and_keeps_len() {
+        let names = [name("a.example"), name("A.EXAMPLE")];
+        let mut map = NameIdMap::with_capacity(2);
+        let resolve = |id: u32| names[id as usize].labels();
+        assert_eq!(map.insert(0, resolve), None);
+        assert_eq!(map.insert(1, resolve), Some(0), "same name, other case");
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(names[1].labels(), resolve), Some(0));
+    }
+
+    #[test]
+    fn label_boundaries_matter() {
+        // "ab.c" and "a.bc" must not collide into one key.
+        let names = [name("ab.c"), name("a.bc")];
+        let map = map_of(&names);
+        let resolve = |id: u32| names[id as usize].labels();
+        assert_eq!(map.get(names[0].labels(), resolve), Some(0));
+        assert_eq!(map.get(names[1].labels(), resolve), Some(1));
+    }
+
+    #[test]
+    fn growth_keeps_every_entry_reachable() {
+        let names: Vec<DnsName> = (0..1_000)
+            .map(|i| name(&format!("host-{i}.zone-{}.example", i % 7)))
+            .collect();
+        let mut map = NameIdMap::with_capacity(0); // force repeated growth
+        for i in 0..names.len() {
+            assert_eq!(map.insert(i as u32, |id| names[id as usize].labels()), None);
+        }
+        assert_eq!(map.len(), names.len());
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(
+                map.get(n.labels(), |id| names[id as usize].labels()),
+                Some(i as u32),
+                "{n}"
+            );
+        }
+        assert!(map.len() * 8 <= map.slots.len() * 7, "load factor held");
+    }
+}

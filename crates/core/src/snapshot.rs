@@ -18,11 +18,11 @@
 use crate::closure::DependencyIndex;
 use crate::lint::LintIndex;
 use crate::misconfig::DepthIndex;
-use crate::universe::{ServerEntry, ServerId, Universe, ZoneEntry, ZoneId};
+use crate::universe::{ServerEntry, ServerId, Universe, ZoneEntry};
 use crate::zombie::ZombieIndex;
 use perils_dns::name::{DnsName, Label};
-use perils_graph::bitset::{BitSetInterner, SetId};
-use perils_util::snapshot::{self, Dec, SnapshotError};
+use perils_graph::bitset::BitSetInterner;
+use perils_util::snapshot::{self, Dec, Section, SnapshotError, StoreDec};
 
 /// Section tag for the canonical universe tables.
 pub const SECTION_UNIVERSE: [u8; 8] = *b"UNIVERSE";
@@ -61,6 +61,29 @@ pub fn decode_name(dec: &mut Dec<'_>) -> Result<DnsName, SnapshotError> {
         labels.push(Label::new(bytes).map_err(|e| dec.malformed(format!("invalid label: {e}")))?);
     }
     DnsName::from_labels(labels).map_err(|e| dec.malformed(format!("invalid name: {e}")))
+}
+
+/// Checks one [`encode_name`] record without materializing the name:
+/// same validation, same bytes consumed, no allocation. This is what
+/// lets a view-backed name table validate its whole section up front and
+/// decode records lazily with `expect` thereafter — `validate_name`
+/// succeeding guarantees [`decode_name`] on the same bytes succeeds.
+pub fn validate_name(dec: &mut Dec<'_>) -> Result<(), SnapshotError> {
+    let count = dec.u8()? as usize;
+    let mut wire_len = 1usize; // the root's terminating zero label
+    for _ in 0..count {
+        let len = dec.u8()? as usize;
+        let bytes = dec.raw(len)?;
+        Label::validate(bytes).map_err(|e| dec.malformed(format!("invalid label: {e}")))?;
+        wire_len += 1 + len;
+    }
+    if wire_len > perils_dns::name::MAX_NAME_LEN {
+        return Err(dec.malformed(format!(
+            "name wire length {wire_len} exceeds {}",
+            perils_dns::name::MAX_NAME_LEN
+        )));
+    }
+    Ok(())
 }
 
 /// Encodes the universe's flat state as the `UNIVERSE` section payload.
@@ -105,8 +128,16 @@ pub fn encode_universe(universe: &Universe) -> Vec<u8> {
 }
 
 /// Decodes a `UNIVERSE` section back into a [`Universe`].
-pub fn decode_universe(payload: &[u8]) -> Result<Universe, SnapshotError> {
-    let mut dec = Dec::new(payload, "UNIVERSE");
+///
+/// The universe (names, NS sets, banners) is always materialized eagerly
+/// regardless of the section's decode mode: its payload is dominated by
+/// variable-length name records that every backend needs resident for
+/// hash lookups, and the label small-string optimization keeps the copy
+/// compact. The big win for view decoding lives in `DEPINDEX`.
+pub fn decode_universe(section: &Section) -> Result<Universe, SnapshotError> {
+    let payload = section.bytes()?;
+    let payload = &payload[..];
+    let mut dec = Dec::new_at(payload, "UNIVERSE", section.base());
     let zone_count = dec.u32()? as usize;
     let server_count = dec.u32()? as usize;
     let mut zones = Vec::with_capacity(zone_count.min(payload.len()));
@@ -153,40 +184,50 @@ pub fn decode_universe(payload: &[u8]) -> Result<Universe, SnapshotError> {
     let zone_parent = dec.u32_vec()?;
     dec.finish()?;
     Universe::from_snapshot_parts(zones, servers, server_home, zone_parent)
-        .map_err(|e| Dec::new(payload, "UNIVERSE").malformed(e))
+        .map_err(|e| Dec::new_at(payload, "UNIVERSE", section.base()).malformed(e))
 }
 
 /// Encodes the dependency index as the `DEPINDEX` section payload.
+///
+/// [`perils_util::U32Arr::encode_into`] is element-wise, so a view-backed
+/// index re-encodes to exactly the bytes it was loaded from.
 pub fn encode_dep_index(index: &DependencyIndex) -> Vec<u8> {
     let parts = index.snapshot_parts();
     let mut out = Vec::new();
-    snapshot::put_u32_slice(&mut out, parts.home_zone);
-    snapshot::put_u32_slice(&mut out, parts.zone_chain_offsets);
-    put_id_slice(&mut out, parts.zone_chain_targets.iter().map(|z| z.0));
-    snapshot::put_u32_slice(&mut out, parts.zone_dep_offsets);
-    put_id_slice(&mut out, parts.zone_dep_targets.iter().map(|s| s.0));
-    snapshot::put_u32_slice(&mut out, parts.component_of);
-    put_id_slice(&mut out, parts.component_servers.iter().map(|s| s.raw()));
-    put_id_slice(&mut out, parts.component_zones.iter().map(|s| s.raw()));
+    parts.home_zone.encode_into(&mut out);
+    parts.zone_chain_offsets.encode_into(&mut out);
+    parts.zone_chain_targets.encode_into(&mut out);
+    parts.zone_dep_offsets.encode_into(&mut out);
+    parts.zone_dep_targets.encode_into(&mut out);
+    parts.component_of.encode_into(&mut out);
+    parts.component_servers.encode_into(&mut out);
+    parts.component_zones.encode_into(&mut out);
     parts.server_sets.encode_into(&mut out);
     parts.zone_sets.encode_into(&mut out);
     out
 }
 
 /// Decodes a `DEPINDEX` section, validating it against `universe`.
+///
+/// This is the out-of-core path: under
+/// [`perils_util::snapshot::DecodeMode::View`] every flat table — CSR
+/// rows, SCC map, memo tables, both interner arenas — stays a typed view
+/// into the section's byte store, and validation streams the words
+/// without materializing them. Under `Copy` the arrays are owned `Vec`s
+/// (the classic decode) and the store can be dropped afterwards.
 pub fn decode_dep_index(
-    payload: &[u8],
+    section: &Section,
     universe: &Universe,
 ) -> Result<DependencyIndex, SnapshotError> {
-    let mut dec = Dec::new(payload, "DEPINDEX");
-    let home_zone = dec.u32_vec()?;
-    let zone_chain_offsets = dec.u32_vec()?;
-    let zone_chain_targets: Vec<ZoneId> = dec.u32_vec()?.into_iter().map(ZoneId).collect();
-    let zone_dep_offsets = dec.u32_vec()?;
-    let zone_dep_targets: Vec<ServerId> = dec.u32_vec()?.into_iter().map(ServerId).collect();
-    let component_of = dec.u32_vec()?;
-    let component_servers: Vec<SetId> = dec.u32_vec()?.into_iter().map(SetId::from_raw).collect();
-    let component_zones: Vec<SetId> = dec.u32_vec()?.into_iter().map(SetId::from_raw).collect();
+    let mut dec = StoreDec::new(section, "DEPINDEX");
+    let home_zone = dec.u32_arr()?;
+    let zone_chain_offsets = dec.u32_arr()?;
+    let zone_chain_targets = dec.u32_arr()?;
+    let zone_dep_offsets = dec.u32_arr()?;
+    let zone_dep_targets = dec.u32_arr()?;
+    let component_of = dec.u32_arr()?;
+    let component_servers = dec.u32_arr()?;
+    let component_zones = dec.u32_arr()?;
     let server_sets = BitSetInterner::decode_from(&mut dec)?;
     let zone_sets = BitSetInterner::decode_from(&mut dec)?;
     dec.finish()?;
@@ -203,7 +244,7 @@ pub fn decode_dep_index(
         server_sets,
         zone_sets,
     )
-    .map_err(|e| Dec::new(payload, "DEPINDEX").malformed(e))
+    .map_err(|e| StoreDec::new(section, "DEPINDEX").malformed(e))
 }
 
 /// Encodes the shared lint facts as the `LINTIDX` section payload.
@@ -235,8 +276,13 @@ pub fn encode_lint(lint: &LintIndex) -> Vec<u8> {
 }
 
 /// Decodes a `LINTIDX` section, validating it against `universe`.
-pub fn decode_lint(payload: &[u8], universe: &Universe) -> Result<LintIndex, SnapshotError> {
-    let mut dec = Dec::new(payload, "LINTIDX");
+///
+/// Lint facts are a handful of bool tables plus small cycle lists —
+/// always materialized eagerly, like the universe.
+pub fn decode_lint(section: &Section, universe: &Universe) -> Result<LintIndex, SnapshotError> {
+    let payload = section.bytes()?;
+    let payload = &payload[..];
+    let mut dec = Dec::new_at(payload, "LINTIDX", section.base());
     let depth = take_usize_vec(&mut dec)?;
     let component_of = take_usize_vec(&mut dec)?;
     let cycle_count = dec.u32()? as usize;
@@ -265,7 +311,7 @@ pub fn decode_lint(payload: &[u8], universe: &Universe) -> Result<LintIndex, Sna
     let referenced = dec.bool_vec()?;
     dec.finish()?;
     LintIndex::from_snapshot_parts(universe, depths, zombies, zone_reachable, referenced)
-        .map_err(|e| Dec::new(payload, "LINTIDX").malformed(e))
+        .map_err(|e| Dec::new_at(payload, "LINTIDX", section.base()).malformed(e))
 }
 
 /// Writes an id iterator as a length-prefixed `u32` array.
@@ -298,7 +344,13 @@ fn take_usize_vec(dec: &mut Dec<'_>) -> Result<Vec<usize>, SnapshotError> {
 mod tests {
     use super::*;
     use perils_dns::name::name;
+    use perils_util::snapshot::DecodeMode;
     use perils_vulndb::VulnDb;
+
+    /// Wraps a loose payload as a standalone section in the given mode.
+    fn sec(bytes: &[u8], mode: DecodeMode) -> Section {
+        Section::from_vec(bytes.to_vec(), mode)
+    }
 
     fn tiny_universe() -> Universe {
         let db = VulnDb::isc_feb_2004();
@@ -337,7 +389,7 @@ mod tests {
     fn universe_round_trips_byte_identically() {
         let universe = tiny_universe();
         let bytes = encode_universe(&universe);
-        let loaded = decode_universe(&bytes).expect("decodes");
+        let loaded = decode_universe(&sec(&bytes, DecodeMode::Copy)).expect("decodes");
         assert_eq!(loaded, universe);
         assert_eq!(encode_universe(&loaded), bytes, "re-encode is byte-stable");
     }
@@ -347,9 +399,42 @@ mod tests {
         let universe = tiny_universe();
         let index = DependencyIndex::build(&universe);
         let bytes = encode_dep_index(&index);
-        let loaded = decode_dep_index(&bytes, &universe).expect("decodes");
+        let loaded = decode_dep_index(&sec(&bytes, DecodeMode::Copy), &universe).expect("decodes");
         assert_eq!(loaded, index);
         assert_eq!(encode_dep_index(&loaded), bytes, "re-encode is byte-stable");
+    }
+
+    #[test]
+    fn dep_index_view_decode_matches_copy_and_is_byte_stable() {
+        // View mode keeps every flat table as a store view; the result
+        // must still compare equal to the built index and re-encode to
+        // the exact source bytes.
+        let universe = tiny_universe();
+        let index = DependencyIndex::build(&universe);
+        let bytes = encode_dep_index(&index);
+        let viewed = decode_dep_index(&sec(&bytes, DecodeMode::View), &universe).expect("decodes");
+        assert_eq!(viewed, index);
+        assert_eq!(
+            encode_dep_index(&viewed),
+            bytes,
+            "view re-encode is byte-stable"
+        );
+        // Accessors agree across representations.
+        for sid in universe.server_ids() {
+            assert!(viewed.deps_of(sid).eq(index.deps_of(sid)), "{sid:?} deps");
+            assert!(
+                viewed.chain_of(sid).eq(index.chain_of(sid)),
+                "{sid:?} chain"
+            );
+        }
+        let mut ws = viewed.workspace();
+        for target in ["ns1.example.com", "www.example.com", "nowhere.test"] {
+            let t = name(target);
+            let a = viewed.closure_for_with(&universe, &t, &mut ws);
+            let b = index.closure_for(&universe, &t);
+            assert_eq!(a.servers, b.servers, "{target}");
+            assert_eq!(a.zones, b.zones, "{target}");
+        }
     }
 
     #[test]
@@ -357,7 +442,7 @@ mod tests {
         let universe = tiny_universe();
         let lint = LintIndex::build(&universe);
         let bytes = encode_lint(&lint);
-        let loaded = decode_lint(&bytes, &universe).expect("decodes");
+        let loaded = decode_lint(&sec(&bytes, DecodeMode::Copy), &universe).expect("decodes");
         assert_eq!(loaded, lint);
         assert_eq!(encode_lint(&loaded), bytes, "re-encode is byte-stable");
     }
@@ -368,13 +453,15 @@ mod tests {
         let index = DependencyIndex::build(&universe);
         let bytes = encode_dep_index(&index);
         let other = Universe::builder().finish();
-        assert!(matches!(
-            decode_dep_index(&bytes, &other),
-            Err(SnapshotError::Malformed { .. })
-        ));
+        for mode in [DecodeMode::Copy, DecodeMode::View] {
+            assert!(matches!(
+                decode_dep_index(&sec(&bytes, mode), &other),
+                Err(SnapshotError::Malformed { .. })
+            ));
+        }
         let lint_bytes = encode_lint(&LintIndex::build(&universe));
         assert!(matches!(
-            decode_lint(&lint_bytes, &other),
+            decode_lint(&sec(&lint_bytes, DecodeMode::Copy), &other),
             Err(SnapshotError::Malformed { .. })
         ));
     }
@@ -389,23 +476,26 @@ mod tests {
             encode_dep_index(&index),
             encode_lint(&lint),
         ];
-        for (which, bytes) in sections.iter().enumerate() {
-            for len in 0..bytes.len() {
-                let truncated = &bytes[..len];
-                let _ = match which {
-                    0 => decode_universe(truncated).map(|_| ()),
-                    1 => decode_dep_index(truncated, &universe).map(|_| ()),
-                    _ => decode_lint(truncated, &universe).map(|_| ()),
-                };
-            }
-            for byte in (0..bytes.len()).step_by(3) {
-                let mut bad = bytes.clone();
-                bad[byte] ^= 0x40;
-                let _ = match which {
-                    0 => decode_universe(&bad).map(|_| ()),
-                    1 => decode_dep_index(&bad, &universe).map(|_| ()),
-                    _ => decode_lint(&bad, &universe).map(|_| ()),
-                };
+        for mode in [DecodeMode::Copy, DecodeMode::View] {
+            for (which, bytes) in sections.iter().enumerate() {
+                for len in 0..bytes.len() {
+                    let truncated = sec(&bytes[..len], mode);
+                    let _ = match which {
+                        0 => decode_universe(&truncated).map(|_| ()),
+                        1 => decode_dep_index(&truncated, &universe).map(|_| ()),
+                        _ => decode_lint(&truncated, &universe).map(|_| ()),
+                    };
+                }
+                for byte in (0..bytes.len()).step_by(3) {
+                    let mut bad = bytes.clone();
+                    bad[byte] ^= 0x40;
+                    let bad = sec(&bad, mode);
+                    let _ = match which {
+                        0 => decode_universe(&bad).map(|_| ()),
+                        1 => decode_dep_index(&bad, &universe).map(|_| ()),
+                        _ => decode_lint(&bad, &universe).map(|_| ()),
+                    };
+                }
             }
         }
     }

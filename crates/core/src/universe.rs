@@ -7,10 +7,11 @@
 //! ground-truth [`perils_dns::ZoneRegistry`] (the scalable structural path)
 //! or from wire-probed dependency reports.
 
+use crate::namemap::NameIdMap;
 use perils_dns::name::DnsName;
 use perils_dns::zone::{ZoneEvent, ZoneRegistry};
 use perils_vulndb::{BindVersion, VulnDb};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::ops::Bound::{Excluded, Included, Unbounded};
 
@@ -65,12 +66,15 @@ pub struct ServerEntry {
 }
 
 /// The measured universe.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Universe {
     zones: Vec<ZoneEntry>,
-    zone_by_origin: HashMap<DnsName, ZoneId>,
+    /// Origin → zone id, keyed *into* [`Universe::zones`] rather than by
+    /// owned names (see [`NameIdMap`]) — snapshot loads rebuild this
+    /// without cloning a single name.
+    zone_by_origin: NameIdMap,
     servers: Vec<ServerEntry>,
-    server_by_name: HashMap<DnsName, ServerId>,
+    server_by_name: NameIdMap,
     /// Per server: the deepest zone enclosing its name (`u32::MAX` when
     /// none). Computed once by [`UniverseBuilder::finish`] so every
     /// consumer — the dependency index, the zombie classification, the
@@ -85,7 +89,32 @@ pub struct Universe {
     zone_parent: Vec<u32>,
 }
 
+/// Equality over the *defining* state only: the lookup maps are pure
+/// derivations of the entry tables (and their slot layout depends on
+/// insertion history), so they carry no information of their own.
+impl PartialEq for Universe {
+    fn eq(&self, other: &Universe) -> bool {
+        self.zones == other.zones
+            && self.servers == other.servers
+            && self.server_home == other.server_home
+            && self.zone_parent == other.zone_parent
+    }
+}
+
 impl Universe {
+    /// Resolves a zone id back to its origin labels — the probe
+    /// callback [`NameIdMap`] needs.
+    #[inline]
+    fn zone_labels(&self, id: u32) -> &[perils_dns::name::Label] {
+        self.zones[id as usize].origin.labels()
+    }
+
+    /// Resolves a server id back to its name labels.
+    #[inline]
+    fn server_labels(&self, id: u32) -> &[perils_dns::name::Label] {
+        self.servers[id as usize].name.labels()
+    }
+
     /// Starts building a universe by hand (or by streaming events into
     /// [`UniverseBuilder::apply`]).
     pub fn builder() -> UniverseBuilder {
@@ -168,21 +197,23 @@ impl Universe {
         {
             return Err(format!("zone_parent references zone {bad} of {zone_count}"));
         }
-        let zone_by_origin: HashMap<DnsName, ZoneId> = zones
-            .iter()
-            .enumerate()
-            .map(|(i, z)| (z.origin.clone(), ZoneId(i as u32)))
-            .collect();
-        if zone_by_origin.len() != zones.len() {
-            return Err("duplicate zone origins".to_string());
+        let mut zone_by_origin = NameIdMap::with_capacity(zones.len());
+        for i in 0..zones.len() as u32 {
+            if zone_by_origin
+                .insert(i, |j| zones[j as usize].origin.labels())
+                .is_some()
+            {
+                return Err("duplicate zone origins".to_string());
+            }
         }
-        let server_by_name: HashMap<DnsName, ServerId> = servers
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.name.clone(), ServerId(i as u32)))
-            .collect();
-        if server_by_name.len() != servers.len() {
-            return Err("duplicate server names".to_string());
+        let mut server_by_name = NameIdMap::with_capacity(servers.len());
+        for i in 0..servers.len() as u32 {
+            if server_by_name
+                .insert(i, |j| servers[j as usize].name.labels())
+                .is_some()
+            {
+                return Err("duplicate server names".to_string());
+            }
         }
         Ok(Universe {
             zones,
@@ -217,12 +248,16 @@ impl Universe {
     /// Zone id by origin. `DnsName` hashes and compares ASCII
     /// case-insensitively, so no normalization copy is needed here.
     pub fn zone_id(&self, origin: &DnsName) -> Option<ZoneId> {
-        self.zone_by_origin.get(origin).copied()
+        self.zone_by_origin
+            .get(origin.labels(), |i| self.zone_labels(i))
+            .map(ZoneId)
     }
 
     /// Server id by host name (case-insensitive, like [`Universe::zone_id`]).
     pub fn server_id(&self, name: &DnsName) -> Option<ServerId> {
-        self.server_by_name.get(name).copied()
+        self.server_by_name
+            .get(name.labels(), |i| self.server_labels(i))
+            .map(ServerId)
     }
 
     /// Iterates all zone ids.
@@ -249,15 +284,17 @@ impl Universe {
     /// allocation across hundreds of thousands of servers.
     pub fn chain_zones_into(&self, name: &DnsName, out: &mut Vec<ZoneId>) {
         out.clear();
-        // Probe the origin map with borrowed label suffixes (`DnsName:
-        // Borrow<[Label]>`): the ancestor walk allocates nothing, which is
-        // what keeps the index build and the per-name closure path
-        // allocation-free. `skip == label_count` would be the root, which
-        // chains exclude.
+        // Probe the origin map with borrowed label suffixes: the ancestor
+        // walk allocates nothing, which is what keeps the index build and
+        // the per-name closure path allocation-free. `skip == label_count`
+        // would be the root, which chains exclude.
         let labels = name.labels();
         for skip in 0..labels.len() {
-            if let Some(&id) = self.zone_by_origin.get(&labels[skip..]) {
-                out.push(id);
+            if let Some(id) = self
+                .zone_by_origin
+                .get(&labels[skip..], |i| self.zone_labels(i))
+            {
+                out.push(ZoneId(id));
             }
         }
         out.reverse();
@@ -267,7 +304,12 @@ impl Universe {
     /// registered and nothing deeper matches).
     pub fn zone_of(&self, name: &DnsName) -> Option<ZoneId> {
         let labels = name.labels();
-        (0..=labels.len()).find_map(|skip| self.zone_by_origin.get(&labels[skip..]).copied())
+        (0..=labels.len())
+            .find_map(|skip| {
+                self.zone_by_origin
+                    .get(&labels[skip..], |i| self.zone_labels(i))
+            })
+            .map(ZoneId)
     }
 
     /// The home zone of `server` — [`Universe::zone_of`] of its name,
@@ -500,13 +542,24 @@ impl UniverseBuilder {
     }
 
     /// Interns a new server (the caller has checked it is absent),
-    /// resolving its home zone against the zones seen so far.
-    fn intern_server(&mut self, key: DnsName, entry: ServerEntry, placeholder: bool) -> ServerId {
+    /// resolving its home zone against the zones seen so far. The name
+    /// map is keyed by the freshly pushed entry, so no name is cloned.
+    fn intern_server(&mut self, entry: ServerEntry, placeholder: bool) -> ServerId {
         let id = ServerId(self.universe.servers.len() as u32);
-        let home = self.universe.zone_of(&key).map(|z| z.0).unwrap_or(u32::MAX);
-        self.servers_by_path.insert(suffix_key(&key), id.0);
+        let home = self
+            .universe
+            .zone_of(&entry.name)
+            .map(|z| z.0)
+            .unwrap_or(u32::MAX);
+        self.servers_by_path.insert(suffix_key(&entry.name), id.0);
         self.universe.servers.push(entry);
-        self.universe.server_by_name.insert(key, id);
+        let Universe {
+            servers,
+            server_by_name,
+            ..
+        } = &mut self.universe;
+        let servers: &[ServerEntry] = servers;
+        server_by_name.insert(id.0, |i| servers[i as usize].name.labels());
         self.universe.server_home.push(home);
         self.placeholder.push(placeholder);
         id
@@ -519,10 +572,12 @@ impl UniverseBuilder {
     /// real ancestry check before repointing.
     fn link_new_zone(&mut self, id: ZoneId, origin: &DnsName) {
         let labels = origin.labels();
-        let parent = (1..=labels.len())
-            .find_map(|skip| self.universe.zone_by_origin.get(&labels[skip..]).copied())
-            .map(|z| z.0)
-            .unwrap_or(u32::MAX);
+        let parent = {
+            let u = &self.universe;
+            (1..=labels.len())
+                .find_map(|skip| u.zone_by_origin.get(&labels[skip..], |i| u.zone_labels(i)))
+                .unwrap_or(u32::MAX)
+        };
         debug_assert_eq!(self.universe.zone_parent.len(), id.index());
         self.universe.zone_parent.push(parent);
 
@@ -581,7 +636,7 @@ impl UniverseBuilder {
         is_root: bool,
     ) -> ServerId {
         let key = name.to_lowercase();
-        if let Some(&id) = self.universe.server_by_name.get(&key) {
+        if let Some(id) = self.universe.server_id(&key) {
             let entry = &mut self.universe.servers[id.index()];
             if self.placeholder[id.index()] {
                 let (vulnerable, scripted_exploit) = Self::assess(banner.as_deref(), db);
@@ -596,7 +651,6 @@ impl UniverseBuilder {
         }
         let (vulnerable, scripted_exploit) = Self::assess(banner.as_deref(), db);
         self.intern_server(
-            key.clone(),
             ServerEntry {
                 name: key,
                 banner,
@@ -612,7 +666,7 @@ impl UniverseBuilder {
     /// assessment) — used by tests and synthetic generators.
     pub fn raw_server(&mut self, name: &DnsName, vulnerable: bool, is_root: bool) -> ServerId {
         let key = name.to_lowercase();
-        if let Some(&id) = self.universe.server_by_name.get(&key) {
+        if let Some(id) = self.universe.server_id(&key) {
             let entry = &mut self.universe.servers[id.index()];
             entry.vulnerable |= vulnerable;
             entry.scripted_exploit |= vulnerable;
@@ -621,7 +675,6 @@ impl UniverseBuilder {
             return id;
         }
         self.intern_server(
-            key.clone(),
             ServerEntry {
                 name: key,
                 banner: None,
@@ -645,7 +698,7 @@ impl UniverseBuilder {
         is_root: bool,
     ) -> ServerId {
         let key = name.to_lowercase();
-        if let Some(&id) = self.universe.server_by_name.get(&key) {
+        if let Some(id) = self.universe.server_id(&key) {
             let entry = &mut self.universe.servers[id.index()];
             if self.placeholder[id.index()] {
                 entry.banner = banner;
@@ -657,7 +710,6 @@ impl UniverseBuilder {
             return id;
         }
         self.intern_server(
-            key.clone(),
             ServerEntry {
                 name: key,
                 banner,
@@ -682,10 +734,9 @@ impl UniverseBuilder {
             .iter()
             .map(|n| {
                 let lower = n.to_lowercase();
-                let id = match self.universe.server_by_name.get(&lower) {
-                    Some(&id) => id,
+                let id = match self.universe.server_id(&lower) {
+                    Some(id) => id,
                     None => self.intern_server(
-                        lower.clone(),
                         ServerEntry {
                             name: lower,
                             banner: None,
@@ -703,7 +754,7 @@ impl UniverseBuilder {
             })
             .collect();
         let key = origin.to_lowercase();
-        if let Some(&existing) = self.universe.zone_by_origin.get(&key) {
+        if let Some(existing) = self.universe.zone_id(&key) {
             // Merge NS sets on duplicate insertion.
             let entry = &mut self.universe.zones[existing.index()];
             for id in ns {
@@ -718,7 +769,13 @@ impl UniverseBuilder {
             origin: key.clone(),
             ns,
         });
-        self.universe.zone_by_origin.insert(key.clone(), id);
+        let Universe {
+            zones,
+            zone_by_origin,
+            ..
+        } = &mut self.universe;
+        let zones: &[ZoneEntry] = zones;
+        zone_by_origin.insert(id.0, |i| zones[i as usize].origin.labels());
         self.link_new_zone(id, &key);
         id
     }
@@ -860,16 +917,14 @@ impl UniverseBuilder {
             .iter()
             .map(|&oldid| remap_zone(old.zone_parent[oldid as usize]))
             .collect();
-        let zone_by_origin = zones
-            .iter()
-            .enumerate()
-            .map(|(i, z)| (z.origin.clone(), ZoneId(i as u32)))
-            .collect();
-        let server_by_name = servers
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.name.clone(), ServerId(i as u32)))
-            .collect();
+        let mut zone_by_origin = NameIdMap::with_capacity(zones.len());
+        for i in 0..zones.len() as u32 {
+            zone_by_origin.insert(i, |j| zones[j as usize].origin.labels());
+        }
+        let mut server_by_name = NameIdMap::with_capacity(servers.len());
+        for i in 0..servers.len() as u32 {
+            server_by_name.insert(i, |j| servers[j as usize].name.labels());
+        }
         Universe {
             zones,
             zone_by_origin,

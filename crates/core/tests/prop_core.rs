@@ -295,8 +295,8 @@ proptest! {
         let serial = DependencyIndex::build_with_threads(&universe, 1);
         let parallel = DependencyIndex::build_with_threads(&universe, 8);
         for sid in universe.server_ids() {
-            prop_assert_eq!(serial.deps_of(sid), parallel.deps_of(sid));
-            prop_assert_eq!(serial.chain_of(sid), parallel.chain_of(sid));
+            prop_assert!(serial.deps_of(sid).eq(parallel.deps_of(sid)), "deps of {:?}", sid);
+            prop_assert!(serial.chain_of(sid).eq(parallel.chain_of(sid)), "chain of {:?}", sid);
         }
         prop_assert_eq!(serial.component_count(), parallel.component_count());
         prop_assert_eq!(serial.memo_stats(), parallel.memo_stats());

@@ -78,18 +78,35 @@ impl Label {
     /// display syntax would be ambiguous otherwise); real-world hostnames are
     /// a subset of this.
     pub fn new(bytes: &[u8]) -> Result<Label, NameError> {
+        Label::validate(bytes)?;
+        Ok(Label::from_validated(bytes))
+    }
+
+    /// The exact acceptance check [`Label::new`] performs, without
+    /// constructing the label — for validation walks (e.g. establishing
+    /// snapshot record boundaries) that only need to know the bytes
+    /// *would* decode.
+    pub fn validate(bytes: &[u8]) -> Result<(), NameError> {
         if bytes.is_empty() {
             return Err(NameError::EmptyLabel);
         }
         if bytes.len() > MAX_LABEL_LEN {
             return Err(NameError::LabelTooLong(bytes.len()));
         }
-        for &b in bytes {
-            if !(0x21..=0x7E).contains(&b) || b == b'.' {
-                return Err(NameError::BadByte(b));
-            }
+        // Branch-free accept test (`0x21..=0x7E` minus the dot, as one
+        // wrapping compare) so the scan vectorizes: this runs over every
+        // label byte of a snapshot's name table on load.
+        let ok = bytes.iter().fold(true, |ok, &b| {
+            ok & (b.wrapping_sub(0x21) <= 0x5D) & (b != b'.')
+        });
+        if ok {
+            return Ok(());
         }
-        Ok(Label::from_validated(bytes))
+        let &bad = bytes
+            .iter()
+            .find(|&&b| !(0x21..=0x7E).contains(&b) || b == b'.')
+            .expect("a byte failed the accept test");
+        Err(NameError::BadByte(bad))
     }
 
     /// Builds the storage for bytes that already passed validation.

@@ -10,7 +10,8 @@
 
 use std::collections::HashMap;
 
-use perils_util::snapshot::{self, Dec, SnapshotError};
+use perils_util::bytestore::{U32Arr, U64Arr};
+use perils_util::snapshot::{self, DecodeMode, SnapshotError, StoreDec};
 
 /// A fixed-capacity set of `usize` values in `[0, capacity)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,11 +176,12 @@ impl SetId {
 /// One interned set: sparse sorted ids when small (a range of the shared
 /// element arena — one allocation for all sparse sets, not one per set),
 /// packed blocks when the set is dense enough that blocks are the smaller
-/// representation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// representation. Dense blocks are an owned-or-view [`U64Arr`], so a
+/// snapshot-loaded interner can leave them in the archive's byte store.
+#[derive(Debug, Clone, PartialEq)]
 enum CompactSet {
     Sparse { offset: u32, len: u32 },
-    Dense { blocks: Box<[u64]>, len: u32 },
+    Dense { blocks: U64Arr, len: u32 },
 }
 
 /// A deduplicating arena of sets over `[0, capacity)`.
@@ -194,8 +196,9 @@ enum CompactSet {
 pub struct BitSetInterner {
     capacity: usize,
     sets: Vec<CompactSet>,
-    /// Shared element storage of every sparse set.
-    arena: Vec<u32>,
+    /// Shared element storage of every sparse set: an owned `Vec` for
+    /// built interners, a zero-copy archive view for snapshot loads.
+    arena: U32Arr,
     /// FNV-1a hash of the sorted ids → first set with that hash (further
     /// same-hash sets go to `overflow`; collisions of *distinct* sets are
     /// vanishingly rare, so the common case costs one map probe and no
@@ -206,6 +209,10 @@ pub struct BitSetInterner {
     /// Total elements across interned sets, counting each set once
     /// (dedup-aware size accounting for diagnostics).
     stored_elements: usize,
+    /// Whether `by_hash`/`overflow` reflect set storage. View-mode
+    /// snapshot loads defer the rebuild (read paths never consult the
+    /// maps); the first intern promotes the arena and rebuilds them.
+    dedup_ready: bool,
 }
 
 impl BitSetInterner {
@@ -214,10 +221,11 @@ impl BitSetInterner {
         BitSetInterner {
             capacity,
             sets: Vec::new(),
-            arena: Vec::new(),
+            arena: U32Arr::Owned(Vec::new()),
             by_hash: HashMap::new(),
             overflow: Vec::new(),
             stored_elements: 0,
+            dedup_ready: true,
         }
     }
 
@@ -288,6 +296,7 @@ impl BitSetInterner {
             );
         }
         debug_assert_eq!(hash, fnv1a(ids), "precomputed hash mismatch");
+        self.ensure_dedup();
         match self.by_hash.entry(hash) {
             std::collections::hash_map::Entry::Occupied(first) => {
                 let first = *first.get();
@@ -320,14 +329,18 @@ impl BitSetInterner {
     }
 
     /// Borrows the sorted element slice of set `id` when it is stored
-    /// sparsely (`None` for block-packed dense sets). The zero-copy fast
-    /// path of closure views: a single-component closure *is* its
-    /// component's interned set, so the view borrows this slice directly.
+    /// sparsely in an owned arena (`None` for block-packed dense sets
+    /// and for view-backed arenas, whose LE bytes cannot be reborrowed
+    /// as `u32`s without `unsafe`). The zero-copy fast path of closure
+    /// views: a single-component closure *is* its component's interned
+    /// set, so the view borrows this slice directly; view-backed callers
+    /// take the streaming fallback instead.
     pub fn as_sorted_slice(&self, id: SetId) -> Option<&[u32]> {
         match self.sets[id.index()] {
-            CompactSet::Sparse { offset, len } => {
-                Some(&self.arena[offset as usize..(offset + len) as usize])
-            }
+            CompactSet::Sparse { offset, len } => self
+                .arena
+                .as_slice()
+                .map(|arena| &arena[offset as usize..(offset + len) as usize]),
             CompactSet::Dense { .. } => None,
         }
     }
@@ -343,20 +356,20 @@ impl BitSetInterner {
     /// Calls `f` for every element of set `id`, ascending.
     pub fn for_each(&self, id: SetId, mut f: impl FnMut(u32)) {
         match &self.sets[id.index()] {
-            CompactSet::Sparse { offset, len } => self.arena
-                [*offset as usize..(offset + len) as usize]
-                .iter()
-                .copied()
-                .for_each(f),
+            CompactSet::Sparse { offset, len } => self
+                .arena
+                .for_each_in(*offset as usize..(offset + len) as usize, f),
             CompactSet::Dense { blocks, .. } => {
-                for (i, &block) in blocks.iter().enumerate() {
+                let mut i = 0u32;
+                blocks.for_each_in(0..blocks.len(), |block| {
                     let mut bits = block;
                     while bits != 0 {
                         let tz = bits.trailing_zeros();
                         bits &= bits - 1;
-                        f((i * 64) as u32 + tz);
+                        f(i * 64 + tz);
                     }
-                }
+                    i += 1;
+                });
             }
         }
     }
@@ -385,12 +398,16 @@ impl BitSetInterner {
                 blocks[v as usize / 64] |= 1u64 << (v % 64);
             }
             CompactSet::Dense {
-                blocks: blocks.into_boxed_slice(),
+                blocks: U64Arr::Owned(blocks),
                 len: ids.len() as u32,
             }
         } else {
             let offset = u32::try_from(self.arena.len()).expect("interner arena fits u32");
-            self.arena.extend_from_slice(ids);
+            match &mut self.arena {
+                U32Arr::Owned(arena) => arena.extend_from_slice(ids),
+                // ensure_dedup promoted the arena before any intern.
+                U32Arr::View(_) => unreachable!("pack on a view-backed arena"),
+            }
             CompactSet::Sparse {
                 offset,
                 len: ids.len() as u32,
@@ -406,7 +423,7 @@ impl BitSetInterner {
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         snapshot::put_u64(out, self.capacity as u64);
         snapshot::put_u64(out, self.stored_elements as u64);
-        snapshot::put_u32_slice(out, &self.arena);
+        self.arena.encode_into(out);
         snapshot::put_u32(
             out,
             u32::try_from(self.sets.len()).expect("interner set count fits u32"),
@@ -421,33 +438,36 @@ impl BitSetInterner {
                 CompactSet::Dense { blocks, len } => {
                     snapshot::put_u8(out, 1);
                     snapshot::put_u32(out, *len);
-                    snapshot::put_u64_slice(out, blocks);
+                    blocks.encode_into(out);
                 }
             }
         }
     }
 
     /// Reconstitutes an interner from [`BitSetInterner::encode_into`]
-    /// bytes. Set storage is bulk-decoded; only the dedup lookup maps are
-    /// re-derived, by hashing each set in id order — the same first-wins
-    /// order the original interning used, so even `by_hash`/`overflow`
-    /// come back identical and further interning behaves exactly as it
-    /// would on the original.
+    /// bytes. Under [`DecodeMode::Copy`] set storage is bulk-decoded and
+    /// the dedup lookup maps are re-derived eagerly, by hashing each set
+    /// in id order — the same first-wins order the original interning
+    /// used, so even `by_hash`/`overflow` come back identical and further
+    /// interning behaves exactly as it would on the original. Under
+    /// [`DecodeMode::View`] the sparse arena and every dense block run
+    /// stay as views into the archive's byte store, and the dedup maps
+    /// are deferred until the first intern (read paths never touch them).
     ///
-    /// Every structural claim is validated before use — sparse ranges
-    /// against the arena, element order/bounds against the capacity,
-    /// dense block counts and popcounts, and the stored-element total —
-    /// so a corrupt section yields a typed error, never a panic or a
-    /// silently wrong set.
-    pub fn decode_from(dec: &mut Dec<'_>) -> Result<BitSetInterner, SnapshotError> {
+    /// Every structural claim is validated before use in either mode —
+    /// sparse ranges against the arena, element order/bounds against the
+    /// capacity, dense block counts and popcounts, and the stored-element
+    /// total — so a corrupt section yields a typed error, never a panic
+    /// or a silently wrong set.
+    pub fn decode_from(dec: &mut StoreDec) -> Result<BitSetInterner, SnapshotError> {
         let capacity = usize::try_from(dec.u64()?)
             .map_err(|_| dec.malformed("interner capacity exceeds usize"))?;
         let stored_elements = usize::try_from(dec.u64()?)
             .map_err(|_| dec.malformed("interner stored_elements exceeds usize"))?;
-        let arena = dec.u32_vec()?;
+        let arena = dec.u32_arr()?;
         let set_count = dec.u32()? as usize;
         let block_count = capacity.div_ceil(64);
-        let mut sets = Vec::with_capacity(set_count.min(dec.remaining()));
+        let mut sets = Vec::with_capacity(set_count.min(dec.remaining() as usize));
         let mut element_total = 0usize;
         for i in 0..set_count {
             let set = match dec.u8()? {
@@ -461,20 +481,29 @@ impl BitSetInterner {
                             arena.len()
                         )));
                     }
-                    let slice = &arena[offset as usize..end as usize];
-                    if !slice.windows(2).all(|w| w[0] < w[1]) {
-                        return Err(dec.malformed(format!("sparse set {i} is not sorted-unique")));
-                    }
-                    if slice.last().is_some_and(|&v| v as usize >= capacity) {
-                        return Err(dec.malformed(format!(
-                            "sparse set {i} has an element out of capacity {capacity}"
-                        )));
-                    }
+                    // One streamed pass: sorted-unique and bounds — the
+                    // same validation the copy decode performs, without
+                    // materializing the range.
+                    let mut prev: Option<u32> = None;
+                    arena.try_for_each_in(offset as usize..end as usize, |v| {
+                        if prev.is_some_and(|p| p >= v) {
+                            return Err(
+                                dec.malformed(format!("sparse set {i} is not sorted-unique"))
+                            );
+                        }
+                        if v as usize >= capacity {
+                            return Err(dec.malformed(format!(
+                                "sparse set {i} has an element out of capacity {capacity}"
+                            )));
+                        }
+                        prev = Some(v);
+                        Ok(())
+                    })?;
                     CompactSet::Sparse { offset, len }
                 }
                 1 => {
                     let len = dec.u32()?;
-                    let blocks = dec.u64_vec()?;
+                    let blocks = dec.u64_arr()?;
                     if blocks.len() != block_count {
                         return Err(dec.malformed(format!(
                             "dense set {i} has {} blocks, capacity {capacity} needs {block_count}",
@@ -482,25 +511,27 @@ impl BitSetInterner {
                         )));
                     }
                     let tail_bits = capacity % 64;
-                    if tail_bits != 0
-                        && blocks
-                            .last()
-                            .is_some_and(|&b| b & !((1u64 << tail_bits) - 1) != 0)
-                    {
-                        return Err(dec.malformed(format!(
-                            "dense set {i} has bits beyond capacity {capacity}"
-                        )));
-                    }
-                    let popcount: u32 = blocks.iter().map(|b| b.count_ones()).sum();
-                    if popcount != len {
+                    let mut popcount: u64 = 0;
+                    let mut index = 0usize;
+                    blocks.try_for_each(|b| {
+                        popcount += u64::from(b.count_ones());
+                        index += 1;
+                        if index == block_count
+                            && tail_bits != 0
+                            && b & !((1u64 << tail_bits) - 1) != 0
+                        {
+                            return Err(dec.malformed(format!(
+                                "dense set {i} has bits beyond capacity {capacity}"
+                            )));
+                        }
+                        Ok(())
+                    })?;
+                    if popcount != u64::from(len) {
                         return Err(dec.malformed(format!(
                             "dense set {i} declares {len} elements but blocks hold {popcount}"
                         )));
                     }
-                    CompactSet::Dense {
-                        blocks: blocks.into_boxed_slice(),
-                        len,
-                    }
+                    CompactSet::Dense { blocks, len }
                 }
                 other => {
                     return Err(
@@ -525,9 +556,24 @@ impl BitSetInterner {
             by_hash: HashMap::new(),
             overflow: Vec::new(),
             stored_elements,
+            dedup_ready: false,
         };
-        pool.rebuild_dedup_maps();
+        if dec.mode() == DecodeMode::Copy {
+            pool.rebuild_dedup_maps();
+            pool.dedup_ready = true;
+        }
         Ok(pool)
+    }
+
+    /// Promotes a view-loaded interner to a mutable one: materializes the
+    /// arena and rebuilds the dedup maps. No-op once ready.
+    fn ensure_dedup(&mut self) {
+        if self.dedup_ready {
+            return;
+        }
+        self.arena.make_owned();
+        self.rebuild_dedup_maps();
+        self.dedup_ready = true;
     }
 
     /// Re-derives `by_hash`/`overflow` from set storage, in id order —
@@ -538,11 +584,11 @@ impl BitSetInterner {
         let mut scratch = Vec::new();
         for index in 0..self.sets.len() {
             let id = SetId(index as u32);
-            let hash = match &self.sets[index] {
-                CompactSet::Sparse { offset, len } => {
-                    fnv1a(&self.arena[*offset as usize..(offset + len) as usize])
+            let hash = match (&self.sets[index], self.arena.as_slice()) {
+                (CompactSet::Sparse { offset, len }, Some(arena)) => {
+                    fnv1a(&arena[*offset as usize..(offset + len) as usize])
                 }
-                CompactSet::Dense { .. } => {
+                _ => {
                     scratch.clear();
                     self.for_each(id, |v| scratch.push(v));
                     fnv1a(&scratch)
@@ -560,13 +606,17 @@ impl BitSetInterner {
     fn eq_ids(&self, id: SetId, ids: &[u32]) -> bool {
         match &self.sets[id.index()] {
             CompactSet::Sparse { offset, len } => {
-                &self.arena[*offset as usize..(offset + len) as usize] == ids
+                *len as usize == ids.len()
+                    && self
+                        .arena
+                        .iter_range(*offset as usize..(offset + len) as usize)
+                        .eq(ids.iter().copied())
             }
             CompactSet::Dense { blocks, len } => {
                 *len as usize == ids.len()
                     && ids
                         .iter()
-                        .all(|&v| blocks[v as usize / 64] & (1u64 << (v % 64)) != 0)
+                        .all(|&v| blocks.get(v as usize / 64) & (1u64 << (v % 64)) != 0)
             }
         }
     }
@@ -735,18 +785,29 @@ mod tests {
         BitSetInterner::new(10).intern(&[10]);
     }
 
-    #[test]
-    fn interner_codec_round_trips_exact_layout() {
+    fn sample_pool() -> (BitSetInterner, SetId, SetId, SetId, Vec<u32>) {
         let mut pool = BitSetInterner::new(256);
         let a = pool.intern(&[1, 5, 200]);
         let dense: Vec<u32> = (0..128).collect();
         let b = pool.intern(&dense);
         let c = pool.intern(&[]);
+        (pool, a, b, c, dense)
+    }
+
+    fn decode(bytes: Vec<u8>, mode: DecodeMode) -> Result<BitSetInterner, SnapshotError> {
+        let section = perils_util::snapshot::Section::from_vec(bytes, mode);
+        let mut dec = StoreDec::new(&section, "POOL");
+        let pool = BitSetInterner::decode_from(&mut dec)?;
+        dec.finish()?;
+        Ok(pool)
+    }
+
+    #[test]
+    fn interner_codec_round_trips_exact_layout() {
+        let (pool, a, b, c, dense) = sample_pool();
         let mut bytes = Vec::new();
         pool.encode_into(&mut bytes);
-        let mut dec = Dec::new(&bytes, "POOL");
-        let loaded = BitSetInterner::decode_from(&mut dec).expect("decodes");
-        dec.finish().expect("fully consumed");
+        let loaded = decode(bytes, DecodeMode::Copy).expect("decodes");
         assert_eq!(loaded, pool, "structural equality after round trip");
         assert_eq!(loaded.set_len(a), 3);
         assert_eq!(loaded.as_sorted_slice(a), Some(&[1u32, 5, 200][..]));
@@ -763,6 +824,48 @@ mod tests {
     }
 
     #[test]
+    fn interner_view_decode_matches_copy_and_promotes_on_intern() {
+        let (pool, a, b, c, dense) = sample_pool();
+        let mut bytes = Vec::new();
+        pool.encode_into(&mut bytes);
+        let viewed = decode(bytes.clone(), DecodeMode::View).expect("view decodes");
+        assert_eq!(viewed, pool, "views compare element-wise equal");
+        assert_eq!(
+            viewed.as_sorted_slice(a),
+            None,
+            "view arenas cannot lend slices"
+        );
+        assert_eq!(viewed.set_len(a), 3);
+        let mut got = Vec::new();
+        viewed.for_each(a, |v| got.push(v));
+        assert_eq!(got, vec![1, 5, 200]);
+        got.clear();
+        viewed.for_each(b, |v| got.push(v));
+        assert_eq!(got, dense, "dense views stream identically");
+        let mut union = Vec::new();
+        let mut seen = BitSet::new(256);
+        viewed.union_into(a, &mut seen, &mut union);
+        assert_eq!(union, vec![1, 5, 200]);
+        // A view-backed interner re-encodes byte-identically.
+        let mut re = Vec::new();
+        viewed.encode_into(&mut re);
+        assert_eq!(re, bytes, "view encode is byte-stable");
+        // First intern promotes the arena and rebuilds dedup maps.
+        let mut viewed = viewed;
+        assert_eq!(viewed.intern(&[1, 5, 200]), a);
+        assert_eq!(viewed.intern(&dense), b);
+        assert_eq!(viewed.intern(&[]), c);
+        let d = viewed.intern(&[9, 17]);
+        assert_eq!(viewed.len(), pool.len() + 1);
+        assert_eq!(viewed.as_sorted_slice(d), Some(&[9u32, 17][..]));
+        assert_eq!(
+            viewed.as_sorted_slice(a),
+            Some(&[1u32, 5, 200][..]),
+            "promotion materializes the arena for old sets too"
+        );
+    }
+
+    #[test]
     fn interner_codec_rejects_structural_corruption() {
         let mut pool = BitSetInterner::new(256);
         pool.intern(&[1, 5, 200]);
@@ -771,14 +874,16 @@ mod tests {
         pool.encode_into(&mut bytes);
         for byte in 0..bytes.len() {
             for flip in [0x01u8, 0x80] {
-                let mut bad = bytes.clone();
-                bad[byte] ^= flip;
-                let mut dec = Dec::new(&bad, "POOL");
-                // Must never panic; errors or a structurally valid (but
-                // different) interner are both acceptable — in the full
-                // archive the section checksum rejects the latter.
-                if let Ok(pool2) = BitSetInterner::decode_from(&mut dec) {
-                    let _ = pool2.len();
+                for mode in [DecodeMode::Copy, DecodeMode::View] {
+                    let mut bad = bytes.clone();
+                    bad[byte] ^= flip;
+                    // Must never panic; errors or a structurally valid
+                    // (but different) interner are both acceptable — in
+                    // the full archive the section checksum rejects the
+                    // latter.
+                    if let Ok(pool2) = decode(bad, mode) {
+                        let _ = pool2.len();
+                    }
                 }
             }
         }

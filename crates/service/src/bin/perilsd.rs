@@ -4,6 +4,7 @@
 //! perilsd [--world tiny|default|paper|fbi|cornell|tripwire] [--seed N]
 //!         [--addr HOST:PORT] [--threads N] [--queue-cap N] [--no-figures]
 //!         [--snapshot PATH] [--save-snapshot PATH]
+//!         [--snapshot-backend heap|paged|copy] [--page-cache-mb N]
 //! ```
 //!
 //! Builds the world once (or restores one from a `.psa` archive in
@@ -24,6 +25,7 @@ use std::net::TcpListener;
 const USAGE: &str = "usage: perilsd [--world tiny|default|paper|fbi|cornell|tripwire] [--seed N]
                [--addr HOST:PORT] [--threads N] [--queue-cap N] [--no-figures]
                [--snapshot PATH] [--save-snapshot PATH]
+               [--snapshot-backend heap|paged|copy] [--page-cache-mb N]
 
   --world WORLD   universe to serve: a seeded synthetic survey at tiny
                   (default), default, or paper scale; or the fbi.gov,
@@ -41,6 +43,12 @@ const USAGE: &str = "usage: perilsd [--world tiny|default|paper|fbi|cornell|trip
                         POST /reload rebuilds)
   --save-snapshot PATH  write the booted world to a .psa archive, then
                         keep serving
+  --snapshot-backend B  byte store behind --snapshot boots and snapshot
+                        reloads: heap (default; one resident buffer the
+                        index views into), paged (bounded page cache over
+                        the file), or copy (materialize everything)
+  --page-cache-mb N     paged backend's cache budget in MiB (default 16;
+                        only valid with --snapshot-backend paged)
 
 endpoints: GET /name/<n> /zone/<z> /names /figures /healthz /metrics
            POST /reload /shutdown
@@ -72,6 +80,8 @@ fn parse_args() -> Args {
         snapshot: None,
         save_snapshot: None,
     };
+    let mut backend: Option<String> = None;
+    let mut page_cache_mb: Option<u64> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value_of = |flag: &str| {
@@ -99,6 +109,16 @@ fn parse_args() -> Args {
             "--no-figures" => args.config.figures = false,
             "--snapshot" => args.snapshot = Some(value_of("--snapshot")),
             "--save-snapshot" => args.save_snapshot = Some(value_of("--save-snapshot")),
+            "--snapshot-backend" => backend = Some(value_of("--snapshot-backend")),
+            "--page-cache-mb" => {
+                page_cache_mb = Some(
+                    value_of("--page-cache-mb")
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage_error("--page-cache-mb needs an integer >= 1")),
+                )
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -109,6 +129,25 @@ fn parse_args() -> Args {
     if args.config.queue_cap == 0 {
         usage_error("--queue-cap must be at least 1");
     }
+    use perils_survey::SnapshotBackend;
+    args.config.backend = match backend.as_deref() {
+        None | Some("heap") => {
+            if page_cache_mb.is_some() {
+                usage_error("--page-cache-mb is only valid with --snapshot-backend paged");
+            }
+            SnapshotBackend::Heap
+        }
+        Some("copy") => {
+            if page_cache_mb.is_some() {
+                usage_error("--page-cache-mb is only valid with --snapshot-backend paged");
+            }
+            SnapshotBackend::Copy
+        }
+        Some("paged") => SnapshotBackend::paged(page_cache_mb.unwrap_or(16) * 1024 * 1024),
+        Some(other) => usage_error(&format!(
+            "unknown snapshot backend {other:?} (heap|paged|copy)"
+        )),
+    };
     args
 }
 
@@ -121,7 +160,10 @@ fn main() {
 
     let daemon = match &args.snapshot {
         Some(path) => {
-            eprintln!("perilsd: loading snapshot {path} ...");
+            eprintln!(
+                "perilsd: loading snapshot {path} ({} backend) ...",
+                args.config.backend.kind()
+            );
             match Daemon::boot_from_archive(spec, args.config, path) {
                 Ok(daemon) => daemon,
                 Err(e) => {

@@ -58,6 +58,11 @@ pub struct ServiceConfig {
     /// Whether snapshot builds run the full figure sweep (serving
     /// `GET /figures`); disable for pure query serving.
     pub figures: bool,
+    /// Byte-store backend for `.psa` archive boots and snapshot-served
+    /// reloads (`--snapshot-backend`): `Heap` keeps one resident buffer
+    /// the flat sections view into, `Paged` bounds residency with a
+    /// page cache, `Copy` materializes everything like a built world.
+    pub backend: perils_survey::SnapshotBackend,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +74,7 @@ impl Default for ServiceConfig {
                 .clamp(1, 16),
             queue_cap: 1024,
             figures: true,
+            backend: perils_survey::SnapshotBackend::Heap,
         }
     }
 }
@@ -197,7 +203,7 @@ impl Daemon {
     ) -> Result<Daemon, perils_util::snapshot::SnapshotError> {
         let mut config = config;
         config.threads = config.threads.clamp(1, 16);
-        let snapshot = WorldSnapshot::load_archive(path, 1)?;
+        let snapshot = WorldSnapshot::load_archive(path, 1, config.backend)?;
         Ok(Daemon {
             spec: SpecMutex::new(spec),
             store: SnapshotStore::new(snapshot),
@@ -299,7 +305,7 @@ impl Daemon {
                 // O(rebuild). A bad archive fails the reload without
                 // touching the current generation — queries keep being
                 // answered from the old world.
-                match WorldSnapshot::load_archive(path, epoch) {
+                match WorldSnapshot::load_archive(path, epoch, self.config.backend) {
                     Ok(next) => next,
                     Err(e) => {
                         eprintln!("perilsd: snapshot reload from {path:?} failed: {e}");
@@ -454,6 +460,10 @@ impl Daemon {
                     return (Endpoint::Metrics, method_not_allowed("GET"), false);
                 }
                 let snap = self.store.current();
+                let (resident, cache) = match &snap.store {
+                    Some(store) => (store.resident_bytes(), store.cache_counters()),
+                    None => (0, perils_util::CacheCounters::default()),
+                };
                 let text = self.metrics.render(
                     snap.epoch,
                     snap.age(),
@@ -461,6 +471,9 @@ impl Daemon {
                     self.config.threads,
                     snap.stats.source.kind(),
                     snap.stats.source.load_ms(),
+                    snap.backend,
+                    resident,
+                    cache,
                 );
                 (Endpoint::Metrics, Response::text(200, text), false)
             }
@@ -595,6 +608,7 @@ mod tests {
                 threads,
                 queue_cap: 8,
                 figures: false,
+                ..ServiceConfig::default()
             },
         )
     }
@@ -630,7 +644,7 @@ mod tests {
     #[test]
     fn name_route_reuses_the_worker_workspace() {
         let daemon = tiny_daemon(1);
-        let first = daemon.store().current().names[0].name.to_string();
+        let first = daemon.store().current().names.get(0).name.to_string();
         let (tx, _rx) = mpsc::channel();
         let mut ws = None;
         let path = format!("/name/{first}");

@@ -187,7 +187,13 @@ impl Metrics {
     /// from the caller — they live outside the counter block.
     /// `source_kind` is `"built"` or `"loaded"`; `archive_load_ms` is the
     /// `.psa` decode wall-clock when the snapshot was loaded from one
-    /// (0 when built in-process).
+    /// (0 when built in-process). `backend_kind` is the archive
+    /// byte-store behind the serving world (`"none"` for built worlds);
+    /// `resident_bytes` is how much of the archive is in memory right
+    /// now (the whole buffer for heap, cached pages for paged, 0
+    /// otherwise); `cache` carries the paged backend's hit/miss/eviction
+    /// totals (all zero for every other backend).
+    #[allow(clippy::too_many_arguments)]
     pub fn render(
         &self,
         epoch: u64,
@@ -196,6 +202,9 @@ impl Metrics {
         workers: usize,
         source_kind: &str,
         archive_load_ms: f64,
+        backend_kind: &str,
+        resident_bytes: u64,
+        cache: perils_util::CacheCounters,
     ) -> String {
         let mut out = String::with_capacity(2048);
 
@@ -286,6 +295,49 @@ impl Metrics {
             "perilsd_snapshot_archive_load_ms {archive_load_ms}\n"
         ));
 
+        out.push_str(
+            "# HELP perilsd_snapshot_backend Archive byte-store behind the serving world (1 on its kind; none = built or copy-free world).\n",
+        );
+        out.push_str("# TYPE perilsd_snapshot_backend gauge\n");
+        for kind in ["none", "copy", "heap", "paged"] {
+            out.push_str(&format!(
+                "perilsd_snapshot_backend{{kind=\"{kind}\"}} {}\n",
+                u8::from(kind == backend_kind)
+            ));
+        }
+
+        out.push_str(
+            "# HELP perilsd_snapshot_resident_bytes Archive bytes resident in memory (whole buffer for heap, cached pages for paged, 0 otherwise).\n",
+        );
+        out.push_str("# TYPE perilsd_snapshot_resident_bytes gauge\n");
+        out.push_str(&format!(
+            "perilsd_snapshot_resident_bytes {resident_bytes}\n"
+        ));
+
+        out.push_str(
+            "# HELP perilsd_page_cache_hits_total Page-cache hits (paged backend only).\n",
+        );
+        out.push_str("# TYPE perilsd_page_cache_hits_total counter\n");
+        out.push_str(&format!("perilsd_page_cache_hits_total {}\n", cache.hits));
+
+        out.push_str(
+            "# HELP perilsd_page_cache_misses_total Page-cache misses, i.e. disk reads (paged backend only).\n",
+        );
+        out.push_str("# TYPE perilsd_page_cache_misses_total counter\n");
+        out.push_str(&format!(
+            "perilsd_page_cache_misses_total {}\n",
+            cache.misses
+        ));
+
+        out.push_str(
+            "# HELP perilsd_page_cache_evictions_total Pages evicted to stay under the --page-cache-mb budget.\n",
+        );
+        out.push_str("# TYPE perilsd_page_cache_evictions_total counter\n");
+        out.push_str(&format!(
+            "perilsd_page_cache_evictions_total {}\n",
+            cache.evictions
+        ));
+
         out.push_str("# HELP perilsd_reloads_total Completed snapshot reloads.\n");
         out.push_str("# TYPE perilsd_reloads_total counter\n");
         out.push_str(&format!(
@@ -342,11 +394,32 @@ mod tests {
         m.record(Endpoint::Name, 404, Duration::from_micros(300_000));
         m.record(Endpoint::Reload, 202, Duration::from_micros(50));
         m.reload_failed();
-        let text = m.render(3, Duration::from_secs(2), true, 4, "loaded", 41.5);
+        let text = m.render(
+            3,
+            Duration::from_secs(2),
+            true,
+            4,
+            "loaded",
+            41.5,
+            "paged",
+            128 * 1024,
+            perils_util::CacheCounters {
+                hits: 10,
+                misses: 4,
+                evictions: 2,
+            },
+        );
         assert!(text.contains("perilsd_requests_total{endpoint=\"name\"} 2"));
         assert!(text.contains("perilsd_snapshot_source{kind=\"built\"} 0"));
         assert!(text.contains("perilsd_snapshot_source{kind=\"loaded\"} 1"));
         assert!(text.contains("perilsd_snapshot_archive_load_ms 41.5"));
+        assert!(text.contains("perilsd_snapshot_backend{kind=\"paged\"} 1"));
+        assert!(text.contains("perilsd_snapshot_backend{kind=\"heap\"} 0"));
+        assert!(text.contains("perilsd_snapshot_backend{kind=\"none\"} 0"));
+        assert!(text.contains("perilsd_snapshot_resident_bytes 131072"));
+        assert!(text.contains("perilsd_page_cache_hits_total 10"));
+        assert!(text.contains("perilsd_page_cache_misses_total 4"));
+        assert!(text.contains("perilsd_page_cache_evictions_total 2"));
         assert!(text.contains("perilsd_reloads_failed_total 1"));
         assert!(text.contains("perilsd_requests_total{endpoint=\"reload\"} 1"));
         assert!(text.contains("perilsd_responses_total{class=\"2xx\"} 2"));
@@ -363,7 +436,17 @@ mod tests {
         m.record(Endpoint::Name, 200, Duration::from_micros(80)); // <= 100us
         m.record(Endpoint::Name, 200, Duration::from_micros(400)); // <= 500us
         m.record(Endpoint::Name, 200, Duration::from_secs(10)); // overflow
-        let text = m.render(1, Duration::ZERO, false, 1, "built", 0.0);
+        let text = m.render(
+            1,
+            Duration::ZERO,
+            false,
+            1,
+            "built",
+            0.0,
+            "none",
+            0,
+            perils_util::CacheCounters::default(),
+        );
         assert!(text.contains("perilsd_request_duration_seconds_bucket{le=\"0.0001\"} 1"));
         assert!(text.contains("perilsd_request_duration_seconds_bucket{le=\"0.0005\"} 2"));
         assert!(text.contains("perilsd_request_duration_seconds_bucket{le=\"1\"} 2"));
@@ -372,10 +455,23 @@ mod tests {
 
     #[test]
     fn every_endpoint_appears_even_when_unused() {
-        let text = Metrics::new().render(1, Duration::ZERO, false, 1, "built", 0.0);
+        let text = Metrics::new().render(
+            1,
+            Duration::ZERO,
+            false,
+            1,
+            "built",
+            0.0,
+            "none",
+            0,
+            perils_util::CacheCounters::default(),
+        );
         assert!(text.contains("perilsd_snapshot_source{kind=\"built\"} 1"));
         assert!(text.contains("perilsd_snapshot_source{kind=\"loaded\"} 0"));
         assert!(text.contains("perilsd_snapshot_archive_load_ms 0"));
+        assert!(text.contains("perilsd_snapshot_backend{kind=\"none\"} 1"));
+        assert!(text.contains("perilsd_snapshot_resident_bytes 0"));
+        assert!(text.contains("perilsd_page_cache_hits_total 0"));
         for endpoint in ENDPOINTS {
             assert!(
                 text.contains(&format!("endpoint=\"{}\"", endpoint.label())),

@@ -21,7 +21,9 @@ use perils_survey::engine::{Engine, ScenarioSource, SyntheticSource, WorldSource
 use perils_survey::params::TopologyParams;
 use perils_survey::render::{FigureOutcome, FigureRegistry};
 use perils_survey::topology::SurveyName;
+use perils_survey::{NameTable, SnapshotBackend};
 use perils_util::snapshot::SnapshotError;
+use perils_util::ByteStore;
 use std::num::NonZeroUsize;
 use std::path::Path;
 use std::sync::Arc;
@@ -182,8 +184,10 @@ pub struct WorldSnapshot {
     pub index: DependencyIndex,
     /// Shared lint facts (depths, zombies, reachability).
     pub lint: LintIndex,
-    /// The surveyed names, in survey order.
-    pub names: Vec<SurveyName>,
+    /// The surveyed names, in survey order. Owned for built worlds and
+    /// copy loads; a lazy view into the archive store for heap/paged
+    /// loads (so `/names` responses decode only what they return).
+    pub names: NameTable,
     /// Indices into `names` of the most popular subset (what the
     /// top-500 figures slice on; archived so a loaded world can re-run
     /// the figure sweep).
@@ -193,6 +197,14 @@ pub struct WorldSnapshot {
     pub figures_json: Option<String>,
     /// Build cost and shape.
     pub stats: SnapshotStats,
+    /// The archive byte store a view-backed world still reads from
+    /// (`None` for built worlds and copy-decoded loads). `/metrics`
+    /// reads resident bytes and page-cache counters off it.
+    pub store: Option<Arc<ByteStore>>,
+    /// Archive byte-store backend behind this world: `"none"` for
+    /// built worlds, otherwise the `--snapshot-backend` kind
+    /// (`"copy"`, `"heap"` or `"paged"`).
+    pub backend: &'static str,
     /// When the build finished (drives `/metrics` snapshot age).
     pub built: Instant,
 }
@@ -240,10 +252,12 @@ impl WorldSnapshot {
             universe,
             index,
             lint,
-            names,
+            names: NameTable::Owned(names),
             top500,
             figures_json,
             stats,
+            store: None,
+            backend: "none",
             built: Instant::now(),
         }
     }
@@ -259,7 +273,9 @@ impl WorldSnapshot {
             &self.universe,
             &self.index,
             &self.lint,
-            &self.names,
+            // Saving is rare (explicit --save-snapshot); materializing a
+            // view-backed table here is fine.
+            &self.names.to_vec(),
             &self.top500,
             self.figures_json
                 .as_deref()
@@ -271,13 +287,20 @@ impl WorldSnapshot {
     /// per-section chunk decoding instead of a world rebuild. The cached
     /// figure JSON is re-stamped with this generation's epoch; everything
     /// else is byte-identical to the snapshot that was saved.
+    ///
+    /// `backend` picks the byte-store behind the big flat sections:
+    /// `Copy` materializes everything (and drops the archive), `Heap`
+    /// keeps one resident buffer the arrays view into, `Paged` serves
+    /// them from a bounded page cache over the file.
     pub fn load_archive(
         path: impl AsRef<Path>,
         epoch: u64,
+        backend: SnapshotBackend,
     ) -> Result<WorldSnapshot, SnapshotError> {
         let start = Instant::now();
-        let world = perils_survey::snapshot::load_world(path)?;
+        let world = perils_survey::snapshot::load_world_with(path, backend)?;
         let load = start.elapsed();
+        let backend_kind = world.backend_kind();
         let figures_json = world
             .figures_json
             .map(|json| restamp_figures_epoch(&json, epoch));
@@ -302,6 +325,8 @@ impl WorldSnapshot {
             top500: world.top500,
             figures_json,
             stats,
+            store: world.store,
+            backend: backend_kind,
             built: Instant::now(),
         })
     }
@@ -498,8 +523,18 @@ mod tests {
         let path = temp_psa("roundtrip");
         let bytes = built.save_archive(&path).expect("saves");
         assert!(bytes > 0);
-        let loaded = WorldSnapshot::load_archive(&path, 5).expect("loads");
+        let loaded = WorldSnapshot::load_archive(&path, 5, SnapshotBackend::Heap).expect("loads");
+        // A paged boot over the same archive answers identically from a
+        // two-page cache budget.
+        let paged =
+            WorldSnapshot::load_archive(&path, 5, SnapshotBackend::paged(8192)).expect("loads");
         std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.backend, "heap");
+        assert!(loaded.store.is_some(), "heap worlds keep the byte store");
+        assert_eq!(paged.backend, "paged");
+        assert_eq!(paged.universe, loaded.universe);
+        assert_eq!(paged.index, loaded.index);
+        assert_eq!(paged.figures_json, loaded.figures_json);
         assert_eq!(loaded.epoch, 5);
         assert_eq!(loaded.universe, built.universe);
         assert_eq!(loaded.index, built.index);
@@ -519,7 +554,8 @@ mod tests {
     fn load_archive_rejects_garbage_with_typed_error() {
         let path = temp_psa("garbage");
         std::fs::write(&path, b"definitely not a snapshot archive").expect("writes");
-        let err = WorldSnapshot::load_archive(&path, 1).expect_err("rejected");
+        let err =
+            WorldSnapshot::load_archive(&path, 1, SnapshotBackend::Heap).expect_err("rejected");
         std::fs::remove_file(&path).ok();
         assert!(err.to_string().contains("not a perils snapshot archive"));
     }

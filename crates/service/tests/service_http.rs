@@ -18,6 +18,7 @@ fn tiny_daemon(threads: usize, figures: bool) -> Daemon {
             threads,
             queue_cap: 64,
             figures,
+            ..ServiceConfig::default()
         },
     )
 }
@@ -401,12 +402,35 @@ fn snapshot_reload_and_cold_boot_serve_identical_answers() {
             threads: 2,
             queue_cap: 64,
             figures: true,
+            ..ServiceConfig::default()
         },
         archive.to_str().expect("utf8 path"),
     )
     .expect("cold boot from archive");
     let (cold_transcript, _) = with_daemon(&cold, |addr| transcript(&mut Client::connect(addr)));
     assert_eq!(strip_epochs(&before), strip_epochs(&cold_transcript));
+
+    // A paged boot over the same archive, squeezed to a two-page cache,
+    // serves the same data-plane bytes as the heap boot above.
+    let paged = Daemon::boot_from_archive(
+        WorldSpec::parse("tiny", 20040722).expect("tiny parses"),
+        ServiceConfig {
+            threads: 2,
+            queue_cap: 64,
+            figures: true,
+            backend: perils_survey::SnapshotBackend::paged(8192),
+        },
+        archive.to_str().expect("utf8 path"),
+    )
+    .expect("paged boot from archive");
+    let (paged_transcript, _) = with_daemon(&paged, |addr| {
+        let mut client = Client::connect(addr);
+        let t = transcript(&mut client);
+        let (_, _, metrics) = client.request("GET", "/metrics", None);
+        assert!(metrics.contains("perilsd_snapshot_backend{kind=\"paged\"} 1"));
+        t
+    });
+    assert_eq!(strip_epochs(&before), strip_epochs(&paged_transcript));
 
     // A reload pointing at garbage keeps the old generation serving.
     let ((), _) = with_daemon(&tiny_daemon(1, false), |addr| {

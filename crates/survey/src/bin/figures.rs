@@ -46,8 +46,9 @@ const USAGE: &str = "usage: figures [--scale tiny|default|paper] [--seed N] [--l
                 by figure id: fig2.csv, headline.csv, ... (since the
                 registry owns naming, NOT the legacy fig2_tcb_cdf.csv)
   --load-snapshot PATH  analyze the world in a .psa archive instead of
-                        generating one (--scale/--seed ignored for the
-                        world; figures are recomputed, not replayed)
+                        generating one (conflicts with --scale/--seed:
+                        giving both is a usage error, exit 2; figures are
+                        recomputed, not replayed)
   --save-snapshot PATH  after the run, write the world to a .psa archive
                         for later --load-snapshot / perilsd --snapshot";
 
@@ -69,6 +70,9 @@ struct Args {
     legacy_csv_dir: Option<String>,
     load_snapshot: Option<String>,
     save_snapshot: Option<String>,
+    /// World-shaping flags the user spelled out (for `--load-snapshot`
+    /// conflict detection — a stored world has no scale or seed to shape).
+    world_flags_given: Vec<&'static str>,
 }
 
 fn parse_args() -> Args {
@@ -82,6 +86,7 @@ fn parse_args() -> Args {
         legacy_csv_dir: None,
         load_snapshot: None,
         save_snapshot: None,
+        world_flags_given: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,6 +95,7 @@ fn parse_args() -> Args {
                 parsed.scale = args
                     .next()
                     .unwrap_or_else(|| usage_error("--scale needs a value"));
+                parsed.world_flags_given.push("--scale");
             }
             "--seed" => {
                 let raw = args
@@ -98,6 +104,7 @@ fn parse_args() -> Args {
                 parsed.seed = raw
                     .parse()
                     .unwrap_or_else(|_| usage_error(&format!("malformed --seed {raw:?}")));
+                parsed.world_flags_given.push("--seed");
             }
             "--list" => parsed.list = true,
             "--only" => {
@@ -135,6 +142,12 @@ fn parse_args() -> Args {
             }
             other => usage_error(&format!("unknown argument {other:?}")),
         }
+    }
+    if parsed.load_snapshot.is_some() && !parsed.world_flags_given.is_empty() {
+        usage_error(&format!(
+            "--load-snapshot conflicts with {}: a stored world has no scale or seed to shape",
+            parsed.world_flags_given.join("/")
+        ));
     }
     parsed
 }
@@ -229,7 +242,7 @@ fn main() {
             });
             let world = perils_survey::AnalysisWorld {
                 universe: loaded.universe,
-                names: loaded.names,
+                names: loaded.names.into_vec(),
                 top500: loaded.top500,
             };
             engine.run_world_indexed(world, &loaded.index)

@@ -51,7 +51,7 @@ const USAGE: &str = "usage: lint [--world fbi|cornell|tripwire|tiny] [--seed N] 
   --out FILE      write the report to FILE instead of stdout
   --load-snapshot PATH  lint the world in a .psa archive (its stored
                         index and facts are reused, no rebuild);
-                        --world/--seed are ignored
+                        conflicts with --world/--seed (usage error)
   --save-snapshot PATH  write the linted world (with its index and
                         facts) to a .psa archive after the run
 
@@ -76,6 +76,9 @@ struct Args {
     out: Option<String>,
     load_snapshot: Option<String>,
     save_snapshot: Option<String>,
+    /// World-shaping flags the user spelled out (for `--load-snapshot`
+    /// conflict detection — a stored world cannot be reshaped).
+    world_flags_given: Vec<&'static str>,
 }
 
 fn parse_args() -> Args {
@@ -89,6 +92,7 @@ fn parse_args() -> Args {
         out: None,
         load_snapshot: None,
         save_snapshot: None,
+        world_flags_given: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -97,6 +101,7 @@ fn parse_args() -> Args {
                 parsed.world = args
                     .next()
                     .unwrap_or_else(|| usage_error("--world needs a value"));
+                parsed.world_flags_given.push("--world");
             }
             "--seed" => {
                 let raw = args
@@ -105,6 +110,7 @@ fn parse_args() -> Args {
                 parsed.seed = raw
                     .parse()
                     .unwrap_or_else(|_| usage_error(&format!("malformed --seed {raw:?}")));
+                parsed.world_flags_given.push("--seed");
             }
             "--threads" => {
                 let raw = args
@@ -143,6 +149,12 @@ fn parse_args() -> Args {
             }
             other => usage_error(&format!("unknown argument {other:?}")),
         }
+    }
+    if parsed.load_snapshot.is_some() && !parsed.world_flags_given.is_empty() {
+        usage_error(&format!(
+            "--load-snapshot conflicts with {}: a stored world cannot be reshaped",
+            parsed.world_flags_given.join("/")
+        ));
     }
     parsed
 }
@@ -240,7 +252,7 @@ fn main() {
             });
             (
                 loaded.universe,
-                loaded.names,
+                loaded.names.into_vec(),
                 loaded.top500,
                 Some((loaded.index, loaded.lint)),
             )

@@ -58,5 +58,7 @@ pub use render::{
     DirectorySink, Figure, FigureError, FigureOutcome, FigureRegistry, RenderedFigure, ReportSink,
     SinkFormat, StreamingCsvSink, WriterSink,
 };
-pub use snapshot::{load_world, save_world, LoadedWorld};
+pub use snapshot::{
+    load_world, load_world_with, save_world, LoadedWorld, NameTable, SnapshotBackend,
+};
 pub use topology::SyntheticWorld;

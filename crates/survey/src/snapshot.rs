@@ -22,12 +22,17 @@
 use crate::topology::SurveyName;
 use perils_core::snapshot::{
     decode_dep_index, decode_lint, decode_name, decode_universe, encode_dep_index, encode_lint,
-    encode_name, encode_universe, SECTION_DEP_INDEX, SECTION_LINT, SECTION_UNIVERSE,
+    encode_name, encode_universe, validate_name, SECTION_DEP_INDEX, SECTION_LINT, SECTION_UNIVERSE,
 };
 use perils_core::universe::Universe;
 use perils_core::{DependencyIndex, LintIndex};
-use perils_util::snapshot::{self, Archive, ArchiveWriter, Dec, SnapshotError};
+use perils_util::bytestore::ByteStore;
+use perils_util::snapshot::{
+    self, Archive, ArchiveWriter, Dec, DecodeMode, Section, SnapshotError,
+};
+use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Section tag for the world header (dimension cross-checks).
 pub const SECTION_HEADER: [u8; 8] = *b"WORLDHDR";
@@ -36,8 +41,228 @@ pub const SECTION_NAMES: [u8; 8] = *b"SURVNAME";
 /// Section tag for the rendered figure JSON (optional).
 pub const SECTION_FIGURES: [u8; 8] = *b"FIGURES\0";
 
-/// A world reconstituted from a `.psa` archive — everything owned, ready
-/// to serve queries or run figure/lint passes without any rebuild.
+/// Default page size for [`SnapshotBackend::paged`]: one typical OS page
+/// per cache slot.
+pub const DEFAULT_PAGE_BYTES: usize = 4096;
+
+/// How [`load_world_with`] materializes an archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotBackend {
+    /// Parse every section into owned heap structures; the archive bytes
+    /// are dropped after the load (the classic decode).
+    Copy,
+    /// Keep the whole archive resident once as `Arc<[u8]>`; the big flat
+    /// tables become zero-copy views borrowing it.
+    Heap,
+    /// Leave the archive on disk behind a fixed-budget page cache; views
+    /// fault bytes in on demand, so resident memory is the cache plus the
+    /// eagerly decoded sections, not the world.
+    Paged {
+        /// Bytes per cache page.
+        page_bytes: usize,
+        /// Total cache budget in bytes (clamped to two pages).
+        budget_bytes: u64,
+    },
+}
+
+impl SnapshotBackend {
+    /// A paged backend with [`DEFAULT_PAGE_BYTES`] pages.
+    pub fn paged(budget_bytes: u64) -> SnapshotBackend {
+        SnapshotBackend::Paged {
+            page_bytes: DEFAULT_PAGE_BYTES,
+            budget_bytes,
+        }
+    }
+
+    /// Stable label for logs and metrics: `"copy"`, `"heap"` or
+    /// `"paged"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SnapshotBackend::Copy => "copy",
+            SnapshotBackend::Heap => "heap",
+            SnapshotBackend::Paged { .. } => "paged",
+        }
+    }
+}
+
+/// Upper bound on one encoded `SURVNAME` record: two names (a name's
+/// encoding — count byte plus per-label length and content bytes — is
+/// exactly its wire length, capped at
+/// [`perils_dns::name::MAX_NAME_LEN`]) plus the `u32` rank.
+const MAX_NAME_RECORD_BYTES: usize = 2 * perils_dns::name::MAX_NAME_LEN + 4;
+
+/// The surveyed-name list of a loaded world.
+///
+/// Copy decodes materialize every entry up front (`Owned`); view decodes
+/// keep the records in the archive's byte store and decode them on
+/// demand (`View`) — the dominant cost *and* resident footprint of the
+/// `SURVNAME` section disappears from the load, and a paged daemon
+/// serving `/names` touches only the pages the response needs.
+#[derive(Clone)]
+pub enum NameTable {
+    /// Every entry decoded eagerly (the classic decode).
+    Owned(Vec<SurveyName>),
+    /// Records validated at load, decoded per access from the store.
+    View(NameTableView),
+}
+
+/// The view half of [`NameTable`]: record boundaries into the `SURVNAME`
+/// section, established by a full validation walk at load time — so
+/// per-access decodes cannot fail (enforced with the same
+/// changed-on-disk panic contract as [`ByteStore::read`]).
+#[derive(Clone)]
+pub struct NameTableView {
+    store: Arc<ByteStore>,
+    /// Absolute offset of the section payload in the store.
+    base: u64,
+    /// Section-relative record boundaries: record `i` spans
+    /// `bounds[i]..bounds[i + 1]` (count + 1 entries).
+    bounds: Arc<Vec<u32>>,
+}
+
+impl NameTableView {
+    fn len(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    fn record(&self, i: usize) -> SurveyName {
+        let start = self.bounds[i] as usize;
+        let len = self.bounds[i + 1] as usize - start;
+        let mut buf = [0u8; MAX_NAME_RECORD_BYTES];
+        let buf = &mut buf[..len];
+        self.store.read(self.base + start as u64, buf);
+        let mut dec = Dec::new_at(buf, "SURVNAME", self.base + start as u64);
+        decode_record(&mut dec)
+            .expect("SURVNAME record validated at load no longer decodes (file changed on disk?)")
+    }
+
+    /// Materializes every record with one bulk read instead of
+    /// per-record store round-trips.
+    fn to_vec(&self) -> Vec<SurveyName> {
+        let count = self.len();
+        if count == 0 {
+            return Vec::new();
+        }
+        let start = self.bounds[0] as u64;
+        let end = self.bounds[count] as u64;
+        let bytes = self
+            .store
+            .read_range(self.base + start..self.base + end, "SURVNAME records")
+            .expect("SURVNAME records validated at load no longer read (file changed on disk?)");
+        let mut dec = Dec::new_at(&bytes, "SURVNAME", self.base + start);
+        (0..count)
+            .map(|_| {
+                decode_record(&mut dec).expect(
+                    "SURVNAME record validated at load no longer decodes (file changed on disk?)",
+                )
+            })
+            .collect()
+    }
+}
+
+/// Decodes one name/tld/rank record (see [`world_archive_bytes`]).
+fn decode_record(dec: &mut Dec<'_>) -> Result<SurveyName, SnapshotError> {
+    Ok(SurveyName {
+        name: decode_name(dec)?,
+        tld: decode_name(dec)?,
+        popularity_rank: dec.u32()? as usize,
+    })
+}
+
+impl NameTable {
+    /// Number of surveyed names.
+    pub fn len(&self) -> usize {
+        match self {
+            NameTable::Owned(names) => names.len(),
+            NameTable::View(view) => view.len(),
+        }
+    }
+
+    /// True when no names were surveyed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th entry (panics out of bounds, like indexing).
+    pub fn get(&self, i: usize) -> SurveyName {
+        match self {
+            NameTable::Owned(names) => names[i].clone(),
+            NameTable::View(view) => view.record(i),
+        }
+    }
+
+    /// The first entry, if any.
+    pub fn first(&self) -> Option<SurveyName> {
+        (!self.is_empty()).then(|| self.get(0))
+    }
+
+    /// Iterates entries in survey order.
+    pub fn iter(&self) -> impl Iterator<Item = SurveyName> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Every entry as an owned vec (cloning/decoding as needed).
+    pub fn to_vec(&self) -> Vec<SurveyName> {
+        match self {
+            NameTable::Owned(names) => names.clone(),
+            NameTable::View(view) => view.to_vec(),
+        }
+    }
+
+    /// [`NameTable::to_vec`] without the clone for owned tables.
+    pub fn into_vec(self) -> Vec<SurveyName> {
+        match self {
+            NameTable::Owned(names) => names,
+            NameTable::View(ref view) => view.to_vec(),
+        }
+    }
+
+    /// Stable label for logs: `"owned"` or `"view"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NameTable::Owned(_) => "owned",
+            NameTable::View(_) => "view",
+        }
+    }
+}
+
+impl From<Vec<SurveyName>> for NameTable {
+    fn from(names: Vec<SurveyName>) -> NameTable {
+        NameTable::Owned(names)
+    }
+}
+
+impl fmt::Debug for NameTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NameTable")
+            .field("kind", &self.kind())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl PartialEq for NameTable {
+    fn eq(&self, other: &NameTable) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl PartialEq<[SurveyName]> for NameTable {
+    fn eq(&self, other: &[SurveyName]) -> bool {
+        self.len() == other.len() && self.iter().zip(other).all(|(a, b)| a == *b)
+    }
+}
+
+impl PartialEq<Vec<SurveyName>> for NameTable {
+    fn eq(&self, other: &Vec<SurveyName>) -> bool {
+        self == other.as_slice()
+    }
+}
+
+/// A world reconstituted from a `.psa` archive — ready to serve queries
+/// or run figure/lint passes without any rebuild. Depending on the
+/// [`SnapshotBackend`], the dependency index's flat tables and the name
+/// table are either owned (`Copy`) or views into [`LoadedWorld::store`].
 #[derive(Debug)]
 pub struct LoadedWorld {
     /// The canonical universe.
@@ -47,7 +272,7 @@ pub struct LoadedWorld {
     /// The shared lint facts, validated against the universe.
     pub lint: LintIndex,
     /// The surveyed names, in survey order.
-    pub names: Vec<SurveyName>,
+    pub names: NameTable,
     /// Indices into `names` of the most popular subset.
     pub top500: Vec<usize>,
     /// The rendered figure JSON stored at save time, verbatim.
@@ -57,6 +282,18 @@ pub struct LoadedWorld {
     pub figures_rendered: usize,
     /// Total archive size in bytes.
     pub archive_bytes: u64,
+    /// The byte store view-backed structures borrow, `None` when the
+    /// load copied everything (the store was dropped). Exposes backend
+    /// kind, resident bytes and page-cache counters for metrics.
+    pub store: Option<Arc<ByteStore>>,
+}
+
+impl LoadedWorld {
+    /// Backend label: `"copy"` when no store is retained, otherwise the
+    /// store's kind (`"heap"`/`"paged"`).
+    pub fn backend_kind(&self) -> &'static str {
+        self.store.as_ref().map_or("copy", |s| s.kind())
+    }
 }
 
 /// Serializes a built world to `bytes` (see the module table for the
@@ -135,21 +372,46 @@ pub fn save_world(
     Ok(bytes.len() as u64)
 }
 
-/// Loads a world from in-memory archive bytes.
+/// Loads a world from in-memory archive bytes with the classic copy
+/// decode (everything owned, bytes dropped afterwards).
 pub fn load_world_bytes(bytes: Vec<u8>) -> Result<LoadedWorld, SnapshotError> {
+    let archive = Archive::from_bytes_copy(bytes)?;
+    load_world_archive(&archive)
+}
+
+/// [`load_world_bytes`] with heap-view decoding: the bytes stay resident
+/// once and the big flat tables become views borrowing them.
+pub fn load_world_bytes_view(bytes: Vec<u8>) -> Result<LoadedWorld, SnapshotError> {
     let archive = Archive::from_bytes(bytes)?;
     load_world_archive(&archive)
 }
 
-/// Loads a world from a `.psa` file: one bulk read, then per-section
-/// chunk decoding.
+/// Loads a world from a `.psa` file with the classic copy decode: one
+/// bulk read, then per-section chunk decoding.
 pub fn load_world(path: impl AsRef<Path>) -> Result<LoadedWorld, SnapshotError> {
-    let archive = Archive::read_from_path(path)?;
+    load_world_with(path, SnapshotBackend::Copy)
+}
+
+/// Loads a world from a `.psa` file through the chosen backend.
+pub fn load_world_with(
+    path: impl AsRef<Path>,
+    backend: SnapshotBackend,
+) -> Result<LoadedWorld, SnapshotError> {
+    let archive = match backend {
+        SnapshotBackend::Copy => Archive::read_from_path_copy(path)?,
+        SnapshotBackend::Heap => Archive::read_from_path(path)?,
+        SnapshotBackend::Paged {
+            page_bytes,
+            budget_bytes,
+        } => Archive::open_paged(path, page_bytes, budget_bytes)?,
+    };
     load_world_archive(&archive)
 }
 
 fn load_world_archive(archive: &Archive) -> Result<LoadedWorld, SnapshotError> {
-    let mut header = Dec::new(archive.section(SECTION_HEADER)?, "WORLDHDR");
+    let header_sec = archive.section(SECTION_HEADER)?;
+    let header_bytes = header_sec.bytes()?;
+    let mut header = Dec::new_at(&header_bytes, "WORLDHDR", header_sec.base());
     let zone_count = header.u32()? as usize;
     let server_count = header.u32()? as usize;
     let name_count = header.u32()? as usize;
@@ -161,7 +423,7 @@ fn load_world_archive(archive: &Archive) -> Result<LoadedWorld, SnapshotError> {
     };
     header.finish()?;
 
-    let universe = decode_universe(archive.section(SECTION_UNIVERSE)?)?;
+    let universe = decode_universe(&archive.section(SECTION_UNIVERSE)?)?;
     if universe.zone_count() != zone_count || universe.server_count() != server_count {
         return Err(Dec::new(&[], "WORLDHDR").malformed(format!(
             "header declares {zone_count} zones / {server_count} servers, universe holds {} / {}",
@@ -169,36 +431,14 @@ fn load_world_archive(archive: &Archive) -> Result<LoadedWorld, SnapshotError> {
             universe.server_count()
         )));
     }
-    let index = decode_dep_index(archive.section(SECTION_DEP_INDEX)?, &universe)?;
-    let lint = decode_lint(archive.section(SECTION_LINT)?, &universe)?;
+    let index = decode_dep_index(&archive.section(SECTION_DEP_INDEX)?, &universe)?;
+    let lint = decode_lint(&archive.section(SECTION_LINT)?, &universe)?;
 
-    let mut dec = Dec::new(archive.section(SECTION_NAMES)?, "SURVNAME");
-    let count = dec.u32()? as usize;
-    if count != name_count {
-        return Err(dec.malformed(format!(
-            "header declares {name_count} names, section holds {count}"
-        )));
-    }
-    let mut names = Vec::with_capacity(count.min(dec.remaining()));
-    for _ in 0..count {
-        let name = decode_name(&mut dec)?;
-        let tld = decode_name(&mut dec)?;
-        let popularity_rank = dec.u32()? as usize;
-        names.push(SurveyName {
-            name,
-            tld,
-            popularity_rank,
-        });
-    }
-    let top500: Vec<usize> = dec.u32_vec()?.into_iter().map(|i| i as usize).collect();
-    if let Some(&bad) = top500.iter().find(|&&i| i >= names.len()) {
-        return Err(dec.malformed(format!("top500 index {bad} of {} names", names.len())));
-    }
-    dec.finish()?;
+    let (names, top500) = decode_names(&archive.section(SECTION_NAMES)?, name_count)?;
 
     let figures_json = match archive.optional_section(SECTION_FIGURES) {
-        Some(bytes) => Some(
-            String::from_utf8(bytes.to_vec())
+        Some(sec) => Some(
+            String::from_utf8(sec.to_vec()?)
                 .map_err(|e| Dec::new(&[], "FIGURES").malformed(format!("not UTF-8: {e}")))?,
         ),
         None => None,
@@ -217,5 +457,62 @@ fn load_world_archive(archive: &Archive) -> Result<LoadedWorld, SnapshotError> {
         figures_json,
         figures_rendered,
         archive_bytes: archive.len_bytes(),
+        // Copy decodes own everything, so the store (and with it a
+        // heap-resident archive) is dropped here — PR 9 behavior. View
+        // decodes keep it alive for the views.
+        store: match archive.mode() {
+            DecodeMode::Copy => None,
+            DecodeMode::View => Some(archive.store().clone()),
+        },
     })
+}
+
+/// Decodes the `SURVNAME` section: the name table plus top-500 indices.
+///
+/// Copy mode materializes every record. View mode *validates* every
+/// record (same checks, same bytes consumed — see
+/// [`perils_core::snapshot::validate_name`]) and keeps only the record
+/// boundaries, so names decode lazily from the store. Boundaries are
+/// `u32`; a section past 4 GiB (no real archive is close) falls back to
+/// the eager decode rather than truncating offsets.
+fn decode_names(
+    section: &Section,
+    name_count: usize,
+) -> Result<(NameTable, Vec<usize>), SnapshotError> {
+    let payload = section.bytes()?;
+    let payload = &payload[..];
+    let mut dec = Dec::new_at(payload, "SURVNAME", section.base());
+    let count = dec.u32()? as usize;
+    if count != name_count {
+        return Err(dec.malformed(format!(
+            "header declares {name_count} names, section holds {count}"
+        )));
+    }
+    let names = if section.mode() == DecodeMode::View && payload.len() <= u32::MAX as usize {
+        let mut bounds = Vec::with_capacity(count + 1);
+        for _ in 0..count {
+            bounds.push((payload.len() - dec.remaining()) as u32);
+            validate_name(&mut dec)?;
+            validate_name(&mut dec)?;
+            dec.u32()?;
+        }
+        bounds.push((payload.len() - dec.remaining()) as u32);
+        NameTable::View(NameTableView {
+            store: section.store().clone(),
+            base: section.base(),
+            bounds: Arc::new(bounds),
+        })
+    } else {
+        let mut names = Vec::with_capacity(count.min(dec.remaining()));
+        for _ in 0..count {
+            names.push(decode_record(&mut dec)?);
+        }
+        NameTable::Owned(names)
+    };
+    let top500: Vec<usize> = dec.u32_vec()?.into_iter().map(|i| i as usize).collect();
+    if let Some(&bad) = top500.iter().find(|&&i| i >= names.len()) {
+        return Err(dec.malformed(format!("top500 index {bad} of {} names", names.len())));
+    }
+    dec.finish()?;
+    Ok((names, top500))
 }

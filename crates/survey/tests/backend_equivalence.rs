@@ -1,0 +1,153 @@
+//! Backend-equivalence contract, property-tested: for random synthetic
+//! seeds, the paged backend must reconstruct the *byte-identical* world
+//! the heap backend sees — across page sizes spanning two orders of
+//! magnitude and cache budgets squeezed all the way down to two pages
+//! (the `ByteStore` floor, where every bulk read thrashes). Equality is
+//! proven at the byte level by re-encoding each loaded world and
+//! comparing archives. Truncations landing mid-page must surface a typed
+//! `SnapshotError` from the paged open, never a panic and never a world.
+
+#![forbid(unsafe_code)]
+
+use proptest::prelude::*;
+
+use perils_core::{DependencyIndex, LintIndex};
+use perils_survey::engine::WorldSource;
+use perils_survey::params::TopologyParams;
+use perils_survey::snapshot::world_archive_bytes;
+use perils_survey::{LoadedWorld, SnapshotBackend, SyntheticSource};
+
+/// Page sizes under test: well below, at, and well above the OS page.
+const PAGE_SIZES: [usize; 3] = [512, 4096, 65536];
+
+/// Writes `bytes` to a unique temp file and returns its path (cleaned up
+/// by [`TempArchive::drop`], so failing tests don't litter `/tmp`).
+struct TempArchive(std::path::PathBuf);
+
+impl TempArchive {
+    fn new(bytes: &[u8], tag: &str) -> TempArchive {
+        let path = std::env::temp_dir().join(format!(
+            "perils_backend_eq_{}_{tag}.psa",
+            std::process::id()
+        ));
+        std::fs::write(&path, bytes).expect("write temp archive");
+        TempArchive(path)
+    }
+}
+
+impl Drop for TempArchive {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+/// Re-encodes a loaded world into archive bytes — the byte-level
+/// fingerprint two backends must agree on. (The encoder is
+/// deterministic, so equal fingerprints mean equal worlds down to every
+/// label byte and rank.)
+fn fingerprint(loaded: &LoadedWorld) -> Vec<u8> {
+    world_archive_bytes(
+        &loaded.universe,
+        &loaded.index,
+        &loaded.lint,
+        &loaded.names.to_vec(),
+        &loaded.top500,
+        loaded
+            .figures_json
+            .as_deref()
+            .map(|j| (j, loaded.figures_rendered)),
+    )
+}
+
+fn archive_bytes(seed: u64) -> Vec<u8> {
+    let world = SyntheticSource {
+        params: TopologyParams::tiny(seed),
+    }
+    .load();
+    let index = DependencyIndex::build(&world.universe);
+    let lint = LintIndex::build(&world.universe);
+    world_archive_bytes(
+        &world.universe,
+        &index,
+        &lint,
+        &world.names,
+        &world.top500,
+        Some(("{\"epoch\":7,\"figures\":[]}", 0)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Heap and paged decodes agree byte-for-byte for every page size
+    /// and for budgets from a quarter of the archive down to two pages.
+    #[test]
+    fn heap_and_paged_worlds_are_byte_identical(seed in 0u64..10_000) {
+        let bytes = archive_bytes(seed);
+        let archive = TempArchive::new(&bytes, &format!("prop{seed}"));
+
+        let heap = perils_survey::load_world_with(&archive.0, SnapshotBackend::Heap)
+            .expect("heap load");
+        let heap_print = fingerprint(&heap);
+
+        for page_bytes in PAGE_SIZES {
+            // Two pages is the cache floor: every read_range larger than
+            // one page evicts, so lazy name decodes thrash honestly.
+            let budgets = [2 * page_bytes as u64, (bytes.len() as u64 / 4).max(1)];
+            for budget_bytes in budgets {
+                let paged = perils_survey::load_world_with(
+                    &archive.0,
+                    SnapshotBackend::Paged { page_bytes, budget_bytes },
+                )
+                .expect("paged load");
+                prop_assert_eq!(
+                    &fingerprint(&paged),
+                    &heap_print,
+                    "paged world (page {} B, budget {} B) differs from heap",
+                    page_bytes,
+                    budget_bytes
+                );
+                // Spot-check the lazy accessors against the heap table,
+                // including the last record (the tail-page case).
+                prop_assert_eq!(paged.names.len(), heap.names.len());
+                if !paged.names.is_empty() {
+                    let last = paged.names.len() - 1;
+                    prop_assert_eq!(paged.names.get(0), heap.names.get(0));
+                    prop_assert_eq!(paged.names.get(last), heap.names.get(last));
+                }
+            }
+        }
+    }
+
+    /// Truncating the file mid-page (any cut point, never page-aligned
+    /// by construction of the sample) makes the paged open a typed
+    /// error for every page size — never a panic, never a world.
+    #[test]
+    fn mid_page_truncation_is_a_typed_error(seed in 0u64..100, cut in 1usize..4096) {
+        let bytes = archive_bytes(seed);
+        // Map the cut into (0, len) and nudge it off 512-byte alignment
+        // so it lands mid-page for every size under test.
+        let mut cut = 1 + cut % (bytes.len() - 1);
+        if cut.is_multiple_of(512) {
+            cut -= 1;
+        }
+        let archive = TempArchive::new(&bytes[..cut], &format!("trunc{seed}_{cut}"));
+
+        for page_bytes in PAGE_SIZES {
+            let result = perils_survey::load_world_with(
+                &archive.0,
+                SnapshotBackend::Paged {
+                    page_bytes,
+                    budget_bytes: 2 * page_bytes as u64,
+                },
+            );
+            prop_assert!(
+                result.is_err(),
+                "truncation to {} of {} bytes loaded anyway (page {} B)",
+                cut,
+                bytes.len(),
+                page_bytes
+            );
+        }
+    }
+}

@@ -76,7 +76,7 @@ proptest! {
             &engine,
             AnalysisWorld {
                 universe: loaded.universe.clone(),
-                names: loaded.names.clone(),
+                names: loaded.names.to_vec(),
                 top500: loaded.top500.clone(),
             },
             &loaded.index,

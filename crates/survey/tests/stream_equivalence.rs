@@ -69,8 +69,8 @@ fn index_observations(universe: &Universe, names: &[SurveyName], threads: usize)
     let index = DependencyIndex::build_with_threads(universe, threads);
     let mut out = Vec::new();
     for sid in universe.server_ids() {
-        out.push(index.chain_of(sid).iter().map(|z| z.0).collect());
-        out.push(index.deps_of(sid).iter().map(|s| s.0).collect());
+        out.push(index.chain_of(sid).map(|z| z.0).collect());
+        out.push(index.deps_of(sid).map(|s| s.0).collect());
     }
     let mut ws = index.workspace();
     for name in names {

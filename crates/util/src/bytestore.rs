@@ -1,0 +1,896 @@
+//! Byte-view backends for `.psa` snapshot archives: serve the flat
+//! little-endian payloads *in place* instead of parsing them into heap
+//! `Vec`s.
+//!
+//! A [`ByteStore`] is the owner of an archive's bytes with two backends:
+//!
+//! * **Heap** — the whole archive in one `Arc<[u8]>`; views borrow it and
+//!   reads are plain subslices.
+//! * **Paged** — a `std::fs::File` behind a fixed-page LRU cache with a
+//!   configurable byte budget; reads assemble from cached pages, faulting
+//!   misses in with positioned reads. The resident set is the cache, not
+//!   the archive, so one box can hold worlds larger than RAM.
+//!
+//! On top sit the typed views: [`U32View`]/[`U64View`] describe a
+//! length-`n` run of little-endian words at an absolute archive offset,
+//! and [`U32Arr`]/[`U64Arr`] unify "owned `Vec`" (the classic copy
+//! decode) with "view into a store" behind one API, so index structures
+//! can hold either without generics. Words are decoded from bytes on the
+//! fly — no `mmap`, no transmute, no `unsafe` (the workspace forbids it).
+//!
+//! Construction-time bounds are validated by the snapshot decoders, so
+//! post-load view reads are logically infallible; an I/O failure after a
+//! successful open (e.g. the snapshot file truncated underneath a paged
+//! store) is unrecoverable corruption and panics with a clear message
+//! rather than serving wrong data.
+
+use crate::snapshot::SnapshotError;
+use std::fs::File;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Smallest accepted page size for a paged store. Tiny pages are legal
+/// (tests run 512-byte pages) but sub-64 requests are clamped here so a
+/// misconfigured budget cannot degenerate into per-word syscalls.
+pub const MIN_PAGE_BYTES: usize = 64;
+
+/// Elements decoded per refill by the buffered view iterators: large
+/// enough to amortize the page-cache lock, small enough that cloning an
+/// in-flight iterator stays cheap.
+const ITER_CHUNK: usize = 256;
+
+/// A point-in-time snapshot of a paged store's cache counters. All zero
+/// for heap stores (they have no cache to hit or miss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Page lookups satisfied from the cache.
+    pub hits: u64,
+    /// Page lookups that faulted the page in from the file.
+    pub misses: u64,
+    /// Pages dropped to stay within the byte budget.
+    pub evictions: u64,
+}
+
+/// One cached page: its bytes plus the LRU tick of its last touch.
+#[derive(Debug)]
+struct Page {
+    data: Box<[u8]>,
+    tick: u64,
+}
+
+/// The mutable half of a paged store: the file handle and the page map.
+/// File reads happen under this lock, which also serializes the one
+/// file descriptor — concurrent readers that hit the cache still copy
+/// out under the lock, but never do I/O there unless they missed.
+#[derive(Debug)]
+struct PageCacheState {
+    file: File,
+    pages: std::collections::HashMap<u64, Page>,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct PagedFile {
+    len: u64,
+    page_bytes: usize,
+    max_pages: usize,
+    state: Mutex<PageCacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PagedFile {
+    fn lock(&self) -> MutexGuard<'_, PageCacheState> {
+        // A poisoned lock means another reader panicked mid-copy; the
+        // cache map itself is never left half-written (inserts are the
+        // last step), so recovering the guard is safe.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Copies `out.len()` bytes starting at absolute `offset`, faulting
+    /// pages in as needed. Caller has already bounds-checked the range.
+    fn read_into(&self, offset: u64, out: &mut [u8]) -> std::io::Result<()> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        let page_bytes = self.page_bytes as u64;
+        let first = offset / page_bytes;
+        let last = (offset + out.len() as u64 - 1) / page_bytes;
+        let mut state = self.lock();
+        for page_no in first..=last {
+            let page_start = page_no * page_bytes;
+            let copy_from = offset.max(page_start);
+            let copy_to = (offset + out.len() as u64).min(page_start + page_bytes);
+            let in_page = (copy_from - page_start) as usize..(copy_to - page_start) as usize;
+            let in_out = (copy_from - offset) as usize..(copy_to - offset) as usize;
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(page) = state.pages.get_mut(&page_no) {
+                page.tick = tick;
+                out[in_out].copy_from_slice(&page.data[in_page]);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let want = (self.len - page_start).min(page_bytes) as usize;
+            let mut data = vec![0u8; want];
+            read_at_exact(&mut state.file, page_start, &mut data)?;
+            out[in_out].copy_from_slice(&data[in_page]);
+            if state.pages.len() >= self.max_pages {
+                // O(pages) coldest-tick scan: budgets are small by design
+                // (that is the point of paging), so a linear sweep beats
+                // maintaining an intrusive list without `unsafe`.
+                if let Some(&coldest) = state
+                    .pages
+                    .iter()
+                    .min_by_key(|(_, p)| p.tick)
+                    .map(|(no, _)| no)
+                {
+                    state.pages.remove(&coldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            state.pages.insert(
+                page_no,
+                Page {
+                    data: data.into_boxed_slice(),
+                    tick,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.lock()
+            .pages
+            .values()
+            .map(|p| p.data.len() as u64)
+            .sum()
+    }
+}
+
+/// Positioned read without moving a shared cursor. On Unix this is
+/// `pread`; elsewhere it falls back to seek-then-read (safe here because
+/// the file handle is exclusive to the locked cache state).
+fn read_at_exact(file: &mut File, offset: u64, out: &mut [u8]) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(out, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(out)
+    }
+}
+
+#[derive(Debug)]
+enum StoreInner {
+    // The Vec is never cloned or converted: stores are shared as
+    // `Arc<ByteStore>`, so wrapping the buffer again (e.g. `Arc<[u8]>`)
+    // would only buy a second full-archive copy at open time.
+    Heap(Vec<u8>),
+    Paged(PagedFile),
+}
+
+/// The owner of one archive's bytes — heap-resident or paged from disk.
+/// Shared as `Arc<ByteStore>`; every view holds a clone of the `Arc`.
+#[derive(Debug)]
+pub struct ByteStore {
+    inner: StoreInner,
+}
+
+impl ByteStore {
+    /// A heap store over `bytes`: every read is a subslice. The buffer
+    /// is taken as-is — opening an archive costs one file read, not a
+    /// read plus a copy.
+    pub fn heap(bytes: Vec<u8>) -> ByteStore {
+        ByteStore {
+            inner: StoreInner::Heap(bytes),
+        }
+    }
+
+    /// Opens `path` as a paged store: `page_bytes` per page (clamped to
+    /// [`MIN_PAGE_BYTES`]), at most `budget_bytes` of cached pages
+    /// (clamped to two pages, the minimum that lets a read straddle a
+    /// boundary without thrashing its own working set).
+    pub fn open_paged(
+        path: impl AsRef<std::path::Path>,
+        page_bytes: usize,
+        budget_bytes: u64,
+    ) -> Result<ByteStore, SnapshotError> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let page_bytes = page_bytes.max(MIN_PAGE_BYTES);
+        let max_pages = usize::try_from(budget_bytes / page_bytes as u64)
+            .unwrap_or(usize::MAX)
+            .max(2);
+        Ok(ByteStore {
+            inner: StoreInner::Paged(PagedFile {
+                len,
+                page_bytes,
+                max_pages,
+                state: Mutex::new(PageCacheState {
+                    file,
+                    pages: std::collections::HashMap::new(),
+                    tick: 0,
+                }),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Total byte length of the backing archive.
+    pub fn len(&self) -> u64 {
+        match &self.inner {
+            StoreInner::Heap(bytes) => bytes.len() as u64,
+            StoreInner::Paged(paged) => paged.len,
+        }
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Backend label: `"heap"` or `"paged"`.
+    pub fn kind(&self) -> &'static str {
+        match &self.inner {
+            StoreInner::Heap(_) => "heap",
+            StoreInner::Paged(_) => "paged",
+        }
+    }
+
+    /// The whole archive as a borrowed slice — heap stores only.
+    pub fn as_heap(&self) -> Option<&[u8]> {
+        match &self.inner {
+            StoreInner::Heap(bytes) => Some(bytes),
+            StoreInner::Paged(_) => None,
+        }
+    }
+
+    /// Bytes currently resident: the archive itself for heap stores, the
+    /// cached pages for paged stores.
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.inner {
+            StoreInner::Heap(bytes) => bytes.len() as u64,
+            StoreInner::Paged(paged) => paged.resident_bytes(),
+        }
+    }
+
+    /// Page-cache counters (all zero for heap stores).
+    pub fn cache_counters(&self) -> CacheCounters {
+        match &self.inner {
+            StoreInner::Heap(_) => CacheCounters::default(),
+            StoreInner::Paged(paged) => CacheCounters {
+                hits: paged.hits.load(Ordering::Relaxed),
+                misses: paged.misses.load(Ordering::Relaxed),
+                evictions: paged.evictions.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// The page size in bytes (`None` for heap stores).
+    pub fn page_bytes(&self) -> Option<usize> {
+        match &self.inner {
+            StoreInner::Heap(_) => None,
+            StoreInner::Paged(paged) => Some(paged.page_bytes),
+        }
+    }
+
+    fn check_range(&self, range: &Range<u64>, context: &str) -> Result<(), SnapshotError> {
+        if range.start > range.end || range.end > self.len() {
+            return Err(SnapshotError::Truncated {
+                context: context.to_string(),
+                offset: range.end.max(range.start),
+            });
+        }
+        Ok(())
+    }
+
+    /// Copies `out.len()` bytes at absolute `offset` into `out`, with a
+    /// typed error on out-of-bounds or I/O failure.
+    pub fn try_read(
+        &self,
+        offset: u64,
+        out: &mut [u8],
+        context: &str,
+    ) -> Result<(), SnapshotError> {
+        self.check_range(&(offset..offset + out.len() as u64), context)?;
+        match &self.inner {
+            StoreInner::Heap(bytes) => {
+                let start = offset as usize;
+                out.copy_from_slice(&bytes[start..start + out.len()]);
+                Ok(())
+            }
+            StoreInner::Paged(paged) => paged.read_into(offset, out).map_err(SnapshotError::Io),
+        }
+    }
+
+    /// [`ByteStore::try_read`] for post-validation reads: bounds were
+    /// proven at decode time, so failure here means the backing file
+    /// changed underneath us — panic rather than serve wrong bytes.
+    pub fn read(&self, offset: u64, out: &mut [u8]) {
+        self.try_read(offset, out, "byte store read")
+            .expect("snapshot byte store read failed after validation (file changed on disk?)");
+    }
+
+    /// Materializes `range` as an owned buffer.
+    pub fn read_range(&self, range: Range<u64>, context: &str) -> Result<Vec<u8>, SnapshotError> {
+        self.check_range(&range, context)?;
+        let mut out = vec![0u8; (range.end - range.start) as usize];
+        self.try_read(range.start, &mut out, context)?;
+        Ok(out)
+    }
+
+    /// Streams `range` through `f` in bounded chunks without ever
+    /// materializing the whole range: heap stores hand over one borrowed
+    /// slice; paged stores walk page-aligned chunks through a scratch
+    /// buffer (so each chunk touches exactly one page). `f` runs with no
+    /// store lock held.
+    pub fn try_for_chunks<E>(
+        &self,
+        range: Range<u64>,
+        mut f: impl FnMut(&[u8]) -> Result<(), E>,
+    ) -> Result<(), E>
+    where
+        E: From<SnapshotError>,
+    {
+        self.check_range(&range, "chunked read").map_err(E::from)?;
+        match &self.inner {
+            StoreInner::Heap(bytes) => f(&bytes[range.start as usize..range.end as usize]),
+            StoreInner::Paged(paged) => {
+                let page_bytes = paged.page_bytes as u64;
+                let mut at = range.start;
+                let mut buf = Vec::new();
+                while at < range.end {
+                    let chunk_end = ((at / page_bytes + 1) * page_bytes).min(range.end);
+                    buf.resize((chunk_end - at) as usize, 0);
+                    self.try_read(at, &mut buf, "chunked read")
+                        .map_err(E::from)?;
+                    f(&buf)?;
+                    at = chunk_end;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// `n` little-endian `u32`s at absolute byte offset `start` of a store.
+#[derive(Debug, Clone)]
+pub struct U32View {
+    store: Arc<ByteStore>,
+    start: u64,
+    len: usize,
+}
+
+/// `n` little-endian `u64`s at absolute byte offset `start` of a store.
+#[derive(Debug, Clone)]
+pub struct U64View {
+    store: Arc<ByteStore>,
+    start: u64,
+    len: usize,
+}
+
+macro_rules! word_view {
+    ($view:ident, $word:ty, $bytes:expr) => {
+        impl $view {
+            /// A view over `len` words at absolute byte `start`. The byte
+            /// range must already be validated against the store.
+            pub fn new(store: Arc<ByteStore>, start: u64, len: usize) -> $view {
+                debug_assert!(start + (len as u64) * $bytes <= store.len());
+                $view { store, start, len }
+            }
+
+            /// Number of words in the view.
+            pub fn len(&self) -> usize {
+                self.len
+            }
+
+            /// True when the view has no words.
+            pub fn is_empty(&self) -> bool {
+                self.len == 0
+            }
+
+            /// The backing store.
+            pub fn store(&self) -> &Arc<ByteStore> {
+                &self.store
+            }
+
+            /// The absolute byte range the words occupy.
+            pub fn byte_range(&self) -> Range<u64> {
+                self.start..self.start + (self.len as u64) * $bytes
+            }
+
+            /// Decodes word `i` (panics out of bounds, like slice indexing).
+            pub fn get(&self, i: usize) -> $word {
+                assert!(
+                    i < self.len,
+                    "view index {i} out of bounds (len {})",
+                    self.len
+                );
+                let mut raw = [0u8; $bytes as usize];
+                self.store.read(self.start + (i as u64) * $bytes, &mut raw);
+                <$word>::from_le_bytes(raw)
+            }
+
+            /// Streams the words of `range` through `f` in storage order
+            /// without materializing the range. Words that straddle a
+            /// page boundary are reassembled through a carry buffer, so
+            /// any page size ≥ [`MIN_PAGE_BYTES`] yields identical words.
+            pub fn try_for_each_in<E: From<SnapshotError>>(
+                &self,
+                range: Range<usize>,
+                mut f: impl FnMut($word) -> Result<(), E>,
+            ) -> Result<(), E> {
+                assert!(range.start <= range.end && range.end <= self.len);
+                let byte_start = self.start + (range.start as u64) * $bytes;
+                let byte_end = self.start + (range.end as u64) * $bytes;
+                let mut carry = [0u8; $bytes as usize];
+                let mut carry_len: usize = 0;
+                self.store
+                    .try_for_chunks(byte_start..byte_end, |mut chunk| {
+                        if carry_len > 0 {
+                            let need = ($bytes as usize) - carry_len;
+                            let take = need.min(chunk.len());
+                            carry[carry_len..carry_len + take].copy_from_slice(&chunk[..take]);
+                            carry_len += take;
+                            chunk = &chunk[take..];
+                            if carry_len == $bytes as usize {
+                                f(<$word>::from_le_bytes(carry))?;
+                                carry_len = 0;
+                            }
+                        }
+                        let mut words = chunk.chunks_exact($bytes as usize);
+                        for word in &mut words {
+                            f(<$word>::from_le_bytes(word.try_into().expect("exact word")))?;
+                        }
+                        let rest = words.remainder();
+                        carry[..rest.len()].copy_from_slice(rest);
+                        carry_len = rest.len();
+                        Ok(())
+                    })
+            }
+
+            /// Decodes words `range` into `out` (cleared first) with one
+            /// bulk byte read.
+            pub fn read_range_into(&self, range: Range<usize>, out: &mut Vec<$word>) {
+                assert!(range.start <= range.end && range.end <= self.len);
+                out.clear();
+                out.reserve(range.len());
+                let byte_start = self.start + (range.start as u64) * $bytes;
+                let mut raw = vec![0u8; range.len() * ($bytes as usize)];
+                self.store.read(byte_start, &mut raw);
+                out.extend(
+                    raw.chunks_exact($bytes as usize)
+                        .map(|c| <$word>::from_le_bytes(c.try_into().expect("exact word"))),
+                );
+            }
+
+            /// Materializes the whole view as an owned `Vec`.
+            pub fn to_vec(&self) -> Vec<$word> {
+                let mut out = Vec::new();
+                self.read_range_into(0..self.len, &mut out);
+                out
+            }
+        }
+    };
+}
+
+word_view!(U32View, u32, 4u64);
+word_view!(U64View, u64, 8u64);
+
+// ---------------------------------------------------------------------
+// Owned-or-view word arrays
+// ---------------------------------------------------------------------
+
+/// A flat array of `u32`s that is either an owned `Vec` (the classic
+/// copy decode, and everything the build path produces) or a zero-copy
+/// view into a [`ByteStore`]. Index structures hold this so one code
+/// path serves both representations; equality and encoding are
+/// element-wise, so a view-backed array round-trips byte-identically
+/// with its owned twin.
+#[derive(Debug, Clone)]
+pub enum U32Arr {
+    /// Materialized words.
+    Owned(Vec<u32>),
+    /// Words decoded on the fly from a store.
+    View(U32View),
+}
+
+/// [`U32Arr`] for `u64` words (dense bitset blocks).
+#[derive(Debug, Clone)]
+pub enum U64Arr {
+    /// Materialized words.
+    Owned(Vec<u64>),
+    /// Words decoded on the fly from a store.
+    View(U64View),
+}
+
+macro_rules! word_arr {
+    ($arr:ident, $view:ident, $iter:ident, $word:ty, $bytes:expr) => {
+        impl $arr {
+            /// Number of words.
+            pub fn len(&self) -> usize {
+                match self {
+                    $arr::Owned(v) => v.len(),
+                    $arr::View(v) => v.len(),
+                }
+            }
+
+            /// True when there are no words.
+            pub fn is_empty(&self) -> bool {
+                self.len() == 0
+            }
+
+            /// Word `i` (panics out of bounds, like slice indexing).
+            pub fn get(&self, i: usize) -> $word {
+                match self {
+                    $arr::Owned(v) => v[i],
+                    $arr::View(v) => v.get(i),
+                }
+            }
+
+            /// The words as a borrowed slice — owned arrays only. Views
+            /// return `None` (LE bytes cannot be reborrowed as words
+            /// without `unsafe`); callers fall back to the streaming or
+            /// copying APIs.
+            pub fn as_slice(&self) -> Option<&[$word]> {
+                match self {
+                    $arr::Owned(v) => Some(v),
+                    $arr::View(_) => None,
+                }
+            }
+
+            /// Streams words `range` through `f`, stopping at the first
+            /// error.
+            pub fn try_for_each_in<E: From<SnapshotError>>(
+                &self,
+                range: Range<usize>,
+                mut f: impl FnMut($word) -> Result<(), E>,
+            ) -> Result<(), E> {
+                match self {
+                    $arr::Owned(v) => {
+                        for &w in &v[range] {
+                            f(w)?;
+                        }
+                        Ok(())
+                    }
+                    $arr::View(v) => v.try_for_each_in(range, f),
+                }
+            }
+
+            /// Streams every word through `f`, stopping at the first
+            /// error.
+            pub fn try_for_each<E: From<SnapshotError>>(
+                &self,
+                f: impl FnMut($word) -> Result<(), E>,
+            ) -> Result<(), E> {
+                self.try_for_each_in(0..self.len(), f)
+            }
+
+            /// Visits words `range` in order (infallible variant).
+            pub fn for_each_in(&self, range: Range<usize>, mut f: impl FnMut($word)) {
+                self.try_for_each_in::<SnapshotError>(range, |w| {
+                    f(w);
+                    Ok(())
+                })
+                .expect("infallible word visit");
+            }
+
+            /// Copies words `range` into `out` (cleared first).
+            pub fn read_range_into(&self, range: Range<usize>, out: &mut Vec<$word>) {
+                match self {
+                    $arr::Owned(v) => {
+                        out.clear();
+                        out.extend_from_slice(&v[range]);
+                    }
+                    $arr::View(v) => v.read_range_into(range, out),
+                }
+            }
+
+            /// Materializes the array as an owned `Vec`.
+            pub fn to_vec(&self) -> Vec<$word> {
+                match self {
+                    $arr::Owned(v) => v.clone(),
+                    $arr::View(v) => v.to_vec(),
+                }
+            }
+
+            /// Converts a view into its owned twin in place (no-op for
+            /// owned arrays). Used when a loaded structure must mutate.
+            pub fn make_owned(&mut self) {
+                if let $arr::View(v) = self {
+                    *self = $arr::Owned(v.to_vec());
+                }
+            }
+
+            /// A buffered iterator over words `range`.
+            pub fn iter_range(&self, range: Range<usize>) -> $iter<'_> {
+                assert!(range.start <= range.end && range.end <= self.len());
+                $iter {
+                    arr: self,
+                    pos: range.start,
+                    end: range.end,
+                    buf: Vec::new(),
+                    buf_start: range.start,
+                }
+            }
+
+            /// A buffered iterator over every word.
+            pub fn iter(&self) -> $iter<'_> {
+                self.iter_range(0..self.len())
+            }
+
+            /// Appends `u32 len` + the words little-endian — the exact
+            /// bytes the matching `put_*_slice` writer emits, so encoding
+            /// a view reproduces its source bytes.
+            pub fn encode_into(&self, out: &mut Vec<u8>) {
+                crate::snapshot::put_u32(out, u32::try_from(self.len()).expect("slice fits u32"));
+                out.reserve(self.len() * ($bytes as usize));
+                self.for_each_in(0..self.len(), |w| out.extend_from_slice(&w.to_le_bytes()));
+            }
+        }
+
+        impl Default for $arr {
+            fn default() -> $arr {
+                $arr::Owned(Vec::new())
+            }
+        }
+
+        impl From<Vec<$word>> for $arr {
+            fn from(v: Vec<$word>) -> $arr {
+                $arr::Owned(v)
+            }
+        }
+
+        impl PartialEq for $arr {
+            fn eq(&self, other: &$arr) -> bool {
+                self.len() == other.len() && self.iter().eq(other.iter())
+            }
+        }
+
+        /// Buffered word iterator: owned arrays index directly; views
+        /// decode `ITER_CHUNK`-word (256-word) runs at a time so iteration costs
+        /// one bulk read per chunk, not one page lookup per word.
+        #[derive(Debug, Clone)]
+        pub struct $iter<'a> {
+            arr: &'a $arr,
+            pos: usize,
+            end: usize,
+            buf: Vec<$word>,
+            buf_start: usize,
+        }
+
+        impl<'a> Iterator for $iter<'a> {
+            type Item = $word;
+
+            fn next(&mut self) -> Option<$word> {
+                if self.pos >= self.end {
+                    return None;
+                }
+                let word = match self.arr {
+                    $arr::Owned(v) => v[self.pos],
+                    $arr::View(view) => {
+                        if self.pos < self.buf_start || self.pos >= self.buf_start + self.buf.len()
+                        {
+                            let chunk_end = (self.pos + ITER_CHUNK).min(self.end);
+                            view.read_range_into(self.pos..chunk_end, &mut self.buf);
+                            self.buf_start = self.pos;
+                        }
+                        self.buf[self.pos - self.buf_start]
+                    }
+                };
+                self.pos += 1;
+                Some(word)
+            }
+
+            fn size_hint(&self) -> (usize, Option<usize>) {
+                let n = self.end - self.pos;
+                (n, Some(n))
+            }
+        }
+
+        impl<'a> ExactSizeIterator for $iter<'a> {}
+    };
+}
+
+word_arr!(U32Arr, U32View, U32ArrIter, u32, 4u64);
+word_arr!(U64Arr, U64View, U64ArrIter, u64, 8u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::checksum;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("perils-bytestore-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn pattern_bytes(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 7 + i / 251) as u8).collect()
+    }
+
+    #[test]
+    fn heap_and_paged_reads_agree_across_page_sizes() {
+        let bytes = pattern_bytes(10_000);
+        let path = temp_path("agree");
+        std::fs::write(&path, &bytes).expect("write temp");
+        let heap = ByteStore::heap(bytes.clone());
+        for &page in &[MIN_PAGE_BYTES, 512, 4096, 65536] {
+            let paged = ByteStore::open_paged(&path, page, (page * 2) as u64).expect("open");
+            assert_eq!(paged.kind(), "paged");
+            assert_eq!(paged.len(), heap.len());
+            // Straddling reads at awkward offsets, including page edges.
+            for &(off, len) in &[
+                (0u64, 1usize),
+                (511, 2),
+                (510, 7),
+                (4093, 9),
+                (0, 10_000),
+                (9_999, 1),
+                (9_000, 1_000),
+            ] {
+                let mut a = vec![0u8; len];
+                let mut b = vec![0u8; len];
+                heap.try_read(off, &mut a, "t").expect("heap read");
+                paged.try_read(off, &mut b, "t").expect("paged read");
+                assert_eq!(a, b, "page={page} off={off} len={len}");
+            }
+            let counters = paged.cache_counters();
+            assert!(counters.misses > 0, "misses must be counted");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn paged_store_respects_budget_and_counts_evictions() {
+        let bytes = pattern_bytes(8_192);
+        let path = temp_path("budget");
+        std::fs::write(&path, &bytes).expect("write temp");
+        // Two 512-byte pages of budget over a 16-page file.
+        let paged = ByteStore::open_paged(&path, 512, 1024).expect("open");
+        for round in 0..3 {
+            for page in 0..16u64 {
+                let mut b = [0u8; 4];
+                paged.try_read(page * 512, &mut b, "t").expect("read");
+                let _ = round;
+            }
+        }
+        assert!(paged.resident_bytes() <= 2 * 512 + 512, "budget respected");
+        let c = paged.cache_counters();
+        assert!(c.evictions > 0, "evictions counted: {c:?}");
+        assert!(c.misses >= 16, "every page missed at least once");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn paged_reads_past_end_are_typed_errors() {
+        let path = temp_path("oob");
+        std::fs::write(&path, pattern_bytes(100)).expect("write temp");
+        let paged = ByteStore::open_paged(&path, 512, 1024).expect("open");
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            paged.try_read(96, &mut buf, "tail"),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        assert!(matches!(
+            paged.read_range(90..110, "tail"),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn u32_views_decode_identically_to_owned() {
+        let words: Vec<u32> = (0..5_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
+        let mut bytes = vec![0xAAu8; 13]; // non-aligned leading garbage
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let path = temp_path("u32view");
+        std::fs::write(&path, &bytes).expect("write temp");
+        let owned = U32Arr::Owned(words.clone());
+        for store in [
+            Arc::new(ByteStore::heap(bytes.clone())),
+            Arc::new(ByteStore::open_paged(&path, 512, 1024).expect("open")),
+        ] {
+            let view = U32Arr::View(U32View::new(store, 13, words.len()));
+            assert_eq!(view.len(), owned.len());
+            assert_eq!(view, owned, "element-wise equality");
+            assert_eq!(view.get(0), words[0]);
+            assert_eq!(view.get(4_999), words[4_999]);
+            assert!(view.as_slice().is_none());
+            assert_eq!(
+                view.iter_range(100..228).collect::<Vec<_>>(),
+                &words[100..228]
+            );
+            let mut streamed = Vec::new();
+            view.try_for_each::<SnapshotError>(|w| {
+                streamed.push(w);
+                Ok(())
+            })
+            .expect("stream");
+            assert_eq!(streamed, words);
+            let mut encoded = Vec::new();
+            view.encode_into(&mut encoded);
+            let mut expected = Vec::new();
+            crate::snapshot::put_u32_slice(&mut expected, &words);
+            assert_eq!(encoded, expected, "view encode is byte-stable");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn u64_views_straddle_pages_correctly() {
+        let words: Vec<u64> = (0..1_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut bytes = vec![0x55u8; 3];
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let path = temp_path("u64view");
+        std::fs::write(&path, &bytes).expect("write temp");
+        let store = Arc::new(ByteStore::open_paged(&path, MIN_PAGE_BYTES, 128).expect("open"));
+        let view = U64Arr::View(U64View::new(store, 3, words.len()));
+        assert_eq!(view, U64Arr::Owned(words.clone()));
+        let mut streamed = Vec::new();
+        view.try_for_each::<SnapshotError>(|w| {
+            streamed.push(w);
+            Ok(())
+        })
+        .expect("stream");
+        assert_eq!(streamed, words);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_fold_matches_one_shot_checksum_at_any_split() {
+        let bytes = pattern_bytes(1_037);
+        let expect = checksum(&bytes);
+        for split in [0, 1, 7, 8, 9, 512, 1_000, 1_036, 1_037] {
+            let mut fold = crate::snapshot::ChecksumFold::new();
+            fold.update(&bytes[..split]);
+            fold.update(&bytes[split..]);
+            assert_eq!(fold.finish(), expect, "split at {split}");
+        }
+        // Many tiny chunks (every page size down to 1 byte).
+        for chunk in [1usize, 3, 5, 8, 64, 513] {
+            let mut fold = crate::snapshot::ChecksumFold::new();
+            for c in bytes.chunks(chunk) {
+                fold.update(c);
+            }
+            assert_eq!(fold.finish(), expect, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn make_owned_promotes_views() {
+        let words: Vec<u32> = (0..100).collect();
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let store = Arc::new(ByteStore::heap(bytes));
+        let mut arr = U32Arr::View(U32View::new(store, 0, words.len()));
+        assert!(arr.as_slice().is_none());
+        arr.make_owned();
+        assert_eq!(arr.as_slice(), Some(words.as_slice()));
+    }
+}

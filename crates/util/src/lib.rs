@@ -19,9 +19,12 @@
 //!   validator (the workspace serializes JSON without serde).
 //! * [`snapshot`] — the `.psa` flat snapshot archive container: versioned,
 //!   checksummed little-endian sections with typed corruption errors.
+//! * [`bytestore`] — heap and demand-paged byte backends plus the
+//!   owned-or-view word arrays snapshot decoders serve archives through.
 
 #![forbid(unsafe_code)]
 
+pub mod bytestore;
 pub mod dist;
 pub mod json;
 pub mod rng;
@@ -29,10 +32,11 @@ pub mod snapshot;
 pub mod stats;
 pub mod table;
 
+pub use bytestore::{ByteStore, CacheCounters, U32Arr, U32View, U64Arr, U64View};
 pub use dist::{AliasTable, Exponential, LogNormal, Pareto, ZipfTable};
 pub use json::{push_json_string, validate as validate_json};
 pub use rng::Rng;
-pub use snapshot::{Archive, ArchiveWriter, Dec, SnapshotError};
+pub use snapshot::{Archive, ArchiveWriter, Dec, DecodeMode, Section, SnapshotError, StoreDec};
 pub use stats::{Cdf, Histogram, RankCurve, Summary};
 pub use table::{Align, Table};
 

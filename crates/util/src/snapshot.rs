@@ -5,23 +5,36 @@
 //! table of contents (one entry per section: 8-byte tag, offset, length,
 //! FNV-1a checksum), and the section payloads concatenated. Sections are
 //! flat arrays of fixed-width little-endian integers plus length-prefixed
-//! byte runs, so loading is a handful of bulk reads reconstituting each
-//! `Vec` by chunked `u32`/`u64` decoding — no per-record text parsing, no
-//! graph traversal, and no `unsafe` (the workspace forbids it): the
-//! chunk decoders below compile to memory-bandwidth copies without mmap
-//! or transmute.
+//! byte runs, so loading is a handful of bulk reads — no per-record text
+//! parsing, no graph traversal, and no `unsafe` (the workspace forbids
+//! it): the chunk decoders below compile to memory-bandwidth copies
+//! without mmap or transmute.
 //!
-//! Every failure mode is a typed [`SnapshotError`]: wrong magic, an
-//! unsupported version, a byte-swapped (big-endian) header, truncation
-//! anywhere, per-section checksum mismatches, and structural nonsense
-//! inside a section (the per-type decoders in `perils-graph`/
-//! `perils-core` route their findings through [`Dec::malformed`]).
+//! Archives are read through a [`crate::bytestore::ByteStore`], so the
+//! same validated TOC serves three decode strategies: **copy** (every
+//! array materialized into a `Vec`, the classic decode), **heap view**
+//! (the archive stays resident once as `Arc<[u8]>` and the big flat
+//! arrays become [`crate::bytestore::U32Arr`] views borrowing it), and
+//! **paged view** (the archive stays on disk behind a fixed-budget page
+//! cache; views fault bytes in on demand). [`DecodeMode`] picks between
+//! copy and view; the store backend picks between heap and paged.
+//!
+//! Every failure mode is a typed [`SnapshotError`] carrying the absolute
+//! byte offset where decoding stopped: wrong magic, an unsupported
+//! version, a byte-swapped (big-endian) header, truncation anywhere,
+//! per-section checksum mismatches, and structural nonsense inside a
+//! section (the per-type decoders in `perils-graph`/`perils-core` route
+//! their findings through [`Dec::malformed`]/[`StoreDec::malformed`]).
 //! Corrupt archives must never panic or yield silently wrong data — the
 //! format-hardening tests flip and truncate bytes at every offset and
 //! assert exactly that.
 
+use crate::bytestore::{ByteStore, U32Arr, U32View, U64Arr, U64View};
+use std::borrow::Cow;
 use std::fmt;
+use std::ops::Range;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Archive magic: identifies a `.psa` file regardless of version.
 pub const MAGIC: [u8; 8] = *b"PSNAPARC";
@@ -33,12 +46,20 @@ pub const VERSION: u32 = 1;
 pub const ENDIAN_TAG: u32 = 0x0A0B_0C0D;
 
 /// Size of one table-of-contents entry: tag + offset + length + checksum.
-const TOC_ENTRY: usize = 8 + 8 + 8 + 8;
+const TOC_ENTRY: u64 = 8 + 8 + 8 + 8;
 /// Size of the fixed header before the TOC.
-const HEADER: usize = 8 + 4 + 4 + 4;
+const HEADER: u64 = 8 + 4 + 4 + 4;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x100_0000_01B3;
 
 /// A typed snapshot-archive failure. Every way a load can go wrong maps
-/// to one of these — corrupt input is reported, never panicked on.
+/// to one of these — corrupt input is reported, never panicked on. Each
+/// positional variant carries the absolute byte offset in the archive
+/// where the problem was detected, so a report is actionable without a
+/// hex dump.
 #[derive(Debug)]
 pub enum SnapshotError {
     /// Underlying file I/O failed.
@@ -60,11 +81,15 @@ pub enum SnapshotError {
     Truncated {
         /// What was being read when the bytes ran out.
         context: String,
+        /// Absolute byte offset where data was needed but missing.
+        offset: u64,
     },
     /// A section's payload does not hash to its TOC checksum.
     ChecksumMismatch {
         /// The section tag, as printable text.
         section: String,
+        /// Absolute byte offset where the section's payload starts.
+        offset: u64,
     },
     /// A required section is absent.
     MissingSection {
@@ -81,8 +106,8 @@ pub enum SnapshotError {
     Malformed {
         /// The section tag, as printable text.
         section: String,
-        /// Byte offset within the section where decoding stopped.
-        offset: usize,
+        /// Absolute byte offset in the archive where decoding stopped.
+        offset: u64,
         /// What was wrong.
         detail: String,
     },
@@ -107,11 +132,17 @@ impl fmt::Display for SnapshotError {
                 "snapshot archive is byte-swapped (written big-endian?); \
                  this reader only accepts little-endian archives"
             ),
-            SnapshotError::Truncated { context } => {
-                write!(f, "snapshot archive truncated while reading {context}")
+            SnapshotError::Truncated { context, offset } => {
+                write!(
+                    f,
+                    "snapshot archive truncated while reading {context} at byte {offset}"
+                )
             }
-            SnapshotError::ChecksumMismatch { section } => {
-                write!(f, "snapshot section {section:?} failed its checksum")
+            SnapshotError::ChecksumMismatch { section, offset } => {
+                write!(
+                    f,
+                    "snapshot section {section:?} (payload at byte {offset}) failed its checksum"
+                )
             }
             SnapshotError::MissingSection { section } => {
                 write!(f, "snapshot archive has no {section:?} section")
@@ -160,16 +191,71 @@ pub fn tag_text(tag: [u8; 8]) -> String {
 /// sum, and word folding keeps the verify pass near memory bandwidth
 /// instead of one multiply per byte.
 pub fn checksum(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    let mut words = bytes.chunks_exact(8);
-    for word in &mut words {
-        let w = u64::from_le_bytes(word.try_into().expect("exact 8-byte chunk"));
-        h = (h ^ w).wrapping_mul(0x100_0000_01B3);
+    let mut fold = ChecksumFold::new();
+    fold.update(bytes);
+    fold.finish()
+}
+
+/// Streaming form of [`checksum`]: feed bytes in arbitrary chunks and
+/// the final sum is identical to the one-shot function — word boundaries
+/// are tracked globally through a carry buffer, so a paged store can
+/// verify a section page by page without materializing it.
+#[derive(Debug, Clone)]
+pub struct ChecksumFold {
+    h: u64,
+    pending: [u8; 8],
+    pending_len: usize,
+}
+
+impl Default for ChecksumFold {
+    fn default() -> ChecksumFold {
+        ChecksumFold::new()
     }
-    for &b in words.remainder() {
-        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+}
+
+impl ChecksumFold {
+    /// A fresh fold (equal to `checksum(&[])` when finished untouched).
+    pub fn new() -> ChecksumFold {
+        ChecksumFold {
+            h: FNV_BASIS,
+            pending: [0u8; 8],
+            pending_len: 0,
+        }
     }
-    h
+
+    /// Absorbs the next chunk.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        if self.pending_len > 0 {
+            let need = 8 - self.pending_len;
+            let take = need.min(bytes.len());
+            self.pending[self.pending_len..self.pending_len + take].copy_from_slice(&bytes[..take]);
+            self.pending_len += take;
+            bytes = &bytes[take..];
+            if self.pending_len < 8 {
+                return;
+            }
+            let w = u64::from_le_bytes(self.pending);
+            self.h = (self.h ^ w).wrapping_mul(FNV_PRIME);
+            self.pending_len = 0;
+        }
+        let mut words = bytes.chunks_exact(8);
+        for word in &mut words {
+            let w = u64::from_le_bytes(word.try_into().expect("exact 8-byte chunk"));
+            self.h = (self.h ^ w).wrapping_mul(FNV_PRIME);
+        }
+        let rest = words.remainder();
+        self.pending[..rest.len()].copy_from_slice(rest);
+        self.pending_len = rest.len();
+    }
+
+    /// Finishes the fold, hashing any trailing bytes one at a time.
+    pub fn finish(self) -> u64 {
+        let mut h = self.h;
+        for &b in &self.pending[..self.pending_len] {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }
 
 /// Assembles an archive in memory: sections are appended in call order
@@ -203,7 +289,9 @@ impl ArchiveWriter {
     /// Serializes header, TOC and payloads into one buffer.
     pub fn to_bytes(&self) -> Vec<u8> {
         let payload_len: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
-        let mut out = Vec::with_capacity(HEADER + TOC_ENTRY * self.sections.len() + payload_len);
+        let mut out = Vec::with_capacity(
+            HEADER as usize + TOC_ENTRY as usize * self.sections.len() + payload_len,
+        );
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
@@ -231,35 +319,158 @@ impl ArchiveWriter {
     }
 }
 
-/// A parsed archive: the raw bytes plus a validated TOC. Section
-/// payloads are borrowed slices of the one bulk read — checksums are
-/// verified once here, so decoders downstream trust the bytes'
-/// integrity (they still bounds-check every structural claim).
+/// How section decoders materialize the big flat arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeMode {
+    /// Every array becomes an owned `Vec` — the classic decode; the
+    /// store can be dropped after loading.
+    Copy,
+    /// Large arrays become views into the store (zero-copy for heap
+    /// stores, demand-paged for paged stores); the store must outlive
+    /// the decoded structures.
+    View,
+}
+
+/// One section of a parsed archive: an absolute byte range of the
+/// store, already checksum-verified. Decoders either materialize it
+/// ([`Section::bytes`]) or walk it in place ([`StoreDec`]).
+#[derive(Debug, Clone)]
+pub struct Section {
+    store: Arc<ByteStore>,
+    range: Range<u64>,
+    mode: DecodeMode,
+}
+
+impl Section {
+    /// Wraps loose bytes as a standalone heap-backed section starting at
+    /// byte 0 — the compatibility path for encoders' unit tests and any
+    /// caller decoding a payload outside an archive.
+    pub fn from_vec(bytes: Vec<u8>, mode: DecodeMode) -> Section {
+        let len = bytes.len() as u64;
+        Section {
+            store: Arc::new(ByteStore::heap(bytes)),
+            range: 0..len,
+            mode,
+        }
+    }
+
+    /// The section payload. Borrowed from heap stores; materialized
+    /// (one bulk read) from paged stores.
+    pub fn bytes(&self) -> Result<Cow<'_, [u8]>, SnapshotError> {
+        match self.store.as_heap() {
+            Some(all) => Ok(Cow::Borrowed(
+                &all[self.range.start as usize..self.range.end as usize],
+            )),
+            None => Ok(Cow::Owned(
+                self.store
+                    .read_range(self.range.clone(), "section payload")?,
+            )),
+        }
+    }
+
+    /// Materializes the payload as an owned `Vec`.
+    pub fn to_vec(&self) -> Result<Vec<u8>, SnapshotError> {
+        self.store.read_range(self.range.clone(), "section payload")
+    }
+
+    /// Absolute byte offset of the payload's first byte — the base for
+    /// decoder error offsets.
+    pub fn base(&self) -> u64 {
+        self.range.start
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        (self.range.end - self.range.start) as usize
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// How decoders should materialize arrays from this section.
+    pub fn mode(&self) -> DecodeMode {
+        self.mode
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Arc<ByteStore> {
+        &self.store
+    }
+}
+
+/// A parsed archive: a byte store plus a validated TOC. Checksums are
+/// verified once at open (streamed, so a paged open never materializes
+/// a section), so decoders downstream trust the bytes' integrity — they
+/// still bounds-check every structural claim.
 #[derive(Debug)]
 pub struct Archive {
-    bytes: Vec<u8>,
-    toc: Vec<([u8; 8], std::ops::Range<usize>)>,
+    store: Arc<ByteStore>,
+    toc: Vec<([u8; 8], Range<u64>)>,
+    mode: DecodeMode,
 }
 
 impl Archive {
-    /// Parses an in-memory archive: header, TOC, per-section checksums.
+    /// Parses an in-memory archive for view decoding: the bytes stay
+    /// resident once, decoded structures borrow them.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Archive, SnapshotError> {
-        let need = |have: usize, want: usize, context: &str| {
-            if have < want {
+        Archive::from_store(Arc::new(ByteStore::heap(bytes)), DecodeMode::View)
+    }
+
+    /// Parses an in-memory archive for copy decoding (every array
+    /// materialized; the PR 9 baseline behavior).
+    pub fn from_bytes_copy(bytes: Vec<u8>) -> Result<Archive, SnapshotError> {
+        Archive::from_store(Arc::new(ByteStore::heap(bytes)), DecodeMode::Copy)
+    }
+
+    /// One bulk read of `path`, then [`Archive::from_bytes`].
+    pub fn read_from_path(path: impl AsRef<Path>) -> Result<Archive, SnapshotError> {
+        Archive::from_bytes(std::fs::read(path)?)
+    }
+
+    /// One bulk read of `path`, then [`Archive::from_bytes_copy`].
+    pub fn read_from_path_copy(path: impl AsRef<Path>) -> Result<Archive, SnapshotError> {
+        Archive::from_bytes_copy(std::fs::read(path)?)
+    }
+
+    /// Opens `path` behind a fixed-budget page cache: the archive stays
+    /// on disk, resident bytes are the cache, and decoded structures
+    /// fault pages in on demand. Header, TOC and every checksum are
+    /// validated here by streaming — corrupt archives are rejected at
+    /// open, exactly like the in-memory constructors.
+    pub fn open_paged(
+        path: impl AsRef<Path>,
+        page_bytes: usize,
+        budget_bytes: u64,
+    ) -> Result<Archive, SnapshotError> {
+        Archive::from_store(
+            Arc::new(ByteStore::open_paged(path, page_bytes, budget_bytes)?),
+            DecodeMode::View,
+        )
+    }
+
+    /// Validates header, TOC and per-section checksums over any store.
+    pub fn from_store(store: Arc<ByteStore>, mode: DecodeMode) -> Result<Archive, SnapshotError> {
+        let total = store.len();
+        let need = |want: u64, context: &str| {
+            if total < want {
                 Err(SnapshotError::Truncated {
                     context: context.to_string(),
+                    offset: total,
                 })
             } else {
                 Ok(())
             }
         };
-        need(bytes.len(), HEADER, "header")?;
+        need(HEADER, "header")?;
+        let header = store.read_range(0..HEADER, "header")?;
         let mut magic = [0u8; 8];
-        magic.copy_from_slice(&bytes[..8]);
+        magic.copy_from_slice(&header[..8]);
         if magic != MAGIC {
             return Err(SnapshotError::BadMagic { found: magic });
         }
-        let u32_at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
+        let u32_at = |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().expect("4 bytes"));
         let version = u32_at(8);
         if version != VERSION {
             return Err(SnapshotError::UnsupportedVersion { found: version });
@@ -271,38 +482,30 @@ impl Archive {
             }
             return Err(SnapshotError::Truncated {
                 context: "endianness tag".to_string(),
+                offset: 12,
             });
         }
-        let count = u32_at(16) as usize;
-        let toc_end =
-            HEADER
-                .checked_add(count.checked_mul(TOC_ENTRY).ok_or_else(|| {
-                    SnapshotError::Truncated {
-                        context: "table of contents".to_string(),
-                    }
-                })?)
-                .ok_or_else(|| SnapshotError::Truncated {
-                    context: "table of contents".to_string(),
-                })?;
-        need(bytes.len(), toc_end, "table of contents")?;
-        let payload = &bytes[toc_end..];
-        let mut toc = Vec::with_capacity(count);
-        let mut checks = Vec::with_capacity(count);
-        for i in 0..count {
-            let at = HEADER + i * TOC_ENTRY;
+        let count = u32_at(16) as u64;
+        let toc_end = HEADER + count * TOC_ENTRY;
+        need(toc_end, "table of contents")?;
+        let toc_raw = store.read_range(HEADER..toc_end, "table of contents")?;
+        let payload_len = total - toc_end;
+        let mut toc: Vec<([u8; 8], Range<u64>)> = Vec::with_capacity(count as usize);
+        let mut checks = Vec::with_capacity(count as usize);
+        for i in 0..count as usize {
+            let at = i * TOC_ENTRY as usize;
             let mut tag = [0u8; 8];
-            tag.copy_from_slice(&bytes[at..at + 8]);
+            tag.copy_from_slice(&toc_raw[at..at + 8]);
             let u64_at =
-                |j: usize| u64::from_le_bytes(bytes[j..j + 8].try_into().expect("8 bytes"));
+                |j: usize| u64::from_le_bytes(toc_raw[j..j + 8].try_into().expect("8 bytes"));
             let offset = u64_at(at + 8);
             let len = u64_at(at + 16);
             let sum = u64_at(at + 24);
-            let end = offset
-                .checked_add(len)
-                .filter(|&e| e <= payload.len() as u64);
+            let end = offset.checked_add(len).filter(|&e| e <= payload_len);
             let Some(end) = end else {
                 return Err(SnapshotError::Truncated {
                     context: format!("section {:?} payload", tag_text(tag)),
+                    offset: total,
                 });
             };
             if toc.iter().any(|(t, _)| *t == tag) {
@@ -310,49 +513,64 @@ impl Archive {
                     section: tag_text(tag),
                 });
             }
-            let range = toc_end + offset as usize..toc_end + end as usize;
+            let range = toc_end + offset..toc_end + end;
             toc.push((tag, range.clone()));
             checks.push((tag, range, sum));
         }
         for (tag, range, sum) in checks {
-            if checksum(&bytes[range]) != sum {
+            let mut fold = ChecksumFold::new();
+            store.try_for_chunks::<SnapshotError>(range.clone(), |chunk| {
+                fold.update(chunk);
+                Ok(())
+            })?;
+            if fold.finish() != sum {
                 return Err(SnapshotError::ChecksumMismatch {
                     section: tag_text(tag),
+                    offset: range.start,
                 });
             }
         }
-        Ok(Archive { bytes, toc })
+        Ok(Archive { store, toc, mode })
     }
 
-    /// One bulk read of `path`, then [`Archive::from_bytes`].
-    pub fn read_from_path(path: impl AsRef<Path>) -> Result<Archive, SnapshotError> {
-        Archive::from_bytes(std::fs::read(path)?)
-    }
-
-    /// The payload of a required section.
-    pub fn section(&self, tag: [u8; 8]) -> Result<&[u8], SnapshotError> {
+    /// A required section.
+    pub fn section(&self, tag: [u8; 8]) -> Result<Section, SnapshotError> {
         self.optional_section(tag)
             .ok_or_else(|| SnapshotError::MissingSection {
                 section: tag_text(tag),
             })
     }
 
-    /// The payload of an optional section.
-    pub fn optional_section(&self, tag: [u8; 8]) -> Option<&[u8]> {
+    /// An optional section.
+    pub fn optional_section(&self, tag: [u8; 8]) -> Option<Section> {
         self.toc
             .iter()
             .find(|(t, _)| *t == tag)
-            .map(|(_, range)| &self.bytes[range.clone()])
+            .map(|(_, range)| Section {
+                store: self.store.clone(),
+                range: range.clone(),
+                mode: self.mode,
+            })
     }
 
     /// Total archive size in bytes.
     pub fn len_bytes(&self) -> u64 {
-        self.bytes.len() as u64
+        self.store.len()
     }
 
     /// The section tags present, in TOC order.
     pub fn tags(&self) -> impl Iterator<Item = [u8; 8]> + '_ {
         self.toc.iter().map(|(t, _)| *t)
+    }
+
+    /// The decode mode sections inherit.
+    pub fn mode(&self) -> DecodeMode {
+        self.mode
+    }
+
+    /// The backing store (shared with every decoded view).
+    pub fn store(&self) -> &Arc<ByteStore> {
+        &self.store
     }
 }
 
@@ -410,21 +628,32 @@ pub fn put_bool_slice(out: &mut Vec<u8>, values: &[bool]) {
 /// Every read returns a typed error instead of panicking, and the bulk
 /// readers ([`Dec::u32_vec`], [`Dec::u64_vec`]) verify the promised
 /// length against the remaining bytes **before** allocating, so a
-/// corrupt length can neither overrun nor balloon memory.
+/// corrupt length can neither overrun nor balloon memory. `base` is the
+/// payload's absolute archive offset, so error reports point into the
+/// file, not into the section.
 #[derive(Debug)]
 pub struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
     section: &'static str,
+    base: u64,
 }
 
 impl<'a> Dec<'a> {
-    /// Wraps one section's payload. `section` labels errors.
+    /// Wraps a standalone payload (absolute offsets start at 0).
+    /// `section` labels errors.
     pub fn new(buf: &'a [u8], section: &'static str) -> Dec<'a> {
+        Dec::new_at(buf, section, 0)
+    }
+
+    /// Wraps one section's payload whose first byte sits at absolute
+    /// archive offset `base`.
+    pub fn new_at(buf: &'a [u8], section: &'static str, base: u64) -> Dec<'a> {
         Dec {
             buf,
             pos: 0,
             section,
+            base,
         }
     }
 
@@ -433,11 +662,11 @@ impl<'a> Dec<'a> {
         self.buf.len() - self.pos
     }
 
-    /// A typed malformed-section error at the current offset.
+    /// A typed malformed-section error at the current absolute offset.
     pub fn malformed(&self, detail: impl Into<String>) -> SnapshotError {
         SnapshotError::Malformed {
             section: self.section.to_string(),
-            offset: self.pos,
+            offset: self.base + self.pos as u64,
             detail: detail.into(),
         }
     }
@@ -526,6 +755,131 @@ impl<'a> Dec<'a> {
     }
 }
 
+/// A bounds-checked little-endian cursor that walks a [`Section`] *in
+/// the store* — the decode path for sections whose big flat arrays stay
+/// as views ([`DecodeMode::View`]) or are materialized on demand
+/// ([`DecodeMode::Copy`]). Scalars are always read eagerly; the
+/// length-prefixed array readers hand back [`U32Arr`]/[`U64Arr`] whose
+/// representation follows the section's mode. Like [`Dec`], every
+/// promised length is verified against the remaining bytes **before**
+/// any allocation, and every error carries the absolute archive offset.
+#[derive(Debug)]
+pub struct StoreDec {
+    store: Arc<ByteStore>,
+    section: &'static str,
+    end: u64,
+    pos: u64,
+    mode: DecodeMode,
+}
+
+impl StoreDec {
+    /// Opens a cursor over `section`'s payload. `name` labels errors.
+    pub fn new(section: &Section, name: &'static str) -> StoreDec {
+        StoreDec {
+            store: section.store().clone(),
+            section: name,
+            end: section.base() + section.len() as u64,
+            pos: section.base(),
+            mode: section.mode(),
+        }
+    }
+
+    /// The decode mode arrays are materialized under.
+    pub fn mode(&self) -> DecodeMode {
+        self.mode
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> u64 {
+        self.end - self.pos
+    }
+
+    /// A typed malformed-section error at the current absolute offset.
+    pub fn malformed(&self, detail: impl Into<String>) -> SnapshotError {
+        SnapshotError::Malformed {
+            section: self.section.to_string(),
+            offset: self.pos,
+            detail: detail.into(),
+        }
+    }
+
+    /// Reserves `n` bytes, returning their absolute start offset.
+    fn take(&mut self, n: u64, what: &str) -> Result<u64, SnapshotError> {
+        if self.remaining() < n {
+            return Err(self.malformed(format!(
+                "need {n} bytes for {what}, only {} left",
+                self.remaining()
+            )));
+        }
+        let start = self.pos;
+        self.pos += n;
+        Ok(start)
+    }
+
+    fn read_array<const N: usize>(&mut self, what: &str) -> Result<[u8; N], SnapshotError> {
+        let start = self.take(N as u64, what)?;
+        let mut raw = [0u8; N];
+        self.store.try_read(start, &mut raw, what)?;
+        Ok(raw)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.read_array::<1>("u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.read_array::<4>("u32")?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.read_array::<8>("u64")?))
+    }
+
+    /// Reads `u32 len` + `len` little-endian `u32`s as an owned-or-view
+    /// array per the section's [`DecodeMode`].
+    pub fn u32_arr(&mut self) -> Result<U32Arr, SnapshotError> {
+        let len = self.u32()? as usize;
+        let start = self.take(len as u64 * 4, "u32 array")?;
+        let view = U32View::new(self.store.clone(), start, len);
+        Ok(match self.mode {
+            DecodeMode::View => U32Arr::View(view),
+            DecodeMode::Copy => U32Arr::Owned(view.to_vec()),
+        })
+    }
+
+    /// Reads `u32 len` + `len` little-endian `u64`s as an owned-or-view
+    /// array per the section's [`DecodeMode`].
+    pub fn u64_arr(&mut self) -> Result<U64Arr, SnapshotError> {
+        let len = self.u32()? as usize;
+        let start = self.take(len as u64 * 8, "u64 array")?;
+        let view = U64View::new(self.store.clone(), start, len);
+        Ok(match self.mode {
+            DecodeMode::View => U64Arr::View(view),
+            DecodeMode::Copy => U64Arr::Owned(view.to_vec()),
+        })
+    }
+
+    /// Reads `u32 len` + `len` little-endian `u32`s, always owned (for
+    /// small arrays where a view would cost more than it saves).
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let len = self.u32()? as usize;
+        let start = self.take(len as u64 * 4, "u32 array")?;
+        Ok(U32View::new(self.store.clone(), start, len).to_vec())
+    }
+
+    /// Errors unless every byte was consumed — trailing garbage in a
+    /// section is corruption, not padding.
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(self.malformed(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,15 +897,26 @@ mod tests {
         w.to_bytes()
     }
 
+    fn temp_archive(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("perils-snapshot-{name}-{}.psa", std::process::id()));
+        std::fs::write(&p, bytes).expect("write temp archive");
+        p
+    }
+
     #[test]
     fn round_trips_sections_and_fields() {
         let archive = Archive::from_bytes(sample_archive()).expect("parses");
         assert_eq!(archive.tags().count(), 2);
-        let mut dec = Dec::new(archive.section(*b"ALPHA\0\0\0").expect("alpha"), "ALPHA");
+        let sec = archive.section(*b"ALPHA\0\0\0").expect("alpha");
+        let bytes = sec.bytes().expect("payload");
+        let mut dec = Dec::new_at(&bytes, "ALPHA", sec.base());
         assert_eq!(dec.u32_vec().expect("u32s"), vec![1, 2, 3, 0xFFFF_FFFF]);
         assert_eq!(dec.bool_vec().expect("bools"), vec![true, false, true]);
         dec.finish().expect("fully consumed");
-        let mut dec = Dec::new(archive.section(*b"BETA\0\0\0\0").expect("beta"), "BETA");
+        let sec = archive.section(*b"BETA\0\0\0\0").expect("beta");
+        let bytes = sec.bytes().expect("payload");
+        let mut dec = Dec::new_at(&bytes, "BETA", sec.base());
         assert_eq!(dec.u64_vec().expect("u64s"), vec![u64::MAX, 0, 42]);
         assert_eq!(dec.bytes().expect("bytes"), b"hello");
         dec.finish().expect("fully consumed");
@@ -559,6 +924,116 @@ mod tests {
             archive.section(*b"GAMMA\0\0\0"),
             Err(SnapshotError::MissingSection { .. })
         ));
+    }
+
+    #[test]
+    fn paged_archive_parses_and_reads_identically() {
+        let bytes = sample_archive();
+        let path = temp_archive("paged-identical", &bytes);
+        let heap = Archive::from_bytes(bytes).expect("heap parses");
+        // Deliberately tiny pages and budget: every section read must
+        // still assemble the same payload bytes.
+        let paged = Archive::open_paged(&path, 64, 128).expect("paged parses");
+        assert_eq!(paged.store().kind(), "paged");
+        assert_eq!(heap.len_bytes(), paged.len_bytes());
+        for tag in [*b"ALPHA\0\0\0", *b"BETA\0\0\0\0"] {
+            let a = heap.section(tag).expect("heap section");
+            let b = paged.section(tag).expect("paged section");
+            assert_eq!(a.base(), b.base(), "sections sit at the same offset");
+            assert_eq!(
+                a.bytes().expect("heap payload"),
+                b.bytes().expect("paged payload")
+            );
+        }
+        let counters = paged.store().cache_counters();
+        assert!(
+            counters.misses > 0,
+            "paged reads miss then fill: {counters:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_dec_views_match_copy_decode() {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 77);
+        put_u32_slice(&mut payload, &[10, 20, 30, 40, 50]);
+        put_u64_slice(&mut payload, &[1, u64::MAX]);
+        let mut w = ArchiveWriter::new();
+        w.add_section(*b"ARR\0\0\0\0\0", payload);
+        let bytes = w.to_bytes();
+
+        let view_archive = Archive::from_bytes(bytes.clone()).expect("view parses");
+        let copy_archive = Archive::from_bytes_copy(bytes).expect("copy parses");
+        let mut view_dec = StoreDec::new(&view_archive.section(*b"ARR\0\0\0\0\0").unwrap(), "ARR");
+        let mut copy_dec = StoreDec::new(&copy_archive.section(*b"ARR\0\0\0\0\0").unwrap(), "ARR");
+        assert_eq!(view_dec.u64().expect("scalar"), 77);
+        assert_eq!(copy_dec.u64().expect("scalar"), 77);
+        let v = view_dec.u32_arr().expect("view arr");
+        let c = copy_dec.u32_arr().expect("copy arr");
+        assert!(v.as_slice().is_none(), "view mode yields views");
+        assert_eq!(c.as_slice(), Some(&[10u32, 20, 30, 40, 50][..]));
+        assert_eq!(v, c, "element-wise equal across modes");
+        let v64 = view_dec.u64_arr().expect("view u64 arr");
+        let c64 = copy_dec.u64_arr().expect("copy u64 arr");
+        assert_eq!(v64, c64);
+        view_dec.finish().expect("consumed");
+        copy_dec.finish().expect("consumed");
+
+        // A view-backed array re-encodes to the exact source bytes.
+        let mut re = Vec::new();
+        put_u64(&mut re, 77);
+        v.encode_into(&mut re);
+        v64.encode_into(&mut re);
+        let sec = view_archive.section(*b"ARR\0\0\0\0\0").unwrap();
+        assert_eq!(re.as_slice(), &*sec.bytes().expect("payload"));
+    }
+
+    #[test]
+    fn store_dec_errors_carry_absolute_offsets() {
+        let mut payload = Vec::new();
+        put_u32(&mut payload, u32::MAX); // promises 4 billion u32s
+        let mut w = ArchiveWriter::new();
+        w.add_section(*b"HUGE\0\0\0\0", payload);
+        let archive = Archive::from_bytes(w.to_bytes()).expect("container valid");
+        let sec = archive.section(*b"HUGE\0\0\0\0").expect("huge");
+        assert!(sec.base() > 0, "payload sits after header + TOC");
+        let mut dec = StoreDec::new(&sec, "HUGE");
+        match dec.u32_arr() {
+            Err(SnapshotError::Malformed { offset, .. }) => {
+                assert_eq!(
+                    offset,
+                    sec.base() + 4,
+                    "absolute offset past the length prefix"
+                );
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Slice-based Dec reports the same absolute offsets.
+        let bytes = sec.bytes().expect("payload");
+        let mut dec = Dec::new_at(&bytes, "HUGE", sec.base());
+        let _ = dec.u32().expect("length prefix");
+        match dec.malformed("probe") {
+            SnapshotError::Malformed { offset, .. } => assert_eq!(offset, sec.base() + 4),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_reports_payload_offset() {
+        let bytes = sample_archive();
+        let archive = Archive::from_bytes(bytes.clone()).expect("valid");
+        let sec = archive.section(*b"ALPHA\0\0\0").expect("alpha");
+        let payload_at = sec.base();
+        let mut bad = bytes;
+        bad[payload_at as usize] ^= 0xFF;
+        match Archive::from_bytes(bad) {
+            Err(SnapshotError::ChecksumMismatch { section, offset }) => {
+                assert_eq!(section, "ALPHA");
+                assert_eq!(offset, payload_at);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
     }
 
     #[test]
@@ -592,6 +1067,21 @@ mod tests {
                 .unwrap_or_else(|| panic!("truncation to {len} bytes must fail"));
             // Any typed variant is acceptable; a panic is not.
             let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error_for_paged_opens() {
+        // The same sweep through a paged store, so cuts that land
+        // mid-page surface as typed errors from the streaming open too.
+        let good = sample_archive();
+        for len in 0..good.len() {
+            let path = temp_archive("trunc", &good[..len]);
+            let err = Archive::open_paged(&path, 64, 1024)
+                .err()
+                .unwrap_or_else(|| panic!("paged truncation to {len} bytes must fail"));
+            let _ = err.to_string();
+            std::fs::remove_file(&path).ok();
         }
     }
 
@@ -643,7 +1133,9 @@ mod tests {
         let mut w = ArchiveWriter::new();
         w.add_section(*b"HUGE\0\0\0\0", payload);
         let archive = Archive::from_bytes(w.to_bytes()).expect("container is valid");
-        let mut dec = Dec::new(archive.section(*b"HUGE\0\0\0\0").expect("huge"), "HUGE");
+        let sec = archive.section(*b"HUGE\0\0\0\0").expect("huge");
+        let bytes = sec.bytes().expect("payload");
+        let mut dec = Dec::new_at(&bytes, "HUGE", sec.base());
         assert!(matches!(
             dec.u32_vec(),
             Err(SnapshotError::Malformed { .. })

@@ -69,10 +69,10 @@ fn main() {
         let mut closure = index.closure_for(universe, &probe);
         for &sid in ua_ns.iter().take(extra) {
             closure.servers.insert(sid);
-            for &dep in index.deps_of(sid) {
+            for dep in index.deps_of(sid) {
                 closure.servers.insert(dep);
             }
-            for &z in index.chain_of(sid) {
+            for z in index.chain_of(sid) {
                 closure.zones.insert(z);
             }
         }
